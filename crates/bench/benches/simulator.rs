@@ -1,0 +1,63 @@
+//! Criterion benchmarks of end-to-end simulation throughput — one per
+//! front-end configuration class — measuring simulated instructions per
+//! second of wall-clock. These bound how long the paper-scale experiment
+//! sweeps take.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use fdip::{BtbVariant, CpfMode, FrontendConfig, PrefetcherKind, Simulator};
+use fdip_trace::gen::{GeneratorConfig, Profile};
+
+const SIM_LEN: usize = 60_000;
+
+fn bench_simulator(c: &mut Criterion) {
+    let trace = GeneratorConfig::profile(Profile::Server)
+        .seed(5)
+        .target_len(SIM_LEN)
+        .generate();
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+
+    let configs: Vec<(&str, FrontendConfig)> = vec![
+        ("baseline", FrontendConfig::default()),
+        (
+            "fdip",
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+        ),
+        (
+            "fdip_cpf",
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip_with_cpf(CpfMode::Both)),
+        ),
+        (
+            "fdip_x",
+            FrontendConfig::default()
+                .with_btb(BtbVariant::partitioned(2048))
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ),
+        (
+            "ftb_fdip",
+            FrontendConfig::default()
+                .with_btb(BtbVariant::basic_block(2048))
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ),
+        (
+            "stream",
+            FrontendConfig::default()
+                .with_prefetcher(PrefetcherKind::StreamBuffers(Default::default())),
+        ),
+        (
+            "pif",
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::Pif(Default::default())),
+        ),
+    ];
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(Simulator::run_trace(&config, &trace)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Runs the whole experiment catalogue in order, printing every table and
+//! figure and persisting CSVs under `results/`. Accepts `--quick` /
+//! `--medium` / `--full`.
+
+use fdip_sim::experiments;
+
+fn main() {
+    let scale = fdip_sim::Scale::from_args(std::env::args().skip(1));
+    let start = std::time::Instant::now();
+    for (id, title, runner) in experiments::all() {
+        eprintln!("[{id}] {title} ...");
+        let t = std::time::Instant::now();
+        let result = runner(scale);
+        println!("{}", "=".repeat(72));
+        print!("{}", result.to_text());
+        eprintln!("[{id}] {:.1}s", t.elapsed().as_secs_f64());
+        if let Err(e) = fdip_bench::persist(id, &result) {
+            eprintln!("[{id}] warning: could not write results/: {e}");
+        }
+    }
+    eprintln!("total {:.1}s", start.elapsed().as_secs_f64());
+}

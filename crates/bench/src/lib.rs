@@ -1,0 +1,86 @@
+//! Shared plumbing for the experiment binaries: resolve an experiment by
+//! id, run it at the scale requested on the command line, print its tables
+//! and charts, and persist CSVs under `results/`.
+//!
+//! Every binary accepts `--quick` / `--medium` / `--full` (default full).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use fdip_sim::experiments::{self, ExperimentResult};
+use fdip_sim::Scale;
+
+/// Runs experiment `id` at the argv-selected scale, prints the result, and
+/// writes CSVs. Used by every `exp_*` binary.
+///
+/// # Panics
+///
+/// Panics if `id` is not in the registry.
+pub fn run_and_print(id: &str) {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let (_, title, runner) = experiments::all()
+        .into_iter()
+        .find(|(i, _, _)| *i == id)
+        .unwrap_or_else(|| panic!("unknown experiment {id}"));
+    eprintln!("[{id}] {title} (trace_len={}, suites x{})", scale.trace_len, scale.workloads_per_suite);
+    let start = std::time::Instant::now();
+    let result = runner(scale);
+    print!("{}", result.to_text());
+    eprintln!("[{id}] done in {:.1}s", start.elapsed().as_secs_f64());
+    if let Err(e) = persist(id, &result) {
+        eprintln!("[{id}] warning: could not write results/: {e}");
+    }
+}
+
+/// Writes each table as `results/<id>_<k>.csv` and the full text render as
+/// `results/<id>.txt`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn persist(id: &str, result: &ExperimentResult) -> std::io::Result<()> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let mut markdown = String::new();
+    for (k, table) in result.tables.iter().enumerate() {
+        fs::write(dir.join(format!("{id}_{k}.csv")), table.to_csv())?;
+        markdown.push_str(&table.to_markdown());
+        markdown.push('\n');
+    }
+    fs::write(dir.join(format!("{id}.txt")), result.to_text())?;
+    fs::write(dir.join(format!("{id}.md")), markdown)?;
+    Ok(())
+}
+
+/// `results/` next to the workspace root when run via cargo, else the
+/// current directory.
+pub fn results_dir() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_default();
+    if manifest.is_empty() {
+        PathBuf::from("results")
+    } else {
+        PathBuf::from(manifest).join("../../results")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdip_sim::report::Table;
+
+    #[test]
+    fn persist_writes_csv_and_text() {
+        let mut table = Table::new("t", &["a"]);
+        table.row(["1".to_string()]);
+        let result = ExperimentResult::tables(vec![table]);
+        persist("selftest", &result).unwrap();
+        let dir = results_dir();
+        assert!(dir.join("selftest_0.csv").exists());
+        assert!(dir.join("selftest.txt").exists());
+        let _ = std::fs::remove_file(dir.join("selftest_0.csv"));
+        let _ = std::fs::remove_file(dir.join("selftest.txt"));
+    }
+}

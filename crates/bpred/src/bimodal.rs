@@ -1,0 +1,127 @@
+use fdip_types::Addr;
+
+use crate::{DirectionPredictor, HistorySnapshot, SatCounter};
+
+/// The classic bimodal predictor: a PC-indexed table of 2-bit counters.
+///
+/// History-free, so it excels on strongly biased branches and forms the
+/// pattern-insensitive half of the McFarling [`Hybrid`](crate::Hybrid).
+///
+/// # Examples
+///
+/// ```
+/// use fdip_bpred::{Bimodal, DirectionPredictor};
+/// use fdip_types::Addr;
+///
+/// let mut p = Bimodal::new(10);
+/// let pc = Addr::new(0x80);
+/// p.commit(pc, true);
+/// p.commit(pc, true);
+/// assert!(p.predict(pc));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    table: Vec<SatCounter>,
+    index_mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `2^log2_entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_entries` is 0 or greater than 30.
+    pub fn new(log2_entries: u32) -> Self {
+        assert!((1..=30).contains(&log2_entries));
+        let entries = 1usize << log2_entries;
+        Bimodal {
+            table: vec![SatCounter::weakly_not_taken(2); entries],
+            index_mask: entries as u64 - 1,
+        }
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        (pc.inst_index() & self.index_mask) as usize
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&self, pc: Addr) -> bool {
+        self.table[self.index(pc)].predicts_taken()
+    }
+
+    fn spec_update(&mut self, _pc: Addr, _taken: bool) {
+        // Bimodal keeps no history.
+    }
+
+    fn commit(&mut self, pc: Addr, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].update(taken);
+    }
+
+    fn snapshot(&self) -> HistorySnapshot {
+        HistorySnapshot::default()
+    }
+
+    fn recover(&mut self, _snapshot: HistorySnapshot, _corrected: bool) {}
+
+    fn storage_bits(&self) -> u64 {
+        self.table.len() as u64 * 2
+    }
+
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_bias_quickly() {
+        let mut p = Bimodal::new(8);
+        let pc = Addr::new(0x400);
+        p.commit(pc, true);
+        p.commit(pc, true);
+        assert!(p.predict(pc));
+        p.commit(pc, false);
+        assert!(p.predict(pc), "2-bit hysteresis survives one anomaly");
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_interfere_when_indices_differ() {
+        let mut p = Bimodal::new(8);
+        let a = Addr::new(0x100);
+        let b = Addr::new(0x104);
+        p.commit(a, true);
+        p.commit(a, true);
+        assert!(p.predict(a));
+        assert!(!p.predict(b));
+    }
+
+    #[test]
+    fn aliasing_wraps_modulo_table_size() {
+        let mut p = Bimodal::new(4); // 16 entries
+        let a = Addr::from_inst_index(3);
+        let b = Addr::from_inst_index(3 + 16);
+        p.commit(a, true);
+        p.commit(a, true);
+        assert!(p.predict(b), "aliased pcs share a counter");
+    }
+
+    #[test]
+    fn storage_bits() {
+        assert_eq!(Bimodal::new(10).storage_bits(), 1024 * 2);
+    }
+
+    #[test]
+    fn recover_is_a_noop() {
+        let mut p = Bimodal::new(6);
+        let snap = p.snapshot();
+        p.commit(Addr::new(0x40), true);
+        let before = p.predict(Addr::new(0x40));
+        p.recover(snap, false);
+        assert_eq!(p.predict(Addr::new(0x40)), before);
+    }
+}

@@ -1,0 +1,145 @@
+/// An n-bit saturating up/down counter, the building block of every
+/// table-based direction predictor.
+///
+/// The counter saturates at `0` and `2^bits - 1`; values in the upper half
+/// predict *taken*.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_bpred::SatCounter;
+///
+/// let mut c = SatCounter::weakly_not_taken(2);
+/// assert!(!c.predicts_taken());
+/// c.update(true);
+/// assert!(c.predicts_taken()); // 1 -> 2: weakly taken
+/// c.update(true);
+/// c.update(true);
+/// assert_eq!(c.value(), 3);    // saturated
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SatCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SatCounter {
+    /// Creates a counter with `bits` bits, initialized to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 7, or `value` exceeds the
+    /// counter's maximum.
+    pub fn new(bits: u32, value: u8) -> Self {
+        assert!((1..=7).contains(&bits), "counter width must be 1..=7 bits");
+        let max = (1u8 << bits) - 1;
+        assert!(value <= max, "initial value out of range");
+        SatCounter { value, max }
+    }
+
+    /// A `bits`-bit counter initialized just below the taken threshold
+    /// (the traditional "weakly not-taken" reset state).
+    pub fn weakly_not_taken(bits: u32) -> Self {
+        let max = (1u8 << bits) - 1;
+        SatCounter::new(bits, max / 2)
+    }
+
+    /// A `bits`-bit counter initialized just above the taken threshold.
+    pub fn weakly_taken(bits: u32) -> Self {
+        let max = (1u8 << bits) - 1;
+        SatCounter::new(bits, max / 2 + 1)
+    }
+
+    /// Current raw value.
+    pub fn value(self) -> u8 {
+        self.value
+    }
+
+    /// Maximum raw value (`2^bits - 1`).
+    pub fn max(self) -> u8 {
+        self.max
+    }
+
+    /// Returns `true` if the counter is in its upper half.
+    pub fn predicts_taken(self) -> bool {
+        self.value > self.max / 2
+    }
+
+    /// Increments (taken) or decrements (not-taken), saturating.
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            if self.value < self.max {
+                self.value += 1;
+            }
+        } else if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Storage cost in bits.
+    pub fn bits(self) -> u32 {
+        8 - self.max.leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_counter_hysteresis() {
+        let mut c = SatCounter::new(2, 3); // strongly taken
+        c.update(false);
+        assert!(c.predicts_taken(), "one not-taken should not flip");
+        c.update(false);
+        assert!(!c.predicts_taken());
+    }
+
+    #[test]
+    fn saturation() {
+        let mut c = SatCounter::new(2, 0);
+        c.update(false);
+        assert_eq!(c.value(), 0);
+        for _ in 0..10 {
+            c.update(true);
+        }
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn thresholds() {
+        assert!(!SatCounter::weakly_not_taken(2).predicts_taken());
+        assert!(SatCounter::weakly_taken(2).predicts_taken());
+        assert!(!SatCounter::weakly_not_taken(3).predicts_taken());
+        assert!(SatCounter::weakly_taken(3).predicts_taken());
+    }
+
+    #[test]
+    fn one_bit_counter_flips_immediately() {
+        let mut c = SatCounter::new(1, 0);
+        assert!(!c.predicts_taken());
+        c.update(true);
+        assert!(c.predicts_taken());
+        c.update(false);
+        assert!(!c.predicts_taken());
+    }
+
+    #[test]
+    fn bits_reports_width() {
+        assert_eq!(SatCounter::new(2, 0).bits(), 2);
+        assert_eq!(SatCounter::new(3, 0).bits(), 3);
+        assert_eq!(SatCounter::new(1, 0).bits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn zero_bits_rejected() {
+        let _ = SatCounter::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_value_rejected() {
+        let _ = SatCounter::new(2, 4);
+    }
+}

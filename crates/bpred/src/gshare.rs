@@ -1,0 +1,187 @@
+use fdip_types::Addr;
+
+use crate::{DirectionPredictor, GlobalHistory, HistorySnapshot, SatCounter};
+
+/// The gshare predictor: 2-bit counters indexed by `PC ⊕ global history`.
+///
+/// Correlates on recent branch outcomes, capturing patterned branches
+/// (alternators, loop exits) that defeat [`Bimodal`](crate::Bimodal).
+///
+/// # Examples
+///
+/// ```
+/// use fdip_bpred::{DirectionPredictor, Gshare};
+/// use fdip_types::Addr;
+///
+/// let mut p = Gshare::new(12, 8);
+/// let pc = Addr::new(0x100);
+/// // Train an alternating pattern; gshare learns it through history.
+/// for i in 0..64 {
+///     let taken = i % 2 == 0;
+///     p.spec_update(pc, taken);
+///     p.commit(pc, taken);
+/// }
+/// # let _ = p.predict(pc);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    table: Vec<SatCounter>,
+    /// Retire-time history used to index table *training*; kept separate
+    /// from the speculative history so wrong-path speculation cannot corrupt
+    /// training indices.
+    commit_history: GlobalHistory,
+    spec_history: GlobalHistory,
+    history_bits: u32,
+    index_mask: u64,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `2^log2_entries` counters and
+    /// `history_bits` bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_entries` is 0 or greater than 30, or `history_bits`
+    /// exceeds 64.
+    pub fn new(log2_entries: u32, history_bits: u32) -> Self {
+        assert!((1..=30).contains(&log2_entries));
+        assert!(history_bits <= 64);
+        let entries = 1usize << log2_entries;
+        Gshare {
+            table: vec![SatCounter::weakly_not_taken(2); entries],
+            commit_history: GlobalHistory::new(),
+            spec_history: GlobalHistory::new(),
+            history_bits,
+            index_mask: entries as u64 - 1,
+        }
+    }
+
+    fn index(&self, pc: Addr, history: &GlobalHistory) -> usize {
+        let h = history.low_bits(self.history_bits);
+        ((pc.inst_index() ^ h) & self.index_mask) as usize
+    }
+
+    /// Prediction made with the *commit-time* history; used by
+    /// [`Hybrid`](crate::Hybrid) to train its chooser in commit order.
+    pub(crate) fn commit_prediction(&self, pc: Addr) -> bool {
+        self.table[self.index(pc, &self.commit_history)].predicts_taken()
+    }
+}
+
+impl DirectionPredictor for Gshare {
+    fn predict(&self, pc: Addr) -> bool {
+        self.table[self.index(pc, &self.spec_history)].predicts_taken()
+    }
+
+    fn spec_update(&mut self, _pc: Addr, taken: bool) {
+        self.spec_history.shift(taken);
+    }
+
+    fn commit(&mut self, pc: Addr, taken: bool) {
+        let idx = self.index(pc, &self.commit_history);
+        self.table[idx].update(taken);
+        self.commit_history.shift(taken);
+    }
+
+    fn snapshot(&self) -> HistorySnapshot {
+        self.spec_history.snapshot()
+    }
+
+    fn recover(&mut self, snapshot: HistorySnapshot, corrected: bool) {
+        self.spec_history.restore(snapshot);
+        self.spec_history.shift(corrected);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.table.len() as u64 * 2
+    }
+
+    fn name(&self) -> &'static str {
+        "gshare"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives predict/spec/commit in lockstep, as a front-end with no
+    /// mispredictions would, and returns the accuracy over `outcomes`.
+    fn run(p: &mut Gshare, pc: Addr, outcomes: &[bool]) -> f64 {
+        let mut correct = 0;
+        for &taken in outcomes {
+            if p.predict(pc) == taken {
+                correct += 1;
+            }
+            p.spec_update(pc, taken);
+            p.commit(pc, taken);
+        }
+        correct as f64 / outcomes.len() as f64
+    }
+
+    #[test]
+    fn learns_alternating_pattern() {
+        let mut p = Gshare::new(12, 8);
+        let outcomes: Vec<bool> = (0..400).map(|i| i % 2 == 0).collect();
+        let acc = run(&mut p, Addr::new(0x100), &outcomes);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_loop_exit_pattern() {
+        // Pattern: 7 taken then 1 not-taken, repeated — a loop with 8 trips.
+        let mut p = Gshare::new(12, 10);
+        let outcomes: Vec<bool> = (0..800).map(|i| i % 8 != 7).collect();
+        let acc = run(&mut p, Addr::new(0x200), &outcomes);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn bimodal_cannot_learn_what_gshare_can() {
+        use crate::Bimodal;
+        let outcomes: Vec<bool> = (0..400).map(|i| i % 2 == 0).collect();
+        let mut g = Gshare::new(12, 8);
+        let g_acc = run(&mut g, Addr::new(0x300), &outcomes);
+        let mut b = Bimodal::new(12);
+        let mut b_correct = 0;
+        for &taken in &outcomes {
+            if b.predict(Addr::new(0x300)) == taken {
+                b_correct += 1;
+            }
+            b.commit(Addr::new(0x300), taken);
+        }
+        let b_acc = b_correct as f64 / outcomes.len() as f64;
+        assert!(g_acc > b_acc + 0.3, "gshare {g_acc} vs bimodal {b_acc}");
+    }
+
+    #[test]
+    fn recovery_repairs_wrong_path_history() {
+        let mut p = Gshare::new(10, 8);
+        let pc = Addr::new(0x80);
+        // Establish a speculative history, snapshot, pollute, recover.
+        p.spec_update(pc, true);
+        let snap = p.snapshot();
+        let clean_index = p.index(pc, &p.spec_history.clone());
+        p.spec_update(pc, false);
+        p.spec_update(pc, false);
+        p.recover(snap, true);
+        // After recovery the history is the snapshot plus the corrected
+        // outcome (true), so the index matches shifting `true` into the
+        // clean history.
+        let mut expect = GlobalHistory::new();
+        expect.shift(true);
+        expect.shift(true);
+        assert_eq!(p.index(pc, &expect), p.index(pc, &p.spec_history.clone()));
+        let _ = clean_index;
+    }
+
+    #[test]
+    fn zero_history_gshare_degenerates_to_bimodal_indexing() {
+        let mut p = Gshare::new(8, 0);
+        let pc = Addr::new(0x500);
+        p.spec_update(pc, true);
+        p.spec_update(pc, false);
+        // With 0 history bits the index ignores history entirely.
+        assert_eq!(p.index(pc, &p.spec_history.clone()), p.index(pc, &GlobalHistory::new()));
+    }
+}

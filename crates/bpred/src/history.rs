@@ -1,0 +1,88 @@
+/// The global branch-history register: outcomes of the most recent
+/// conditional branches, newest in the least-significant bit.
+///
+/// The front-end shifts *predicted* outcomes in at predict time; after a
+/// misprediction it restores the [`HistorySnapshot`] captured when the
+/// mispredicted branch was predicted and shifts in the corrected outcome.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct GlobalHistory {
+    bits: u64,
+}
+
+/// An opaque checkpoint of the global history, captured per predicted
+/// branch and restored on misprediction recovery.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct HistorySnapshot(u64);
+
+impl GlobalHistory {
+    /// Fresh, all-not-taken history.
+    pub fn new() -> Self {
+        GlobalHistory::default()
+    }
+
+    /// Shifts in one outcome (newest in bit 0).
+    pub fn shift(&mut self, taken: bool) {
+        self.bits = (self.bits << 1) | u64::from(taken);
+    }
+
+    /// The low `n` bits of history.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `n > 64`.
+    pub fn low_bits(&self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        if n == 64 {
+            self.bits
+        } else {
+            self.bits & ((1u64 << n) - 1)
+        }
+    }
+
+    /// Captures the current history.
+    pub fn snapshot(&self) -> HistorySnapshot {
+        HistorySnapshot(self.bits)
+    }
+
+    /// Restores a previously captured history.
+    pub fn restore(&mut self, snapshot: HistorySnapshot) {
+        self.bits = snapshot.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_order_is_newest_in_bit_zero() {
+        let mut h = GlobalHistory::new();
+        h.shift(true);
+        h.shift(false);
+        h.shift(true);
+        assert_eq!(h.low_bits(3), 0b101);
+    }
+
+    #[test]
+    fn low_bits_masks() {
+        let mut h = GlobalHistory::new();
+        for _ in 0..10 {
+            h.shift(true);
+        }
+        assert_eq!(h.low_bits(4), 0b1111);
+        assert_eq!(h.low_bits(64), (1u64 << 10) - 1);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut h = GlobalHistory::new();
+        h.shift(true);
+        h.shift(true);
+        let snap = h.snapshot();
+        h.shift(false);
+        h.shift(false);
+        assert_eq!(h.low_bits(4), 0b1100);
+        h.restore(snap);
+        assert_eq!(h.low_bits(4), 0b0011);
+    }
+}

@@ -1,0 +1,138 @@
+use fdip_types::Addr;
+
+use crate::GlobalHistory;
+
+/// A small tagged, direct-mapped indirect-target cache, optionally hashed
+/// with global history to disambiguate polymorphic call sites.
+///
+/// The baseline FDIP front-end predicts indirect branches with the BTB's
+/// stored target (last-taken-target policy); this structure is the optional
+/// enhancement studied in the extension experiments. With `history_bits = 0`
+/// it degenerates to a last-target table.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_bpred::{GlobalHistory, IndirectTargetCache};
+/// use fdip_types::Addr;
+///
+/// let mut itc = IndirectTargetCache::new(8, 4);
+/// let h = GlobalHistory::new();
+/// itc.update(Addr::new(0x100), &h, Addr::new(0x4000));
+/// assert_eq!(itc.predict(Addr::new(0x100), &h), Some(Addr::new(0x4000)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct IndirectTargetCache {
+    entries: Vec<Option<Entry>>,
+    index_mask: u64,
+    history_bits: u32,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct Entry {
+    tag: u16,
+    target: Addr,
+}
+
+impl IndirectTargetCache {
+    /// Creates a cache with `2^log2_entries` entries, hashing in
+    /// `history_bits` bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_entries` is 0 or greater than 24.
+    pub fn new(log2_entries: u32, history_bits: u32) -> Self {
+        assert!((1..=24).contains(&log2_entries));
+        let entries = 1usize << log2_entries;
+        IndirectTargetCache {
+            entries: vec![None; entries],
+            index_mask: entries as u64 - 1,
+            history_bits,
+        }
+    }
+
+    fn index_and_tag(&self, pc: Addr, history: &GlobalHistory) -> (usize, u16) {
+        let h = history.low_bits(self.history_bits);
+        let key = pc.inst_index() ^ (h << 1);
+        let index = (key & self.index_mask) as usize;
+        // Fold the rest of the key into a 16-bit tag.
+        let hi = key >> self.index_mask.count_ones();
+        let tag = ((hi ^ (hi >> 16) ^ (hi >> 32)) & 0xffff) as u16;
+        (index, tag)
+    }
+
+    /// Predicted target for the indirect branch at `pc`, if a matching
+    /// entry exists.
+    pub fn predict(&self, pc: Addr, history: &GlobalHistory) -> Option<Addr> {
+        let (index, tag) = self.index_and_tag(pc, history);
+        self.entries[index]
+            .filter(|e| e.tag == tag)
+            .map(|e| e.target)
+    }
+
+    /// Installs or updates the target for the branch at `pc`.
+    pub fn update(&mut self, pc: Addr, history: &GlobalHistory, target: Addr) {
+        let (index, tag) = self.index_and_tag(pc, history);
+        self.entries[index] = Some(Entry { tag, target });
+    }
+
+    /// Storage cost in bits: 16-bit tag plus `addr_bits` target per entry.
+    pub fn storage_bits(&self, addr_bits: u32) -> u64 {
+        self.entries.len() as u64 * (16 + addr_bits as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_after_update() {
+        let mut itc = IndirectTargetCache::new(6, 0);
+        let h = GlobalHistory::new();
+        assert_eq!(itc.predict(Addr::new(0x40), &h), None);
+        itc.update(Addr::new(0x40), &h, Addr::new(0x9000));
+        assert_eq!(itc.predict(Addr::new(0x40), &h), Some(Addr::new(0x9000)));
+    }
+
+    #[test]
+    fn history_disambiguates_polymorphic_sites() {
+        let mut itc = IndirectTargetCache::new(8, 6);
+        let pc = Addr::new(0x100);
+        let mut h1 = GlobalHistory::new();
+        h1.shift(true);
+        let mut h2 = GlobalHistory::new();
+        h2.shift(true);
+        h2.shift(false); // h2 = 0b10, h1 = 0b1: distinct low bits
+        itc.update(pc, &h1, Addr::new(0x1000));
+        itc.update(pc, &h2, Addr::new(0x2000));
+        assert_eq!(itc.predict(pc, &h1), Some(Addr::new(0x1000)));
+        assert_eq!(itc.predict(pc, &h2), Some(Addr::new(0x2000)));
+    }
+
+    #[test]
+    fn without_history_last_target_wins() {
+        let mut itc = IndirectTargetCache::new(8, 0);
+        let pc = Addr::new(0x100);
+        let h = GlobalHistory::new();
+        itc.update(pc, &h, Addr::new(0x1000));
+        itc.update(pc, &h, Addr::new(0x2000));
+        assert_eq!(itc.predict(pc, &h), Some(Addr::new(0x2000)));
+    }
+
+    #[test]
+    fn tag_rejects_aliases() {
+        let mut itc = IndirectTargetCache::new(4, 0); // 16 entries
+        let h = GlobalHistory::new();
+        let a = Addr::from_inst_index(5);
+        let b = Addr::from_inst_index(5 + 16 * 7); // same index, different tag
+        itc.update(a, &h, Addr::new(0x1000));
+        assert_eq!(itc.predict(b, &h), None, "alias must miss on tag");
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let itc = IndirectTargetCache::new(8, 4);
+        assert_eq!(itc.storage_bits(48), 256 * (16 + 48));
+    }
+}

@@ -1,0 +1,63 @@
+//! Branch-prediction structures for the FDIP reproduction.
+//!
+//! The decoupled front-end of the 1999 FDIP design couples a *direction
+//! predictor* (is this conditional taken?), a BTB (where do taken branches
+//! go? — see the `fdip-btb` crate), and a *return address stack*. This crate
+//! provides the direction predictors ([`Bimodal`], [`Gshare`], and the
+//! McFarling-style [`Hybrid`]), the [`ReturnAddressStack`], an optional
+//! [`IndirectTargetCache`], and the speculative [`GlobalHistory`] plumbing
+//! that lets the branch-prediction unit run ahead of execution and recover
+//! on mispredictions.
+//!
+//! # Speculation protocol
+//!
+//! The front-end predicts branches long before they execute. Predictors
+//! therefore split their state in two:
+//!
+//! * *history* (the global history register) is updated **speculatively** at
+//!   predict time via [`DirectionPredictor::spec_update`] and repaired after
+//!   a misprediction by restoring a [`HistorySnapshot`];
+//! * *tables* (the saturating counters) are trained **non-speculatively** at
+//!   retire time via [`DirectionPredictor::commit`].
+//!
+//! # Examples
+//!
+//! ```
+//! use fdip_bpred::{DirectionPredictor, Gshare};
+//! use fdip_types::Addr;
+//!
+//! let mut p = Gshare::new(12, 10); // 2^12 counters, 10 bits of history
+//! let pc = Addr::new(0x1040);
+//! for _ in 0..32 {
+//!     let predicted = p.predict(pc);
+//!     p.spec_update(pc, true);
+//!     p.commit(pc, true);
+//!     let _ = predicted;
+//! }
+//! assert!(p.predict(pc)); // learned always-taken
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bimodal;
+mod counter;
+mod gshare;
+mod history;
+mod hybrid;
+mod indirect;
+mod local;
+mod ras;
+mod tage;
+mod traits;
+
+pub use bimodal::Bimodal;
+pub use counter::SatCounter;
+pub use gshare::Gshare;
+pub use history::{GlobalHistory, HistorySnapshot};
+pub use hybrid::Hybrid;
+pub use indirect::IndirectTargetCache;
+pub use ras::{RasSnapshot, ReturnAddressStack};
+pub use local::TwoLevelLocal;
+pub use tage::Tage;
+pub use traits::DirectionPredictor;

@@ -1,0 +1,208 @@
+use fdip_types::Addr;
+
+/// A fixed-capacity circular return address stack.
+///
+/// Calls push the return address; returns pop it. On overflow the oldest
+/// entry is silently overwritten (as in hardware). The front-end speculates
+/// through the RAS, so a full [`RasSnapshot`] can be captured per predicted
+/// branch and restored on misprediction — modeling a checkpointed RAS with
+/// perfect repair.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_bpred::ReturnAddressStack;
+/// use fdip_types::Addr;
+///
+/// let mut ras = ReturnAddressStack::new(8);
+/// ras.push(Addr::new(0x104));
+/// ras.push(Addr::new(0x208));
+/// assert_eq!(ras.pop(), Some(Addr::new(0x208)));
+/// assert_eq!(ras.pop(), Some(Addr::new(0x104)));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReturnAddressStack {
+    entries: Vec<Addr>,
+    /// Index one past the top of stack (modulo capacity).
+    top: usize,
+    /// Number of live entries (≤ capacity).
+    len: usize,
+}
+
+/// A complete checkpoint of the RAS, restored on misprediction recovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RasSnapshot {
+    entries: Vec<Addr>,
+    top: usize,
+    len: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates an empty RAS holding up to `capacity` return addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ras capacity must be positive");
+        ReturnAddressStack {
+            entries: vec![Addr::ZERO; capacity],
+            top: 0,
+            len: 0,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no return address is available.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pushes a return address, overwriting the oldest entry when full.
+    pub fn push(&mut self, return_addr: Addr) {
+        let cap = self.entries.len();
+        self.entries[self.top] = return_addr;
+        self.top = (self.top + 1) % cap;
+        self.len = (self.len + 1).min(cap);
+    }
+
+    /// Pops the most recent return address, or `None` when empty.
+    pub fn pop(&mut self) -> Option<Addr> {
+        if self.len == 0 {
+            return None;
+        }
+        let cap = self.entries.len();
+        self.top = (self.top + cap - 1) % cap;
+        self.len -= 1;
+        Some(self.entries[self.top])
+    }
+
+    /// Peeks at the most recent return address without popping.
+    pub fn peek(&self) -> Option<Addr> {
+        if self.len == 0 {
+            return None;
+        }
+        let cap = self.entries.len();
+        Some(self.entries[(self.top + cap - 1) % cap])
+    }
+
+    /// Captures the full stack state.
+    pub fn snapshot(&self) -> RasSnapshot {
+        RasSnapshot {
+            entries: self.entries.clone(),
+            top: self.top,
+            len: self.len,
+        }
+    }
+
+    /// Restores a previously captured state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a RAS of a different capacity.
+    pub fn restore(&mut self, snapshot: &RasSnapshot) {
+        assert_eq!(
+            snapshot.entries.len(),
+            self.entries.len(),
+            "snapshot capacity mismatch"
+        );
+        self.entries.copy_from_slice(&snapshot.entries);
+        self.top = snapshot.top;
+        self.len = snapshot.len;
+    }
+
+    /// Storage cost in bits, assuming `addr_bits`-bit addresses.
+    pub fn storage_bits(&self, addr_bits: u32) -> u64 {
+        self.entries.len() as u64 * addr_bits as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(4);
+        for i in 1..=3u64 {
+            ras.push(Addr::new(i * 0x10));
+        }
+        assert_eq!(ras.len(), 3);
+        assert_eq!(ras.pop(), Some(Addr::new(0x30)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x20)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x10)));
+        assert!(ras.is_empty());
+    }
+
+    #[test]
+    fn overflow_overwrites_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(Addr::new(0x10));
+        ras.push(Addr::new(0x20));
+        ras.push(Addr::new(0x30)); // evicts 0x10
+        assert_eq!(ras.len(), 2);
+        assert_eq!(ras.pop(), Some(Addr::new(0x30)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x20)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn wraparound_after_overflow_keeps_working() {
+        let mut ras = ReturnAddressStack::new(3);
+        for i in 1..=7u64 {
+            ras.push(Addr::new(i));
+        }
+        assert_eq!(ras.pop(), Some(Addr::new(7)));
+        ras.push(Addr::new(8));
+        assert_eq!(ras.pop(), Some(Addr::new(8)));
+        assert_eq!(ras.pop(), Some(Addr::new(6)));
+        assert_eq!(ras.pop(), Some(Addr::new(5)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn peek_does_not_pop() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(Addr::new(0x44));
+        assert_eq!(ras.peek(), Some(Addr::new(0x44)));
+        assert_eq!(ras.len(), 1);
+        assert_eq!(ras.pop(), Some(Addr::new(0x44)));
+        assert_eq!(ras.peek(), None);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(Addr::new(0x10));
+        ras.push(Addr::new(0x20));
+        let snap = ras.snapshot();
+        ras.pop();
+        ras.push(Addr::new(0x99));
+        ras.push(Addr::new(0xaa));
+        ras.restore(&snap);
+        assert_eq!(ras.pop(), Some(Addr::new(0x20)));
+        assert_eq!(ras.pop(), Some(Addr::new(0x10)));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let ras = ReturnAddressStack::new(16);
+        assert_eq!(ras.storage_bits(48), 16 * 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

@@ -1,0 +1,335 @@
+use fdip_types::Addr;
+
+use crate::{DirectionPredictor, GlobalHistory, HistorySnapshot, SatCounter};
+
+/// A compact TAGE-style predictor: a bimodal base table plus tagged
+/// components indexed with geometrically increasing history lengths.
+///
+/// This is the predictor family modern FDIP front-ends actually ship with;
+/// it is provided for the predictor ablation (`a4`) and as a library
+/// feature. The implementation follows the canonical TAGE update rules in
+/// simplified form: longest-match provides the prediction, the alternate
+/// is the next-longest match, useful bits protect providers that beat
+/// their alternate, and allocation on a misprediction claims a not-useful
+/// entry in a longer-history table.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_bpred::{DirectionPredictor, Tage};
+/// use fdip_types::Addr;
+///
+/// let mut p = Tage::new(12, 10, 4);
+/// let pc = Addr::new(0x100);
+/// for i in 0..200 {
+///     let taken = i % 4 != 3; // loop with 4 trips
+///     let predicted = p.predict(pc);
+///     p.spec_update(pc, predicted);
+///     p.commit(pc, taken);
+///     if predicted != taken {
+///         // (a real front-end would recover history here)
+///     }
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tage {
+    base: Vec<SatCounter>,
+    base_mask: u64,
+    tables: Vec<TaggedTable>,
+    spec_history: GlobalHistory,
+    commit_history: GlobalHistory,
+    /// Deterministic LFSR for allocation tie-breaking.
+    lfsr: u64,
+}
+
+#[derive(Clone, Debug)]
+struct TaggedTable {
+    entries: Vec<TageEntry>,
+    mask: u64,
+    history_bits: u32,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct TageEntry {
+    tag: u16,
+    counter: SatCounter,
+    useful: u8,
+}
+
+const TAG_BITS: u32 = 9;
+
+impl Tage {
+    /// Creates a TAGE with `2^log2_base` base counters, `2^log2_tagged`
+    /// entries per tagged table, and `tables` tagged components with
+    /// history lengths 4, 8, 16, … (doubling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size parameter is zero or unreasonably large.
+    pub fn new(log2_base: u32, log2_tagged: u32, tables: usize) -> Self {
+        assert!((1..=24).contains(&log2_base));
+        assert!((1..=24).contains(&log2_tagged));
+        assert!((1..=6).contains(&tables), "history lengths fit in 64 bits");
+        let base_entries = 1usize << log2_base;
+        let tagged_entries = 1usize << log2_tagged;
+        let tables = (0..tables)
+            .map(|i| TaggedTable {
+                entries: vec![
+                    TageEntry {
+                        tag: 0,
+                        counter: SatCounter::weakly_not_taken(3),
+                        useful: 0,
+                    };
+                    tagged_entries
+                ],
+                mask: tagged_entries as u64 - 1,
+                history_bits: 4 << i,
+            })
+            .collect();
+        Tage {
+            base: vec![SatCounter::weakly_not_taken(2); base_entries],
+            base_mask: base_entries as u64 - 1,
+            tables,
+            spec_history: GlobalHistory::new(),
+            commit_history: GlobalHistory::new(),
+            lfsr: 0xace1_ace1,
+        }
+    }
+
+    fn base_index(&self, pc: Addr) -> usize {
+        (pc.inst_index() & self.base_mask) as usize
+    }
+
+    /// Folds `bits` of history into `width`-bit chunks by XOR.
+    fn fold(history: u64, bits: u32, width: u32) -> u64 {
+        let mut h = if bits >= 64 {
+            history
+        } else {
+            history & ((1u64 << bits) - 1)
+        };
+        let mut folded = 0u64;
+        while h != 0 {
+            folded ^= h & ((1u64 << width) - 1);
+            h >>= width;
+        }
+        folded
+    }
+
+    fn index_and_tag(table: &TaggedTable, pc: Addr, history: &GlobalHistory) -> (usize, u16) {
+        let bits = table.history_bits.min(64);
+        let h = history.low_bits(bits);
+        let width = 64 - table.mask.leading_zeros();
+        let index =
+            ((pc.inst_index() ^ Self::fold(h, bits, width.max(1))) & table.mask) as usize;
+        let tag_fold = Self::fold(h ^ (pc.inst_index() << 3), bits.max(TAG_BITS), TAG_BITS);
+        let tag = ((pc.inst_index() ^ tag_fold) & ((1 << TAG_BITS) - 1)) as u16;
+        // Tag 0 means invalid; remap.
+        ((index), if tag == 0 { 1 } else { tag })
+    }
+
+    /// Longest-match provider and alternate predictions for `pc` at the
+    /// given history: `(provider_table, provider_pred, alt_pred)`.
+    fn lookup(&self, pc: Addr, history: &GlobalHistory) -> (Option<usize>, bool, bool) {
+        let base_pred = self.base[self.base_index(pc)].predicts_taken();
+        let mut provider = None;
+        let mut provider_pred = base_pred;
+        let mut alt_pred = base_pred;
+        for (i, table) in self.tables.iter().enumerate() {
+            let (index, tag) = Self::index_and_tag(table, pc, history);
+            if table.entries[index].tag == tag {
+                alt_pred = provider_pred;
+                provider = Some(i);
+                provider_pred = table.entries[index].counter.predicts_taken();
+            }
+        }
+        (provider, provider_pred, alt_pred)
+    }
+}
+
+impl DirectionPredictor for Tage {
+    fn predict(&self, pc: Addr) -> bool {
+        self.lookup(pc, &self.spec_history).1
+    }
+
+    fn spec_update(&mut self, _pc: Addr, taken: bool) {
+        self.spec_history.shift(taken);
+    }
+
+    fn commit(&mut self, pc: Addr, taken: bool) {
+        let history = self.commit_history;
+        let (provider, provider_pred, alt_pred) = self.lookup(pc, &history);
+        match provider {
+            Some(t) => {
+                let (index, _) = Self::index_and_tag(&self.tables[t], pc, &history);
+                let entry = &mut self.tables[t].entries[index];
+                entry.counter.update(taken);
+                if provider_pred != alt_pred {
+                    // Useful bit tracks whether the provider beats its alt.
+                    if provider_pred == taken {
+                        entry.useful = (entry.useful + 1).min(3);
+                    } else {
+                        entry.useful = entry.useful.saturating_sub(1);
+                    }
+                }
+            }
+            None => {
+                let index = self.base_index(pc);
+                self.base[index].update(taken);
+            }
+        }
+        // Allocate on misprediction: claim a not-useful entry in a table
+        // with longer history than the provider.
+        if provider_pred != taken {
+            let start = provider.map_or(0, |t| t + 1);
+            self.lfsr ^= self.lfsr << 13;
+            self.lfsr ^= self.lfsr >> 7;
+            self.lfsr ^= self.lfsr << 17;
+            let mut allocated = false;
+            for t in start..self.tables.len() {
+                let (index, tag) = Self::index_and_tag(&self.tables[t], pc, &history);
+                let entry = &mut self.tables[t].entries[index];
+                if entry.useful == 0 {
+                    entry.tag = tag;
+                    entry.counter = if taken {
+                        SatCounter::weakly_taken(3)
+                    } else {
+                        SatCounter::weakly_not_taken(3)
+                    };
+                    allocated = true;
+                    break;
+                }
+            }
+            if !allocated {
+                // Age useful bits so allocation succeeds eventually.
+                for t in start..self.tables.len() {
+                    let (index, _) = Self::index_and_tag(&self.tables[t], pc, &history);
+                    let entry = &mut self.tables[t].entries[index];
+                    entry.useful = entry.useful.saturating_sub(1);
+                }
+            }
+        }
+        self.commit_history.shift(taken);
+    }
+
+    fn snapshot(&self) -> HistorySnapshot {
+        self.spec_history.snapshot()
+    }
+
+    fn recover(&mut self, snapshot: HistorySnapshot, corrected: bool) {
+        self.spec_history.restore(snapshot);
+        self.spec_history.shift(corrected);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let base = self.base.len() as u64 * 2;
+        let tagged: u64 = self
+            .tables
+            .iter()
+            .map(|t| t.entries.len() as u64 * (TAG_BITS as u64 + 3 + 2))
+            .sum();
+        base + tagged
+    }
+
+    fn name(&self) -> &'static str {
+        "tage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Lockstep driver with proper history recovery on mispredicts.
+    fn accuracy(p: &mut Tage, seq: &[(Addr, bool)]) -> f64 {
+        let mut correct = 0;
+        for &(pc, taken) in seq {
+            let snap = p.snapshot();
+            let predicted = p.predict(pc);
+            p.spec_update(pc, predicted);
+            p.commit(pc, taken);
+            if predicted == taken {
+                correct += 1;
+            } else {
+                p.recover(snap, taken);
+            }
+        }
+        correct as f64 / seq.len() as f64
+    }
+
+    #[test]
+    fn learns_biased_branches() {
+        let mut p = Tage::new(12, 10, 4);
+        let seq: Vec<(Addr, bool)> = (0..2000).map(|_| (Addr::new(0x40), true)).collect();
+        assert!(accuracy(&mut p, &seq) > 0.99);
+    }
+
+    #[test]
+    fn learns_long_loop_exits_that_defeat_bimodal() {
+        // 12-trip loop: bimodal gets ~1/12 wrong; TAGE should learn the
+        // exit through history.
+        let mut p = Tage::new(12, 10, 4);
+        let seq: Vec<(Addr, bool)> = (0..6000).map(|i| (Addr::new(0x80), i % 12 != 11)).collect();
+        let tage_acc = accuracy(&mut p, &seq);
+        let mut bimodal = crate::Bimodal::new(12);
+        let mut correct = 0;
+        for &(pc, taken) in &seq {
+            if bimodal.predict(pc) == taken {
+                correct += 1;
+            }
+            bimodal.commit(pc, taken);
+        }
+        let bimodal_acc = correct as f64 / seq.len() as f64;
+        assert!(
+            tage_acc > bimodal_acc + 0.03,
+            "tage {tage_acc} vs bimodal {bimodal_acc}"
+        );
+        assert!(tage_acc > 0.97, "tage {tage_acc}");
+    }
+
+    #[test]
+    fn learns_alternating_pattern() {
+        let mut p = Tage::new(12, 10, 4);
+        let seq: Vec<(Addr, bool)> = (0..4000).map(|i| (Addr::new(0x100), i % 2 == 0)).collect();
+        let acc = accuracy(&mut p, &seq);
+        assert!(acc > 0.95, "{acc}");
+    }
+
+    #[test]
+    fn recovery_restores_history() {
+        let mut p = Tage::new(10, 8, 3);
+        let pc = Addr::new(0x40);
+        p.spec_update(pc, true);
+        let snap = p.snapshot();
+        p.spec_update(pc, false);
+        p.spec_update(pc, false);
+        p.recover(snap, true);
+        // After recovery, spec history equals commit path if commits
+        // mirror: shift true twice.
+        let mut expect = GlobalHistory::new();
+        expect.shift(true);
+        expect.shift(true);
+        assert_eq!(p.spec_history.low_bits(8), expect.low_bits(8));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = Tage::new(12, 10, 4);
+        let expect = (1u64 << 12) * 2 + 4 * (1u64 << 10) * (9 + 3 + 2);
+        assert_eq!(p.storage_bits(), expect);
+    }
+
+    #[test]
+    fn deterministic() {
+        let seq: Vec<(Addr, bool)> =
+            (0..500).map(|i| (Addr::from_inst_index(i % 37), i % 3 == 0)).collect();
+        let mut a = Tage::new(10, 8, 3);
+        let mut b = Tage::new(10, 8, 3);
+        assert_eq!(accuracy(&mut a, &seq), accuracy(&mut b, &seq));
+    }
+
+    #[test]
+    #[should_panic(expected = "history lengths")]
+    fn too_many_tables_rejected() {
+        let _ = Tage::new(10, 8, 7);
+    }
+}

@@ -1,0 +1,59 @@
+use fdip_types::Addr;
+
+use crate::HistorySnapshot;
+
+/// A conditional-branch direction predictor usable by a run-ahead front-end.
+///
+/// Implementations split their state into speculatively-maintained *history*
+/// and retire-trained *tables*; see the [crate docs](crate) for the
+/// protocol. The trait is object-safe: the front-end holds a
+/// `Box<dyn DirectionPredictor>` chosen by configuration.
+pub trait DirectionPredictor {
+    /// Predicts the direction of the conditional branch at `pc` using the
+    /// current (speculative) history.
+    fn predict(&self, pc: Addr) -> bool;
+
+    /// Shifts the *predicted* outcome into the speculative history.
+    /// Call immediately after [`predict`](Self::predict).
+    fn spec_update(&mut self, pc: Addr, taken: bool);
+
+    /// Trains the prediction tables with the architecturally-resolved
+    /// outcome. Called at retire, in program order.
+    fn commit(&mut self, pc: Addr, taken: bool);
+
+    /// Captures the speculative history, to be restored if a younger branch
+    /// turns out mispredicted.
+    fn snapshot(&self) -> HistorySnapshot;
+
+    /// Restores the speculative history captured by
+    /// [`snapshot`](Self::snapshot), then shifts in `corrected` — the actual
+    /// outcome of the branch that mispredicted.
+    fn recover(&mut self, snapshot: HistorySnapshot, corrected: bool);
+
+    /// Total table storage in bits (history registers excluded, as in
+    /// hardware budget accounting).
+    fn storage_bits(&self) -> u64;
+
+    /// Short stable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bimodal, Gshare, Hybrid};
+
+    #[test]
+    fn trait_is_object_safe() {
+        let predictors: Vec<Box<dyn DirectionPredictor>> = vec![
+            Box::new(Bimodal::new(10)),
+            Box::new(Gshare::new(10, 8)),
+            Box::new(Hybrid::new(10, 10, 8, 10)),
+        ];
+        for p in &predictors {
+            assert!(!p.name().is_empty());
+            assert!(p.storage_bits() > 0);
+            let _ = p.predict(Addr::new(0x40));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Generic set-associative storage with true-LRU replacement, shared by all
+//! BTB organizations in this crate.
+
+/// A set-associative array mapping `u64` keys to values `V`.
+///
+/// Keys are split into a set index and a tag by the caller (via the
+/// `index`/`tag` arguments), so different tag schemes (full, compressed)
+/// reuse the same replacement machinery. Each set keeps its ways ordered
+/// most-recently-used first; `get` promotes, `insert` evicts the LRU way.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_btb::SetAssoc;
+///
+/// let mut sa: SetAssoc<&'static str> = SetAssoc::new(2, 2);
+/// sa.insert(0, 10, "a");
+/// sa.insert(0, 11, "b");
+/// sa.insert(0, 12, "c"); // evicts "a" (LRU)
+/// assert!(sa.get(0, 10).is_none());
+/// assert_eq!(sa.get(0, 11), Some(&mut "b"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssoc<V> {
+    sets: Vec<Vec<(u64, V)>>,
+    ways: usize,
+}
+
+impl<V> SetAssoc<V> {
+    /// Creates storage with `num_sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` or `ways` is zero.
+    pub fn new(num_sets: usize, ways: usize) -> Self {
+        assert!(num_sets > 0, "need at least one set");
+        assert!(ways > 0, "need at least one way");
+        SetAssoc {
+            sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of currently valid entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no entry is valid.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up `(index, tag)`, promoting the entry to MRU on hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn get(&mut self, index: usize, tag: u64) -> Option<&mut V> {
+        let set = &mut self.sets[index];
+        let pos = set.iter().position(|(t, _)| *t == tag)?;
+        // Promote to MRU (front).
+        let entry = set.remove(pos);
+        set.insert(0, entry);
+        Some(&mut set[0].1)
+    }
+
+    /// Looks up without disturbing recency (a "probe").
+    pub fn peek(&self, index: usize, tag: u64) -> Option<&V> {
+        self.sets[index]
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, v)| v)
+    }
+
+    /// Inserts (or replaces) the value for `(index, tag)` as MRU, evicting
+    /// the LRU way if the set is full. Returns the evicted `(tag, value)`,
+    /// if any.
+    pub fn insert(&mut self, index: usize, tag: u64, value: V) -> Option<(u64, V)> {
+        let ways = self.ways;
+        let set = &mut self.sets[index];
+        if let Some(pos) = set.iter().position(|(t, _)| *t == tag) {
+            set.remove(pos);
+            set.insert(0, (tag, value));
+            return None;
+        }
+        let evicted = if set.len() == ways { set.pop() } else { None };
+        set.insert(0, (tag, value));
+        evicted
+    }
+
+    /// Removes the entry for `(index, tag)`, returning its value.
+    pub fn remove(&mut self, index: usize, tag: u64) -> Option<V> {
+        let set = &mut self.sets[index];
+        let pos = set.iter().position(|(t, _)| *t == tag)?;
+        Some(set.remove(pos).1)
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Iterates over `(set_index, tag, value)` of all valid entries, in
+    /// recency order within each set.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64, &V)> {
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(|(i, set)| set.iter().map(move |(t, v)| (i, *t, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(1, 3);
+        sa.insert(0, 1, 10);
+        sa.insert(0, 2, 20);
+        sa.insert(0, 3, 30);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(sa.get(0, 1), Some(&mut 10));
+        let evicted = sa.insert(0, 4, 40);
+        assert_eq!(evicted, Some((2, 20)));
+        assert!(sa.get(0, 2).is_none());
+        assert_eq!(sa.len(), 3);
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(1, 2);
+        sa.insert(0, 1, 10);
+        sa.insert(0, 2, 20);
+        assert_eq!(sa.peek(0, 1), Some(&10));
+        // 1 is still LRU, so inserting evicts it.
+        let evicted = sa.insert(0, 3, 30);
+        assert_eq!(evicted, Some((1, 10)));
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(1, 2);
+        sa.insert(0, 1, 10);
+        sa.insert(0, 2, 20);
+        assert!(sa.insert(0, 1, 11).is_none(), "no eviction on update");
+        assert_eq!(sa.get(0, 1), Some(&mut 11));
+        assert_eq!(sa.len(), 2);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(2, 1);
+        sa.insert(0, 1, 10);
+        sa.insert(1, 1, 99);
+        assert_eq!(sa.get(0, 1), Some(&mut 10));
+        assert_eq!(sa.get(1, 1), Some(&mut 99));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(2, 2);
+        sa.insert(0, 1, 10);
+        sa.insert(1, 2, 20);
+        assert_eq!(sa.remove(0, 1), Some(10));
+        assert_eq!(sa.remove(0, 1), None);
+        sa.clear();
+        assert!(sa.is_empty());
+    }
+
+    #[test]
+    fn never_exceeds_ways() {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(4, 2);
+        for k in 0..100u64 {
+            sa.insert((k % 4) as usize, k, k as u32);
+        }
+        assert_eq!(sa.len(), 8);
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(2, 2);
+        sa.insert(0, 1, 10);
+        sa.insert(1, 2, 20);
+        let mut seen: Vec<_> = sa.iter().map(|(i, t, v)| (i, t, *v)).collect();
+        seen.sort();
+        assert_eq!(seen, vec![(0, 1, 10), (1, 2, 20)]);
+    }
+}

@@ -1,0 +1,190 @@
+use fdip_types::{Addr, BranchClass};
+
+use crate::assoc::SetAssoc;
+use crate::config::{BtbConfig, TagScheme};
+use crate::tag::{compress16, index_and_full_tag};
+
+/// Maximum representable basic-block length: the size field is 5 bits.
+pub const MAX_BLOCK_LEN: u32 = 31;
+
+/// Payload of a basic-block BTB hit: a block of `len` instructions starting
+/// at the looked-up address, terminated by a branch of `class` targeting
+/// `target`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BlockEntry {
+    /// Instructions in the block, including the terminating branch (1..=31).
+    pub len: u32,
+    /// Class of the terminating branch.
+    pub class: BranchClass,
+    /// Target of the terminating branch.
+    pub target: Addr,
+}
+
+impl BlockEntry {
+    /// PC of the terminating branch for a block starting at `start`.
+    pub fn branch_pc(&self, start: Addr) -> Addr {
+        start.add_insts(self.len as u64 - 1)
+    }
+
+    /// Fall-through address for a block starting at `start`.
+    pub fn fall_through(&self, start: Addr) -> Addr {
+        start.add_insts(self.len as u64)
+    }
+}
+
+/// The basic-block-oriented BTB (FTB) used by the original 1999 FDIP design.
+///
+/// Keyed by basic-block *start* address rather than branch address. Each hit
+/// locates the next branch (via the stored block length) in a single lookup,
+/// at the cost of a 5-bit size field per entry — the storage overhead the
+/// FDIP-X extension eliminates.
+///
+/// Entry layout for storage accounting: `tag + type(2) + size(5) +
+/// target(46)` bits, matching the paper's Figure 2 / Table I.
+#[derive(Clone, Debug)]
+pub struct BasicBlockBtb {
+    config: BtbConfig,
+    storage: SetAssoc<BlockEntry>,
+}
+
+impl BasicBlockBtb {
+    /// Creates an empty basic-block BTB.
+    pub fn new(config: BtbConfig) -> Self {
+        BasicBlockBtb {
+            config,
+            storage: SetAssoc::new(config.sets, config.ways),
+        }
+    }
+
+    /// The geometry this BTB was built with.
+    pub fn config(&self) -> &BtbConfig {
+        &self.config
+    }
+
+    /// Number of currently valid entries.
+    pub fn len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Returns `true` if the BTB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty()
+    }
+
+    fn key(&self, start: Addr) -> (usize, u64) {
+        let (index, full) = index_and_full_tag(start, self.config.sets);
+        let tag = match self.config.tag_scheme {
+            TagScheme::Full => full,
+            TagScheme::Compressed16 => compress16(full),
+        };
+        (index, tag)
+    }
+
+    /// Looks up the basic block starting at `start`.
+    pub fn lookup(&mut self, start: Addr) -> Option<BlockEntry> {
+        let (index, tag) = self.key(start);
+        self.storage.get(index, tag).copied()
+    }
+
+    /// Installs the block starting at `start`: `len` instructions ending in
+    /// a `class` branch to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or exceeds [`MAX_BLOCK_LEN`].
+    pub fn install(&mut self, start: Addr, len: u32, class: BranchClass, target: Addr) {
+        assert!(
+            (1..=MAX_BLOCK_LEN).contains(&len),
+            "block length must fit the 5-bit size field"
+        );
+        let (index, tag) = self.key(start);
+        self.storage.insert(index, tag, BlockEntry { len, class, target });
+    }
+
+    /// Invalidates the block starting at `start`.
+    pub fn invalidate(&mut self, start: Addr) {
+        let (index, tag) = self.key(start);
+        self.storage.remove(index, tag);
+    }
+
+    /// Total storage in bits: `(tag + 2 + 5 + 46) × entries`.
+    pub fn storage_bits(&self) -> u64 {
+        let entry_bits = self.config.tag_bits() as u64 + 2 + 5 + 46;
+        self.config.entries() as u64 * entry_bits
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.config.entries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ftb() -> BasicBlockBtb {
+        BasicBlockBtb::new(BtbConfig::new(64, 4, TagScheme::Full))
+    }
+
+    #[test]
+    fn block_geometry_helpers() {
+        let e = BlockEntry {
+            len: 5,
+            class: BranchClass::CondDirect,
+            target: Addr::new(0x9000),
+        };
+        let start = Addr::new(0x1000);
+        assert_eq!(e.branch_pc(start), Addr::new(0x1010));
+        assert_eq!(e.fall_through(start), Addr::new(0x1014));
+    }
+
+    #[test]
+    fn install_lookup_roundtrip() {
+        let mut b = ftb();
+        let start = Addr::new(0x2000);
+        b.install(start, 7, BranchClass::Call, Addr::new(0x8000));
+        let e = b.lookup(start).unwrap();
+        assert_eq!(e.len, 7);
+        assert_eq!(e.class, BranchClass::Call);
+        assert_eq!(e.target, Addr::new(0x8000));
+    }
+
+    #[test]
+    fn lookup_misses_on_non_block_start() {
+        let mut b = ftb();
+        b.install(Addr::new(0x2000), 7, BranchClass::Call, Addr::new(0x8000));
+        // The FTB only hits on the exact block start, not interior pcs.
+        assert!(b.lookup(Addr::new(0x2004)).is_none());
+    }
+
+    #[test]
+    fn storage_matches_table_one() {
+        // Table I row 1: 1K entries, 128-set 8-way, 92-bit entries, 11.5KB.
+        let b = BasicBlockBtb::new(BtbConfig::new(128, 8, TagScheme::Full));
+        assert_eq!(b.storage_bits(), 92 * 1024);
+        assert_eq!(b.storage_bits() / 8, 11_776); // 11.5 KB
+    }
+
+    #[test]
+    #[should_panic(expected = "5-bit size field")]
+    fn oversized_block_rejected() {
+        let mut b = ftb();
+        b.install(Addr::new(0x2000), 32, BranchClass::Call, Addr::new(0x8000));
+    }
+
+    #[test]
+    #[should_panic(expected = "5-bit size field")]
+    fn zero_length_block_rejected() {
+        let mut b = ftb();
+        b.install(Addr::new(0x2000), 0, BranchClass::Call, Addr::new(0x8000));
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut b = ftb();
+        b.install(Addr::new(0x2000), 3, BranchClass::Return, Addr::new(0x10));
+        b.invalidate(Addr::new(0x2000));
+        assert!(b.lookup(Addr::new(0x2000)).is_none());
+    }
+}

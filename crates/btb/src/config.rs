@@ -1,0 +1,83 @@
+use crate::tag::{full_tag_bits, COMPRESSED_TAG_BITS};
+
+/// Tagging scheme for a BTB.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TagScheme {
+    /// Full tags: `46 - log2(sets)` bits; no aliasing.
+    Full,
+    /// FDIP-X 16-bit folded-XOR compressed tags; aliasing possible.
+    Compressed16,
+}
+
+impl TagScheme {
+    /// Stored tag width for a BTB with `num_sets` sets.
+    pub fn tag_bits(self, num_sets: usize) -> u32 {
+        match self {
+            TagScheme::Full => full_tag_bits(num_sets),
+            TagScheme::Compressed16 => COMPRESSED_TAG_BITS,
+        }
+    }
+}
+
+/// Geometry and tagging of a single BTB bank.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BtbConfig {
+    /// Number of sets (need not be a power of two; see [`crate::tag`]).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Tagging scheme.
+    pub tag_scheme: TagScheme,
+}
+
+impl BtbConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize, tag_scheme: TagScheme) -> Self {
+        assert!(sets > 0 && ways > 0, "btb geometry must be non-zero");
+        BtbConfig {
+            sets,
+            ways,
+            tag_scheme,
+        }
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Stored tag width.
+    pub fn tag_bits(&self) -> u32 {
+        self.tag_scheme.tag_bits(self.sets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_is_sets_times_ways() {
+        let c = BtbConfig::new(128, 8, TagScheme::Full);
+        assert_eq!(c.entries(), 1024);
+    }
+
+    #[test]
+    fn tag_bits_follow_scheme() {
+        assert_eq!(BtbConfig::new(128, 8, TagScheme::Full).tag_bits(), 39);
+        assert_eq!(
+            BtbConfig::new(128, 8, TagScheme::Compressed16).tag_bits(),
+            16
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_geometry_rejected() {
+        let _ = BtbConfig::new(0, 8, TagScheme::Full);
+    }
+}

@@ -1,0 +1,107 @@
+use std::collections::HashMap;
+
+use fdip_types::{Addr, BranchClass};
+
+use crate::traits::{Btb, BtbHit};
+
+/// An unbounded BTB: never evicts, never aliases.
+///
+/// Models the "infinite-entry BTB" upper-bound point of the budget sweeps.
+/// It still *learns* — a branch must be installed (taken once) before it
+/// hits — so cold misfetches remain, isolating capacity effects from
+/// compulsory ones. Indirect branches keep the last-taken-target policy of
+/// the finite designs.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_btb::{Btb, IdealBtb};
+/// use fdip_types::{Addr, BranchClass};
+///
+/// let mut btb = IdealBtb::new();
+/// btb.install(Addr::new(0x40), BranchClass::Call, Addr::new(0x9000));
+/// assert_eq!(btb.lookup(Addr::new(0x40)).unwrap().target, Addr::new(0x9000));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IdealBtb {
+    entries: HashMap<Addr, BtbHit>,
+}
+
+impl IdealBtb {
+    /// Creates an empty ideal BTB.
+    pub fn new() -> Self {
+        IdealBtb::default()
+    }
+
+    /// Number of branches learned so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has been learned yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Btb for IdealBtb {
+    fn lookup(&mut self, pc: Addr) -> Option<BtbHit> {
+        self.entries.get(&pc).copied()
+    }
+
+    fn install(&mut self, pc: Addr, class: BranchClass, target: Addr) {
+        self.entries.insert(pc, BtbHit { class, target });
+    }
+
+    fn invalidate(&mut self, pc: Addr) {
+        self.entries.remove(&pc);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Reported as if each learned branch cost a full conventional entry;
+        // budget sweeps treat this point as "infinite" regardless.
+        self.entries.len() as u64 * (46 + 2 + 46)
+    }
+
+    fn capacity(&self) -> usize {
+        usize::MAX
+    }
+
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_evicts() {
+        let mut b = IdealBtb::new();
+        for i in 0..100_000u64 {
+            let pc = Addr::from_inst_index(i);
+            b.install(pc, BranchClass::CondDirect, pc.add_insts(1));
+        }
+        assert_eq!(b.len(), 100_000);
+        assert!(b.lookup(Addr::from_inst_index(0)).is_some());
+        assert!(b.lookup(Addr::from_inst_index(99_999)).is_some());
+    }
+
+    #[test]
+    fn learns_before_hitting() {
+        let mut b = IdealBtb::new();
+        assert!(b.lookup(Addr::new(0x40)).is_none(), "cold miss");
+        b.install(Addr::new(0x40), BranchClass::Return, Addr::new(0x100));
+        assert!(b.lookup(Addr::new(0x40)).is_some());
+    }
+
+    #[test]
+    fn last_target_policy() {
+        let mut b = IdealBtb::new();
+        let pc = Addr::new(0x40);
+        b.install(pc, BranchClass::IndirectJump, Addr::new(0x1000));
+        b.install(pc, BranchClass::IndirectJump, Addr::new(0x2000));
+        assert_eq!(b.lookup(pc).unwrap().target, Addr::new(0x2000));
+    }
+}

@@ -1,0 +1,54 @@
+//! Branch target buffers for the FDIP reproduction.
+//!
+//! The BTB is the structure FDIP's effectiveness hinges on: the
+//! branch-prediction unit can only redirect the predicted fetch stream at
+//! branches the BTB *knows about*, so BTB reach (branches tracked per byte
+//! of storage) directly bounds prefetch coverage.
+//!
+//! Three organizations are provided:
+//!
+//! * [`ConventionalBtb`] — instruction-granular: hit means "this address is
+//!   a branch", payload is branch type and target.
+//! * [`BasicBlockBtb`] — the FTB-style organization used by the original
+//!   1999 design: keyed by basic-block start address, payload additionally
+//!   carries the block length, so one lookup finds the *next* branch.
+//! * [`PartitionedBtb`] — the FDIP-X extension: an ensemble of four
+//!   conventional BTBs storing 8/13/23/46-bit target offsets, with 16-bit
+//!   folded-XOR compressed tags.
+//!
+//! [`storage`] reproduces the storage-accounting tables of the FDIP-X study
+//! (Tables I and II), and [`tag`] implements full and compressed tags.
+//!
+//! # Examples
+//!
+//! ```
+//! use fdip_btb::{Btb, BtbConfig, ConventionalBtb, TagScheme};
+//! use fdip_types::{Addr, BranchClass};
+//!
+//! let mut btb = ConventionalBtb::new(BtbConfig::new(64, 4, TagScheme::Full));
+//! let pc = Addr::new(0x1000);
+//! assert!(btb.lookup(pc).is_none());
+//! btb.install(pc, BranchClass::UncondDirect, Addr::new(0x8000));
+//! assert_eq!(btb.lookup(pc).unwrap().target, Addr::new(0x8000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assoc;
+mod basic_block;
+mod config;
+mod conventional;
+mod ideal;
+mod partitioned;
+pub mod storage;
+pub mod tag;
+mod traits;
+
+pub use assoc::SetAssoc;
+pub use basic_block::{BasicBlockBtb, BlockEntry, MAX_BLOCK_LEN};
+pub use config::{BtbConfig, TagScheme};
+pub use conventional::ConventionalBtb;
+pub use ideal::IdealBtb;
+pub use partitioned::{PartitionConfig, PartitionedBtb};
+pub use traits::{Btb, BtbHit};

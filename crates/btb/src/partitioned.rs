@@ -1,0 +1,314 @@
+use fdip_types::{Addr, BranchClass, OffsetClass};
+
+use crate::assoc::SetAssoc;
+use crate::config::TagScheme;
+use crate::tag::{compress16, full_tag_bits, index_and_full_tag};
+use crate::traits::{Btb, BtbHit};
+
+/// Geometry of the FDIP-X partitioned BTB: one bank per offset class.
+///
+/// The canonical sizing rule (Table II of the FDIP-X study) gives the three
+/// narrow banks ¾ of the equivalent basic-block BTB's entry count each, and
+/// the 46-bit bank 7/64 of it — see
+/// [`PartitionConfig::from_bb_entries`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct PartitionConfig {
+    /// Entries in the 8-, 13-, 23-, and 46-bit-offset banks.
+    pub entries: [usize; 4],
+    /// Associativity of every bank.
+    pub ways: usize,
+    /// Tag scheme (FDIP-X proper uses 16-bit compressed tags; full tags are
+    /// the ablation of experiment X6).
+    pub tag_scheme: TagScheme,
+}
+
+impl PartitionConfig {
+    /// Creates a configuration with explicit per-bank entry counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bank is smaller than `ways` or `ways` is zero.
+    pub fn for_entries(e8: usize, e13: usize, e23: usize, e46: usize, ways: usize) -> Self {
+        let entries = [e8, e13, e23, e46];
+        assert!(ways > 0, "associativity must be non-zero");
+        for e in entries {
+            assert!(e >= ways, "bank must hold at least one set");
+        }
+        PartitionConfig {
+            entries,
+            ways,
+            tag_scheme: TagScheme::Compressed16,
+        }
+    }
+
+    /// The published FDIP-X sizing for a storage budget equivalent to a
+    /// basic-block BTB with `bb_entries` entries: the 8-, 13-, and 23-bit
+    /// banks get `¾ × bb_entries` entries each and the 46-bit bank gets
+    /// `7/64 × bb_entries`, at 6-way associativity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fdip_btb::PartitionConfig;
+    ///
+    /// let c = PartitionConfig::from_bb_entries(1024);
+    /// assert_eq!(c.entries, [768, 768, 768, 112]);
+    /// ```
+    pub fn from_bb_entries(bb_entries: usize) -> Self {
+        let main = bb_entries * 3 / 4;
+        let wide = bb_entries * 7 / 64;
+        PartitionConfig::for_entries(main, main, main, wide.max(6), 6)
+    }
+
+    /// Switches the tag scheme (for the tag-compression ablation).
+    pub fn with_tag_scheme(mut self, tag_scheme: TagScheme) -> Self {
+        self.tag_scheme = tag_scheme;
+        self
+    }
+
+    /// Total entries across all banks.
+    pub fn total_entries(&self) -> usize {
+        self.entries.iter().sum()
+    }
+}
+
+/// The FDIP-X partitioned BTB: four physically-separate banks that differ
+/// only in offset-field width, presenting one logical BTB.
+///
+/// Branches are installed in the narrowest bank whose offset field can
+/// encode their target offset; lookups query all banks in parallel (modeled
+/// as narrowest-first priority). Targets are reconstructed as
+/// `pc + offset`, so an entry costs `tag + type(2) + offset_width` bits —
+/// the storage saving over a conventional BTB's 46-bit target field.
+#[derive(Clone, Debug)]
+pub struct PartitionedBtb {
+    config: PartitionConfig,
+    banks: [Bank; 4],
+}
+
+#[derive(Clone, Debug)]
+struct Bank {
+    storage: SetAssoc<Entry>,
+    sets: usize,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Entry {
+    class: BranchClass,
+    /// Signed target offset in instructions.
+    offset: i64,
+}
+
+impl PartitionedBtb {
+    /// Creates an empty partitioned BTB.
+    pub fn new(config: PartitionConfig) -> Self {
+        let banks = config.entries.map(|entries| {
+            let sets = (entries / config.ways).max(1);
+            Bank {
+                storage: SetAssoc::new(sets, config.ways),
+                sets,
+            }
+        });
+        PartitionedBtb { config, banks }
+    }
+
+    /// The configuration this BTB was built with.
+    pub fn config(&self) -> &PartitionConfig {
+        &self.config
+    }
+
+    /// Number of valid entries in the bank for `class`.
+    pub fn bank_len(&self, class: OffsetClass) -> usize {
+        self.banks[bank_index(class)].storage.len()
+    }
+
+    fn key(&self, bank: usize, pc: Addr) -> (usize, u64) {
+        let (index, full) = index_and_full_tag(pc, self.banks[bank].sets);
+        let tag = match self.config.tag_scheme {
+            TagScheme::Full => full,
+            TagScheme::Compressed16 => compress16(full),
+        };
+        (index, tag)
+    }
+}
+
+fn bank_index(class: OffsetClass) -> usize {
+    match class {
+        OffsetClass::W8 => 0,
+        OffsetClass::W13 => 1,
+        OffsetClass::W23 => 2,
+        OffsetClass::W46 => 3,
+    }
+}
+
+impl Btb for PartitionedBtb {
+    fn lookup(&mut self, pc: Addr) -> Option<BtbHit> {
+        for bank in 0..4 {
+            let (index, tag) = self.key(bank, pc);
+            if let Some(entry) = self.banks[bank].storage.get(index, tag) {
+                let entry = *entry;
+                let raw = pc.raw() as i64 + entry.offset * 4;
+                debug_assert!(raw >= 0, "reconstructed target underflow");
+                return Some(BtbHit {
+                    class: entry.class,
+                    target: Addr::new(raw as u64),
+                });
+            }
+        }
+        None
+    }
+
+    fn install(&mut self, pc: Addr, class: BranchClass, target: Addr) {
+        let offset = pc.insts_to(target);
+        let offset_class = OffsetClass::for_offset(offset);
+        let bank = bank_index(offset_class);
+        let (index, tag) = self.key(bank, pc);
+        // A branch whose offset class changed (indirects) may leave a stale
+        // entry in another bank; narrowest-first lookup priority means the
+        // fresher, wider entry can be shadowed. Remove stale aliases first.
+        for other in 0..4 {
+            if other != bank {
+                let (i, t) = self.key(other, pc);
+                self.banks[other].storage.remove(i, t);
+            }
+        }
+        self.banks[bank]
+            .storage
+            .insert(index, tag, Entry { class, offset });
+    }
+
+    fn invalidate(&mut self, pc: Addr) {
+        for bank in 0..4 {
+            let (index, tag) = self.key(bank, pc);
+            self.banks[bank].storage.remove(index, tag);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        OffsetClass::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, class)| {
+                let tag_bits = match self.config.tag_scheme {
+                    TagScheme::Full => full_tag_bits(self.banks[i].sets),
+                    TagScheme::Compressed16 => 16,
+                } as u64;
+                self.config.entries[i] as u64 * (tag_bits + 2 + class.bits() as u64)
+            })
+            .sum()
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.total_entries()
+    }
+
+    fn name(&self) -> &'static str {
+        match self.config.tag_scheme {
+            TagScheme::Compressed16 => "fdipx",
+            TagScheme::Full => "fdipx-fulltag",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PartitionedBtb {
+        PartitionedBtb::new(PartitionConfig::for_entries(32, 32, 32, 8, 2))
+    }
+
+    #[test]
+    fn short_offset_routes_to_narrow_bank() {
+        let mut b = small();
+        let pc = Addr::new(0x1000);
+        b.install(pc, BranchClass::CondDirect, pc.add_insts(10));
+        assert_eq!(b.bank_len(OffsetClass::W8), 1);
+        assert_eq!(b.bank_len(OffsetClass::W46), 0);
+        assert_eq!(b.lookup(pc).unwrap().target, pc.add_insts(10));
+    }
+
+    #[test]
+    fn long_offset_routes_to_wide_bank() {
+        let mut b = small();
+        let pc = Addr::new(0x1000);
+        let target = Addr::new(0x1000 + (1u64 << 30));
+        b.install(pc, BranchClass::Call, target);
+        assert_eq!(b.bank_len(OffsetClass::W46), 1);
+        assert_eq!(b.lookup(pc).unwrap().target, target);
+    }
+
+    #[test]
+    fn backward_offsets_reconstruct_correctly() {
+        let mut b = small();
+        let pc = Addr::new(0x9000);
+        let target = Addr::new(0x8000); // backward 0x400 insts
+        b.install(pc, BranchClass::UncondDirect, target);
+        assert_eq!(b.lookup(pc).unwrap().target, target);
+    }
+
+    #[test]
+    fn reinstall_with_new_offset_class_replaces_stale_entry() {
+        let mut b = small();
+        let pc = Addr::new(0x1000);
+        b.install(pc, BranchClass::IndirectJump, pc.add_insts(5)); // W8
+        let far = Addr::new(0x1000 + (1 << 27));
+        b.install(pc, BranchClass::IndirectJump, far); // W46
+        assert_eq!(b.bank_len(OffsetClass::W8), 0, "stale entry removed");
+        assert_eq!(b.lookup(pc).unwrap().target, far);
+    }
+
+    #[test]
+    fn each_bank_has_independent_capacity() {
+        let mut b = PartitionedBtb::new(PartitionConfig::for_entries(2, 2, 2, 2, 1));
+        // Fill the W8 bank beyond capacity with conflicting short branches;
+        // the other banks stay untouched.
+        for i in 0..8u64 {
+            let pc = Addr::from_inst_index(i * 2);
+            b.install(pc, BranchClass::CondDirect, pc.add_insts(1));
+        }
+        assert!(b.bank_len(OffsetClass::W8) <= 2);
+        assert_eq!(b.bank_len(OffsetClass::W13), 0);
+    }
+
+    #[test]
+    fn table_two_sizing_rule() {
+        for (bb, expect) in [
+            (1024usize, [768, 768, 768, 112]),
+            (2048, [1536, 1536, 1536, 224]),
+            (8192, [6144, 6144, 6144, 896]),
+            (32768, [24576, 24576, 24576, 3584]),
+        ] {
+            assert_eq!(PartitionConfig::from_bb_entries(bb).entries, expect);
+        }
+    }
+
+    #[test]
+    fn storage_matches_table_two_row_one() {
+        // 11.5KB-budget row: 768×26 + 768×31 + 768×41 + 112×64 bits.
+        let b = PartitionedBtb::new(PartitionConfig::from_bb_entries(1024));
+        let expect = 768 * 26 + 768 * 31 + 768 * 41 + 112 * 64;
+        assert_eq!(b.storage_bits(), expect);
+        // ≈ 10.06 KB, as the paper's Table II reports.
+        let kb = b.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((kb - 10.06).abs() < 0.05, "got {kb} KB");
+    }
+
+    #[test]
+    fn full_tag_variant_costs_more() {
+        let c16 = PartitionedBtb::new(PartitionConfig::from_bb_entries(1024));
+        let full = PartitionedBtb::new(
+            PartitionConfig::from_bb_entries(1024).with_tag_scheme(TagScheme::Full),
+        );
+        assert!(full.storage_bits() > c16.storage_bits());
+    }
+
+    #[test]
+    fn invalidate_clears_all_banks() {
+        let mut b = small();
+        let pc = Addr::new(0x1000);
+        b.install(pc, BranchClass::Call, pc.add_insts(3));
+        b.invalidate(pc);
+        assert!(b.lookup(pc).is_none());
+    }
+}

@@ -1,0 +1,202 @@
+//! Storage-accounting tables: the arithmetic behind the FDIP-X study's
+//! Table I (basic-block BTB) and Table II (partitioned-BTB distribution),
+//! reproduced exactly so experiments X2/X3 can print them.
+
+use fdip_types::OffsetClass;
+
+use crate::partitioned::PartitionConfig;
+use crate::tag::full_tag_bits;
+
+/// One row of the basic-block BTB storage table (Table I).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct BbBtbRow {
+    /// Total entries.
+    pub entries: usize,
+    /// Number of sets (8-way).
+    pub sets: usize,
+    /// Associativity (always 8 in the published table).
+    pub ways: usize,
+    /// Bits per entry: `tag + type(2) + size(5) + target(46)`.
+    pub entry_bits: u32,
+    /// Total storage in bytes.
+    pub total_bytes: u64,
+}
+
+impl BbBtbRow {
+    /// Storage in kilobytes.
+    pub fn total_kb(&self) -> f64 {
+        self.total_bytes as f64 / 1024.0
+    }
+}
+
+/// Computes one Table I row for an 8-way basic-block BTB with `entries`
+/// entries.
+///
+/// # Panics
+///
+/// Panics if `entries` is not a multiple of 8.
+pub fn bb_btb_row(entries: usize) -> BbBtbRow {
+    assert!(entries % 8 == 0, "published table uses 8-way organizations");
+    let sets = entries / 8;
+    let entry_bits = full_tag_bits(sets) + 2 + 5 + 46;
+    BbBtbRow {
+        entries,
+        sets,
+        ways: 8,
+        entry_bits,
+        total_bytes: entries as u64 * entry_bits as u64 / 8,
+    }
+}
+
+/// The published Table I: 1K–32K-entry basic-block BTBs.
+pub fn bb_btb_table() -> Vec<BbBtbRow> {
+    [1024, 2048, 4096, 8192, 16384, 32768]
+        .into_iter()
+        .map(bb_btb_row)
+        .collect()
+}
+
+/// One bank row of the FDIP-X distribution table (Table II).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct FdipxRow {
+    /// Offset class of the bank.
+    pub bank: OffsetClass,
+    /// Bits per entry: `16 + 2 + offset width`.
+    pub entry_bits: u32,
+    /// Entries in this bank.
+    pub entries: usize,
+    /// Bank storage in bytes.
+    pub bytes: u64,
+}
+
+/// One budget row of Table II: the FDIP-X configuration matched to a
+/// basic-block BTB budget.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FdipxBudget {
+    /// The equivalent basic-block BTB entry count.
+    pub bb_entries: usize,
+    /// The basic-block BTB's storage (the budget), bytes.
+    pub budget_bytes: u64,
+    /// The four bank rows.
+    pub rows: [FdipxRow; 4],
+    /// The partition configuration realizing this row.
+    pub config: PartitionConfig,
+}
+
+impl FdipxBudget {
+    /// Total FDIP-X storage in bytes (≤ the budget).
+    pub fn total_bytes(&self) -> u64 {
+        self.rows.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Total FDIP-X entries across banks.
+    pub fn total_entries(&self) -> usize {
+        self.rows.iter().map(|r| r.entries).sum()
+    }
+
+    /// Entry-count advantage over the equal-budget basic-block BTB.
+    pub fn entry_ratio(&self) -> f64 {
+        self.total_entries() as f64 / self.bb_entries as f64
+    }
+}
+
+/// Computes one Table II budget row for the basic-block budget of
+/// `bb_entries` entries.
+pub fn fdipx_budget(bb_entries: usize) -> FdipxBudget {
+    let config = PartitionConfig::from_bb_entries(bb_entries);
+    let rows = core::array::from_fn(|i| {
+        let bank = OffsetClass::ALL[i];
+        let entry_bits = 16 + 2 + bank.bits();
+        let entries = config.entries[i];
+        FdipxRow {
+            bank,
+            entry_bits,
+            entries,
+            bytes: entries as u64 * entry_bits as u64 / 8,
+        }
+    });
+    FdipxBudget {
+        bb_entries,
+        budget_bytes: bb_btb_row(bb_entries).total_bytes,
+        rows,
+        config,
+    }
+}
+
+/// The published Table II: FDIP-X distributions for every Table I budget.
+pub fn fdipx_table() -> Vec<FdipxBudget> {
+    [1024, 2048, 4096, 8192, 16384, 32768]
+        .into_iter()
+        .map(fdipx_budget)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_matches_published_numbers() {
+        let table = bb_btb_table();
+        let expect = [
+            (1024, 128, 92, 11.5),
+            (2048, 256, 91, 22.75),
+            (4096, 512, 90, 45.0),
+            (8192, 1024, 89, 89.0),
+            (16384, 2048, 88, 176.0),
+            (32768, 4096, 87, 348.0),
+        ];
+        for (row, (entries, sets, bits, kb)) in table.iter().zip(expect) {
+            assert_eq!(row.entries, entries);
+            assert_eq!(row.sets, sets);
+            assert_eq!(row.ways, 8);
+            assert_eq!(row.entry_bits, bits, "entries {entries}");
+            assert!(
+                (row.total_kb() - kb).abs() < 0.01,
+                "entries {entries}: {} vs {kb}",
+                row.total_kb()
+            );
+        }
+    }
+
+    #[test]
+    fn table_two_matches_published_numbers() {
+        let b = fdipx_budget(1024);
+        assert_eq!(b.rows[0].entries, 768);
+        assert_eq!(b.rows[0].entry_bits, 26);
+        assert_eq!(b.rows[3].entries, 112);
+        assert_eq!(b.rows[3].entry_bits, 64);
+        // Published total: 10.06 KB for the 11.5 KB budget.
+        let kb = b.total_bytes() as f64 / 1024.0;
+        assert!((kb - 10.06).abs() < 0.05, "{kb}");
+        assert!(b.total_bytes() <= b.budget_bytes);
+    }
+
+    #[test]
+    fn fdipx_always_fits_within_budget() {
+        for b in fdipx_table() {
+            assert!(
+                b.total_bytes() <= b.budget_bytes,
+                "bb_entries {}: {} > {}",
+                b.bb_entries,
+                b.total_bytes(),
+                b.budget_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn entry_ratio_is_about_2_36() {
+        // The paper: "FDIP-X BTBs together provide about 2.36x entries".
+        for b in fdipx_table() {
+            let r = b.entry_ratio();
+            assert!((2.3..2.45).contains(&r), "ratio {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "8-way")]
+    fn non_multiple_of_eight_rejected() {
+        let _ = bb_btb_row(1001);
+    }
+}

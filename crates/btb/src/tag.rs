@@ -1,0 +1,119 @@
+//! BTB tag computation: full tags and the FDIP-X 16-bit folded-XOR
+//! compressed tag.
+//!
+//! Addresses are 48-bit virtual and word-aligned, so a branch PC carries 46
+//! significant bits. A BTB with `2^s` sets consumes `s` of them as the set
+//! index, leaving a `46 - s`-bit full tag. The FDIP-X compression keeps the
+//! low 8 tag bits verbatim and folds the remaining bits into the high 8 via
+//! XOR in 8-bit blocks — preserving most of the entropy of the high-order
+//! bits at a fraction of the storage.
+
+use fdip_types::Addr;
+
+/// Significant bits in a word-aligned 48-bit virtual instruction address.
+pub const ADDR_SIGNIFICANT_BITS: u32 = 46;
+
+/// Width of the FDIP-X compressed tag.
+pub const COMPRESSED_TAG_BITS: u32 = 16;
+
+/// Splits a branch PC into `(set_index, full_tag)` for a BTB with
+/// `num_sets` sets.
+///
+/// `num_sets` need not be a power of two (the FDIP-X entry counts aren't);
+/// indexing is modulo and the tag is the quotient, which preserves the
+/// invariant that `(index, tag)` uniquely identifies an address.
+pub fn index_and_full_tag(pc: Addr, num_sets: usize) -> (usize, u64) {
+    let key = pc.inst_index();
+    let index = (key % num_sets as u64) as usize;
+    let tag = key / num_sets as u64;
+    (index, tag)
+}
+
+/// Width in bits of the full tag for a BTB with `num_sets` sets.
+pub fn full_tag_bits(num_sets: usize) -> u32 {
+    ADDR_SIGNIFICANT_BITS.saturating_sub(63 - (num_sets as u64).leading_zeros())
+}
+
+/// Compresses a full tag to 16 bits: low 8 bits kept, the rest folded into
+/// the high 8 bits by XOR in 8-bit blocks.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_btb::tag::compress16;
+///
+/// // Low byte preserved, high bytes folded.
+/// assert_eq!(compress16(0x00_00_00_ab), 0x00ab);
+/// assert_eq!(compress16(0x00_00_cd_ab), 0xcdab);
+/// assert_eq!(compress16(0x00_ef_cd_ab), (0xcd ^ 0xef) << 8 | 0xab);
+/// ```
+pub fn compress16(full_tag: u64) -> u64 {
+    let low = full_tag & 0xff;
+    let mut rest = full_tag >> 8;
+    let mut folded = 0u64;
+    while rest != 0 {
+        folded ^= rest & 0xff;
+        rest >>= 8;
+    }
+    (folded << 8) | low
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_tag_uniquely_identify_address() {
+        for sets in [128usize, 100, 768, 1] {
+            for raw in [0u64, 0x1000, 0xdead_bee0, (1 << 47) - 4] {
+                let pc = Addr::new(raw & !3);
+                let (index, tag) = index_and_full_tag(pc, sets);
+                let reconstructed = tag * sets as u64 + index as u64;
+                assert_eq!(reconstructed, pc.inst_index());
+            }
+        }
+    }
+
+    #[test]
+    fn full_tag_bits_match_paper_arithmetic() {
+        // 128-set BTB with 48-bit VA, word aligned: 39-bit tag (the paper's
+        // baseline figure).
+        assert_eq!(full_tag_bits(128), 39);
+        assert_eq!(full_tag_bits(256), 38);
+        assert_eq!(full_tag_bits(1024), 36);
+        assert_eq!(full_tag_bits(4096), 34);
+    }
+
+    #[test]
+    fn compress_is_deterministic_and_bounded() {
+        for t in [0u64, 0xab, 0xffff, 0x1234_5678_9abc, u64::MAX >> 18] {
+            let c = compress16(t);
+            assert!(c < 1 << 16);
+            assert_eq!(c, compress16(t));
+        }
+    }
+
+    #[test]
+    fn compress_preserves_low_byte() {
+        for t in [0x00u64, 0x17, 0xfa_17, 0x1234_5617] {
+            assert_eq!(compress16(t) & 0xff, t & 0xff);
+        }
+    }
+
+    #[test]
+    fn compress_distinguishes_high_bits_that_fold_differently() {
+        // Same low 16 bits, different high bytes → different compressed tag
+        // unless they collide in the fold.
+        let a = compress16(0x01_0000);
+        let b = compress16(0x02_0000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fold_collisions_exist_by_construction() {
+        // XOR-fold collapses bytes that cancel: 0x0101 >> 8 = 1 folded with…
+        let a = compress16(0x01_01_00_00);
+        let b = compress16(0x00_00_00_00);
+        assert_eq!(a, b, "xor fold cancels identical bytes");
+    }
+}

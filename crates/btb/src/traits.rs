@@ -1,0 +1,69 @@
+use fdip_types::{Addr, BranchClass};
+
+/// Payload returned by an instruction-granular BTB hit.
+///
+/// With compressed tags a hit may be an *alias* — the entry was installed by
+/// a different branch — in which case `target` is wrong and the front-end
+/// will discover the misfetch when the branch resolves. The BTB itself
+/// cannot tell; that is the point of the tag-compression study.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BtbHit {
+    /// Branch type stored in the entry.
+    pub class: BranchClass,
+    /// Predicted target reconstructed from the entry.
+    pub target: Addr,
+}
+
+/// An instruction-granular branch target buffer.
+///
+/// Accessed with an instruction address; a hit means "this address is a
+/// (taken-at-least-once) branch" and supplies its type and last target.
+/// Implemented by [`ConventionalBtb`](crate::ConventionalBtb) and the
+/// FDIP-X [`PartitionedBtb`](crate::PartitionedBtb); the front-end holds a
+/// `Box<dyn Btb>` chosen by configuration.
+pub trait Btb {
+    /// Looks up `pc`, updating replacement state on hit.
+    fn lookup(&mut self, pc: Addr) -> Option<BtbHit>;
+
+    /// Installs (or updates) the entry for the branch at `pc`.
+    fn install(&mut self, pc: Addr, class: BranchClass, target: Addr);
+
+    /// Invalidates any entry for `pc` (used by ablations).
+    fn invalidate(&mut self, pc: Addr);
+
+    /// Total storage in bits, per the paper's entry-size accounting.
+    fn storage_bits(&self) -> u64;
+
+    /// Total entry capacity.
+    fn capacity(&self) -> usize;
+
+    /// Short stable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BtbConfig, ConventionalBtb, PartitionConfig, PartitionedBtb, TagScheme};
+
+    #[test]
+    fn trait_is_object_safe_over_all_organizations() {
+        let btbs: Vec<Box<dyn Btb>> = vec![
+            Box::new(ConventionalBtb::new(BtbConfig::new(16, 2, TagScheme::Full))),
+            Box::new(PartitionedBtb::new(PartitionConfig::for_entries(
+                16, 16, 16, 8, 2,
+            ))),
+        ];
+        for mut btb in btbs {
+            let pc = Addr::new(0x100);
+            assert!(btb.lookup(pc).is_none());
+            btb.install(pc, BranchClass::Call, Addr::new(0x200));
+            assert!(btb.lookup(pc).is_some());
+            btb.invalidate(pc);
+            assert!(btb.lookup(pc).is_none());
+            assert!(btb.storage_bits() > 0);
+            assert!(btb.capacity() > 0);
+            assert!(!btb.name().is_empty());
+        }
+    }
+}

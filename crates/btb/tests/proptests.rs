@@ -1,0 +1,138 @@
+//! Property-based tests: the set-associative core against a reference
+//! model, partitioned-BTB routing, and tag compression.
+
+use std::collections::HashMap;
+
+use fdip_btb::tag::compress16;
+use fdip_btb::{
+    Btb, BtbConfig, ConventionalBtb, PartitionConfig, PartitionedBtb, SetAssoc, TagScheme,
+};
+use fdip_types::{Addr, BranchClass, OffsetClass};
+use proptest::prelude::*;
+
+/// Reference model of a set-associative array: per-set map plus explicit
+/// recency list.
+#[derive(Default)]
+struct Model {
+    sets: HashMap<usize, Vec<(u64, u32)>>, // MRU first
+}
+
+impl Model {
+    fn get(&mut self, ways: usize, index: usize, tag: u64) -> Option<u32> {
+        let _ = ways;
+        let set = self.sets.entry(index).or_default();
+        let pos = set.iter().position(|(t, _)| *t == tag)?;
+        let e = set.remove(pos);
+        set.insert(0, e);
+        Some(set[0].1)
+    }
+
+    fn insert(&mut self, ways: usize, index: usize, tag: u64, value: u32) {
+        let set = self.sets.entry(index).or_default();
+        if let Some(pos) = set.iter().position(|(t, _)| *t == tag) {
+            set.remove(pos);
+        } else if set.len() == ways {
+            set.pop();
+        }
+        set.insert(0, (tag, value));
+    }
+}
+
+#[derive(Clone, Debug)]
+enum AssocOp {
+    Get { index: u8, tag: u8 },
+    Insert { index: u8, tag: u8, value: u32 },
+    Remove { index: u8, tag: u8 },
+}
+
+fn assoc_op() -> impl Strategy<Value = AssocOp> {
+    prop_oneof![
+        (0u8..4, 0u8..16).prop_map(|(index, tag)| AssocOp::Get { index, tag }),
+        (0u8..4, 0u8..16, any::<u32>())
+            .prop_map(|(index, tag, value)| AssocOp::Insert { index, tag, value }),
+        (0u8..4, 0u8..16).prop_map(|(index, tag)| AssocOp::Remove { index, tag }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn set_assoc_matches_reference_model(ops in prop::collection::vec(assoc_op(), 0..200)) {
+        let ways = 3;
+        let mut sa: SetAssoc<u32> = SetAssoc::new(4, ways);
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                AssocOp::Get { index, tag } => {
+                    let got = sa.get(index as usize, tag as u64).map(|v| *v);
+                    let want = model.get(ways, index as usize, tag as u64);
+                    prop_assert_eq!(got, want);
+                }
+                AssocOp::Insert { index, tag, value } => {
+                    sa.insert(index as usize, tag as u64, value);
+                    model.insert(ways, index as usize, tag as u64, value);
+                }
+                AssocOp::Remove { index, tag } => {
+                    let got = sa.remove(index as usize, tag as u64);
+                    let set = model.sets.entry(index as usize).or_default();
+                    let want = set
+                        .iter()
+                        .position(|(t, _)| *t == tag as u64)
+                        .map(|p| set.remove(p).1);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert!(sa.len() <= sa.capacity());
+        }
+    }
+
+    #[test]
+    fn conventional_btb_lookup_after_install_with_full_tags(
+        pcs in prop::collection::vec(0u64..1 << 30, 1..40),
+    ) {
+        let mut btb = ConventionalBtb::new(BtbConfig::new(1 << 10, 8, TagScheme::Full));
+        for &i in &pcs {
+            let pc = Addr::from_inst_index(i);
+            btb.install(pc, BranchClass::CondDirect, pc.add_insts(1));
+        }
+        // With 8K-entry capacity and ≤40 installs, nothing can be evicted
+        // unless >8 pcs share one of 1024 sets — possible but vanishingly
+        // rare for this input range; check the most recent install instead.
+        let last = Addr::from_inst_index(*pcs.last().unwrap());
+        let hit = btb.lookup(last).expect("most recent install must hit");
+        prop_assert_eq!(hit.target, last.add_insts(1));
+    }
+
+    #[test]
+    fn partitioned_routing_matches_offset_class(
+        pc_idx in 1u64..1 << 40,
+        offset in -(1i64 << 35)..(1i64 << 35),
+    ) {
+        let target_idx = pc_idx as i64 + offset;
+        prop_assume!(target_idx >= 0);
+        let pc = Addr::from_inst_index(pc_idx);
+        let target = Addr::from_inst_index(target_idx as u64);
+        let mut btb = PartitionedBtb::new(
+            PartitionConfig::for_entries(64, 64, 64, 64, 4).with_tag_scheme(TagScheme::Full),
+        );
+        btb.install(pc, BranchClass::UncondDirect, target);
+        let class = OffsetClass::for_offset(offset);
+        prop_assert_eq!(btb.bank_len(class), 1, "offset {} routed wrong", offset);
+        let hit = btb.lookup(pc).expect("hit");
+        prop_assert_eq!(hit.target, target, "target reconstruction");
+    }
+
+    #[test]
+    fn compress16_is_pure_and_16_bit(tag in any::<u64>()) {
+        let c = compress16(tag);
+        prop_assert!(c < 1 << 16);
+        prop_assert_eq!(c, compress16(tag));
+        prop_assert_eq!(c & 0xff, tag & 0xff);
+    }
+
+    #[test]
+    fn storage_bits_monotone_in_entries(log2 in 7usize..13) {
+        let small = PartitionedBtb::new(PartitionConfig::from_bb_entries(1 << log2));
+        let large = PartitionedBtb::new(PartitionConfig::from_bb_entries(1 << (log2 + 1)));
+        prop_assert!(large.storage_bits() > small.storage_bits());
+    }
+}

@@ -1,0 +1,196 @@
+//! Minimal, dependency-free `--flag value` argument parsing with typed
+//! accessors and unknown-flag detection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: positional arguments plus `--key value` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+/// Errors from argument parsing and validation.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A required option was absent.
+    Required(String),
+    /// A value failed to parse.
+    Invalid {
+        /// Offending flag.
+        flag: String,
+        /// Offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Flags that no command knows.
+    Unknown(Vec<String>),
+    /// Wrong number of positional arguments.
+    Positional(&'static str),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "--{flag} needs a value"),
+            ArgError::Required(flag) => write!(f, "--{flag} is required"),
+            ArgError::Invalid {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag} {value:?}: expected {expected}"),
+            ArgError::Unknown(flags) => write!(f, "unknown options: {}", flags.join(", ")),
+            ArgError::Positional(what) => write!(f, "{what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv` into positionals and `--key value` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::MissingValue`] for a trailing flag.
+    pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(flag.to_string()))?;
+                args.options.insert(flag.to_string(), value.clone());
+            } else {
+                args.positional.push(arg.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional arguments.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Exactly `n` positionals, or an error described by `what`.
+    pub fn expect_positional(&self, n: usize, what: &'static str) -> Result<&[String], ArgError> {
+        if self.positional.len() == n {
+            Ok(&self.positional)
+        } else {
+            Err(ArgError::Positional(what))
+        }
+    }
+
+    fn note(&self, flag: &str) {
+        self.consumed.borrow_mut().push(flag.to_string());
+    }
+
+    /// An optional string option.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.note(flag);
+        self.options.get(flag).map(String::as_str)
+    }
+
+    /// A required string option.
+    pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
+        self.get(flag)
+            .ok_or_else(|| ArgError::Required(flag.to_string()))
+    }
+
+    /// An optional parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::Invalid {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+                expected,
+            }),
+        }
+    }
+
+    /// Rejects options no accessor asked about (catches typos).
+    pub fn reject_unknown(&self) -> Result<(), ArgError> {
+        let consumed = self.consumed.borrow();
+        let unknown: Vec<String> = self
+            .options
+            .keys()
+            .filter(|k| !consumed.contains(k))
+            .map(|k| format!("--{k}"))
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(ArgError::Unknown(unknown))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn splits_positionals_and_options() {
+        let a = Args::parse(&argv("trace.fdt --seed 7 out.txt --len 100")).unwrap();
+        assert_eq!(a.positional(), ["trace.fdt", "out.txt"]);
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get_or("len", 0usize, "int").unwrap(), 100);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            Args::parse(&argv("--seed")).unwrap_err(),
+            ArgError::MissingValue("seed".to_string())
+        );
+    }
+
+    #[test]
+    fn required_and_default() {
+        let a = Args::parse(&argv("--x 1")).unwrap();
+        assert_eq!(a.require("x").unwrap(), "1");
+        assert!(matches!(a.require("y"), Err(ArgError::Required(_))));
+        assert_eq!(a.get_or("z", 42u32, "int").unwrap(), 42);
+    }
+
+    #[test]
+    fn invalid_parse_reports_expectation() {
+        let a = Args::parse(&argv("--n abc")).unwrap();
+        let err = a.get_or("n", 0usize, "a number").unwrap_err();
+        assert!(matches!(err, ArgError::Invalid { .. }));
+        assert!(err.to_string().contains("a number"));
+    }
+
+    #[test]
+    fn unknown_flags_are_caught() {
+        let a = Args::parse(&argv("--seed 1 --tpyo 2")).unwrap();
+        let _ = a.get("seed");
+        let err = a.reject_unknown().unwrap_err();
+        assert_eq!(err, ArgError::Unknown(vec!["--tpyo".to_string()]));
+    }
+
+    #[test]
+    fn positional_count_enforced() {
+        let a = Args::parse(&argv("one two")).unwrap();
+        assert!(a.expect_positional(2, "x").is_ok());
+        assert!(a.expect_positional(1, "need exactly one file").is_err());
+    }
+}

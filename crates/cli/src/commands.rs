@@ -1,0 +1,471 @@
+//! The `fdip` subcommands.
+
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use fdip::{BtbVariant, CpfMode, FrontendConfig, PredictorKind, PrefetcherKind, Simulator};
+use fdip_trace::gen::{GeneratorConfig, Profile};
+use fdip_trace::{read_binary, read_text, write_binary_compact, write_text, Trace, TraceStats};
+
+use crate::args::Args;
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "\
+usage: fdip <command> [options]
+
+commands:
+  gen      --profile client|server|microloop|jumpy [--seed N] [--len N]
+           --out FILE [--format binary|text]     generate a workload trace
+  stats    FILE                                  characterize a trace
+  run      FILE [--prefetcher none|nlp|stream|fdip|shotgun|pif] [--cpf none|enqueue|remove|both]
+           [--btb conventional:N|bb:N|fdipx:N|ideal] [--predictor bimodal|gshare|hybrid|local|tage|perfect]
+           [--ftq N] [--l1-kb N] [--l2-latency N] [--mem-latency N] [--warmup N]
+                                                 simulate a trace
+  compare  FILE                                  run every prefetcher on a trace
+  slice    IN OUT --start N --len N              cut a window out of a trace
+  convert  IN OUT                                convert between binary (.fdt) and text (.txt)
+  tables                                         print the BTB storage tables (Tables I & II)
+
+trace format is inferred from the file extension: `.txt` is text,
+anything else is the binary format.";
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Dispatches `argv` to a subcommand.
+///
+/// # Errors
+///
+/// Returns a human-readable error for unknown commands, bad flags, bad
+/// files, or malformed traces.
+pub fn dispatch(argv: &[String]) -> CliResult {
+    let Some((command, rest)) = argv.split_first() else {
+        return Err("no command given".into());
+    };
+    let args = Args::parse(rest)?;
+    match command.as_str() {
+        "gen" => cmd_gen(&args),
+        "stats" => cmd_stats(&args),
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "slice" => cmd_slice(&args),
+        "convert" => cmd_convert(&args),
+        "tables" => cmd_tables(&args),
+        other => Err(format!("unknown command {other:?}").into()),
+    }
+}
+
+fn parse_profile(raw: &str) -> Result<Profile, Box<dyn Error>> {
+    Profile::ALL
+        .into_iter()
+        .find(|p| p.name() == raw)
+        .ok_or_else(|| format!("unknown profile {raw:?} (client|server|microloop|jumpy)").into())
+}
+
+fn load_trace(path: &str) -> Result<Trace, Box<dyn Error>> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let reader = BufReader::new(file);
+    let trace = if Path::new(path).extension().is_some_and(|e| e == "txt") {
+        read_text(reader)?
+    } else {
+        read_binary(reader)?
+    };
+    trace.validate()?;
+    Ok(trace)
+}
+
+fn save_trace(path: &str, trace: &Trace, force_text: bool) -> Result<(), Box<dyn Error>> {
+    let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let writer = BufWriter::new(file);
+    if force_text || Path::new(path).extension().is_some_and(|e| e == "txt") {
+        write_text(writer, trace)?;
+    } else {
+        write_binary_compact(writer, trace)?;
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> CliResult {
+    let profile = parse_profile(args.require("profile")?)?;
+    let seed = args.get_or("seed", 0u64, "an integer seed")?;
+    let len = args.get_or("len", 1_000_000usize, "an instruction count")?;
+    let out = args.require("out")?.to_string();
+    let format = args.get("format").unwrap_or("binary").to_string();
+    args.expect_positional(0, "gen takes no positional arguments")?;
+    args.reject_unknown()?;
+
+    let trace = GeneratorConfig::profile(profile)
+        .seed(seed)
+        .target_len(len)
+        .generate();
+    save_trace(&out, &trace, format == "text")?;
+    let stats = TraceStats::measure(&trace);
+    println!(
+        "wrote {} ({} instructions, {:.0} KB footprint, {} static taken branches)",
+        out,
+        trace.len(),
+        stats.footprint_bytes as f64 / 1024.0,
+        stats.static_taken_branches,
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> CliResult {
+    let files = args.expect_positional(1, "stats takes exactly one trace file")?;
+    args.reject_unknown()?;
+    let trace = load_trace(&files[0])?;
+    let s = TraceStats::measure(&trace);
+    println!("trace:                {}", trace.name());
+    println!("instructions:         {}", s.len);
+    println!("instruction footprint: {:.1} KB ({} x 64B blocks)",
+        s.footprint_bytes as f64 / 1024.0, s.footprint_blocks_64b);
+    println!("static branches:      {} ({} taken at least once)",
+        s.static_branches, s.static_taken_branches);
+    println!("branches per KI:      {:.1}", s.branch_pki());
+    println!("cond taken ratio:     {:.3}", s.mix.cond_taken_ratio());
+    println!("dynamic branch mix:");
+    for class in fdip_types::BranchClass::ALL {
+        let count = s.mix.count(class);
+        if count > 0 {
+            println!("  {class:<6} {:>9}  ({:.1}%)", count,
+                count as f64 * 100.0 / s.mix.total() as f64);
+        }
+    }
+    println!("taken-branch offsets: <=8b {:.1}%  9-13b {:.1}%  14-23b {:.1}%  >23b {:.1}%",
+        s.offsets.cumulative_fraction(8) * 100.0,
+        (s.offsets.cumulative_fraction(13) - s.offsets.cumulative_fraction(8)) * 100.0,
+        (s.offsets.cumulative_fraction(23) - s.offsets.cumulative_fraction(13)) * 100.0,
+        (1.0 - s.offsets.cumulative_fraction(23)) * 100.0,
+    );
+    Ok(())
+}
+
+fn parse_btb(raw: &str) -> Result<BtbVariant, Box<dyn Error>> {
+    if raw == "ideal" {
+        return Ok(BtbVariant::Ideal);
+    }
+    let (kind, entries) = raw
+        .split_once(':')
+        .ok_or_else(|| format!("btb spec {raw:?} should be kind:entries or `ideal`"))?;
+    let entries: usize = entries
+        .parse()
+        .map_err(|_| format!("bad entry count in {raw:?}"))?;
+    match kind {
+        "conventional" => Ok(BtbVariant::conventional(entries)),
+        "bb" => Ok(BtbVariant::basic_block(entries)),
+        "fdipx" => Ok(BtbVariant::partitioned(entries)),
+        _ => Err(format!("unknown btb kind {kind:?} (conventional|bb|fdipx|ideal)").into()),
+    }
+}
+
+fn parse_cpf(raw: &str) -> Result<CpfMode, Box<dyn Error>> {
+    match raw {
+        "none" => Ok(CpfMode::None),
+        "enqueue" => Ok(CpfMode::Enqueue),
+        "remove" => Ok(CpfMode::Remove),
+        "both" => Ok(CpfMode::Both),
+        _ => Err(format!("unknown cpf mode {raw:?}").into()),
+    }
+}
+
+fn parse_predictor(raw: &str) -> Result<PredictorKind, Box<dyn Error>> {
+    match raw {
+        "bimodal" => Ok(PredictorKind::Bimodal { log2_entries: 15 }),
+        "gshare" => Ok(PredictorKind::Gshare {
+            log2_entries: 15,
+            history_bits: 12,
+        }),
+        "hybrid" => Ok(PredictorKind::Hybrid {
+            log2_entries: 15,
+            history_bits: 12,
+        }),
+        "local" => Ok(PredictorKind::TwoLevelLocal {
+            log2_branches: 13,
+            history_bits: 12,
+        }),
+        "tage" => Ok(PredictorKind::Tage {
+            log2_base: 14,
+            log2_tagged: 12,
+            tables: 5,
+        }),
+        "perfect" => Ok(PredictorKind::Perfect),
+        _ => Err(format!("unknown predictor {raw:?}").into()),
+    }
+}
+
+fn parse_prefetcher(raw: &str, cpf: CpfMode) -> Result<PrefetcherKind, Box<dyn Error>> {
+    match raw {
+        "none" => Ok(PrefetcherKind::None),
+        "nlp" => Ok(PrefetcherKind::NextLine),
+        "stream" => Ok(PrefetcherKind::StreamBuffers(Default::default())),
+        "fdip" => Ok(PrefetcherKind::fdip_with_cpf(cpf)),
+        "shotgun" => Ok(PrefetcherKind::shotgun()),
+        "pif" => Ok(PrefetcherKind::Pif(Default::default())),
+        _ => Err(format!("unknown prefetcher {raw:?}").into()),
+    }
+}
+
+fn config_from_args(args: &Args) -> Result<FrontendConfig, Box<dyn Error>> {
+    let cpf = parse_cpf(args.get("cpf").unwrap_or("none"))?;
+    let mut config = FrontendConfig::default();
+    config.prefetcher = parse_prefetcher(args.get("prefetcher").unwrap_or("none"), cpf)?;
+    if let Some(raw) = args.get("btb") {
+        config.btb = parse_btb(raw)?;
+    }
+    if let Some(raw) = args.get("predictor") {
+        config.predictor = parse_predictor(raw)?;
+    }
+    config.ftq_entries = args.get_or("ftq", config.ftq_entries, "a queue depth")?;
+    let l1_kb: u64 = args.get_or("l1-kb", 16, "a size in KB")?;
+    config.mem.l1 = fdip_mem::CacheGeometry::from_capacity(l1_kb * 1024, 2, 64);
+    config.mem.l2_latency = args.get_or("l2-latency", config.mem.l2_latency, "cycles")?;
+    config.mem.mem_latency = args.get_or("mem-latency", config.mem.mem_latency, "cycles")?;
+    Ok(config)
+}
+
+fn cmd_run(args: &Args) -> CliResult {
+    let files = args.expect_positional(1, "run takes exactly one trace file")?;
+    let config = config_from_args(args)?;
+    let warmup = args.get_or("warmup", 0u64, "an instruction count")?;
+    args.reject_unknown()?;
+    let trace = load_trace(&files[0])?;
+    let storage = Simulator::new(&config, &trace).storage_report();
+    let stats = if warmup > 0 {
+        Simulator::new(&config, &trace).run_with_warmup(warmup)
+    } else {
+        Simulator::run_trace(&config, &trace)
+    };
+    println!(
+        "front-end storage:  {:.2} KB (btb {:.2} + predictor {:.2} + ras {:.2} + pbuf {:.2})",
+        storage.total_kb(),
+        storage.btb_bits as f64 / 8192.0,
+        storage.predictor_bits as f64 / 8192.0,
+        storage.ras_bits as f64 / 8192.0,
+        storage.prefetch_buffer_bits as f64 / 8192.0,
+    );
+    println!("prefetcher:         {}", config.prefetcher.name());
+    println!("instructions:       {}", stats.instructions);
+    println!("cycles:             {}", stats.cycles);
+    println!("IPC:                {:.3}", stats.ipc());
+    println!("L1-I MPKI:          {:.2}", stats.l1i_mpki());
+    println!("exec redirects/KI:  {:.2}", stats.branches.mpki(stats.instructions));
+    println!("BTB hit ratio:      {:.3}", stats.branches.btb_hit_ratio());
+    println!("bus utilization:    {:.1}%", stats.bus_utilization() * 100.0);
+    if stats.mem.prefetches_issued > 0 {
+        println!(
+            "prefetches:         {} issued, {} useful ({:.1}%), {} late",
+            stats.mem.prefetches_issued,
+            stats.mem.useful_prefetches,
+            stats.mem.prefetch_accuracy() * 100.0,
+            stats.mem.late_prefetches,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> CliResult {
+    let files = args.expect_positional(1, "compare takes exactly one trace file")?;
+    args.reject_unknown()?;
+    let trace = load_trace(&files[0])?;
+    let base = Simulator::run_trace(&FrontendConfig::default(), &trace);
+    println!(
+        "baseline: IPC {:.3}, L1-I MPKI {:.2}\n",
+        base.ipc(),
+        base.l1i_mpki()
+    );
+    println!("{:<12} {:>8} {:>10} {:>10}", "prefetcher", "speedup", "coverage", "bus");
+    let kinds = [
+        ("nlp", PrefetcherKind::NextLine),
+        ("stream", PrefetcherKind::StreamBuffers(Default::default())),
+        ("fdip", PrefetcherKind::fdip()),
+        ("fdip+cpf", PrefetcherKind::fdip_with_cpf(CpfMode::Remove)),
+        ("pif", PrefetcherKind::Pif(Default::default())),
+    ];
+    for (name, kind) in kinds {
+        let stats =
+            Simulator::run_trace(&FrontendConfig::default().with_prefetcher(kind), &trace);
+        println!(
+            "{:<12} {:>7.3}x {:>9.1}% {:>9.1}%",
+            name,
+            stats.speedup_over(&base),
+            stats.miss_coverage_vs(&base) * 100.0,
+            stats.bus_utilization() * 100.0,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_slice(args: &Args) -> CliResult {
+    let files = args.expect_positional(2, "slice takes IN and OUT files")?;
+    let start = args.get_or("start", 0usize, "an instruction index")?;
+    let len = args.require("len")?.parse::<usize>().map_err(|_| "bad --len")?;
+    args.reject_unknown()?;
+    let trace = load_trace(&files[0])?;
+    if start > trace.len() {
+        return Err(format!("--start {start} past trace end ({})", trace.len()).into());
+    }
+    let window = trace.window(start, len);
+    save_trace(&files[1], &window, false)?;
+    println!("wrote {} ({} instructions)", files[1], window.len());
+    Ok(())
+}
+
+fn cmd_convert(args: &Args) -> CliResult {
+    let files = args.expect_positional(2, "convert takes IN and OUT files")?;
+    args.reject_unknown()?;
+    let trace = load_trace(&files[0])?;
+    save_trace(&files[1], &trace, false)?;
+    println!("wrote {} ({} instructions)", files[1], trace.len());
+    Ok(())
+}
+
+fn cmd_tables(args: &Args) -> CliResult {
+    args.expect_positional(0, "tables takes no arguments")?;
+    args.reject_unknown()?;
+    use fdip_sim::experiments::{x2_storage_bb, x3_storage_x};
+    use fdip_sim::Scale;
+    print!("{}", x2_storage_bb::run(Scale::quick()).to_text());
+    print!("{}", x3_storage_x::run(Scale::quick()).to_text());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(dispatch(&argv("frobnicate")).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn btb_specs_parse() {
+        assert!(matches!(parse_btb("ideal"), Ok(BtbVariant::Ideal)));
+        assert!(matches!(
+            parse_btb("conventional:2048"),
+            Ok(BtbVariant::Conventional(_))
+        ));
+        assert!(matches!(parse_btb("bb:1024"), Ok(BtbVariant::BasicBlock(_))));
+        assert!(matches!(
+            parse_btb("fdipx:1024"),
+            Ok(BtbVariant::Partitioned(_))
+        ));
+        assert!(parse_btb("bogus:1").is_err());
+        assert!(parse_btb("conventional").is_err());
+        assert!(parse_btb("conventional:x").is_err());
+    }
+
+    #[test]
+    fn prefetcher_and_cpf_parse() {
+        for raw in ["none", "nlp", "stream", "fdip", "shotgun", "pif"] {
+            assert!(parse_prefetcher(raw, CpfMode::None).is_ok(), "{raw}");
+        }
+        assert!(parse_prefetcher("bogus", CpfMode::None).is_err());
+        for raw in ["none", "enqueue", "remove", "both"] {
+            assert!(parse_cpf(raw).is_ok(), "{raw}");
+        }
+        assert!(parse_cpf("bogus").is_err());
+    }
+
+    #[test]
+    fn predictor_specs_parse() {
+        for raw in ["bimodal", "gshare", "hybrid", "local", "tage", "perfect"] {
+            assert!(parse_predictor(raw).is_ok(), "{raw}");
+        }
+        assert!(parse_predictor("oracle9000").is_err());
+    }
+
+    #[test]
+    fn config_from_args_applies_overrides() {
+        let args = Args::parse(&argv(
+            "--prefetcher fdip --cpf remove --btb fdipx:1024 --ftq 8 --l1-kb 32 --mem-latency 200",
+        ))
+        .unwrap();
+        let config = config_from_args(&args).unwrap();
+        assert_eq!(config.prefetcher.name(), "fdip+rcpf");
+        assert!(matches!(config.btb, BtbVariant::Partitioned(_)));
+        assert_eq!(config.ftq_entries, 8);
+        assert_eq!(config.mem.l1.capacity_bytes(), 32 * 1024);
+        assert_eq!(config.mem.mem_latency, 200);
+    }
+
+    #[test]
+    fn gen_stats_run_convert_roundtrip() {
+        let dir = std::env::temp_dir().join("fdip-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin = dir.join("t.fdt");
+        let txt = dir.join("t.txt");
+        let bin_s = bin.to_str().unwrap().to_string();
+        let txt_s = txt.to_str().unwrap().to_string();
+
+        dispatch(&[
+            "gen".into(),
+            "--profile".into(),
+            "microloop".into(),
+            "--seed".into(),
+            "3".into(),
+            "--len".into(),
+            "5000".into(),
+            "--out".into(),
+            bin_s.clone(),
+        ])
+        .unwrap();
+        dispatch(&["stats".into(), bin_s.clone()]).unwrap();
+        dispatch(&["convert".into(), bin_s.clone(), txt_s.clone()]).unwrap();
+        dispatch(&[
+            "run".into(),
+            txt_s.clone(),
+            "--prefetcher".into(),
+            "fdip".into(),
+        ])
+        .unwrap();
+        // Binary and text round-trips agree.
+        let a = load_trace(&bin_s).unwrap();
+        let b = load_trace(&txt_s).unwrap();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slice_extracts_a_window() {
+        let dir = std::env::temp_dir().join("fdip-cli-slice-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = dir.join("full.fdt");
+        let cut = dir.join("cut.fdt");
+        dispatch(&[
+            "gen".into(),
+            "--profile".into(),
+            "microloop".into(),
+            "--len".into(),
+            "4000".into(),
+            "--out".into(),
+            full.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        dispatch(&[
+            "slice".into(),
+            full.to_str().unwrap().into(),
+            cut.to_str().unwrap().into(),
+            "--start".into(),
+            "1000".into(),
+            "--len".into(),
+            "500".into(),
+        ])
+        .unwrap();
+        let window = load_trace(cut.to_str().unwrap()).unwrap();
+        assert_eq!(window.len(), 500);
+        window.validate().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tables_prints() {
+        dispatch(&["tables".into()]).unwrap();
+    }
+}

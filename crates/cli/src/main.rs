@@ -1,0 +1,28 @@
+//! `fdip` — the command-line front end of the reproduction.
+//!
+//! ```text
+//! fdip gen     --profile server --seed 1 --len 1000000 --out server.fdt
+//! fdip stats   server.fdt
+//! fdip run     server.fdt --prefetcher fdip --cpf remove --btb conventional:2048
+//! fdip compare server.fdt
+//! fdip convert server.fdt server.txt
+//! fdip tables
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! A retire-side proxy for the out-of-order core behind the front-end.
+//!
+//! The 1999 evaluation measures *front-end delivery*: the back-end is a
+//! fixed-width consumer. This module models it as a bounded buffer of
+//! fetched-but-unretired instructions drained `retire_width` per cycle —
+//! enough to convert delivery stalls into cycles (and therefore IPC and
+//! speedup) without simulating execution.
+
+/// The retire-side consumer.
+///
+/// # Examples
+///
+/// ```
+/// use fdip::backend::Backend;
+///
+/// let mut be = Backend::new(4, 16);
+/// be.deliver(10);
+/// assert_eq!(be.cycle(), 4);
+/// assert_eq!(be.cycle(), 4);
+/// assert_eq!(be.cycle(), 2);
+/// assert_eq!(be.retired(), 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Backend {
+    retire_width: u32,
+    capacity: usize,
+    buffered: usize,
+    retired: u64,
+}
+
+impl Backend {
+    /// Creates a back-end retiring `retire_width` instructions per cycle
+    /// from a buffer of `capacity` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(retire_width: u32, capacity: usize) -> Self {
+        assert!(retire_width > 0, "retire width must be non-zero");
+        assert!(capacity > 0, "buffer capacity must be non-zero");
+        Backend {
+            retire_width,
+            capacity,
+            buffered: 0,
+            retired: 0,
+        }
+    }
+
+    /// Free space in the buffer — the fetch engine's delivery budget.
+    pub fn room(&self) -> usize {
+        self.capacity - self.buffered
+    }
+
+    /// Instructions waiting to retire.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// Total instructions retired.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Accepts `n` freshly fetched instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`room`](Self::room) — the fetch engine must
+    /// respect its budget.
+    pub fn deliver(&mut self, n: u32) {
+        assert!(n as usize <= self.room(), "delivery exceeds buffer room");
+        self.buffered += n as usize;
+    }
+
+    /// Retires up to `retire_width` instructions; returns how many.
+    pub fn cycle(&mut self) -> u32 {
+        let n = (self.retire_width as usize).min(self.buffered) as u32;
+        self.buffered -= n as usize;
+        self.retired += u64::from(n);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retires_at_width() {
+        let mut be = Backend::new(2, 8);
+        be.deliver(5);
+        assert_eq!(be.cycle(), 2);
+        assert_eq!(be.cycle(), 2);
+        assert_eq!(be.cycle(), 1);
+        assert_eq!(be.cycle(), 0);
+        assert_eq!(be.retired(), 5);
+    }
+
+    #[test]
+    fn room_shrinks_and_recovers() {
+        let mut be = Backend::new(4, 8);
+        be.deliver(8);
+        assert_eq!(be.room(), 0);
+        be.cycle();
+        assert_eq!(be.room(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer room")]
+    fn overdelivery_rejected() {
+        let mut be = Backend::new(4, 4);
+        be.deliver(5);
+    }
+}

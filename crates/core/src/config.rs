@@ -1,0 +1,409 @@
+use fdip_btb::{BtbConfig, PartitionConfig, TagScheme};
+use fdip_mem::{HierarchyConfig, StreamBufferConfig};
+
+/// Which BTB organization the branch-prediction unit uses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BtbVariant {
+    /// Instruction-granular set-associative BTB.
+    Conventional(BtbConfig),
+    /// Basic-block-oriented BTB (FTB), as in the original 1999 design.
+    BasicBlock(BtbConfig),
+    /// FDIP-X partitioned multi-offset BTB (extension).
+    Partitioned(PartitionConfig),
+    /// Unbounded BTB — the "infinite entries" budget point.
+    Ideal,
+}
+
+impl BtbVariant {
+    /// A conventional BTB with `entries` entries, 8-way, full tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of 8.
+    pub fn conventional(entries: usize) -> Self {
+        assert!(entries % 8 == 0);
+        BtbVariant::Conventional(BtbConfig::new(entries / 8, 8, TagScheme::Full))
+    }
+
+    /// A basic-block BTB with `entries` entries, 8-way, full tags (the
+    /// published Table I organizations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of 8.
+    pub fn basic_block(entries: usize) -> Self {
+        assert!(entries % 8 == 0);
+        BtbVariant::BasicBlock(BtbConfig::new(entries / 8, 8, TagScheme::Full))
+    }
+
+    /// The FDIP-X ensemble sized for the same budget as an `entries`-entry
+    /// basic-block BTB (the published Table II sizing).
+    pub fn partitioned(bb_entries: usize) -> Self {
+        BtbVariant::Partitioned(PartitionConfig::from_bb_entries(bb_entries))
+    }
+}
+
+/// Which direction predictor the BPU uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// PC-indexed 2-bit counters.
+    Bimodal {
+        /// log2 of the table size.
+        log2_entries: u32,
+    },
+    /// Global-history-xor-PC indexed 2-bit counters.
+    Gshare {
+        /// log2 of the table size.
+        log2_entries: u32,
+        /// History length in bits.
+        history_bits: u32,
+    },
+    /// McFarling-style bimodal + gshare + chooser.
+    Hybrid {
+        /// log2 of each component table.
+        log2_entries: u32,
+        /// Gshare history length in bits.
+        history_bits: u32,
+    },
+    /// Two-level local-history predictor (Yeh & Patt PAg).
+    TwoLevelLocal {
+        /// log2 of the per-branch history table.
+        log2_branches: u32,
+        /// Local history length (pattern table has `2^history_bits`).
+        history_bits: u32,
+    },
+    /// TAGE-style tagged geometric-history predictor (the class modern
+    /// FDIP front-ends ship with).
+    Tage {
+        /// log2 of the bimodal base table.
+        log2_base: u32,
+        /// log2 of each tagged table.
+        log2_tagged: u32,
+        /// Number of tagged tables (history lengths 4, 8, 16, …).
+        tables: usize,
+    },
+    /// Oracle: every conditional predicted correctly (ablation).
+    Perfect,
+}
+
+/// Cache Probe Filtering mode of the FDIP prefetch engine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum CpfMode {
+    /// No probing: every candidate is enqueued and issued.
+    #[default]
+    None,
+    /// *Enqueue filtering*: a candidate enters the PIQ only after an idle
+    /// tag port confirms it misses. No port ⇒ the candidate waits.
+    Enqueue,
+    /// *Remove filtering*: candidates enqueue freely; at issue time an idle
+    /// port probe discards those that turn out cached. No port ⇒ issue
+    /// unprobed.
+    Remove,
+    /// Both: probe at enqueue when a port is free, and re-probe at issue.
+    Both,
+}
+
+/// Configuration of the FDIP prefetch engine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FdipConfig {
+    /// Prefetch instruction queue depth.
+    pub piq_entries: usize,
+    /// Cache-probe-filtering mode.
+    pub cpf: CpfMode,
+    /// Recently-issued-prefetch filter entries (FDIP-X throttling; 0 off).
+    pub recent_filter_entries: usize,
+    /// Only issue prefetches when the L1–L2 bus is idle.
+    pub require_idle_bus: bool,
+    /// Max prefetches issued per cycle.
+    pub max_issue_per_cycle: u32,
+    /// Max FTQ cache-block candidates scanned per cycle.
+    pub scan_blocks_per_cycle: u32,
+    /// Sequential lines prefetched past a redirect while the BPU stalls
+    /// (models the wrong-path/fall-through prefetching the real decoupled
+    /// front-end performs until a resteer materializes). 0 disables.
+    pub stall_path_lines: u32,
+}
+
+impl Default for FdipConfig {
+    fn default() -> Self {
+        FdipConfig {
+            piq_entries: 16,
+            cpf: CpfMode::None,
+            recent_filter_entries: 10,
+            require_idle_bus: true,
+            max_issue_per_cycle: 1,
+            scan_blocks_per_cycle: 2,
+            stall_path_lines: 8,
+        }
+    }
+}
+
+/// Configuration of the PIF-style temporal stream prefetcher (extension
+/// comparison baseline).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PifConfig {
+    /// Retire-order block history length (blocks).
+    pub history_blocks: usize,
+    /// Blocks replayed ahead of the stream pointer.
+    pub lookahead: usize,
+    /// Max prefetches issued per cycle.
+    pub max_issue_per_cycle: u32,
+}
+
+impl Default for PifConfig {
+    fn default() -> Self {
+        PifConfig {
+            history_blocks: 32 * 1024,
+            lookahead: 12,
+            max_issue_per_cycle: 2,
+        }
+    }
+}
+
+/// Configuration of the Shotgun-lite spatial-footprint extension.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ShotgunConfig {
+    /// Region-table entries (fully associative, LRU).
+    pub regions: usize,
+    /// Footprint width in cache lines per region (1..=64).
+    pub footprint_lines: u32,
+    /// Max footprint prefetches issued per cycle.
+    pub max_issue_per_cycle: u32,
+}
+
+impl Default for ShotgunConfig {
+    fn default() -> Self {
+        ShotgunConfig {
+            regions: 512,
+            footprint_lines: 8,
+            max_issue_per_cycle: 2,
+        }
+    }
+}
+
+/// Which prefetcher drives the L1-I.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum PrefetcherKind {
+    /// No prefetching (the baseline every gain is measured against).
+    #[default]
+    None,
+    /// Tagged next-line prefetching.
+    NextLine,
+    /// Jouppi-style sequential stream buffers.
+    StreamBuffers(StreamBufferConfig),
+    /// Fetch-directed instruction prefetching — the paper.
+    Fdip(FdipConfig),
+    /// FDIP plus Shotgun-style spatial footprints over call targets
+    /// (extension).
+    Shotgun(ShotgunConfig, FdipConfig),
+    /// PIF-style temporal streaming (extension).
+    Pif(PifConfig),
+}
+
+impl PrefetcherKind {
+    /// FDIP with its default engine configuration.
+    pub fn fdip() -> Self {
+        PrefetcherKind::Fdip(FdipConfig::default())
+    }
+
+    /// FDIP with a specific CPF mode.
+    pub fn fdip_with_cpf(cpf: CpfMode) -> Self {
+        PrefetcherKind::Fdip(FdipConfig {
+            cpf,
+            ..FdipConfig::default()
+        })
+    }
+
+    /// Shotgun-lite with default parameters over the default FDIP engine.
+    pub fn shotgun() -> Self {
+        PrefetcherKind::Shotgun(ShotgunConfig::default(), FdipConfig::default())
+    }
+
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "none",
+            PrefetcherKind::NextLine => "nlp",
+            PrefetcherKind::StreamBuffers(_) => "stream",
+            PrefetcherKind::Fdip(c) => match c.cpf {
+                CpfMode::None => "fdip",
+                CpfMode::Enqueue => "fdip+ecpf",
+                CpfMode::Remove => "fdip+rcpf",
+                CpfMode::Both => "fdip+cpf",
+            },
+            PrefetcherKind::Shotgun(..) => "shotgun",
+            PrefetcherKind::Pif(_) => "pif",
+        }
+    }
+}
+
+/// The complete machine model of the decoupled front-end.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontendConfig {
+    /// Instructions the fetch engine can deliver per cycle.
+    pub fetch_width: u32,
+    /// Instructions the back-end retires per cycle.
+    pub retire_width: u32,
+    /// Maximum instructions per fetch block (FTQ entry).
+    pub fetch_block_insts: u32,
+    /// FTQ depth in fetch blocks.
+    pub ftq_entries: usize,
+    /// Fetched-but-not-retired buffer capacity (fetch stalls when full).
+    pub instr_buffer: usize,
+    /// Front-end bubble for a decode-time redirect (BTB miss on a direct
+    /// branch, misfetched target).
+    pub decode_redirect_penalty: u64,
+    /// Front-end bubble for an execute-time redirect (direction or
+    /// indirect-target misprediction).
+    pub exec_redirect_penalty: u64,
+    /// BTB organization.
+    pub btb: BtbVariant,
+    /// Direction predictor.
+    pub predictor: PredictorKind,
+    /// Return address stack depth.
+    pub ras_entries: usize,
+    /// Memory hierarchy parameters.
+    pub mem: HierarchyConfig,
+    /// Prefetcher.
+    pub prefetcher: PrefetcherKind,
+    /// Boomerang-style extension: predecode every filled line and
+    /// pre-install its direct branches into the BTB. Instruction-granular
+    /// BTBs only (the FTB is keyed by block starts predecode cannot know).
+    pub predecode_btb_fill: bool,
+}
+
+impl Default for FrontendConfig {
+    /// The reproduction's baseline machine: 4-wide fetch/retire, 8-inst
+    /// fetch blocks, 32-entry FTQ, 2K-entry conventional BTB, hybrid
+    /// predictor, 32-entry RAS, default memory hierarchy, no prefetcher.
+    fn default() -> Self {
+        FrontendConfig {
+            fetch_width: 4,
+            retire_width: 4,
+            fetch_block_insts: 8,
+            ftq_entries: 32,
+            instr_buffer: 64,
+            decode_redirect_penalty: 3,
+            exec_redirect_penalty: 12,
+            btb: BtbVariant::conventional(2048),
+            predictor: PredictorKind::Hybrid {
+                log2_entries: 15,
+                history_bits: 12,
+            },
+            ras_entries: 32,
+            mem: HierarchyConfig::default(),
+            prefetcher: PrefetcherKind::None,
+            predecode_btb_fill: false,
+        }
+    }
+}
+
+impl FrontendConfig {
+    /// Returns the config with a different prefetcher.
+    pub fn with_prefetcher(mut self, prefetcher: PrefetcherKind) -> Self {
+        self.prefetcher = prefetcher;
+        self
+    }
+
+    /// Returns the config with a different BTB.
+    pub fn with_btb(mut self, btb: BtbVariant) -> Self {
+        self.btb = btb;
+        self
+    }
+
+    /// Returns the config with a different direction predictor.
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// Returns the config with Boomerang-style predecode BTB fill toggled.
+    pub fn with_predecode_btb_fill(mut self, on: bool) -> Self {
+        self.predecode_btb_fill = on;
+        self
+    }
+
+    /// Returns the config with a different FTQ depth.
+    pub fn with_ftq_entries(mut self, ftq_entries: usize) -> Self {
+        self.ftq_entries = ftq_entries;
+        self
+    }
+
+    /// Returns the config with different memory parameters.
+    pub fn with_mem(mut self, mem: HierarchyConfig) -> Self {
+        self.mem = mem;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical combinations (zero widths, empty FTQ, fetch
+    /// blocks smaller than one instruction).
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0, "fetch width must be non-zero");
+        assert!(self.retire_width > 0, "retire width must be non-zero");
+        assert!(self.fetch_block_insts > 0, "fetch blocks hold >= 1 inst");
+        assert!(self.ftq_entries > 0, "ftq must have at least one entry");
+        assert!(self.instr_buffer >= self.fetch_width as usize);
+        assert!(self.ras_entries > 0, "ras must have at least one entry");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        FrontendConfig::default().validate();
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = FrontendConfig::default()
+            .with_prefetcher(PrefetcherKind::fdip())
+            .with_btb(BtbVariant::Ideal)
+            .with_ftq_entries(8);
+        assert_eq!(c.prefetcher.name(), "fdip");
+        assert_eq!(c.btb, BtbVariant::Ideal);
+        assert_eq!(c.ftq_entries, 8);
+    }
+
+    #[test]
+    fn prefetcher_names() {
+        assert_eq!(PrefetcherKind::None.name(), "none");
+        assert_eq!(PrefetcherKind::fdip_with_cpf(CpfMode::Remove).name(), "fdip+rcpf");
+        assert_eq!(PrefetcherKind::fdip_with_cpf(CpfMode::Enqueue).name(), "fdip+ecpf");
+        assert_eq!(
+            PrefetcherKind::StreamBuffers(StreamBufferConfig::default()).name(),
+            "stream"
+        );
+    }
+
+    #[test]
+    fn btb_variant_helpers() {
+        match BtbVariant::conventional(2048) {
+            BtbVariant::Conventional(c) => {
+                assert_eq!(c.entries(), 2048);
+                assert_eq!(c.ways, 8);
+            }
+            _ => unreachable!(),
+        }
+        match BtbVariant::partitioned(1024) {
+            BtbVariant::Partitioned(p) => assert_eq!(p.entries[0], 768),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ftq must have")]
+    fn zero_ftq_rejected() {
+        FrontendConfig {
+            ftq_entries: 0,
+            ..FrontendConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,267 @@
+//! The fetch engine: consumes the FTQ head, demand-accesses the L1-I, and
+//! delivers instructions to the back-end buffer.
+
+use fdip_mem::MemoryHierarchy;
+use fdip_types::{Addr, BlockEnd, Cycle};
+
+use crate::ftq::{Ftq, FtqEntry};
+use crate::prefetch::{AccessResult, DemandSide};
+
+/// Per-cycle result of the fetch engine.
+#[derive(Clone, Debug, Default)]
+pub struct FetchCycle {
+    /// Instructions delivered to the back-end this cycle.
+    pub delivered: u32,
+    /// FTQ entries fully delivered this cycle (redirect penalties start
+    /// when their block finishes).
+    pub finished: Vec<FtqEntry>,
+    /// The engine is waiting on an L1-I fill.
+    pub waiting_on_icache: bool,
+}
+
+/// The fetch engine.
+///
+/// Each cycle it delivers up to `fetch_width` instructions from the FTQ
+/// head: cache lines are validated through demand accesses (one tag port
+/// each), misses stall the engine until the fill arrives, and delivery
+/// stops at taken-branch block boundaries (one taken branch per cycle).
+#[derive(Clone, Debug)]
+pub struct FetchEngine {
+    fetch_width: u32,
+    block_bytes: u64,
+    /// Instructions already delivered from the current head block.
+    offset: u32,
+    /// Cycle an outstanding L1-I fill arrives.
+    wait_until: Option<Cycle>,
+    /// Cache line validated present for the current fetch position.
+    validated_line: Option<Addr>,
+}
+
+impl FetchEngine {
+    /// Creates a fetch engine delivering `fetch_width` instructions per
+    /// cycle over `block_bytes` cache lines.
+    pub fn new(fetch_width: u32, block_bytes: u64) -> Self {
+        assert!(fetch_width > 0);
+        FetchEngine {
+            fetch_width,
+            block_bytes,
+            offset: 0,
+            wait_until: None,
+            validated_line: None,
+        }
+    }
+
+    /// Runs one cycle. `room` bounds delivery (back-end buffer space).
+    pub fn cycle(
+        &mut self,
+        now: Cycle,
+        ftq: &mut Ftq,
+        mem: &mut MemoryHierarchy,
+        demand: &mut DemandSide,
+        room: usize,
+    ) -> FetchCycle {
+        let mut out = FetchCycle::default();
+        if let Some(wait) = self.wait_until {
+            if wait.is_after(now) {
+                out.waiting_on_icache = true;
+                return out;
+            }
+            self.wait_until = None;
+        }
+        let mut budget = self.fetch_width.min(room as u32);
+        while budget > 0 {
+            let Some(head) = ftq.head() else { break };
+            let block = head.block;
+            let addr = block.start.add_insts(self.offset as u64);
+            let line = addr.block_base(self.block_bytes);
+            if self.validated_line != Some(line) {
+                // One L1-I access per line, through a tag port.
+                if !mem.ports_mut().try_use() {
+                    break;
+                }
+                match demand.access(now, addr, mem) {
+                    AccessResult::Ready => {
+                        self.validated_line = Some(line);
+                    }
+                    AccessResult::Wait(ready_at) => {
+                        self.wait_until = Some(ready_at);
+                        out.waiting_on_icache = true;
+                        break;
+                    }
+                    AccessResult::Retry => break,
+                }
+            }
+            // Deliver the run of instructions inside this line and block.
+            let block_left = block.len - self.offset;
+            let line_left = ((line + self.block_bytes) - addr) as u64 / 4;
+            let n = budget.min(block_left).min(line_left as u32);
+            debug_assert!(n > 0);
+            self.offset += n;
+            budget -= n;
+            out.delivered += n;
+            if self.offset == block.len {
+                let entry = ftq.pop().expect("head observed above");
+                self.offset = 0;
+                let taken_boundary = matches!(
+                    entry.block.end,
+                    BlockEnd::TakenBranch { .. } | BlockEnd::TraceEnd
+                );
+                out.finished.push(entry);
+                if taken_boundary {
+                    // One control transfer per fetch cycle.
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FrontendConfig;
+    use crate::ftq::Redirect;
+    use fdip_mem::MemoryHierarchy;
+    use fdip_types::FetchBlock;
+
+    fn setup() -> (Ftq, MemoryHierarchy, DemandSide, FetchEngine) {
+        let config = FrontendConfig::default();
+        let mem = MemoryHierarchy::new(config.mem);
+        let ftq = Ftq::new(8);
+        let fe = FetchEngine::new(config.fetch_width, config.mem.l1.block_bytes);
+        (ftq, mem, DemandSide::None, fe)
+    }
+
+    fn run_until_delivered(
+        ftq: &mut Ftq,
+        mem: &mut MemoryHierarchy,
+        demand: &mut DemandSide,
+        fe: &mut FetchEngine,
+        want: u32,
+        max_cycles: u64,
+    ) -> (u32, u64, Vec<FtqEntry>) {
+        let mut delivered = 0;
+        let mut finished = Vec::new();
+        for c in 0..max_cycles {
+            let now = Cycle::new(c);
+            mem.begin_cycle(now);
+            let out = fe.cycle(now, ftq, mem, demand, 64);
+            delivered += out.delivered;
+            finished.extend(out.finished);
+            if delivered >= want {
+                return (delivered, c + 1, finished);
+            }
+        }
+        (delivered, max_cycles, finished)
+    }
+
+    #[test]
+    fn delivers_block_after_miss_latency() {
+        let (mut ftq, mut mem, mut demand, mut fe) = setup();
+        ftq.push(
+            FetchBlock::new(Addr::new(0x1000), 8, BlockEnd::SizeLimit),
+            0,
+            None,
+        );
+        let (delivered, cycles, finished) =
+            run_until_delivered(&mut ftq, &mut mem, &mut demand, &mut fe, 8, 10_000);
+        assert_eq!(delivered, 8);
+        assert_eq!(finished.len(), 1);
+        // Cold miss: ~132 cycles of fill + 2 cycles of delivery.
+        assert!(cycles >= 132, "cycles {cycles}");
+        assert!(cycles <= 140, "cycles {cycles}");
+    }
+
+    #[test]
+    fn sequential_blocks_flow_at_fetch_width_once_warm() {
+        let (mut ftq, mut mem, mut demand, mut fe) = setup();
+        // Warm the line.
+        ftq.push(
+            FetchBlock::new(Addr::new(0x1000), 8, BlockEnd::SizeLimit),
+            0,
+            None,
+        );
+        run_until_delivered(&mut ftq, &mut mem, &mut demand, &mut fe, 8, 10_000);
+        // Same line again: full speed, 2 cycles for 8 instructions.
+        ftq.push(
+            FetchBlock::new(Addr::new(0x1000), 8, BlockEnd::SizeLimit),
+            0,
+            None,
+        );
+        let (delivered, cycles, _) =
+            run_until_delivered(&mut ftq, &mut mem, &mut demand, &mut fe, 8, 100);
+        assert_eq!(delivered, 8);
+        assert_eq!(cycles, 2);
+    }
+
+    #[test]
+    fn taken_branch_ends_the_fetch_cycle() {
+        let (mut ftq, mut mem, mut demand, mut fe) = setup();
+        // Two tiny blocks, both in warm lines.
+        ftq.push(
+            FetchBlock::new(Addr::new(0x1000), 8, BlockEnd::SizeLimit),
+            0,
+            None,
+        );
+        run_until_delivered(&mut ftq, &mut mem, &mut demand, &mut fe, 8, 10_000);
+        ftq.push(
+            FetchBlock::new(
+                Addr::new(0x1000),
+                2,
+                BlockEnd::TakenBranch {
+                    class: fdip_types::BranchClass::UncondDirect,
+                    target: Addr::new(0x1008),
+                },
+            ),
+            0,
+            None,
+        );
+        ftq.push(
+            FetchBlock::new(Addr::new(0x1008), 2, BlockEnd::SizeLimit),
+            2,
+            None,
+        );
+        let now = Cycle::new(10_000);
+        mem.begin_cycle(now);
+        let out = fe.cycle(now, &mut ftq, &mut mem, &mut demand, 64);
+        // Width is 4 but the taken-branch boundary cuts the cycle at 2.
+        assert_eq!(out.delivered, 2);
+        assert_eq!(out.finished.len(), 1);
+    }
+
+    #[test]
+    fn redirect_entries_surface_in_finished() {
+        let (mut ftq, mut mem, mut demand, mut fe) = setup();
+        ftq.push(
+            FetchBlock::new(Addr::new(0x2000), 2, BlockEnd::NotTakenBranch),
+            0,
+            Some(Redirect::Execute),
+        );
+        let (_, _, finished) =
+            run_until_delivered(&mut ftq, &mut mem, &mut demand, &mut fe, 2, 10_000);
+        assert_eq!(finished.len(), 1);
+        assert_eq!(finished[0].redirect, Some(Redirect::Execute));
+    }
+
+    #[test]
+    fn respects_backend_room() {
+        let (mut ftq, mut mem, mut demand, mut fe) = setup();
+        ftq.push(
+            FetchBlock::new(Addr::new(0x1000), 8, BlockEnd::SizeLimit),
+            0,
+            None,
+        );
+        // Warm up.
+        run_until_delivered(&mut ftq, &mut mem, &mut demand, &mut fe, 8, 10_000);
+        ftq.push(
+            FetchBlock::new(Addr::new(0x1000), 8, BlockEnd::SizeLimit),
+            0,
+            None,
+        );
+        let now = Cycle::new(20_000);
+        mem.begin_cycle(now);
+        let out = fe.cycle(now, &mut ftq, &mut mem, &mut demand, 3);
+        assert_eq!(out.delivered, 3, "room-limited");
+    }
+}

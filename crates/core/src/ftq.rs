@@ -1,0 +1,185 @@
+//! The fetch target queue — the decoupling structure at the heart of FDIP.
+
+use std::collections::VecDeque;
+
+use fdip_types::FetchBlock;
+
+/// Why the front-end must resteer after this block, and when the resteer
+/// materializes.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Redirect {
+    /// Caught at decode (BTB miss on a direct branch, wrong stored target):
+    /// short bubble.
+    Decode,
+    /// Caught at execute (wrong direction, wrong indirect target): full
+    /// bubble.
+    Execute,
+}
+
+/// One FTQ entry: a predicted fetch block plus run-ahead bookkeeping.
+#[derive(Copy, Clone, Debug)]
+pub struct FtqEntry {
+    /// Monotonic sequence number (prefetch scan cursor survives dequeues).
+    pub seq: u64,
+    /// The fetch block.
+    pub block: FetchBlock,
+    /// Index into the trace of the block's first instruction.
+    pub trace_idx: usize,
+    /// Pending front-end resteer discovered while predicting this block.
+    /// The BPU stalls after emitting such a block; the penalty is charged
+    /// when the fetch engine finishes delivering it.
+    pub redirect: Option<Redirect>,
+}
+
+/// A bounded FIFO of predicted fetch blocks.
+///
+/// The head is consumed by the fetch engine; deeper entries are the
+/// prefetch engine's candidate window.
+///
+/// # Examples
+///
+/// ```
+/// use fdip::ftq::{Ftq, FtqEntry};
+/// use fdip_types::{Addr, BlockEnd, FetchBlock};
+///
+/// let mut ftq = Ftq::new(2);
+/// let block = FetchBlock::new(Addr::new(0x1000), 4, BlockEnd::SizeLimit);
+/// let seq = ftq.push(block, 0, None).unwrap();
+/// assert_eq!(seq, 0);
+/// assert!(ftq.head().is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ftq {
+    entries: VecDeque<FtqEntry>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl Ftq {
+    /// Creates an empty FTQ of `capacity` fetch blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ftq capacity must be non-zero");
+        Ftq {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    /// Capacity in fetch blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no block is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` when the BPU must stall.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Enqueues a block; returns its sequence number, or `None` when full.
+    pub fn push(
+        &mut self,
+        block: FetchBlock,
+        trace_idx: usize,
+        redirect: Option<Redirect>,
+    ) -> Option<u64> {
+        if self.is_full() {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push_back(FtqEntry {
+            seq,
+            block,
+            trace_idx,
+            redirect,
+        });
+        Some(seq)
+    }
+
+    /// The block the fetch engine is consuming.
+    pub fn head(&self) -> Option<&FtqEntry> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the head.
+    pub fn pop(&mut self) -> Option<FtqEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Iterates over all entries, head first (prefetch engine scans the
+    /// non-head portion).
+    pub fn iter(&self) -> impl Iterator<Item = &FtqEntry> {
+        self.entries.iter()
+    }
+
+    /// Flushes every entry (pipeline flush on misprediction recovery
+    /// models that restart elsewhere; the stall-on-redirect BPU keeps the
+    /// FTQ correct-path, so this is used by tests and future wrong-path
+    /// extensions).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdip_types::{Addr, BlockEnd};
+
+    fn block(start: u64) -> FetchBlock {
+        FetchBlock::new(Addr::new(start), 4, BlockEnd::SizeLimit)
+    }
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut ftq = Ftq::new(2);
+        assert_eq!(ftq.push(block(0x100), 0, None), Some(0));
+        assert_eq!(ftq.push(block(0x200), 4, None), Some(1));
+        assert!(ftq.is_full());
+        assert_eq!(ftq.push(block(0x300), 8, None), None);
+        assert_eq!(ftq.pop().unwrap().block.start, Addr::new(0x100));
+        assert_eq!(ftq.pop().unwrap().block.start, Addr::new(0x200));
+        assert!(ftq.pop().is_none());
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic_across_wraparound() {
+        let mut ftq = Ftq::new(1);
+        let a = ftq.push(block(0x0), 0, None).unwrap();
+        ftq.pop();
+        let b = ftq.push(block(0x40), 4, None).unwrap();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn iter_is_head_first() {
+        let mut ftq = Ftq::new(4);
+        ftq.push(block(0x100), 0, None);
+        ftq.push(block(0x200), 4, None);
+        let starts: Vec<_> = ftq.iter().map(|e| e.block.start.raw()).collect();
+        assert_eq!(starts, vec![0x100, 0x200]);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut ftq = Ftq::new(4);
+        ftq.push(block(0x100), 0, Some(Redirect::Execute));
+        ftq.flush();
+        assert!(ftq.is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! # Fetch-Directed Instruction Prefetching
+//!
+//! A cycle-driven, trace-driven simulator of the decoupled front-end
+//! microarchitecture introduced by Reinman, Calder & Austin in
+//! *"Fetch Directed Instruction Prefetching"* (MICRO-32, 1999) — rebuilt
+//! from scratch in Rust, together with the baselines it was evaluated
+//! against and the FDIP-X extension of the later "Revisited" study.
+//!
+//! ## The idea
+//!
+//! A branch-prediction unit (BPU) is *decoupled* from the fetch engine by a
+//! **fetch target queue (FTQ)**: the BPU predicts future control flow and
+//! enqueues fetch blocks faster than the fetch engine consumes them. The
+//! not-yet-fetched FTQ entries are a window into the future instruction
+//! stream — ideal prefetch candidates. The **prefetch engine** scans them,
+//! filters candidates through **Cache Probe Filtering** (stealing idle L1-I
+//! tag ports to discard blocks already cached), enqueues survivors into a
+//! **prefetch instruction queue (PIQ)**, and issues them over the L2 bus
+//! into a **prefetch buffer** beside the L1-I.
+//!
+//! ## What this crate provides
+//!
+//! * [`Simulator`] — drives a [`fdip_trace::Trace`] through the full
+//!   front-end: BPU ([`bpu`]), FTQ ([`ftq`]), fetch engine ([`fetch`]),
+//!   back-end retire proxy ([`backend`]), memory hierarchy (`fdip-mem`),
+//!   and a pluggable prefetcher ([`prefetch`]).
+//! * Prefetchers: none, tagged next-line, stream buffers, **FDIP** (the
+//!   paper), and a PIF-style temporal streamer (extension baseline).
+//! * [`FrontendConfig`] — every knob of the machine model, with the
+//!   reproduction's baseline as `Default`.
+//! * [`SimStats`] — cycles, IPC, miss/coverage/accuracy/bus counters.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fdip::{FrontendConfig, PrefetcherKind, Simulator};
+//! use fdip_trace::gen::{GeneratorConfig, Profile};
+//!
+//! let trace = GeneratorConfig::profile(Profile::MicroLoop)
+//!     .seed(1)
+//!     .target_len(20_000)
+//!     .generate();
+//!
+//! let base = Simulator::run_trace(&FrontendConfig::default(), &trace);
+//! let fdip = Simulator::run_trace(
+//!     &FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+//!     &trace,
+//! );
+//! assert!(fdip.ipc() >= base.ipc() * 0.99); // prefetching never tanks IPC here
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod bpu;
+mod config;
+pub mod fetch;
+pub mod ftq;
+pub mod predecode;
+pub mod prefetch;
+mod simulator;
+mod stats;
+
+pub use config::{
+    BtbVariant, CpfMode, FdipConfig, FrontendConfig, PifConfig, PredictorKind, PrefetcherKind,
+    ShotgunConfig,
+};
+pub use simulator::{Simulator, StorageReport};
+pub use stats::{BranchStats, FdipStats, ShotgunStats, SimStats};

@@ -1,0 +1,130 @@
+//! Predecode-driven BTB fill (Boomerang-style, extension).
+//!
+//! Boomerang (Kumar et al., HPCA 2017) observed that a fetch-directed
+//! front-end can fix its own BTB misses: every cache line it prefetches
+//! *contains* the direct branches of that line, so a predecoder can
+//! extract them and pre-install BTB entries before the fetch stream ever
+//! reaches the branch. This module supplies the simulator's stand-in for
+//! the predecoder: a [`CodeMap`] from cache line to the direct branches
+//! whose target is encoded in the instruction bytes (conditionals, jumps,
+//! calls — not indirect branches or returns, whose targets predecode
+//! cannot know).
+//!
+//! The map is built from the trace's static image — legitimate, because
+//! the information *is* physically present in the line being filled; the
+//! simulator just has no instruction bytes to decode.
+
+use std::collections::HashMap;
+
+use fdip_types::{Addr, BranchClass, TraceInstr};
+
+/// A static map from cache-line base address to the direct branches in
+/// that line.
+#[derive(Clone, Debug)]
+pub struct CodeMap {
+    lines: HashMap<u64, Vec<(Addr, BranchClass, Addr)>>,
+    block_bytes: u64,
+}
+
+impl CodeMap {
+    /// Builds the map from a trace's static image.
+    ///
+    /// Only *direct* branches are recorded (their targets are immediates a
+    /// predecoder can extract); each static branch appears once.
+    pub fn from_trace(trace: &[TraceInstr], block_bytes: u64) -> CodeMap {
+        assert!(block_bytes.is_power_of_two());
+        let mut lines: HashMap<u64, Vec<(Addr, BranchClass, Addr)>> = HashMap::new();
+        let mut seen: HashMap<Addr, ()> = HashMap::new();
+        for instr in trace {
+            let Some(branch) = instr.branch else { continue };
+            if !branch.class.is_direct() {
+                continue;
+            }
+            if seen.insert(instr.pc, ()).is_some() {
+                continue;
+            }
+            lines
+                .entry(instr.pc.block_index(block_bytes))
+                .or_default()
+                .push((instr.pc, branch.class, branch.target));
+        }
+        CodeMap { lines, block_bytes }
+    }
+
+    /// The direct branches inside the line containing `addr`.
+    pub fn branches_in(&self, addr: Addr) -> &[(Addr, BranchClass, Addr)] {
+        self.lines
+            .get(&addr.block_index(self.block_bytes))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of lines holding at least one direct branch.
+    pub fn lines_with_branches(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Total static direct branches mapped.
+    pub fn static_branches(&self) -> usize {
+        self.lines.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdip_trace::TraceBuilder;
+
+    fn trace() -> Vec<TraceInstr> {
+        let mut b = TraceBuilder::new("t", Addr::new(0x1000));
+        b.plain(2);
+        b.cond(true, Addr::new(0x1100)); // direct @0x1008, line 0x1000
+        b.plain(1);
+        b.jump(Addr::new(0x2000)); // direct @0x1104, line 0x1100
+        b.plain(2);
+        b.ijump(Addr::new(0x3000)); // indirect @0x2008: not predecodable
+        b.plain(1);
+        b.finish().into_instrs()
+    }
+
+    #[test]
+    fn maps_direct_branches_per_line() {
+        let map = CodeMap::from_trace(&trace(), 64);
+        let line0 = map.branches_in(Addr::new(0x1000));
+        assert_eq!(line0.len(), 1, "{line0:?}");
+        assert_eq!(line0[0].0, Addr::new(0x1008));
+        let line1 = map.branches_in(Addr::new(0x1100));
+        assert_eq!(line1.len(), 1);
+        assert_eq!(line1[0].2, Addr::new(0x2000), "target from immediate");
+        assert!(map.branches_in(Addr::new(0x2000)).is_empty(), "only indirect there");
+        assert_eq!(map.static_branches(), 2);
+    }
+
+    #[test]
+    fn indirect_branches_are_excluded() {
+        let map = CodeMap::from_trace(&trace(), 64);
+        for branches in [map.branches_in(Addr::new(0x1000)), map.branches_in(Addr::new(0x1100))] {
+            assert!(branches
+                .iter()
+                .all(|(_, class, _)| class.is_direct()));
+        }
+    }
+
+    #[test]
+    fn duplicates_collapse_to_one_static_entry() {
+        let mut b = TraceBuilder::new("t", Addr::new(0x1000));
+        for _ in 0..5 {
+            b.plain(1);
+            b.jump(Addr::new(0x1000));
+        }
+        b.plain(1);
+        let map = CodeMap::from_trace(&b.finish().into_instrs(), 64);
+        assert_eq!(map.static_branches(), 1);
+        assert_eq!(map.lines_with_branches(), 1);
+    }
+
+    #[test]
+    fn unmapped_lines_are_empty() {
+        let map = CodeMap::from_trace(&trace(), 64);
+        assert!(map.branches_in(Addr::new(0xdead_0000)).is_empty());
+    }
+}

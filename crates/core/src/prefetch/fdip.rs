@@ -1,0 +1,392 @@
+//! The FDIP prefetch engine — the paper's contribution.
+//!
+//! Every cycle the engine advances a scan cursor over the *non-head* FTQ
+//! entries, turning each entry's cache blocks into prefetch candidates.
+//! Candidates pass through, in order:
+//!
+//! 1. the recently-requested filter (FDIP-X throttling),
+//! 2. MSHR / prefetch-buffer dedup,
+//! 3. **enqueue-CPF** (when enabled): an idle L1-I tag port must confirm
+//!    the block misses before it may enter the PIQ — no idle port, the
+//!    candidate waits;
+//! 4. the bounded **PIQ**;
+//! 5. **remove-CPF** (when enabled): at issue, an idle-port probe discards
+//!    entries that became cached while queued;
+//! 6. the bus-idle policy gate, then issue into the prefetch buffer.
+
+use std::collections::VecDeque;
+
+use fdip_mem::{MemoryHierarchy, PrefetchOutcome, RecentRequestFilter};
+use fdip_types::{Addr, Cycle};
+
+use crate::config::{CpfMode, FdipConfig};
+use crate::ftq::Ftq;
+use crate::stats::FdipStats;
+
+/// Outcome of running one candidate through the filter chain.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Consider {
+    /// Entered the PIQ.
+    Enqueued,
+    /// Rejected by a filter (or dropped, PIQ full).
+    Filtered,
+    /// Enqueue-CPF found no idle tag port; the candidate must wait.
+    NoPort,
+}
+
+/// The FTQ-side prefetch engine.
+#[derive(Debug)]
+pub struct FdipEngine {
+    config: FdipConfig,
+    piq: VecDeque<Addr>,
+    recent: RecentRequestFilter,
+    /// Sequence number of the FTQ entry currently being scanned.
+    scan_seq: u64,
+    /// Next cache-block index within that entry.
+    scan_block: usize,
+    block_bytes: u64,
+    /// Sequential prefetch cursor used while the BPU stalls on a redirect:
+    /// the real front-end keeps fetching (and thus prefetching) the
+    /// sequential path until the resteer materializes, and that fall-through
+    /// code is usually about to execute. `(next line, lines left)`.
+    stall_path: Option<(Addr, u32)>,
+}
+
+impl FdipEngine {
+    /// Creates the engine for `block_bytes` cache lines.
+    pub fn new(config: FdipConfig, block_bytes: u64) -> Self {
+        FdipEngine {
+            config,
+            piq: VecDeque::with_capacity(config.piq_entries),
+            recent: RecentRequestFilter::new(config.recent_filter_entries, block_bytes),
+            scan_seq: 0,
+            scan_block: 0,
+            block_bytes,
+            stall_path: None,
+        }
+    }
+
+    /// Current PIQ occupancy.
+    pub fn piq_len(&self) -> usize {
+        self.piq.len()
+    }
+
+    /// Arms sequential stall-path prefetching from `fall_through` (called
+    /// when the BPU emits a redirect block and stalls).
+    pub fn begin_stall_path(&mut self, fall_through: Addr) {
+        if self.config.stall_path_lines > 0 {
+            self.stall_path = Some((
+                fall_through.block_base(self.block_bytes),
+                self.config.stall_path_lines,
+            ));
+        }
+    }
+
+    /// Disarms stall-path prefetching (called when the BPU resumes).
+    pub fn end_stall_path(&mut self) {
+        self.stall_path = None;
+    }
+
+    /// Runs one cycle: scan then issue.
+    pub fn per_cycle(
+        &mut self,
+        now: Cycle,
+        ftq: &Ftq,
+        mem: &mut MemoryHierarchy,
+        stats: &mut FdipStats,
+    ) {
+        self.scan(ftq, mem, stats);
+        self.issue(now, mem, stats);
+    }
+
+    fn scan(&mut self, ftq: &Ftq, mem: &mut MemoryHierarchy, stats: &mut FdipStats) {
+        let mut budget = self.config.scan_blocks_per_cycle;
+        while budget > 0 {
+            // The head is the fetch engine's demand work; scan beyond it.
+            let Some(entry) = ftq.iter().skip(1).find(|e| e.seq >= self.scan_seq) else {
+                // Nothing queued beyond the head: walk the sequential
+                // stall path if one is armed.
+                if let Some((line, left)) = self.stall_path {
+                    if left == 0 {
+                        break;
+                    }
+                    self.stall_path = Some((line + self.block_bytes, left - 1));
+                    stats.candidates += 1;
+                    self.consider(line, mem, stats);
+                }
+                break;
+            };
+            if entry.seq > self.scan_seq {
+                self.scan_seq = entry.seq;
+                self.scan_block = 0;
+            }
+            let Some(candidate) = entry.block.cache_blocks(self.block_bytes).nth(self.scan_block)
+            else {
+                // Entry exhausted: move to the next one.
+                self.scan_seq = entry.seq + 1;
+                self.scan_block = 0;
+                continue;
+            };
+            budget -= 1;
+            stats.candidates += 1;
+            self.scan_block += 1;
+            if self.consider(candidate, mem, stats) == Consider::NoPort {
+                // No idle port for the enqueue probe: the candidate waits.
+                stats.candidates -= 1;
+                self.scan_block -= 1;
+                break;
+            }
+        }
+    }
+
+    /// Runs one candidate through the filter chain and (maybe) the PIQ.
+    fn consider(
+        &mut self,
+        candidate: Addr,
+        mem: &mut MemoryHierarchy,
+        stats: &mut FdipStats,
+    ) -> Consider {
+        if self.recent.check_and_count(candidate) {
+            stats.filtered_recent += 1;
+            return Consider::Filtered;
+        }
+        if mem.in_flight(candidate) || mem.probe_prefetch_buffer(candidate) {
+            return Consider::Filtered;
+        }
+        if self.piq.len() >= self.config.piq_entries {
+            stats.dropped_piq_full += 1;
+            return Consider::Filtered;
+        }
+        if matches!(self.config.cpf, CpfMode::Enqueue | CpfMode::Both) {
+            if mem.ports_mut().try_use() {
+                if mem.probe_l1(candidate) {
+                    stats.filtered_cpf_enqueue += 1;
+                    return Consider::Filtered;
+                }
+            } else {
+                stats.probe_port_unavailable += 1;
+                return Consider::NoPort;
+            }
+        }
+        self.piq.push_back(candidate);
+        // Record at enqueue: the FDIP-X filter suppresses re-requests of
+        // blocks already heading out, not just already issued.
+        self.recent.note(candidate);
+        stats.enqueued += 1;
+        Consider::Enqueued
+    }
+
+    fn issue(&mut self, now: Cycle, mem: &mut MemoryHierarchy, stats: &mut FdipStats) {
+        let mut issued = 0;
+        while issued < self.config.max_issue_per_cycle {
+            let Some(&candidate) = self.piq.front() else {
+                break;
+            };
+            if matches!(self.config.cpf, CpfMode::Remove | CpfMode::Both) {
+                if mem.ports_mut().try_use() {
+                    if mem.probe_l1(candidate) {
+                        self.piq.pop_front();
+                        stats.filtered_cpf_remove += 1;
+                        continue;
+                    }
+                } else {
+                    stats.probe_port_unavailable += 1;
+                }
+            }
+            if self.config.require_idle_bus && !mem.bus_idle(now) {
+                break;
+            }
+            match mem.issue_prefetch(now, candidate, false) {
+                PrefetchOutcome::Issued { .. } => {
+                    self.piq.pop_front();
+                    stats.issued += 1;
+                    issued += 1;
+                }
+                PrefetchOutcome::InFlight | PrefetchOutcome::InPrefetchBuffer => {
+                    self.piq.pop_front();
+                }
+                PrefetchOutcome::NoMshr => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdip_mem::HierarchyConfig;
+    use fdip_types::{BlockEnd, FetchBlock};
+
+    fn ftq_with_blocks(starts: &[u64]) -> Ftq {
+        let mut ftq = Ftq::new(16);
+        for (i, &s) in starts.iter().enumerate() {
+            ftq.push(
+                FetchBlock::new(Addr::new(s), 8, BlockEnd::SizeLimit),
+                i * 8,
+                None,
+            );
+        }
+        ftq
+    }
+
+    fn engine(cpf: CpfMode) -> FdipEngine {
+        FdipEngine::new(
+            FdipConfig {
+                cpf,
+                ..FdipConfig::default()
+            },
+            64,
+        )
+    }
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::default())
+    }
+
+    #[test]
+    fn scans_beyond_head_and_issues() {
+        let ftq = ftq_with_blocks(&[0x1000, 0x2000, 0x3000]);
+        let mut engine = engine(CpfMode::None);
+        let mut mem = mem();
+        let mut stats = FdipStats::default();
+        let mut now = Cycle::ZERO;
+        for _ in 0..50 {
+            mem.begin_cycle(now);
+            engine.per_cycle(now, &ftq, &mut mem, &mut stats);
+            now = now + 10; // leave the bus idle between cycles
+        }
+        // Head (0x1000) untouched; 0x2000 and 0x3000 prefetched.
+        assert_eq!(stats.issued, 2, "{stats:?}");
+        assert!(mem.in_flight(Addr::new(0x2000)) || mem.probe_prefetch_buffer(Addr::new(0x2000)));
+        assert!(!mem.in_flight(Addr::new(0x1000)));
+    }
+
+    #[test]
+    fn enqueue_cpf_filters_cached_blocks() {
+        let ftq = ftq_with_blocks(&[0x1000, 0x2000]);
+        let mut engine = engine(CpfMode::Enqueue);
+        let mut mem = mem();
+        // Pre-load 0x2000 into the L1.
+        mem.begin_cycle(Cycle::ZERO);
+        mem.demand_access(Cycle::ZERO, Addr::new(0x2000));
+        let warm = Cycle::new(500);
+        mem.begin_cycle(warm);
+        let mut stats = FdipStats::default();
+        engine.per_cycle(warm, &ftq, &mut mem, &mut stats);
+        assert_eq!(stats.filtered_cpf_enqueue, 1);
+        assert_eq!(stats.issued, 0);
+    }
+
+    #[test]
+    fn enqueue_cpf_waits_for_idle_port() {
+        let ftq = ftq_with_blocks(&[0x1000, 0x2000]);
+        let mut engine = engine(CpfMode::Enqueue);
+        let mut mem = mem();
+        let now = Cycle::ZERO;
+        mem.begin_cycle(now);
+        // Exhaust both tag ports (as demand fetch would).
+        assert!(mem.ports_mut().try_use());
+        assert!(mem.ports_mut().try_use());
+        let mut stats = FdipStats::default();
+        engine.per_cycle(now, &ftq, &mut mem, &mut stats);
+        assert_eq!(stats.enqueued, 0, "no port, candidate must wait");
+        assert!(stats.probe_port_unavailable > 0);
+        // Next cycle a port is free: the same candidate goes through.
+        let t = now.next();
+        mem.begin_cycle(t);
+        engine.per_cycle(t, &ftq, &mut mem, &mut stats);
+        assert_eq!(stats.enqueued, 1);
+    }
+
+    #[test]
+    fn remove_cpf_discards_stale_piq_entries() {
+        let ftq = ftq_with_blocks(&[0x1000, 0x2000]);
+        let mut engine = engine(CpfMode::Remove);
+        let mut mem = mem();
+        let now = Cycle::ZERO;
+        mem.begin_cycle(now);
+        // Scan enqueues 0x2000 (no enqueue probe in Remove mode)…
+        engine.scan(&ftq, &mut mem, &mut FdipStats::default());
+        assert_eq!(engine.piq_len(), 1);
+        // …then the block lands in the L1 before issue.
+        mem.demand_access(now, Addr::new(0x2000));
+        let t = Cycle::new(500);
+        mem.begin_cycle(t);
+        let mut stats = FdipStats::default();
+        engine.issue(t, &mut mem, &mut stats);
+        assert_eq!(stats.filtered_cpf_remove, 1);
+        assert_eq!(stats.issued, 0);
+    }
+
+    #[test]
+    fn recent_filter_suppresses_duplicates() {
+        let mut ftq = Ftq::new(16);
+        // Two entries covering the same cache block.
+        for i in 0..3 {
+            ftq.push(
+                FetchBlock::new(Addr::new(0x2000), 8, BlockEnd::SizeLimit),
+                i * 8,
+                None,
+            );
+        }
+        let mut engine = engine(CpfMode::None);
+        let mut mem = mem();
+        let mut stats = FdipStats::default();
+        let mut now = Cycle::ZERO;
+        for _ in 0..20 {
+            mem.begin_cycle(now);
+            engine.per_cycle(now, &ftq, &mut mem, &mut stats);
+            now = now + 10;
+        }
+        assert_eq!(stats.issued, 1);
+        assert!(stats.filtered_recent >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn piq_capacity_drops_overflow() {
+        let mut ftq = Ftq::new(64);
+        for i in 0..40 {
+            ftq.push(
+                FetchBlock::new(Addr::new(0x10000 + i * 0x1000), 8, BlockEnd::SizeLimit),
+                (i * 8) as usize,
+                None,
+            );
+        }
+        let mut engine = FdipEngine::new(
+            FdipConfig {
+                piq_entries: 2,
+                require_idle_bus: true,
+                scan_blocks_per_cycle: 8,
+                ..FdipConfig::default()
+            },
+            64,
+        );
+        let mut mem = mem();
+        let mut stats = FdipStats::default();
+        // Keep the bus busy so nothing issues while scanning floods the PIQ.
+        mem.begin_cycle(Cycle::ZERO);
+        mem.demand_access(Cycle::ZERO, Addr::new(0xdead_000));
+        for c in 0..4u64 {
+            let now = Cycle::new(c);
+            mem.begin_cycle(now);
+            engine.scan(&ftq, &mut mem, &mut stats);
+        }
+        assert!(stats.dropped_piq_full > 0, "{stats:?}");
+        assert_eq!(engine.piq_len(), 2);
+    }
+
+    #[test]
+    fn bus_policy_gates_issue() {
+        let ftq = ftq_with_blocks(&[0x1000, 0x2000]);
+        let mut engine = engine(CpfMode::None);
+        let mut mem = mem();
+        let now = Cycle::ZERO;
+        mem.begin_cycle(now);
+        // Demand transfer occupies the bus.
+        mem.demand_access(now, Addr::new(0x9000));
+        let mut stats = FdipStats::default();
+        engine.per_cycle(now, &ftq, &mut mem, &mut stats);
+        assert_eq!(stats.issued, 0, "bus busy, prefetch deferred");
+        assert_eq!(engine.piq_len(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Prefetchers.
+//!
+//! Two attachment points exist in the front-end:
+//!
+//! * **Demand-side** ([`DemandSide`]): wraps the fetch engine's L1-I
+//!   accesses — where tagged next-line prefetching triggers, stream
+//!   buffers are probed/allocated, and PIF records and replays its
+//!   temporal stream.
+//! * **FTQ-side** ([`FdipEngine`]): the paper's contribution — scans
+//!   not-yet-fetched FTQ entries and turns them into filtered prefetches;
+//!   [`ShotgunEngine`] layers spatial call-target footprints on top of it.
+
+mod fdip;
+mod pif;
+mod shotgun;
+mod stream;
+
+pub use fdip::FdipEngine;
+pub use pif::PifEngine;
+pub use shotgun::ShotgunEngine;
+pub use stream::StreamAdapter;
+
+use fdip_mem::{DemandOutcome, MemoryHierarchy, NextLineTrigger};
+use fdip_types::{Addr, Cycle};
+
+/// What the fetch engine should do after a demand access.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AccessResult {
+    /// The line is present; deliver instructions now.
+    Ready,
+    /// The line arrives at the given cycle; stall until then.
+    Wait(Cycle),
+    /// Transient structural hazard (MSHRs full); retry next cycle.
+    Retry,
+}
+
+pub(crate) fn map_outcome(outcome: DemandOutcome) -> AccessResult {
+    match outcome {
+        DemandOutcome::L1Hit { .. } | DemandOutcome::PrefetchBufferHit => AccessResult::Ready,
+        DemandOutcome::InFlight { ready_at, .. } | DemandOutcome::Miss { ready_at } => {
+            AccessResult::Wait(ready_at)
+        }
+        DemandOutcome::MshrFull => AccessResult::Retry,
+    }
+}
+
+/// The demand-side prefetcher attached to the fetch engine's L1-I path.
+#[derive(Debug)]
+pub enum DemandSide {
+    /// Plain accesses, no prefetching.
+    None,
+    /// Tagged next-line prefetching.
+    NextLine(NextLineTrigger),
+    /// Stream buffers probed in parallel with the L1.
+    Stream(StreamAdapter),
+    /// PIF-style temporal streaming.
+    Pif(PifEngine),
+}
+
+impl DemandSide {
+    /// Performs the demand access for the fetch engine, applying the
+    /// prefetcher's trigger/probe policy.
+    pub fn access(&mut self, now: Cycle, addr: Addr, mem: &mut MemoryHierarchy) -> AccessResult {
+        match self {
+            DemandSide::None => map_outcome(mem.demand_access(now, addr)),
+            DemandSide::NextLine(trigger) => {
+                let outcome = mem.demand_access(now, addr);
+                match &outcome {
+                    DemandOutcome::L1Hit { info } => {
+                        if let Some(next) = trigger.on_hit(addr, info) {
+                            let _ = mem.issue_prefetch(now, next, true);
+                        }
+                    }
+                    DemandOutcome::Miss { .. } => {
+                        let _ = mem.issue_prefetch(now, trigger.on_miss(addr), true);
+                    }
+                    _ => {}
+                }
+                map_outcome(outcome)
+            }
+            DemandSide::Stream(adapter) => adapter.access(now, addr, mem),
+            DemandSide::Pif(engine) => engine.access(now, addr, mem),
+        }
+    }
+
+    /// Background work: stream refills, PIF replay issue.
+    pub fn per_cycle(&mut self, now: Cycle, mem: &mut MemoryHierarchy) {
+        match self {
+            DemandSide::Stream(adapter) => adapter.per_cycle(now, mem),
+            DemandSide::Pif(engine) => engine.per_cycle(now, mem),
+            _ => {}
+        }
+    }
+
+    /// Stream-buffer resets (0 for other kinds).
+    pub fn stream_resets(&self) -> u64 {
+        match self {
+            DemandSide::Stream(adapter) => adapter.resets(),
+            _ => 0,
+        }
+    }
+
+    /// PIF replay resets (0 for other kinds).
+    pub fn pif_resets(&self) -> u64 {
+        match self {
+            DemandSide::Pif(engine) => engine.resets(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdip_mem::HierarchyConfig;
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::default())
+    }
+
+    #[test]
+    fn none_maps_outcomes_directly() {
+        let mut mem = mem();
+        let mut side = DemandSide::None;
+        mem.begin_cycle(Cycle::ZERO);
+        let first = side.access(Cycle::ZERO, Addr::new(0x1000), &mut mem);
+        assert!(matches!(first, AccessResult::Wait(_)));
+        let far = Cycle::new(1_000);
+        mem.begin_cycle(far);
+        assert_eq!(side.access(far, Addr::new(0x1000), &mut mem), AccessResult::Ready);
+        assert_eq!(side.stream_resets(), 0);
+        assert_eq!(side.pif_resets(), 0);
+    }
+
+    #[test]
+    fn next_line_prefetches_the_sequential_block_on_miss() {
+        let mut mem = mem();
+        let mut side = DemandSide::NextLine(NextLineTrigger::new(64));
+        mem.begin_cycle(Cycle::ZERO);
+        side.access(Cycle::ZERO, Addr::new(0x1000), &mut mem);
+        assert!(mem.in_flight(Addr::new(0x1040)), "next line issued");
+        assert_eq!(mem.stats().prefetches_issued, 1);
+    }
+
+    #[test]
+    fn next_line_tag_bit_chains_prefetches_on_first_hit() {
+        // NLP config fills straight into the L1 with the tag bit.
+        let cfg = HierarchyConfig {
+            prefetch_buffer_blocks: 0,
+            ..HierarchyConfig::default()
+        };
+        let mut mem = MemoryHierarchy::new(cfg);
+        let mut side = DemandSide::NextLine(NextLineTrigger::new(64));
+        mem.begin_cycle(Cycle::ZERO);
+        side.access(Cycle::ZERO, Addr::new(0x1000), &mut mem); // miss → prefetch 0x1040
+        let t = Cycle::new(1_000);
+        mem.begin_cycle(t); // both fills land
+        // First demand touch of the tagged 0x1040 must trigger 0x1080.
+        assert_eq!(side.access(t, Addr::new(0x1040), &mut mem), AccessResult::Ready);
+        assert!(mem.in_flight(Addr::new(0x1080)), "tag bit chained");
+    }
+
+    #[test]
+    fn mshr_exhaustion_maps_to_retry() {
+        let cfg = HierarchyConfig {
+            mshrs: 1,
+            ..HierarchyConfig::default()
+        };
+        let mut mem = MemoryHierarchy::new(cfg);
+        let mut side = DemandSide::None;
+        mem.begin_cycle(Cycle::ZERO);
+        side.access(Cycle::ZERO, Addr::new(0x0), &mut mem);
+        assert_eq!(
+            side.access(Cycle::ZERO, Addr::new(0x40), &mut mem),
+            AccessResult::Retry
+        );
+    }
+}

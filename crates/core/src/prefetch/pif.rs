@@ -1,0 +1,262 @@
+//! PIF-lite: a temporal instruction-stream prefetcher in the spirit of
+//! Ferdman et al.'s *Proactive Instruction Fetch* (MICRO 2011), used by the
+//! extension experiments as the storage-hungry comparison point.
+//!
+//! The engine records the retire-order sequence of instruction blocks in a
+//! circular history and indexes the most recent position of each block. On
+//! an L1-I miss it looks the block up; a hit starts *replaying* the
+//! recorded stream ahead of the miss as prefetches, a miss counts as a
+//! stream reset. The history length is the storage knob the budget sweeps
+//! scale.
+
+use std::collections::HashMap;
+
+use fdip_mem::{DemandOutcome, MemoryHierarchy};
+use fdip_types::{Addr, Cycle};
+
+use crate::config::PifConfig;
+use crate::prefetch::{map_outcome, AccessResult};
+
+/// The PIF-lite engine.
+#[derive(Debug)]
+pub struct PifEngine {
+    config: PifConfig,
+    /// Circular history of block addresses, in first-touch retire order.
+    history: Vec<Addr>,
+    /// Global position of the next history slot.
+    next_pos: u64,
+    /// Most recent global position of each block.
+    index: HashMap<Addr, u64>,
+    /// Global position of the next block to replay.
+    replay_pos: u64,
+    /// Blocks left in the current replay burst.
+    replay_remaining: usize,
+    /// Last block recorded (consecutive-duplicate suppression).
+    last_recorded: Option<Addr>,
+    resets: u64,
+    replays: u64,
+}
+
+impl PifEngine {
+    /// Creates the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history length is zero.
+    pub fn new(config: PifConfig) -> Self {
+        assert!(config.history_blocks > 0);
+        PifEngine {
+            config,
+            history: Vec::with_capacity(config.history_blocks.min(1 << 20)),
+            next_pos: 0,
+            index: HashMap::new(),
+            replay_pos: 0,
+            replay_remaining: 0,
+            last_recorded: None,
+            resets: 0,
+            replays: 0,
+        }
+    }
+
+    /// Stream lookup failures (replay resets).
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Replay bursts started.
+    pub fn replays(&self) -> u64 {
+        self.replays
+    }
+
+    /// Approximate storage cost in bits: 42-bit block addresses in the
+    /// history plus an index entry (42-bit tag + 32-bit pointer) for one in
+    /// four history slots, mirroring PIF's index provisioning.
+    pub fn storage_bits(&self) -> u64 {
+        let n = self.config.history_blocks as u64;
+        n * 42 + (n / 4) * (42 + 32)
+    }
+
+    fn slot(&self, pos: u64) -> Option<Addr> {
+        if pos >= self.next_pos {
+            return None;
+        }
+        let cap = self.config.history_blocks as u64;
+        if self.next_pos - pos > cap {
+            return None; // aged out of the circular history
+        }
+        Some(self.history[(pos % cap) as usize])
+    }
+
+    fn record(&mut self, block: Addr) {
+        if self.last_recorded == Some(block) {
+            return;
+        }
+        self.last_recorded = Some(block);
+        let cap = self.config.history_blocks;
+        let slot = (self.next_pos % cap as u64) as usize;
+        if self.history.len() <= slot {
+            self.history.push(block);
+        } else {
+            self.history[slot] = block;
+        }
+        self.index.insert(block, self.next_pos);
+        self.next_pos += 1;
+    }
+
+    /// Demand access with PIF recording and replay steering.
+    ///
+    /// A miss re-anchors the replay pointer at the block's previous
+    /// occurrence in the history. A hit on a *prefetched* line (the stream
+    /// paying off) extends the replay window, so a correctly-predicted
+    /// stream keeps flowing instead of stalling after `lookahead` blocks.
+    pub fn access(&mut self, now: Cycle, addr: Addr, mem: &mut MemoryHierarchy) -> AccessResult {
+        let block = addr.block_base(mem.config().l1.block_bytes);
+        // The *previous* occurrence is the replay anchor; capture it before
+        // recording overwrites the index with the current position.
+        let previous = self.index.get(&block).copied();
+        self.record(block);
+        let outcome = mem.demand_access(now, addr);
+        match outcome {
+            DemandOutcome::Miss { .. } => match previous {
+                Some(pos) if self.slot(pos + 1).is_some() => {
+                    self.replay_pos = pos + 1;
+                    self.replay_remaining = self.config.lookahead;
+                    self.replays += 1;
+                }
+                _ => self.resets += 1,
+            },
+            DemandOutcome::PrefetchBufferHit => {
+                // Stream confirmed: keep the window topped up.
+                self.replay_remaining = self.config.lookahead;
+            }
+            DemandOutcome::L1Hit { info } if info.was_prefetched && info.first_reference => {
+                self.replay_remaining = self.config.lookahead;
+            }
+            _ => {}
+        }
+        map_outcome(outcome)
+    }
+
+    /// Issues replay prefetches while the bus is idle.
+    pub fn per_cycle(&mut self, now: Cycle, mem: &mut MemoryHierarchy) {
+        let mut issued = 0;
+        while issued < self.config.max_issue_per_cycle && self.replay_remaining > 0 {
+            if !mem.bus_idle(now) {
+                break;
+            }
+            let Some(block) = self.slot(self.replay_pos) else {
+                self.replay_remaining = 0;
+                break;
+            };
+            self.replay_pos += 1;
+            self.replay_remaining -= 1;
+            if mem.probe_l1(block) {
+                continue;
+            }
+            let _ = mem.issue_prefetch(now, block, false);
+            issued += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdip_mem::HierarchyConfig;
+
+    fn engine() -> PifEngine {
+        PifEngine::new(PifConfig {
+            history_blocks: 64,
+            lookahead: 4,
+            max_issue_per_cycle: 2,
+        })
+    }
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::default())
+    }
+
+    #[test]
+    fn first_miss_resets_then_recurrence_replays() {
+        let mut pif = engine();
+        let mut mem = mem();
+        // Touch a stream of blocks: A, B, C (all cold misses).
+        let blocks = [0x1_0000u64, 0x2_0000, 0x3_0000];
+        let mut t = Cycle::ZERO;
+        for &b in &blocks {
+            mem.begin_cycle(t);
+            pif.access(t, Addr::new(b), &mut mem);
+            t = t + 500; // let each fill land
+        }
+        assert_eq!(pif.resets(), 3, "cold stream: no history yet");
+        // Evict nothing (big L2), but force L1 misses again by flushing…
+        // instead, touch conflicting sets: simpler to re-access after
+        // filling L1 set with conflicts is fiddly — rely on replay logic:
+        // a repeat miss of A must replay B, C.
+        // Manufacture the repeat miss by using a tiny L1.
+        let cfg = HierarchyConfig {
+            l1: fdip_mem::CacheGeometry::from_capacity(1024, 1, 64),
+            ..HierarchyConfig::default()
+        };
+        let mut small = MemoryHierarchy::new(cfg);
+        let mut pif = engine();
+        let mut t = Cycle::ZERO;
+        // Two passes over a stream long enough to thrash the 1KB L1.
+        let stream: Vec<u64> = (0..32).map(|i| 0x10_000 + i * 64).collect();
+        for pass in 0..2 {
+            for &b in &stream {
+                small.begin_cycle(t);
+                pif.access(t, Addr::new(b), &mut small);
+                for _ in 0..200 {
+                    t = t.next();
+                    small.begin_cycle(t);
+                    pif.per_cycle(t, &mut small);
+                }
+            }
+            if pass == 0 {
+                assert_eq!(pif.replays(), 0, "first pass is all resets");
+            }
+        }
+        assert!(pif.replays() > 0, "second pass replays the stream");
+        assert!(small.stats().useful_prefetches > 0);
+    }
+
+    #[test]
+    fn consecutive_duplicate_blocks_recorded_once() {
+        let mut pif = engine();
+        let mut mem = mem();
+        let t = Cycle::ZERO;
+        mem.begin_cycle(t);
+        pif.access(t, Addr::new(0x1000), &mut mem);
+        pif.access(t, Addr::new(0x1004), &mut mem); // same block
+        assert_eq!(pif.next_pos, 1);
+    }
+
+    #[test]
+    fn storage_scales_with_history() {
+        let small = PifEngine::new(PifConfig {
+            history_blocks: 1024,
+            ..PifConfig::default()
+        });
+        let large = PifEngine::new(PifConfig {
+            history_blocks: 4096,
+            ..PifConfig::default()
+        });
+        assert_eq!(large.storage_bits(), 4 * small.storage_bits());
+    }
+
+    #[test]
+    fn aged_out_history_stops_replay() {
+        let mut pif = PifEngine::new(PifConfig {
+            history_blocks: 4,
+            lookahead: 8,
+            max_issue_per_cycle: 8,
+        });
+        // Record 10 blocks into a 4-deep ring: early entries age out.
+        for i in 0..10u64 {
+            pif.record(Addr::new(0x1000 + i * 64));
+        }
+        assert_eq!(pif.slot(0), None, "aged out");
+        assert!(pif.slot(9).is_some());
+    }
+}

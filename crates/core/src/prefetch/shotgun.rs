@@ -1,0 +1,345 @@
+//! Shotgun-lite: spatial-footprint prefetching over call targets, layered
+//! on the FDIP engine (after Kumar et al.'s *Shotgun*, ASPLOS 2018 — the
+//! "Revisited" paper's reference [5]).
+//!
+//! The insight: instruction misses cluster around function entries. A
+//! *region table* records, per call-target region, a bit-vector of the
+//! cache lines touched while executing that region ("the footprint").
+//! When the FTQ carries a predicted call, the whole recorded footprint of
+//! the callee is prefetched at once — reaching *deeper* than the FTQ's own
+//! lookahead, which is FDIP's structural limit on redirect-heavy code.
+//!
+//! Training and triggering both ride the FTQ stream (the predicted
+//! correct path): blocks train the footprint of the region on top of a
+//! small region stack; call-ending blocks trigger the callee's footprint.
+
+use std::collections::VecDeque;
+
+use fdip_mem::{MemoryHierarchy, PrefetchOutcome};
+use fdip_types::{Addr, BlockEnd, BranchClass, Cycle};
+
+use crate::config::{FdipConfig, ShotgunConfig};
+use crate::ftq::Ftq;
+use crate::prefetch::FdipEngine;
+use crate::stats::{FdipStats, ShotgunStats};
+
+/// One region-table entry.
+#[derive(Clone, Debug)]
+struct Region {
+    /// Line index of the region base (the call target's line).
+    base_line: u64,
+    /// Footprint: bit *i* set ⇒ line `base_line + i` was touched.
+    footprint: u64,
+}
+
+/// The Shotgun-lite engine: an [`FdipEngine`] plus the region table.
+#[derive(Debug)]
+pub struct ShotgunEngine {
+    fdip: FdipEngine,
+    config: ShotgunConfig,
+    /// Region table, MRU first (fully-associative LRU).
+    regions: Vec<Region>,
+    /// Training attribution: which regions the predicted path is inside.
+    region_stack: Vec<u64>,
+    /// Footprint prefetch queue.
+    pending: VecDeque<Addr>,
+    /// FTQ scan cursor (independent of the inner FDIP engine's).
+    scan_seq: u64,
+    block_bytes: u64,
+}
+
+impl ShotgunEngine {
+    /// Creates the engine.
+    pub fn new(config: ShotgunConfig, fdip: FdipConfig, block_bytes: u64) -> Self {
+        assert!(config.regions > 0);
+        assert!(
+            (1..=64).contains(&config.footprint_lines),
+            "footprint is a 64-bit vector"
+        );
+        ShotgunEngine {
+            fdip: FdipEngine::new(fdip, block_bytes),
+            config,
+            regions: Vec::with_capacity(config.regions),
+            region_stack: Vec::new(),
+            pending: VecDeque::new(),
+            scan_seq: 0,
+            block_bytes,
+        }
+    }
+
+    /// Storage cost of the region table in bits (line tag + footprint).
+    pub fn storage_bits(&self) -> u64 {
+        let tag_bits = 48 - self.block_bytes.trailing_zeros() as u64;
+        self.config.regions as u64 * (tag_bits + self.config.footprint_lines as u64)
+    }
+
+    /// Forwards stall-path arming to the inner FDIP engine.
+    pub fn begin_stall_path(&mut self, fall_through: Addr) {
+        self.fdip.begin_stall_path(fall_through);
+    }
+
+    /// Forwards stall-path disarming to the inner FDIP engine.
+    pub fn end_stall_path(&mut self) {
+        self.fdip.end_stall_path();
+    }
+
+    fn region_position(&self, base_line: u64) -> Option<usize> {
+        self.regions.iter().position(|r| r.base_line == base_line)
+    }
+
+    /// Fetches (creating/promoting) the region for `base_line`; returns its
+    /// index (always 0 after promotion).
+    fn touch_region(&mut self, base_line: u64) {
+        match self.region_position(base_line) {
+            Some(pos) => {
+                let r = self.regions.remove(pos);
+                self.regions.insert(0, r);
+            }
+            None => {
+                if self.regions.len() == self.config.regions {
+                    self.regions.pop();
+                }
+                self.regions.insert(0, Region {
+                    base_line,
+                    footprint: 0,
+                });
+            }
+        }
+    }
+
+    /// Records that `line` was touched while inside `region_base`.
+    fn train(&mut self, region_base: u64, line: u64) {
+        let Some(pos) = self.region_position(region_base) else {
+            return;
+        };
+        let offset = line.wrapping_sub(self.regions[pos].base_line);
+        if offset < self.config.footprint_lines as u64 {
+            self.regions[pos].footprint |= 1 << offset;
+        }
+    }
+
+    /// Runs one cycle: scan new FTQ entries (train + trigger), then issue
+    /// footprint prefetches, then run the inner FDIP engine.
+    pub fn per_cycle(
+        &mut self,
+        now: Cycle,
+        ftq: &Ftq,
+        mem: &mut MemoryHierarchy,
+        fdip_stats: &mut FdipStats,
+        stats: &mut ShotgunStats,
+    ) {
+        self.scan(ftq, stats);
+        self.issue(now, mem, stats);
+        self.fdip.per_cycle(now, ftq, mem, fdip_stats);
+    }
+
+    fn scan(&mut self, ftq: &Ftq, stats: &mut ShotgunStats) {
+        let from_seq = self.scan_seq;
+        // Snapshot the new entries first: training/triggering mutates self.
+        let new_entries: Vec<_> = ftq
+            .iter()
+            .filter(|e| e.seq >= from_seq)
+            .map(|e| (e.seq, e.block))
+            .collect();
+        for (seq, block) in new_entries {
+            self.scan_seq = seq + 1;
+            // Train the current region with the lines of this block.
+            if let Some(&region) = self.region_stack.last() {
+                let first = block.start.block_index(self.block_bytes);
+                let last = block.last_pc().block_index(self.block_bytes);
+                for line in first..=last {
+                    self.train(region, line);
+                }
+            }
+            // Calls enter a region (trigger); returns leave one.
+            if let BlockEnd::TakenBranch { class, target } = block.end {
+                match class {
+                    BranchClass::Call | BranchClass::IndirectCall => {
+                        let base_line = target.block_index(self.block_bytes);
+                        self.trigger(base_line, stats);
+                        self.region_stack.push(base_line);
+                        if self.region_stack.len() > 64 {
+                            self.region_stack.remove(0);
+                        }
+                    }
+                    BranchClass::Return => {
+                        self.region_stack.pop();
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Enqueues the recorded footprint of the region at `base_line`.
+    fn trigger(&mut self, base_line: u64, stats: &mut ShotgunStats) {
+        self.touch_region(base_line);
+        let footprint = self.regions[0].footprint;
+        stats.triggers += 1;
+        // The entry line itself is always wanted.
+        let mut lines = 1u64 | footprint;
+        let mut offset = 0u64;
+        while lines != 0 && self.pending.len() < (4 * self.config.footprint_lines) as usize {
+            if lines & 1 != 0 {
+                self.pending
+                    .push_back(Addr::new((base_line + offset) * self.block_bytes));
+                stats.footprint_lines_enqueued += 1;
+            }
+            lines >>= 1;
+            offset += 1;
+        }
+    }
+
+    fn issue(&mut self, now: Cycle, mem: &mut MemoryHierarchy, stats: &mut ShotgunStats) {
+        let mut issued = 0;
+        while issued < self.config.max_issue_per_cycle {
+            if !mem.bus_idle(now) {
+                break;
+            }
+            let Some(&line) = self.pending.front() else {
+                break;
+            };
+            if mem.probe_l1(line) || mem.in_flight(line) || mem.probe_prefetch_buffer(line) {
+                self.pending.pop_front();
+                continue;
+            }
+            match mem.issue_prefetch(now, line, false) {
+                PrefetchOutcome::Issued { .. } => {
+                    self.pending.pop_front();
+                    stats.issued += 1;
+                    issued += 1;
+                }
+                PrefetchOutcome::InFlight | PrefetchOutcome::InPrefetchBuffer => {
+                    self.pending.pop_front();
+                }
+                PrefetchOutcome::NoMshr => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdip_mem::HierarchyConfig;
+    use fdip_types::FetchBlock;
+
+    fn engine() -> ShotgunEngine {
+        ShotgunEngine::new(ShotgunConfig::default(), FdipConfig::default(), 64)
+    }
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::default())
+    }
+
+    fn call_block(start: u64, target: u64) -> FetchBlock {
+        FetchBlock::new(
+            Addr::new(start),
+            2,
+            BlockEnd::TakenBranch {
+                class: BranchClass::Call,
+                target: Addr::new(target),
+            },
+        )
+    }
+
+    fn ret_block(start: u64, target: u64) -> FetchBlock {
+        FetchBlock::new(
+            Addr::new(start),
+            1,
+            BlockEnd::TakenBranch {
+                class: BranchClass::Return,
+                target: Addr::new(target),
+            },
+        )
+    }
+
+    fn seq_block(start: u64, len: u32) -> FetchBlock {
+        FetchBlock::new(Addr::new(start), len, BlockEnd::SizeLimit)
+    }
+
+    #[test]
+    fn first_call_learns_footprint_second_call_prefetches_it() {
+        let mut engine = engine();
+        let mut mem = mem();
+        let mut fdip_stats = FdipStats::default();
+        let mut stats = ShotgunStats::default();
+        // Transaction 1: call into 0x4000, execute 3 lines, return.
+        let mut ftq = Ftq::new(16);
+        ftq.push(call_block(0x1000, 0x4000), 0, None);
+        ftq.push(seq_block(0x4000, 16), 2, None); // line 0x4000
+        ftq.push(seq_block(0x4040, 16), 18, None); // line 0x4040
+        ftq.push(seq_block(0x4080, 4), 34, None); // line 0x4080
+        ftq.push(ret_block(0x4090, 0x1008), 38, None);
+        engine.per_cycle(Cycle::ZERO, &ftq, &mut mem, &mut fdip_stats, &mut stats);
+        assert_eq!(stats.triggers, 1);
+        // First visit: nothing recorded yet beyond the entry line.
+        assert_eq!(stats.footprint_lines_enqueued, 1);
+
+        // Transaction 2: the same call — now the 3-line footprint replays.
+        // (Same FTQ so sequence numbers stay monotonic, as in the real
+        // front-end: the fetch engine consumed the old entries.)
+        while ftq.pop().is_some() {}
+        ftq.push(call_block(0x1000, 0x4000), 100, None);
+        let t = Cycle::new(50);
+        mem.begin_cycle(t);
+        engine.per_cycle(t, &ftq, &mut mem, &mut fdip_stats, &mut stats);
+        assert_eq!(stats.triggers, 2);
+        assert!(
+            stats.footprint_lines_enqueued >= 1 + 3,
+            "footprint replay: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn issues_through_the_memory_system() {
+        let mut engine = engine();
+        let mut mem = mem();
+        let mut fdip_stats = FdipStats::default();
+        let mut stats = ShotgunStats::default();
+        let mut ftq = Ftq::new(4);
+        ftq.push(call_block(0x1000, 0x8000), 0, None);
+        let mut now = Cycle::ZERO;
+        for _ in 0..10 {
+            mem.begin_cycle(now);
+            engine.per_cycle(now, &ftq, &mut mem, &mut fdip_stats, &mut stats);
+            now = now + 10;
+        }
+        assert!(stats.issued >= 1);
+        assert!(mem.stats().prefetches_issued >= 1);
+    }
+
+    #[test]
+    fn region_table_is_bounded_lru() {
+        let mut engine = ShotgunEngine::new(
+            ShotgunConfig {
+                regions: 2,
+                ..ShotgunConfig::default()
+            },
+            FdipConfig::default(),
+            64,
+        );
+        let mut stats = ShotgunStats::default();
+        engine.trigger(0x100, &mut stats);
+        engine.trigger(0x200, &mut stats);
+        engine.trigger(0x300, &mut stats); // evicts 0x100
+        assert!(engine.region_position(0x100).is_none());
+        assert!(engine.region_position(0x200).is_some());
+        assert!(engine.region_position(0x300).is_some());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let engine = ShotgunEngine::new(
+            ShotgunConfig {
+                regions: 512,
+                footprint_lines: 8,
+                ..ShotgunConfig::default()
+            },
+            FdipConfig::default(),
+            64,
+        );
+        // 42-bit line tag + 8-bit footprint per region.
+        assert_eq!(engine.storage_bits(), 512 * (42 + 8));
+    }
+}

@@ -1,0 +1,601 @@
+use fdip_mem::{MemoryHierarchy, NextLineTrigger};
+use fdip_trace::Trace;
+use fdip_types::{Cycle, TraceInstr};
+
+use crate::backend::Backend;
+use crate::bpu::Bpu;
+use crate::predecode::CodeMap;
+use crate::config::{FrontendConfig, PrefetcherKind};
+use crate::fetch::FetchEngine;
+use crate::ftq::{Ftq, Redirect};
+use crate::prefetch::{DemandSide, FdipEngine, PifEngine, ShotgunEngine, StreamAdapter};
+use crate::stats::SimStats;
+
+/// Storage breakdown of the front-end's prediction/prefetch structures —
+/// the currency both papers budget in.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StorageReport {
+    /// BTB storage in bits (per the paper's entry accounting).
+    pub btb_bits: u64,
+    /// Direction-predictor table bits (0 for the oracle).
+    pub predictor_bits: u64,
+    /// Return-address-stack bits.
+    pub ras_bits: u64,
+    /// Prefetch-buffer tag bits.
+    pub prefetch_buffer_bits: u64,
+}
+
+impl StorageReport {
+    /// Total bits across all reported structures.
+    pub fn total_bits(&self) -> u64 {
+        self.btb_bits + self.predictor_bits + self.ras_bits + self.prefetch_buffer_bits
+    }
+
+    /// Total in kilobytes.
+    pub fn total_kb(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+/// The FTQ-side prefetch engine slot.
+enum FtqSide {
+    None,
+    Fdip(FdipEngine),
+    Shotgun(ShotgunEngine),
+}
+
+impl FtqSide {
+    fn begin_stall_path(&mut self, fall_through: fdip_types::Addr) {
+        match self {
+            FtqSide::Fdip(e) => e.begin_stall_path(fall_through),
+            FtqSide::Shotgun(e) => e.begin_stall_path(fall_through),
+            FtqSide::None => {}
+        }
+    }
+
+    fn end_stall_path(&mut self) {
+        match self {
+            FtqSide::Fdip(e) => e.end_stall_path(),
+            FtqSide::Shotgun(e) => e.end_stall_path(),
+            FtqSide::None => {}
+        }
+    }
+}
+
+/// The assembled decoupled front-end: BPU → FTQ → fetch engine → back-end,
+/// with the memory hierarchy and the configured prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use fdip::{FrontendConfig, Simulator};
+/// use fdip_trace::gen::{GeneratorConfig, Profile};
+///
+/// let trace = GeneratorConfig::profile(Profile::MicroLoop)
+///     .seed(3)
+///     .target_len(5_000)
+///     .generate();
+/// let stats = Simulator::run_trace(&FrontendConfig::default(), &trace);
+/// assert_eq!(stats.instructions, trace.len() as u64);
+/// assert!(stats.ipc() > 0.0);
+/// ```
+pub struct Simulator<'t> {
+    config: FrontendConfig,
+    trace: &'t [TraceInstr],
+    now: Cycle,
+    bpu: Bpu,
+    ftq: Ftq,
+    fetch: FetchEngine,
+    backend: Backend,
+    mem: MemoryHierarchy,
+    demand: DemandSide,
+    ftq_side: FtqSide,
+    /// Cycle at which a pending redirect lets the BPU resume.
+    resume_at: Option<Cycle>,
+    /// Boomerang extension: line → direct branches, for predecode BTB fill.
+    code_map: Option<CodeMap>,
+    stats: SimStats,
+    /// Measurement window start (set by [`Simulator::reset_stats`]).
+    measure_from_cycle: Cycle,
+    measure_from_retired: u64,
+}
+
+impl<'t> Simulator<'t> {
+    /// Builds a simulator for `config` over `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`FrontendConfig::validate`]).
+    pub fn new(config: &FrontendConfig, trace: &'t Trace) -> Self {
+        config.validate();
+        let block_bytes = config.mem.l1.block_bytes;
+        let mut mem_config = config.mem;
+        let (demand, ftq_side) = match &config.prefetcher {
+            PrefetcherKind::None => (DemandSide::None, FtqSide::None),
+            PrefetcherKind::NextLine => {
+                // Classic tagged NLP prefetches straight into the L1.
+                mem_config.prefetch_buffer_blocks = 0;
+                (
+                    DemandSide::NextLine(NextLineTrigger::new(block_bytes)),
+                    FtqSide::None,
+                )
+            }
+            PrefetcherKind::StreamBuffers(sb) => {
+                // Stream buffers hold their own fills; no prefetch buffer.
+                mem_config.prefetch_buffer_blocks = 0;
+                (DemandSide::Stream(StreamAdapter::new(*sb)), FtqSide::None)
+            }
+            PrefetcherKind::Fdip(fc) => (
+                DemandSide::None,
+                FtqSide::Fdip(FdipEngine::new(*fc, block_bytes)),
+            ),
+            PrefetcherKind::Shotgun(sg, fc) => (
+                DemandSide::None,
+                FtqSide::Shotgun(ShotgunEngine::new(*sg, *fc, block_bytes)),
+            ),
+            PrefetcherKind::Pif(pc) => (DemandSide::Pif(PifEngine::new(*pc)), FtqSide::None),
+        };
+        let code_map = config
+            .predecode_btb_fill
+            .then(|| CodeMap::from_trace(trace.instrs(), block_bytes));
+        Simulator {
+            config: config.clone(),
+            trace: trace.instrs(),
+            now: Cycle::ZERO,
+            bpu: Bpu::new(config),
+            ftq: Ftq::new(config.ftq_entries),
+            fetch: FetchEngine::new(config.fetch_width, block_bytes),
+            backend: Backend::new(config.retire_width, config.instr_buffer),
+            mem: MemoryHierarchy::new(mem_config),
+            demand,
+            ftq_side,
+            resume_at: None,
+            code_map,
+            stats: SimStats::default(),
+            measure_from_cycle: Cycle::ZERO,
+            measure_from_retired: 0,
+        }
+    }
+
+    /// Convenience: build, run to completion, return the statistics.
+    pub fn run_trace(config: &FrontendConfig, trace: &Trace) -> SimStats {
+        Simulator::new(config, trace).run()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &FrontendConfig {
+        &self.config
+    }
+
+    /// Statistics so far (finalized by [`run`](Self::run)).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Reports the storage cost of the configured front-end structures.
+    pub fn storage_report(&self) -> StorageReport {
+        StorageReport {
+            btb_bits: self.bpu.btb_storage_bits(),
+            predictor_bits: self.bpu.predictor_storage_bits(),
+            ras_bits: self.bpu.ras_storage_bits(),
+            prefetch_buffer_bits: self.mem.prefetch_buffer_storage_bits(),
+        }
+    }
+
+    /// Returns `true` once every trace instruction has retired.
+    pub fn is_done(&self) -> bool {
+        self.backend.retired() >= self.trace.len() as u64
+    }
+
+    /// Simulates one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        self.mem.begin_cycle(now);
+
+        // Boomerang extension: predecode freshly filled lines into the BTB.
+        if let Some(code_map) = &self.code_map {
+            for block in self.mem.take_recent_fills() {
+                for &(pc, class, target) in code_map.branches_in(block) {
+                    if self.bpu.predecode_install(pc, class, target) {
+                        self.stats.predecode_installs += 1;
+                    }
+                }
+            }
+        }
+
+        // Redirect resolution unblocks the BPU.
+        if let Some(resume) = self.resume_at {
+            if !resume.is_after(now) {
+                self.bpu.resume();
+                self.resume_at = None;
+                self.ftq_side.end_stall_path();
+            }
+        }
+
+        // Back-end retires.
+        self.backend.cycle();
+
+        // Fetch engine consumes the FTQ head.
+        let out = self.fetch.cycle(
+            now,
+            &mut self.ftq,
+            &mut self.mem,
+            &mut self.demand,
+            self.backend.room(),
+        );
+        self.backend.deliver(out.delivered);
+        for entry in &out.finished {
+            if let Some(redirect) = entry.redirect {
+                let penalty = match redirect {
+                    Redirect::Decode => self.config.decode_redirect_penalty,
+                    Redirect::Execute => self.config.exec_redirect_penalty,
+                };
+                debug_assert!(self.resume_at.is_none(), "one redirect in flight");
+                self.resume_at = Some(now + penalty);
+            }
+        }
+        if out.delivered == 0 && !self.is_done() {
+            self.stats.fetch_stall_cycles += 1;
+            if out.waiting_on_icache {
+                self.stats.icache_stall_cycles += 1;
+            }
+        }
+
+        // Prefetchers.
+        self.demand.per_cycle(now, &mut self.mem);
+        match &mut self.ftq_side {
+            FtqSide::Fdip(engine) => {
+                engine.per_cycle(now, &self.ftq, &mut self.mem, &mut self.stats.fdip);
+            }
+            FtqSide::Shotgun(engine) => {
+                engine.per_cycle(
+                    now,
+                    &self.ftq,
+                    &mut self.mem,
+                    &mut self.stats.fdip,
+                    &mut self.stats.shotgun,
+                );
+            }
+            FtqSide::None => {}
+        }
+
+        // BPU runs ahead.
+        if !self.bpu.is_stalled() && !self.ftq.is_full() {
+            if let Some(g) = self.bpu.generate(self.trace, &mut self.stats.branches) {
+                self.ftq
+                    .push(g.block, g.trace_idx, g.redirect)
+                    .expect("ftq checked not full");
+                if g.redirect.is_some() {
+                    // The real front-end keeps fetching the sequential path
+                    // until the resteer materializes; the prefetch engine
+                    // mirrors that along the fall-through.
+                    self.ftq_side.begin_stall_path(g.block.end_addr());
+                }
+            }
+        }
+
+        if self.ftq.is_empty() && !self.is_done() {
+            self.stats.ftq_empty_cycles += 1;
+        }
+        self.stats.ftq_occupancy_sum += self.ftq.len() as u64;
+        self.now = now.next();
+    }
+
+    /// Clears every statistic while keeping microarchitectural state
+    /// (caches, BTB, predictor tables, FTQ contents) — the standard
+    /// warmup/measurement split. Subsequent statistics cover only the
+    /// cycles and instructions after this call.
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::default();
+        self.mem.reset_stats();
+        self.measure_from_cycle = self.now;
+        self.measure_from_retired = self.backend.retired();
+    }
+
+    /// Runs `warmup_instructions` with statistics discarded, then the rest
+    /// of the trace measured; returns the measured statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on livelock, as [`run`](Self::run).
+    pub fn run_with_warmup(mut self, warmup_instructions: u64) -> SimStats {
+        let limit = 500 + self.trace.len() as u64 * 1_000;
+        while !self.is_done() && self.backend.retired() < warmup_instructions {
+            self.step();
+            assert!(self.now.raw() <= limit, "livelock during warmup");
+        }
+        self.reset_stats();
+        while !self.is_done() {
+            self.step();
+            assert!(self.now.raw() <= limit, "livelock during measurement");
+        }
+        self.finalize()
+    }
+
+    /// Runs to completion and returns the finalized statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails to make progress (an internal
+    /// invariant violation), after a generous cycle bound.
+    pub fn run(mut self) -> SimStats {
+        let limit = 500 + self.trace.len() as u64 * 1_000;
+        while !self.is_done() {
+            self.step();
+            assert!(
+                self.now.raw() <= limit,
+                "simulation exceeded {limit} cycles — livelock?"
+            );
+        }
+        self.finalize()
+    }
+
+    fn finalize(mut self) -> SimStats {
+        self.stats.cycles = self.now - self.measure_from_cycle;
+        self.stats.instructions = self.backend.retired() - self.measure_from_retired;
+        self.stats.mem = self.mem.stats().clone();
+        self.stats.bus_busy_cycles = self.mem.bus().busy_cycles();
+        self.stats.stream_resets = self.demand.stream_resets();
+        self.stats.pif_resets = self.demand.pif_resets();
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BtbVariant, CpfMode, PredictorKind};
+    use fdip_trace::gen::{GeneratorConfig, Profile};
+    use fdip_trace::TraceBuilder;
+    use fdip_types::Addr;
+
+    fn micro_trace(len: usize) -> Trace {
+        GeneratorConfig::profile(Profile::MicroLoop)
+            .seed(7)
+            .target_len(len)
+            .generate()
+    }
+
+    #[test]
+    fn retires_every_instruction() {
+        let trace = micro_trace(8_000);
+        let stats = Simulator::run_trace(&FrontendConfig::default(), &trace);
+        assert_eq!(stats.instructions, trace.len() as u64);
+        assert!(stats.cycles > 0);
+        assert!(stats.ipc() > 0.2, "ipc {}", stats.ipc());
+        assert!(stats.ipc() <= 4.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = micro_trace(5_000);
+        let config = FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip());
+        let a = Simulator::run_trace(&config, &trace);
+        let b = Simulator::run_trace(&config, &trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn straight_line_ipc_approaches_width() {
+        // A long straight run through a small footprint: after warmup,
+        // fetch should deliver at near full width.
+        let mut b = TraceBuilder::new("straight", Addr::new(0x1000));
+        for _ in 0..3000 {
+            b.plain(16);
+            b.jump(Addr::new(0x1000));
+        }
+        b.plain(1);
+        let trace = b.finish();
+        let stats = Simulator::run_trace(&FrontendConfig::default(), &trace);
+        assert!(stats.ipc() > 3.0, "ipc {}", stats.ipc());
+    }
+
+    #[test]
+    fn perfect_predictor_and_ideal_btb_beat_realistic_ones() {
+        let trace = GeneratorConfig::profile(Profile::Jumpy)
+            .seed(3)
+            .target_len(30_000)
+            .generate();
+        let real = Simulator::run_trace(&FrontendConfig::default(), &trace);
+        let ideal_cfg = FrontendConfig::default()
+            .with_btb(BtbVariant::Ideal)
+            .with_predictor(PredictorKind::Perfect);
+        let ideal = Simulator::run_trace(&ideal_cfg, &trace);
+        assert!(
+            ideal.cycles < real.cycles,
+            "ideal {} vs real {}",
+            ideal.cycles,
+            real.cycles
+        );
+        // Indirect branches still mispredict under the last-target policy,
+        // but the ideal front-end can only do better than the real one.
+        assert!(ideal.branches.exec_redirects <= real.branches.exec_redirects);
+    }
+
+    #[test]
+    fn fdip_reduces_icache_stalls_on_large_footprint() {
+        let trace = GeneratorConfig::profile(Profile::Server)
+            .seed(5)
+            .num_funcs(600)
+            .target_len(60_000)
+            .generate();
+        let base = Simulator::run_trace(&FrontendConfig::default(), &trace);
+        let fdip = Simulator::run_trace(
+            &FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+            &trace,
+        );
+        assert!(base.mem.l1_misses > 0, "workload must miss");
+        assert!(
+            fdip.mem.l1_misses < base.mem.l1_misses,
+            "fdip {} vs base {} misses",
+            fdip.mem.l1_misses,
+            base.mem.l1_misses
+        );
+        assert!(
+            fdip.cycles < base.cycles,
+            "fdip {} vs base {} cycles",
+            fdip.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn all_prefetchers_run_and_preserve_correctness() {
+        let trace = micro_trace(6_000);
+        let kinds = [
+            PrefetcherKind::None,
+            PrefetcherKind::NextLine,
+            PrefetcherKind::StreamBuffers(Default::default()),
+            PrefetcherKind::fdip(),
+            PrefetcherKind::fdip_with_cpf(CpfMode::Both),
+            PrefetcherKind::Pif(Default::default()),
+        ];
+        for kind in kinds {
+            let name = kind.name();
+            let stats =
+                Simulator::run_trace(&FrontendConfig::default().with_prefetcher(kind), &trace);
+            assert_eq!(
+                stats.instructions,
+                trace.len() as u64,
+                "prefetcher {name} lost instructions"
+            );
+        }
+    }
+
+    #[test]
+    fn cpf_improves_prefetch_accuracy() {
+        let trace = GeneratorConfig::profile(Profile::Client)
+            .seed(9)
+            .target_len(40_000)
+            .generate();
+        let plain = Simulator::run_trace(
+            &FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+            &trace,
+        );
+        let cpf = Simulator::run_trace(
+            &FrontendConfig::default()
+                .with_prefetcher(PrefetcherKind::fdip_with_cpf(CpfMode::Enqueue)),
+            &trace,
+        );
+        // Enqueue filtering must cut issued prefetches (cached blocks are
+        // rejected before the PIQ).
+        assert!(
+            cpf.mem.prefetches_issued <= plain.mem.prefetches_issued,
+            "cpf {} vs plain {}",
+            cpf.mem.prefetches_issued,
+            plain.mem.prefetches_issued
+        );
+        assert!(cpf.fdip.filtered_cpf_enqueue > 0);
+    }
+
+    #[test]
+    fn storage_report_reflects_configuration() {
+        let trace = micro_trace(2_000);
+        let small = Simulator::new(
+            &FrontendConfig::default().with_btb(BtbVariant::conventional(1024)),
+            &trace,
+        )
+        .storage_report();
+        let large = Simulator::new(
+            &FrontendConfig::default().with_btb(BtbVariant::conventional(8192)),
+            &trace,
+        )
+        .storage_report();
+        assert!(large.btb_bits > small.btb_bits);
+        assert_eq!(large.predictor_bits, small.predictor_bits);
+        assert!(small.total_bits() > 0);
+        assert!(small.total_kb() > 0.0);
+        // The oracle predictor costs nothing.
+        let oracle = Simulator::new(
+            &FrontendConfig::default().with_predictor(PredictorKind::Perfect),
+            &trace,
+        )
+        .storage_report();
+        assert_eq!(oracle.predictor_bits, 0);
+    }
+
+    #[test]
+    fn warmup_excludes_cold_start_from_measurement() {
+        // A tiny-footprint loop: cold L1 misses dominate a short run, so a
+        // warmed measurement must show higher IPC.
+        let mut b = TraceBuilder::new("w", Addr::new(0x1000));
+        for _ in 0..400 {
+            b.plain(16);
+            b.jump(Addr::new(0x1000));
+        }
+        b.plain(1);
+        let trace = b.finish();
+        let cold = Simulator::run_trace(&FrontendConfig::default(), &trace);
+        let warm = Simulator::new(&FrontendConfig::default(), &trace).run_with_warmup(1_000);
+        // Warmup stops at the first cycle boundary at or past 1000 retired,
+        // so up to retire_width extra instructions land in the warmup.
+        let measured = warm.instructions;
+        assert!(
+            (trace.len() as u64 - 1_004..=trace.len() as u64 - 1_000).contains(&measured),
+            "measured {measured}"
+        );
+        assert!(warm.ipc() > cold.ipc(), "warm {} cold {}", warm.ipc(), cold.ipc());
+        assert_eq!(warm.mem.l1_misses, 0, "all misses happen during warmup");
+    }
+
+    #[test]
+    fn warmup_of_zero_equals_plain_run() {
+        let trace = micro_trace(4_000);
+        let plain = Simulator::run_trace(&FrontendConfig::default(), &trace);
+        let warm = Simulator::new(&FrontendConfig::default(), &trace).run_with_warmup(0);
+        assert_eq!(plain, warm);
+    }
+
+    #[test]
+    fn predecode_btb_fill_reduces_misfetches() {
+        let trace = GeneratorConfig::profile(Profile::Server)
+            .seed(4)
+            .target_len(40_000)
+            .generate();
+        let plain = Simulator::run_trace(
+            &FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+            &trace,
+        );
+        let boom = Simulator::run_trace(
+            &FrontendConfig::default()
+                .with_prefetcher(PrefetcherKind::fdip())
+                .with_predecode_btb_fill(true),
+            &trace,
+        );
+        assert!(boom.predecode_installs > 0);
+        assert!(
+            boom.branches.decode_redirects < plain.branches.decode_redirects,
+            "boom {} vs plain {}",
+            boom.branches.decode_redirects,
+            plain.branches.decode_redirects
+        );
+    }
+
+    #[test]
+    fn bigger_ftq_never_reduces_fdip_lookahead() {
+        let trace = GeneratorConfig::profile(Profile::Server)
+            .seed(2)
+            .num_funcs(400)
+            .target_len(40_000)
+            .generate();
+        let small = Simulator::run_trace(
+            &FrontendConfig::default()
+                .with_prefetcher(PrefetcherKind::fdip())
+                .with_ftq_entries(2),
+            &trace,
+        );
+        let large = Simulator::run_trace(
+            &FrontendConfig::default()
+                .with_prefetcher(PrefetcherKind::fdip())
+                .with_ftq_entries(32),
+            &trace,
+        );
+        assert!(
+            large.fdip.issued >= small.fdip.issued,
+            "large {} vs small {}",
+            large.fdip.issued,
+            small.fdip.issued
+        );
+    }
+}

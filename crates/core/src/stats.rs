@@ -1,0 +1,231 @@
+use fdip_mem::MemStats;
+
+/// Branch-prediction counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Dynamic branches processed by the BPU.
+    pub branches: u64,
+    /// Dynamic conditional branches.
+    pub conditionals: u64,
+    /// Execute-time redirects: direction or indirect-target mispredictions.
+    pub exec_redirects: u64,
+    /// Decode-time redirects: BTB misses on direct branches, wrong stored
+    /// targets caught at decode (misfetches).
+    pub decode_redirects: u64,
+    /// BTB lookups.
+    pub btb_lookups: u64,
+    /// BTB hits.
+    pub btb_hits: u64,
+    /// Taken branches the BTB failed to identify.
+    pub btb_miss_taken: u64,
+    /// Return-address-stack mispredictions (wrong return target).
+    pub ras_mispredicts: u64,
+}
+
+impl BranchStats {
+    /// Mispredictions (execute redirects) per kilo-instruction.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.exec_redirects as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// BTB hit ratio.
+    pub fn btb_hit_ratio(&self) -> f64 {
+        if self.btb_lookups == 0 {
+            0.0
+        } else {
+            self.btb_hits as f64 / self.btb_lookups as f64
+        }
+    }
+}
+
+/// FDIP prefetch-engine counters (zero unless the FDIP prefetcher ran).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FdipStats {
+    /// FTQ cache-block candidates examined.
+    pub candidates: u64,
+    /// Candidates suppressed by the recently-requested filter.
+    pub filtered_recent: u64,
+    /// Candidates discarded by an enqueue-CPF probe (already cached).
+    pub filtered_cpf_enqueue: u64,
+    /// PIQ entries discarded by a remove-CPF probe at issue.
+    pub filtered_cpf_remove: u64,
+    /// Candidates dropped because the PIQ was full.
+    pub dropped_piq_full: u64,
+    /// Candidates enqueued into the PIQ.
+    pub enqueued: u64,
+    /// Prefetches issued to the memory system.
+    pub issued: u64,
+    /// CPF probes that found no idle tag port this cycle.
+    pub probe_port_unavailable: u64,
+}
+
+/// Shotgun-lite spatial-footprint counters (zero unless Shotgun ran).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShotgunStats {
+    /// Predicted calls that triggered a footprint lookup.
+    pub triggers: u64,
+    /// Footprint lines enqueued across all triggers.
+    pub footprint_lines_enqueued: u64,
+    /// Footprint prefetches issued to the memory system.
+    pub issued: u64,
+}
+
+/// Complete result of one simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles the fetch engine delivered nothing.
+    pub fetch_stall_cycles: u64,
+    /// Stall cycles attributable to L1-I misses (fetch waiting on a fill).
+    pub icache_stall_cycles: u64,
+    /// Cycles the FTQ was empty (BPU stalled on a redirect or starved).
+    pub ftq_empty_cycles: u64,
+    /// Sum of FTQ occupancy sampled each cycle (for mean occupancy).
+    pub ftq_occupancy_sum: u64,
+    /// Branch statistics.
+    pub branches: BranchStats,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+    /// Bus busy cycles (from the L1–L2 bus).
+    pub bus_busy_cycles: u64,
+    /// FDIP engine statistics.
+    pub fdip: FdipStats,
+    /// Stream-buffer resets (stream prefetcher only).
+    pub stream_resets: u64,
+    /// PIF stream-lookup misses causing replay resets (PIF only).
+    pub pif_resets: u64,
+    /// BTB entries pre-installed by predecode fill (Boomerang extension).
+    pub predecode_installs: u64,
+    /// Shotgun-lite statistics.
+    pub shotgun: ShotgunStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean FTQ occupancy in fetch blocks.
+    pub fn mean_ftq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ftq_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1-I misses per kilo-instruction.
+    pub fn l1i_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mem.l1_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Bus utilization over the run.
+    pub fn bus_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.bus_busy_cycles as f64 / self.cycles as f64).min(1.0)
+        }
+    }
+
+    /// Speedup of this run over `baseline` (same trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two runs retired different instruction counts.
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        assert_eq!(
+            self.instructions, baseline.instructions,
+            "speedup requires equal work"
+        );
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// Fraction of the baseline's L1-I misses this run eliminated.
+    pub fn miss_coverage_vs(&self, baseline: &SimStats) -> f64 {
+        if baseline.mem.l1_misses == 0 {
+            0.0
+        } else {
+            1.0 - self.mem.l1_misses as f64 / baseline.mem.l1_misses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            cycles: 1000,
+            instructions: 2000,
+            ftq_occupancy_sum: 8000,
+            bus_busy_cycles: 250,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.mean_ftq_occupancy() - 8.0).abs() < 1e-12);
+        assert!((s.bus_utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_coverage() {
+        let mut base = SimStats {
+            cycles: 2000,
+            instructions: 1000,
+            ..SimStats::default()
+        };
+        base.mem.l1_misses = 100;
+        let mut fast = SimStats {
+            cycles: 1000,
+            instructions: 1000,
+            ..SimStats::default()
+        };
+        fast.mem.l1_misses = 25;
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+        assert!((fast.miss_coverage_vs(&base) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal work")]
+    fn speedup_rejects_mismatched_runs() {
+        let a = SimStats {
+            instructions: 10,
+            cycles: 1,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            instructions: 20,
+            cycles: 1,
+            ..SimStats::default()
+        };
+        let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.l1i_mpki(), 0.0);
+        assert_eq!(s.bus_utilization(), 0.0);
+        assert_eq!(s.branches.mpki(0), 0.0);
+        assert_eq!(s.branches.btb_hit_ratio(), 0.0);
+    }
+}

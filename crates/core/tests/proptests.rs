@@ -1,0 +1,141 @@
+//! Property tests for the full simulator: completion, determinism, and
+//! physical plausibility over random configurations and workloads.
+
+use fdip::{BtbVariant, CpfMode, FdipConfig, FrontendConfig, PredictorKind, PrefetcherKind, Simulator};
+use fdip_trace::gen::{GeneratorConfig, Profile};
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = Profile> {
+    prop_oneof![
+        Just(Profile::Client),
+        Just(Profile::Server),
+        Just(Profile::MicroLoop),
+        Just(Profile::Jumpy),
+    ]
+}
+
+fn prefetcher_strategy() -> impl Strategy<Value = PrefetcherKind> {
+    prop_oneof![
+        Just(PrefetcherKind::None),
+        Just(PrefetcherKind::NextLine),
+        Just(PrefetcherKind::StreamBuffers(Default::default())),
+        (0usize..4, any::<bool>(), 0u32..16).prop_map(|(cpf, bus, stall)| {
+            let cpf = [CpfMode::None, CpfMode::Enqueue, CpfMode::Remove, CpfMode::Both][cpf];
+            PrefetcherKind::Fdip(FdipConfig {
+                cpf,
+                require_idle_bus: bus,
+                stall_path_lines: stall,
+                ..FdipConfig::default()
+            })
+        }),
+        Just(PrefetcherKind::Pif(Default::default())),
+    ]
+}
+
+fn btb_strategy() -> impl Strategy<Value = BtbVariant> {
+    prop_oneof![
+        (6usize..12).prop_map(|log2| BtbVariant::conventional(1 << log2)),
+        (6usize..12).prop_map(|log2| BtbVariant::basic_block(1 << log2)),
+        (6usize..12).prop_map(|log2| BtbVariant::partitioned(1 << log2)),
+        Just(BtbVariant::Ideal),
+    ]
+}
+
+fn predictor_strategy() -> impl Strategy<Value = PredictorKind> {
+    prop_oneof![
+        (8u32..14).prop_map(|log2_entries| PredictorKind::Bimodal { log2_entries }),
+        ((8u32..14), (1u32..14)).prop_map(|(log2_entries, history_bits)| {
+            PredictorKind::Gshare {
+                log2_entries,
+                history_bits,
+            }
+        }),
+        Just(PredictorKind::Hybrid {
+            log2_entries: 12,
+            history_bits: 10,
+        }),
+        Just(PredictorKind::Tage {
+            log2_base: 10,
+            log2_tagged: 8,
+            tables: 4,
+        }),
+        Just(PredictorKind::Perfect),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_configuration_completes_with_plausible_physics(
+        profile in profile_strategy(),
+        seed in 0u64..100,
+        prefetcher in prefetcher_strategy(),
+        btb in btb_strategy(),
+        predictor in predictor_strategy(),
+        ftq in 1usize..40,
+        fetch_width in 1u32..8,
+    ) {
+        let trace = GeneratorConfig::profile(profile)
+            .seed(seed)
+            .target_len(8_000)
+            .generate();
+        let config = FrontendConfig {
+            fetch_width,
+            retire_width: fetch_width,
+            ftq_entries: ftq,
+            btb,
+            predictor,
+            prefetcher,
+            ..FrontendConfig::default()
+        };
+        let stats = Simulator::run_trace(&config, &trace);
+        // Completion.
+        prop_assert_eq!(stats.instructions, trace.len() as u64);
+        // Physics: IPC cannot exceed the machine width; cycles cover the work.
+        prop_assert!(stats.ipc() <= fetch_width as f64 + 1e-9);
+        prop_assert!(stats.cycles >= trace.len() as u64 / fetch_width as u64);
+        // Counter sanity.
+        let m = &stats.mem;
+        prop_assert_eq!(m.l1_hits + m.l1_misses + m.pb_hits, m.l1_accesses);
+        prop_assert!(stats.branches.btb_hits <= stats.branches.btb_lookups);
+        prop_assert!(stats.branches.exec_redirects <= stats.branches.branches);
+        prop_assert!(stats.mean_ftq_occupancy() <= ftq as f64 + 1e-9);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_any_config(
+        seed in 0u64..50,
+        prefetcher in prefetcher_strategy(),
+    ) {
+        let trace = GeneratorConfig::profile(Profile::MicroLoop)
+            .seed(seed)
+            .target_len(5_000)
+            .generate();
+        let config = FrontendConfig::default().with_prefetcher(prefetcher);
+        let a = Simulator::run_trace(&config, &trace);
+        let b = Simulator::run_trace(&config, &trace);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prefetching_never_changes_the_retired_work(
+        seed in 0u64..50,
+        prefetcher in prefetcher_strategy(),
+    ) {
+        // Correctness property: prefetchers may only change *timing*.
+        let trace = GeneratorConfig::profile(Profile::Client)
+            .seed(seed)
+            .target_len(6_000)
+            .generate();
+        let with = Simulator::run_trace(
+            &FrontendConfig::default().with_prefetcher(prefetcher),
+            &trace,
+        );
+        let without = Simulator::run_trace(&FrontendConfig::default(), &trace);
+        prop_assert_eq!(with.instructions, without.instructions);
+        // Branch outcomes are architectural: identical regardless of caches.
+        prop_assert_eq!(with.branches.branches, without.branches.branches);
+        prop_assert_eq!(with.branches.conditionals, without.branches.conditionals);
+    }
+}

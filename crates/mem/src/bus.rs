@@ -1,0 +1,133 @@
+use fdip_types::Cycle;
+
+/// A single-channel, occupancy-modeled bus between the L1 and the L2.
+///
+/// Each block transfer occupies the bus for a fixed number of cycles;
+/// requests are granted at the earliest cycle the bus is free. Demand
+/// misses and prefetches share this bandwidth — the contention FDIP's
+/// filtering exists to manage.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_mem::Bus;
+/// use fdip_types::Cycle;
+///
+/// let mut bus = Bus::new(4);
+/// let g1 = bus.request(Cycle::new(10));
+/// let g2 = bus.request(Cycle::new(10));
+/// assert_eq!(g1, Cycle::new(10));
+/// assert_eq!(g2, Cycle::new(14)); // waits for the first transfer
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bus {
+    transfer_cycles: u64,
+    free_at: Cycle,
+    busy_cycles: u64,
+    transfers: u64,
+}
+
+impl Bus {
+    /// Creates a bus where one block transfer takes `transfer_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transfer_cycles` is zero.
+    pub fn new(transfer_cycles: u64) -> Self {
+        assert!(transfer_cycles > 0, "transfers take at least one cycle");
+        Bus {
+            transfer_cycles,
+            free_at: Cycle::ZERO,
+            busy_cycles: 0,
+            transfers: 0,
+        }
+    }
+
+    /// Cycles one block transfer occupies.
+    pub fn transfer_cycles(&self) -> u64 {
+        self.transfer_cycles
+    }
+
+    /// Returns `true` if a request at `now` would start immediately.
+    pub fn is_idle(&self, now: Cycle) -> bool {
+        !self.free_at.is_after(now)
+    }
+
+    /// Requests a transfer at `now`; returns the grant (start) cycle and
+    /// occupies the bus until `grant + transfer_cycles`.
+    pub fn request(&mut self, now: Cycle) -> Cycle {
+        let grant = self.free_at.max(now);
+        self.free_at = grant + self.transfer_cycles;
+        self.busy_cycles += self.transfer_cycles;
+        self.transfers += 1;
+        grant
+    }
+
+    /// Total cycles the bus has been occupied.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Total transfers granted.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Clears the accumulated counters (occupancy state is kept), for
+    /// measurement warmup.
+    pub fn reset_counters(&mut self) {
+        self.busy_cycles = 0;
+        self.transfers = 0;
+    }
+
+    /// Bus utilization over `elapsed` total cycles (clamped to 1.0; the bus
+    /// may be booked past the end of simulation).
+    pub fn utilization(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            (self.busy_cycles as f64 / elapsed as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_requests_serialize() {
+        let mut bus = Bus::new(4);
+        assert_eq!(bus.request(Cycle::new(0)), Cycle::new(0));
+        assert_eq!(bus.request(Cycle::new(0)), Cycle::new(4));
+        assert_eq!(bus.request(Cycle::new(0)), Cycle::new(8));
+        assert_eq!(bus.transfers(), 3);
+        assert_eq!(bus.busy_cycles(), 12);
+    }
+
+    #[test]
+    fn idle_gap_is_not_counted_busy() {
+        let mut bus = Bus::new(2);
+        bus.request(Cycle::new(0)); // busy 0..2
+        bus.request(Cycle::new(10)); // busy 10..12
+        assert_eq!(bus.busy_cycles(), 4);
+        assert!((bus.utilization(12) - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_idle_reflects_occupancy() {
+        let mut bus = Bus::new(3);
+        assert!(bus.is_idle(Cycle::new(5)));
+        bus.request(Cycle::new(5)); // busy 5..8
+        assert!(!bus.is_idle(Cycle::new(6)));
+        assert!(bus.is_idle(Cycle::new(8)));
+    }
+
+    #[test]
+    fn utilization_clamps() {
+        let mut bus = Bus::new(100);
+        bus.request(Cycle::new(0));
+        assert_eq!(bus.utilization(10), 1.0);
+        assert_eq!(bus.utilization(0), 0.0);
+    }
+}

@@ -1,0 +1,356 @@
+use fdip_types::Addr;
+
+use crate::CacheGeometry;
+
+/// Replacement policy for a [`Cache`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ReplacementPolicy {
+    /// True least-recently-used.
+    Lru,
+    /// First-in first-out: hits do not refresh recency.
+    Fifo,
+    /// Pseudo-random victim (deterministic xorshift stream).
+    Random,
+}
+
+/// Per-line metadata returned on a cache hit.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct HitInfo {
+    /// The line was brought in by a prefetch.
+    pub was_prefetched: bool,
+    /// This is the first demand reference to the line since fill — the
+    /// moment a prefetched line proves *useful*.
+    pub first_reference: bool,
+    /// The line carried the next-line-prefetch tag bit (now cleared).
+    pub nlp_tagged: bool,
+}
+
+/// Flags applied when filling a line.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct FillFlags {
+    /// The fill is a prefetch (not a demand miss response).
+    pub prefetched: bool,
+    /// Set the tagged-next-line-prefetch bit.
+    pub nlp_tagged: bool,
+}
+
+/// Metadata of a line evicted by a fill.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct EvictedLine {
+    /// Base address of the evicted block.
+    pub addr: Addr,
+    /// The line was prefetched and never demand-referenced — a *useless*
+    /// prefetch (pollution).
+    pub prefetched_unreferenced: bool,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Line {
+    tag: u64,
+    prefetched: bool,
+    referenced: bool,
+    nlp_tagged: bool,
+}
+
+/// A set-associative, tags-only cache model.
+///
+/// Tracks per-line prefetch provenance (for usefulness/pollution
+/// accounting) and the tag bit used by tagged next-line prefetching. Data
+/// values are not modeled.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_mem::{Cache, CacheGeometry, FillFlags, ReplacementPolicy};
+/// use fdip_types::Addr;
+///
+/// let mut c = Cache::new(CacheGeometry::new(64, 2, 64), ReplacementPolicy::Lru);
+/// let a = Addr::new(0x1000);
+/// assert!(c.access(a).is_none()); // cold miss
+/// c.fill(a, FillFlags::default());
+/// assert!(c.access(a).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    /// Per set: lines ordered MRU-first (LRU) or insertion-first (FIFO).
+    sets: Vec<Vec<Line>>,
+    policy: ReplacementPolicy,
+    rng_state: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(geometry: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        Cache {
+            geometry,
+            sets: (0..geometry.sets)
+                .map(|_| Vec::with_capacity(geometry.ways))
+                .collect(),
+            policy,
+            rng_state: 0x243f_6a88_85a3_08d3,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Number of valid lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Demand access: on hit, promotes (LRU), marks the line referenced,
+    /// clears the NLP tag bit, and reports the line's prior state.
+    pub fn access(&mut self, addr: Addr) -> Option<HitInfo> {
+        let set_idx = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|l| l.tag == tag)?;
+        let info = HitInfo {
+            was_prefetched: set[pos].prefetched,
+            first_reference: !set[pos].referenced,
+            nlp_tagged: set[pos].nlp_tagged,
+        };
+        set[pos].referenced = true;
+        set[pos].nlp_tagged = false;
+        if self.policy == ReplacementPolicy::Lru {
+            let line = set.remove(pos);
+            set.insert(0, line);
+        }
+        Some(info)
+    }
+
+    /// Probe: is the block present? No state is modified (this is what a
+    /// CPF tag-port probe observes).
+    pub fn probe(&self, addr: Addr) -> bool {
+        let set = &self.sets[self.geometry.set_index(addr)];
+        let tag = self.geometry.tag(addr);
+        set.iter().any(|l| l.tag == tag)
+    }
+
+    /// Fills the block, evicting a victim if the set is full. Filling an
+    /// already-present block only merges flags (keeps `referenced`).
+    pub fn fill(&mut self, addr: Addr, flags: FillFlags) -> Option<EvictedLine> {
+        let set_idx = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        let ways = self.geometry.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+            set[pos].nlp_tagged |= flags.nlp_tagged;
+            return None;
+        }
+        let evicted = if set.len() == ways {
+            let victim = match self.policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => set.len() - 1,
+                ReplacementPolicy::Random => {
+                    self.rng_state ^= self.rng_state << 13;
+                    self.rng_state ^= self.rng_state >> 7;
+                    self.rng_state ^= self.rng_state << 17;
+                    (self.rng_state % ways as u64) as usize
+                }
+            };
+            let line = set.remove(victim);
+            Some(EvictedLine {
+                addr: self.geometry.block_addr(set_idx, line.tag),
+                prefetched_unreferenced: line.prefetched && !line.referenced,
+            })
+        } else {
+            None
+        };
+        self.sets[set_idx].insert(
+            0,
+            Line {
+                tag,
+                prefetched: flags.prefetched,
+                referenced: false,
+                nlp_tagged: flags.nlp_tagged,
+            },
+        );
+        evicted
+    }
+
+    /// Invalidates the block if present; reports whether it was a
+    /// never-referenced prefetch.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<EvictedLine> {
+        let set_idx = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|l| l.tag == tag)?;
+        let line = set.remove(pos);
+        Some(EvictedLine {
+            addr,
+            prefetched_unreferenced: line.prefetched && !line.referenced,
+        })
+    }
+
+    /// Clears all lines.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(sets: usize, ways: usize) -> Cache {
+        Cache::new(CacheGeometry::new(sets, ways, 64), ReplacementPolicy::Lru)
+    }
+
+    #[test]
+    fn cold_miss_then_hit_after_fill() {
+        let mut c = cache(4, 2);
+        let a = Addr::new(0x1000);
+        assert!(c.access(a).is_none());
+        assert!(c.fill(a, FillFlags::default()).is_none());
+        let hit = c.access(a).unwrap();
+        assert!(!hit.was_prefetched);
+        assert!(hit.first_reference);
+    }
+
+    #[test]
+    fn same_block_addresses_hit() {
+        let mut c = cache(4, 2);
+        c.fill(Addr::new(0x1000), FillFlags::default());
+        assert!(c.access(Addr::new(0x103c)).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recent() {
+        let mut c = cache(1, 2);
+        let (a, b, d) = (Addr::new(0), Addr::new(64), Addr::new(128));
+        c.fill(a, FillFlags::default());
+        c.fill(b, FillFlags::default());
+        c.access(a); // b is now LRU
+        let evicted = c.fill(d, FillFlags::default()).unwrap();
+        assert_eq!(evicted.addr, b);
+        assert!(c.probe(a) && c.probe(d) && !c.probe(b));
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut c = Cache::new(CacheGeometry::new(1, 2, 64), ReplacementPolicy::Fifo);
+        let (a, b, d) = (Addr::new(0), Addr::new(64), Addr::new(128));
+        c.fill(a, FillFlags::default());
+        c.fill(b, FillFlags::default());
+        c.access(a); // does not save a under FIFO
+        let evicted = c.fill(d, FillFlags::default()).unwrap();
+        assert_eq!(evicted.addr, a);
+    }
+
+    #[test]
+    fn random_policy_is_deterministic() {
+        let run = || {
+            let mut c = Cache::new(CacheGeometry::new(1, 4, 64), ReplacementPolicy::Random);
+            let mut evictions = Vec::new();
+            for i in 0..32u64 {
+                if let Some(e) = c.fill(Addr::new(i * 64), FillFlags::default()) {
+                    evictions.push(e.addr);
+                }
+            }
+            evictions
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn prefetch_usefulness_tracking() {
+        let mut c = cache(4, 2);
+        let a = Addr::new(0x2000);
+        c.fill(
+            a,
+            FillFlags {
+                prefetched: true,
+                nlp_tagged: false,
+            },
+        );
+        let first = c.access(a).unwrap();
+        assert!(first.was_prefetched && first.first_reference);
+        let second = c.access(a).unwrap();
+        assert!(second.was_prefetched && !second.first_reference);
+    }
+
+    #[test]
+    fn pollution_detected_on_eviction() {
+        let mut c = cache(1, 1);
+        let a = Addr::new(0);
+        let b = Addr::new(64);
+        c.fill(
+            a,
+            FillFlags {
+                prefetched: true,
+                nlp_tagged: false,
+            },
+        );
+        let evicted = c.fill(b, FillFlags::default()).unwrap();
+        assert!(evicted.prefetched_unreferenced, "unused prefetch evicted");
+    }
+
+    #[test]
+    fn nlp_tag_cleared_on_first_access() {
+        let mut c = cache(4, 2);
+        let a = Addr::new(0x3000);
+        c.fill(
+            a,
+            FillFlags {
+                prefetched: true,
+                nlp_tagged: true,
+            },
+        );
+        assert!(c.access(a).unwrap().nlp_tagged);
+        assert!(!c.access(a).unwrap().nlp_tagged, "tag bit cleared");
+    }
+
+    #[test]
+    fn refill_of_present_block_keeps_referenced_state() {
+        let mut c = cache(4, 2);
+        let a = Addr::new(0x1000);
+        c.fill(a, FillFlags::default());
+        c.access(a);
+        c.fill(
+            a,
+            FillFlags {
+                prefetched: true,
+                nlp_tagged: false,
+            },
+        );
+        let hit = c.access(a).unwrap();
+        assert!(!hit.first_reference, "merge must not reset referenced");
+        assert!(!hit.was_prefetched, "merge must not rewrite provenance");
+    }
+
+    #[test]
+    fn invalidate_reports_pollution_state() {
+        let mut c = cache(4, 2);
+        let a = Addr::new(0x1000);
+        c.fill(
+            a,
+            FillFlags {
+                prefetched: true,
+                nlp_tagged: false,
+            },
+        );
+        let e = c.invalidate(a).unwrap();
+        assert!(e.prefetched_unreferenced);
+        assert!(c.invalidate(a).is_none());
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = cache(2, 2);
+        for i in 0..64u64 {
+            c.fill(Addr::new(i * 64), FillFlags::default());
+        }
+        assert_eq!(c.len(), 4);
+    }
+}

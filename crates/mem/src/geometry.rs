@@ -1,0 +1,110 @@
+use fdip_types::Addr;
+
+/// Geometry of a set-associative cache.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheGeometry {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Block (line) size in bytes (power of two).
+    pub block_bytes: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `block_bytes` is not a power of two, or any
+    /// dimension is zero.
+    pub fn new(sets: usize, ways: usize, block_bytes: u64) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be non-zero");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        CacheGeometry {
+            sets,
+            ways,
+            block_bytes,
+        }
+    }
+
+    /// Builds the geometry for a cache of `capacity_bytes` with the given
+    /// associativity and block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implied set count is not a positive power of two.
+    pub fn from_capacity(capacity_bytes: u64, ways: usize, block_bytes: u64) -> Self {
+        let sets = capacity_bytes / (ways as u64 * block_bytes);
+        assert!(sets > 0, "capacity too small for geometry");
+        CacheGeometry::new(sets as usize, ways, block_bytes)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.block_bytes
+    }
+
+    /// Total number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Set index for an address.
+    pub fn set_index(&self, addr: Addr) -> usize {
+        (addr.block_index(self.block_bytes) % self.sets as u64) as usize
+    }
+
+    /// Tag for an address.
+    pub fn tag(&self, addr: Addr) -> u64 {
+        addr.block_index(self.block_bytes) / self.sets as u64
+    }
+
+    /// Reconstructs the block base address from a set index and tag.
+    pub fn block_addr(&self, set: usize, tag: u64) -> Addr {
+        Addr::new((tag * self.sets as u64 + set as u64) * self.block_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_roundtrip() {
+        let g = CacheGeometry::from_capacity(16 * 1024, 2, 64);
+        assert_eq!(g.sets, 128);
+        assert_eq!(g.capacity_bytes(), 16 * 1024);
+        assert_eq!(g.blocks(), 256);
+    }
+
+    #[test]
+    fn index_tag_reconstruct_block() {
+        let g = CacheGeometry::new(64, 4, 32);
+        for raw in [0u64, 0x1234_5660, 0xffff_0000] {
+            let addr = Addr::new(raw).block_base(32);
+            let set = g.set_index(addr);
+            let tag = g.tag(addr);
+            assert_eq!(g.block_addr(set, tag), addr);
+        }
+    }
+
+    #[test]
+    fn addresses_in_same_block_share_index_and_tag() {
+        let g = CacheGeometry::new(64, 4, 64);
+        let a = Addr::new(0x1000);
+        let b = Addr::new(0x103c);
+        assert_eq!(g.set_index(a), g.set_index(b));
+        assert_eq!(g.tag(a), g.tag(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        let _ = CacheGeometry::new(96, 2, 64);
+    }
+}

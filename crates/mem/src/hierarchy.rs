@@ -1,0 +1,576 @@
+use fdip_types::{Addr, Cycle};
+
+use crate::{
+    Bus, Cache, CacheGeometry, FillFlags, HitInfo, MemStats, MissKind, MshrFile, PrefetchBuffer,
+    ReplacementPolicy, TagPorts, VictimCache,
+};
+
+/// Configuration of the two-level instruction memory hierarchy.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct HierarchyConfig {
+    /// L1-I geometry.
+    pub l1: CacheGeometry,
+    /// L1-I replacement policy.
+    pub l1_policy: ReplacementPolicy,
+    /// Unified L2 geometry (only its instruction side is exercised).
+    pub l2: CacheGeometry,
+    /// Cycles from L1 miss issue to fill, given an L2 hit.
+    pub l2_latency: u64,
+    /// Additional cycles when the L2 also misses (memory access).
+    pub mem_latency: u64,
+    /// Bus occupancy per block transfer.
+    pub bus_transfer_cycles: u64,
+    /// Outstanding-miss capacity.
+    pub mshrs: usize,
+    /// Prefetch-buffer capacity in blocks; 0 = prefetch straight into L1.
+    pub prefetch_buffer_blocks: usize,
+    /// L1-I tag ports per cycle (CPF steals the idle ones).
+    pub tag_ports: u32,
+    /// MSHRs held back from prefetches so demand misses always find room.
+    pub prefetch_mshr_reserve: usize,
+    /// Fully-associative victim cache capacity in blocks (0 disables).
+    pub victim_blocks: usize,
+}
+
+impl Default for HierarchyConfig {
+    /// The reproduction's baseline machine: 16 KB 2-way L1-I with 64 B
+    /// lines, 1 MB 8-way L2, 12-cycle L2, +120-cycle memory, 4-cycle bus
+    /// transfers, 8 MSHRs, 32-block prefetch buffer, 2 tag ports.
+    fn default() -> Self {
+        HierarchyConfig {
+            l1: CacheGeometry::from_capacity(16 * 1024, 2, 64),
+            l1_policy: ReplacementPolicy::Lru,
+            l2: CacheGeometry::from_capacity(1024 * 1024, 8, 64),
+            l2_latency: 12,
+            mem_latency: 120,
+            bus_transfer_cycles: 4,
+            mshrs: 8,
+            prefetch_buffer_blocks: 32,
+            tag_ports: 2,
+            prefetch_mshr_reserve: 2,
+            victim_blocks: 0,
+        }
+    }
+}
+
+/// Result of a demand instruction fetch access.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DemandOutcome {
+    /// Hit in the L1-I.
+    L1Hit {
+        /// Line state at hit time.
+        info: HitInfo,
+    },
+    /// Hit in the prefetch buffer; the block was promoted into the L1-I.
+    PrefetchBufferHit,
+    /// The block is already in flight; the fetch must wait.
+    InFlight {
+        /// When the fill arrives.
+        ready_at: Cycle,
+        /// The in-flight request was a prefetch (now upgraded) — a *late*
+        /// prefetch.
+        was_prefetch: bool,
+    },
+    /// A new miss was issued.
+    Miss {
+        /// When the fill arrives.
+        ready_at: Cycle,
+    },
+    /// No MSHR was free; retry next cycle.
+    MshrFull,
+}
+
+/// Result of a prefetch issue attempt.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PrefetchOutcome {
+    /// The block is already buffered; nothing issued.
+    InPrefetchBuffer,
+    /// The block is already in flight; nothing issued.
+    InFlight,
+    /// Issued on the bus.
+    Issued {
+        /// When the fill arrives.
+        ready_at: Cycle,
+    },
+    /// No MSHR free; nothing issued.
+    NoMshr,
+}
+
+/// The L1-I / L2 / memory hierarchy with an explicit bus, MSHRs, tag
+/// ports, and prefetch buffer — the machinery every prefetcher in the
+/// reproduction talks to.
+///
+/// Call [`begin_cycle`](Self::begin_cycle) once per simulated cycle (it
+/// applies arrived fills and re-arms the tag ports), then issue demand
+/// accesses and prefetches for that cycle.
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    config: HierarchyConfig,
+    l1: Cache,
+    l2: Cache,
+    bus: Bus,
+    mshrs: MshrFile,
+    prefetch_buffer: PrefetchBuffer,
+    ports: TagPorts,
+    stats: MemStats,
+    /// Blocks whose fills landed since the last drain — the predecode tap
+    /// used by BTB-fill extensions (Boomerang-style).
+    recent_fills: Vec<Addr>,
+    victim: VictimCache,
+}
+
+impl MemoryHierarchy {
+    /// Creates a hierarchy from its configuration.
+    pub fn new(config: HierarchyConfig) -> Self {
+        MemoryHierarchy {
+            config,
+            l1: Cache::new(config.l1, config.l1_policy),
+            l2: Cache::new(config.l2, ReplacementPolicy::Lru),
+            bus: Bus::new(config.bus_transfer_cycles),
+            mshrs: MshrFile::with_block_bytes(config.mshrs, config.l1.block_bytes),
+            prefetch_buffer: PrefetchBuffer::new(
+                config.prefetch_buffer_blocks,
+                config.l1.block_bytes,
+            ),
+            ports: TagPorts::new(config.tag_ports),
+            stats: MemStats::default(),
+            recent_fills: Vec::new(),
+            victim: VictimCache::new(config.victim_blocks, config.l1.block_bytes),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Clears all statistics without touching cache/MSHR/bus *state* —
+    /// used to exclude warmup from measurement.
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+        self.bus.reset_counters();
+    }
+
+    /// The L1–L2 bus (for utilization statistics and idle checks).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// The tag-port model (CPF claims idle ports through this).
+    pub fn ports_mut(&mut self) -> &mut TagPorts {
+        &mut self.ports
+    }
+
+    /// Starts a new cycle: applies fills that have arrived and re-arms the
+    /// tag ports. Must be called once per cycle, before any access.
+    pub fn begin_cycle(&mut self, now: Cycle) {
+        self.ports.begin_cycle(now);
+        for fill in self.mshrs.take_ready(now) {
+            self.recent_fills.push(fill.block);
+            match fill.kind {
+                MissKind::Demand => {
+                    self.fill_l1(
+                        fill.block,
+                        FillFlags {
+                            prefetched: false,
+                            nlp_tagged: fill.nlp_tagged,
+                        },
+                    );
+                }
+                MissKind::Prefetch => {
+                    if self.l1.probe(fill.block) {
+                        self.stats.redundant_prefetch_fills += 1;
+                    } else if self.prefetch_buffer.capacity() > 0 {
+                        self.prefetch_buffer.insert(fill.block);
+                    } else {
+                        self.fill_l1(
+                            fill.block,
+                            FillFlags {
+                                prefetched: true,
+                                nlp_tagged: fill.nlp_tagged,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn fill_l1(&mut self, block: Addr, flags: FillFlags) {
+        if let Some(evicted) = self.l1.fill(block, flags) {
+            if evicted.prefetched_unreferenced {
+                self.stats.useless_evictions += 1;
+            }
+            self.victim.insert(evicted.addr);
+        }
+    }
+
+    /// Issues a demand fetch for the block containing `addr`.
+    ///
+    /// Consumes one tag port implicitly (the caller accounts ports; see
+    /// [`TagPorts`]). Checks, in order: L1, prefetch buffer (promoting on
+    /// hit), in-flight MSHRs (merging), then allocates a new miss.
+    pub fn demand_access(&mut self, now: Cycle, addr: Addr) -> DemandOutcome {
+        self.stats.l1_accesses += 1;
+        if let Some(info) = self.l1.access(addr) {
+            self.stats.l1_hits += 1;
+            if info.was_prefetched && info.first_reference {
+                self.stats.useful_prefetches += 1;
+            }
+            return DemandOutcome::L1Hit { info };
+        }
+        if self.victim.capacity() > 0 && self.victim.take(addr) {
+            // Victim hit: the line swaps back into the L1 without a bus
+            // transfer.
+            self.stats.victim_hits += 1;
+            self.stats.l1_hits += 1;
+            let block = addr.block_base(self.config.l1.block_bytes);
+            self.fill_l1(block, FillFlags::default());
+            let info = self.l1.access(addr).expect("line just filled");
+            return DemandOutcome::L1Hit { info };
+        }
+        if self.prefetch_buffer.take(addr) {
+            self.stats.pb_hits += 1;
+            self.stats.useful_prefetches += 1;
+            let block = addr.block_base(self.config.l1.block_bytes);
+            self.fill_l1(
+                block,
+                FillFlags {
+                    prefetched: true,
+                    nlp_tagged: false,
+                },
+            );
+            // Mark referenced so this line never counts as pollution.
+            let _ = self.l1.access(addr);
+            return DemandOutcome::PrefetchBufferHit;
+        }
+        self.stats.l1_misses += 1;
+        if let Some((ready_at, was_prefetch)) = self.mshrs.merge_demand(addr) {
+            if was_prefetch {
+                self.stats.late_prefetches += 1;
+            }
+            return DemandOutcome::InFlight {
+                ready_at,
+                was_prefetch,
+            };
+        }
+        if self.mshrs.is_full() {
+            return DemandOutcome::MshrFull;
+        }
+        let ready_at = self.issue_transfer(now, addr);
+        self.stats.demand_transfers += 1;
+        self.mshrs
+            .allocate(addr, ready_at, MissKind::Demand)
+            .expect("capacity and duplicates checked above");
+        DemandOutcome::Miss { ready_at }
+    }
+
+    /// Issues a prefetch for the block containing `addr`. `nlp_tagged`
+    /// marks the fill for tagged next-line prefetching.
+    ///
+    /// Does *not* check the L1 — an unfiltered prefetcher wastes bandwidth
+    /// on blocks already present (exactly what CPF exists to prevent).
+    /// Callers that probed first (CPF) simply skip present blocks.
+    pub fn issue_prefetch(&mut self, now: Cycle, addr: Addr, nlp_tagged: bool) -> PrefetchOutcome {
+        if self.prefetch_buffer.contains(addr) {
+            return PrefetchOutcome::InPrefetchBuffer;
+        }
+        if self.mshrs.lookup(addr).is_some() {
+            return PrefetchOutcome::InFlight;
+        }
+        if self.mshrs.len() + self.config.prefetch_mshr_reserve >= self.config.mshrs {
+            return PrefetchOutcome::NoMshr;
+        }
+        let ready_at = self.issue_transfer(now, addr);
+        self.stats.prefetches_issued += 1;
+        self.stats.prefetch_transfers += 1;
+        let result = if nlp_tagged {
+            self.mshrs.allocate_nlp(addr, ready_at, MissKind::Prefetch)
+        } else {
+            self.mshrs.allocate(addr, ready_at, MissKind::Prefetch)
+        };
+        result.expect("capacity and duplicates checked above");
+        PrefetchOutcome::Issued { ready_at }
+    }
+
+    /// Books the bus and the L2 (or memory) for one block transfer;
+    /// returns the fill-arrival cycle.
+    fn issue_transfer(&mut self, now: Cycle, addr: Addr) -> Cycle {
+        let grant = self.bus.request(now);
+        let latency = if self.l2.access(addr).is_some() {
+            self.stats.l2_hits += 1;
+            self.config.l2_latency
+        } else {
+            self.stats.l2_misses += 1;
+            // The line is installed in L2 on the way in.
+            self.l2.fill(addr, FillFlags::default());
+            self.config.l2_latency + self.config.mem_latency
+        };
+        grant + latency
+    }
+
+    /// Installs a line delivered by an *external* prefetch structure (e.g.
+    /// a stream buffer promoting its head into the L1). The line is marked
+    /// prefetched so usefulness accounting works when the demand access
+    /// touches it.
+    pub fn install_line(&mut self, addr: Addr) {
+        let block = addr.block_base(self.config.l1.block_bytes);
+        self.fill_l1(
+            block,
+            FillFlags {
+                prefetched: true,
+                nlp_tagged: false,
+            },
+        );
+    }
+
+    /// Books the bus + L2 for a transfer whose fill is owned by an external
+    /// structure (stream buffers hold their own fills). Counted as prefetch
+    /// traffic. Returns the arrival cycle.
+    pub fn issue_external_transfer(&mut self, now: Cycle, addr: Addr) -> Cycle {
+        let ready = self.issue_transfer(now, addr);
+        self.stats.prefetches_issued += 1;
+        self.stats.prefetch_transfers += 1;
+        ready
+    }
+
+    /// Tag probe for Cache Probe Filtering: is the block in the L1?
+    /// (Port arbitration is the caller's job via [`Self::ports_mut`].)
+    pub fn probe_l1(&self, addr: Addr) -> bool {
+        self.l1.probe(addr)
+    }
+
+    /// Is the block in the prefetch buffer? (Probed alongside the L1.)
+    pub fn probe_prefetch_buffer(&self, addr: Addr) -> bool {
+        self.prefetch_buffer.contains(addr)
+    }
+
+    /// Is the block covered by an in-flight MSHR?
+    pub fn in_flight(&self, addr: Addr) -> bool {
+        self.mshrs.lookup(addr).is_some()
+    }
+
+    /// Returns `true` if the bus would accept a request at `now` without
+    /// queuing.
+    pub fn bus_idle(&self, now: Cycle) -> bool {
+        self.bus.is_idle(now)
+    }
+
+    /// The victim cache (for ablation statistics).
+    pub fn victim(&self) -> &VictimCache {
+        &self.victim
+    }
+
+    /// Prefetch-buffer storage in bits.
+    pub fn prefetch_buffer_storage_bits(&self) -> u64 {
+        self.prefetch_buffer.storage_bits()
+    }
+
+    /// Unreferenced prefetch-buffer evictions plus L1 pollution evictions.
+    pub fn total_useless_prefetches(&self) -> u64 {
+        self.stats.useless_evictions + self.prefetch_buffer.evicted_unreferenced()
+    }
+
+    /// Drains the blocks filled since the last call — the raw material a
+    /// predecoder (Boomerang-style BTB fill) works on.
+    pub fn take_recent_fills(&mut self) -> Vec<Addr> {
+        std::mem::take(&mut self.recent_fills)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::default())
+    }
+
+    #[test]
+    fn cold_miss_fill_then_hit() {
+        let mut m = hierarchy();
+        let a = Addr::new(0x4000);
+        m.begin_cycle(Cycle::ZERO);
+        let ready = match m.demand_access(Cycle::ZERO, a) {
+            DemandOutcome::Miss { ready_at } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        // L2 also misses cold: l2 + mem latency.
+        assert_eq!(ready, Cycle::new(12 + 120));
+        m.begin_cycle(ready);
+        assert!(matches!(
+            m.demand_access(ready, a),
+            DemandOutcome::L1Hit { .. }
+        ));
+        assert_eq!(m.stats().l1_misses, 1);
+        assert_eq!(m.stats().l1_hits, 1);
+        assert_eq!(m.stats().l2_misses, 1);
+    }
+
+    #[test]
+    fn second_miss_to_same_block_merges() {
+        let mut m = hierarchy();
+        let a = Addr::new(0x4000);
+        m.begin_cycle(Cycle::ZERO);
+        m.demand_access(Cycle::ZERO, a);
+        match m.demand_access(Cycle::ZERO, Addr::new(0x4004)) {
+            DemandOutcome::InFlight { was_prefetch, .. } => assert!(!was_prefetch),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.stats().demand_transfers, 1, "no duplicate transfer");
+    }
+
+    #[test]
+    fn l2_hit_is_fast_after_first_fetch() {
+        let mut m = hierarchy();
+        let a = Addr::new(0x8000);
+        m.begin_cycle(Cycle::ZERO);
+        m.demand_access(Cycle::ZERO, a);
+        // Evict it from tiny L1 by filling its set; L2 retains it.
+        // 16KB 2-way 64B → 128 sets; same set stride = 128*64 = 8192.
+        let t = Cycle::new(200);
+        m.begin_cycle(t);
+        m.demand_access(t, Addr::new(0x8000 + 8192));
+        m.demand_access(t, Addr::new(0x8000 + 2 * 8192));
+        let t2 = Cycle::new(600);
+        m.begin_cycle(t2);
+        match m.demand_access(t2, a) {
+            DemandOutcome::Miss { ready_at } => {
+                assert_eq!(ready_at, t2 + 12, "L2 hit latency only");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefetch_fills_buffer_then_promotes() {
+        let mut m = hierarchy();
+        let a = Addr::new(0xc000);
+        m.begin_cycle(Cycle::ZERO);
+        let ready = match m.issue_prefetch(Cycle::ZERO, a, false) {
+            PrefetchOutcome::Issued { ready_at } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        m.begin_cycle(ready);
+        assert!(m.probe_prefetch_buffer(a));
+        assert!(!m.probe_l1(a));
+        assert!(matches!(
+            m.demand_access(ready, a),
+            DemandOutcome::PrefetchBufferHit
+        ));
+        assert!(m.probe_l1(a), "promoted to L1");
+        assert_eq!(m.stats().useful_prefetches, 1);
+        assert_eq!(m.stats().pb_hits, 1);
+    }
+
+    #[test]
+    fn late_prefetch_is_counted_when_demand_merges() {
+        let mut m = hierarchy();
+        let a = Addr::new(0xc000);
+        m.begin_cycle(Cycle::ZERO);
+        m.issue_prefetch(Cycle::ZERO, a, false);
+        let t = Cycle::new(3);
+        m.begin_cycle(t);
+        match m.demand_access(t, a) {
+            DemandOutcome::InFlight { was_prefetch, .. } => assert!(was_prefetch),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.stats().late_prefetches, 1);
+    }
+
+    #[test]
+    fn duplicate_prefetches_are_deduped() {
+        let mut m = hierarchy();
+        let a = Addr::new(0xc000);
+        m.begin_cycle(Cycle::ZERO);
+        assert!(matches!(
+            m.issue_prefetch(Cycle::ZERO, a, false),
+            PrefetchOutcome::Issued { .. }
+        ));
+        assert!(matches!(
+            m.issue_prefetch(Cycle::ZERO, Addr::new(0xc020), false),
+            PrefetchOutcome::InFlight
+        ));
+        assert_eq!(m.stats().prefetches_issued, 1);
+    }
+
+    #[test]
+    fn prefetch_into_l1_when_no_buffer() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig {
+            prefetch_buffer_blocks: 0,
+            ..HierarchyConfig::default()
+        });
+        let a = Addr::new(0x1000);
+        m.begin_cycle(Cycle::ZERO);
+        let ready = match m.issue_prefetch(Cycle::ZERO, a, true) {
+            PrefetchOutcome::Issued { ready_at } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        m.begin_cycle(ready);
+        assert!(m.probe_l1(a));
+        match m.demand_access(ready, a) {
+            DemandOutcome::L1Hit { info } => {
+                assert!(info.was_prefetched);
+                assert!(info.nlp_tagged, "nlp tag carried through the fill");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bus_contention_delays_second_transfer() {
+        let mut m = hierarchy();
+        m.begin_cycle(Cycle::ZERO);
+        let r1 = match m.demand_access(Cycle::ZERO, Addr::new(0x0)) {
+            DemandOutcome::Miss { ready_at } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        let r2 = match m.demand_access(Cycle::ZERO, Addr::new(0x40)) {
+            DemandOutcome::Miss { ready_at } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(r2 - r1, 4, "second transfer waits one bus slot");
+    }
+
+    #[test]
+    fn mshr_exhaustion_reported() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig {
+            mshrs: 1,
+            ..HierarchyConfig::default()
+        });
+        m.begin_cycle(Cycle::ZERO);
+        m.demand_access(Cycle::ZERO, Addr::new(0x0));
+        assert!(matches!(
+            m.demand_access(Cycle::ZERO, Addr::new(0x40)),
+            DemandOutcome::MshrFull
+        ));
+        assert!(matches!(
+            m.issue_prefetch(Cycle::ZERO, Addr::new(0x80), false),
+            PrefetchOutcome::NoMshr
+        ));
+    }
+
+    #[test]
+    fn redundant_prefetch_fill_is_dropped() {
+        let mut m = hierarchy();
+        let a = Addr::new(0x1000);
+        m.begin_cycle(Cycle::ZERO);
+        // Prefetch a block, and demand-fetch it so it lands in L1 first.
+        m.issue_prefetch(Cycle::ZERO, a, false);
+        let t = Cycle::new(1);
+        m.begin_cycle(t);
+        m.demand_access(t, a); // merges, upgrades to demand → fills L1
+        let far = Cycle::new(1000);
+        m.begin_cycle(far);
+        // Now prefetch it again while it *is* in L1: the fill is redundant.
+        m.issue_prefetch(far, a, false);
+        let done = Cycle::new(2000);
+        m.begin_cycle(done);
+        assert_eq!(m.stats().redundant_prefetch_fills, 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Memory-system substrate for the FDIP reproduction.
+//!
+//! The 1999 FDIP evaluation depends on explicit modeling of the structures a
+//! front-end prefetcher interacts with:
+//!
+//! * the **L1 instruction cache** and a unified **L2** behind a
+//!   **bandwidth-limited bus** ([`Cache`], [`Bus`], [`MemoryHierarchy`]);
+//! * **MSHRs** that merge duplicate misses and make prefetches
+//!   *late-but-useful* rather than lost ([`MshrFile`]);
+//! * the fully-associative **prefetch buffer** the original design fills
+//!   instead of polluting the L1 ([`PrefetchBuffer`]);
+//! * **L1 tag ports**, whose idle slots Cache Probe Filtering steals
+//!   ([`TagPorts`]);
+//! * the comparison baselines: **tagged next-line prefetching**
+//!   ([`NextLineTrigger`]) and **stream buffers** ([`StreamBufferSet`]);
+//! * the FDIP-X throttling filter of recently issued prefetches
+//!   ([`RecentRequestFilter`]).
+//!
+//! Everything is cycle-accurate at the granularity the paper's experiments
+//! need: latencies, bus occupancy, and fill timing are explicit; data values
+//! are not modeled (instruction *delivery*, not semantics, drives front-end
+//! performance).
+//!
+//! # Examples
+//!
+//! ```
+//! use fdip_mem::{CacheGeometry, HierarchyConfig, MemoryHierarchy, DemandOutcome};
+//! use fdip_types::{Addr, Cycle};
+//!
+//! let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+//! let now = Cycle::ZERO;
+//! mem.begin_cycle(now);
+//! // A cold demand miss reports when the line will arrive.
+//! match mem.demand_access(now, Addr::new(0x4000)) {
+//!     DemandOutcome::Miss { ready_at } => assert!(ready_at.is_after(now)),
+//!     other => panic!("expected a cold miss, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod cache;
+mod geometry;
+mod hierarchy;
+mod mshr;
+mod next_line;
+mod ports;
+mod prefetch_buffer;
+mod recent_filter;
+mod stats;
+mod stream_buffer;
+mod victim;
+
+pub use bus::Bus;
+pub use cache::{Cache, EvictedLine, FillFlags, HitInfo, ReplacementPolicy};
+pub use geometry::CacheGeometry;
+pub use hierarchy::{DemandOutcome, HierarchyConfig, MemoryHierarchy, PrefetchOutcome};
+pub use mshr::{MissKind, Mshr, MshrFile, MshrRejected};
+pub use next_line::NextLineTrigger;
+pub use ports::TagPorts;
+pub use prefetch_buffer::PrefetchBuffer;
+pub use recent_filter::RecentRequestFilter;
+pub use stats::MemStats;
+pub use stream_buffer::{StreamBufferConfig, StreamBufferSet, StreamHit};
+pub use victim::VictimCache;

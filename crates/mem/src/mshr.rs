@@ -1,0 +1,274 @@
+use std::collections::HashMap;
+
+use fdip_types::{Addr, Cycle};
+
+/// Why an MSHR allocation was rejected.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MshrRejected {
+    /// Every MSHR is occupied.
+    Full,
+    /// The block is already in flight (merge instead).
+    AlreadyInFlight,
+}
+
+impl std::fmt::Display for MshrRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MshrRejected::Full => f.write_str("all mshrs are occupied"),
+            MshrRejected::AlreadyInFlight => f.write_str("block already in flight"),
+        }
+    }
+}
+
+impl std::error::Error for MshrRejected {}
+
+/// Who asked for an in-flight block.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MissKind {
+    /// A demand fetch is waiting on this block.
+    Demand,
+    /// Only a prefetch requested it (so far).
+    Prefetch,
+}
+
+/// An entry of the [`MshrFile`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Mshr {
+    /// Block base address.
+    pub block: Addr,
+    /// Cycle the fill arrives.
+    pub ready_at: Cycle,
+    /// Demand or prefetch (a prefetch *upgrades* to demand when a demand
+    /// miss merges into it — that is a "late prefetch").
+    pub kind: MissKind,
+    /// Set the tagged-next-line-prefetch bit when the fill lands in the L1.
+    pub nlp_tagged: bool,
+}
+
+/// Miss status holding registers: tracks in-flight fills, merges duplicate
+/// requests, and bounds the number of outstanding misses.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_mem::{MshrFile, MissKind};
+/// use fdip_types::{Addr, Cycle};
+///
+/// let mut mshrs = MshrFile::new(4);
+/// mshrs.allocate(Addr::new(0x1000), Cycle::new(50), MissKind::Prefetch).unwrap();
+/// // A demand for the same block merges and upgrades the entry.
+/// assert!(mshrs.merge_demand(Addr::new(0x1000)).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    entries: HashMap<u64, Mshr>,
+    capacity: usize,
+    block_bytes: u64,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries (64-byte blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_block_bytes(capacity, 64)
+    }
+
+    /// Creates an MSHR file for a custom block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `block_bytes` is not a power of two.
+    pub fn with_block_bytes(capacity: usize, block_bytes: u64) -> Self {
+        assert!(capacity > 0, "mshr capacity must be non-zero");
+        assert!(block_bytes.is_power_of_two());
+        MshrFile {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            block_bytes,
+        }
+    }
+
+    fn key(&self, addr: Addr) -> u64 {
+        addr.block_index(self.block_bytes)
+    }
+
+    /// Number of outstanding misses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no miss is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if no entry is free.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// The in-flight entry covering `addr`, if any.
+    pub fn lookup(&self, addr: Addr) -> Option<&Mshr> {
+        self.entries.get(&self.key(addr))
+    }
+
+    /// Allocates an entry for the block containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MshrRejected::Full`] when no register is free and
+    /// [`MshrRejected::AlreadyInFlight`] when the block is already pending
+    /// (use [`lookup`](Self::lookup)/[`merge_demand`](Self::merge_demand)
+    /// for that case).
+    pub fn allocate(
+        &mut self,
+        addr: Addr,
+        ready_at: Cycle,
+        kind: MissKind,
+    ) -> Result<(), MshrRejected> {
+        if self.is_full() {
+            return Err(MshrRejected::Full);
+        }
+        let key = self.key(addr);
+        if self.entries.contains_key(&key) {
+            return Err(MshrRejected::AlreadyInFlight);
+        }
+        self.entries.insert(
+            key,
+            Mshr {
+                block: addr.block_base(self.block_bytes),
+                ready_at,
+                kind,
+                nlp_tagged: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Like [`allocate`](Self::allocate), but the eventual fill carries the
+    /// tagged-next-line-prefetch bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`allocate`](Self::allocate).
+    pub fn allocate_nlp(
+        &mut self,
+        addr: Addr,
+        ready_at: Cycle,
+        kind: MissKind,
+    ) -> Result<(), MshrRejected> {
+        self.allocate(addr, ready_at, kind)?;
+        let key = self.key(addr);
+        self.entries
+            .get_mut(&key)
+            .expect("entry just allocated")
+            .nlp_tagged = true;
+        Ok(())
+    }
+
+    /// Merges a demand miss into an in-flight entry, upgrading a prefetch
+    /// to a demand. Returns `(ready_at, was_prefetch)` on success.
+    pub fn merge_demand(&mut self, addr: Addr) -> Option<(Cycle, bool)> {
+        let key = self.key(addr);
+        let entry = self.entries.get_mut(&key)?;
+        let was_prefetch = entry.kind == MissKind::Prefetch;
+        entry.kind = MissKind::Demand;
+        Some((entry.ready_at, was_prefetch))
+    }
+
+    /// Removes and returns all entries whose fill has arrived by `now`,
+    /// sorted by (ready cycle, block) for determinism.
+    pub fn take_ready(&mut self, now: Cycle) -> Vec<Mshr> {
+        let ready_keys: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.ready_at.is_after(now))
+            .map(|(k, _)| *k)
+            .collect();
+        let mut ready: Vec<Mshr> = ready_keys
+            .into_iter()
+            .map(|k| self.entries.remove(&k).expect("key just observed"))
+            .collect();
+        ready.sort_by_key(|e| (e.ready_at, e.block));
+        ready
+    }
+
+    /// Clears all outstanding entries (used on simulator reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_lookup_take() {
+        let mut m = MshrFile::new(2);
+        m.allocate(Addr::new(0x1010), Cycle::new(20), MissKind::Demand)
+            .unwrap();
+        // Any address in the block finds the entry.
+        assert!(m.lookup(Addr::new(0x103f)).is_some());
+        assert!(m.lookup(Addr::new(0x1040)).is_none());
+        assert!(m.take_ready(Cycle::new(19)).is_empty());
+        let ready = m.take_ready(Cycle::new(20));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].block, Addr::new(0x1000));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn duplicate_allocation_rejected() {
+        let mut m = MshrFile::new(4);
+        m.allocate(Addr::new(0x1000), Cycle::new(5), MissKind::Demand)
+            .unwrap();
+        assert!(m
+            .allocate(Addr::new(0x1004), Cycle::new(9), MissKind::Demand)
+            .is_err());
+    }
+
+    #[test]
+    fn capacity_limit() {
+        let mut m = MshrFile::new(2);
+        m.allocate(Addr::new(0x0), Cycle::new(5), MissKind::Demand)
+            .unwrap();
+        m.allocate(Addr::new(0x40), Cycle::new(5), MissKind::Demand)
+            .unwrap();
+        assert!(m.is_full());
+        assert!(m
+            .allocate(Addr::new(0x80), Cycle::new(5), MissKind::Demand)
+            .is_err());
+    }
+
+    #[test]
+    fn merge_upgrades_prefetch() {
+        let mut m = MshrFile::new(2);
+        m.allocate(Addr::new(0x1000), Cycle::new(30), MissKind::Prefetch)
+            .unwrap();
+        let (ready, was_prefetch) = m.merge_demand(Addr::new(0x1020)).unwrap();
+        assert_eq!(ready, Cycle::new(30));
+        assert!(was_prefetch);
+        // Second merge sees it already demand.
+        let (_, was_prefetch) = m.merge_demand(Addr::new(0x1020)).unwrap();
+        assert!(!was_prefetch);
+        assert_eq!(m.take_ready(Cycle::new(30))[0].kind, MissKind::Demand);
+    }
+
+    #[test]
+    fn take_ready_is_deterministically_ordered() {
+        let mut m = MshrFile::new(8);
+        m.allocate(Addr::new(0x200), Cycle::new(10), MissKind::Demand)
+            .unwrap();
+        m.allocate(Addr::new(0x100), Cycle::new(10), MissKind::Demand)
+            .unwrap();
+        m.allocate(Addr::new(0x300), Cycle::new(5), MissKind::Demand)
+            .unwrap();
+        let ready = m.take_ready(Cycle::new(10));
+        let blocks: Vec<_> = ready.iter().map(|e| e.block.raw()).collect();
+        assert_eq!(blocks, vec![0x300, 0x100, 0x200]);
+    }
+}

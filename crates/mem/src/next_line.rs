@@ -1,0 +1,84 @@
+use fdip_types::Addr;
+
+use crate::HitInfo;
+
+/// Trigger logic for *tagged next-line prefetching*, the classic baseline
+/// the 1999 paper compares FDIP against.
+///
+/// Policy: on a demand **miss** to block *B*, or on the **first hit** to a
+/// block that was brought in by the prefetcher (its tag bit still set),
+/// prefetch block *B+1*. The tag bit lives in the cache line
+/// ([`HitInfo::nlp_tagged`]); this type just centralizes the trigger
+/// decision so the front-end and tests agree on it.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_mem::NextLineTrigger;
+/// use fdip_types::Addr;
+///
+/// let t = NextLineTrigger::new(64);
+/// // A miss on 0x1000 triggers a prefetch of 0x1040.
+/// assert_eq!(t.on_miss(Addr::new(0x1010)), Addr::new(0x1040));
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct NextLineTrigger {
+    block_bytes: u64,
+}
+
+impl NextLineTrigger {
+    /// Creates trigger logic for `block_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two.
+    pub fn new(block_bytes: u64) -> Self {
+        assert!(block_bytes.is_power_of_two());
+        NextLineTrigger { block_bytes }
+    }
+
+    /// The block to prefetch after a demand miss at `addr`.
+    pub fn on_miss(&self, addr: Addr) -> Addr {
+        addr.block_base(self.block_bytes) + self.block_bytes
+    }
+
+    /// The block to prefetch after a demand *hit* at `addr`, if the hit
+    /// should trigger (tagged policy: only the first hit to a prefetched,
+    /// still-tagged line).
+    pub fn on_hit(&self, addr: Addr, info: &HitInfo) -> Option<Addr> {
+        if info.nlp_tagged {
+            Some(addr.block_base(self.block_bytes) + self.block_bytes)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_prefetches_sequential_block() {
+        let t = NextLineTrigger::new(32);
+        assert_eq!(t.on_miss(Addr::new(0x100)), Addr::new(0x120));
+        assert_eq!(t.on_miss(Addr::new(0x11f)), Addr::new(0x120));
+    }
+
+    #[test]
+    fn hit_triggers_only_when_tagged() {
+        let t = NextLineTrigger::new(64);
+        let tagged = HitInfo {
+            was_prefetched: true,
+            first_reference: true,
+            nlp_tagged: true,
+        };
+        let untagged = HitInfo {
+            was_prefetched: true,
+            first_reference: false,
+            nlp_tagged: false,
+        };
+        assert_eq!(t.on_hit(Addr::new(0x1000), &tagged), Some(Addr::new(0x1040)));
+        assert_eq!(t.on_hit(Addr::new(0x1000), &untagged), None);
+    }
+}

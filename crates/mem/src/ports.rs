@@ -1,0 +1,127 @@
+use fdip_types::Cycle;
+
+/// The L1-I tag-port model behind Cache Probe Filtering.
+///
+/// The cache has a fixed number of tag ports per cycle. Demand fetches
+/// consume ports first; CPF may only *steal idle ports* — the central
+/// constraint of the 1999 filtering design. Callers must call
+/// [`begin_cycle`](Self::begin_cycle) once per cycle before using ports.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_mem::TagPorts;
+/// use fdip_types::Cycle;
+///
+/// let mut ports = TagPorts::new(2);
+/// ports.begin_cycle(Cycle::new(7));
+/// assert!(ports.try_use());  // fetch engine
+/// assert!(ports.try_use());  // one idle port left for CPF
+/// assert!(!ports.try_use()); // exhausted this cycle
+/// ```
+#[derive(Clone, Debug)]
+pub struct TagPorts {
+    per_cycle: u32,
+    used: u32,
+    current: Cycle,
+    total_uses: u64,
+    total_cycles: u64,
+}
+
+impl TagPorts {
+    /// Creates a port model with `per_cycle` tag ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_cycle` is zero.
+    pub fn new(per_cycle: u32) -> Self {
+        assert!(per_cycle > 0, "need at least one tag port");
+        TagPorts {
+            per_cycle,
+            used: 0,
+            current: Cycle::ZERO,
+            total_uses: 0,
+            total_cycles: 0,
+        }
+    }
+
+    /// Ports available per cycle.
+    pub fn per_cycle(&self) -> u32 {
+        self.per_cycle
+    }
+
+    /// Starts accounting for a new cycle.
+    pub fn begin_cycle(&mut self, now: Cycle) {
+        self.current = now;
+        self.used = 0;
+        self.total_cycles += 1;
+    }
+
+    /// Ports still free this cycle.
+    pub fn available(&self) -> u32 {
+        self.per_cycle - self.used
+    }
+
+    /// Claims one port if any is free this cycle.
+    pub fn try_use(&mut self) -> bool {
+        if self.used < self.per_cycle {
+            self.used += 1;
+            self.total_uses += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Average port occupancy (uses per port-cycle).
+    pub fn occupancy(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.total_uses as f64 / (self.total_cycles * self.per_cycle as u64) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_replenish_each_cycle() {
+        let mut p = TagPorts::new(1);
+        p.begin_cycle(Cycle::new(0));
+        assert!(p.try_use());
+        assert!(!p.try_use());
+        p.begin_cycle(Cycle::new(1));
+        assert!(p.try_use());
+    }
+
+    #[test]
+    fn available_counts_down() {
+        let mut p = TagPorts::new(3);
+        p.begin_cycle(Cycle::new(0));
+        assert_eq!(p.available(), 3);
+        p.try_use();
+        p.try_use();
+        assert_eq!(p.available(), 1);
+    }
+
+    #[test]
+    fn occupancy_statistic() {
+        let mut p = TagPorts::new(2);
+        p.begin_cycle(Cycle::new(0));
+        p.try_use();
+        p.begin_cycle(Cycle::new(1));
+        p.try_use();
+        p.try_use();
+        // 3 uses over 2 cycles × 2 ports.
+        assert!((p.occupancy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tag port")]
+    fn zero_ports_rejected() {
+        let _ = TagPorts::new(0);
+    }
+}

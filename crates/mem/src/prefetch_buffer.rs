@@ -1,0 +1,170 @@
+use fdip_types::Addr;
+
+/// The fully-associative prefetch buffer of the 1999 FDIP design.
+///
+/// Prefetched blocks land here instead of the L1-I, so wrong prefetches
+/// cannot pollute the cache. The fetch engine probes it in parallel with
+/// the L1; a hit *promotes* the block into the L1 (removing it here).
+/// Replacement is FIFO over a small number of entries (32 in the paper's
+/// configuration).
+///
+/// # Examples
+///
+/// ```
+/// use fdip_mem::PrefetchBuffer;
+/// use fdip_types::Addr;
+///
+/// let mut pb = PrefetchBuffer::new(2, 64);
+/// pb.insert(Addr::new(0x1000));
+/// assert!(pb.contains(Addr::new(0x1004)));
+/// assert!(pb.take(Addr::new(0x1000))); // promote to L1
+/// assert!(!pb.contains(Addr::new(0x1000)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PrefetchBuffer {
+    /// Block base addresses, oldest first. A referenced block is *taken*
+    /// (promoted to L1), so anything still here at eviction was never used.
+    entries: Vec<Addr>,
+    capacity: usize,
+    block_bytes: u64,
+    evicted_unreferenced: u64,
+}
+
+impl PrefetchBuffer {
+    /// Creates a buffer of `capacity` blocks of `block_bytes` each.
+    ///
+    /// A zero-capacity buffer is legal and always misses — it models the
+    /// "prefetch straight into L1" configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two.
+    pub fn new(capacity: usize, block_bytes: u64) -> Self {
+        assert!(block_bytes.is_power_of_two());
+        PrefetchBuffer {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            block_bytes,
+            evicted_unreferenced: 0,
+        }
+    }
+
+    /// Buffer capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the buffer holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn base(&self, addr: Addr) -> Addr {
+        addr.block_base(self.block_bytes)
+    }
+
+    /// Returns `true` if the block containing `addr` is buffered.
+    pub fn contains(&self, addr: Addr) -> bool {
+        let base = self.base(addr);
+        self.entries.contains(&base)
+    }
+
+    /// Inserts the block containing `addr`, evicting the oldest entry when
+    /// full. Returns the evicted block, if any. Duplicate inserts refresh
+    /// nothing (FIFO).
+    pub fn insert(&mut self, addr: Addr) -> Option<Addr> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let base = self.base(addr);
+        if self.contains(base) {
+            return None;
+        }
+        let evicted = if self.entries.len() == self.capacity {
+            let old = self.entries.remove(0);
+            self.evicted_unreferenced += 1;
+            Some(old)
+        } else {
+            None
+        };
+        self.entries.push(base);
+        evicted
+    }
+
+    /// Removes the block containing `addr` for promotion into the L1.
+    /// Returns `true` if it was present.
+    pub fn take(&mut self, addr: Addr) -> bool {
+        let base = self.base(addr);
+        if let Some(pos) = self.entries.iter().position(|a| *a == base) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Blocks that aged out without ever being fetched — useless
+    /// prefetches.
+    pub fn evicted_unreferenced(&self) -> u64 {
+        self.evicted_unreferenced
+    }
+
+    /// Storage cost in bits (tag-only model: 46-bit block-granule tags).
+    pub fn storage_bits(&self) -> u64 {
+        // 48-bit VA minus block offset bits, plus a valid bit, per entry.
+        let tag_bits = 48 - self.block_bytes.trailing_zeros() as u64;
+        self.capacity as u64 * (tag_bits + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_eviction() {
+        let mut pb = PrefetchBuffer::new(2, 64);
+        pb.insert(Addr::new(0x000));
+        pb.insert(Addr::new(0x040));
+        let evicted = pb.insert(Addr::new(0x080));
+        assert_eq!(evicted, Some(Addr::new(0x000)));
+        assert!(!pb.contains(Addr::new(0x000)));
+        assert_eq!(pb.evicted_unreferenced(), 1);
+    }
+
+    #[test]
+    fn duplicates_do_not_grow() {
+        let mut pb = PrefetchBuffer::new(4, 64);
+        pb.insert(Addr::new(0x1000));
+        pb.insert(Addr::new(0x1010)); // same block
+        assert_eq!(pb.len(), 1);
+    }
+
+    #[test]
+    fn take_removes() {
+        let mut pb = PrefetchBuffer::new(4, 64);
+        pb.insert(Addr::new(0x1000));
+        assert!(pb.take(Addr::new(0x1030)));
+        assert!(!pb.take(Addr::new(0x1000)));
+        assert!(pb.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_always_misses() {
+        let mut pb = PrefetchBuffer::new(0, 64);
+        assert_eq!(pb.insert(Addr::new(0x1000)), None);
+        assert!(!pb.contains(Addr::new(0x1000)));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let pb = PrefetchBuffer::new(32, 64);
+        // 48-6 = 42-bit tag + valid per entry.
+        assert_eq!(pb.storage_bits(), 32 * 43);
+    }
+}

@@ -1,0 +1,141 @@
+use fdip_types::Addr;
+
+/// The FDIP-X prefetch-throttling filter: a small fully-associative FIFO of
+/// recently issued prefetch block addresses. A candidate matching an entry
+/// is suppressed, bounding duplicate prefetch traffic (the paper uses 10
+/// entries).
+///
+/// # Examples
+///
+/// ```
+/// use fdip_mem::RecentRequestFilter;
+/// use fdip_types::Addr;
+///
+/// let mut f = RecentRequestFilter::new(10, 64);
+/// assert!(f.admit(Addr::new(0x1000))); // first sight: admitted + recorded
+/// assert!(!f.admit(Addr::new(0x1020))); // same block: suppressed
+/// ```
+#[derive(Clone, Debug)]
+pub struct RecentRequestFilter {
+    entries: Vec<Addr>,
+    capacity: usize,
+    block_bytes: u64,
+    suppressed: u64,
+}
+
+impl RecentRequestFilter {
+    /// Creates a filter of `capacity` block entries. Zero capacity disables
+    /// filtering (everything is admitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two.
+    pub fn new(capacity: usize, block_bytes: u64) -> Self {
+        assert!(block_bytes.is_power_of_two());
+        RecentRequestFilter {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            block_bytes,
+            suppressed: 0,
+        }
+    }
+
+    /// Tests the block containing `addr`: returns `true` (and records it)
+    /// if it was not recently requested, `false` if suppressed.
+    pub fn admit(&mut self, addr: Addr) -> bool {
+        if self.capacity == 0 {
+            return true;
+        }
+        if self.is_recent(addr) {
+            self.suppressed += 1;
+            return false;
+        }
+        self.note(addr);
+        true
+    }
+
+    /// Non-recording, non-counting membership test (returns `false` when
+    /// filtering is disabled).
+    pub fn is_recent(&mut self, addr: Addr) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let base = addr.block_base(self.block_bytes);
+        self.entries.contains(&base)
+    }
+
+    /// Records an issued prefetch without testing.
+    pub fn note(&mut self, addr: Addr) {
+        if self.capacity == 0 {
+            return;
+        }
+        let base = addr.block_base(self.block_bytes);
+        if self.entries.contains(&base) {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(base);
+    }
+
+    /// Like [`is_recent`](Self::is_recent) but counts the suppression.
+    pub fn check_and_count(&mut self, addr: Addr) -> bool {
+        let recent = self.is_recent(addr);
+        if recent {
+            self.suppressed += 1;
+        }
+        recent
+    }
+
+    /// Number of candidates suppressed so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Clears the filter (e.g. on pipeline flush ablations).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppresses_recent_duplicates() {
+        let mut f = RecentRequestFilter::new(2, 64);
+        assert!(f.admit(Addr::new(0x000)));
+        assert!(f.admit(Addr::new(0x040)));
+        assert!(!f.admit(Addr::new(0x000)));
+        assert_eq!(f.suppressed(), 1);
+    }
+
+    #[test]
+    fn old_entries_age_out() {
+        let mut f = RecentRequestFilter::new(2, 64);
+        f.admit(Addr::new(0x000));
+        f.admit(Addr::new(0x040));
+        f.admit(Addr::new(0x080)); // evicts 0x000
+        assert!(f.admit(Addr::new(0x000)), "aged out, admitted again");
+    }
+
+    #[test]
+    fn zero_capacity_admits_everything() {
+        let mut f = RecentRequestFilter::new(0, 64);
+        assert!(f.admit(Addr::new(0x0)));
+        assert!(f.admit(Addr::new(0x0)));
+        assert_eq!(f.suppressed(), 0);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_stats() {
+        let mut f = RecentRequestFilter::new(4, 64);
+        f.admit(Addr::new(0x0));
+        assert!(!f.admit(Addr::new(0x0)));
+        f.clear();
+        assert!(f.admit(Addr::new(0x0)));
+        assert_eq!(f.suppressed(), 1);
+    }
+}

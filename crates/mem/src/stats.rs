@@ -1,0 +1,88 @@
+/// Counters collected by the [`MemoryHierarchy`](crate::MemoryHierarchy).
+///
+/// These are the raw ingredients of the paper's metrics: miss coverage
+/// (compare `l1_misses` against a no-prefetch run), prefetch accuracy
+/// (`useful_prefetches / prefetches_issued`), timeliness
+/// (`late_prefetches`), pollution (`useless_evictions`), and bus pressure
+/// (`demand_transfers` vs `prefetch_transfers`, plus
+/// [`Bus::busy_cycles`](crate::Bus::busy_cycles)).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Demand accesses presented to the L1-I.
+    pub l1_accesses: u64,
+    /// Demand accesses that hit the L1-I.
+    pub l1_hits: u64,
+    /// Demand accesses that missed the L1-I (and the prefetch buffer).
+    pub l1_misses: u64,
+    /// Demand accesses served by the prefetch buffer.
+    pub pb_hits: u64,
+    /// L1 miss requests that hit in the L2.
+    pub l2_hits: u64,
+    /// L1 miss requests that also missed the L2 (went to memory).
+    pub l2_misses: u64,
+    /// Prefetch requests put on the bus.
+    pub prefetches_issued: u64,
+    /// Prefetched blocks whose first demand touch happened (in L1 or PB) —
+    /// *useful* prefetches.
+    pub useful_prefetches: u64,
+    /// Demand misses that merged into an in-flight prefetch — *late but
+    /// partially useful* prefetches.
+    pub late_prefetches: u64,
+    /// Prefetched lines evicted (from L1 or PB) without ever being
+    /// referenced — pollution / wasted bandwidth.
+    pub useless_evictions: u64,
+    /// Prefetch fills dropped because the block was already in the L1.
+    pub redundant_prefetch_fills: u64,
+    /// Block transfers serving demand misses.
+    pub demand_transfers: u64,
+    /// Block transfers serving prefetches.
+    pub prefetch_transfers: u64,
+    /// Demand misses served by the victim cache (no bus transfer).
+    pub victim_hits: u64,
+}
+
+impl MemStats {
+    /// Demand miss ratio: misses per L1 access (prefetch-buffer hits count
+    /// as non-misses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.l1_accesses as f64
+        }
+    }
+
+    /// Fraction of issued prefetches that proved useful.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            0.0
+        } else {
+            self.useful_prefetches as f64 / self.prefetches_issued as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let s = MemStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.prefetch_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = MemStats {
+            l1_accesses: 100,
+            l1_misses: 10,
+            prefetches_issued: 20,
+            useful_prefetches: 15,
+            ..MemStats::default()
+        };
+        assert!((s.miss_ratio() - 0.1).abs() < 1e-12);
+        assert!((s.prefetch_accuracy() - 0.75).abs() < 1e-12);
+    }
+}

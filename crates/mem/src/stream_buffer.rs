@@ -1,0 +1,271 @@
+use std::collections::VecDeque;
+
+use fdip_types::{Addr, Cycle};
+
+/// Configuration of a [`StreamBufferSet`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct StreamBufferConfig {
+    /// Number of buffers.
+    pub buffers: usize,
+    /// Depth (blocks) of each buffer.
+    pub depth: usize,
+    /// Cache block size in bytes.
+    pub block_bytes: u64,
+}
+
+impl Default for StreamBufferConfig {
+    /// Four 8-deep buffers of 64 B blocks (the classic configuration).
+    fn default() -> Self {
+        StreamBufferConfig {
+            buffers: 4,
+            depth: 8,
+            block_bytes: 64,
+        }
+    }
+}
+
+/// Result of probing the stream buffers on an L1 miss.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum StreamHit {
+    /// The block sits ready at a buffer head — deliver immediately.
+    Ready,
+    /// The block is at a buffer head but its fill is still in flight.
+    Arriving(Cycle),
+}
+
+#[derive(Clone, Debug)]
+struct StreamBuffer {
+    /// Prefetched blocks in stream order; front is the head.
+    entries: VecDeque<(Addr, Cycle)>,
+    /// Next block address the stream will prefetch.
+    next: Addr,
+    /// Allocated at least once.
+    live: bool,
+}
+
+/// A set of Jouppi-style sequential stream buffers — the second baseline
+/// prefetcher of the 1999 comparison.
+///
+/// On an L1 miss the buffer *heads* are probed; a head hit delivers the
+/// block and advances the stream. A miss in both L1 and the buffers
+/// allocates a new stream (LRU buffer), starting at the next sequential
+/// block. The owner drives fills: [`next_wanted`](Self::next_wanted)
+/// exposes which block a buffer wants next, and
+/// [`record_issue`](Self::record_issue) commits the issued fill — keeping
+/// bus arbitration in the caller, where demand traffic can pre-empt it.
+#[derive(Clone, Debug)]
+pub struct StreamBufferSet {
+    config: StreamBufferConfig,
+    buffers: Vec<StreamBuffer>,
+    /// LRU order: front = most recently used buffer index.
+    recency: Vec<usize>,
+    resets: u64,
+    head_hits: u64,
+}
+
+impl StreamBufferSet {
+    /// Creates an empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffers` or `depth` is zero, or `block_bytes` is not a
+    /// power of two.
+    pub fn new(config: StreamBufferConfig) -> Self {
+        assert!(config.buffers > 0 && config.depth > 0);
+        assert!(config.block_bytes.is_power_of_two());
+        StreamBufferSet {
+            config,
+            buffers: (0..config.buffers)
+                .map(|_| StreamBuffer {
+                    entries: VecDeque::with_capacity(config.depth),
+                    next: Addr::ZERO,
+                    live: false,
+                })
+                .collect(),
+            recency: (0..config.buffers).collect(),
+            resets: 0,
+            head_hits: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &StreamBufferConfig {
+        &self.config
+    }
+
+    /// Times a stream was torn down and re-allocated.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Head hits delivered.
+    pub fn head_hits(&self) -> u64 {
+        self.head_hits
+    }
+
+    fn touch(&mut self, idx: usize) {
+        let pos = self
+            .recency
+            .iter()
+            .position(|&i| i == idx)
+            .expect("index tracked");
+        self.recency.remove(pos);
+        self.recency.insert(0, idx);
+    }
+
+    /// Probes all buffer heads for the block containing `addr`. On a hit
+    /// the head is consumed and the stream advances; the result says
+    /// whether the fill has arrived by `now`.
+    pub fn probe_at(&mut self, now: Cycle, addr: Addr) -> Option<StreamHit> {
+        let base = addr.block_base(self.config.block_bytes);
+        let idx = self.buffers.iter().position(|b| {
+            b.live && b.entries.front().map(|(a, _)| *a) == Some(base)
+        })?;
+        let (_, ready) = self.buffers[idx].entries.pop_front().expect("head present");
+        self.head_hits += 1;
+        self.touch(idx);
+        if ready.is_after(now) {
+            Some(StreamHit::Arriving(ready))
+        } else {
+            Some(StreamHit::Ready)
+        }
+    }
+
+    /// Allocates a new stream after a miss at `addr`: the LRU buffer is
+    /// reset and will prefetch sequentially starting at the *next* block
+    /// (the missing block itself is fetched on demand).
+    pub fn allocate(&mut self, addr: Addr) {
+        let idx = *self.recency.last().expect("at least one buffer");
+        let buffer = &mut self.buffers[idx];
+        if buffer.live {
+            self.resets += 1;
+        }
+        buffer.entries.clear();
+        buffer.next = addr.block_base(self.config.block_bytes) + self.config.block_bytes;
+        buffer.live = true;
+        self.touch(idx);
+    }
+
+    /// The next block some buffer wants prefetched, with the buffer's
+    /// identity; `None` when every live buffer is full.
+    ///
+    /// Buffers are served in recency order (hottest stream first).
+    pub fn next_wanted(&self) -> Option<(usize, Addr)> {
+        for &idx in &self.recency {
+            let b = &self.buffers[idx];
+            if b.live && b.entries.len() < self.config.depth {
+                return Some((idx, b.next));
+            }
+        }
+        None
+    }
+
+    /// Commits an issued fill for `buffer` (from [`Self::next_wanted`]):
+    /// records the entry and advances the stream cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full or `block` is not the block the buffer
+    /// wanted.
+    pub fn record_issue(&mut self, buffer: usize, block: Addr, ready_at: Cycle) {
+        let b = &mut self.buffers[buffer];
+        assert!(b.entries.len() < self.config.depth, "buffer full");
+        assert_eq!(block, b.next, "must issue the wanted block");
+        b.entries.push_back((block, ready_at));
+        b.next = b.next + self.config.block_bytes;
+    }
+
+    /// Storage in bits: each entry holds a block tag + data is not counted
+    /// (tags-only model, matching the cache model).
+    pub fn storage_bits(&self) -> u64 {
+        let tag_bits = 48 - self.config.block_bytes.trailing_zeros() as u64 + 1;
+        (self.config.buffers * self.config.depth) as u64 * tag_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> StreamBufferSet {
+        StreamBufferSet::new(StreamBufferConfig {
+            buffers: 2,
+            depth: 2,
+            block_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn allocate_then_stream() {
+        let mut s = set();
+        s.allocate(Addr::new(0x1000));
+        assert_eq!(s.next_wanted(), Some((1, Addr::new(0x1040))));
+        s.record_issue(1, Addr::new(0x1040), Cycle::new(50));
+        assert_eq!(s.next_wanted(), Some((1, Addr::new(0x1080))));
+        s.record_issue(1, Addr::new(0x1080), Cycle::new(54));
+        assert_eq!(s.next_wanted(), None, "buffer full");
+    }
+
+    #[test]
+    fn head_hit_consumes_and_advances() {
+        let mut s = set();
+        s.allocate(Addr::new(0x1000));
+        s.record_issue(1, Addr::new(0x1040), Cycle::new(50));
+        s.record_issue(1, Addr::new(0x1080), Cycle::new(54));
+        assert_eq!(
+            s.probe_at(Cycle::new(60), Addr::new(0x1050)),
+            Some(StreamHit::Ready)
+        );
+        // Head consumed: room for one more prefetch.
+        assert_eq!(s.next_wanted(), Some((1, Addr::new(0x10c0))));
+        assert_eq!(s.head_hits(), 1);
+    }
+
+    #[test]
+    fn in_flight_head_reports_arrival() {
+        let mut s = set();
+        s.allocate(Addr::new(0x1000));
+        s.record_issue(1, Addr::new(0x1040), Cycle::new(50));
+        assert_eq!(
+            s.probe_at(Cycle::new(10), Addr::new(0x1040)),
+            Some(StreamHit::Arriving(Cycle::new(50)))
+        );
+    }
+
+    #[test]
+    fn non_head_blocks_miss() {
+        let mut s = set();
+        s.allocate(Addr::new(0x1000));
+        s.record_issue(1, Addr::new(0x1040), Cycle::new(50));
+        s.record_issue(1, Addr::new(0x1080), Cycle::new(54));
+        // 0x1080 is second in the stream: head-only probing misses it.
+        assert_eq!(s.probe_at(Cycle::new(60), Addr::new(0x1080)), None);
+    }
+
+    #[test]
+    fn allocation_evicts_lru_stream_and_counts_resets() {
+        let mut s = set();
+        s.allocate(Addr::new(0x1000)); // buffer 1
+        s.allocate(Addr::new(0x9000)); // buffer 0
+        assert_eq!(s.resets(), 0, "fresh buffers are free");
+        s.allocate(Addr::new(0x5000)); // evicts the 0x1000 stream (LRU)
+        assert_eq!(s.resets(), 1);
+        // The 0x1000 stream is gone.
+        s.record_issue(
+            s.next_wanted().unwrap().0,
+            s.next_wanted().unwrap().1,
+            Cycle::new(5),
+        );
+        assert_eq!(s.probe_at(Cycle::new(9), Addr::new(0x1040)), None);
+    }
+
+    #[test]
+    fn hottest_stream_is_served_first() {
+        let mut s = set();
+        s.allocate(Addr::new(0x1000)); // buffer 1
+        s.allocate(Addr::new(0x9000)); // buffer 0, now MRU
+        let (idx, want) = s.next_wanted().unwrap();
+        assert_eq!(want, Addr::new(0x9040));
+        s.record_issue(idx, want, Cycle::new(5));
+    }
+}

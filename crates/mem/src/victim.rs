@@ -1,0 +1,164 @@
+use fdip_types::Addr;
+
+/// A small fully-associative victim cache (Jouppi, ISCA 1990) between the
+/// L1-I and the L2: lines evicted from the L1 park here briefly, so
+/// conflict misses can be served without a bus transfer.
+///
+/// Provided as an optional substrate piece (ablation `a6`): the 1999
+/// machine model did not include one, and the experiment quantifies what
+/// it would have changed.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_mem::VictimCache;
+/// use fdip_types::Addr;
+///
+/// let mut vc = VictimCache::new(4, 64);
+/// vc.insert(Addr::new(0x1000));
+/// assert!(vc.take(Addr::new(0x1020))); // same 64B block: hit, removed
+/// assert!(!vc.take(Addr::new(0x1000)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct VictimCache {
+    /// Block base addresses, MRU first.
+    entries: Vec<Addr>,
+    capacity: usize,
+    block_bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl VictimCache {
+    /// Creates a victim cache of `capacity` blocks. Zero capacity disables
+    /// it (every probe misses, inserts are dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two.
+    pub fn new(capacity: usize, block_bytes: u64) -> Self {
+        assert!(block_bytes.is_power_of_two());
+        VictimCache {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            block_bytes,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no victim is held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parks an evicted block (LRU is displaced when full).
+    pub fn insert(&mut self, addr: Addr) {
+        if self.capacity == 0 {
+            return;
+        }
+        let base = addr.block_base(self.block_bytes);
+        if let Some(pos) = self.entries.iter().position(|a| *a == base) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, base);
+    }
+
+    /// Probes for the block containing `addr`; on a hit the block is
+    /// *removed* (it moves back into the L1).
+    pub fn take(&mut self, addr: Addr) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let base = addr.block_base(self.block_bytes);
+        if let Some(pos) = self.entries.iter().position(|a| *a == base) {
+            self.entries.remove(pos);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probes that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Storage in bits: block tag + valid per entry.
+    pub fn storage_bits(&self) -> u64 {
+        let tag_bits = 48 - self.block_bytes.trailing_zeros() as u64 + 1;
+        self.capacity as u64 * tag_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut vc = VictimCache::new(2, 64);
+        vc.insert(Addr::new(0x000));
+        vc.insert(Addr::new(0x040));
+        assert!(vc.take(Addr::new(0x000)));
+        assert_eq!(vc.len(), 1);
+        assert!(!vc.take(Addr::new(0x000)), "taken means gone");
+        assert_eq!(vc.hits(), 1);
+        assert_eq!(vc.misses(), 1);
+    }
+
+    #[test]
+    fn lru_displacement() {
+        let mut vc = VictimCache::new(2, 64);
+        vc.insert(Addr::new(0x000));
+        vc.insert(Addr::new(0x040));
+        vc.insert(Addr::new(0x080)); // displaces 0x000 (LRU)
+        assert!(!vc.take(Addr::new(0x000)));
+        assert!(vc.take(Addr::new(0x040)));
+        assert!(vc.take(Addr::new(0x080)));
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let mut vc = VictimCache::new(2, 64);
+        vc.insert(Addr::new(0x000));
+        vc.insert(Addr::new(0x040));
+        vc.insert(Addr::new(0x000)); // refresh: 0x040 is now LRU
+        vc.insert(Addr::new(0x080));
+        assert!(vc.take(Addr::new(0x000)));
+        assert!(!vc.take(Addr::new(0x040)));
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let mut vc = VictimCache::new(0, 64);
+        vc.insert(Addr::new(0x000));
+        assert!(!vc.take(Addr::new(0x000)));
+        assert!(vc.is_empty());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let vc = VictimCache::new(8, 64);
+        assert_eq!(vc.storage_bits(), 8 * 43);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the memory substrate: the cache against a reference
+//! model, MSHR bookkeeping, bus accounting, and hierarchy invariants under
+//! random access/prefetch interleavings.
+
+use std::collections::VecDeque;
+
+use fdip_mem::{
+    Cache, CacheGeometry, DemandOutcome, FillFlags, HierarchyConfig, MemoryHierarchy,
+    MshrFile, MissKind, PrefetchOutcome, ReplacementPolicy,
+};
+use fdip_types::{Addr, Cycle};
+use proptest::prelude::*;
+
+/// Reference LRU cache model: per-set deque of tags, MRU at the front.
+struct CacheModel {
+    sets: Vec<VecDeque<u64>>,
+    geometry: CacheGeometry,
+}
+
+impl CacheModel {
+    fn new(geometry: CacheGeometry) -> Self {
+        CacheModel {
+            sets: vec![VecDeque::new(); geometry.sets],
+            geometry,
+        }
+    }
+
+    fn access(&mut self, addr: Addr) -> bool {
+        let set = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        if let Some(pos) = self.sets[set].iter().position(|&t| t == tag) {
+            let t = self.sets[set].remove(pos).unwrap();
+            self.sets[set].push_front(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: Addr) {
+        let set = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        if self.sets[set].contains(&tag) {
+            return;
+        }
+        if self.sets[set].len() == self.geometry.ways {
+            self.sets[set].pop_back();
+        }
+        self.sets[set].push_front(tag);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum CacheOp {
+    Access(u64),
+    Fill(u64),
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u64..1 << 14).prop_map(CacheOp::Access),
+        (0u64..1 << 14).prop_map(CacheOp::Fill),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn lru_cache_matches_reference_model(ops in prop::collection::vec(cache_op(), 0..300)) {
+        let geometry = CacheGeometry::new(8, 2, 64);
+        let mut cache = Cache::new(geometry, ReplacementPolicy::Lru);
+        let mut model = CacheModel::new(geometry);
+        for op in ops {
+            match op {
+                CacheOp::Access(raw) => {
+                    let addr = Addr::new(raw * 4);
+                    prop_assert_eq!(cache.access(addr).is_some(), model.access(addr));
+                }
+                CacheOp::Fill(raw) => {
+                    let addr = Addr::new(raw * 4);
+                    cache.fill(addr, FillFlags::default());
+                    model.fill(addr);
+                }
+            }
+            prop_assert!(cache.len() <= geometry.blocks());
+        }
+    }
+
+    #[test]
+    fn mshr_merge_preserves_ready_time(
+        blocks in prop::collection::vec(0u64..64, 1..20),
+        latency in 1u64..300,
+    ) {
+        let mut mshrs = MshrFile::new(32);
+        let mut expected_ready = std::collections::HashMap::new();
+        for (i, &b) in blocks.iter().enumerate() {
+            let addr = Addr::new(b * 64);
+            let ready = Cycle::new(latency + i as u64);
+            if mshrs.lookup(addr).is_none() {
+                mshrs.allocate(addr, ready, MissKind::Prefetch).unwrap();
+                expected_ready.insert(b, ready);
+            }
+            let (merged_ready, _) = mshrs.merge_demand(addr).unwrap();
+            prop_assert_eq!(merged_ready, expected_ready[&b]);
+        }
+        // Everything drains exactly once, as demand.
+        let drained = mshrs.take_ready(Cycle::new(latency + blocks.len() as u64));
+        prop_assert_eq!(drained.len(), expected_ready.len());
+        prop_assert!(drained.iter().all(|m| m.kind == MissKind::Demand));
+    }
+
+    #[test]
+    fn hierarchy_counters_are_consistent_under_random_traffic(
+        ops in prop::collection::vec((any::<bool>(), 0u64..256), 1..200),
+    ) {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut now = Cycle::ZERO;
+        let mut demand_accesses = 0u64;
+        for (is_prefetch, block) in ops {
+            mem.begin_cycle(now);
+            let addr = Addr::new(block * 64);
+            if is_prefetch {
+                let _ = mem.issue_prefetch(now, addr, false);
+            } else {
+                demand_accesses += 1;
+                match mem.demand_access(now, addr) {
+                    DemandOutcome::Miss { ready_at } | DemandOutcome::InFlight { ready_at, .. } => {
+                        prop_assert!(ready_at.is_after(now) || ready_at == now);
+                    }
+                    _ => {}
+                }
+            }
+            now = now + 3;
+        }
+        let s = mem.stats();
+        prop_assert_eq!(s.l1_accesses, demand_accesses);
+        prop_assert_eq!(s.l1_hits + s.l1_misses + s.pb_hits, s.l1_accesses);
+        prop_assert!(s.useful_prefetches <= s.l1_accesses);
+        prop_assert!(s.l2_hits + s.l2_misses == s.demand_transfers + s.prefetch_transfers);
+        prop_assert_eq!(
+            mem.bus().transfers(),
+            s.demand_transfers + s.prefetch_transfers
+        );
+        prop_assert_eq!(
+            mem.bus().busy_cycles(),
+            mem.bus().transfers() * 4
+        );
+    }
+
+    #[test]
+    fn prefetch_never_claims_reserved_mshrs(
+        blocks in prop::collection::vec(0u64..64, 8..40),
+    ) {
+        let config = HierarchyConfig {
+            mshrs: 4,
+            prefetch_mshr_reserve: 2,
+            ..HierarchyConfig::default()
+        };
+        let mut mem = MemoryHierarchy::new(config);
+        mem.begin_cycle(Cycle::ZERO);
+        let mut issued = 0;
+        for &b in &blocks {
+            if let PrefetchOutcome::Issued { .. } =
+                mem.issue_prefetch(Cycle::ZERO, Addr::new(b * 64), false)
+            {
+                issued += 1;
+            }
+        }
+        // At most mshrs - reserve prefetches may be outstanding.
+        prop_assert!(issued <= 2, "issued {issued}");
+        // Demands can still allocate the reserved registers.
+        let mut demand_allocated = 0;
+        for extra in 1000u64..1010 {
+            match mem.demand_access(Cycle::ZERO, Addr::new(extra * 64)) {
+                DemandOutcome::Miss { .. } => demand_allocated += 1,
+                DemandOutcome::MshrFull => break,
+                _ => {}
+            }
+        }
+        prop_assert!(demand_allocated >= 2, "demand got {demand_allocated}");
+    }
+}

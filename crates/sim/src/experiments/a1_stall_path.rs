@@ -1,0 +1,64 @@
+//! A1 — ablation of the stall-path (wrong-path/fall-through) sequential
+//! prefetching the reproduction adds during BPU redirect stalls.
+
+use fdip::{FdipConfig, FrontendConfig, PrefetcherKind};
+
+use crate::experiments::{base_config, ExperimentResult};
+use crate::report::{f3, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "a1";
+/// Experiment title.
+pub const TITLE: &str = "ablation: stall-path sequential prefetch depth";
+
+const DEPTHS: [u32; 4] = [0, 4, 8, 16];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::Server, scale);
+    let mut configs = vec![("base".to_string(), base_config())];
+    for depth in DEPTHS {
+        configs.push((
+            format!("lines{depth}"),
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::Fdip(FdipConfig {
+                stall_path_lines: depth,
+                ..FdipConfig::default()
+            })),
+        ));
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (server suite geomean)"),
+        &["stall-path lines", "speedup", "prefetches issued"],
+    );
+    for depth in DEPTHS {
+        let mut speedups = Vec::new();
+        let mut issued = 0u64;
+        for w in &workloads {
+            let base = &cell(&results, &w.name, "base").stats;
+            let s = &cell(&results, &w.name, &format!("lines{depth}")).stats;
+            speedups.push(s.speedup_over(base));
+            issued += s.fdip.issued;
+        }
+        table.row([depth.to_string(), f3(geomean(speedups)), issued.to_string()]);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_path_prefetching_pays_off() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        let off: f64 = rows[0][1].parse().unwrap();
+        let on: f64 = rows[2][1].parse().unwrap(); // 8 lines (default)
+        assert!(on > off, "stall path must help: {off} vs {on}");
+    }
+}

@@ -1,0 +1,85 @@
+//! A2 — ablation of the prefetch destination: the 1999 design's dedicated
+//! prefetch buffer vs prefetching straight into the L1-I (the policy later
+//! FDIP variants adopted).
+
+use fdip::{FrontendConfig, PrefetcherKind};
+use fdip_mem::HierarchyConfig;
+
+use crate::experiments::{base_config, ExperimentResult};
+use crate::report::{f3, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "a2";
+/// Experiment title.
+pub const TITLE: &str = "ablation: prefetch buffer vs direct-to-L1 fills";
+
+const BUFFERS: [(&str, usize); 4] = [
+    ("direct-to-L1", 0),
+    ("8-block buffer", 8),
+    ("32-block buffer", 32),
+    ("128-block buffer", 128),
+];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::Server, scale);
+    let mut configs = vec![("base".to_string(), base_config())];
+    for (label, blocks) in BUFFERS {
+        configs.push((
+            label.to_string(),
+            FrontendConfig::default()
+                .with_mem(HierarchyConfig {
+                    prefetch_buffer_blocks: blocks,
+                    ..HierarchyConfig::default()
+                })
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ));
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (server suite geomean)"),
+        &["destination", "speedup", "polluting evictions"],
+    );
+    for (label, _) in BUFFERS {
+        let mut speedups = Vec::new();
+        let mut pollution = 0u64;
+        for w in &workloads {
+            let base = &cell(&results, &w.name, "base").stats;
+            let s = &cell(&results, &w.name, label).stats;
+            speedups.push(s.speedup_over(base));
+            pollution += s.mem.useless_evictions;
+        }
+        table.row([
+            label.to_string(),
+            f3(geomean(speedups)),
+            pollution.to_string(),
+        ]);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_to_l1_pollutes_while_buffers_do_not() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        let direct_pollution: u64 = rows[0][2].parse().unwrap();
+        let buffered_pollution: u64 = rows[2][2].parse().unwrap();
+        assert!(
+            direct_pollution >= buffered_pollution,
+            "{direct_pollution} vs {buffered_pollution}"
+        );
+        // All variants still help.
+        for row in rows {
+            let speedup: f64 = row[1].parse().unwrap();
+            assert!(speedup > 1.0, "{row:?}");
+        }
+    }
+}

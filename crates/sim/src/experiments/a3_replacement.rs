@@ -1,0 +1,79 @@
+//! A3 — ablation of the L1-I replacement policy under FDIP.
+
+use fdip::{FrontendConfig, PrefetcherKind};
+use fdip_mem::{HierarchyConfig, ReplacementPolicy};
+
+use crate::experiments::ExperimentResult;
+use crate::report::{f3, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "a3";
+/// Experiment title.
+pub const TITLE: &str = "ablation: L1-I replacement policy";
+
+const POLICIES: [(&str, ReplacementPolicy); 3] = [
+    ("lru", ReplacementPolicy::Lru),
+    ("fifo", ReplacementPolicy::Fifo),
+    ("random", ReplacementPolicy::Random),
+];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::Server, scale);
+    let mut configs = Vec::new();
+    for (label, policy) in POLICIES {
+        let hierarchy = HierarchyConfig {
+            l1_policy: policy,
+            ..HierarchyConfig::default()
+        };
+        configs.push((
+            format!("base {label}"),
+            FrontendConfig::default().with_mem(hierarchy),
+        ));
+        configs.push((
+            format!("fdip {label}"),
+            FrontendConfig::default()
+                .with_mem(hierarchy)
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ));
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (server suite geomean)"),
+        &["policy", "base MPKI", "fdip speedup"],
+    );
+    for (label, _) in POLICIES {
+        let mut speedups = Vec::new();
+        let mut mpki = Vec::new();
+        for w in &workloads {
+            let base = &cell(&results, &w.name, &format!("base {label}")).stats;
+            let fdip = &cell(&results, &w.name, &format!("fdip {label}")).stats;
+            speedups.push(fdip.speedup_over(base));
+            mpki.push(base.l1i_mpki());
+        }
+        table.row([
+            label.to_string(),
+            f3(mpki.iter().sum::<f64>() / mpki.len() as f64),
+            f3(geomean(speedups)),
+        ]);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdip_helps_under_every_policy() {
+        let result = run(Scale::quick());
+        for row in &result.tables[0].rows {
+            let speedup: f64 = row[2].parse().unwrap();
+            assert!(speedup > 1.0, "{row:?}");
+        }
+    }
+}

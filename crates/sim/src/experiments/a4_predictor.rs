@@ -1,0 +1,112 @@
+//! A4 — ablation of the direction predictor under FDIP: how much of the
+//! front-end's delivery problem is direction prediction vs cache misses.
+
+use fdip::{FrontendConfig, PredictorKind, PrefetcherKind};
+
+use crate::experiments::ExperimentResult;
+use crate::report::{f3, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "a4";
+/// Experiment title.
+pub const TITLE: &str = "ablation: direction predictor under FDIP";
+
+fn predictors() -> Vec<(&'static str, PredictorKind)> {
+    vec![
+        ("bimodal", PredictorKind::Bimodal { log2_entries: 15 }),
+        (
+            "gshare",
+            PredictorKind::Gshare {
+                log2_entries: 15,
+                history_bits: 12,
+            },
+        ),
+        (
+            "hybrid",
+            PredictorKind::Hybrid {
+                log2_entries: 15,
+                history_bits: 12,
+            },
+        ),
+        (
+            "local",
+            PredictorKind::TwoLevelLocal {
+                log2_branches: 13,
+                history_bits: 12,
+            },
+        ),
+        (
+            "tage",
+            PredictorKind::Tage {
+                log2_base: 14,
+                log2_tagged: 12,
+                tables: 5,
+            },
+        ),
+        ("perfect", PredictorKind::Perfect),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::Server, scale);
+    let mut configs = vec![("base".to_string(), FrontendConfig::default())];
+    for (name, kind) in predictors() {
+        configs.push((
+            name.to_string(),
+            FrontendConfig::default()
+                .with_predictor(kind)
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ));
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (server suite geomean)"),
+        &["predictor", "fdip speedup", "exec redirects/KI"],
+    );
+    for (name, _) in predictors() {
+        let mut speedups = Vec::new();
+        let mut mpki = Vec::new();
+        for w in &workloads {
+            let base = &cell(&results, &w.name, "base").stats;
+            let s = &cell(&results, &w.name, name).stats;
+            speedups.push(s.speedup_over(base));
+            mpki.push(s.branches.mpki(s.instructions));
+        }
+        table.row([
+            name.to_string(),
+            f3(geomean(speedups)),
+            f3(mpki.iter().sum::<f64>() / mpki.len() as f64),
+        ]);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn better_predictors_mean_fewer_redirects_and_more_speedup() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        let get = |n: &str| {
+            let r = rows.iter().find(|r| r[0] == n).unwrap();
+            (
+                r[1].parse::<f64>().unwrap(),
+                r[2].parse::<f64>().unwrap(),
+            )
+        };
+        let (gshare_speed, gshare_mpki) = get("gshare");
+        let (perfect_speed, perfect_mpki) = get("perfect");
+        assert!(perfect_mpki < gshare_mpki);
+        assert!(perfect_speed + 0.05 >= gshare_speed);
+        let (tage_speed, tage_mpki) = get("tage");
+        assert!(tage_speed > 1.0);
+        assert!(tage_mpki >= perfect_mpki);
+    }
+}

@@ -1,0 +1,101 @@
+//! A5 — sensitivity to L1–L2 bus bandwidth: the constraint under which
+//! FDIP's filtered, demand-aware traffic beats the brute-force baselines.
+
+use fdip::{CpfMode, FrontendConfig, PrefetcherKind};
+use fdip_mem::HierarchyConfig;
+
+use crate::experiments::ExperimentResult;
+use crate::report::{f3, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "a5";
+/// Experiment title.
+pub const TITLE: &str = "speedup vs bus bandwidth (cycles per block transfer)";
+
+const TRANSFER_CYCLES: [u64; 4] = [1, 2, 4, 8];
+
+fn techniques() -> Vec<(&'static str, PrefetcherKind)> {
+    vec![
+        ("stream", PrefetcherKind::StreamBuffers(Default::default())),
+        ("fdip", PrefetcherKind::fdip()),
+        ("fdip+cpf", PrefetcherKind::fdip_with_cpf(CpfMode::Remove)),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::Server, scale);
+    let mut configs = Vec::new();
+    for cycles in TRANSFER_CYCLES {
+        let hierarchy = HierarchyConfig {
+            bus_transfer_cycles: cycles,
+            ..HierarchyConfig::default()
+        };
+        configs.push((
+            format!("base {cycles}"),
+            FrontendConfig::default().with_mem(hierarchy),
+        ));
+        for (name, kind) in techniques() {
+            configs.push((
+                format!("{name} {cycles}"),
+                FrontendConfig::default()
+                    .with_mem(hierarchy)
+                    .with_prefetcher(kind),
+            ));
+        }
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (server suite geomean)"),
+        &["cycles/transfer", "stream", "fdip", "fdip+cpf"],
+    );
+    for cycles in TRANSFER_CYCLES {
+        let mut row = vec![cycles.to_string()];
+        for (name, _) in techniques() {
+            let mut speedups = Vec::new();
+            for w in &workloads {
+                let base = &cell(&results, &w.name, &format!("base {cycles}")).stats;
+                let s = &cell(&results, &w.name, &format!("{name} {cycles}")).stats;
+                speedups.push(s.speedup_over(base));
+            }
+            row.push(f3(geomean(speedups)));
+        }
+        table.row(row);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpf_matters_more_as_the_bus_narrows() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        // CPF's whole job is saving bus slots: its edge over unfiltered
+        // FDIP must not shrink as transfers get more expensive.
+        let gap = |row: &Vec<String>| {
+            let fdip: f64 = row[2].parse().unwrap();
+            let cpf: f64 = row[3].parse().unwrap();
+            cpf - fdip
+        };
+        let wide_gap = gap(&rows[0]); // 1 cycle/transfer
+        let narrow_gap = gap(&rows[3]); // 8 cycles/transfer
+        assert!(
+            narrow_gap + 0.02 >= wide_gap,
+            "cpf edge must grow with bus cost: wide {wide_gap} narrow {narrow_gap}"
+        );
+        // Everyone still helps at every bandwidth.
+        for row in rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v > 1.0, "{row:?}");
+            }
+        }
+    }
+}

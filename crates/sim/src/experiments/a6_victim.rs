@@ -1,0 +1,94 @@
+//! A6 — ablation: would a victim cache (absent from the 1999 machine
+//! model) have changed the picture, with and without FDIP?
+
+use fdip::{FrontendConfig, PrefetcherKind};
+use fdip_mem::HierarchyConfig;
+
+use crate::experiments::ExperimentResult;
+use crate::report::{f3, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "a6";
+/// Experiment title.
+pub const TITLE: &str = "ablation: victim cache beside the L1-I";
+
+const SIZES: [usize; 3] = [0, 8, 32];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::Server, scale);
+    let mut configs = Vec::new();
+    for blocks in SIZES {
+        let hierarchy = HierarchyConfig {
+            victim_blocks: blocks,
+            ..HierarchyConfig::default()
+        };
+        configs.push((
+            format!("base v{blocks}"),
+            FrontendConfig::default().with_mem(hierarchy),
+        ));
+        configs.push((
+            format!("fdip v{blocks}"),
+            FrontendConfig::default()
+                .with_mem(hierarchy)
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ));
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (server suite geomean)"),
+        &[
+            "victim blocks",
+            "base IPC",
+            "base victim hits",
+            "fdip IPC",
+            "fdip speedup vs v0 base",
+        ],
+    );
+    // The reference baseline is the no-victim, no-prefetch machine.
+    for blocks in SIZES {
+        let mut base_ipc = Vec::new();
+        let mut fdip_ipc = Vec::new();
+        let mut speedups = Vec::new();
+        let mut victim_hits = 0u64;
+        for w in &workloads {
+            let reference = &cell(&results, &w.name, "base v0").stats;
+            let base = &cell(&results, &w.name, &format!("base v{blocks}")).stats;
+            let fdip = &cell(&results, &w.name, &format!("fdip v{blocks}")).stats;
+            base_ipc.push(base.ipc());
+            fdip_ipc.push(fdip.ipc());
+            speedups.push(fdip.speedup_over(reference));
+            victim_hits += base.mem.victim_hits;
+        }
+        table.row([
+            blocks.to_string(),
+            f3(geomean(base_ipc)),
+            victim_hits.to_string(),
+            f3(geomean(fdip_ipc)),
+            f3(geomean(speedups)),
+        ]);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_cache_serves_hits_and_never_hurts() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        let hits_v0: u64 = rows[0][2].parse().unwrap();
+        let hits_v32: u64 = rows[2][2].parse().unwrap();
+        assert_eq!(hits_v0, 0);
+        assert!(hits_v32 > 0, "32-block victim cache must serve hits");
+        let base_v0: f64 = rows[0][1].parse().unwrap();
+        let base_v32: f64 = rows[2][1].parse().unwrap();
+        assert!(base_v32 + 0.02 >= base_v0, "{base_v0} vs {base_v32}");
+    }
+}

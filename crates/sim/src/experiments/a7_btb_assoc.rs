@@ -1,0 +1,78 @@
+//! A7 — ablation: BTB associativity at a fixed entry count. Conflict
+//! misses in the BTB translate directly into misfetches.
+
+use fdip::{BtbVariant, FrontendConfig, PrefetcherKind};
+use fdip_btb::{BtbConfig, TagScheme};
+
+use crate::experiments::ExperimentResult;
+use crate::report::{f3, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "a7";
+/// Experiment title.
+pub const TITLE: &str = "ablation: BTB associativity at 2K entries";
+
+const WAYS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::Server, scale);
+    let entries = 2048usize;
+    let mut configs = vec![("base".to_string(), FrontendConfig::default())];
+    for ways in WAYS {
+        let btb = BtbVariant::Conventional(BtbConfig::new(entries / ways, ways, TagScheme::Full));
+        configs.push((
+            format!("{ways}-way"),
+            FrontendConfig::default()
+                .with_btb(btb)
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ));
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (server suite geomean)"),
+        &["ways", "speedup", "btb hit ratio", "decode redirects/KI"],
+    );
+    for ways in WAYS {
+        let mut speedups = Vec::new();
+        let mut hit = Vec::new();
+        let mut decode = Vec::new();
+        for w in &workloads {
+            let base = &cell(&results, &w.name, "base").stats;
+            let s = &cell(&results, &w.name, &format!("{ways}-way")).stats;
+            speedups.push(s.speedup_over(base));
+            hit.push(s.branches.btb_hit_ratio());
+            decode.push(s.branches.decode_redirects as f64 * 1000.0 / s.instructions as f64);
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        table.row([
+            ways.to_string(),
+            f3(geomean(speedups)),
+            f3(avg(&hit)),
+            f3(avg(&decode)),
+        ]);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn associativity_improves_btb_hit_rate() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        let direct: f64 = rows[0][2].parse().unwrap();
+        let eight: f64 = rows[3][2].parse().unwrap();
+        assert!(eight + 0.005 >= direct, "8-way {eight} vs 1-way {direct}");
+        for row in rows {
+            let speedup: f64 = row[1].parse().unwrap();
+            assert!(speedup > 1.0, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! E1 — FDIP speedup over the no-prefetch baseline, per workload.
+
+use crate::experiments::{base_config, fdip_config, ExperimentResult};
+use crate::report::{f3, pct, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "e01";
+/// Experiment title.
+pub const TITLE: &str = "FDIP speedup over no-prefetch baseline";
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::All, scale);
+    let configs = vec![
+        ("base".to_string(), base_config()),
+        ("fdip".to_string(), fdip_config()),
+    ];
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE}"),
+        &[
+            "workload", "base IPC", "fdip IPC", "speedup", "gain",
+        ],
+    );
+    let mut speedups = Vec::new();
+    for w in &workloads {
+        let base = &cell(&results, &w.name, "base").stats;
+        let fdip = &cell(&results, &w.name, "fdip").stats;
+        let speedup = fdip.speedup_over(base);
+        speedups.push(speedup);
+        table.row([
+            w.name.clone(),
+            f3(base.ipc()),
+            f3(fdip.ipc()),
+            f3(speedup),
+            pct(speedup - 1.0),
+        ]);
+    }
+    table.row([
+        "geomean".to_string(),
+        String::new(),
+        String::new(),
+        f3(geomean(speedups.iter().copied())),
+        pct(geomean(speedups.iter().copied()) - 1.0),
+    ]);
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdip_always_helps_at_quick_scale() {
+        let result = run(Scale::quick());
+        let table = &result.tables[0];
+        // Speedup column ≥ ~1.0 for every workload (prefetching can cost a
+        // little on tiny client traces, never much).
+        for row in &table.rows {
+            let speedup: f64 = row[3].parse().unwrap();
+            assert!(speedup > 0.95, "{row:?}");
+        }
+        // Server rows exceed 1.1 even at smoke scale.
+        let server = table.rows.iter().find(|r| r[0].starts_with("server"));
+        let speedup: f64 = server.unwrap()[3].parse().unwrap();
+        assert!(speedup > 1.1, "server speedup {speedup}");
+    }
+}

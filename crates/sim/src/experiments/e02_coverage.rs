@@ -1,0 +1,65 @@
+//! E2 — fraction of L1-I misses FDIP eliminates, per workload.
+
+use crate::experiments::{base_config, fdip_config, ExperimentResult};
+use crate::report::{f3, pct, Table};
+use crate::runner::{cell, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "e02";
+/// Experiment title.
+pub const TITLE: &str = "L1-I miss coverage of FDIP";
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::All, scale);
+    let configs = vec![
+        ("base".to_string(), base_config()),
+        ("fdip".to_string(), fdip_config()),
+    ];
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE}"),
+        &[
+            "workload",
+            "base misses",
+            "base MPKI",
+            "fdip misses",
+            "coverage",
+            "late prefetches",
+        ],
+    );
+    for w in &workloads {
+        let base = &cell(&results, &w.name, "base").stats;
+        let fdip = &cell(&results, &w.name, "fdip").stats;
+        table.row([
+            w.name.clone(),
+            base.mem.l1_misses.to_string(),
+            f3(base.l1i_mpki()),
+            fdip.mem.l1_misses.to_string(),
+            pct(fdip.miss_coverage_vs(base)),
+            fdip.mem.late_prefetches.to_string(),
+        ]);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_coverage_is_substantial() {
+        let result = run(Scale::quick());
+        let row = result.tables[0]
+            .rows
+            .iter()
+            .find(|r| r[0].starts_with("server"))
+            .unwrap()
+            .clone();
+        let coverage: f64 = row[4].trim_end_matches('%').parse().unwrap();
+        assert!(coverage > 15.0, "coverage {coverage}%");
+    }
+}

@@ -1,0 +1,98 @@
+//! E3 — Cache Probe Filtering ablation: none / enqueue / remove / both.
+
+use fdip::{CpfMode, FrontendConfig, PrefetcherKind};
+
+use crate::experiments::{base_config, ExperimentResult};
+use crate::report::{f3, pct, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "e03";
+/// Experiment title.
+pub const TITLE: &str = "cache probe filtering ablation";
+
+const MODES: [(&str, CpfMode); 4] = [
+    ("none", CpfMode::None),
+    ("enqueue", CpfMode::Enqueue),
+    ("remove", CpfMode::Remove),
+    ("both", CpfMode::Both),
+];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::All, scale);
+    let mut configs = vec![("base".to_string(), base_config())];
+    for (name, mode) in MODES {
+        configs.push((
+            name.to_string(),
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip_with_cpf(mode)),
+        ));
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (geomean over suite)"),
+        &[
+            "cpf mode",
+            "speedup",
+            "prefetches issued",
+            "accuracy",
+            "bus util",
+            "probes filtered",
+        ],
+    );
+    for (name, _) in MODES {
+        let mut speedups = Vec::new();
+        let mut issued = 0u64;
+        let mut useful = 0u64;
+        let mut bus = Vec::new();
+        let mut filtered = 0u64;
+        for w in &workloads {
+            let base = &cell(&results, &w.name, "base").stats;
+            let s = &cell(&results, &w.name, name).stats;
+            speedups.push(s.speedup_over(base));
+            issued += s.mem.prefetches_issued;
+            useful += s.mem.useful_prefetches;
+            bus.push(s.bus_utilization());
+            filtered += s.fdip.filtered_cpf_enqueue + s.fdip.filtered_cpf_remove;
+        }
+        let accuracy = if issued == 0 {
+            0.0
+        } else {
+            useful as f64 / issued as f64
+        };
+        table.row([
+            name.to_string(),
+            f3(geomean(speedups)),
+            issued.to_string(),
+            pct(accuracy),
+            pct(bus.iter().sum::<f64>() / bus.len() as f64),
+            filtered.to_string(),
+        ]);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpf_reduces_issued_prefetches_and_raises_accuracy() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        let get = |mode: &str| rows.iter().find(|r| r[0] == mode).unwrap().clone();
+        let none = get("none");
+        let enq = get("enqueue");
+        let issued_none: u64 = none[2].parse().unwrap();
+        let issued_enq: u64 = enq[2].parse().unwrap();
+        assert!(issued_enq <= issued_none);
+        let acc_none: f64 = none[3].trim_end_matches('%').parse().unwrap();
+        let acc_enq: f64 = enq[3].trim_end_matches('%').parse().unwrap();
+        assert!(acc_enq + 1e-9 >= acc_none, "{acc_enq} vs {acc_none}");
+        let filtered: u64 = enq[5].parse().unwrap();
+        assert!(filtered > 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! E4 — prefetching-technique comparison: next-line, stream buffers, FDIP,
+//! FDIP+CPF (and PIF, for the extension's sake), per workload.
+
+use fdip::{CpfMode, FrontendConfig, PrefetcherKind};
+
+use crate::experiments::{base_config, ExperimentResult};
+use crate::report::{ascii_chart, f3, Series, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "e04";
+/// Experiment title.
+pub const TITLE: &str = "prefetching techniques compared";
+
+/// The compared techniques, in presentation order.
+pub fn techniques() -> Vec<(String, FrontendConfig)> {
+    vec![
+        (
+            "nlp".to_string(),
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::NextLine),
+        ),
+        (
+            "stream".to_string(),
+            FrontendConfig::default()
+                .with_prefetcher(PrefetcherKind::StreamBuffers(Default::default())),
+        ),
+        (
+            "fdip".to_string(),
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+        ),
+        (
+            "fdip+cpf".to_string(),
+            FrontendConfig::default()
+                .with_prefetcher(PrefetcherKind::fdip_with_cpf(CpfMode::Remove)),
+        ),
+        (
+            "pif".to_string(),
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::Pif(Default::default())),
+        ),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::All, scale);
+    let mut configs = vec![("base".to_string(), base_config())];
+    configs.extend(techniques());
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let technique_names: Vec<String> = techniques().into_iter().map(|(n, _)| n).collect();
+    let mut headers: Vec<&str> = vec!["workload"];
+    let name_refs: Vec<&str> = technique_names.iter().map(String::as_str).collect();
+    headers.extend(&name_refs);
+    let mut table = Table::new(format!("{ID}: {TITLE} (speedup over baseline)"), &headers);
+
+    let mut series: Vec<Series> = technique_names
+        .iter()
+        .map(|n| Series {
+            label: n.clone(),
+            points: Vec::new(),
+        })
+        .collect();
+    let mut per_technique: Vec<Vec<f64>> = vec![Vec::new(); technique_names.len()];
+    for w in &workloads {
+        let base = &cell(&results, &w.name, "base").stats;
+        let mut row = vec![w.name.clone()];
+        for (i, name) in technique_names.iter().enumerate() {
+            let speedup = cell(&results, &w.name, name).stats.speedup_over(base);
+            per_technique[i].push(speedup);
+            series[i].points.push((w.name.clone(), speedup));
+            row.push(f3(speedup));
+        }
+        table.row(row);
+    }
+    let mut geo = vec!["geomean".to_string()];
+    for speeds in &per_technique {
+        geo.push(f3(geomean(speeds.iter().copied())));
+    }
+    table.row(geo);
+
+    let chart = ascii_chart(&format!("{ID}: {TITLE}"), &series, "speedup over baseline");
+    ExperimentResult {
+        tables: vec![table],
+        chart: Some(chart),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdip_beats_nlp_on_server_workloads() {
+        let result = run(Scale::quick());
+        let table = &result.tables[0];
+        let nlp_col = table.headers.iter().position(|h| h == "nlp").unwrap();
+        let fdip_col = table.headers.iter().position(|h| h == "fdip").unwrap();
+        let server = table
+            .rows
+            .iter()
+            .find(|r| r[0].starts_with("server"))
+            .unwrap();
+        let nlp: f64 = server[nlp_col].parse().unwrap();
+        let fdip: f64 = server[fdip_col].parse().unwrap();
+        assert!(fdip > nlp, "fdip {fdip} vs nlp {nlp}");
+        assert!(result.chart.is_some());
+    }
+}

@@ -1,0 +1,72 @@
+//! E5 — L1–L2 bus utilization and traffic breakdown per technique.
+
+use crate::experiments::{base_config, e04_techniques, ExperimentResult};
+use crate::report::{pct, Table};
+use crate::runner::{cell, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "e05";
+/// Experiment title.
+pub const TITLE: &str = "bus utilization per technique";
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::Server, scale);
+    let mut configs = vec![("base".to_string(), base_config())];
+    configs.extend(e04_techniques::techniques());
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (server suite totals)"),
+        &[
+            "technique",
+            "bus util",
+            "demand transfers",
+            "prefetch transfers",
+            "redundant fills",
+        ],
+    );
+    for (name, _) in &configs {
+        let mut util = Vec::new();
+        let mut demand = 0u64;
+        let mut prefetch = 0u64;
+        let mut redundant = 0u64;
+        for w in &workloads {
+            let s = &cell(&results, &w.name, name).stats;
+            util.push(s.bus_utilization());
+            demand += s.mem.demand_transfers;
+            prefetch += s.mem.prefetch_transfers;
+            redundant += s.mem.redundant_prefetch_fills;
+        }
+        table.row([
+            name.clone(),
+            pct(util.iter().sum::<f64>() / util.len() as f64),
+            demand.to_string(),
+            prefetch.to_string(),
+            redundant.to_string(),
+        ]);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetchers_add_prefetch_traffic_and_cut_demand_traffic() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        let get = |n: &str| rows.iter().find(|r| r[0] == n).unwrap().clone();
+        let base = get("base");
+        let fdip = get("fdip");
+        assert_eq!(base[3], "0", "baseline has no prefetch traffic");
+        let base_demand: u64 = base[2].parse().unwrap();
+        let fdip_demand: u64 = fdip[2].parse().unwrap();
+        let fdip_prefetch: u64 = fdip[3].parse().unwrap();
+        assert!(fdip_prefetch > 0);
+        assert!(fdip_demand < base_demand, "prefetching absorbs demand misses");
+    }
+}

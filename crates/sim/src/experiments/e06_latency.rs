@@ -1,0 +1,98 @@
+//! E6 — sensitivity of FDIP's gain to L2/memory latency.
+
+use fdip::{FrontendConfig, PrefetcherKind};
+use fdip_mem::HierarchyConfig;
+
+use crate::experiments::ExperimentResult;
+use crate::report::{f3, Series, Table};
+use crate::report::ascii_chart;
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "e06";
+/// Experiment title.
+pub const TITLE: &str = "speedup vs memory latency";
+
+const POINTS: [(&str, u64, u64); 4] = [
+    ("fast (6/60)", 6, 60),
+    ("base (12/120)", 12, 120),
+    ("slow (24/240)", 24, 240),
+    ("slower (48/480)", 48, 480),
+];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::Server, scale);
+    let mut configs = Vec::new();
+    for (label, l2, mem) in POINTS {
+        let hierarchy = HierarchyConfig {
+            l2_latency: l2,
+            mem_latency: mem,
+            ..HierarchyConfig::default()
+        };
+        configs.push((
+            format!("base {label}"),
+            FrontendConfig::default().with_mem(hierarchy),
+        ));
+        configs.push((
+            format!("fdip {label}"),
+            FrontendConfig::default()
+                .with_mem(hierarchy)
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ));
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (server suite geomean)"),
+        &["latency (L2/mem)", "base IPC", "fdip IPC", "speedup"],
+    );
+    let mut series = Series {
+        label: "fdip".to_string(),
+        points: Vec::new(),
+    };
+    for (label, _, _) in POINTS {
+        let mut speedups = Vec::new();
+        let mut base_ipc = Vec::new();
+        let mut fdip_ipc = Vec::new();
+        for w in &workloads {
+            let base = &cell(&results, &w.name, &format!("base {label}")).stats;
+            let fdip = &cell(&results, &w.name, &format!("fdip {label}")).stats;
+            speedups.push(fdip.speedup_over(base));
+            base_ipc.push(base.ipc());
+            fdip_ipc.push(fdip.ipc());
+        }
+        let speedup = geomean(speedups);
+        series.points.push((label.to_string(), speedup));
+        table.row([
+            label.to_string(),
+            f3(geomean(base_ipc)),
+            f3(geomean(fdip_ipc)),
+            f3(speedup),
+        ]);
+    }
+    let chart = ascii_chart(&format!("{ID}: {TITLE}"), &[series], "speedup");
+    ExperimentResult {
+        tables: vec![table],
+        chart: Some(chart),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_grows_with_latency() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        let fast: f64 = rows[0][3].parse().unwrap();
+        let slower: f64 = rows[3][3].parse().unwrap();
+        assert!(
+            slower > fast,
+            "speedup must grow with latency: {fast} vs {slower}"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! E7 — sensitivity to FTQ depth: the decoupling knob of the whole design.
+
+use fdip::{FrontendConfig, PrefetcherKind};
+
+use crate::experiments::ExperimentResult;
+use crate::report::{ascii_chart, f3, Series, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "e07";
+/// Experiment title.
+pub const TITLE: &str = "speedup vs FTQ depth";
+
+const DEPTHS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::Server, scale);
+    let mut configs = vec![("base".to_string(), FrontendConfig::default())];
+    for depth in DEPTHS {
+        configs.push((
+            format!("ftq{depth}"),
+            FrontendConfig::default()
+                .with_prefetcher(PrefetcherKind::fdip())
+                .with_ftq_entries(depth),
+        ));
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (server suite geomean)"),
+        &[
+            "ftq depth",
+            "speedup",
+            "mean occupancy",
+            "prefetches issued",
+        ],
+    );
+    let mut series = Series {
+        label: "fdip".to_string(),
+        points: Vec::new(),
+    };
+    for depth in DEPTHS {
+        let mut speedups = Vec::new();
+        let mut occupancy = Vec::new();
+        let mut issued = 0u64;
+        for w in &workloads {
+            let base = &cell(&results, &w.name, "base").stats;
+            let s = &cell(&results, &w.name, &format!("ftq{depth}")).stats;
+            speedups.push(s.speedup_over(base));
+            occupancy.push(s.mean_ftq_occupancy());
+            issued += s.fdip.issued;
+        }
+        let speedup = geomean(speedups);
+        series.points.push((depth.to_string(), speedup));
+        table.row([
+            depth.to_string(),
+            f3(speedup),
+            f3(occupancy.iter().sum::<f64>() / occupancy.len() as f64),
+            issued.to_string(),
+        ]);
+    }
+    let chart = ascii_chart(&format!("{ID}: {TITLE}"), &[series], "speedup");
+    ExperimentResult {
+        tables: vec![table],
+        chart: Some(chart),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_ftq_helps_then_saturates() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        let s1: f64 = rows[0][1].parse().unwrap(); // depth 1
+        let s32: f64 = rows[5][1].parse().unwrap(); // depth 32
+        let s64: f64 = rows[6][1].parse().unwrap(); // depth 64
+        assert!(s32 > s1, "depth must help: {s1} vs {s32}");
+        // Saturation: 64 gives little over 32.
+        assert!((s64 - s32).abs() < 0.2, "saturation: {s32} vs {s64}");
+    }
+}

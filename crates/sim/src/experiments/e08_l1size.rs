@@ -1,0 +1,82 @@
+//! E8 — sensitivity to L1-I capacity: prefetching matters less as the
+//! cache grows past the footprint.
+
+use fdip::{FrontendConfig, PrefetcherKind};
+use fdip_mem::{CacheGeometry, HierarchyConfig};
+
+use crate::experiments::ExperimentResult;
+use crate::report::{f3, pct, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "e08";
+/// Experiment title.
+pub const TITLE: &str = "speedup vs L1-I capacity";
+
+const SIZES_KB: [u64; 4] = [8, 16, 32, 64];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::Server, scale);
+    let mut configs = Vec::new();
+    for kb in SIZES_KB {
+        let hierarchy = HierarchyConfig {
+            l1: CacheGeometry::from_capacity(kb * 1024, 2, 64),
+            ..HierarchyConfig::default()
+        };
+        configs.push((
+            format!("base {kb}KB"),
+            FrontendConfig::default().with_mem(hierarchy),
+        ));
+        configs.push((
+            format!("fdip {kb}KB"),
+            FrontendConfig::default()
+                .with_mem(hierarchy)
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ));
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (server suite geomean)"),
+        &["L1-I", "base MPKI", "speedup", "coverage"],
+    );
+    for kb in SIZES_KB {
+        let mut speedups = Vec::new();
+        let mut mpki = Vec::new();
+        let mut coverage = Vec::new();
+        for w in &workloads {
+            let base = &cell(&results, &w.name, &format!("base {kb}KB")).stats;
+            let fdip = &cell(&results, &w.name, &format!("fdip {kb}KB")).stats;
+            speedups.push(fdip.speedup_over(base));
+            mpki.push(base.l1i_mpki());
+            coverage.push(fdip.miss_coverage_vs(base));
+        }
+        table.row([
+            format!("{kb}KB"),
+            f3(mpki.iter().sum::<f64>() / mpki.len() as f64),
+            f3(geomean(speedups)),
+            pct(coverage.iter().sum::<f64>() / coverage.len() as f64),
+        ]);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_caches_miss_less_and_gain_less() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        let mpki_8: f64 = rows[0][1].parse().unwrap();
+        let mpki_64: f64 = rows[3][1].parse().unwrap();
+        assert!(mpki_8 > mpki_64, "mpki must fall with size");
+        let s8: f64 = rows[0][2].parse().unwrap();
+        let s64: f64 = rows[3][2].parse().unwrap();
+        assert!(s8 > s64, "gain must shrink with size: {s8} vs {s64}");
+    }
+}

@@ -1,0 +1,80 @@
+//! E9 — prefetch quality breakdown: accuracy, timeliness, pollution.
+
+use crate::experiments::{base_config, e04_techniques, ExperimentResult};
+use crate::report::{pct, Table};
+use crate::runner::{cell, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "e09";
+/// Experiment title.
+pub const TITLE: &str = "prefetch accuracy / timeliness / pollution";
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::Server, scale);
+    let mut configs = vec![("base".to_string(), base_config())];
+    configs.extend(e04_techniques::techniques());
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (server suite totals)"),
+        &[
+            "technique",
+            "issued",
+            "useful",
+            "accuracy",
+            "late",
+            "redundant fills",
+            "polluting evictions",
+        ],
+    );
+    for (name, _) in configs.iter().skip(1) {
+        let mut issued = 0u64;
+        let mut useful = 0u64;
+        let mut late = 0u64;
+        let mut redundant = 0u64;
+        let mut useless = 0u64;
+        for w in &workloads {
+            let s = &cell(&results, &w.name, name).stats;
+            issued += s.mem.prefetches_issued;
+            useful += s.mem.useful_prefetches;
+            late += s.mem.late_prefetches;
+            redundant += s.mem.redundant_prefetch_fills;
+            useless += s.mem.useless_evictions;
+        }
+        let accuracy = if issued == 0 {
+            0.0
+        } else {
+            useful as f64 / issued as f64
+        };
+        table.row([
+            name.clone(),
+            issued.to_string(),
+            useful.to_string(),
+            pct(accuracy),
+            late.to_string(),
+            redundant.to_string(),
+            useless.to_string(),
+        ]);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_technique_issues_and_some_prefetches_are_useful() {
+        let result = run(Scale::quick());
+        for row in &result.tables[0].rows {
+            let issued: u64 = row[1].parse().unwrap();
+            let useful: u64 = row[2].parse().unwrap();
+            assert!(issued > 0, "{row:?}");
+            assert!(useful > 0, "{row:?}");
+            assert!(useful <= issued + 1, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! E10 — workload characterization and baseline machine statistics.
+
+use fdip_types::BranchClass;
+
+use crate::experiments::{base_config, ExperimentResult};
+use crate::report::{f3, Table};
+use crate::runner::{cell, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "e10";
+/// Experiment title.
+pub const TITLE: &str = "workload characterization & baseline statistics";
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::All, scale);
+    let configs = vec![("base".to_string(), base_config())];
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut characterization = Table::new(
+        format!("{ID}a: workload characterization"),
+        &[
+            "workload",
+            "insts",
+            "footprint KB",
+            "static taken branches",
+            "branches/KI",
+            "cond taken ratio",
+        ],
+    );
+    let mut baseline = Table::new(
+        format!("{ID}b: no-prefetch baseline"),
+        &[
+            "workload",
+            "IPC",
+            "L1-I MPKI",
+            "exec redirects/KI",
+            "decode redirects/KI",
+            "BTB hit ratio",
+        ],
+    );
+    for w in &workloads {
+        let r = cell(&results, &w.name, "base");
+        let t = &r.trace_stats;
+        characterization.row([
+            w.name.clone(),
+            t.len.to_string(),
+            (t.footprint_bytes / 1024).to_string(),
+            t.static_taken_branches.to_string(),
+            f3(t.branch_pki()),
+            f3(t.mix.cond_taken_ratio()),
+        ]);
+        let s = &r.stats;
+        baseline.row([
+            w.name.clone(),
+            f3(s.ipc()),
+            f3(s.l1i_mpki()),
+            f3(s.branches.mpki(s.instructions)),
+            f3(s.branches.decode_redirects as f64 * 1000.0 / s.instructions as f64),
+            f3(s.branches.btb_hit_ratio()),
+        ]);
+    }
+
+    let mut mix = Table::new(
+        format!("{ID}c: dynamic branch mix (per workload, %)"),
+        &["workload", "cond", "jump", "call", "icall", "ret", "ijump"],
+    );
+    for w in &workloads {
+        let t = &cell(&results, &w.name, "base").trace_stats;
+        let total = t.mix.total().max(1) as f64;
+        let mut row = vec![w.name.clone()];
+        for class in BranchClass::ALL {
+            row.push(format!("{:.1}", t.mix.count(class) as f64 * 100.0 / total));
+        }
+        mix.row(row);
+    }
+
+    ExperimentResult::tables(vec![characterization, baseline, mix])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_workloads_are_bigger_and_slower_than_client() {
+        let result = run(Scale::quick());
+        let chars = &result.tables[0];
+        let base = &result.tables[1];
+        let find = |t: &Table, prefix: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0].starts_with(prefix))
+                .unwrap()
+                .clone()
+        };
+        let client_fp: u64 = find(chars, "client")[2].parse().unwrap();
+        let server_fp: u64 = find(chars, "server")[2].parse().unwrap();
+        assert!(server_fp > client_fp);
+        let client_ipc: f64 = find(base, "client")[1].parse().unwrap();
+        let server_ipc: f64 = find(base, "server")[1].parse().unwrap();
+        assert!(client_ipc > server_ipc);
+    }
+
+    #[test]
+    fn branch_mix_percentages_sum_to_about_100() {
+        let result = run(Scale::quick());
+        for row in &result.tables[2].rows {
+            let sum: f64 = row[1..].iter().map(|c| c.parse::<f64>().unwrap()).sum();
+            assert!((sum - 100.0).abs() < 1.0, "{row:?}");
+        }
+    }
+
+    use crate::report::Table;
+}

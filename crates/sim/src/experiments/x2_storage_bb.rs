@@ -1,0 +1,66 @@
+//! X2 — storage breakdown of the basic-block-oriented BTB ("Revisited"
+//! Table I). Pure arithmetic; reproduced bit-for-bit.
+
+use fdip_btb::storage::bb_btb_table;
+
+use crate::experiments::ExperimentResult;
+use crate::report::Table;
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "x2";
+/// Experiment title.
+pub const TITLE: &str = "storage breakdown, basic-block BTB (Table I)";
+
+/// Runs the experiment.
+pub fn run(_scale: Scale) -> ExperimentResult {
+    let mut table = Table::new(
+        format!("{ID}: {TITLE}"),
+        &["entries", "organization", "entry size (bits)", "total"],
+    );
+    for row in bb_btb_table() {
+        table.row([
+            format_entries(row.entries),
+            format!("{}-set, {}-way", row.sets, row.ways),
+            row.entry_bits.to_string(),
+            format!("{:.5}", row.total_kb())
+                .trim_end_matches('0')
+                .trim_end_matches('.')
+                .to_string()
+                + "K",
+        ]);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+fn format_entries(entries: usize) -> String {
+    if entries % 1024 == 0 {
+        format!("{}K", entries / 1024)
+    } else {
+        entries.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn reproduces_published_table_one() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        let expect = [
+            ["1K", "128-set, 8-way", "92", "11.5K"],
+            ["2K", "256-set, 8-way", "91", "22.75K"],
+            ["4K", "512-set, 8-way", "90", "45K"],
+            ["8K", "1024-set, 8-way", "89", "89K"],
+            ["16K", "2048-set, 8-way", "88", "176K"],
+            ["32K", "4096-set, 8-way", "87", "348K"],
+        ];
+        assert_eq!(rows.len(), expect.len());
+        for (row, want) in rows.iter().zip(expect) {
+            assert_eq!(row.as_slice(), want.as_slice());
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! X3 — distribution of the storage budget among the FDIP-X BTB banks
+//! ("Revisited" Table II).
+
+use fdip_btb::storage::fdipx_table;
+
+use crate::experiments::ExperimentResult;
+use crate::report::{f3, kb, Table};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "x3";
+/// Experiment title.
+pub const TITLE: &str = "FDIP-X budget distribution (Table II)";
+
+/// Runs the experiment.
+pub fn run(_scale: Scale) -> ExperimentResult {
+    let mut table = Table::new(
+        format!("{ID}: {TITLE}"),
+        &[
+            "budget",
+            "bank",
+            "entry size (bits)",
+            "entries",
+            "bank storage",
+            "total / entry ratio",
+        ],
+    );
+    for budget in fdipx_table() {
+        for (i, row) in budget.rows.iter().enumerate() {
+            let summary = if i == 0 {
+                format!(
+                    "{} ({}x entries)",
+                    kb(budget.total_bytes()),
+                    f3(budget.entry_ratio())
+                )
+            } else {
+                String::new()
+            };
+            table.row([
+                if i == 0 {
+                    kb(budget.budget_bytes)
+                } else {
+                    String::new()
+                },
+                format!("{}-bit offset", row.bank.bits()),
+                row.entry_bits.to_string(),
+                row.entries.to_string(),
+                kb(row.bytes),
+                summary,
+            ]);
+        }
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn first_budget_row_matches_published_numbers() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        // 11.5KB budget: 768-entry 26-bit bank first.
+        assert_eq!(rows[0][0], "11.50KB");
+        assert_eq!(rows[0][1], "8-bit offset");
+        assert_eq!(rows[0][2], "26");
+        assert_eq!(rows[0][3], "768");
+        // Total ≈ 10.06KB with ≈2.36x the entries.
+        assert!(rows[0][5].contains("10.0"));
+        assert!(rows[0][5].contains("2.3"));
+        // Wide bank of the first budget: 112 entries at 64 bits.
+        assert_eq!(rows[3][1], "46-bit offset");
+        assert_eq!(rows[3][2], "64");
+        assert_eq!(rows[3][3], "112");
+    }
+}

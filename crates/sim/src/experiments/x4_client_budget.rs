@@ -1,0 +1,150 @@
+//! X4 — FDIP vs FDIP-X vs PIF across BTB storage budgets, client traces
+//! ("Revisited" Figure 5).
+//!
+//! Accounting: at each budget point *b* (labeled with the equal-budget
+//! basic-block BTB's storage), the no-prefetch baseline and the FDIP run
+//! use a *b*-entry basic-block BTB; FDIP-X uses the Table II partitioned
+//! ensemble fitting the same budget; PIF keeps the same front-end BTB and
+//! spends *b*'s byte budget on its temporal history instead, so each
+//! series' gain is attributable to the structure the budget bought.
+
+use fdip::{BtbVariant, FrontendConfig, PifConfig, PrefetcherKind};
+use fdip_btb::storage::bb_btb_row;
+
+use crate::experiments::{budget_label, ExperimentResult, BUDGET_ENTRIES};
+use crate::report::{ascii_chart, f3, Series, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "x4";
+/// Experiment title.
+pub const TITLE: &str = "FDIP / FDIP-X / PIF vs storage budget, client traces (Fig. 5)";
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    budget_sweep(ID, TITLE, SuiteKind::Client, scale)
+}
+
+/// Bits one PIF history block costs (see `PifEngine::storage_bits`).
+const PIF_BITS_PER_BLOCK: f64 = 42.0 + 74.0 / 4.0;
+
+fn pif_for_budget(entries: Option<usize>) -> PifConfig {
+    let history_blocks = match entries {
+        Some(n) => {
+            let budget_bits = bb_btb_row(n).total_bytes as f64 * 8.0;
+            ((budget_bits / PIF_BITS_PER_BLOCK) as usize).max(1024)
+        }
+        None => 1 << 20,
+    };
+    PifConfig {
+        history_blocks,
+        ..PifConfig::default()
+    }
+}
+
+fn btb_for_budget(entries: Option<usize>, partitioned: bool) -> BtbVariant {
+    match (entries, partitioned) {
+        (Some(n), false) => BtbVariant::basic_block(n),
+        (Some(n), true) => BtbVariant::partitioned(n),
+        (None, _) => BtbVariant::Ideal,
+    }
+}
+
+pub(crate) fn budget_sweep(
+    id: &str,
+    title: &str,
+    kind: SuiteKind,
+    scale: Scale,
+) -> ExperimentResult {
+    let workloads = suite(kind, scale);
+    let mut configs = Vec::new();
+    for entries in BUDGET_ENTRIES {
+        let label = budget_label(entries);
+        configs.push((
+            format!("base {label}"),
+            FrontendConfig::default().with_btb(btb_for_budget(entries, false)),
+        ));
+        configs.push((
+            format!("fdip {label}"),
+            FrontendConfig::default()
+                .with_btb(btb_for_budget(entries, false))
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ));
+        configs.push((
+            format!("fdip-x {label}"),
+            FrontendConfig::default()
+                .with_btb(btb_for_budget(entries, true))
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ));
+        configs.push((
+            format!("pif {label}"),
+            FrontendConfig::default()
+                .with_btb(btb_for_budget(entries, false))
+                .with_prefetcher(PrefetcherKind::Pif(pif_for_budget(entries))),
+        ));
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{id}: {title} (% gain over same-budget no-prefetch)"),
+        &["budget", "fdip", "fdip-x", "pif"],
+    );
+    let mut series: Vec<Series> = ["fdip", "fdip-x", "pif"]
+        .iter()
+        .map(|n| Series {
+            label: n.to_string(),
+            points: Vec::new(),
+        })
+        .collect();
+    for entries in BUDGET_ENTRIES {
+        let label = budget_label(entries);
+        let mut row = vec![label.clone()];
+        for (i, name) in ["fdip", "fdip-x", "pif"].iter().enumerate() {
+            let mut speedups = Vec::new();
+            for w in &workloads {
+                let base = &cell(&results, &w.name, &format!("base {label}")).stats;
+                let s = &cell(&results, &w.name, &format!("{name} {label}")).stats;
+                speedups.push(s.speedup_over(base));
+            }
+            let gain = (geomean(speedups) - 1.0) * 100.0;
+            series[i].points.push((label.clone(), gain));
+            row.push(f3(gain));
+        }
+        table.row(row);
+    }
+    let chart = ascii_chart(&format!("{id}: {title}"), &series, "% gain");
+    ExperimentResult {
+        tables: vec![table],
+        chart: Some(chart),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pif_budget_sizing_scales_with_budget() {
+        let small = pif_for_budget(Some(1024)).history_blocks;
+        let large = pif_for_budget(Some(32768)).history_blocks;
+        assert!(large > 20 * small, "{small} vs {large}");
+        // 11.5KB ≈ 94208 bits / 60.5 ≈ 1557 blocks.
+        assert!((1400..1700).contains(&small), "{small}");
+    }
+
+    #[test]
+    fn sweep_produces_full_grid() {
+        let result = run(Scale::quick());
+        let table = &result.tables[0];
+        assert_eq!(table.rows.len(), BUDGET_ENTRIES.len());
+        assert!(result.chart.is_some());
+        // Every cell parses as a number.
+        for row in &table.rows {
+            for cell in &row[1..] {
+                let _: f64 = cell.parse().unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! X5 — FDIP vs FDIP-X vs PIF across BTB storage budgets, server traces
+//! ("Revisited" Figure 6). Same methodology as [X4](crate::experiments::x4_client_budget).
+
+use crate::experiments::x4_client_budget::budget_sweep;
+use crate::experiments::ExperimentResult;
+use crate::workload::SuiteKind;
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "x5";
+/// Experiment title.
+pub const TITLE: &str = "FDIP / FDIP-X / PIF vs storage budget, server traces (Fig. 6)";
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    budget_sweep(ID, TITLE, SuiteKind::Server, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdip_x_never_loses_to_fdip_at_the_smallest_budget() {
+        let result = run(Scale::quick());
+        let row = &result.tables[0].rows[0]; // 11.5KB
+        let fdip: f64 = row[1].parse().unwrap();
+        let fdipx: f64 = row[2].parse().unwrap();
+        // FDIP-X's extra reach must show at the stingiest budget (allow a
+        // small tolerance at smoke scale).
+        assert!(fdipx + 1.5 >= fdip, "fdip {fdip} vs fdip-x {fdipx}");
+    }
+
+    #[test]
+    fn gains_grow_toward_the_infinite_budget() {
+        let result = run(Scale::quick());
+        let rows = &result.tables[0].rows;
+        let small: f64 = rows[0][1].parse().unwrap();
+        let infinite: f64 = rows[rows.len() - 1][1].parse().unwrap();
+        assert!(
+            infinite + 1.0 >= small,
+            "infinite {infinite} vs smallest {small}"
+        );
+    }
+}

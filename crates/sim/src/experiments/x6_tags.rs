@@ -1,0 +1,112 @@
+//! X6 — tag-compression ablation ("Revisited" Figure 7): 16-bit folded-XOR
+//! tags vs full tags on the smallest FDIP-X configuration, where aliasing
+//! pressure is highest.
+
+use fdip::{BtbVariant, FrontendConfig, PrefetcherKind};
+use fdip_btb::{PartitionConfig, TagScheme};
+
+use crate::experiments::ExperimentResult;
+use crate::report::{f3, kb, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "x6";
+/// Experiment title.
+pub const TITLE: &str = "16-bit compressed tags vs full tags (Fig. 7)";
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::All, scale);
+    let smallest = 1024;
+    let compressed = PartitionConfig::from_bb_entries(smallest);
+    let full = compressed.with_tag_scheme(TagScheme::Full);
+    let configs = vec![
+        ("base".to_string(), FrontendConfig::default()),
+        (
+            "c16".to_string(),
+            FrontendConfig::default()
+                .with_btb(BtbVariant::Partitioned(compressed))
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ),
+        (
+            "full".to_string(),
+            FrontendConfig::default()
+                .with_btb(BtbVariant::Partitioned(full))
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ),
+    ];
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} — smallest budget"),
+        &["workload", "gain c16 %", "gain full %", "difference pp"],
+    );
+    let mut c16_all = Vec::new();
+    let mut full_all = Vec::new();
+    for w in &workloads {
+        let base = &cell(&results, &w.name, "base").stats;
+        let c16 = cell(&results, &w.name, "c16").stats.speedup_over(base);
+        let full = cell(&results, &w.name, "full").stats.speedup_over(base);
+        c16_all.push(c16);
+        full_all.push(full);
+        table.row([
+            w.name.clone(),
+            f3((c16 - 1.0) * 100.0),
+            f3((full - 1.0) * 100.0),
+            f3((full - c16) * 100.0),
+        ]);
+    }
+    let c16_gain = (geomean(c16_all) - 1.0) * 100.0;
+    let full_gain = (geomean(full_all) - 1.0) * 100.0;
+    table.row([
+        "geomean".to_string(),
+        f3(c16_gain),
+        f3(full_gain),
+        f3(full_gain - c16_gain),
+    ]);
+
+    let mut storage = Table::new(
+        format!("{ID}b: storage cost of the two tag schemes"),
+        &["tag scheme", "storage"],
+    );
+    use fdip_btb::{Btb, PartitionedBtb};
+    storage.row([
+        "16-bit folded-XOR".to_string(),
+        kb(PartitionedBtb::new(compressed).storage_bits() / 8),
+    ]);
+    storage.row([
+        "full".to_string(),
+        kb(PartitionedBtb::new(full).storage_bits() / 8),
+    ]);
+
+    ExperimentResult::tables(vec![table, storage])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compression_costs_almost_nothing() {
+        let result = run(Scale::quick());
+        let geo = result.tables[0].rows.last().unwrap().clone();
+        let difference: f64 = geo[3].parse().unwrap();
+        // The paper reports a 0.04 percentage-point difference; allow a
+        // couple of points at smoke scale.
+        assert!(
+            difference.abs() < 3.0,
+            "tag compression cost {difference}pp"
+        );
+    }
+
+    #[test]
+    fn full_tags_cost_more_storage() {
+        let result = run(Scale::quick());
+        let storage = &result.tables[1];
+        let c16: f64 = storage.rows[0][1].trim_end_matches("KB").parse().unwrap();
+        let full: f64 = storage.rows[1][1].trim_end_matches("KB").parse().unwrap();
+        assert!(full > c16);
+    }
+}

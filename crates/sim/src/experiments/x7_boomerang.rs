@@ -1,0 +1,110 @@
+//! X7 — Boomerang-style predecode BTB fill (extension): can the prefetch
+//! stream repair its own BTB misses, and does that shrink the BTB budget
+//! FDIP needs?
+
+use fdip::{BtbVariant, FrontendConfig, PrefetcherKind};
+
+use crate::experiments::ExperimentResult;
+use crate::report::{f3, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "x7";
+/// Experiment title.
+pub const TITLE: &str = "predecode BTB fill (Boomerang extension)";
+
+const BUDGETS: [usize; 4] = [512, 1024, 2048, 8192];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::Server, scale);
+    let mut configs = Vec::new();
+    for entries in BUDGETS {
+        configs.push((
+            format!("base {entries}"),
+            FrontendConfig::default().with_btb(BtbVariant::conventional(entries)),
+        ));
+        configs.push((
+            format!("fdip {entries}"),
+            FrontendConfig::default()
+                .with_btb(BtbVariant::conventional(entries))
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ));
+        configs.push((
+            format!("boomerang {entries}"),
+            FrontendConfig::default()
+                .with_btb(BtbVariant::conventional(entries))
+                .with_prefetcher(PrefetcherKind::fdip())
+                .with_predecode_btb_fill(true),
+        ));
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE} (server suite geomean)"),
+        &[
+            "BTB entries",
+            "fdip speedup",
+            "fdip+predecode speedup",
+            "decode redirects/KI (fdip)",
+            "decode redirects/KI (predecode)",
+            "installs",
+        ],
+    );
+    for entries in BUDGETS {
+        let mut fdip_speed = Vec::new();
+        let mut boom_speed = Vec::new();
+        let mut fdip_decode = Vec::new();
+        let mut boom_decode = Vec::new();
+        let mut installs = 0u64;
+        for w in &workloads {
+            let base = &cell(&results, &w.name, &format!("base {entries}")).stats;
+            let fdip = &cell(&results, &w.name, &format!("fdip {entries}")).stats;
+            let boom = &cell(&results, &w.name, &format!("boomerang {entries}")).stats;
+            fdip_speed.push(fdip.speedup_over(base));
+            boom_speed.push(boom.speedup_over(base));
+            fdip_decode
+                .push(fdip.branches.decode_redirects as f64 * 1000.0 / fdip.instructions as f64);
+            boom_decode
+                .push(boom.branches.decode_redirects as f64 * 1000.0 / boom.instructions as f64);
+            installs += boom.predecode_installs;
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        table.row([
+            entries.to_string(),
+            f3(geomean(fdip_speed)),
+            f3(geomean(boom_speed)),
+            f3(avg(&fdip_decode)),
+            f3(avg(&boom_decode)),
+            installs.to_string(),
+        ]);
+    }
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predecode_cuts_decode_redirects_at_small_btbs() {
+        let result = run(Scale::quick());
+        let row = &result.tables[0].rows[0]; // 512-entry BTB
+        let fdip_decode: f64 = row[3].parse().unwrap();
+        let boom_decode: f64 = row[4].parse().unwrap();
+        assert!(
+            boom_decode < fdip_decode,
+            "predecode must cut misfetches: {fdip_decode} vs {boom_decode}"
+        );
+        let installs: u64 = row[5].parse().unwrap();
+        assert!(installs > 0);
+        let fdip_speed: f64 = row[1].parse().unwrap();
+        let boom_speed: f64 = row[2].parse().unwrap();
+        assert!(
+            boom_speed > fdip_speed * 0.98,
+            "predecode should not hurt: {fdip_speed} vs {boom_speed}"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! X8 — Shotgun-lite (extension): spatial call-target footprints on top of
+//! FDIP. Does reaching past the FTQ's lookahead pay, and what does the
+//! region table cost?
+
+use fdip::{FrontendConfig, PrefetcherKind, ShotgunConfig};
+
+use crate::experiments::{base_config, ExperimentResult};
+use crate::report::{f3, pct, Table};
+use crate::runner::{cell, geomean, run_matrix};
+use crate::workload::{suite, SuiteKind};
+use crate::Scale;
+
+/// Experiment id.
+pub const ID: &str = "x8";
+/// Experiment title.
+pub const TITLE: &str = "Shotgun-lite spatial footprints over FDIP";
+
+const REGION_TABLES: [usize; 3] = [128, 512, 2048];
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let workloads = suite(SuiteKind::All, scale);
+    let mut configs = vec![
+        ("base".to_string(), base_config()),
+        (
+            "fdip".to_string(),
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+        ),
+    ];
+    for regions in REGION_TABLES {
+        configs.push((
+            format!("shotgun {regions}"),
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::Shotgun(
+                ShotgunConfig {
+                    regions,
+                    ..ShotgunConfig::default()
+                },
+                Default::default(),
+            )),
+        ));
+    }
+    let results = run_matrix(&workloads, scale.trace_len, &configs);
+
+    let mut table = Table::new(
+        format!("{ID}: {TITLE}"),
+        &[
+            "workload",
+            "fdip speedup",
+            "shotgun-128",
+            "shotgun-512",
+            "shotgun-2048",
+            "coverage fdip",
+            "coverage shotgun-512",
+        ],
+    );
+    let mut fdip_all = Vec::new();
+    let mut shotgun_all = vec![Vec::new(); REGION_TABLES.len()];
+    for w in &workloads {
+        let base = &cell(&results, &w.name, "base").stats;
+        let fdip = &cell(&results, &w.name, "fdip").stats;
+        let fdip_speed = fdip.speedup_over(base);
+        fdip_all.push(fdip_speed);
+        let mut row = vec![w.name.clone(), f3(fdip_speed)];
+        for (i, regions) in REGION_TABLES.iter().enumerate() {
+            let s = &cell(&results, &w.name, &format!("shotgun {regions}")).stats;
+            let speed = s.speedup_over(base);
+            shotgun_all[i].push(speed);
+            row.push(f3(speed));
+        }
+        let mid = &cell(&results, &w.name, "shotgun 512").stats;
+        row.push(pct(fdip.miss_coverage_vs(base)));
+        row.push(pct(mid.miss_coverage_vs(base)));
+        table.row(row);
+    }
+    let mut geo = vec!["geomean".to_string(), f3(geomean(fdip_all))];
+    for speeds in &shotgun_all {
+        geo.push(f3(geomean(speeds.iter().copied())));
+    }
+    geo.push(String::new());
+    geo.push(String::new());
+    table.row(geo);
+    ExperimentResult::tables(vec![table])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shotgun_matches_or_beats_fdip_on_servers() {
+        let result = run(Scale::quick());
+        let server = result.tables[0]
+            .rows
+            .iter()
+            .find(|r| r[0].starts_with("server"))
+            .unwrap()
+            .clone();
+        let fdip: f64 = server[1].parse().unwrap();
+        let shotgun512: f64 = server[3].parse().unwrap();
+        assert!(
+            shotgun512 >= fdip * 0.97,
+            "shotgun {shotgun512} vs fdip {fdip}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment harness for the FDIP reproduction.
+//!
+//! This crate turns the `fdip` simulator into the paper's evaluation:
+//!
+//! * [`workload`] — the client/server workload suites (synthetic traces
+//!   standing in for the unavailable SPEC/IPC-1 traces);
+//! * [`runner`] — a deterministic, multi-threaded experiment runner;
+//! * [`report`] — plain-text tables, CSV emission, and ASCII series plots;
+//! * [`experiments`] — one module per table/figure: the reconstructed 1999
+//!   evaluation (`e01`–`e10`), the FDIP-X extension plus follow-ons
+//!   (`x1`–`x8`), and design-choice ablations (`a1`–`a7`).
+//!
+//! Every experiment takes a [`Scale`] so the full paper-sized runs and the
+//! seconds-long smoke runs used by tests share one code path.
+//!
+//! # Examples
+//!
+//! ```
+//! use fdip_sim::{experiments, Scale};
+//!
+//! let result = experiments::x2_storage_bb::run(Scale::quick());
+//! assert!(result.tables[0].to_text().contains("11.5"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+mod scale;
+
+pub use scale::Scale;

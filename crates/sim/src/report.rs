@@ -1,0 +1,261 @@
+//! Plain-text tables, CSV emission, and ASCII series charts for experiment
+//! output.
+
+use std::fmt::Write as _;
+
+/// A titled table of strings, rendered column-aligned.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_sim::report::Table;
+///
+/// let mut t = Table::new("demo", &["workload", "speedup"]);
+/// t.row(["server-1".to_string(), "1.42".to_string()]);
+/// let text = t.to_text();
+/// assert!(text.contains("workload"));
+/// assert!(text.contains("1.42"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the headers.
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn to_text(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let render = |out: &mut String, cells: &[String]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", cells[i], width = widths[i]);
+            }
+            out.push('\n');
+        };
+        render(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            render(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float as a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats a byte count as KB with 2 decimals.
+pub fn kb(bytes: u64) -> String {
+    format!("{:.2}KB", bytes as f64 / 1024.0)
+}
+
+/// One line of an ASCII chart: a labeled series of (x, y) points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in x order; x is categorical.
+    pub points: Vec<(String, f64)>,
+}
+
+/// Renders grouped horizontal bars: one block per x category, one bar per
+/// series — a terminal rendition of the paper's grouped bar figures.
+pub fn ascii_chart(title: &str, series: &[Series], unit: &str) -> String {
+    let max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(_, y)| *y))
+        .fold(f64::EPSILON, f64::max);
+    let label_width = series.iter().map(|s| s.label.len()).max().unwrap_or(0);
+    let x_width = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| x.len()))
+        .max()
+        .unwrap_or(0);
+    let bar_width = 40usize;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title} ({unit})");
+    let categories: Vec<&String> = series
+        .first()
+        .map(|s| s.points.iter().map(|(x, _)| x).collect())
+        .unwrap_or_default();
+    for (i, x) in categories.iter().enumerate() {
+        for s in series {
+            let y = s.points.get(i).map(|(_, y)| *y).unwrap_or(0.0);
+            let filled = ((y / max) * bar_width as f64).round().max(0.0) as usize;
+            let _ = writeln!(
+                out,
+                "{:>xw$}  {:<lw$}  {}{} {:.2}",
+                if s.label == series[0].label { x.as_str() } else { "" },
+                s.label,
+                "█".repeat(filled.min(bar_width)),
+                " ".repeat(bar_width - filled.min(bar_width)),
+                y,
+                xw = x_width,
+                lw = label_width,
+            );
+        }
+        if i + 1 < categories.len() {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", &["a", "bb"]);
+        t.row(["1".to_string(), "2".to_string()]);
+        t.row(["333".to_string(), "4".to_string()]);
+        t
+    }
+
+    #[test]
+    fn text_is_aligned() {
+        let text = sample().to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "# t");
+        assert!(lines[1].contains("a") && lines[1].contains("bb"));
+        // Both data rows end at the same column.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn markdown_render() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### t"));
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 333 | 4 |"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("t", &["x"]);
+        t.row(["a,b".to_string()]);
+        t.row(["q\"q".to_string()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"q\"\"q\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(["only-one".to_string()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(kb(11776), "11.50KB");
+    }
+
+    #[test]
+    fn chart_renders_all_series() {
+        let series = vec![
+            Series {
+                label: "fdip".into(),
+                points: vec![("1K".into(), 1.4), ("2K".into(), 1.5)],
+            },
+            Series {
+                label: "nlp".into(),
+                points: vec![("1K".into(), 1.2), ("2K".into(), 1.2)],
+            },
+        ];
+        let chart = ascii_chart("speedup", &series, "x over baseline");
+        assert!(chart.contains("fdip"));
+        assert!(chart.contains("nlp"));
+        assert!(chart.contains("1K"));
+        assert!(chart.contains('█'));
+    }
+}

@@ -1,0 +1,164 @@
+//! Deterministic, parallel experiment execution.
+//!
+//! A *matrix* run evaluates every named configuration against every
+//! workload. Workloads are distributed across threads (each thread
+//! generates its trace once and runs all configurations over it);
+//! determinism is preserved because each (workload, config) cell is
+//! independent and results are re-sorted at the end.
+
+use std::sync::Mutex;
+
+use fdip::{FrontendConfig, SimStats, Simulator};
+use fdip_trace::TraceStats;
+
+use crate::workload::WorkloadSpec;
+
+/// One evaluated cell of the matrix.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label.
+    pub config: String,
+    /// Simulation statistics.
+    pub stats: SimStats,
+    /// Characterization of the trace the cell ran over.
+    pub trace_stats: TraceStats,
+}
+
+/// Runs `configs` × `workloads`, in parallel over workloads.
+///
+/// Results are ordered workload-major, matching the input orders exactly,
+/// regardless of thread scheduling.
+pub fn run_matrix(
+    workloads: &[WorkloadSpec],
+    trace_len: usize,
+    configs: &[(String, FrontendConfig)],
+) -> Vec<RunResult> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(workloads.len().max(1));
+    let next = Mutex::new(0usize);
+    let results: Mutex<Vec<(usize, Vec<RunResult>)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = {
+                    let mut guard = next.lock().expect("runner mutex");
+                    let i = *guard;
+                    if i >= workloads.len() {
+                        return;
+                    }
+                    *guard += 1;
+                    i
+                };
+                let spec = &workloads[index];
+                let trace = spec.generate(trace_len);
+                let trace_stats = TraceStats::measure(&trace);
+                let cell_results: Vec<RunResult> = configs
+                    .iter()
+                    .map(|(label, config)| RunResult {
+                        workload: spec.name.clone(),
+                        config: label.clone(),
+                        stats: Simulator::run_trace(config, &trace),
+                        trace_stats: trace_stats.clone(),
+                    })
+                    .collect();
+                results
+                    .lock()
+                    .expect("runner mutex")
+                    .push((index, cell_results));
+            });
+        }
+    });
+
+    let mut collected = results.into_inner().expect("runner mutex");
+    collected.sort_by_key(|(index, _)| *index);
+    collected.into_iter().flat_map(|(_, r)| r).collect()
+}
+
+/// Finds the cell for (workload, config).
+///
+/// # Panics
+///
+/// Panics if the cell is missing — experiments always populate full
+/// matrices.
+pub fn cell<'r>(results: &'r [RunResult], workload: &str, config: &str) -> &'r RunResult {
+    results
+        .iter()
+        .find(|r| r.workload == workload && r.config == config)
+        .unwrap_or_else(|| panic!("missing cell ({workload}, {config})"))
+}
+
+/// Geometric mean of an iterator of positive values (1.0 when empty).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        debug_assert!(v > 0.0, "geomean requires positive values");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{suite, SuiteKind};
+    use crate::Scale;
+    use fdip::PrefetcherKind;
+
+    #[test]
+    fn matrix_is_ordered_and_complete() {
+        let workloads = suite(SuiteKind::All, Scale::quick());
+        let configs = vec![
+            ("base".to_string(), FrontendConfig::default()),
+            (
+                "fdip".to_string(),
+                FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+            ),
+        ];
+        let results = run_matrix(&workloads, 20_000, &configs);
+        assert_eq!(results.len(), workloads.len() * configs.len());
+        // Workload-major order, config order within.
+        assert_eq!(results[0].workload, workloads[0].name);
+        assert_eq!(results[0].config, "base");
+        assert_eq!(results[1].config, "fdip");
+        // Every cell resolvable.
+        for w in &workloads {
+            for (label, _) in &configs {
+                let r = cell(&results, &w.name, label);
+                assert!(r.stats.instructions > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_across_invocations() {
+        let workloads = suite(SuiteKind::Client, Scale::quick());
+        let configs = vec![("base".to_string(), FrontendConfig::default())];
+        let a = run_matrix(&workloads, 15_000, &configs);
+        let b = run_matrix(&workloads, 15_000, &configs);
+        assert_eq!(a[0].stats, b[0].stats);
+    }
+
+    #[test]
+    fn geomean_math() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+        assert!((geomean([5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing cell")]
+    fn missing_cell_panics() {
+        let _ = cell(&[], "nope", "nada");
+    }
+}

@@ -1,0 +1,72 @@
+/// How big an experiment run should be.
+///
+/// The same experiment code serves paper-scale runs (`full`), interactive
+/// exploration (`medium`), and CI smoke tests (`quick`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Scale {
+    /// Dynamic instructions per trace.
+    pub trace_len: usize,
+    /// Workloads per suite (distinct seeds).
+    pub workloads_per_suite: usize,
+}
+
+impl Scale {
+    /// Paper-scale: 4 workloads per suite, 2M instructions each.
+    pub fn full() -> Scale {
+        Scale {
+            trace_len: 2_000_000,
+            workloads_per_suite: 4,
+        }
+    }
+
+    /// Interactive: 2 workloads per suite, 500K instructions.
+    pub fn medium() -> Scale {
+        Scale {
+            trace_len: 500_000,
+            workloads_per_suite: 2,
+        }
+    }
+
+    /// Smoke-test: 1 workload per suite, 60K instructions.
+    pub fn quick() -> Scale {
+        Scale {
+            trace_len: 60_000,
+            workloads_per_suite: 1,
+        }
+    }
+
+    /// Parses `--quick` / `--medium` / `--full` style argv, defaulting to
+    /// full (benchmark binaries use this).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
+        for arg in args {
+            match arg.as_str() {
+                "--quick" => return Scale::quick(),
+                "--medium" => return Scale::medium(),
+                "--full" => return Scale::full(),
+                _ => {}
+            }
+        }
+        Scale::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_scales() {
+        assert!(Scale::quick().trace_len < Scale::medium().trace_len);
+        assert!(Scale::medium().trace_len < Scale::full().trace_len);
+    }
+
+    #[test]
+    fn from_args_parses() {
+        let q = Scale::from_args(["--quick".to_string()]);
+        assert_eq!(q, Scale::quick());
+        let f = Scale::from_args(["whatever".to_string()]);
+        assert_eq!(f, Scale::full());
+        let m = Scale::from_args(["x".to_string(), "--medium".to_string()]);
+        assert_eq!(m, Scale::medium());
+    }
+}

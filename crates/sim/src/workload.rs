@@ -1,0 +1,96 @@
+//! Workload suites: named, seeded synthetic traces standing in for the
+//! paper's benchmark traces.
+
+use fdip_trace::gen::{GeneratorConfig, Profile};
+use fdip_trace::Trace;
+
+use crate::Scale;
+
+/// Which suite an experiment runs over.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SuiteKind {
+    /// Compact-footprint interactive workloads.
+    Client,
+    /// Large-footprint request-processing workloads.
+    Server,
+    /// Both suites.
+    All,
+}
+
+/// One named workload: a profile plus a seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Report name, e.g. `server-2`.
+    pub name: String,
+    /// Generator profile.
+    pub profile: Profile,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Builds the spec for suite member `index`.
+    pub fn new(profile: Profile, index: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            name: format!("{}-{}", profile.name(), index + 1),
+            profile,
+            // Seeds are disjoint across profiles so suites never share RNG
+            // streams.
+            seed: 1000 * (profile as u64 + 1) + index as u64,
+        }
+    }
+
+    /// Generates the trace at the given length.
+    pub fn generate(&self, trace_len: usize) -> Trace {
+        GeneratorConfig::profile(self.profile)
+            .name(self.name.clone())
+            .seed(self.seed)
+            .target_len(trace_len)
+            .generate()
+    }
+}
+
+/// The workloads of a suite at a given scale.
+pub fn suite(kind: SuiteKind, scale: Scale) -> Vec<WorkloadSpec> {
+    let per = scale.workloads_per_suite;
+    let mut specs = Vec::new();
+    if matches!(kind, SuiteKind::Client | SuiteKind::All) {
+        specs.extend((0..per).map(|i| WorkloadSpec::new(Profile::Client, i)));
+    }
+    if matches!(kind, SuiteKind::Server | SuiteKind::All) {
+        specs.extend((0..per).map(|i| WorkloadSpec::new(Profile::Server, i)));
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_follow_scale() {
+        assert_eq!(suite(SuiteKind::Client, Scale::quick()).len(), 1);
+        assert_eq!(suite(SuiteKind::All, Scale::full()).len(), 8);
+    }
+
+    #[test]
+    fn names_and_seeds_are_unique() {
+        let all = suite(SuiteKind::All, Scale::full());
+        let mut names: Vec<_> = all.iter().map(|w| w.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        let mut seeds: Vec<_> = all.iter().map(|w| w.seed).collect();
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), all.len());
+    }
+
+    #[test]
+    fn generate_respects_length() {
+        let spec = WorkloadSpec::new(Profile::Client, 0);
+        let t = spec.generate(5_000);
+        assert!(t.len() >= 5_000);
+        assert_eq!(t.name(), "client-1");
+    }
+}

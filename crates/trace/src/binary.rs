@@ -1,0 +1,480 @@
+//! Compact binary trace codec.
+//!
+//! Layout:
+//!
+//! ```text
+//! "FDTR"  magic
+//! u8      version (1 = baseline, 2 = compact with run-length records)
+//! varint  name length, then that many bytes of UTF-8 name
+//! varint  instruction count
+//! records…
+//! ```
+//!
+//! Each record starts with a flag byte:
+//!
+//! ```text
+//! bit 0    is_branch
+//! bits 1-3 branch class code (BranchClass::code), if is_branch
+//! bit 4    taken, if is_branch
+//! bit 5    discontinuous: this record's PC is *not* the architectural
+//!          next-PC of the previous record (always set on record 0)
+//! ```
+//!
+//! A discontinuous record is followed by a zigzag varint: the PC delta from
+//! the expected next-PC, in instructions. A branch record is followed by a
+//! zigzag varint: the target offset from the PC, in instructions. Since a
+//! well-formed execution trace is continuous, bit 5 in practice only appears
+//! on record 0 — but tolerating discontinuity makes the codec usable for
+//! trace *fragments* too.
+//!
+//! Version 2 additionally uses flag bit 6 (*run*): the record stands for a
+//! varint-counted run of continuous plain instructions, which compresses
+//! straight-line code to a fraction of a byte per instruction
+//! ([`write_binary_compact`]); [`read_binary`] accepts both versions.
+
+use std::io::{Read, Write};
+
+use fdip_types::{Addr, BranchClass, BranchRecord, TraceInstr};
+
+use crate::varint;
+use crate::{Trace, TraceError};
+
+/// Magic bytes at the start of every binary trace.
+pub const BINARY_MAGIC: [u8; 4] = *b"FDTR";
+
+/// Baseline binary format version (one record per instruction).
+pub const BINARY_VERSION: u8 = 1;
+
+/// Compact binary format version: adds run-length records (flag bit 6 +
+/// varint count) for continuous straight-line stretches, cutting typical
+/// traces to a fraction of a byte per instruction.
+pub const BINARY_VERSION_COMPACT: u8 = 2;
+
+const FLAG_BRANCH: u8 = 1 << 0;
+const FLAG_TAKEN: u8 = 1 << 4;
+const FLAG_DISCONTINUOUS: u8 = 1 << 5;
+const FLAG_RUN: u8 = 1 << 6;
+const CLASS_SHIFT: u32 = 1;
+const CLASS_MASK: u8 = 0b111 << CLASS_SHIFT;
+
+/// Writes `trace` in the binary format.
+///
+/// The writer is taken by value; pass `&mut writer` to keep using it
+/// afterwards.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] if the underlying writer fails.
+pub fn write_binary<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceError> {
+    w.write_all(&BINARY_MAGIC)?;
+    w.write_all(&[BINARY_VERSION])?;
+    let name = trace.name().as_bytes();
+    varint::write_u64(&mut w, name.len() as u64)?;
+    w.write_all(name)?;
+    varint::write_u64(&mut w, trace.len() as u64)?;
+
+    let mut expected: Option<Addr> = None;
+    for instr in trace {
+        let mut flags = 0u8;
+        let discontinuous = expected != Some(instr.pc);
+        if discontinuous {
+            flags |= FLAG_DISCONTINUOUS;
+        }
+        if let Some(b) = instr.branch {
+            flags |= FLAG_BRANCH;
+            flags |= b.class.code() << CLASS_SHIFT;
+            if b.taken {
+                flags |= FLAG_TAKEN;
+            }
+        }
+        w.write_all(&[flags])?;
+        if discontinuous {
+            let base = expected.unwrap_or(Addr::ZERO);
+            varint::write_i64(&mut w, base.insts_to(instr.pc))?;
+        }
+        if let Some(b) = instr.branch {
+            varint::write_i64(&mut w, instr.pc.insts_to(b.target))?;
+        }
+        expected = Some(instr.next_pc());
+    }
+    Ok(())
+}
+
+/// Writes `trace` in the compact (version 2) format: continuous
+/// straight-line stretches become one run-length record instead of one
+/// byte per instruction.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] if the underlying writer fails.
+pub fn write_binary_compact<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceError> {
+    w.write_all(&BINARY_MAGIC)?;
+    w.write_all(&[BINARY_VERSION_COMPACT])?;
+    let name = trace.name().as_bytes();
+    varint::write_u64(&mut w, name.len() as u64)?;
+    w.write_all(name)?;
+    varint::write_u64(&mut w, trace.len() as u64)?;
+
+    let instrs = trace.instrs();
+    let mut expected: Option<Addr> = None;
+    let mut i = 0usize;
+    while i < instrs.len() {
+        let instr = instrs[i];
+        let discontinuous = expected != Some(instr.pc);
+        // Measure the continuous plain run starting here.
+        let mut run = 0usize;
+        if instr.branch.is_none() {
+            run = 1;
+            while i + run < instrs.len()
+                && instrs[i + run].branch.is_none()
+                && instrs[i + run].pc == instr.pc.add_insts(run as u64)
+            {
+                run += 1;
+            }
+        }
+        if run >= 2 {
+            let mut flags = FLAG_RUN;
+            if discontinuous {
+                flags |= FLAG_DISCONTINUOUS;
+            }
+            w.write_all(&[flags])?;
+            if discontinuous {
+                let base = expected.unwrap_or(Addr::ZERO);
+                varint::write_i64(&mut w, base.insts_to(instr.pc))?;
+            }
+            varint::write_u64(&mut w, run as u64)?;
+            expected = Some(instr.pc.add_insts(run as u64));
+            i += run;
+            continue;
+        }
+        // Single record (plain or branch) — the version-1 encoding.
+        let mut flags = 0u8;
+        if discontinuous {
+            flags |= FLAG_DISCONTINUOUS;
+        }
+        if let Some(b) = instr.branch {
+            flags |= FLAG_BRANCH;
+            flags |= b.class.code() << CLASS_SHIFT;
+            if b.taken {
+                flags |= FLAG_TAKEN;
+            }
+        }
+        w.write_all(&[flags])?;
+        if discontinuous {
+            let base = expected.unwrap_or(Addr::ZERO);
+            varint::write_i64(&mut w, base.insts_to(instr.pc))?;
+        }
+        if let Some(b) = instr.branch {
+            varint::write_i64(&mut w, instr.pc.insts_to(b.target))?;
+        }
+        expected = Some(instr.next_pc());
+        i += 1;
+    }
+    Ok(())
+}
+
+/// Reads a binary trace (either version).
+///
+/// The reader is taken by value; pass `&mut reader` to keep using it
+/// afterwards.
+///
+/// # Errors
+///
+/// Returns [`TraceError::BadMagic`], [`TraceError::UnsupportedVersion`],
+/// [`TraceError::Truncated`], or [`TraceError::Corrupt`] as appropriate.
+pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != BINARY_MAGIC {
+        return Err(TraceError::BadMagic { found: magic });
+    }
+    let mut version = [0u8; 1];
+    r.read_exact(&mut version)?;
+    let compact = match version[0] {
+        BINARY_VERSION => false,
+        BINARY_VERSION_COMPACT => true,
+        other => return Err(TraceError::UnsupportedVersion { found: other }),
+    };
+    let name_len = varint::read_u64(&mut r)? as usize;
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8(name_bytes).map_err(|_| TraceError::Corrupt {
+        what: "trace name is not utf-8",
+        at_record: 0,
+    })?;
+    let count = varint::read_u64(&mut r)?;
+
+    let mut instrs = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut expected: Option<Addr> = None;
+    while (instrs.len() as u64) < count {
+        let i = instrs.len() as u64;
+        let mut flags = [0u8; 1];
+        r.read_exact(&mut flags)?;
+        let flags = flags[0];
+        if flags & FLAG_RUN != 0 && !compact {
+            return Err(TraceError::Corrupt {
+                what: "run record in a version-1 stream",
+                at_record: i,
+            });
+        }
+        let pc = if flags & FLAG_DISCONTINUOUS != 0 {
+            let base = expected.unwrap_or(Addr::ZERO);
+            let delta = varint::read_i64(&mut r)?;
+            apply_inst_delta(base, delta).ok_or(TraceError::Corrupt {
+                what: "pc delta out of range",
+                at_record: i,
+            })?
+        } else {
+            expected.ok_or(TraceError::Corrupt {
+                what: "continuous flag on first record",
+                at_record: i,
+            })?
+        };
+        if flags & FLAG_RUN != 0 {
+            let run = varint::read_u64(&mut r)?;
+            if run < 2 || instrs.len() as u64 + run > count {
+                return Err(TraceError::Corrupt {
+                    what: "run length out of range",
+                    at_record: i,
+                });
+            }
+            for k in 0..run {
+                instrs.push(TraceInstr::plain(pc.add_insts(k)));
+            }
+            expected = Some(pc.add_insts(run));
+            continue;
+        }
+        let branch = if flags & FLAG_BRANCH != 0 {
+            let code = (flags & CLASS_MASK) >> CLASS_SHIFT;
+            let class = BranchClass::from_code(code).ok_or(TraceError::Corrupt {
+                what: "invalid branch class code",
+                at_record: i,
+            })?;
+            let taken = flags & FLAG_TAKEN != 0;
+            if !taken && class.is_unconditional() {
+                return Err(TraceError::Corrupt {
+                    what: "not-taken unconditional branch",
+                    at_record: i,
+                });
+            }
+            let offset = varint::read_i64(&mut r)?;
+            let target = apply_inst_delta(pc, offset).ok_or(TraceError::Corrupt {
+                what: "branch target out of range",
+                at_record: i,
+            })?;
+            Some(BranchRecord {
+                class,
+                taken,
+                target,
+            })
+        } else {
+            None
+        };
+        let instr = TraceInstr { pc, branch };
+        expected = Some(instr.next_pc());
+        instrs.push(instr);
+    }
+    Ok(Trace::from_instrs(name, instrs))
+}
+
+fn apply_inst_delta(base: Addr, delta_insts: i64) -> Option<Addr> {
+    let raw = base.raw() as i128 + delta_insts as i128 * 4;
+    if (0..=u64::MAX as i128).contains(&raw) {
+        Some(Addr::new(raw as u64))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new("sample", Addr::new(0x1000));
+        b.plain(3);
+        b.cond(true, Addr::new(0x2000));
+        b.plain(2);
+        b.call(Addr::new(0x8000));
+        b.plain(1);
+        b.ret();
+        b.plain(4);
+        b.jump(Addr::new(0x1000));
+        b.plain(1);
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace_exactly() {
+        let t = sample_trace();
+        t.validate().unwrap();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.name(), "sample");
+    }
+
+    #[test]
+    fn continuous_records_cost_one_byte() {
+        let mut b = TraceBuilder::new("", Addr::new(0));
+        b.plain(100);
+        let t = b.finish();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        // header: 4 magic + 1 version + 1 name len + 1 count; record 0 has a
+        // discontinuity varint; the other 99 are exactly 1 byte each.
+        assert_eq!(buf.len(), 4 + 1 + 1 + 1 + 2 + 99);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOPE\x01".to_vec();
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(TraceError::BadMagic { found }) if &found == b"NOPE"
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample_trace()).unwrap();
+        buf[4] = 99;
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(TraceError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample_trace()).unwrap();
+        for cut in [buf.len() - 1, buf.len() / 2, 6] {
+            assert!(
+                matches!(read_binary(&buf[..cut]), Err(TraceError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_class_code_is_rejected() {
+        let t = {
+            let mut b = TraceBuilder::new("", Addr::new(0x100));
+            b.plain(1);
+            b.cond(true, Addr::new(0x200));
+            b.plain(1);
+            b.finish()
+        };
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        // Record 1 (the branch) flag byte: header is 4+1+1+1 = 7 bytes, then
+        // record 0 = flag + 2-byte delta varint (pc 0x100 = 64 insts,
+        // zigzag 128). Patch record 1's class bits to the invalid code 7.
+        let flag_idx = 7 + 3;
+        buf[flag_idx] |= CLASS_MASK;
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(TraceError::Corrupt {
+                what: "invalid branch class code",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn compact_roundtrip_preserves_trace_exactly() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary_compact(&mut buf, &t).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn compact_is_much_smaller_on_straight_line_code() {
+        let mut b = TraceBuilder::new("", Addr::new(0x1000));
+        b.plain(10_000);
+        let t = b.finish();
+        let mut v1 = Vec::new();
+        write_binary(&mut v1, &t).unwrap();
+        let mut v2 = Vec::new();
+        write_binary_compact(&mut v2, &t).unwrap();
+        assert!(
+            v2.len() * 100 < v1.len(),
+            "v1 {} vs v2 {}",
+            v1.len(),
+            v2.len()
+        );
+        assert_eq!(read_binary(&v2[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn compact_handles_interleaved_runs_and_branches() {
+        let mut b = TraceBuilder::new("mix", Addr::new(0x1000));
+        for i in 0..50u64 {
+            b.plain((i % 7 + 1) as u32);
+            b.jump(Addr::new(0x1000 + (i % 13) * 0x40));
+        }
+        b.plain(3);
+        let t = b.finish();
+        let mut buf = Vec::new();
+        write_binary_compact(&mut buf, &t).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn run_record_in_v1_stream_is_corrupt() {
+        let t = {
+            let mut b = TraceBuilder::new("", Addr::new(0x100));
+            b.plain(3);
+            b.finish()
+        };
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        // Patch record 0's flag byte (header = 7 bytes) to claim a run.
+        buf[7] |= 1 << 6;
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(TraceError::Corrupt {
+                what: "run record in a version-1 stream",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_run_is_corrupt() {
+        let t = {
+            let mut b = TraceBuilder::new("", Addr::new(0x100));
+            b.plain(10);
+            b.finish()
+        };
+        let mut buf = Vec::new();
+        write_binary_compact(&mut buf, &t).unwrap();
+        // Header 7 bytes; record 0: flags(run|discont) + 2-byte delta
+        // varint + runlen. Patch the run length to exceed the count.
+        let idx = 7 + 3;
+        buf[idx] = 100; // single-byte varint (no continuation bit)
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(TraceError::Corrupt {
+                what: "run length out of range",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::from_instrs("empty", Vec::new());
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back.len(), 0);
+        assert_eq!(back.name(), "empty");
+    }
+}

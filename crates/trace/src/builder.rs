@@ -1,0 +1,185 @@
+use fdip_types::{Addr, BranchClass, BranchRecord, TraceInstr};
+
+use crate::Trace;
+
+/// Incrementally constructs a well-formed execution trace.
+///
+/// The builder tracks the current PC and an internal call stack, so the
+/// continuity invariant (each record's PC follows from its predecessor) and
+/// call/return pairing hold by construction.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_trace::TraceBuilder;
+/// use fdip_types::Addr;
+///
+/// let mut b = TraceBuilder::new("demo", Addr::new(0x1000));
+/// b.plain(2);                 // two straight-line instructions
+/// b.call(Addr::new(0x4000));  // call a function…
+/// b.plain(1);
+/// b.ret();                    // …which returns to the call site + 4
+/// b.plain(1);
+/// let trace = b.finish();
+/// assert_eq!(trace.len(), 6);
+/// trace.validate().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct TraceBuilder {
+    name: String,
+    pc: Addr,
+    call_stack: Vec<Addr>,
+    instrs: Vec<TraceInstr>,
+}
+
+impl TraceBuilder {
+    /// Starts a trace at `start_pc`.
+    pub fn new(name: impl Into<String>, start_pc: Addr) -> Self {
+        TraceBuilder {
+            name: name.into(),
+            pc: start_pc,
+            call_stack: Vec::new(),
+            instrs: Vec::new(),
+        }
+    }
+
+    /// The PC the next appended instruction will have.
+    pub fn pc(&self) -> Addr {
+        self.pc
+    }
+
+    /// Number of instructions appended so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Current call-stack depth (calls minus returns).
+    pub fn call_depth(&self) -> usize {
+        self.call_stack.len()
+    }
+
+    /// Appends `n` straight-line (non-branch) instructions.
+    pub fn plain(&mut self, n: u32) -> &mut Self {
+        for _ in 0..n {
+            self.instrs.push(TraceInstr::plain(self.pc));
+            self.pc = self.pc.next_inst();
+        }
+        self
+    }
+
+    /// Appends a conditional branch to `target`, taken or not.
+    pub fn cond(&mut self, taken: bool, target: Addr) -> &mut Self {
+        self.push_branch(BranchClass::CondDirect, taken, target)
+    }
+
+    /// Appends a taken unconditional direct jump to `target`.
+    pub fn jump(&mut self, target: Addr) -> &mut Self {
+        self.push_branch(BranchClass::UncondDirect, true, target)
+    }
+
+    /// Appends a direct call to `target`, pushing the return address.
+    pub fn call(&mut self, target: Addr) -> &mut Self {
+        self.call_stack.push(self.pc.next_inst());
+        self.push_branch(BranchClass::Call, true, target)
+    }
+
+    /// Appends an indirect call to `target`, pushing the return address.
+    pub fn icall(&mut self, target: Addr) -> &mut Self {
+        self.call_stack.push(self.pc.next_inst());
+        self.push_branch(BranchClass::IndirectCall, true, target)
+    }
+
+    /// Appends a return to the most recent unmatched call site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no unmatched call.
+    pub fn ret(&mut self) -> &mut Self {
+        let target = self
+            .call_stack
+            .pop()
+            .expect("ret() without a matching call");
+        self.push_branch(BranchClass::Return, true, target)
+    }
+
+    /// Appends an indirect jump to `target`.
+    pub fn ijump(&mut self, target: Addr) -> &mut Self {
+        self.push_branch(BranchClass::IndirectJump, true, target)
+    }
+
+    fn push_branch(&mut self, class: BranchClass, taken: bool, target: Addr) -> &mut Self {
+        let record = BranchRecord::new(class, taken, target);
+        let instr = TraceInstr::branch(self.pc, record);
+        self.pc = instr.next_pc();
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Finishes the trace.
+    pub fn finish(self) -> Trace {
+        Trace::from_instrs(self.name, self.instrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_traces_are_always_valid() {
+        let mut b = TraceBuilder::new("t", Addr::new(0x400));
+        b.plain(5)
+            .cond(false, Addr::new(0x500))
+            .plain(2)
+            .cond(true, Addr::new(0x600));
+        b.plain(1).jump(Addr::new(0x400));
+        b.plain(1);
+        let t = b.finish();
+        t.validate().unwrap();
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    fn calls_and_returns_pair_up() {
+        let mut b = TraceBuilder::new("t", Addr::new(0x100));
+        b.call(Addr::new(0x1000)); // returns to 0x104
+        assert_eq!(b.call_depth(), 1);
+        b.icall(Addr::new(0x2000)); // returns to 0x1004
+        assert_eq!(b.call_depth(), 2);
+        b.ret();
+        assert_eq!(b.pc(), Addr::new(0x1004));
+        b.ret();
+        assert_eq!(b.pc(), Addr::new(0x104));
+        let t = b.finish();
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn not_taken_cond_falls_through() {
+        let mut b = TraceBuilder::new("t", Addr::new(0x100));
+        b.cond(false, Addr::new(0x900));
+        assert_eq!(b.pc(), Addr::new(0x104));
+    }
+
+    #[test]
+    #[should_panic(expected = "ret() without a matching call")]
+    fn unmatched_ret_panics() {
+        let mut b = TraceBuilder::new("t", Addr::new(0x100));
+        b.ret();
+    }
+
+    #[test]
+    fn ijump_redirects() {
+        let mut b = TraceBuilder::new("t", Addr::new(0x100));
+        b.ijump(Addr::new(0x4000));
+        b.plain(1);
+        let t = b.finish();
+        t.validate().unwrap();
+        assert_eq!(t.instrs()[1].pc, Addr::new(0x4000));
+    }
+}

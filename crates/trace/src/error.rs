@@ -1,0 +1,133 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced while encoding, decoding, or validating a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// The input did not begin with the expected magic bytes.
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// The format version is not supported by this build.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u8,
+    },
+    /// The byte stream ended in the middle of a record or header.
+    Truncated,
+    /// A structurally invalid encoding was encountered.
+    Corrupt {
+        /// Human-readable description of the problem.
+        what: &'static str,
+        /// Record index at which the problem was detected.
+        at_record: u64,
+    },
+    /// A text-format line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: u64,
+        /// Human-readable description of the problem.
+        what: &'static str,
+    },
+    /// The decoded trace violates an execution-trace invariant
+    /// (e.g. a record's PC does not follow from its predecessor).
+    Invalid {
+        /// Human-readable description of the violated invariant.
+        what: &'static str,
+        /// Record index at which the violation occurs.
+        at_record: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::BadMagic { found } => {
+                write!(f, "bad magic bytes {found:?}, expected \"FDTR\"")
+            }
+            TraceError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace format version {found}")
+            }
+            TraceError::Truncated => write!(f, "unexpected end of trace data"),
+            TraceError::Corrupt { what, at_record } => {
+                write!(f, "corrupt trace at record {at_record}: {what}")
+            }
+            TraceError::BadLine { line, what } => {
+                write!(f, "bad trace text at line {line}: {what}")
+            }
+            TraceError::Invalid { what, at_record } => {
+                write!(f, "invalid trace at record {at_record}: {what}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated
+        } else {
+            TraceError::Io(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_descriptive() {
+        let cases: Vec<TraceError> = vec![
+            TraceError::BadMagic { found: *b"XXXX" },
+            TraceError::UnsupportedVersion { found: 9 },
+            TraceError::Truncated,
+            TraceError::Corrupt {
+                what: "zero-length run",
+                at_record: 3,
+            },
+            TraceError::BadLine {
+                line: 7,
+                what: "missing target",
+            },
+            TraceError::Invalid {
+                what: "pc discontinuity",
+                at_record: 12,
+            },
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn unexpected_eof_becomes_truncated() {
+        let io_err = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(TraceError::from(io_err), TraceError::Truncated));
+        let other = io::Error::new(io::ErrorKind::PermissionDenied, "nope");
+        assert!(matches!(TraceError::from(other), TraceError::Io(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

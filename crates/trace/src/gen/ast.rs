@@ -1,0 +1,214 @@
+//! The structured-program AST the generator builds and the executor walks.
+//!
+//! Every statement knows its lowered size in instructions, computed at
+//! construction time, so branch targets can be derived without a separate
+//! lowering pass. The lowering scheme (addresses relative to the statement's
+//! first instruction) is:
+//!
+//! ```text
+//! Straight(n)      n plain instructions
+//! If               [cond] [then…] [jump-over-else]? [else…]   (cond taken ⇒ skip then)
+//! Loop             [body…] [cond back-edge]                   (taken ⇒ loop again)
+//! Call / ICall     [call]                                      1 instruction
+//! Switch           [ijump] ([arm…] [jump-to-join])×arms
+//! ```
+//!
+//! A function is its body followed by one `ret` instruction.
+
+/// One statement of the structured program.
+#[derive(Clone, Debug)]
+pub(crate) struct Stmt {
+    pub kind: StmtKind,
+    /// Lowered size of this statement, in instructions.
+    pub size: u64,
+}
+
+/// Statement payload. See the module docs for the lowering of each variant.
+#[derive(Clone, Debug)]
+pub(crate) enum StmtKind {
+    /// `n` plain instructions.
+    Straight(u32),
+    /// A conditional region. `skip_prob` is the probability the conditional
+    /// branch is *taken*, i.e. the then-body is skipped.
+    If {
+        skip_prob: f64,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    /// A do-while loop: the body runs `trips` times, with the back-edge
+    /// conditional taken `trips - 1` times. Trips are drawn uniformly from
+    /// `min_trips..=max_trips` at each loop entry.
+    Loop {
+        min_trips: u32,
+        max_trips: u32,
+        body: Vec<Stmt>,
+    },
+    /// A direct call to function `callee`.
+    Call { callee: usize },
+    /// An indirect call; the dynamic callee is drawn from `callees`
+    /// (first entry favored with probability `first_bias`).
+    IndirectCall { callees: Vec<usize>, first_bias: f64 },
+    /// A switch: an indirect jump into one of `arms`, each arm ending with a
+    /// direct jump to the join point. Arm weights are uniform.
+    Switch { arms: Vec<Vec<Stmt>> },
+}
+
+impl Stmt {
+    pub fn straight(n: u32) -> Stmt {
+        debug_assert!(n > 0);
+        Stmt {
+            kind: StmtKind::Straight(n),
+            size: n as u64,
+        }
+    }
+
+    pub fn if_else(skip_prob: f64, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Stmt {
+        debug_assert!(!then_body.is_empty(), "if requires a then body");
+        let mut size = 1 + body_size(&then_body);
+        if !else_body.is_empty() {
+            size += 1 + body_size(&else_body);
+        }
+        Stmt {
+            kind: StmtKind::If {
+                skip_prob,
+                then_body,
+                else_body,
+            },
+            size,
+        }
+    }
+
+    pub fn loop_(min_trips: u32, max_trips: u32, body: Vec<Stmt>) -> Stmt {
+        debug_assert!(!body.is_empty(), "loop requires a body");
+        debug_assert!(1 <= min_trips && min_trips <= max_trips);
+        let size = body_size(&body) + 1;
+        Stmt {
+            kind: StmtKind::Loop {
+                min_trips,
+                max_trips,
+                body,
+            },
+            size,
+        }
+    }
+
+    pub fn call(callee: usize) -> Stmt {
+        Stmt {
+            kind: StmtKind::Call { callee },
+            size: 1,
+        }
+    }
+
+    pub fn indirect_call(callees: Vec<usize>, first_bias: f64) -> Stmt {
+        debug_assert!(!callees.is_empty());
+        Stmt {
+            kind: StmtKind::IndirectCall {
+                callees,
+                first_bias,
+            },
+            size: 1,
+        }
+    }
+
+    pub fn switch(arms: Vec<Vec<Stmt>>) -> Stmt {
+        debug_assert!(arms.len() >= 2, "switch requires at least two arms");
+        let size = 1 + arms
+            .iter()
+            .map(|arm| body_size(arm) + 1)
+            .sum::<u64>();
+        Stmt {
+            kind: StmtKind::Switch { arms },
+            size,
+        }
+    }
+}
+
+/// Total lowered size of a statement sequence, in instructions.
+pub(crate) fn body_size(body: &[Stmt]) -> u64 {
+    body.iter().map(|s| s.size).sum()
+}
+
+/// A function: a body plus the implicit trailing `ret`.
+#[derive(Clone, Debug)]
+pub(crate) struct Function {
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Lowered size including the trailing `ret`.
+    pub fn size(&self) -> u64 {
+        body_size(&self.body) + 1
+    }
+}
+
+/// A whole generated program: functions plus their base addresses.
+#[derive(Clone, Debug)]
+pub(crate) struct Ast {
+    pub funcs: Vec<Function>,
+    /// Base (entry) address of each function, parallel to `funcs`.
+    pub entries: Vec<fdip_types::Addr>,
+    /// Indices of the top-level functions the dispatcher may invoke.
+    pub top_level: Vec<usize>,
+    /// Address of the dispatcher loop (2 instructions: icall; jump back).
+    pub dispatcher: fdip_types::Addr,
+}
+
+impl Ast {
+    /// Total static code size in instructions (functions only).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn code_insts(&self) -> u64 {
+        self.funcs.iter().map(Function::size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_size() {
+        assert_eq!(Stmt::straight(7).size, 7);
+    }
+
+    #[test]
+    fn if_size_without_else() {
+        let s = Stmt::if_else(0.5, vec![Stmt::straight(3)], vec![]);
+        assert_eq!(s.size, 1 + 3);
+    }
+
+    #[test]
+    fn if_size_with_else() {
+        let s = Stmt::if_else(0.5, vec![Stmt::straight(3)], vec![Stmt::straight(2)]);
+        // cond + then + jump-over + else
+        assert_eq!(s.size, 1 + 3 + 1 + 2);
+    }
+
+    #[test]
+    fn loop_size() {
+        let s = Stmt::loop_(1, 4, vec![Stmt::straight(5)]);
+        assert_eq!(s.size, 5 + 1);
+    }
+
+    #[test]
+    fn switch_size() {
+        let s = Stmt::switch(vec![vec![Stmt::straight(2)], vec![Stmt::straight(4)]]);
+        // ijump + (2 + jump) + (4 + jump)
+        assert_eq!(s.size, 1 + 3 + 5);
+    }
+
+    #[test]
+    fn nested_sizes_compose() {
+        let inner = Stmt::if_else(0.1, vec![Stmt::straight(2)], vec![]);
+        let inner_size = inner.size;
+        let s = Stmt::loop_(2, 2, vec![Stmt::straight(1), inner]);
+        assert_eq!(s.size, 1 + inner_size + 1);
+    }
+
+    #[test]
+    fn function_size_includes_ret() {
+        let f = Function {
+            body: vec![Stmt::straight(9)],
+        };
+        assert_eq!(f.size(), 10);
+    }
+}

@@ -1,0 +1,386 @@
+//! Random construction of the structured program (AST + layout).
+
+use fdip_types::Addr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::ast::{Ast, Function, Stmt};
+use crate::gen::config::GeneratorConfig;
+
+/// Address of the two-instruction dispatcher loop.
+const DISPATCHER_BASE: u64 = 0x1_0000;
+/// Lowest module base address.
+const FIRST_MODULE_BASE: u64 = 0x10_0000;
+
+/// Probability a call site targets a function in the caller's own module
+/// (linkers cluster code by call affinity, which is what keeps most branch
+/// offsets short in real binaries).
+const LOCAL_CALL_PROB: f64 = 0.8;
+
+/// Builds the whole program: leveled call DAG, function bodies, and layout.
+pub(crate) fn build_program(cfg: &GeneratorConfig) -> Ast {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let levels = assign_levels(cfg);
+    let num_levels = levels.iter().copied().max().unwrap_or(0) + 1;
+
+    // Interleave modules across ids so every call level is present in every
+    // module; layout below groups functions by module.
+    let module_of: Vec<usize> = (0..cfg.num_funcs).map(|i| i % cfg.modules).collect();
+
+    // Callee pools: per level (any module), and per (level, module) for
+    // local calls.
+    let mut pools: Vec<Vec<usize>> = vec![Vec::new(); num_levels];
+    let mut local_pools: Vec<Vec<Vec<usize>>> =
+        vec![vec![Vec::new(); cfg.modules]; num_levels];
+    for (func, &level) in levels.iter().enumerate() {
+        pools[level].push(func);
+        local_pools[level][module_of[func]].push(func);
+    }
+
+    let funcs: Vec<Function> = (0..cfg.num_funcs)
+        .map(|i| {
+            let level = levels[i];
+            let global: &[usize] = pools.get(level + 1).map_or(&[], Vec::as_slice);
+            let local: &[usize] = local_pools
+                .get(level + 1)
+                .map_or(&[], |by_module| by_module[module_of[i]].as_slice());
+            gen_function(&mut rng, cfg, &CalleePools { local, global })
+        })
+        .collect();
+
+    let entries = layout(&mut rng, cfg, &funcs, &module_of);
+    let top_level = pools[0].clone();
+
+    Ast {
+        funcs,
+        entries,
+        top_level,
+        dispatcher: Addr::new(DISPATCHER_BASE),
+    }
+}
+
+/// Callee candidates for a function: same-module (preferred) and global.
+struct CalleePools<'a> {
+    local: &'a [usize],
+    global: &'a [usize],
+}
+
+impl CalleePools<'_> {
+    fn is_empty(&self) -> bool {
+        self.global.is_empty()
+    }
+
+    /// Draws a callee: usually local (short offset), sometimes any module.
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        if !self.local.is_empty() && rng.gen_bool(LOCAL_CALL_PROB) {
+            self.local[rng.gen_range(0..self.local.len())]
+        } else {
+            self.global[rng.gen_range(0..self.global.len())]
+        }
+    }
+}
+
+/// Assigns each function to a call-DAG level. Level 0 holds the top-level
+/// (dispatcher-invocable) functions; the rest are split evenly below.
+fn assign_levels(cfg: &GeneratorConfig) -> Vec<usize> {
+    let top = cfg.top_level_funcs.clamp(1, cfg.num_funcs);
+    let rest = cfg.num_funcs - top;
+    let lower_levels = cfg.call_levels.saturating_sub(1).max(1);
+    let mut levels = vec![0; cfg.num_funcs];
+    for i in 0..rest {
+        // Spread the remaining functions evenly across levels 1..call_levels
+        // (or keep everything at level 0 when call_levels == 1).
+        let level = if cfg.call_levels <= 1 {
+            0
+        } else {
+            1 + i * lower_levels / rest.max(1)
+        };
+        levels[top + i] = level.min(cfg.call_levels - 1);
+    }
+    levels
+}
+
+fn gen_function(rng: &mut StdRng, cfg: &GeneratorConfig, callee_pool: &CalleePools<'_>) -> Function {
+    let n_stmts = rng.gen_range(cfg.body_stmts.clone());
+    let mut body = gen_body(rng, cfg, callee_pool, 0, false, n_stmts);
+    // Guarantee one or two unconditional call sites per non-leaf function:
+    // without them, call chains die out statistically and the visited
+    // instruction footprint collapses to a handful of hot functions.
+    if !callee_pool.is_empty() {
+        for _ in 0..rng.gen_range(1..=2u32) {
+            let callee = callee_pool.pick(rng);
+            let pos = rng.gen_range(0..=body.len());
+            body.insert(pos, Stmt::call(callee));
+        }
+    }
+    Function { body }
+}
+
+fn gen_body(
+    rng: &mut StdRng,
+    cfg: &GeneratorConfig,
+    callee_pool: &CalleePools<'_>,
+    nesting: usize,
+    in_loop: bool,
+    n_stmts: usize,
+) -> Vec<Stmt> {
+    let mut body = Vec::with_capacity(n_stmts.max(1));
+    for _ in 0..n_stmts.max(1) {
+        body.push(gen_stmt(rng, cfg, callee_pool, nesting, in_loop));
+    }
+    body
+}
+
+fn gen_stmt(
+    rng: &mut StdRng,
+    cfg: &GeneratorConfig,
+    callee_pool: &CalleePools<'_>,
+    nesting: usize,
+    in_loop: bool,
+) -> Stmt {
+    // Kind indices: 0 straight, 1 if, 2 loop, 3 call, 4 icall, 5 switch.
+    let mut weights = cfg.stmt_weights;
+    if nesting >= cfg.max_nesting {
+        weights[1] = 0;
+        weights[2] = 0;
+        weights[5] = 0;
+    }
+    // Loops only at function top level, and no calls under a loop: this
+    // keeps dynamic transaction sizes bounded and predictable — nested
+    // loop/call amplification otherwise concentrates the whole trace in a
+    // couple of hot functions and collapses the instruction footprint.
+    if nesting >= 1 {
+        weights[2] = 0;
+    }
+    if callee_pool.is_empty() || in_loop {
+        weights[3] = 0;
+        weights[4] = 0;
+    }
+    let kind = weighted_choice(rng, &weights);
+    let inner_stmts = || 1..=2usize;
+    match kind {
+        1 => {
+            let then_len = rng.gen_range(inner_stmts());
+            let then_body = gen_body(rng, cfg, callee_pool, nesting + 1, in_loop, then_len);
+            let else_body = if rng.gen_bool(0.4) {
+                let else_len = rng.gen_range(inner_stmts());
+                gen_body(rng, cfg, callee_pool, nesting + 1, in_loop, else_len)
+            } else {
+                Vec::new()
+            };
+            Stmt::if_else(draw_skip_prob(rng, cfg, in_loop), then_body, else_body)
+        }
+        2 => {
+            let len = rng.gen_range(inner_stmts());
+            let body = gen_body(rng, cfg, callee_pool, nesting + 1, true, len);
+            // Static loops have fixed trip counts: loop exits are
+            // history-predictable, as in real code (a small minority
+            // jitter, defeating the predictor occasionally).
+            let a = rng.gen_range(cfg.loop_trips.clone()).max(1);
+            let b = if rng.gen_bool(0.92) {
+                a
+            } else {
+                a + rng.gen_range(1..=2)
+            };
+            Stmt::loop_(a, b, body)
+        }
+        3 => Stmt::call(callee_pool.pick(rng)),
+        4 => {
+            let fanout = rng
+                .gen_range(cfg.icall_fanout.clone())
+                .min(callee_pool.global.len())
+                .max(1);
+            let mut callees = Vec::with_capacity(fanout);
+            for _ in 0..fanout {
+                callees.push(callee_pool.pick(rng));
+            }
+            callees.dedup();
+            Stmt::indirect_call(callees, 0.85)
+        }
+        5 => {
+            let arm_count = rng.gen_range(cfg.switch_arms.clone()).max(2);
+            let arms = (0..arm_count)
+                .map(|_| {
+                    let len = rng.gen_range(inner_stmts());
+                    gen_body(rng, cfg, callee_pool, nesting + 1, in_loop, len)
+                })
+                .collect();
+            Stmt::switch(arms)
+        }
+        _ => Stmt::straight(rng.gen_range(cfg.straight_len.clone()).max(1)),
+    }
+}
+
+/// Draws the probability that an `if`'s conditional branch is taken, from a
+/// mixture of strongly / moderately / weakly biased branch populations.
+fn draw_skip_prob(rng: &mut StdRng, cfg: &GeneratorConfig, in_loop: bool) -> f64 {
+    // Conditionals inside loop bodies are extra-biased: noisy in-loop
+    // branches would poison the global history every iteration and make
+    // loop exits unlearnable, which real loop-heavy code does not exhibit.
+    if in_loop {
+        let p = rng.gen_range(0.002..0.02);
+        return if rng.gen_bool(0.5) { 1.0 - p } else { p };
+    }
+    let r: f64 = rng.gen();
+    let weak_fraction = (1.0 - cfg.strong_bias_fraction) / 4.0;
+    let p = if r < cfg.strong_bias_fraction {
+        rng.gen_range(0.002..0.025)
+    } else if r < 1.0 - weak_fraction {
+        rng.gen_range(0.06..0.15)
+    } else {
+        rng.gen_range(0.30..0.50)
+    };
+    // Half the branches are biased-taken rather than biased-not-taken.
+    if rng.gen_bool(0.5) {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+fn weighted_choice(rng: &mut StdRng, weights: &[u32; 6]) -> usize {
+    let total: u32 = weights.iter().sum();
+    debug_assert!(total > 0, "all statement kinds disabled");
+    let mut pick = rng.gen_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if pick < w {
+            return i;
+        }
+        pick -= w;
+    }
+    0
+}
+
+/// Places functions into modules and assigns entry addresses.
+///
+/// Functions are split into `cfg.modules` contiguous chunks; module bases
+/// are spaced by at least `cfg.module_gap_bytes` (more if a module's code is
+/// larger), producing the short-intra-module / long-cross-module offset
+/// mixture the FDIP-X study depends on.
+fn layout(
+    rng: &mut StdRng,
+    cfg: &GeneratorConfig,
+    funcs: &[Function],
+    module_of: &[usize],
+) -> Vec<Addr> {
+    let n = funcs.len();
+    let mut entries = vec![Addr::ZERO; n];
+    let mut module_base = FIRST_MODULE_BASE;
+    for m in 0..cfg.modules {
+        let mut cursor = module_base;
+        for i in (0..n).filter(|&i| module_of[i] == m) {
+            entries[i] = Addr::new(cursor);
+            let gap = rng.gen_range(cfg.func_gap_insts.clone());
+            cursor += (funcs[i].size() + gap) * 4;
+        }
+        let used = cursor - module_base;
+        module_base += used.max(cfg.module_gap_bytes).next_multiple_of(4);
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Profile;
+
+    fn small_cfg() -> GeneratorConfig {
+        GeneratorConfig::profile(Profile::Client)
+            .num_funcs(24)
+            .seed(3)
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = build_program(&small_cfg());
+        let b = build_program(&small_cfg());
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.code_insts(), b.code_insts());
+    }
+
+    #[test]
+    fn entries_are_disjoint_and_ordered_within_modules() {
+        let cfg = small_cfg();
+        let ast = build_program(&cfg);
+        // Function address ranges must be pairwise disjoint (module
+        // interleaving reorders ids, so sort by address first).
+        let mut ranges: Vec<(u64, u64)> = (0..ast.funcs.len())
+            .map(|i| {
+                (
+                    ast.entries[i].raw(),
+                    ast.entries[i].add_insts(ast.funcs[i].size()).raw(),
+                )
+            })
+            .collect();
+        ranges.sort();
+        for pair in ranges.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].0,
+                "overlap: {:x?} and {:x?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn entries_are_instruction_aligned() {
+        let ast = build_program(&small_cfg());
+        for e in &ast.entries {
+            assert!(e.is_inst_aligned());
+        }
+        assert!(ast.dispatcher.is_inst_aligned());
+    }
+
+    #[test]
+    fn top_level_functions_exist_and_are_level_zero_sized() {
+        let cfg = small_cfg();
+        let ast = build_program(&cfg);
+        assert!(!ast.top_level.is_empty());
+        assert!(ast.top_level.len() <= cfg.num_funcs);
+        for &f in &ast.top_level {
+            assert!(f < ast.funcs.len());
+        }
+    }
+
+    #[test]
+    fn modules_create_far_apart_code() {
+        let cfg = GeneratorConfig::profile(Profile::Server)
+            .num_funcs(64)
+            .modules(4)
+            .seed(1);
+        let ast = build_program(&cfg);
+        let first = ast.entries[0];
+        let last = ast.entries[63];
+        assert!(
+            (last - first).unsigned_abs() >= 3 * cfg.module_gap_bytes,
+            "modules not spread"
+        );
+    }
+
+    #[test]
+    fn single_level_programs_have_no_calls() {
+        let cfg = GeneratorConfig::profile(Profile::Client)
+            .num_funcs(8)
+            .call_levels(1)
+            .seed(5);
+        let ast = build_program(&cfg);
+        fn has_call(stmts: &[Stmt]) -> bool {
+            use crate::gen::ast::StmtKind::*;
+            stmts.iter().any(|s| match &s.kind {
+                Call { .. } | IndirectCall { .. } => true,
+                If {
+                    then_body,
+                    else_body,
+                    ..
+                } => has_call(then_body) || has_call(else_body),
+                Loop { body, .. } => has_call(body),
+                Switch { arms } => arms.iter().any(|a| has_call(a)),
+                Straight(_) => false,
+            })
+        }
+        for f in &ast.funcs {
+            assert!(!has_call(&f.body));
+        }
+    }
+}

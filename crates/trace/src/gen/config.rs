@@ -1,0 +1,250 @@
+use std::ops::RangeInclusive;
+
+use crate::gen::{build, exec, profiles::Profile};
+use crate::Trace;
+
+/// Configuration for the synthetic workload generator.
+///
+/// Construct via [`GeneratorConfig::profile`] and customize with the
+/// builder-style setters; finish with [`GeneratorConfig::generate`].
+///
+/// # Examples
+///
+/// ```
+/// use fdip_trace::gen::{GeneratorConfig, Profile};
+///
+/// let trace = GeneratorConfig::profile(Profile::Client)
+///     .seed(42)
+///     .target_len(10_000)
+///     .generate();
+/// assert!(trace.len() >= 10_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    pub(crate) name: String,
+    pub(crate) seed: u64,
+    pub(crate) target_len: usize,
+
+    // --- program shape ---
+    /// Number of functions in the program.
+    pub(crate) num_funcs: usize,
+    /// Call-DAG depth: functions are assigned to this many levels and only
+    /// call the next level down.
+    pub(crate) call_levels: usize,
+    /// Top-level statements per function body.
+    pub(crate) body_stmts: RangeInclusive<usize>,
+    /// Maximum statement nesting depth inside a function.
+    pub(crate) max_nesting: usize,
+    /// Length of straight-line runs.
+    pub(crate) straight_len: RangeInclusive<u32>,
+    /// Loop trip counts.
+    pub(crate) loop_trips: RangeInclusive<u32>,
+    /// Switch arm counts.
+    pub(crate) switch_arms: RangeInclusive<usize>,
+    /// Candidate callee set size for indirect calls.
+    pub(crate) icall_fanout: RangeInclusive<usize>,
+    /// Per-slot statement kind weights: [straight, if, loop, call, icall, switch].
+    pub(crate) stmt_weights: [u32; 6],
+    /// Fraction of conditionals that are strongly biased (~95/5) rather than
+    /// moderately (~80/20) or weakly (~50/50) biased. The remainder splits
+    /// 2:1 moderate:weak.
+    pub(crate) strong_bias_fraction: f64,
+
+    // --- layout ---
+    /// Number of far-apart modules the functions are spread across.
+    pub(crate) modules: usize,
+    /// Gap between module base addresses, in bytes.
+    pub(crate) module_gap_bytes: u64,
+    /// Padding between consecutive functions, in instructions.
+    pub(crate) func_gap_insts: RangeInclusive<u64>,
+
+    // --- dynamic behaviour ---
+    /// Number of distinct top-level (level 0) functions the dispatcher can
+    /// invoke.
+    pub(crate) top_level_funcs: usize,
+    /// Zipf exponent for dispatcher function selection (higher = more skew
+    /// toward a hot few).
+    pub(crate) zipf_exponent: f64,
+}
+
+impl GeneratorConfig {
+    /// Starts from a named workload profile's defaults.
+    pub fn profile(profile: Profile) -> GeneratorConfig {
+        profiles_base(profile)
+    }
+
+    /// Sets the workload/trace name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the RNG seed. Identical configs with identical seeds produce
+    /// identical traces.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the minimum dynamic trace length; generation stops at the first
+    /// instruction at or past this count.
+    pub fn target_len(mut self, target_len: usize) -> Self {
+        self.target_len = target_len;
+        self
+    }
+
+    /// Overrides the number of functions (scales the instruction footprint).
+    pub fn num_funcs(mut self, num_funcs: usize) -> Self {
+        assert!(num_funcs >= 1, "need at least one function");
+        self.num_funcs = num_funcs;
+        self.top_level_funcs = self.top_level_funcs.min(num_funcs);
+        self
+    }
+
+    /// Overrides the number of layout modules.
+    pub fn modules(mut self, modules: usize) -> Self {
+        assert!(modules >= 1, "need at least one module");
+        self.modules = modules;
+        self
+    }
+
+    /// Overrides the call-DAG depth.
+    pub fn call_levels(mut self, levels: usize) -> Self {
+        assert!(levels >= 1);
+        self.call_levels = levels;
+        self
+    }
+
+    /// Overrides the Zipf exponent of dispatcher function selection.
+    pub fn zipf_exponent(mut self, exponent: f64) -> Self {
+        self.zipf_exponent = exponent;
+        self
+    }
+
+    /// Builds the program and executes it into a trace.
+    pub fn generate(&self) -> Trace {
+        let ast = build::build_program(self);
+        exec::execute(self, &ast)
+    }
+}
+
+fn profiles_base(profile: Profile) -> GeneratorConfig {
+    // Common defaults, specialized per profile below.
+    let base = GeneratorConfig {
+        name: String::new(),
+        seed: 0,
+        target_len: 1_000_000,
+        num_funcs: 256,
+        call_levels: 8,
+        body_stmts: 4..=10,
+        max_nesting: 3,
+        straight_len: 2..=12,
+        loop_trips: 6..=24,
+        switch_arms: 2..=5,
+        icall_fanout: 2..=5,
+        stmt_weights: [40, 20, 10, 20, 5, 5],
+        strong_bias_fraction: 0.85,
+        modules: 4,
+        module_gap_bytes: 1 << 28,
+        func_gap_insts: 0..=8,
+        top_level_funcs: 16,
+        zipf_exponent: 1.2,
+    };
+    match profile {
+        Profile::Client => GeneratorConfig {
+            name: "client".to_string(),
+            num_funcs: 320,
+            call_levels: 7,
+            modules: 2,
+            module_gap_bytes: 1 << 24,
+            top_level_funcs: 24,
+            zipf_exponent: 1.1,
+            loop_trips: 4..=48,
+            straight_len: 3..=14,
+            stmt_weights: [41, 20, 12, 22, 2, 3],
+            strong_bias_fraction: 0.96,
+            ..base
+        },
+        Profile::Server => GeneratorConfig {
+            name: "server".to_string(),
+            num_funcs: 6000,
+            call_levels: 8,
+            modules: 8,
+            module_gap_bytes: 1 << 28,
+            top_level_funcs: 192,
+            zipf_exponent: 1.0,
+            loop_trips: 12..=32,
+            straight_len: 3..=10,
+            body_stmts: 4..=8,
+            stmt_weights: [36, 19, 5, 28, 5, 3],
+            strong_bias_fraction: 0.97,
+            func_gap_insts: 8..=48,
+            ..base
+        },
+        Profile::MicroLoop => GeneratorConfig {
+            name: "microloop".to_string(),
+            num_funcs: 6,
+            call_levels: 2,
+            modules: 1,
+            top_level_funcs: 2,
+            loop_trips: 16..=64,
+            stmt_weights: [50, 15, 30, 5, 0, 0],
+            zipf_exponent: 2.0,
+            ..base
+        },
+        Profile::Jumpy => GeneratorConfig {
+            name: "jumpy".to_string(),
+            num_funcs: 512,
+            call_levels: 8,
+            modules: 6,
+            top_level_funcs: 32,
+            stmt_weights: [30, 15, 5, 20, 15, 15],
+            strong_bias_fraction: 0.4,
+            zipf_exponent: 0.8,
+            ..base
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_setters_apply() {
+        let c = GeneratorConfig::profile(Profile::Client)
+            .name("x")
+            .seed(9)
+            .target_len(123)
+            .num_funcs(10)
+            .modules(3)
+            .call_levels(2)
+            .zipf_exponent(0.5);
+        assert_eq!(c.name, "x");
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.target_len, 123);
+        assert_eq!(c.num_funcs, 10);
+        assert_eq!(c.modules, 3);
+        assert_eq!(c.call_levels, 2);
+        assert_eq!(c.zipf_exponent, 0.5);
+    }
+
+    #[test]
+    fn num_funcs_clamps_top_level() {
+        let c = GeneratorConfig::profile(Profile::Server).num_funcs(4);
+        assert!(c.top_level_funcs <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function")]
+    fn zero_funcs_rejected() {
+        let _ = GeneratorConfig::profile(Profile::Client).num_funcs(0);
+    }
+
+    #[test]
+    fn profiles_have_distinct_footprints() {
+        let client = GeneratorConfig::profile(Profile::Client);
+        let server = GeneratorConfig::profile(Profile::Server);
+        assert!(server.num_funcs > 4 * client.num_funcs);
+    }
+}

@@ -1,0 +1,311 @@
+//! Executes a generated program, emitting the instruction trace.
+//!
+//! The interpreter walks the AST recursively; addresses are derived from the
+//! per-statement sizes computed at construction, so the emitted trace is the
+//! execution of a concrete, fixed code layout. Emission stops (mid-anything)
+//! once the target length is reached — truncation never breaks the
+//! continuity invariant because every emitted record still follows its
+//! predecessor.
+
+use fdip_types::{Addr, BranchClass, BranchRecord, TraceInstr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::ast::{body_size, Ast, Stmt, StmtKind};
+use crate::gen::config::GeneratorConfig;
+use crate::Trace;
+
+pub(crate) fn execute(cfg: &GeneratorConfig, ast: &Ast) -> Trace {
+    let mut ex = Exec {
+        ast,
+        rng: StdRng::seed_from_u64(cfg.seed.wrapping_mul(0xc2b2_ae3d_27d4_eb4f).wrapping_add(1)),
+        out: Vec::with_capacity(cfg.target_len + 1024),
+        target_len: cfg.target_len,
+        done: false,
+    };
+    let cumulative = zipf_cumulative(ast.top_level.len(), cfg.zipf_exponent);
+    let dispatch_pc = ast.dispatcher;
+    let loop_pc = dispatch_pc.next_inst();
+
+    while !ex.done {
+        // Dispatcher: `icall <top-level fn>` then `jump` back.
+        let pick = pick_zipf(&mut ex.rng, &cumulative);
+        let callee = ast.top_level[pick];
+        let entry = ast.entries[callee];
+        ex.emit_branch(dispatch_pc, BranchClass::IndirectCall, true, entry);
+        ex.exec_function(callee, loop_pc);
+        ex.emit_branch(loop_pc, BranchClass::UncondDirect, true, dispatch_pc);
+    }
+
+    Trace::from_instrs(cfg.name.clone(), ex.out)
+}
+
+struct Exec<'a> {
+    ast: &'a Ast,
+    rng: StdRng,
+    out: Vec<TraceInstr>,
+    target_len: usize,
+    done: bool,
+}
+
+impl Exec<'_> {
+    fn emit_plain(&mut self, pc: Addr) {
+        if self.done {
+            return;
+        }
+        self.out.push(TraceInstr::plain(pc));
+        self.check_done();
+    }
+
+    fn emit_branch(&mut self, pc: Addr, class: BranchClass, taken: bool, target: Addr) {
+        if self.done {
+            return;
+        }
+        self.out
+            .push(TraceInstr::branch(pc, BranchRecord::new(class, taken, target)));
+        self.check_done();
+    }
+
+    fn check_done(&mut self) {
+        if self.out.len() >= self.target_len {
+            self.done = true;
+        }
+    }
+
+    fn exec_function(&mut self, func: usize, return_to: Addr) {
+        let entry = self.ast.entries[func];
+        let body = &self.ast.funcs[func].body;
+        let ret_pc = self.exec_stmts(body, entry);
+        self.emit_branch(ret_pc, BranchClass::Return, true, return_to);
+    }
+
+    /// Executes a statement sequence laid out starting at `addr`; returns the
+    /// address just past the sequence.
+    fn exec_stmts(&mut self, stmts: &[Stmt], addr: Addr) -> Addr {
+        let mut pc = addr;
+        for stmt in stmts {
+            if self.done {
+                // Keep address bookkeeping exact even while suppressed.
+                pc = pc.add_insts(stmt.size);
+                continue;
+            }
+            pc = self.exec_stmt(stmt, pc);
+        }
+        pc
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, addr: Addr) -> Addr {
+        let after = addr.add_insts(stmt.size);
+        match &stmt.kind {
+            StmtKind::Straight(n) => {
+                let mut pc = addr;
+                for _ in 0..*n {
+                    self.emit_plain(pc);
+                    pc = pc.next_inst();
+                }
+            }
+            StmtKind::If {
+                skip_prob,
+                then_body,
+                else_body,
+            } => {
+                let then_start = addr.next_inst();
+                let then_size = body_size(then_body);
+                let join = after;
+                let (branch_target, else_start) = if else_body.is_empty() {
+                    (join, None)
+                } else {
+                    let jump_over = then_start.add_insts(then_size);
+                    (jump_over.next_inst(), Some(jump_over))
+                };
+                let taken = self.rng.gen_bool(*skip_prob);
+                self.emit_branch(addr, BranchClass::CondDirect, taken, branch_target);
+                if taken {
+                    if !else_body.is_empty() {
+                        let end = self.exec_stmts(else_body, branch_target);
+                        debug_assert_eq!(end, join);
+                    }
+                } else {
+                    let end = self.exec_stmts(then_body, then_start);
+                    debug_assert_eq!(end, then_start.add_insts(then_size));
+                    if let Some(jump_pc) = else_start {
+                        self.emit_branch(jump_pc, BranchClass::UncondDirect, true, join);
+                    }
+                }
+            }
+            StmtKind::Loop {
+                min_trips,
+                max_trips,
+                body,
+            } => {
+                let body_start = addr;
+                let backedge = addr.add_insts(body_size(body));
+                let trips = self.rng.gen_range(*min_trips..=*max_trips);
+                for t in 0..trips {
+                    if self.done {
+                        break;
+                    }
+                    self.exec_stmts(body, body_start);
+                    let again = t + 1 < trips;
+                    self.emit_branch(backedge, BranchClass::CondDirect, again, body_start);
+                }
+            }
+            StmtKind::Call { callee } => {
+                let entry = self.ast.entries[*callee];
+                self.emit_branch(addr, BranchClass::Call, true, entry);
+                self.exec_function(*callee, after);
+            }
+            StmtKind::IndirectCall {
+                callees,
+                first_bias,
+            } => {
+                let idx = if callees.len() == 1 || self.rng.gen_bool(*first_bias) {
+                    0
+                } else {
+                    self.rng.gen_range(1..callees.len())
+                };
+                let callee = callees[idx];
+                let entry = self.ast.entries[callee];
+                self.emit_branch(addr, BranchClass::IndirectCall, true, entry);
+                self.exec_function(callee, after);
+            }
+            StmtKind::Switch { arms } => {
+                let join = after;
+                // Skewed arm selection: real switches have a hot arm, which
+                // last-target indirect prediction partially captures.
+                let pick = if self.rng.gen_bool(0.85) {
+                    0
+                } else {
+                    self.rng.gen_range(0..arms.len())
+                };
+                // Compute the picked arm's start address.
+                let mut arm_start = addr.next_inst();
+                for arm in arms.iter().take(pick) {
+                    arm_start = arm_start.add_insts(body_size(arm) + 1);
+                }
+                self.emit_branch(addr, BranchClass::IndirectJump, true, arm_start);
+                let arm_end = self.exec_stmts(&arms[pick], arm_start);
+                self.emit_branch(arm_end, BranchClass::UncondDirect, true, join);
+            }
+        }
+        after
+    }
+}
+
+/// Cumulative Zipf weights for dispatcher selection: weight of rank `i` is
+/// `1/(i+1)^s`.
+fn zipf_cumulative(n: usize, exponent: f64) -> Vec<f64> {
+    let mut cumulative = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for i in 0..n {
+        total += 1.0 / ((i + 1) as f64).powf(exponent);
+        cumulative.push(total);
+    }
+    cumulative
+}
+
+fn pick_zipf(rng: &mut StdRng, cumulative: &[f64]) -> usize {
+    let total = *cumulative.last().expect("at least one top-level function");
+    let r = rng.gen_range(0.0..total);
+    match cumulative.binary_search_by(|w| w.partial_cmp(&r).expect("weights are finite")) {
+        Ok(i) => i,
+        Err(i) => i.min(cumulative.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GeneratorConfig, Profile};
+    use crate::TraceStats;
+
+    fn small(profile: Profile, seed: u64, len: usize) -> Trace {
+        GeneratorConfig::profile(profile)
+            .seed(seed)
+            .target_len(len)
+            .generate()
+    }
+
+    #[test]
+    fn generated_traces_are_valid_for_all_profiles() {
+        for profile in Profile::ALL {
+            let t = small(profile, 11, 4_000);
+            assert!(t.len() >= 4_000, "{profile}: {}", t.len());
+            t.validate()
+                .unwrap_or_else(|e| panic!("{profile}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small(Profile::Jumpy, 5, 3_000);
+        let b = small(Profile::Jumpy, 5, 3_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small(Profile::Client, 1, 3_000);
+        let b = small(Profile::Client, 2, 3_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn server_footprint_exceeds_client() {
+        let client = TraceStats::measure(&small(Profile::Client, 3, 60_000));
+        let server = TraceStats::measure(&small(Profile::Server, 3, 60_000));
+        assert!(
+            server.footprint_bytes > 2 * client.footprint_bytes,
+            "server {} vs client {}",
+            server.footprint_bytes,
+            client.footprint_bytes
+        );
+        assert!(server.static_taken_branches > client.static_taken_branches);
+    }
+
+    #[test]
+    fn traces_contain_every_branch_class() {
+        let s = TraceStats::measure(&small(Profile::Jumpy, 7, 50_000));
+        for class in fdip_types::BranchClass::ALL {
+            assert!(s.mix.count(class) > 0, "missing {class}");
+        }
+    }
+
+    #[test]
+    fn offsets_span_short_and_long() {
+        let s = TraceStats::measure(&small(Profile::Server, 9, 80_000));
+        // Short intra-function offsets…
+        assert!(s.offsets.cumulative_fraction(8) > 0.2);
+        // …and some cross-module offsets needing more than 23 bits.
+        assert!(
+            s.offsets.cumulative_fraction(23) < 1.0,
+            "no long offsets at all"
+        );
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let cumulative = zipf_cumulative(8, 1.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = [0u32; 8];
+        for _ in 0..10_000 {
+            counts[pick_zipf(&mut rng, &cumulative)] += 1;
+        }
+        assert!(counts[0] > counts[7] * 4, "{counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn calls_balance_returns_in_full_transactions() {
+        // Generate enough to include several complete transactions, then
+        // count calls vs returns: they can differ only by the truncated tail
+        // (bounded by the call-level depth + 1 dispatcher frame).
+        let t = small(Profile::Client, 13, 20_000);
+        let s = TraceStats::measure(&t);
+        let calls = s.mix.count(fdip_types::BranchClass::Call)
+            + s.mix.count(fdip_types::BranchClass::IndirectCall);
+        let rets = s.mix.count(fdip_types::BranchClass::Return);
+        assert!(calls >= rets);
+        assert!(calls - rets < 64, "calls {calls} rets {rets}");
+    }
+}

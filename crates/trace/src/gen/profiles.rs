@@ -1,0 +1,69 @@
+/// Named workload profiles, the starting points for
+/// [`GeneratorConfig::profile`](crate::gen::GeneratorConfig::profile).
+///
+/// The profiles differ chiefly in instruction footprint and control-flow
+/// character, mirroring the workload classes of the FDIP literature:
+/// client-side programs have compact, loopy code; server workloads have
+/// multi-megabyte instruction working sets spread over deep, flat call
+/// graphs.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Profile {
+    /// Compact footprint (~100–200 KB), hot loops, strongly biased branches.
+    /// L1-I and BTB pressure is mild.
+    Client,
+    /// Large footprint (multiple MB) over many modules, deep call chains,
+    /// flat reuse — the workloads where front-end prefetching pays off.
+    Server,
+    /// Tiny kernel-style program: a few functions and hot loops. Useful for
+    /// fast tests and as an (easy) best case.
+    MicroLoop,
+    /// Indirect-control-flow heavy: many indirect calls/jumps with weakly
+    /// biased conditionals. Stresses the BTB and indirect prediction.
+    Jumpy,
+}
+
+impl Profile {
+    /// All profiles, in a stable order.
+    pub const ALL: [Profile; 4] = [
+        Profile::Client,
+        Profile::Server,
+        Profile::MicroLoop,
+        Profile::Jumpy,
+    ];
+
+    /// Short lowercase name, matching the generated trace's default name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Client => "client",
+            Profile::Server => "server",
+            Profile::MicroLoop => "microloop",
+            Profile::Jumpy => "jumpy",
+        }
+    }
+}
+
+impl std::fmt::Display for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Profile::ALL.iter().map(|p| p.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Profile::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for p in Profile::ALL {
+            assert_eq!(p.to_string(), p.name());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Instruction traces for the FDIP reproduction: the in-memory [`Trace`]
+//! container, compact binary and human-readable text codecs, trace
+//! statistics, and — because the original paper's SPEC95 traces are not
+//! available — a deterministic synthetic workload generator
+//! ([`gen`]) that builds random structured programs and executes them.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use fdip_trace::gen::{GeneratorConfig, Profile};
+//!
+//! // Generate a small client-like workload, deterministically.
+//! let trace = GeneratorConfig::profile(Profile::Client)
+//!     .target_len(20_000)
+//!     .seed(7)
+//!     .generate();
+//! assert!(trace.len() >= 20_000);
+//!
+//! // Round-trip through the binary codec.
+//! let mut buf = Vec::new();
+//! fdip_trace::write_binary(&mut buf, &trace)?;
+//! let back = fdip_trace::read_binary(&buf[..])?;
+//! assert_eq!(trace, back);
+//! # Ok::<(), fdip_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binary;
+mod builder;
+mod error;
+mod stats;
+mod text;
+mod trace;
+mod varint;
+
+pub mod gen;
+
+pub use binary::{read_binary, write_binary, write_binary_compact, BINARY_MAGIC, BINARY_VERSION, BINARY_VERSION_COMPACT};
+pub use builder::TraceBuilder;
+pub use error::TraceError;
+pub use stats::{BranchMix, OffsetHistogram, TraceStats};
+pub use text::{read_text, write_text};
+pub use trace::Trace;

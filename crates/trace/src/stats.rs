@@ -1,0 +1,285 @@
+//! Trace characterization: branch mix, instruction footprint, and the
+//! branch-target offset distribution (the data behind extension experiment
+//! X1 / "Revisited" Figure 3).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use fdip_types::{offset_bits, offset_insts, Addr, BranchClass, TraceInstr};
+
+use crate::Trace;
+
+/// Per-class dynamic branch counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BranchMix {
+    counts: [u64; 6],
+    taken: [u64; 6],
+}
+
+impl BranchMix {
+    /// Dynamic count of branches of `class`.
+    pub fn count(&self, class: BranchClass) -> u64 {
+        self.counts[class.code() as usize]
+    }
+
+    /// Dynamic count of *taken* branches of `class`.
+    pub fn taken(&self, class: BranchClass) -> u64 {
+        self.taken[class.code() as usize]
+    }
+
+    /// Total dynamic branches.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total dynamic taken branches.
+    pub fn total_taken(&self) -> u64 {
+        self.taken.iter().sum()
+    }
+
+    /// Fraction of conditional branches that were taken, or 0 if none.
+    pub fn cond_taken_ratio(&self) -> f64 {
+        let conds = self.count(BranchClass::CondDirect);
+        if conds == 0 {
+            0.0
+        } else {
+            self.taken(BranchClass::CondDirect) as f64 / conds as f64
+        }
+    }
+
+    fn record(&mut self, class: BranchClass, taken: bool) {
+        self.counts[class.code() as usize] += 1;
+        if taken {
+            self.taken[class.code() as usize] += 1;
+        }
+    }
+}
+
+/// Histogram of branch-target offset widths (magnitude bits, 0..=64) over
+/// dynamic taken-branch instances.
+///
+/// This regenerates the "Revisited" paper's Figure 3: the fraction of
+/// dynamic branches whose target offset needs `n` bits to encode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OffsetHistogram {
+    bins: Vec<u64>,
+}
+
+impl Default for OffsetHistogram {
+    fn default() -> Self {
+        OffsetHistogram {
+            bins: vec![0; 65],
+        }
+    }
+}
+
+impl OffsetHistogram {
+    /// Count of dynamic branches needing exactly `bits` magnitude bits.
+    pub fn count(&self, bits: u32) -> u64 {
+        self.bins.get(bits as usize).copied().unwrap_or(0)
+    }
+
+    /// Total dynamic branches recorded.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Fraction of dynamic branches needing exactly `bits` bits.
+    pub fn fraction(&self, bits: u32) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(bits) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of dynamic branches whose offset fits in at most `bits` bits.
+    pub fn cumulative_fraction(&self, bits: u32) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let upto: u64 = self.bins.iter().take(bits as usize + 1).sum();
+        upto as f64 / total as f64
+    }
+
+    /// The largest offset width observed, if any branch was recorded.
+    pub fn max_bits(&self) -> Option<u32> {
+        self.bins
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|idx| idx as u32)
+    }
+
+    fn record(&mut self, bits: u32) {
+        self.bins[bits as usize] += 1;
+    }
+}
+
+impl fmt::Display for OffsetHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "bits  fraction")?;
+        let max = self.max_bits().unwrap_or(0);
+        for bits in 0..=max {
+            writeln!(f, "{:>4}  {:.4}", bits, self.fraction(bits))?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate characterization of a trace.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_trace::{TraceBuilder, TraceStats};
+/// use fdip_types::Addr;
+///
+/// let mut b = TraceBuilder::new("t", Addr::new(0x1000));
+/// b.plain(10);
+/// b.jump(Addr::new(0x1000));
+/// b.plain(1);
+/// let stats = TraceStats::measure(&b.finish());
+/// assert_eq!(stats.len, 12);
+/// assert_eq!(stats.footprint_bytes, 11 * 4); // the loop re-executes pcs
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceStats {
+    /// Dynamic instruction count.
+    pub len: u64,
+    /// Unique static instructions times 4 bytes.
+    pub footprint_bytes: u64,
+    /// Unique 64-byte cache blocks touched.
+    pub footprint_blocks_64b: u64,
+    /// Unique static branch PCs.
+    pub static_branches: u64,
+    /// Unique static branch PCs observed taken at least once — the BTB
+    /// working set under taken-allocate policies.
+    pub static_taken_branches: u64,
+    /// Dynamic branch mix.
+    pub mix: BranchMix,
+    /// Offset-width histogram over dynamic taken branches.
+    pub offsets: OffsetHistogram,
+}
+
+impl TraceStats {
+    /// Measures `trace` in one pass.
+    pub fn measure(trace: &Trace) -> TraceStats {
+        Self::measure_instrs(trace.instrs())
+    }
+
+    /// Measures a raw instruction slice.
+    pub fn measure_instrs(instrs: &[TraceInstr]) -> TraceStats {
+        let mut unique_pcs: HashSet<Addr> = HashSet::new();
+        let mut unique_blocks: HashSet<u64> = HashSet::new();
+        let mut branch_pcs: HashSet<Addr> = HashSet::new();
+        let mut taken_pcs: HashSet<Addr> = HashSet::new();
+        let mut stats = TraceStats {
+            len: instrs.len() as u64,
+            ..TraceStats::default()
+        };
+        for instr in instrs {
+            unique_pcs.insert(instr.pc);
+            unique_blocks.insert(instr.pc.block_index(64));
+            if let Some(b) = instr.branch {
+                stats.mix.record(b.class, b.taken);
+                branch_pcs.insert(instr.pc);
+                if b.taken {
+                    taken_pcs.insert(instr.pc);
+                    stats
+                        .offsets
+                        .record(offset_bits(offset_insts(instr.pc, b.target)));
+                }
+            }
+        }
+        stats.footprint_bytes = unique_pcs.len() as u64 * 4;
+        stats.footprint_blocks_64b = unique_blocks.len() as u64;
+        stats.static_branches = branch_pcs.len() as u64;
+        stats.static_taken_branches = taken_pcs.len() as u64;
+        stats
+    }
+
+    /// Dynamic branches per kilo-instruction.
+    pub fn branch_pki(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.mix.total() as f64 * 1000.0 / self.len as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    fn looped_trace() -> Trace {
+        let mut b = TraceBuilder::new("loop", Addr::new(0x1000));
+        for _ in 0..3 {
+            b.plain(4);
+            b.cond(true, Addr::new(0x1000)); // back-edge, offset -4 insts
+        }
+        b.plain(4);
+        b.cond(false, Addr::new(0x1000));
+        b.plain(1);
+        b.finish()
+    }
+
+    #[test]
+    fn counts_and_footprint() {
+        let t = looped_trace();
+        let s = TraceStats::measure(&t);
+        assert_eq!(s.len, t.len() as u64);
+        // Static code: 0x1000..0x1014 (5 instrs) + 0x1014 (1) = 6 instrs.
+        assert_eq!(s.footprint_bytes, 6 * 4);
+        assert_eq!(s.static_branches, 1);
+        assert_eq!(s.static_taken_branches, 1);
+        assert_eq!(s.mix.count(BranchClass::CondDirect), 4);
+        assert_eq!(s.mix.taken(BranchClass::CondDirect), 3);
+        assert!((s.mix.cond_taken_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offsets_histogram_counts_taken_only() {
+        let t = looped_trace();
+        let s = TraceStats::measure(&t);
+        // 3 taken back-edges of -4 instructions each → 3 bits.
+        assert_eq!(s.offsets.total(), 3);
+        assert_eq!(s.offsets.count(3), 3);
+        assert_eq!(s.offsets.max_bits(), Some(3));
+        assert!((s.offsets.fraction(3) - 1.0).abs() < 1e-12);
+        assert!((s.offsets.cumulative_fraction(2) - 0.0).abs() < 1e-12);
+        assert!((s.offsets.cumulative_fraction(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_pki() {
+        let t = looped_trace();
+        let s = TraceStats::measure(&t);
+        let expect = 4.0 * 1000.0 / t.len() as f64;
+        assert!((s.branch_pki() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zeroes() {
+        let s = TraceStats::measure(&Trace::default());
+        assert_eq!(s.len, 0);
+        assert_eq!(s.footprint_bytes, 0);
+        assert_eq!(s.offsets.total(), 0);
+        assert_eq!(s.offsets.max_bits(), None);
+        assert_eq!(s.branch_pki(), 0.0);
+    }
+
+    #[test]
+    fn far_jump_lands_in_wide_bin() {
+        let mut b = TraceBuilder::new("far", Addr::new(0x1000));
+        b.jump(Addr::new(0x1000 + (1 << 30)));
+        b.plain(1);
+        let s = TraceStats::measure(&b.finish());
+        // (1 << 30) bytes = 1 << 28 instructions → 29 bits? No: 2^28 exactly
+        // needs 29 bits by our convention (magnitude 2^28 has bit 28 set).
+        assert_eq!(s.offsets.max_bits(), Some(29));
+    }
+}

@@ -1,0 +1,191 @@
+//! Human-readable text trace codec.
+//!
+//! One instruction per line. Plain instructions are a bare hex PC; branches
+//! append class, `T`/`N`, and the hex target:
+//!
+//! ```text
+//! # fdip trace v1
+//! # name: demo
+//! 1000
+//! 1004 cond T 2000
+//! 2000 ret T 1008
+//! ```
+//!
+//! Blank lines and `#` comments are ignored on input.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use fdip_types::{Addr, BranchClass, BranchRecord, TraceInstr};
+
+use crate::{Trace, TraceError};
+
+/// Writes `trace` as text.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] if the underlying writer fails.
+pub fn write_text<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceError> {
+    writeln!(w, "# fdip trace v1")?;
+    writeln!(w, "# name: {}", trace.name())?;
+    for instr in trace {
+        match instr.branch {
+            None => writeln!(w, "{:x}", instr.pc)?,
+            Some(b) => writeln!(
+                w,
+                "{:x} {} {} {:x}",
+                instr.pc,
+                b.class,
+                if b.taken { 'T' } else { 'N' },
+                b.target
+            )?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads a text trace. The trace name is recovered from a `# name:` comment
+/// if present.
+///
+/// # Errors
+///
+/// Returns [`TraceError::BadLine`] for unparsable lines and
+/// [`TraceError::Io`] for reader failures.
+pub fn read_text<R: Read>(r: R) -> Result<Trace, TraceError> {
+    let reader = BufReader::new(r);
+    let mut name = String::new();
+    let mut instrs = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx as u64 + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('#') {
+            if let Some(n) = comment.trim().strip_prefix("name:") {
+                name = n.trim().to_string();
+            }
+            continue;
+        }
+        instrs.push(parse_line(trimmed, line_no)?);
+    }
+    Ok(Trace::from_instrs(name, instrs))
+}
+
+fn parse_line(line: &str, line_no: u64) -> Result<TraceInstr, TraceError> {
+    let mut fields = line.split_whitespace();
+    let pc = parse_hex(fields.next(), line_no, "missing pc")?;
+    let Some(class_str) = fields.next() else {
+        return Ok(TraceInstr::plain(pc));
+    };
+    let class = parse_class(class_str).ok_or(TraceError::BadLine {
+        line: line_no,
+        what: "unknown branch class",
+    })?;
+    let taken = match fields.next() {
+        Some("T") => true,
+        Some("N") => false,
+        _ => {
+            return Err(TraceError::BadLine {
+                line: line_no,
+                what: "expected T or N",
+            })
+        }
+    };
+    if !taken && class.is_unconditional() {
+        return Err(TraceError::BadLine {
+            line: line_no,
+            what: "not-taken unconditional branch",
+        });
+    }
+    let target = parse_hex(fields.next(), line_no, "missing target")?;
+    if fields.next().is_some() {
+        return Err(TraceError::BadLine {
+            line: line_no,
+            what: "trailing fields",
+        });
+    }
+    Ok(TraceInstr::branch(pc, BranchRecord::new(class, taken, target)))
+}
+
+fn parse_hex(field: Option<&str>, line_no: u64, what: &'static str) -> Result<Addr, TraceError> {
+    let s = field.ok_or(TraceError::BadLine {
+        line: line_no,
+        what,
+    })?;
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    u64::from_str_radix(s, 16)
+        .map(Addr::new)
+        .map_err(|_| TraceError::BadLine {
+            line: line_no,
+            what: "invalid hex number",
+        })
+}
+
+fn parse_class(s: &str) -> Option<BranchClass> {
+    BranchClass::ALL.into_iter().find(|c| c.to_string() == s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new("texty", Addr::new(0x1000));
+        b.plain(2);
+        b.cond(false, Addr::new(0x1100));
+        b.cond(true, Addr::new(0x1100));
+        b.call(Addr::new(0x9000));
+        b.ret();
+        b.plain(1);
+        b.ijump(Addr::new(0x1000));
+        b.plain(1);
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &t).unwrap();
+        let back = read_text(&buf[..]).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.name(), "texty");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let src = "# header\n\n1000\n   \n# mid\n1004 jump T 2000\n";
+        let t = read_text(src.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.instrs()[1].branch.unwrap().target, Addr::new(0x2000));
+    }
+
+    #[test]
+    fn hex_prefix_is_accepted() {
+        let t = read_text("0x1000\n0x1004 call T 0xbeef0\n".as_bytes()).unwrap();
+        assert_eq!(t.instrs()[1].branch.unwrap().target, Addr::new(0xbeef0));
+    }
+
+    #[test]
+    fn bad_lines_are_located() {
+        let cases = [
+            ("zzzz\n", "invalid hex number", 1),
+            ("1000\n1004 blorp T 0\n", "unknown branch class", 2),
+            ("1000 cond X 0\n", "expected T or N", 1),
+            ("1000 jump N 2000\n", "not-taken unconditional branch", 1),
+            ("1000 cond T\n", "missing target", 1),
+            ("1000 cond T 2000 extra\n", "trailing fields", 1),
+        ];
+        for (src, expect, line) in cases {
+            match read_text(src.as_bytes()) {
+                Err(TraceError::BadLine { line: l, what }) => {
+                    assert_eq!(what, expect, "src: {src}");
+                    assert_eq!(l, line, "src: {src}");
+                }
+                other => panic!("expected BadLine for {src:?}, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+use std::fmt;
+
+use fdip_types::{Addr, TraceInstr};
+
+use crate::TraceError;
+
+/// An in-memory execution trace: the sequence of retired instructions the
+/// simulated core must fetch, in program order.
+///
+/// A well-formed trace satisfies the *continuity invariant*: record `i+1`'s
+/// PC equals record `i`'s architectural next-PC ([`TraceInstr::next_pc`]).
+/// [`Trace::validate`] checks this plus alignment of every PC and target.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    name: String,
+    instrs: Vec<TraceInstr>,
+}
+
+impl Trace {
+    /// Creates a trace from parts without validating.
+    ///
+    /// Prefer [`TraceBuilder`](crate::TraceBuilder) when hand-constructing
+    /// traces; it maintains the continuity invariant for you.
+    pub fn from_instrs(name: impl Into<String>, instrs: Vec<TraceInstr>) -> Self {
+        Trace {
+            name: name.into(),
+            instrs,
+        }
+    }
+
+    /// The workload name this trace was generated from (may be empty).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the trace.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of instructions in the trace.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the trace contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instructions, in program order.
+    pub fn instrs(&self) -> &[TraceInstr] {
+        &self.instrs
+    }
+
+    /// Iterates over the instructions in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceInstr> {
+        self.instrs.iter()
+    }
+
+    /// Consumes the trace, returning the underlying instruction vector.
+    pub fn into_instrs(self) -> Vec<TraceInstr> {
+        self.instrs
+    }
+
+    /// Returns a prefix of the trace (useful for fast tests on big traces).
+    pub fn truncated(&self, len: usize) -> Trace {
+        Trace {
+            name: self.name.clone(),
+            instrs: self.instrs[..len.min(self.instrs.len())].to_vec(),
+        }
+    }
+
+    /// Returns the window `[start, start + len)` as its own trace — a
+    /// sampling unit for SimPoint-style methodology. The window is
+    /// internally continuous (any contiguous slice of an execution trace
+    /// is), so it validates and simulates like a full trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is past the end of the trace.
+    pub fn window(&self, start: usize, len: usize) -> Trace {
+        assert!(start <= self.instrs.len(), "window start out of range");
+        let end = (start + len).min(self.instrs.len());
+        Trace {
+            name: format!("{}@{start}+{}", self.name, end - start),
+            instrs: self.instrs[start..end].to_vec(),
+        }
+    }
+
+    /// Splits the trace into `count` evenly spaced windows of `len`
+    /// instructions each (the periodic-sampling methodology). Windows never
+    /// overlap the trace end; fewer are returned if the trace is short.
+    pub fn sample_windows(&self, count: usize, len: usize) -> Vec<Trace> {
+        if count == 0 || len == 0 || self.instrs.len() < len {
+            return Vec::new();
+        }
+        let span = self.instrs.len() - len;
+        let picks = count.min(span + 1);
+        (0..picks)
+            .map(|i| {
+                let start = if picks == 1 { 0 } else { span * i / (picks - 1) };
+                self.window(start, len)
+            })
+            .collect()
+    }
+
+    /// Checks the execution-trace invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Invalid`] if any PC or branch target is not
+    /// instruction-aligned, or if a record's PC is not the architectural
+    /// next-PC of its predecessor.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let mut prev_next: Option<Addr> = None;
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let at_record = i as u64;
+            if !instr.pc.is_inst_aligned() {
+                return Err(TraceError::Invalid {
+                    what: "pc not instruction-aligned",
+                    at_record,
+                });
+            }
+            if let Some(b) = instr.branch {
+                if !b.target.is_inst_aligned() {
+                    return Err(TraceError::Invalid {
+                        what: "branch target not instruction-aligned",
+                        at_record,
+                    });
+                }
+            }
+            if let Some(expected) = prev_next {
+                if instr.pc != expected {
+                    return Err(TraceError::Invalid {
+                        what: "pc does not follow from previous record",
+                        at_record,
+                    });
+                }
+            }
+            prev_next = Some(instr.next_pc());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trace")
+            .field("name", &self.name)
+            .field("len", &self.instrs.len())
+            .finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceInstr;
+    type IntoIter = std::slice::Iter<'a, TraceInstr>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TraceInstr;
+    type IntoIter = std::vec::IntoIter<TraceInstr>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdip_types::{BranchClass, BranchRecord};
+
+    fn continuous_trace() -> Trace {
+        let i0 = TraceInstr::plain(Addr::new(0x100));
+        let i1 = TraceInstr::branch(
+            Addr::new(0x104),
+            BranchRecord::new(BranchClass::UncondDirect, true, Addr::new(0x200)),
+        );
+        let i2 = TraceInstr::plain(Addr::new(0x200));
+        Trace::from_instrs("t", vec![i0, i1, i2])
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        continuous_trace().validate().unwrap();
+    }
+
+    #[test]
+    fn discontinuity_is_rejected() {
+        let mut instrs = continuous_trace().into_instrs();
+        instrs[2] = TraceInstr::plain(Addr::new(0x300));
+        let err = Trace::from_instrs("t", instrs).validate().unwrap_err();
+        assert!(matches!(
+            err,
+            TraceError::Invalid {
+                what: "pc does not follow from previous record",
+                at_record: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn misaligned_pc_is_rejected() {
+        let t = Trace::from_instrs("t", vec![TraceInstr::plain(Addr::new(0x101))]);
+        assert!(matches!(
+            t.validate().unwrap_err(),
+            TraceError::Invalid { at_record: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn misaligned_target_is_rejected() {
+        let t = Trace::from_instrs(
+            "t",
+            vec![TraceInstr::branch(
+                Addr::new(0x100),
+                BranchRecord::new(BranchClass::UncondDirect, true, Addr::new(0x203)),
+            )],
+        );
+        assert!(matches!(
+            t.validate().unwrap_err(),
+            TraceError::Invalid {
+                what: "branch target not instruction-aligned",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let t = continuous_trace();
+        assert_eq!(t.truncated(2).len(), 2);
+        assert_eq!(t.truncated(99).len(), 3);
+        assert_eq!(t.truncated(2).instrs()[0], t.instrs()[0]);
+    }
+
+    #[test]
+    fn windows_are_valid_subtraces() {
+        let t = continuous_trace();
+        let w = t.window(1, 2);
+        assert_eq!(w.len(), 2);
+        w.validate().unwrap();
+        assert_eq!(w.instrs()[0], t.instrs()[1]);
+        assert!(w.name().contains("@1+2"));
+        // Window past the end clips.
+        assert_eq!(t.window(2, 100).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window start out of range")]
+    fn window_start_past_end_panics() {
+        let _ = continuous_trace().window(99, 1);
+    }
+
+    #[test]
+    fn sample_windows_cover_start_and_end() {
+        let t = continuous_trace();
+        let samples = t.sample_windows(2, 2);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].instrs()[0], t.instrs()[0]);
+        assert_eq!(samples[1].instrs()[1], t.instrs()[2]);
+        for s in &samples {
+            s.validate().unwrap();
+        }
+        assert!(t.sample_windows(3, 100).is_empty(), "trace too short");
+        assert!(t.sample_windows(0, 1).is_empty());
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        Trace::default().validate().unwrap();
+        assert!(Trace::default().is_empty());
+    }
+}

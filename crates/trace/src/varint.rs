@@ -1,0 +1,150 @@
+//! LEB128-style variable-length integer encoding used by the binary trace
+//! codec. Unsigned values are encoded 7 bits per byte, low bits first, with
+//! the high bit of each byte marking continuation. Signed values are
+//! zigzag-mapped first so small magnitudes of either sign stay short.
+
+use std::io::{Read, Write};
+
+use crate::TraceError;
+
+/// Maximum encoded length of a u64 varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Writes `value` as an unsigned varint.
+pub fn write_u64<W: Write>(mut w: W, mut value: u64) -> Result<(), TraceError> {
+    let mut buf = [0u8; MAX_VARINT_LEN];
+    let mut n = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf[n] = byte;
+            n += 1;
+            break;
+        }
+        buf[n] = byte | 0x80;
+        n += 1;
+    }
+    w.write_all(&buf[..n])?;
+    Ok(())
+}
+
+/// Reads an unsigned varint.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Truncated`] on EOF mid-value and
+/// [`TraceError::Corrupt`] if the encoding exceeds 10 bytes (which cannot
+/// occur for any u64).
+pub fn read_u64<R: Read>(mut r: R) -> Result<u64, TraceError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 64 {
+            return Err(TraceError::Corrupt {
+                what: "varint too long",
+                at_record: 0,
+            });
+        }
+        value |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-maps a signed value to unsigned (0, -1, 1, -2, 2 → 0, 1, 2, 3, 4).
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Writes `value` as a zigzag varint.
+pub fn write_i64<W: Write>(w: W, value: i64) -> Result<(), TraceError> {
+    write_u64(w, zigzag(value))
+}
+
+/// Reads a zigzag varint.
+///
+/// # Errors
+///
+/// Propagates the errors of [`read_u64`].
+pub fn read_i64<R: Read>(r: R) -> Result<i64, TraceError> {
+    read_u64(r).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u(value: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, value).unwrap();
+        read_u64(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn unsigned_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+            assert_eq!(roundtrip_u(v), v);
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 127).unwrap();
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_u64(&mut buf, 128).unwrap();
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn zigzag_mapping() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(zigzag(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        for v in [-5i64, 0, 5, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [0i64, -1, 1, -300, 300, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v).unwrap();
+            assert_eq!(read_i64(&buf[..]).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_detected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1 << 30).unwrap();
+        buf.pop();
+        assert!(matches!(read_u64(&buf[..]), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn overlong_encoding_is_rejected() {
+        // 11 continuation bytes cannot encode any u64.
+        let buf = [0x80u8; 11];
+        assert!(matches!(
+            read_u64(&buf[..]),
+            Err(TraceError::Corrupt { .. })
+        ));
+    }
+}

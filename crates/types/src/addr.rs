@@ -1,0 +1,214 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Size of every instruction in bytes.
+///
+/// The model assumes a fixed-width, word-aligned ISA (ARMv8-like), matching
+/// the traces used by FDIP-family studies. Branch offsets are therefore
+/// measured in *instructions*, not bytes.
+pub const INST_BYTES: u32 = 4;
+
+/// A virtual instruction or data address.
+///
+/// `Addr` is a transparent newtype over `u64` that keeps address arithmetic
+/// honest: cache-block math, instruction stepping, and alignment live here
+/// instead of being re-derived (differently) at each call site.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_types::Addr;
+///
+/// let a = Addr::new(0x1044);
+/// assert_eq!(a.block_base(64), Addr::new(0x1040));
+/// assert_eq!(a.block_index(64), 0x1044 / 64);
+/// assert_eq!(a.inst_index(), 0x1044 / 4);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The zero address. Used as a sentinel for "no target" in raw encodings.
+    pub const ZERO: Addr = Addr(0);
+
+    /// Creates an address from a raw virtual address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Creates an address from an instruction index (`index * INST_BYTES`).
+    pub const fn from_inst_index(index: u64) -> Self {
+        Addr(index * INST_BYTES as u64)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the index of this instruction in the word-aligned stream.
+    pub const fn inst_index(self) -> u64 {
+        self.0 / INST_BYTES as u64
+    }
+
+    /// Returns the address of the next sequential instruction.
+    pub const fn next_inst(self) -> Self {
+        Addr(self.0 + INST_BYTES as u64)
+    }
+
+    /// Returns the address advanced by `n` instructions.
+    pub const fn add_insts(self, n: u64) -> Self {
+        Addr(self.0 + n * INST_BYTES as u64)
+    }
+
+    /// Returns the base address of the cache block containing this address.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `block_bytes` is not a power of two.
+    pub fn block_base(self, block_bytes: u64) -> Self {
+        debug_assert!(block_bytes.is_power_of_two());
+        Addr(self.0 & !(block_bytes - 1))
+    }
+
+    /// Returns the global index of the cache block containing this address.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `block_bytes` is not a power of two.
+    pub fn block_index(self, block_bytes: u64) -> u64 {
+        debug_assert!(block_bytes.is_power_of_two());
+        self.0 / block_bytes
+    }
+
+    /// Returns the byte offset of this address within its cache block.
+    pub fn block_offset(self, block_bytes: u64) -> u64 {
+        debug_assert!(block_bytes.is_power_of_two());
+        self.0 & (block_bytes - 1)
+    }
+
+    /// Returns `true` if this address is word (instruction) aligned.
+    pub const fn is_inst_aligned(self) -> bool {
+        self.0 % INST_BYTES as u64 == 0
+    }
+
+    /// Signed distance to `other` in instructions (`other - self`).
+    ///
+    /// This is the branch-offset convention used throughout the workspace:
+    /// positive offsets are forward branches.
+    pub fn insts_to(self, other: Addr) -> i64 {
+        (other.0 as i64 - self.0 as i64) / INST_BYTES as i64
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    fn add(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    fn add_assign(&mut self, bytes: u64) {
+        self.0 += bytes;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = i64;
+
+    fn sub(self, rhs: Addr) -> i64 {
+        self.0 as i64 - rhs.0 as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_base_masks_low_bits() {
+        assert_eq!(Addr::new(0x1044).block_base(64), Addr::new(0x1040));
+        assert_eq!(Addr::new(0x1000).block_base(64), Addr::new(0x1000));
+        assert_eq!(Addr::new(0x103f).block_base(64), Addr::new(0x1000));
+    }
+
+    #[test]
+    fn block_index_and_offset_partition_the_address() {
+        let a = Addr::new(0xdead_beef & !3);
+        let blk = 64;
+        assert_eq!(a.block_index(blk) * blk + a.block_offset(blk), a.raw());
+    }
+
+    #[test]
+    fn inst_stepping() {
+        let a = Addr::new(0x100);
+        assert_eq!(a.next_inst().raw(), 0x104);
+        assert_eq!(a.add_insts(4).raw(), 0x110);
+        assert_eq!(a.insts_to(a.add_insts(4)), 4);
+        assert_eq!(a.add_insts(4).insts_to(a), -4);
+    }
+
+    #[test]
+    fn from_inst_index_roundtrips() {
+        for idx in [0u64, 1, 77, 1 << 30] {
+            assert_eq!(Addr::from_inst_index(idx).inst_index(), idx);
+        }
+    }
+
+    #[test]
+    fn alignment_check() {
+        assert!(Addr::new(0x104).is_inst_aligned());
+        assert!(!Addr::new(0x105).is_inst_aligned());
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Addr::new(0x40).to_string(), "0x40");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+        assert_eq!(format!("{:X}", Addr::new(255)), "FF");
+    }
+
+    #[test]
+    fn subtraction_is_signed_bytes() {
+        assert_eq!(Addr::new(0x10) - Addr::new(0x20), -0x10);
+        assert_eq!(Addr::new(0x20) - Addr::new(0x10), 0x10);
+    }
+}

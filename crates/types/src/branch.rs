@@ -1,0 +1,196 @@
+use std::fmt;
+
+use crate::Addr;
+
+/// The control-flow class of a branch instruction.
+///
+/// The class determines which front-end structures participate in predicting
+/// the branch: the direction predictor (conditionals only), the return
+/// address stack (calls push, returns pop), and the indirect target cache
+/// (register-indirect jumps and calls).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BranchClass {
+    /// Direct conditional branch (`b.cond label`).
+    CondDirect,
+    /// Direct unconditional jump (`b label`).
+    UncondDirect,
+    /// Direct call (`bl label`) — pushes a return address.
+    Call,
+    /// Indirect call (`blr reg`) — pushes a return address, target from ITC.
+    IndirectCall,
+    /// Function return (`ret`) — target from the return address stack.
+    Return,
+    /// Indirect jump (`br reg`) — target from the indirect target cache.
+    IndirectJump,
+}
+
+impl BranchClass {
+    /// All classes, in a stable order (used by codecs and statistics).
+    pub const ALL: [BranchClass; 6] = [
+        BranchClass::CondDirect,
+        BranchClass::UncondDirect,
+        BranchClass::Call,
+        BranchClass::IndirectCall,
+        BranchClass::Return,
+        BranchClass::IndirectJump,
+    ];
+
+    /// Returns `true` if the branch consults the direction predictor.
+    pub const fn is_conditional(self) -> bool {
+        matches!(self, BranchClass::CondDirect)
+    }
+
+    /// Returns `true` if the branch is always taken when executed.
+    pub const fn is_unconditional(self) -> bool {
+        !self.is_conditional()
+    }
+
+    /// Returns `true` if the branch target comes from a register, so the BTB
+    /// (or indirect target cache) is the only source of the target address.
+    pub const fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            BranchClass::IndirectCall | BranchClass::Return | BranchClass::IndirectJump
+        )
+    }
+
+    /// Returns `true` if executing the branch pushes a return address.
+    pub const fn pushes_ras(self) -> bool {
+        matches!(self, BranchClass::Call | BranchClass::IndirectCall)
+    }
+
+    /// Returns `true` if the branch pops the return address stack.
+    pub const fn pops_ras(self) -> bool {
+        matches!(self, BranchClass::Return)
+    }
+
+    /// Returns `true` if the target is encoded in the instruction, so the
+    /// front-end can recover it at decode even on a BTB miss.
+    pub const fn is_direct(self) -> bool {
+        matches!(
+            self,
+            BranchClass::CondDirect | BranchClass::UncondDirect | BranchClass::Call
+        )
+    }
+
+    /// Stable small integer encoding, the inverse of [`BranchClass::from_code`].
+    pub const fn code(self) -> u8 {
+        match self {
+            BranchClass::CondDirect => 0,
+            BranchClass::UncondDirect => 1,
+            BranchClass::Call => 2,
+            BranchClass::IndirectCall => 3,
+            BranchClass::Return => 4,
+            BranchClass::IndirectJump => 5,
+        }
+    }
+
+    /// Decodes the integer produced by [`BranchClass::code`].
+    pub const fn from_code(code: u8) -> Option<BranchClass> {
+        match code {
+            0 => Some(BranchClass::CondDirect),
+            1 => Some(BranchClass::UncondDirect),
+            2 => Some(BranchClass::Call),
+            3 => Some(BranchClass::IndirectCall),
+            4 => Some(BranchClass::Return),
+            5 => Some(BranchClass::IndirectJump),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BranchClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BranchClass::CondDirect => "cond",
+            BranchClass::UncondDirect => "jump",
+            BranchClass::Call => "call",
+            BranchClass::IndirectCall => "icall",
+            BranchClass::Return => "ret",
+            BranchClass::IndirectJump => "ijump",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Ground-truth outcome of one dynamic branch instance, as recorded in a trace.
+///
+/// `taken` is always `true` for unconditional classes. `target` is the
+/// resolved destination when taken; for a not-taken conditional it records
+/// the would-be destination (useful for BTB training policies that install
+/// on first encounter rather than first taken).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BranchRecord {
+    /// Control-flow class of the instruction.
+    pub class: BranchClass,
+    /// Whether this dynamic instance was taken.
+    pub taken: bool,
+    /// Resolved target address.
+    pub target: Addr,
+}
+
+impl BranchRecord {
+    /// Convenience constructor.
+    pub fn new(class: BranchClass, taken: bool, target: Addr) -> Self {
+        debug_assert!(
+            taken || class.is_conditional(),
+            "unconditional branches must be taken"
+        );
+        BranchRecord {
+            class,
+            taken,
+            target,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for class in BranchClass::ALL {
+            assert_eq!(BranchClass::from_code(class.code()), Some(class));
+        }
+        assert_eq!(BranchClass::from_code(6), None);
+        assert_eq!(BranchClass::from_code(255), None);
+    }
+
+    #[test]
+    fn class_predicates_are_consistent() {
+        for class in BranchClass::ALL {
+            assert_ne!(class.is_conditional(), class.is_unconditional());
+            if class.pops_ras() {
+                assert!(class.is_indirect());
+            }
+            // A branch is either direct (target recoverable at decode) or
+            // indirect, never both.
+            assert_ne!(class.is_direct(), class.is_indirect());
+        }
+    }
+
+    #[test]
+    fn ras_participation() {
+        assert!(BranchClass::Call.pushes_ras());
+        assert!(BranchClass::IndirectCall.pushes_ras());
+        assert!(BranchClass::Return.pops_ras());
+        assert!(!BranchClass::CondDirect.pushes_ras());
+        assert!(!BranchClass::UncondDirect.pops_ras());
+    }
+
+    #[test]
+    fn display_names_are_short_and_unique() {
+        let mut names: Vec<String> = BranchClass::ALL.iter().map(|c| c.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), BranchClass::ALL.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unconditional branches must be taken")]
+    #[cfg(debug_assertions)]
+    fn not_taken_unconditional_is_rejected() {
+        let _ = BranchRecord::new(BranchClass::UncondDirect, false, Addr::new(0x100));
+    }
+}

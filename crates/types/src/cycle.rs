@@ -1,0 +1,132 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A simulation timestamp, in core clock cycles.
+///
+/// Newtyped so latencies (plain `u64` deltas) and absolute times cannot be
+/// confused. `Cycle + u64 = Cycle`, `Cycle - Cycle = u64` (saturating at 0 is
+/// the caller's job; subtracting a later from an earlier cycle panics in
+/// debug builds).
+///
+/// # Examples
+///
+/// ```
+/// use fdip_types::Cycle;
+///
+/// let start = Cycle::ZERO;
+/// let fill = start + 120;
+/// assert_eq!(fill - start, 120);
+/// assert!(fill.is_after(start));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Cycle zero, the start of simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The far future; used for "never" deadlines.
+    pub const NEVER: Cycle = Cycle(u64::MAX);
+
+    /// Creates a cycle from a raw count.
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Advances to the next cycle.
+    pub const fn next(self) -> Self {
+        Cycle(self.0 + 1)
+    }
+
+    /// Returns `true` if `self` is strictly after `other`.
+    pub const fn is_after(self, other: Cycle) -> bool {
+        self.0 > other.0
+    }
+
+    /// Returns the later of two cycles.
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Cycles elapsed since `earlier`, or 0 if `earlier` is in the future.
+    pub const fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(cycle: Cycle) -> Self {
+        cycle.0
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    fn add(self, delta: u64) -> Cycle {
+        Cycle(self.0 + delta)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, delta: u64) {
+        self.0 += delta;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "cycle subtraction underflow");
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let c = Cycle::new(10);
+        assert_eq!((c + 5).raw(), 15);
+        assert_eq!(c.next().raw(), 11);
+        assert_eq!((c + 5) - c, 5);
+    }
+
+    #[test]
+    fn ordering_helpers() {
+        assert!(Cycle::new(2).is_after(Cycle::new(1)));
+        assert!(!Cycle::new(1).is_after(Cycle::new(1)));
+        assert_eq!(Cycle::new(1).max(Cycle::new(3)), Cycle::new(3));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(Cycle::new(5).saturating_since(Cycle::new(9)), 0);
+        assert_eq!(Cycle::new(9).saturating_since(Cycle::new(5)), 4);
+    }
+
+    #[test]
+    fn never_is_after_everything_practical() {
+        assert!(Cycle::NEVER.is_after(Cycle::new(u64::MAX - 1)));
+    }
+}

@@ -1,0 +1,195 @@
+use crate::{Addr, BranchClass};
+
+/// Why a fetch block ended.
+///
+/// The branch-prediction unit emits [`FetchBlock`]s into the FTQ; each block
+/// is a run of sequential instructions, and the terminator tells the fetch
+/// and prefetch engines where control flow goes next.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BlockEnd {
+    /// The block hit the maximum fetch-block length; the next block is
+    /// sequential.
+    SizeLimit,
+    /// A branch predicted (or known) taken ends the block; the next block
+    /// begins at `target`.
+    TakenBranch {
+        /// Class of the terminating branch, for statistics and RAS handling.
+        class: BranchClass,
+        /// Predicted target the next block starts at.
+        target: Addr,
+    },
+    /// A conditional branch predicted not-taken ends the block (the BTB
+    /// identified a branch, the direction predictor said fall through).
+    NotTakenBranch,
+    /// The trace ran out of instructions.
+    TraceEnd,
+}
+
+/// A unit of predicted fetch work: `len` sequential instructions starting at
+/// `start`, plus the reason the run ended.
+///
+/// This is the FTQ entry payload of the 1999 FDIP design: the head of the
+/// FTQ feeds the fetch engine, deeper entries feed the prefetch engine.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_types::{Addr, BlockEnd, FetchBlock};
+///
+/// let fb = FetchBlock::new(Addr::new(0x1000), 6, BlockEnd::SizeLimit);
+/// assert_eq!(fb.end_addr(), Addr::new(0x1000 + 6 * 4));
+/// // A 6-instruction block starting mid-line can straddle two 32B lines:
+/// let lines: Vec<_> = fb.cache_blocks(32).collect();
+/// assert_eq!(lines, vec![Addr::new(0x1000)]);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FetchBlock {
+    /// Address of the first instruction in the block.
+    pub start: Addr,
+    /// Number of sequential instructions in the block (>= 1).
+    pub len: u32,
+    /// Why the block ended.
+    pub end: BlockEnd,
+}
+
+impl FetchBlock {
+    /// Creates a fetch block.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `len == 0`.
+    pub fn new(start: Addr, len: u32, end: BlockEnd) -> Self {
+        debug_assert!(len > 0, "fetch blocks contain at least one instruction");
+        FetchBlock { start, len, end }
+    }
+
+    /// Address one past the last instruction in the block.
+    pub fn end_addr(&self) -> Addr {
+        self.start.add_insts(self.len as u64)
+    }
+
+    /// Address of the last instruction in the block.
+    pub fn last_pc(&self) -> Addr {
+        self.start.add_insts(self.len as u64 - 1)
+    }
+
+    /// Returns `true` if `pc` falls inside this block.
+    pub fn contains(&self, pc: Addr) -> bool {
+        pc >= self.start && pc < self.end_addr()
+    }
+
+    /// The predicted next fetch address after this block.
+    pub fn next_fetch_addr(&self) -> Option<Addr> {
+        match self.end {
+            BlockEnd::SizeLimit | BlockEnd::NotTakenBranch => Some(self.end_addr()),
+            BlockEnd::TakenBranch { target, .. } => Some(target),
+            BlockEnd::TraceEnd => None,
+        }
+    }
+
+    /// Iterates over the base addresses of the cache blocks this fetch block
+    /// touches, in ascending order. These are FDIP's prefetch candidates.
+    pub fn cache_blocks(&self, block_bytes: u64) -> CacheBlocks {
+        CacheBlocks {
+            next: self.start.block_base(block_bytes),
+            last: self.last_pc().block_base(block_bytes),
+            block_bytes,
+            done: false,
+        }
+    }
+}
+
+/// Iterator over the cache-block base addresses touched by a [`FetchBlock`];
+/// created by [`FetchBlock::cache_blocks`].
+#[derive(Clone, Debug)]
+pub struct CacheBlocks {
+    next: Addr,
+    last: Addr,
+    block_bytes: u64,
+    done: bool,
+}
+
+impl Iterator for CacheBlocks {
+    type Item = Addr;
+
+    fn next(&mut self) -> Option<Addr> {
+        if self.done {
+            return None;
+        }
+        let current = self.next;
+        if current == self.last {
+            self.done = true;
+        } else {
+            self.next = current + self.block_bytes;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_addr_and_contains() {
+        let fb = FetchBlock::new(Addr::new(0x100), 4, BlockEnd::SizeLimit);
+        assert_eq!(fb.end_addr(), Addr::new(0x110));
+        assert_eq!(fb.last_pc(), Addr::new(0x10c));
+        assert!(fb.contains(Addr::new(0x100)));
+        assert!(fb.contains(Addr::new(0x10c)));
+        assert!(!fb.contains(Addr::new(0x110)));
+        assert!(!fb.contains(Addr::new(0xfc)));
+    }
+
+    #[test]
+    fn next_fetch_addr_follows_terminator() {
+        let seq = FetchBlock::new(Addr::new(0x100), 4, BlockEnd::SizeLimit);
+        assert_eq!(seq.next_fetch_addr(), Some(Addr::new(0x110)));
+
+        let nt = FetchBlock::new(Addr::new(0x100), 4, BlockEnd::NotTakenBranch);
+        assert_eq!(nt.next_fetch_addr(), Some(Addr::new(0x110)));
+
+        let taken = FetchBlock::new(
+            Addr::new(0x100),
+            4,
+            BlockEnd::TakenBranch {
+                class: BranchClass::UncondDirect,
+                target: Addr::new(0x4000),
+            },
+        );
+        assert_eq!(taken.next_fetch_addr(), Some(Addr::new(0x4000)));
+
+        let end = FetchBlock::new(Addr::new(0x100), 1, BlockEnd::TraceEnd);
+        assert_eq!(end.next_fetch_addr(), None);
+    }
+
+    #[test]
+    fn cache_blocks_single_line() {
+        let fb = FetchBlock::new(Addr::new(0x1000), 8, BlockEnd::SizeLimit);
+        let lines: Vec<_> = fb.cache_blocks(64).collect();
+        assert_eq!(lines, vec![Addr::new(0x1000)]);
+    }
+
+    #[test]
+    fn cache_blocks_straddles_lines() {
+        // 8 instructions (32 bytes) starting 8 bytes before a 32B boundary.
+        let fb = FetchBlock::new(Addr::new(0x1018), 8, BlockEnd::SizeLimit);
+        let lines: Vec<_> = fb.cache_blocks(32).collect();
+        assert_eq!(lines, vec![Addr::new(0x1000), Addr::new(0x1020)]);
+    }
+
+    #[test]
+    fn cache_blocks_spans_many_lines() {
+        let fb = FetchBlock::new(Addr::new(0x1000), 64, BlockEnd::SizeLimit);
+        let lines: Vec<_> = fb.cache_blocks(64).collect();
+        assert_eq!(
+            lines,
+            vec![
+                Addr::new(0x1000),
+                Addr::new(0x1040),
+                Addr::new(0x1080),
+                Addr::new(0x10c0)
+            ]
+        );
+    }
+}

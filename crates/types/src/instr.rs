@@ -1,0 +1,97 @@
+use crate::{Addr, BranchRecord};
+
+/// One retired instruction, as stored in an execution trace.
+///
+/// Non-branch instructions carry only their PC; branches additionally carry
+/// the ground-truth [`BranchRecord`]. The next-PC of a record is implied:
+/// sequential unless the instruction is a taken branch.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_types::{Addr, BranchClass, BranchRecord, TraceInstr};
+///
+/// let nop = TraceInstr::plain(Addr::new(0x100));
+/// assert_eq!(nop.next_pc(), Addr::new(0x104));
+///
+/// let b = TraceInstr::branch(
+///     Addr::new(0x104),
+///     BranchRecord::new(BranchClass::UncondDirect, true, Addr::new(0x200)),
+/// );
+/// assert_eq!(b.next_pc(), Addr::new(0x200));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TraceInstr {
+    /// Program counter of this instruction.
+    pub pc: Addr,
+    /// Branch metadata, if this instruction is a branch.
+    pub branch: Option<BranchRecord>,
+}
+
+impl TraceInstr {
+    /// Creates a non-branch instruction record.
+    pub fn plain(pc: Addr) -> Self {
+        TraceInstr { pc, branch: None }
+    }
+
+    /// Creates a branch instruction record.
+    pub fn branch(pc: Addr, record: BranchRecord) -> Self {
+        TraceInstr {
+            pc,
+            branch: Some(record),
+        }
+    }
+
+    /// Returns `true` if this instruction is a branch.
+    pub fn is_branch(&self) -> bool {
+        self.branch.is_some()
+    }
+
+    /// Returns `true` if this instruction is a taken branch.
+    pub fn is_taken_branch(&self) -> bool {
+        self.branch.map_or(false, |b| b.taken)
+    }
+
+    /// The architecturally-correct next PC after this instruction.
+    pub fn next_pc(&self) -> Addr {
+        match self.branch {
+            Some(b) if b.taken => b.target,
+            _ => self.pc.next_inst(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BranchClass;
+
+    #[test]
+    fn plain_instruction_falls_through() {
+        let i = TraceInstr::plain(Addr::new(0x40));
+        assert!(!i.is_branch());
+        assert!(!i.is_taken_branch());
+        assert_eq!(i.next_pc(), Addr::new(0x44));
+    }
+
+    #[test]
+    fn not_taken_branch_falls_through() {
+        let i = TraceInstr::branch(
+            Addr::new(0x40),
+            BranchRecord::new(BranchClass::CondDirect, false, Addr::new(0x100)),
+        );
+        assert!(i.is_branch());
+        assert!(!i.is_taken_branch());
+        assert_eq!(i.next_pc(), Addr::new(0x44));
+    }
+
+    #[test]
+    fn taken_branch_redirects() {
+        let i = TraceInstr::branch(
+            Addr::new(0x40),
+            BranchRecord::new(BranchClass::Call, true, Addr::new(0x1000)),
+        );
+        assert!(i.is_taken_branch());
+        assert_eq!(i.next_pc(), Addr::new(0x1000));
+    }
+}

@@ -1,0 +1,39 @@
+//! Shared vocabulary types for the FDIP reproduction.
+//!
+//! This crate defines the small, `Copy`-friendly value types that every other
+//! crate in the workspace speaks: [`Addr`] (a virtual instruction address),
+//! [`Cycle`] (a simulation timestamp), [`BranchClass`]/[`BranchRecord`]
+//! (control-flow metadata attached to trace records), [`TraceInstr`] (one
+//! retired instruction), and [`FetchBlock`] (the unit of work the
+//! branch-prediction unit hands to the fetch engine through the FTQ).
+//!
+//! All instructions in this model are word (32-bit) aligned, mirroring the
+//! ARMv8-style traces used by FDIP follow-up studies; [`INST_BYTES`] is the
+//! universal instruction size.
+//!
+//! # Examples
+//!
+//! ```
+//! use fdip_types::{Addr, INST_BYTES};
+//!
+//! let pc = Addr::new(0x4000);
+//! assert_eq!(pc.next_inst(), Addr::new(0x4000 + INST_BYTES as u64));
+//! assert_eq!(pc.block_base(64), Addr::new(0x4000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod branch;
+mod cycle;
+mod fetch_block;
+mod instr;
+mod offset;
+
+pub use addr::{Addr, INST_BYTES};
+pub use branch::{BranchClass, BranchRecord};
+pub use cycle::Cycle;
+pub use fetch_block::{BlockEnd, FetchBlock};
+pub use instr::TraceInstr;
+pub use offset::{offset_bits, offset_from_addrs, offset_insts, OffsetClass};

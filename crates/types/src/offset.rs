@@ -1,0 +1,180 @@
+use std::fmt;
+
+use crate::Addr;
+
+/// Signed branch offset in instructions (`target - pc`, in units of
+/// [`INST_BYTES`](crate::INST_BYTES)).
+///
+/// Positive means a forward branch. Offsets are instruction-granular because
+/// the modeled ISA is word-aligned, matching the convention of FDIP-family
+/// trace studies.
+pub fn offset_insts(pc: Addr, target: Addr) -> i64 {
+    pc.insts_to(target)
+}
+
+/// Number of magnitude bits required to encode `offset` (sign/direction bit
+/// *excluded*, as in the FDIP-X storage accounting).
+///
+/// An offset of 0 needs 0 bits; ±1 needs 1 bit; ±255..=±128 needs 8 bits.
+///
+/// # Examples
+///
+/// ```
+/// use fdip_types::offset_bits;
+///
+/// assert_eq!(offset_bits(0), 0);
+/// assert_eq!(offset_bits(1), 1);
+/// assert_eq!(offset_bits(-1), 1);
+/// assert_eq!(offset_bits(255), 8);
+/// assert_eq!(offset_bits(256), 9);
+/// ```
+pub fn offset_bits(offset: i64) -> u32 {
+    let magnitude = offset.unsigned_abs();
+    64 - magnitude.leading_zeros()
+}
+
+/// Bits required to encode the offset between two addresses.
+pub fn offset_from_addrs(pc: Addr, target: Addr) -> u32 {
+    offset_bits(offset_insts(pc, target))
+}
+
+/// The FDIP-X BTB partition an offset routes to, by encodable width.
+///
+/// FDIP-X splits one logical BTB into four physical BTBs whose entries store
+/// 8-, 13-, 23-, or 46-bit offsets (the 46-bit partition effectively stores
+/// full targets). A branch is allocated in the narrowest partition that can
+/// encode its offset.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum OffsetClass {
+    /// Offset fits in 8 magnitude bits.
+    W8,
+    /// Offset fits in 13 magnitude bits.
+    W13,
+    /// Offset fits in 23 magnitude bits.
+    W23,
+    /// Anything wider — stored as (up to) a 46-bit offset / full target.
+    W46,
+}
+
+impl OffsetClass {
+    /// All classes, narrowest first.
+    pub const ALL: [OffsetClass; 4] = [
+        OffsetClass::W8,
+        OffsetClass::W13,
+        OffsetClass::W23,
+        OffsetClass::W46,
+    ];
+
+    /// Offset-field width (magnitude bits) of this partition.
+    pub const fn bits(self) -> u32 {
+        match self {
+            OffsetClass::W8 => 8,
+            OffsetClass::W13 => 13,
+            OffsetClass::W23 => 23,
+            OffsetClass::W46 => 46,
+        }
+    }
+
+    /// Routes a signed instruction offset to the narrowest partition that
+    /// can encode it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fdip_types::OffsetClass;
+    ///
+    /// assert_eq!(OffsetClass::for_offset(100), OffsetClass::W8);
+    /// assert_eq!(OffsetClass::for_offset(-300), OffsetClass::W13);
+    /// assert_eq!(OffsetClass::for_offset(1 << 20), OffsetClass::W23);
+    /// assert_eq!(OffsetClass::for_offset(1 << 30), OffsetClass::W46);
+    /// ```
+    pub fn for_offset(offset: i64) -> OffsetClass {
+        let bits = offset_bits(offset);
+        for class in OffsetClass::ALL {
+            if bits <= class.bits() {
+                return class;
+            }
+        }
+        OffsetClass::W46
+    }
+
+    /// Routes the branch at `pc` targeting `target`.
+    pub fn for_branch(pc: Addr, target: Addr) -> OffsetClass {
+        OffsetClass::for_offset(offset_insts(pc, target))
+    }
+
+    /// Returns `true` if a signed instruction offset is encodable in this
+    /// partition's field width.
+    pub fn can_encode(self, offset: i64) -> bool {
+        offset_bits(offset) <= self.bits()
+    }
+}
+
+impl fmt::Display for OffsetClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_bits_boundaries() {
+        assert_eq!(offset_bits(0), 0);
+        assert_eq!(offset_bits(1), 1);
+        assert_eq!(offset_bits(2), 2);
+        assert_eq!(offset_bits(3), 2);
+        assert_eq!(offset_bits(4), 3);
+        assert_eq!(offset_bits(255), 8);
+        assert_eq!(offset_bits(256), 9);
+        assert_eq!(offset_bits(-255), 8);
+        assert_eq!(offset_bits(-256), 9);
+        assert_eq!(offset_bits(i64::MIN), 64);
+    }
+
+    #[test]
+    fn routing_boundaries() {
+        assert_eq!(OffsetClass::for_offset(0), OffsetClass::W8);
+        assert_eq!(OffsetClass::for_offset(255), OffsetClass::W8);
+        assert_eq!(OffsetClass::for_offset(256), OffsetClass::W13);
+        assert_eq!(OffsetClass::for_offset((1 << 13) - 1), OffsetClass::W13);
+        assert_eq!(OffsetClass::for_offset(1 << 13), OffsetClass::W23);
+        assert_eq!(OffsetClass::for_offset((1 << 23) - 1), OffsetClass::W23);
+        assert_eq!(OffsetClass::for_offset(1 << 23), OffsetClass::W46);
+    }
+
+    #[test]
+    fn routing_is_symmetric_in_sign() {
+        for mag in [1i64, 200, 300, 9000, 1 << 22, 1 << 30] {
+            assert_eq!(
+                OffsetClass::for_offset(mag),
+                OffsetClass::for_offset(-mag),
+                "magnitude {mag}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_branch_uses_instruction_granularity() {
+        let pc = Addr::new(0x1000);
+        // 255 instructions forward = 1020 bytes: still W8 because offsets are
+        // instruction-granular.
+        let target = pc.add_insts(255);
+        assert_eq!(OffsetClass::for_branch(pc, target), OffsetClass::W8);
+        assert_eq!(offset_from_addrs(pc, target), 8);
+    }
+
+    #[test]
+    fn can_encode_matches_routing() {
+        for off in [-300i64, -1, 0, 77, 256, 40000, 1 << 25] {
+            let class = OffsetClass::for_offset(off);
+            assert!(class.can_encode(off));
+            // Every wider class can also encode it.
+            for wider in OffsetClass::ALL.iter().filter(|c| c.bits() > class.bits()) {
+                assert!(wider.can_encode(off));
+            }
+        }
+    }
+}

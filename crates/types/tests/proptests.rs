@@ -1,0 +1,90 @@
+//! Property tests for the vocabulary types: address arithmetic laws,
+//! offset encoding inverses, and fetch-block geometry.
+
+use fdip_types::{
+    offset_bits, offset_insts, Addr, BlockEnd, FetchBlock, OffsetClass, INST_BYTES,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn block_decomposition_is_a_bijection(raw in 0u64..1 << 46, shift in 5u32..8) {
+        let block_bytes = 1u64 << shift;
+        let addr = Addr::new(raw & !3);
+        let base = addr.block_base(block_bytes);
+        prop_assert!(base <= addr);
+        prop_assert!((addr - base) < block_bytes as i64);
+        prop_assert_eq!(
+            base.raw(),
+            addr.block_index(block_bytes) * block_bytes
+        );
+        prop_assert_eq!(
+            addr.block_index(block_bytes) * block_bytes + addr.block_offset(block_bytes),
+            addr.raw()
+        );
+    }
+
+    #[test]
+    fn insts_to_is_antisymmetric(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let (a, b) = (Addr::from_inst_index(a), Addr::from_inst_index(b));
+        prop_assert_eq!(a.insts_to(b), -b.insts_to(a));
+        prop_assert_eq!(a.add_insts(a.insts_to(b).unsigned_abs()).raw().max(a.raw()),
+            if b >= a { b.raw() } else { a.add_insts((a - b).unsigned_abs() / INST_BYTES as u64).raw() });
+    }
+
+    #[test]
+    fn offset_bits_is_monotone_in_magnitude(m in 0i64..1 << 45) {
+        prop_assert!(offset_bits(m) <= offset_bits(m + 1));
+        prop_assert_eq!(offset_bits(m), offset_bits(-m));
+    }
+
+    #[test]
+    fn offset_class_routing_is_tight(off in -(1i64 << 45)..(1i64 << 45)) {
+        let class = OffsetClass::for_offset(off);
+        prop_assert!(class.can_encode(off));
+        // No *narrower* class can encode it.
+        for narrower in OffsetClass::ALL.iter().filter(|c| c.bits() < class.bits()) {
+            prop_assert!(!narrower.can_encode(off), "{off} fits {narrower}");
+        }
+    }
+
+    #[test]
+    fn offset_from_pc_and_target_reconstructs_target(
+        pc in 0u64..1 << 40,
+        target in 0u64..1 << 40,
+    ) {
+        let pc = Addr::from_inst_index(pc);
+        let target = Addr::from_inst_index(target);
+        let off = offset_insts(pc, target);
+        let rebuilt = if off >= 0 {
+            pc.add_insts(off as u64)
+        } else {
+            Addr::new(pc.raw() - off.unsigned_abs() * INST_BYTES as u64)
+        };
+        prop_assert_eq!(rebuilt, target);
+    }
+
+    #[test]
+    fn fetch_block_cache_lines_cover_every_instruction(
+        start in 0u64..1 << 30,
+        len in 1u32..40,
+        shift in 5u32..8,
+    ) {
+        let block_bytes = 1u64 << shift;
+        let fb = FetchBlock::new(Addr::from_inst_index(start), len, BlockEnd::SizeLimit);
+        let lines: Vec<_> = fb.cache_blocks(block_bytes).collect();
+        // Lines are ascending, unique, and cover first & last instruction.
+        prop_assert!(lines.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(lines[0], fb.start.block_base(block_bytes));
+        prop_assert_eq!(*lines.last().unwrap(), fb.last_pc().block_base(block_bytes));
+        // Every instruction's line is in the list.
+        for k in 0..len as u64 {
+            let line = fb.start.add_insts(k).block_base(block_bytes);
+            prop_assert!(lines.contains(&line));
+        }
+        // Count matches the span.
+        let expected =
+            (fb.last_pc().block_index(block_bytes) - fb.start.block_index(block_bytes)) + 1;
+        prop_assert_eq!(lines.len() as u64, expected);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: generate a workload, run the no-prefetch baseline and FDIP,
+//! and print what the decoupled front-end bought you.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fdip::{FrontendConfig, PrefetcherKind, Simulator};
+use fdip_trace::gen::{GeneratorConfig, Profile};
+use fdip_trace::TraceStats;
+
+fn main() {
+    // 1. A synthetic server-style workload: large instruction footprint,
+    //    deep call chains — the case front-end prefetching exists for.
+    let trace = GeneratorConfig::profile(Profile::Server)
+        .seed(42)
+        .target_len(500_000)
+        .generate();
+    let shape = TraceStats::measure(&trace);
+    println!(
+        "workload: {} instructions, {:.0} KB instruction footprint, {} taken branches\n",
+        shape.len,
+        shape.footprint_bytes as f64 / 1024.0,
+        shape.static_taken_branches,
+    );
+
+    // 2. The baseline machine: decoupled front-end, no prefetching.
+    let base = Simulator::run_trace(&FrontendConfig::default(), &trace);
+
+    // 3. The same machine with the FDIP prefetch engine scanning the FTQ.
+    let fdip = Simulator::run_trace(
+        &FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+        &trace,
+    );
+
+    println!("                       baseline        fdip");
+    println!(
+        "IPC                    {:>8.3}    {:>8.3}",
+        base.ipc(),
+        fdip.ipc()
+    );
+    println!(
+        "L1-I MPKI              {:>8.2}    {:>8.2}",
+        base.l1i_mpki(),
+        fdip.l1i_mpki()
+    );
+    println!(
+        "icache stall cycles    {:>8}    {:>8}",
+        base.icache_stall_cycles, fdip.icache_stall_cycles
+    );
+    println!(
+        "bus utilization        {:>7.1}%    {:>7.1}%",
+        base.bus_utilization() * 100.0,
+        fdip.bus_utilization() * 100.0
+    );
+    println!();
+    println!(
+        "speedup {:.3}x — {:.1}% of baseline L1-I misses covered, {} prefetches issued ({:.0}% useful)",
+        fdip.speedup_over(&base),
+        fdip.miss_coverage_vs(&base) * 100.0,
+        fdip.mem.prefetches_issued,
+        fdip.mem.prefetch_accuracy() * 100.0,
+    );
+}

@@ -1,0 +1,62 @@
+//! Scenario: you are sizing the BTB for a server-consolidation part. The
+//! instruction working set is huge; every KB of BTB is contested by other
+//! structures. How much BTB does FDIP actually need, and does the FDIP-X
+//! partitioned organization let you ship a smaller one?
+//!
+//! ```sh
+//! cargo run --release --example server_consolidation
+//! ```
+
+use fdip::{BtbVariant, FrontendConfig, PrefetcherKind, Simulator};
+use fdip_btb::storage::bb_btb_row;
+use fdip_trace::gen::{GeneratorConfig, Profile};
+
+fn main() {
+    let trace = GeneratorConfig::profile(Profile::Server)
+        .seed(7)
+        .target_len(500_000)
+        .generate();
+
+    println!("budget     organization        speedup   btb hit   verdict");
+    println!("-----------------------------------------------------------------");
+
+    let mut best_small: Option<(String, f64)> = None;
+    for entries in [1024usize, 2048, 4096, 8192, 16384, 32768] {
+        let budget_kb = bb_btb_row(entries).total_kb();
+        let base = Simulator::run_trace(
+            &FrontendConfig::default().with_btb(BtbVariant::basic_block(entries)),
+            &trace,
+        );
+        for (name, btb) in [
+            ("fdip  (bb-btb)", BtbVariant::basic_block(entries)),
+            ("fdip-x (4-bank)", BtbVariant::partitioned(entries)),
+        ] {
+            let stats = Simulator::run_trace(
+                &FrontendConfig::default()
+                    .with_btb(btb)
+                    .with_prefetcher(PrefetcherKind::fdip()),
+                &trace,
+            );
+            let speedup = stats.speedup_over(&base);
+            let verdict = if speedup > 1.9 { "ship it" } else { "" };
+            println!(
+                "{:>6.2}KB   {:<16}   {:>6.3}   {:>6.1}%   {}",
+                budget_kb,
+                name,
+                speedup,
+                stats.branches.btb_hit_ratio() * 100.0,
+                verdict,
+            );
+            if speedup > 1.9 && best_small.is_none() {
+                best_small = Some((format!("{name} @ {budget_kb:.2}KB"), speedup));
+            }
+        }
+    }
+    println!();
+    match best_small {
+        Some((config, speedup)) => println!(
+            "smallest configuration clearing 1.9x: {config} ({speedup:.3}x)"
+        ),
+        None => println!("no configuration cleared 1.9x at these budgets"),
+    }
+}

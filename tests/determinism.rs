@@ -1,0 +1,71 @@
+//! Determinism guarantees: identical configurations and seeds must produce
+//! bit-identical traces and statistics, across threads and invocations.
+
+use fdip::{FrontendConfig, PrefetcherKind, Simulator};
+use fdip_sim::runner::run_matrix;
+use fdip_sim::workload::{suite, SuiteKind};
+use fdip_sim::Scale;
+use fdip_trace::gen::{GeneratorConfig, Profile};
+
+#[test]
+fn trace_generation_is_bit_identical() {
+    let make = || {
+        GeneratorConfig::profile(Profile::Server)
+            .seed(1234)
+            .target_len(50_000)
+            .generate()
+    };
+    assert_eq!(make(), make());
+}
+
+#[test]
+fn simulation_is_bit_identical() {
+    let trace = GeneratorConfig::profile(Profile::Jumpy)
+        .seed(99)
+        .target_len(40_000)
+        .generate();
+    for kind in [
+        PrefetcherKind::None,
+        PrefetcherKind::fdip(),
+        PrefetcherKind::StreamBuffers(Default::default()),
+        PrefetcherKind::Pif(Default::default()),
+    ] {
+        let config = FrontendConfig::default().with_prefetcher(kind);
+        let a = Simulator::run_trace(&config, &trace);
+        let b = Simulator::run_trace(&config, &trace);
+        assert_eq!(a, b, "{}", config.prefetcher.name());
+    }
+}
+
+#[test]
+fn parallel_runner_matches_itself_and_is_ordered() {
+    let workloads = suite(SuiteKind::All, Scale::quick());
+    let configs = vec![
+        ("base".to_string(), FrontendConfig::default()),
+        (
+            "fdip".to_string(),
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+        ),
+    ];
+    let a = run_matrix(&workloads, 25_000, &configs);
+    let b = run_matrix(&workloads, 25_000, &configs);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.workload, y.workload);
+        assert_eq!(x.config, y.config);
+        assert_eq!(x.stats, y.stats);
+    }
+}
+
+#[test]
+fn different_seeds_change_the_trace_but_not_the_invariants() {
+    for seed in [1u64, 2, 3] {
+        let trace = GeneratorConfig::profile(Profile::Client)
+            .seed(seed)
+            .target_len(20_000)
+            .generate();
+        trace.validate().unwrap();
+        let stats = Simulator::run_trace(&FrontendConfig::default(), &trace);
+        assert_eq!(stats.instructions, trace.len() as u64);
+    }
+}

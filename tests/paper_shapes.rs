@@ -1,0 +1,153 @@
+//! The paper's qualitative claims, as executable assertions (medium scale:
+//! big enough for the shapes to be stable, small enough for CI).
+
+use fdip::{BtbVariant, CpfMode, FrontendConfig, PrefetcherKind, Simulator};
+use fdip_trace::gen::{GeneratorConfig, Profile};
+
+fn server_trace() -> fdip_trace::Trace {
+    GeneratorConfig::profile(Profile::Server)
+        .seed(21)
+        .target_len(200_000)
+        .generate()
+}
+
+#[test]
+fn fdip_covers_misses_and_speeds_up_servers() {
+    let trace = server_trace();
+    let base = Simulator::run_trace(&FrontendConfig::default(), &trace);
+    let fdip = Simulator::run_trace(
+        &FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+        &trace,
+    );
+    assert!(
+        fdip.speedup_over(&base) > 1.3,
+        "speedup {}",
+        fdip.speedup_over(&base)
+    );
+    assert!(
+        fdip.miss_coverage_vs(&base) > 0.3,
+        "coverage {}",
+        fdip.miss_coverage_vs(&base)
+    );
+}
+
+#[test]
+fn cpf_cuts_prefetch_traffic_without_losing_performance() {
+    let trace = server_trace();
+    let plain = Simulator::run_trace(
+        &FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+        &trace,
+    );
+    let cpf = Simulator::run_trace(
+        &FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip_with_cpf(CpfMode::Remove)),
+        &trace,
+    );
+    assert!(
+        cpf.mem.prefetches_issued < plain.mem.prefetches_issued,
+        "cpf {} vs plain {}",
+        cpf.mem.prefetches_issued,
+        plain.mem.prefetches_issued
+    );
+    assert!(
+        cpf.cycles as f64 <= plain.cycles as f64 * 1.02,
+        "cpf {} vs plain {} cycles",
+        cpf.cycles,
+        plain.cycles
+    );
+    assert!(cpf.mem.prefetch_accuracy() > plain.mem.prefetch_accuracy());
+}
+
+#[test]
+fn fdip_beats_next_line_prefetching_on_servers() {
+    let trace = server_trace();
+    let base = Simulator::run_trace(&FrontendConfig::default(), &trace);
+    let nlp = Simulator::run_trace(
+        &FrontendConfig::default().with_prefetcher(PrefetcherKind::NextLine),
+        &trace,
+    );
+    let fdip = Simulator::run_trace(
+        &FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip_with_cpf(CpfMode::Remove)),
+        &trace,
+    );
+    assert!(
+        fdip.speedup_over(&base) > nlp.speedup_over(&base),
+        "fdip {} vs nlp {}",
+        fdip.speedup_over(&base),
+        nlp.speedup_over(&base)
+    );
+}
+
+#[test]
+fn fdip_x_matches_or_beats_fdip_at_the_smallest_budget() {
+    let trace = server_trace();
+    let budget = 1024;
+    let base = Simulator::run_trace(
+        &FrontendConfig::default().with_btb(BtbVariant::basic_block(budget)),
+        &trace,
+    );
+    let fdip = Simulator::run_trace(
+        &FrontendConfig::default()
+            .with_btb(BtbVariant::basic_block(budget))
+            .with_prefetcher(PrefetcherKind::fdip()),
+        &trace,
+    );
+    let fdipx = Simulator::run_trace(
+        &FrontendConfig::default()
+            .with_btb(BtbVariant::partitioned(budget))
+            .with_prefetcher(PrefetcherKind::fdip()),
+        &trace,
+    );
+    let fdip_speedup = fdip.speedup_over(&base);
+    let fdipx_speedup = fdipx.speedup_over(&base);
+    assert!(
+        fdipx_speedup >= fdip_speedup * 0.99,
+        "fdip-x {fdipx_speedup} vs fdip {fdip_speedup}"
+    );
+}
+
+#[test]
+fn gains_saturate_toward_the_infinite_btb() {
+    let trace = server_trace();
+    let base = Simulator::run_trace(&FrontendConfig::default(), &trace);
+    let small = Simulator::run_trace(
+        &FrontendConfig::default()
+            .with_btb(BtbVariant::conventional(1024))
+            .with_prefetcher(PrefetcherKind::fdip()),
+        &trace,
+    );
+    let infinite = Simulator::run_trace(
+        &FrontendConfig::default()
+            .with_btb(BtbVariant::Ideal)
+            .with_prefetcher(PrefetcherKind::fdip()),
+        &trace,
+    );
+    assert!(
+        infinite.speedup_over(&base) >= small.speedup_over(&base),
+        "infinite {} vs small {}",
+        infinite.speedup_over(&base),
+        small.speedup_over(&base)
+    );
+}
+
+#[test]
+fn client_workloads_offer_less_opportunity_than_servers() {
+    let client = GeneratorConfig::profile(Profile::Client)
+        .seed(21)
+        .target_len(200_000)
+        .generate();
+    let server = server_trace();
+    let gain = |trace: &fdip_trace::Trace| {
+        let base = Simulator::run_trace(&FrontendConfig::default(), trace);
+        let fdip = Simulator::run_trace(
+            &FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+            trace,
+        );
+        fdip.speedup_over(&base)
+    };
+    let client_gain = gain(&client);
+    let server_gain = gain(&server);
+    assert!(
+        server_gain > client_gain,
+        "server {server_gain} vs client {client_gain}"
+    );
+}

@@ -1,0 +1,72 @@
+//! The published storage tables, checked to the digit, plus consistency
+//! between the accounting module and the live structures.
+
+use fdip_btb::storage::{bb_btb_row, bb_btb_table, fdipx_budget, fdipx_table};
+use fdip_btb::{
+    BasicBlockBtb, Btb, BtbConfig, PartitionConfig, PartitionedBtb, TagScheme,
+};
+
+#[test]
+fn table_one_digits() {
+    let expect: [(usize, usize, u32, f64); 6] = [
+        (1024, 128, 92, 11.5),
+        (2048, 256, 91, 22.75),
+        (4096, 512, 90, 45.0),
+        (8192, 1024, 89, 89.0),
+        (16384, 2048, 88, 176.0),
+        (32768, 4096, 87, 348.0),
+    ];
+    for (row, (entries, sets, bits, kb)) in bb_btb_table().iter().zip(expect) {
+        assert_eq!(row.entries, entries);
+        assert_eq!(row.sets, sets);
+        assert_eq!(row.entry_bits, bits);
+        assert!((row.total_kb() - kb).abs() < 0.01, "{entries}: {}", row.total_kb());
+    }
+}
+
+#[test]
+fn table_two_digits() {
+    let expect_entries: [(usize, [usize; 4], f64); 6] = [
+        (1024, [768, 768, 768, 112], 10.06),
+        (2048, [1536, 1536, 1536, 224], 20.12),
+        (4096, [3072, 3072, 3072, 448], 40.25),
+        (8192, [6144, 6144, 6144, 896], 80.5),
+        (16384, [12288, 12288, 12288, 1792], 161.0),
+        (32768, [24576, 24576, 24576, 3584], 322.0),
+    ];
+    for (budget, (bb, banks, kb)) in fdipx_table().iter().zip(expect_entries) {
+        assert_eq!(budget.bb_entries, bb);
+        let entries: Vec<usize> = budget.rows.iter().map(|r| r.entries).collect();
+        assert_eq!(entries, banks);
+        let total_kb = budget.total_bytes() as f64 / 1024.0;
+        assert!((total_kb - kb).abs() < 0.1, "{bb}: {total_kb} vs {kb}");
+        assert!(budget.total_bytes() <= budget.budget_bytes);
+    }
+}
+
+#[test]
+fn accounting_matches_live_structures() {
+    // The storage module's numbers must equal what the actual BTB objects
+    // report about themselves.
+    for entries in [1024usize, 8192] {
+        let row = bb_btb_row(entries);
+        let live = BasicBlockBtb::new(BtbConfig::new(row.sets, row.ways, TagScheme::Full));
+        assert_eq!(live.storage_bits() / 8, row.total_bytes);
+
+        let budget = fdipx_budget(entries);
+        let live = PartitionedBtb::new(PartitionConfig::from_bb_entries(entries));
+        assert_eq!(live.storage_bits() / 8, budget.total_bytes());
+    }
+}
+
+#[test]
+fn entry_advantage_is_about_2_36x_everywhere() {
+    for budget in fdipx_table() {
+        let ratio = budget.entry_ratio();
+        assert!(
+            (2.3..2.45).contains(&ratio),
+            "{}: ratio {ratio}",
+            budget.bb_entries
+        );
+    }
+}
