@@ -89,7 +89,7 @@ fn bench_predictors(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 let pc = Addr::from_inst_index(i % 509);
-                let taken = i % 3 != 0;
+                let taken = !i.is_multiple_of(3);
                 i += 1;
                 let predicted = p.predict(pc);
                 p.spec_update(pc, predicted);
@@ -133,5 +133,11 @@ fn bench_trace(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_btbs, bench_cache, bench_predictors, bench_trace);
+criterion_group!(
+    benches,
+    bench_btbs,
+    bench_cache,
+    bench_predictors,
+    bench_trace
+);
 criterion_main!(benches);

@@ -1,22 +1,35 @@
 //! Runs the whole experiment catalogue in order, printing every table and
-//! figure and persisting CSVs under `results/`. Accepts `--quick` /
+//! figure and persisting CSV + JSON under `results/`. Accepts `--quick` /
 //! `--medium` / `--full`.
+//!
+//! All experiments share the process-wide harness, so each suite trace is
+//! generated once and each distinct (workload, config, trace length) cell
+//! is simulated once across the entire catalogue; the cache counters are
+//! reported at the end.
 
 use fdip_sim::experiments;
+use fdip_sim::harness::Harness;
 
 fn main() {
     let scale = fdip_sim::Scale::from_args(std::env::args().skip(1));
+    let harness = Harness::global();
     let start = std::time::Instant::now();
-    for (id, title, runner) in experiments::all() {
-        eprintln!("[{id}] {title} ...");
+    for exp in experiments::all() {
+        let id = exp.id();
+        eprintln!("[{id}] {} ...", exp.title());
         let t = std::time::Instant::now();
-        let result = runner(scale);
+        let result = exp.run(harness, scale);
         println!("{}", "=".repeat(72));
         print!("{}", result.to_text());
         eprintln!("[{id}] {:.1}s", t.elapsed().as_secs_f64());
-        if let Err(e) = fdip_bench::persist(id, &result) {
+        if let Err(e) = fdip_bench::persist(exp, &result) {
             eprintln!("[{id}] warning: could not write results/: {e}");
         }
     }
+    let stats = harness.stats();
+    eprintln!(
+        "harness: {} traces generated ({} shared), {} cells simulated ({} cache hits)",
+        stats.traces_generated, stats.trace_hits, stats.cells_simulated, stats.cell_hits
+    );
     eprintln!("total {:.1}s", start.elapsed().as_secs_f64());
 }

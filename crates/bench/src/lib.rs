@@ -1,6 +1,7 @@
-//! Shared plumbing for the experiment binaries: resolve an experiment by
-//! id, run it at the scale requested on the command line, print its tables
-//! and charts, and persist CSVs under `results/`.
+//! Shared plumbing for the experiment binaries: resolve an experiment in
+//! the registry, run it on the process-wide harness at the scale requested
+//! on the command line, print its tables and charts, and persist CSVs plus
+//! the machine-readable JSON document under `results/`.
 //!
 //! Every binary accepts `--quick` / `--medium` / `--full` (default full).
 
@@ -10,38 +11,43 @@
 use std::fs;
 use std::path::PathBuf;
 
-use fdip_sim::experiments::{self, ExperimentResult};
+use fdip_sim::experiments::{self, Experiment, ExperimentResult};
+use fdip_sim::harness::Harness;
 use fdip_sim::Scale;
 
 /// Runs experiment `id` at the argv-selected scale, prints the result, and
-/// writes CSVs. Used by every `exp_*` binary.
+/// persists it. Used by every `exp_*` binary.
 ///
 /// # Panics
 ///
 /// Panics if `id` is not in the registry.
 pub fn run_and_print(id: &str) {
     let scale = Scale::from_args(std::env::args().skip(1));
-    let (_, title, runner) = experiments::all()
-        .into_iter()
-        .find(|(i, _, _)| *i == id)
-        .unwrap_or_else(|| panic!("unknown experiment {id}"));
-    eprintln!("[{id}] {title} (trace_len={}, suites x{})", scale.trace_len, scale.workloads_per_suite);
+    let exp = experiments::find(id).unwrap_or_else(|| panic!("unknown experiment {id}"));
+    eprintln!(
+        "[{id}] {} (trace_len={}, suites x{})",
+        exp.title(),
+        scale.trace_len,
+        scale.workloads_per_suite
+    );
     let start = std::time::Instant::now();
-    let result = runner(scale);
+    let result = exp.run(Harness::global(), scale);
     print!("{}", result.to_text());
     eprintln!("[{id}] done in {:.1}s", start.elapsed().as_secs_f64());
-    if let Err(e) = persist(id, &result) {
+    if let Err(e) = persist(exp, &result) {
         eprintln!("[{id}] warning: could not write results/: {e}");
     }
 }
 
-/// Writes each table as `results/<id>_<k>.csv` and the full text render as
-/// `results/<id>.txt`.
+/// Writes each table as `results/<id>_<k>.csv`, the full text render as
+/// `results/<id>.txt`, a markdown render as `results/<id>.md`, and the
+/// versioned machine-readable document as `results/<id>.json`.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn persist(id: &str, result: &ExperimentResult) -> std::io::Result<()> {
+pub fn persist(exp: &dyn Experiment, result: &ExperimentResult) -> std::io::Result<()> {
+    let id = exp.id();
     let dir = results_dir();
     fs::create_dir_all(&dir)?;
     let mut markdown = String::new();
@@ -52,6 +58,10 @@ pub fn persist(id: &str, result: &ExperimentResult) -> std::io::Result<()> {
     }
     fs::write(dir.join(format!("{id}.txt")), result.to_text())?;
     fs::write(dir.join(format!("{id}.md")), markdown)?;
+    fs::write(
+        dir.join(format!("{id}.json")),
+        result.to_json(id, exp.title()).to_string_pretty(),
+    )?;
     Ok(())
 }
 
@@ -69,18 +79,17 @@ pub fn results_dir() -> PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fdip_sim::report::Table;
 
     #[test]
-    fn persist_writes_csv_and_text() {
-        let mut table = Table::new("t", &["a"]);
-        table.row(["1".to_string()]);
-        let result = ExperimentResult::tables(vec![table]);
-        persist("selftest", &result).unwrap();
+    fn persist_writes_csv_text_and_json() {
+        let exp = experiments::find("x2").unwrap();
+        let result = exp.run(Harness::global(), Scale::quick());
+        persist(exp, &result).unwrap();
         let dir = results_dir();
-        assert!(dir.join("selftest_0.csv").exists());
-        assert!(dir.join("selftest.txt").exists());
-        let _ = std::fs::remove_file(dir.join("selftest_0.csv"));
-        let _ = std::fs::remove_file(dir.join("selftest.txt"));
+        assert!(dir.join("x2_0.csv").exists());
+        assert!(dir.join("x2.txt").exists());
+        let json = std::fs::read_to_string(dir.join("x2.json")).unwrap();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"id\": \"x2\""));
     }
 }

@@ -182,6 +182,9 @@ mod tests {
         p.spec_update(pc, true);
         p.spec_update(pc, false);
         // With 0 history bits the index ignores history entirely.
-        assert_eq!(p.index(pc, &p.spec_history.clone()), p.index(pc, &GlobalHistory::new()));
+        assert_eq!(
+            p.index(pc, &p.spec_history.clone()),
+            p.index(pc, &GlobalHistory::new())
+        );
     }
 }

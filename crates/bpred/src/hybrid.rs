@@ -80,8 +80,8 @@ impl DirectionPredictor for Hybrid {
         // the chooser. (Commit-order training is the standard model.)
         let g_pred = {
             // Index gshare with its commit history, as its commit() will.
-            let idx = self.gshare_commit_prediction(pc);
-            idx
+
+            self.gshare_commit_prediction(pc)
         };
         let b_pred = self.bimodal.predict(pc);
         if g_pred != b_pred {
@@ -101,9 +101,7 @@ impl DirectionPredictor for Hybrid {
     }
 
     fn storage_bits(&self) -> u64 {
-        self.bimodal.storage_bits()
-            + self.gshare.storage_bits()
-            + self.chooser.len() as u64 * 2
+        self.bimodal.storage_bits() + self.gshare.storage_bits() + self.chooser.len() as u64 * 2
     }
 
     fn name(&self) -> &'static str {

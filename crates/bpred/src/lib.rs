@@ -57,7 +57,7 @@ pub use gshare::Gshare;
 pub use history::{GlobalHistory, HistorySnapshot};
 pub use hybrid::Hybrid;
 pub use indirect::IndirectTargetCache;
-pub use ras::{RasSnapshot, ReturnAddressStack};
 pub use local::TwoLevelLocal;
+pub use ras::{RasSnapshot, ReturnAddressStack};
 pub use tage::Tage;
 pub use traits::DirectionPredictor;

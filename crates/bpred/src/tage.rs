@@ -119,8 +119,7 @@ impl Tage {
         let bits = table.history_bits.min(64);
         let h = history.low_bits(bits);
         let width = 64 - table.mask.leading_zeros();
-        let index =
-            ((pc.inst_index() ^ Self::fold(h, bits, width.max(1))) & table.mask) as usize;
+        let index = ((pc.inst_index() ^ Self::fold(h, bits, width.max(1))) & table.mask) as usize;
         let tag_fold = Self::fold(h ^ (pc.inst_index() << 3), bits.max(TAG_BITS), TAG_BITS);
         let tag = ((pc.inst_index() ^ tag_fold) & ((1 << TAG_BITS) - 1)) as u16;
         // Tag 0 means invalid; remap.
@@ -320,8 +319,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let seq: Vec<(Addr, bool)> =
-            (0..500).map(|i| (Addr::from_inst_index(i % 37), i % 3 == 0)).collect();
+        let seq: Vec<(Addr, bool)> = (0..500)
+            .map(|i| (Addr::from_inst_index(i % 37), i % 3 == 0))
+            .collect();
         let mut a = Tage::new(10, 8, 3);
         let mut b = Tage::new(10, 8, 3);
         assert_eq!(accuracy(&mut a, &seq), accuracy(&mut b, &seq));

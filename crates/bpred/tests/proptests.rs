@@ -1,9 +1,7 @@
 //! Property tests for the prediction structures: the RAS against a vector
 //! model, snapshot/recover laws, and accuracy floors on biased streams.
 
-use fdip_bpred::{
-    Bimodal, DirectionPredictor, Gshare, Hybrid, ReturnAddressStack, Tage,
-};
+use fdip_bpred::{Bimodal, DirectionPredictor, Gshare, Hybrid, ReturnAddressStack, Tage};
 use fdip_types::Addr;
 use proptest::prelude::*;
 

@@ -98,7 +98,8 @@ impl BasicBlockBtb {
             "block length must fit the 5-bit size field"
         );
         let (index, tag) = self.key(start);
-        self.storage.insert(index, tag, BlockEntry { len, class, target });
+        self.storage
+            .insert(index, tag, BlockEntry { len, class, target });
     }
 
     /// Invalidates the block starting at `start`.

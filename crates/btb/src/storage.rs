@@ -36,7 +36,10 @@ impl BbBtbRow {
 ///
 /// Panics if `entries` is not a multiple of 8.
 pub fn bb_btb_row(entries: usize) -> BbBtbRow {
-    assert!(entries % 8 == 0, "published table uses 8-way organizations");
+    assert!(
+        entries.is_multiple_of(8),
+        "published table uses 8-way organizations"
+    );
     let sets = entries / 8;
     let entry_bits = full_tag_bits(sets) + 2 + 5 + 46;
     BbBtbRow {

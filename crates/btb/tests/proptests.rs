@@ -48,8 +48,11 @@ enum AssocOp {
 fn assoc_op() -> impl Strategy<Value = AssocOp> {
     prop_oneof![
         (0u8..4, 0u8..16).prop_map(|(index, tag)| AssocOp::Get { index, tag }),
-        (0u8..4, 0u8..16, any::<u32>())
-            .prop_map(|(index, tag, value)| AssocOp::Insert { index, tag, value }),
+        (0u8..4, 0u8..16, any::<u32>()).prop_map(|(index, tag, value)| AssocOp::Insert {
+            index,
+            tag,
+            value
+        }),
         (0u8..4, 0u8..16).prop_map(|(index, tag)| AssocOp::Remove { index, tag }),
     ]
 }

@@ -26,7 +26,9 @@ commands:
   compare  FILE                                  run every prefetcher on a trace
   slice    IN OUT --start N --len N              cut a window out of a trace
   convert  IN OUT                                convert between binary (.fdt) and text (.txt)
-  tables                                         print the BTB storage tables (Tables I & II)
+  tables   [EXPERIMENT]                          print the BTB storage tables (Tables I & II),
+                                                 or any experiment from the registry by id
+                                                 (e.g. e01, x4) at quick scale
 
 trace format is inferred from the file extension: `.txt` is text,
 anything else is the binary format.";
@@ -118,21 +120,30 @@ fn cmd_stats(args: &Args) -> CliResult {
     let s = TraceStats::measure(&trace);
     println!("trace:                {}", trace.name());
     println!("instructions:         {}", s.len);
-    println!("instruction footprint: {:.1} KB ({} x 64B blocks)",
-        s.footprint_bytes as f64 / 1024.0, s.footprint_blocks_64b);
-    println!("static branches:      {} ({} taken at least once)",
-        s.static_branches, s.static_taken_branches);
+    println!(
+        "instruction footprint: {:.1} KB ({} x 64B blocks)",
+        s.footprint_bytes as f64 / 1024.0,
+        s.footprint_blocks_64b
+    );
+    println!(
+        "static branches:      {} ({} taken at least once)",
+        s.static_branches, s.static_taken_branches
+    );
     println!("branches per KI:      {:.1}", s.branch_pki());
     println!("cond taken ratio:     {:.3}", s.mix.cond_taken_ratio());
     println!("dynamic branch mix:");
     for class in fdip_types::BranchClass::ALL {
         let count = s.mix.count(class);
         if count > 0 {
-            println!("  {class:<6} {:>9}  ({:.1}%)", count,
-                count as f64 * 100.0 / s.mix.total() as f64);
+            println!(
+                "  {class:<6} {:>9}  ({:.1}%)",
+                count,
+                count as f64 * 100.0 / s.mix.total() as f64
+            );
         }
     }
-    println!("taken-branch offsets: <=8b {:.1}%  9-13b {:.1}%  14-23b {:.1}%  >23b {:.1}%",
+    println!(
+        "taken-branch offsets: <=8b {:.1}%  9-13b {:.1}%  14-23b {:.1}%  >23b {:.1}%",
         s.offsets.cumulative_fraction(8) * 100.0,
         (s.offsets.cumulative_fraction(13) - s.offsets.cumulative_fraction(8)) * 100.0,
         (s.offsets.cumulative_fraction(23) - s.offsets.cumulative_fraction(13)) * 100.0,
@@ -208,8 +219,10 @@ fn parse_prefetcher(raw: &str, cpf: CpfMode) -> Result<PrefetcherKind, Box<dyn E
 
 fn config_from_args(args: &Args) -> Result<FrontendConfig, Box<dyn Error>> {
     let cpf = parse_cpf(args.get("cpf").unwrap_or("none"))?;
-    let mut config = FrontendConfig::default();
-    config.prefetcher = parse_prefetcher(args.get("prefetcher").unwrap_or("none"), cpf)?;
+    let mut config = FrontendConfig {
+        prefetcher: parse_prefetcher(args.get("prefetcher").unwrap_or("none"), cpf)?,
+        ..FrontendConfig::default()
+    };
     if let Some(raw) = args.get("btb") {
         config.btb = parse_btb(raw)?;
     }
@@ -249,9 +262,15 @@ fn cmd_run(args: &Args) -> CliResult {
     println!("cycles:             {}", stats.cycles);
     println!("IPC:                {:.3}", stats.ipc());
     println!("L1-I MPKI:          {:.2}", stats.l1i_mpki());
-    println!("exec redirects/KI:  {:.2}", stats.branches.mpki(stats.instructions));
+    println!(
+        "exec redirects/KI:  {:.2}",
+        stats.branches.mpki(stats.instructions)
+    );
     println!("BTB hit ratio:      {:.3}", stats.branches.btb_hit_ratio());
-    println!("bus utilization:    {:.1}%", stats.bus_utilization() * 100.0);
+    println!(
+        "bus utilization:    {:.1}%",
+        stats.bus_utilization() * 100.0
+    );
     if stats.mem.prefetches_issued > 0 {
         println!(
             "prefetches:         {} issued, {} useful ({:.1}%), {} late",
@@ -274,7 +293,10 @@ fn cmd_compare(args: &Args) -> CliResult {
         base.ipc(),
         base.l1i_mpki()
     );
-    println!("{:<12} {:>8} {:>10} {:>10}", "prefetcher", "speedup", "coverage", "bus");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10}",
+        "prefetcher", "speedup", "coverage", "bus"
+    );
     let kinds = [
         ("nlp", PrefetcherKind::NextLine),
         ("stream", PrefetcherKind::StreamBuffers(Default::default())),
@@ -283,8 +305,7 @@ fn cmd_compare(args: &Args) -> CliResult {
         ("pif", PrefetcherKind::Pif(Default::default())),
     ];
     for (name, kind) in kinds {
-        let stats =
-            Simulator::run_trace(&FrontendConfig::default().with_prefetcher(kind), &trace);
+        let stats = Simulator::run_trace(&FrontendConfig::default().with_prefetcher(kind), &trace);
         println!(
             "{:<12} {:>7.3}x {:>9.1}% {:>9.1}%",
             name,
@@ -299,7 +320,10 @@ fn cmd_compare(args: &Args) -> CliResult {
 fn cmd_slice(args: &Args) -> CliResult {
     let files = args.expect_positional(2, "slice takes IN and OUT files")?;
     let start = args.get_or("start", 0usize, "an instruction index")?;
-    let len = args.require("len")?.parse::<usize>().map_err(|_| "bad --len")?;
+    let len = args
+        .require("len")?
+        .parse::<usize>()
+        .map_err(|_| "bad --len")?;
     args.reject_unknown()?;
     let trace = load_trace(&files[0])?;
     if start > trace.len() {
@@ -321,12 +345,23 @@ fn cmd_convert(args: &Args) -> CliResult {
 }
 
 fn cmd_tables(args: &Args) -> CliResult {
-    args.expect_positional(0, "tables takes no arguments")?;
     args.reject_unknown()?;
-    use fdip_sim::experiments::{x2_storage_bb, x3_storage_x};
+    use fdip_sim::experiments;
+    use fdip_sim::harness::Harness;
     use fdip_sim::Scale;
-    print!("{}", x2_storage_bb::run(Scale::quick()).to_text());
-    print!("{}", x3_storage_x::run(Scale::quick()).to_text());
+    let harness = Harness::global();
+    if let Some(id) = args.positional().first() {
+        let exp = experiments::find(id).ok_or_else(|| {
+            let ids: Vec<&str> = experiments::all().iter().map(|e| e.id()).collect();
+            format!("unknown experiment {id:?} (one of: {})", ids.join(", "))
+        })?;
+        print!("{}", exp.run(harness, Scale::quick()).to_text());
+        return Ok(());
+    }
+    for id in ["x2", "x3"] {
+        let exp = experiments::find(id).expect("storage tables are registered");
+        print!("{}", exp.run(harness, Scale::quick()).to_text());
+    }
     Ok(())
 }
 
@@ -351,7 +386,10 @@ mod tests {
             parse_btb("conventional:2048"),
             Ok(BtbVariant::Conventional(_))
         ));
-        assert!(matches!(parse_btb("bb:1024"), Ok(BtbVariant::BasicBlock(_))));
+        assert!(matches!(
+            parse_btb("bb:1024"),
+            Ok(BtbVariant::BasicBlock(_))
+        ));
         assert!(matches!(
             parse_btb("fdipx:1024"),
             Ok(BtbVariant::Partitioned(_))
@@ -467,5 +505,14 @@ mod tests {
     #[test]
     fn tables_prints() {
         dispatch(&["tables".into()]).unwrap();
+        // Registry-resolved form: x3 is pure arithmetic, so it is cheap.
+        dispatch(&["tables".into(), "x3".into()]).unwrap();
+    }
+
+    #[test]
+    fn tables_rejects_unknown_experiment() {
+        let err = dispatch(&["tables".into(), "zz".into()]).unwrap_err();
+        assert!(err.to_string().contains("unknown experiment"));
+        assert!(err.to_string().contains("e01"));
     }
 }

@@ -21,7 +21,7 @@ impl BtbVariant {
     ///
     /// Panics if `entries` is not a multiple of 8.
     pub fn conventional(entries: usize) -> Self {
-        assert!(entries % 8 == 0);
+        assert!(entries.is_multiple_of(8));
         BtbVariant::Conventional(BtbConfig::new(entries / 8, 8, TagScheme::Full))
     }
 
@@ -32,7 +32,7 @@ impl BtbVariant {
     ///
     /// Panics if `entries` is not a multiple of 8.
     pub fn basic_block(entries: usize) -> Self {
-        assert!(entries % 8 == 0);
+        assert!(entries.is_multiple_of(8));
         BtbVariant::BasicBlock(BtbConfig::new(entries / 8, 8, TagScheme::Full))
     }
 
@@ -374,8 +374,14 @@ mod tests {
     #[test]
     fn prefetcher_names() {
         assert_eq!(PrefetcherKind::None.name(), "none");
-        assert_eq!(PrefetcherKind::fdip_with_cpf(CpfMode::Remove).name(), "fdip+rcpf");
-        assert_eq!(PrefetcherKind::fdip_with_cpf(CpfMode::Enqueue).name(), "fdip+ecpf");
+        assert_eq!(
+            PrefetcherKind::fdip_with_cpf(CpfMode::Remove).name(),
+            "fdip+rcpf"
+        );
+        assert_eq!(
+            PrefetcherKind::fdip_with_cpf(CpfMode::Enqueue).name(),
+            "fdip+ecpf"
+        );
         assert_eq!(
             PrefetcherKind::StreamBuffers(StreamBufferConfig::default()).name(),
             "stream"

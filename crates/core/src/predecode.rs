@@ -95,17 +95,21 @@ mod tests {
         let line1 = map.branches_in(Addr::new(0x1100));
         assert_eq!(line1.len(), 1);
         assert_eq!(line1[0].2, Addr::new(0x2000), "target from immediate");
-        assert!(map.branches_in(Addr::new(0x2000)).is_empty(), "only indirect there");
+        assert!(
+            map.branches_in(Addr::new(0x2000)).is_empty(),
+            "only indirect there"
+        );
         assert_eq!(map.static_branches(), 2);
     }
 
     #[test]
     fn indirect_branches_are_excluded() {
         let map = CodeMap::from_trace(&trace(), 64);
-        for branches in [map.branches_in(Addr::new(0x1000)), map.branches_in(Addr::new(0x1100))] {
-            assert!(branches
-                .iter()
-                .all(|(_, class, _)| class.is_direct()));
+        for branches in [
+            map.branches_in(Addr::new(0x1000)),
+            map.branches_in(Addr::new(0x1100)),
+        ] {
+            assert!(branches.iter().all(|(_, class, _)| class.is_direct()));
         }
     }
 

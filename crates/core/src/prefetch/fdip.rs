@@ -120,7 +120,10 @@ impl FdipEngine {
                 self.scan_seq = entry.seq;
                 self.scan_block = 0;
             }
-            let Some(candidate) = entry.block.cache_blocks(self.block_bytes).nth(self.scan_block)
+            let Some(candidate) = entry
+                .block
+                .cache_blocks(self.block_bytes)
+                .nth(self.scan_block)
             else {
                 // Entry exhausted: move to the next one.
                 self.scan_seq = entry.seq + 1;
@@ -253,7 +256,7 @@ mod tests {
         for _ in 0..50 {
             mem.begin_cycle(now);
             engine.per_cycle(now, &ftq, &mut mem, &mut stats);
-            now = now + 10; // leave the bus idle between cycles
+            now += 10; // leave the bus idle between cycles
         }
         // Head (0x1000) untouched; 0x2000 and 0x3000 prefetched.
         assert_eq!(stats.issued, 2, "{stats:?}");
@@ -336,7 +339,7 @@ mod tests {
         for _ in 0..20 {
             mem.begin_cycle(now);
             engine.per_cycle(now, &ftq, &mut mem, &mut stats);
-            now = now + 10;
+            now += 10;
         }
         assert_eq!(stats.issued, 1);
         assert!(stats.filtered_recent >= 1, "{stats:?}");
@@ -365,7 +368,7 @@ mod tests {
         let mut stats = FdipStats::default();
         // Keep the bus busy so nothing issues while scanning floods the PIQ.
         mem.begin_cycle(Cycle::ZERO);
-        mem.demand_access(Cycle::ZERO, Addr::new(0xdead_000));
+        mem.demand_access(Cycle::ZERO, Addr::new(0x0dea_d000));
         for c in 0..4u64 {
             let now = Cycle::new(c);
             mem.begin_cycle(now);

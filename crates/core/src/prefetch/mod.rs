@@ -127,7 +127,10 @@ mod tests {
         assert!(matches!(first, AccessResult::Wait(_)));
         let far = Cycle::new(1_000);
         mem.begin_cycle(far);
-        assert_eq!(side.access(far, Addr::new(0x1000), &mut mem), AccessResult::Ready);
+        assert_eq!(
+            side.access(far, Addr::new(0x1000), &mut mem),
+            AccessResult::Ready
+        );
         assert_eq!(side.stream_resets(), 0);
         assert_eq!(side.pif_resets(), 0);
     }
@@ -155,8 +158,11 @@ mod tests {
         side.access(Cycle::ZERO, Addr::new(0x1000), &mut mem); // miss → prefetch 0x1040
         let t = Cycle::new(1_000);
         mem.begin_cycle(t); // both fills land
-        // First demand touch of the tagged 0x1040 must trigger 0x1080.
-        assert_eq!(side.access(t, Addr::new(0x1040), &mut mem), AccessResult::Ready);
+                            // First demand touch of the tagged 0x1040 must trigger 0x1080.
+        assert_eq!(
+            side.access(t, Addr::new(0x1040), &mut mem),
+            AccessResult::Ready
+        );
         assert!(mem.in_flight(Addr::new(0x1080)), "tag bit chained");
     }
 

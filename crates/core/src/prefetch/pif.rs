@@ -186,7 +186,7 @@ mod tests {
         for &b in &blocks {
             mem.begin_cycle(t);
             pif.access(t, Addr::new(b), &mut mem);
-            t = t + 500; // let each fill land
+            t += 500; // let each fill land
         }
         assert_eq!(pif.resets(), 3, "cold stream: no history yet");
         // Evict nothing (big L2), but force L1 misses again by flushing…

@@ -99,10 +99,13 @@ impl ShotgunEngine {
                 if self.regions.len() == self.config.regions {
                     self.regions.pop();
                 }
-                self.regions.insert(0, Region {
-                    base_line,
-                    footprint: 0,
-                });
+                self.regions.insert(
+                    0,
+                    Region {
+                        base_line,
+                        footprint: 0,
+                    },
+                );
             }
         }
     }
@@ -286,7 +289,7 @@ mod tests {
         engine.per_cycle(t, &ftq, &mut mem, &mut fdip_stats, &mut stats);
         assert_eq!(stats.triggers, 2);
         assert!(
-            stats.footprint_lines_enqueued >= 1 + 3,
+            stats.footprint_lines_enqueued > 3,
             "footprint replay: {stats:?}"
         );
     }
@@ -303,7 +306,7 @@ mod tests {
         for _ in 0..10 {
             mem.begin_cycle(now);
             engine.per_cycle(now, &ftq, &mut mem, &mut fdip_stats, &mut stats);
-            now = now + 10;
+            now += 10;
         }
         assert!(stats.issued >= 1);
         assert!(mem.stats().prefetches_issued >= 1);

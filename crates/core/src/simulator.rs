@@ -4,10 +4,10 @@ use fdip_types::{Cycle, TraceInstr};
 
 use crate::backend::Backend;
 use crate::bpu::Bpu;
-use crate::predecode::CodeMap;
 use crate::config::{FrontendConfig, PrefetcherKind};
 use crate::fetch::FetchEngine;
 use crate::ftq::{Ftq, Redirect};
+use crate::predecode::CodeMap;
 use crate::prefetch::{DemandSide, FdipEngine, PifEngine, ShotgunEngine, StreamAdapter};
 use crate::stats::SimStats;
 
@@ -535,7 +535,12 @@ mod tests {
             (trace.len() as u64 - 1_004..=trace.len() as u64 - 1_000).contains(&measured),
             "measured {measured}"
         );
-        assert!(warm.ipc() > cold.ipc(), "warm {} cold {}", warm.ipc(), cold.ipc());
+        assert!(
+            warm.ipc() > cold.ipc(),
+            "warm {} cold {}",
+            warm.ipc(),
+            cold.ipc()
+        );
         assert_eq!(warm.mem.l1_misses, 0, "all misses happen during warmup");
     }
 

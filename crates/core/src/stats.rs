@@ -167,6 +167,66 @@ impl SimStats {
     }
 }
 
+impl fdip_types::ToJson for BranchStats {
+    fn to_json(&self) -> fdip_types::Json {
+        fdip_types::json_fields!(
+            self,
+            branches,
+            conditionals,
+            exec_redirects,
+            decode_redirects,
+            btb_lookups,
+            btb_hits,
+            btb_miss_taken,
+            ras_mispredicts,
+        )
+    }
+}
+
+impl fdip_types::ToJson for FdipStats {
+    fn to_json(&self) -> fdip_types::Json {
+        fdip_types::json_fields!(
+            self,
+            candidates,
+            filtered_recent,
+            filtered_cpf_enqueue,
+            filtered_cpf_remove,
+            dropped_piq_full,
+            enqueued,
+            issued,
+            probe_port_unavailable,
+        )
+    }
+}
+
+impl fdip_types::ToJson for ShotgunStats {
+    fn to_json(&self) -> fdip_types::Json {
+        fdip_types::json_fields!(self, triggers, footprint_lines_enqueued, issued)
+    }
+}
+
+impl fdip_types::ToJson for SimStats {
+    fn to_json(&self) -> fdip_types::Json {
+        fdip_types::json_fields!(
+            self,
+            cycles,
+            instructions,
+            fetch_stall_cycles,
+            icache_stall_cycles,
+            ftq_empty_cycles,
+            ftq_occupancy_sum,
+            branches,
+            mem,
+            bus_busy_cycles,
+            fdip,
+            stream_resets,
+            pif_resets,
+            predecode_installs,
+            shotgun,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

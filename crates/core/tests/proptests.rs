@@ -1,7 +1,9 @@
 //! Property tests for the full simulator: completion, determinism, and
 //! physical plausibility over random configurations and workloads.
 
-use fdip::{BtbVariant, CpfMode, FdipConfig, FrontendConfig, PredictorKind, PrefetcherKind, Simulator};
+use fdip::{
+    BtbVariant, CpfMode, FdipConfig, FrontendConfig, PredictorKind, PrefetcherKind, Simulator,
+};
 use fdip_trace::gen::{GeneratorConfig, Profile};
 use proptest::prelude::*;
 
@@ -20,7 +22,12 @@ fn prefetcher_strategy() -> impl Strategy<Value = PrefetcherKind> {
         Just(PrefetcherKind::NextLine),
         Just(PrefetcherKind::StreamBuffers(Default::default())),
         (0usize..4, any::<bool>(), 0u32..16).prop_map(|(cpf, bus, stall)| {
-            let cpf = [CpfMode::None, CpfMode::Enqueue, CpfMode::Remove, CpfMode::Both][cpf];
+            let cpf = [
+                CpfMode::None,
+                CpfMode::Enqueue,
+                CpfMode::Remove,
+                CpfMode::Both,
+            ][cpf];
             PrefetcherKind::Fdip(FdipConfig {
                 cpf,
                 require_idle_bus: bus,

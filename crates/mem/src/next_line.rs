@@ -78,7 +78,10 @@ mod tests {
             first_reference: false,
             nlp_tagged: false,
         };
-        assert_eq!(t.on_hit(Addr::new(0x1000), &tagged), Some(Addr::new(0x1040)));
+        assert_eq!(
+            t.on_hit(Addr::new(0x1000), &tagged),
+            Some(Addr::new(0x1040))
+        );
         assert_eq!(t.on_hit(Addr::new(0x1000), &untagged), None);
     }
 }

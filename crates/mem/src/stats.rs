@@ -62,6 +62,28 @@ impl MemStats {
     }
 }
 
+impl fdip_types::ToJson for MemStats {
+    fn to_json(&self) -> fdip_types::Json {
+        fdip_types::json_fields!(
+            self,
+            l1_accesses,
+            l1_hits,
+            l1_misses,
+            pb_hits,
+            l2_hits,
+            l2_misses,
+            prefetches_issued,
+            useful_prefetches,
+            late_prefetches,
+            useless_evictions,
+            redundant_prefetch_fills,
+            demand_transfers,
+            prefetch_transfers,
+            victim_hits,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -118,9 +118,10 @@ impl StreamBufferSet {
     /// whether the fill has arrived by `now`.
     pub fn probe_at(&mut self, now: Cycle, addr: Addr) -> Option<StreamHit> {
         let base = addr.block_base(self.config.block_bytes);
-        let idx = self.buffers.iter().position(|b| {
-            b.live && b.entries.front().map(|(a, _)| *a) == Some(base)
-        })?;
+        let idx = self
+            .buffers
+            .iter()
+            .position(|b| b.live && b.entries.front().map(|(a, _)| *a) == Some(base))?;
         let (_, ready) = self.buffers[idx].entries.pop_front().expect("head present");
         self.head_hits += 1;
         self.touch(idx);
@@ -172,7 +173,7 @@ impl StreamBufferSet {
         assert!(b.entries.len() < self.config.depth, "buffer full");
         assert_eq!(block, b.next, "must issue the wanted block");
         b.entries.push_back((block, ready_at));
-        b.next = b.next + self.config.block_bytes;
+        b.next += self.config.block_bytes;
     }
 
     /// Storage in bits: each entry holds a block tag + data is not counted

@@ -5,8 +5,8 @@
 use std::collections::VecDeque;
 
 use fdip_mem::{
-    Cache, CacheGeometry, DemandOutcome, FillFlags, HierarchyConfig, MemoryHierarchy,
-    MshrFile, MissKind, PrefetchOutcome, ReplacementPolicy,
+    Cache, CacheGeometry, DemandOutcome, FillFlags, HierarchyConfig, MemoryHierarchy, MissKind,
+    MshrFile, PrefetchOutcome, ReplacementPolicy,
 };
 use fdip_types::{Addr, Cycle};
 use proptest::prelude::*;
@@ -129,7 +129,7 @@ proptest! {
                     _ => {}
                 }
             }
-            now = now + 3;
+            now += 3;
         }
         let s = mem.stats();
         prop_assert_eq!(s.l1_accesses, demand_accesses);

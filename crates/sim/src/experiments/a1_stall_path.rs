@@ -4,8 +4,9 @@
 use fdip::{FdipConfig, FrontendConfig, PrefetcherKind};
 
 use crate::experiments::{base_config, ExperimentResult};
+use crate::harness::Harness;
 use crate::report::{f3, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -16,8 +17,27 @@ pub const TITLE: &str = "ablation: stall-path sequential prefetch depth";
 
 const DEPTHS: [u32; 4] = [0, 4, 8, 16];
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::Server, scale);
     let mut configs = vec![("base".to_string(), base_config())];
     for depth in DEPTHS {
@@ -29,7 +49,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             })),
         ));
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (server suite geomean)"),
@@ -39,14 +59,14 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let mut speedups = Vec::new();
         let mut issued = 0u64;
         for w in &workloads {
-            let base = &cell(&results, &w.name, "base").stats;
-            let s = &cell(&results, &w.name, &format!("lines{depth}")).stats;
+            let base = &results.cell(&w.name, "base").stats;
+            let s = &results.cell(&w.name, &format!("lines{depth}")).stats;
             speedups.push(s.speedup_over(base));
             issued += s.fdip.issued;
         }
         table.row([depth.to_string(), f3(geomean(speedups)), issued.to_string()]);
     }
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

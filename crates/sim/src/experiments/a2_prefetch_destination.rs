@@ -6,8 +6,9 @@ use fdip::{FrontendConfig, PrefetcherKind};
 use fdip_mem::HierarchyConfig;
 
 use crate::experiments::{base_config, ExperimentResult};
+use crate::harness::Harness;
 use crate::report::{f3, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -23,8 +24,27 @@ const BUFFERS: [(&str, usize); 4] = [
     ("128-block buffer", 128),
 ];
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::Server, scale);
     let mut configs = vec![("base".to_string(), base_config())];
     for (label, blocks) in BUFFERS {
@@ -38,7 +58,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 .with_prefetcher(PrefetcherKind::fdip()),
         ));
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (server suite geomean)"),
@@ -48,8 +68,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let mut speedups = Vec::new();
         let mut pollution = 0u64;
         for w in &workloads {
-            let base = &cell(&results, &w.name, "base").stats;
-            let s = &cell(&results, &w.name, label).stats;
+            let base = &results.cell(&w.name, "base").stats;
+            let s = &results.cell(&w.name, label).stats;
             speedups.push(s.speedup_over(base));
             pollution += s.mem.useless_evictions;
         }
@@ -59,7 +79,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             pollution.to_string(),
         ]);
     }
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

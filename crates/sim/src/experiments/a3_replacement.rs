@@ -4,8 +4,9 @@ use fdip::{FrontendConfig, PrefetcherKind};
 use fdip_mem::{HierarchyConfig, ReplacementPolicy};
 
 use crate::experiments::ExperimentResult;
+use crate::harness::Harness;
 use crate::report::{f3, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -20,8 +21,27 @@ const POLICIES: [(&str, ReplacementPolicy); 3] = [
     ("random", ReplacementPolicy::Random),
 ];
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::Server, scale);
     let mut configs = Vec::new();
     for (label, policy) in POLICIES {
@@ -40,7 +60,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 .with_prefetcher(PrefetcherKind::fdip()),
         ));
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (server suite geomean)"),
@@ -50,8 +70,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let mut speedups = Vec::new();
         let mut mpki = Vec::new();
         for w in &workloads {
-            let base = &cell(&results, &w.name, &format!("base {label}")).stats;
-            let fdip = &cell(&results, &w.name, &format!("fdip {label}")).stats;
+            let base = &results.cell(&w.name, &format!("base {label}")).stats;
+            let fdip = &results.cell(&w.name, &format!("fdip {label}")).stats;
             speedups.push(fdip.speedup_over(base));
             mpki.push(base.l1i_mpki());
         }
@@ -61,7 +81,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             f3(geomean(speedups)),
         ]);
     }
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

@@ -4,8 +4,9 @@
 use fdip::{FrontendConfig, PredictorKind, PrefetcherKind};
 
 use crate::experiments::ExperimentResult;
+use crate::harness::Harness;
 use crate::report::{f3, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -50,8 +51,27 @@ fn predictors() -> Vec<(&'static str, PredictorKind)> {
     ]
 }
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::Server, scale);
     let mut configs = vec![("base".to_string(), FrontendConfig::default())];
     for (name, kind) in predictors() {
@@ -62,7 +82,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 .with_prefetcher(PrefetcherKind::fdip()),
         ));
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (server suite geomean)"),
@@ -72,8 +92,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let mut speedups = Vec::new();
         let mut mpki = Vec::new();
         for w in &workloads {
-            let base = &cell(&results, &w.name, "base").stats;
-            let s = &cell(&results, &w.name, name).stats;
+            let base = &results.cell(&w.name, "base").stats;
+            let s = &results.cell(&w.name, name).stats;
             speedups.push(s.speedup_over(base));
             mpki.push(s.branches.mpki(s.instructions));
         }
@@ -83,7 +103,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             f3(mpki.iter().sum::<f64>() / mpki.len() as f64),
         ]);
     }
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]
@@ -96,10 +116,7 @@ mod tests {
         let rows = &result.tables[0].rows;
         let get = |n: &str| {
             let r = rows.iter().find(|r| r[0] == n).unwrap();
-            (
-                r[1].parse::<f64>().unwrap(),
-                r[2].parse::<f64>().unwrap(),
-            )
+            (r[1].parse::<f64>().unwrap(), r[2].parse::<f64>().unwrap())
         };
         let (gshare_speed, gshare_mpki) = get("gshare");
         let (perfect_speed, perfect_mpki) = get("perfect");

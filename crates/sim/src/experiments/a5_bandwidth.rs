@@ -5,8 +5,9 @@ use fdip::{CpfMode, FrontendConfig, PrefetcherKind};
 use fdip_mem::HierarchyConfig;
 
 use crate::experiments::ExperimentResult;
+use crate::harness::Harness;
 use crate::report::{f3, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -25,8 +26,27 @@ fn techniques() -> Vec<(&'static str, PrefetcherKind)> {
     ]
 }
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::Server, scale);
     let mut configs = Vec::new();
     for cycles in TRANSFER_CYCLES {
@@ -47,7 +67,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             ));
         }
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (server suite geomean)"),
@@ -58,15 +78,15 @@ pub fn run(scale: Scale) -> ExperimentResult {
         for (name, _) in techniques() {
             let mut speedups = Vec::new();
             for w in &workloads {
-                let base = &cell(&results, &w.name, &format!("base {cycles}")).stats;
-                let s = &cell(&results, &w.name, &format!("{name} {cycles}")).stats;
+                let base = &results.cell(&w.name, &format!("base {cycles}")).stats;
+                let s = &results.cell(&w.name, &format!("{name} {cycles}")).stats;
                 speedups.push(s.speedup_over(base));
             }
             row.push(f3(geomean(speedups)));
         }
         table.row(row);
     }
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

@@ -5,8 +5,9 @@ use fdip::{FrontendConfig, PrefetcherKind};
 use fdip_mem::HierarchyConfig;
 
 use crate::experiments::ExperimentResult;
+use crate::harness::Harness;
 use crate::report::{f3, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -17,8 +18,27 @@ pub const TITLE: &str = "ablation: victim cache beside the L1-I";
 
 const SIZES: [usize; 3] = [0, 8, 32];
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::Server, scale);
     let mut configs = Vec::new();
     for blocks in SIZES {
@@ -37,7 +57,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 .with_prefetcher(PrefetcherKind::fdip()),
         ));
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (server suite geomean)"),
@@ -56,9 +76,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let mut speedups = Vec::new();
         let mut victim_hits = 0u64;
         for w in &workloads {
-            let reference = &cell(&results, &w.name, "base v0").stats;
-            let base = &cell(&results, &w.name, &format!("base v{blocks}")).stats;
-            let fdip = &cell(&results, &w.name, &format!("fdip v{blocks}")).stats;
+            let reference = &results.cell(&w.name, "base v0").stats;
+            let base = &results.cell(&w.name, &format!("base v{blocks}")).stats;
+            let fdip = &results.cell(&w.name, &format!("fdip v{blocks}")).stats;
             base_ipc.push(base.ipc());
             fdip_ipc.push(fdip.ipc());
             speedups.push(fdip.speedup_over(reference));
@@ -72,7 +92,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             f3(geomean(speedups)),
         ]);
     }
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

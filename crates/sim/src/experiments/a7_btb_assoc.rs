@@ -5,8 +5,9 @@ use fdip::{BtbVariant, FrontendConfig, PrefetcherKind};
 use fdip_btb::{BtbConfig, TagScheme};
 
 use crate::experiments::ExperimentResult;
+use crate::harness::Harness;
 use crate::report::{f3, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -17,8 +18,27 @@ pub const TITLE: &str = "ablation: BTB associativity at 2K entries";
 
 const WAYS: [usize; 4] = [1, 2, 4, 8];
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::Server, scale);
     let entries = 2048usize;
     let mut configs = vec![("base".to_string(), FrontendConfig::default())];
@@ -31,7 +51,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 .with_prefetcher(PrefetcherKind::fdip()),
         ));
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (server suite geomean)"),
@@ -42,8 +62,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let mut hit = Vec::new();
         let mut decode = Vec::new();
         for w in &workloads {
-            let base = &cell(&results, &w.name, "base").stats;
-            let s = &cell(&results, &w.name, &format!("{ways}-way")).stats;
+            let base = &results.cell(&w.name, "base").stats;
+            let s = &results.cell(&w.name, &format!("{ways}-way")).stats;
             speedups.push(s.speedup_over(base));
             hit.push(s.branches.btb_hit_ratio());
             decode.push(s.branches.decode_redirects as f64 * 1000.0 / s.instructions as f64);
@@ -56,7 +76,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             f3(avg(&decode)),
         ]);
     }
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

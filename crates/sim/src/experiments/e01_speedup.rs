@@ -1,8 +1,9 @@
 //! E1 — FDIP speedup over the no-prefetch baseline, per workload.
 
 use crate::experiments::{base_config, fdip_config, ExperimentResult};
+use crate::harness::Harness;
 use crate::report::{f3, pct, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -11,25 +12,42 @@ pub const ID: &str = "e01";
 /// Experiment title.
 pub const TITLE: &str = "FDIP speedup over no-prefetch baseline";
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::All, scale);
     let configs = vec![
         ("base".to_string(), base_config()),
         ("fdip".to_string(), fdip_config()),
     ];
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE}"),
-        &[
-            "workload", "base IPC", "fdip IPC", "speedup", "gain",
-        ],
+        &["workload", "base IPC", "fdip IPC", "speedup", "gain"],
     );
     let mut speedups = Vec::new();
     for w in &workloads {
-        let base = &cell(&results, &w.name, "base").stats;
-        let fdip = &cell(&results, &w.name, "fdip").stats;
+        let base = &results.cell(&w.name, "base").stats;
+        let fdip = &results.cell(&w.name, "fdip").stats;
         let speedup = fdip.speedup_over(base);
         speedups.push(speedup);
         table.row([
@@ -47,7 +65,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
         f3(geomean(speedups.iter().copied())),
         pct(geomean(speedups.iter().copied()) - 1.0),
     ]);
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

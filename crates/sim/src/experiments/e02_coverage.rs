@@ -1,8 +1,8 @@
 //! E2 — fraction of L1-I misses FDIP eliminates, per workload.
 
 use crate::experiments::{base_config, fdip_config, ExperimentResult};
+use crate::harness::Harness;
 use crate::report::{f3, pct, Table};
-use crate::runner::{cell, run_matrix};
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -11,14 +11,33 @@ pub const ID: &str = "e02";
 /// Experiment title.
 pub const TITLE: &str = "L1-I miss coverage of FDIP";
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::All, scale);
     let configs = vec![
         ("base".to_string(), base_config()),
         ("fdip".to_string(), fdip_config()),
     ];
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE}"),
@@ -32,8 +51,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
         ],
     );
     for w in &workloads {
-        let base = &cell(&results, &w.name, "base").stats;
-        let fdip = &cell(&results, &w.name, "fdip").stats;
+        let base = &results.cell(&w.name, "base").stats;
+        let fdip = &results.cell(&w.name, "fdip").stats;
         table.row([
             w.name.clone(),
             base.mem.l1_misses.to_string(),
@@ -43,7 +62,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             fdip.mem.late_prefetches.to_string(),
         ]);
     }
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

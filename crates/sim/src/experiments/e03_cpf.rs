@@ -3,8 +3,9 @@
 use fdip::{CpfMode, FrontendConfig, PrefetcherKind};
 
 use crate::experiments::{base_config, ExperimentResult};
+use crate::harness::Harness;
 use crate::report::{f3, pct, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -20,8 +21,27 @@ const MODES: [(&str, CpfMode); 4] = [
     ("both", CpfMode::Both),
 ];
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::All, scale);
     let mut configs = vec![("base".to_string(), base_config())];
     for (name, mode) in MODES {
@@ -30,7 +50,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip_with_cpf(mode)),
         ));
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (geomean over suite)"),
@@ -50,8 +70,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let mut bus = Vec::new();
         let mut filtered = 0u64;
         for w in &workloads {
-            let base = &cell(&results, &w.name, "base").stats;
-            let s = &cell(&results, &w.name, name).stats;
+            let base = &results.cell(&w.name, "base").stats;
+            let s = &results.cell(&w.name, name).stats;
             speedups.push(s.speedup_over(base));
             issued += s.mem.prefetches_issued;
             useful += s.mem.useful_prefetches;
@@ -72,7 +92,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             filtered.to_string(),
         ]);
     }
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

@@ -4,8 +4,9 @@
 use fdip::{CpfMode, FrontendConfig, PrefetcherKind};
 
 use crate::experiments::{base_config, ExperimentResult};
+use crate::harness::Harness;
 use crate::report::{ascii_chart, f3, Series, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -42,12 +43,31 @@ pub fn techniques() -> Vec<(String, FrontendConfig)> {
     ]
 }
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::All, scale);
     let mut configs = vec![("base".to_string(), base_config())];
     configs.extend(techniques());
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let technique_names: Vec<String> = techniques().into_iter().map(|(n, _)| n).collect();
     let mut headers: Vec<&str> = vec!["workload"];
@@ -64,10 +84,10 @@ pub fn run(scale: Scale) -> ExperimentResult {
         .collect();
     let mut per_technique: Vec<Vec<f64>> = vec![Vec::new(); technique_names.len()];
     for w in &workloads {
-        let base = &cell(&results, &w.name, "base").stats;
+        let base = &results.cell(&w.name, "base").stats;
         let mut row = vec![w.name.clone()];
         for (i, name) in technique_names.iter().enumerate() {
-            let speedup = cell(&results, &w.name, name).stats.speedup_over(base);
+            let speedup = results.cell(&w.name, name).stats.speedup_over(base);
             per_technique[i].push(speedup);
             series[i].points.push((w.name.clone(), speedup));
             row.push(f3(speedup));
@@ -81,10 +101,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
     table.row(geo);
 
     let chart = ascii_chart(&format!("{ID}: {TITLE}"), &series, "speedup over baseline");
-    ExperimentResult {
-        tables: vec![table],
-        chart: Some(chart),
-    }
+    ExperimentResult::tables(vec![table])
+        .with_chart(chart)
+        .with_cells(results.into_cells())
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! E5 — L1–L2 bus utilization and traffic breakdown per technique.
 
 use crate::experiments::{base_config, e04_techniques, ExperimentResult};
+use crate::harness::Harness;
 use crate::report::{pct, Table};
-use crate::runner::{cell, run_matrix};
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -11,12 +11,31 @@ pub const ID: &str = "e05";
 /// Experiment title.
 pub const TITLE: &str = "bus utilization per technique";
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::Server, scale);
     let mut configs = vec![("base".to_string(), base_config())];
     configs.extend(e04_techniques::techniques());
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (server suite totals)"),
@@ -34,7 +53,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let mut prefetch = 0u64;
         let mut redundant = 0u64;
         for w in &workloads {
-            let s = &cell(&results, &w.name, name).stats;
+            let s = &results.cell(&w.name, name).stats;
             util.push(s.bus_utilization());
             demand += s.mem.demand_transfers;
             prefetch += s.mem.prefetch_transfers;
@@ -48,7 +67,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             redundant.to_string(),
         ]);
     }
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]
@@ -67,6 +86,9 @@ mod tests {
         let fdip_demand: u64 = fdip[2].parse().unwrap();
         let fdip_prefetch: u64 = fdip[3].parse().unwrap();
         assert!(fdip_prefetch > 0);
-        assert!(fdip_demand < base_demand, "prefetching absorbs demand misses");
+        assert!(
+            fdip_demand < base_demand,
+            "prefetching absorbs demand misses"
+        );
     }
 }

@@ -4,9 +4,10 @@ use fdip::{FrontendConfig, PrefetcherKind};
 use fdip_mem::HierarchyConfig;
 
 use crate::experiments::ExperimentResult;
-use crate::report::{f3, Series, Table};
+use crate::harness::Harness;
 use crate::report::ascii_chart;
-use crate::runner::{cell, geomean, run_matrix};
+use crate::report::{f3, Series, Table};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -22,8 +23,27 @@ const POINTS: [(&str, u64, u64); 4] = [
     ("slower (48/480)", 48, 480),
 ];
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::Server, scale);
     let mut configs = Vec::new();
     for (label, l2, mem) in POINTS {
@@ -43,7 +63,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 .with_prefetcher(PrefetcherKind::fdip()),
         ));
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (server suite geomean)"),
@@ -58,8 +78,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let mut base_ipc = Vec::new();
         let mut fdip_ipc = Vec::new();
         for w in &workloads {
-            let base = &cell(&results, &w.name, &format!("base {label}")).stats;
-            let fdip = &cell(&results, &w.name, &format!("fdip {label}")).stats;
+            let base = &results.cell(&w.name, &format!("base {label}")).stats;
+            let fdip = &results.cell(&w.name, &format!("fdip {label}")).stats;
             speedups.push(fdip.speedup_over(base));
             base_ipc.push(base.ipc());
             fdip_ipc.push(fdip.ipc());
@@ -74,10 +94,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
         ]);
     }
     let chart = ascii_chart(&format!("{ID}: {TITLE}"), &[series], "speedup");
-    ExperimentResult {
-        tables: vec![table],
-        chart: Some(chart),
-    }
+    ExperimentResult::tables(vec![table])
+        .with_chart(chart)
+        .with_cells(results.into_cells())
 }
 
 #[cfg(test)]

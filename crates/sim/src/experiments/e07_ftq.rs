@@ -3,8 +3,9 @@
 use fdip::{FrontendConfig, PrefetcherKind};
 
 use crate::experiments::ExperimentResult;
+use crate::harness::Harness;
 use crate::report::{ascii_chart, f3, Series, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -15,8 +16,27 @@ pub const TITLE: &str = "speedup vs FTQ depth";
 
 const DEPTHS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::Server, scale);
     let mut configs = vec![("base".to_string(), FrontendConfig::default())];
     for depth in DEPTHS {
@@ -27,7 +47,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 .with_ftq_entries(depth),
         ));
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (server suite geomean)"),
@@ -47,8 +67,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let mut occupancy = Vec::new();
         let mut issued = 0u64;
         for w in &workloads {
-            let base = &cell(&results, &w.name, "base").stats;
-            let s = &cell(&results, &w.name, &format!("ftq{depth}")).stats;
+            let base = &results.cell(&w.name, "base").stats;
+            let s = &results.cell(&w.name, &format!("ftq{depth}")).stats;
             speedups.push(s.speedup_over(base));
             occupancy.push(s.mean_ftq_occupancy());
             issued += s.fdip.issued;
@@ -63,10 +83,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
         ]);
     }
     let chart = ascii_chart(&format!("{ID}: {TITLE}"), &[series], "speedup");
-    ExperimentResult {
-        tables: vec![table],
-        chart: Some(chart),
-    }
+    ExperimentResult::tables(vec![table])
+        .with_chart(chart)
+        .with_cells(results.into_cells())
 }
 
 #[cfg(test)]

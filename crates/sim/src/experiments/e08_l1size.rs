@@ -5,8 +5,9 @@ use fdip::{FrontendConfig, PrefetcherKind};
 use fdip_mem::{CacheGeometry, HierarchyConfig};
 
 use crate::experiments::ExperimentResult;
+use crate::harness::Harness;
 use crate::report::{f3, pct, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -17,8 +18,27 @@ pub const TITLE: &str = "speedup vs L1-I capacity";
 
 const SIZES_KB: [u64; 4] = [8, 16, 32, 64];
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::Server, scale);
     let mut configs = Vec::new();
     for kb in SIZES_KB {
@@ -37,7 +57,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 .with_prefetcher(PrefetcherKind::fdip()),
         ));
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (server suite geomean)"),
@@ -48,8 +68,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let mut mpki = Vec::new();
         let mut coverage = Vec::new();
         for w in &workloads {
-            let base = &cell(&results, &w.name, &format!("base {kb}KB")).stats;
-            let fdip = &cell(&results, &w.name, &format!("fdip {kb}KB")).stats;
+            let base = &results.cell(&w.name, &format!("base {kb}KB")).stats;
+            let fdip = &results.cell(&w.name, &format!("fdip {kb}KB")).stats;
             speedups.push(fdip.speedup_over(base));
             mpki.push(base.l1i_mpki());
             coverage.push(fdip.miss_coverage_vs(base));
@@ -61,7 +81,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             pct(coverage.iter().sum::<f64>() / coverage.len() as f64),
         ]);
     }
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! E9 — prefetch quality breakdown: accuracy, timeliness, pollution.
 
 use crate::experiments::{base_config, e04_techniques, ExperimentResult};
+use crate::harness::Harness;
 use crate::report::{pct, Table};
-use crate::runner::{cell, run_matrix};
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -11,12 +11,31 @@ pub const ID: &str = "e09";
 /// Experiment title.
 pub const TITLE: &str = "prefetch accuracy / timeliness / pollution";
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::Server, scale);
     let mut configs = vec![("base".to_string(), base_config())];
     configs.extend(e04_techniques::techniques());
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (server suite totals)"),
@@ -37,7 +56,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let mut redundant = 0u64;
         let mut useless = 0u64;
         for w in &workloads {
-            let s = &cell(&results, &w.name, name).stats;
+            let s = &results.cell(&w.name, name).stats;
             issued += s.mem.prefetches_issued;
             useful += s.mem.useful_prefetches;
             late += s.mem.late_prefetches;
@@ -59,7 +78,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             useless.to_string(),
         ]);
     }
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

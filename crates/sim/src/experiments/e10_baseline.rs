@@ -3,8 +3,8 @@
 use fdip_types::BranchClass;
 
 use crate::experiments::{base_config, ExperimentResult};
+use crate::harness::Harness;
 use crate::report::{f3, Table};
-use crate::runner::{cell, run_matrix};
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -13,11 +13,30 @@ pub const ID: &str = "e10";
 /// Experiment title.
 pub const TITLE: &str = "workload characterization & baseline statistics";
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::All, scale);
     let configs = vec![("base".to_string(), base_config())];
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut characterization = Table::new(
         format!("{ID}a: workload characterization"),
@@ -42,7 +61,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
         ],
     );
     for w in &workloads {
-        let r = cell(&results, &w.name, "base");
+        let r = results.cell(&w.name, "base");
         let t = &r.trace_stats;
         characterization.row([
             w.name.clone(),
@@ -68,7 +87,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
         &["workload", "cond", "jump", "call", "icall", "ret", "ijump"],
     );
     for w in &workloads {
-        let t = &cell(&results, &w.name, "base").trace_stats;
+        let t = &results.cell(&w.name, "base").trace_stats;
         let total = t.mix.total().max(1) as f64;
         let mut row = vec![w.name.clone()];
         for class in BranchClass::ALL {
@@ -77,7 +96,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
         mix.row(row);
     }
 
-    ExperimentResult::tables(vec![characterization, baseline, mix])
+    ExperimentResult::tables(vec![characterization, baseline, mix]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

@@ -8,8 +8,11 @@
 //! `a1`–`a7` are ablations of design choices this reproduction had to
 //! make.
 //!
-//! Every module exposes `ID`, `TITLE`, and `run(Scale) -> ExperimentResult`;
-//! [`all`] returns the full registry in run order.
+//! Every module exposes `ID`, `TITLE`, a `Def` unit struct implementing
+//! [`Experiment`], and a `run(Scale)` convenience wrapper over the
+//! process-wide [`Harness`]; [`all`] returns the registry in run order and
+//! [`find`] resolves one entry by id. `exp_all`, the per-experiment
+//! binaries, and the `fdip tables` CLI subcommand all drive this registry.
 
 pub mod a1_stall_path;
 pub mod a2_prefetch_destination;
@@ -38,17 +41,42 @@ pub mod x7_boomerang;
 pub mod x8_shotgun;
 
 use fdip::{FrontendConfig, PrefetcherKind};
+use fdip_types::{Json, ToJson};
 
+use crate::harness::Harness;
 use crate::report::Table;
+use crate::runner::RunResult;
 use crate::Scale;
 
-/// Output of one experiment: tables plus an optional ASCII figure.
+/// Version of the persisted `results/*.json` document layout. Bump when
+/// renaming or re-shaping fields so downstream readers can dispatch.
+pub const RESULTS_SCHEMA_VERSION: u64 = 1;
+
+/// One catalogue entry: an identity plus a harness-driven runner.
+///
+/// Implementations are the per-module `Def` unit structs; consumers get
+/// them from [`all`] / [`find`] and never name concrete types.
+pub trait Experiment: Sync {
+    /// Stable id, e.g. `e01` — the `results/` file stem.
+    fn id(&self) -> &'static str;
+    /// Human-readable title.
+    fn title(&self) -> &'static str;
+    /// Runs the experiment at `scale`, sourcing all simulation through
+    /// `harness` so traces and identical cells are shared process-wide.
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult;
+}
+
+/// Output of one experiment: tables, an optional ASCII figure, and the raw
+/// per-cell results behind them (for JSON persistence).
 #[derive(Clone, Debug)]
 pub struct ExperimentResult {
     /// Tables, in presentation order.
     pub tables: Vec<Table>,
     /// Rendered ASCII chart, for figure-type experiments.
     pub chart: Option<String>,
+    /// The matrix cells the tables were derived from (empty for
+    /// storage-arithmetic experiments that simulate nothing).
+    pub cells: Vec<RunResult>,
 }
 
 impl ExperimentResult {
@@ -57,7 +85,32 @@ impl ExperimentResult {
         ExperimentResult {
             tables,
             chart: None,
+            cells: Vec::new(),
         }
+    }
+
+    /// Attaches a rendered chart.
+    pub fn with_chart(mut self, chart: String) -> ExperimentResult {
+        self.chart = Some(chart);
+        self
+    }
+
+    /// Attaches the raw matrix cells for machine-readable persistence.
+    pub fn with_cells(mut self, cells: Vec<RunResult>) -> ExperimentResult {
+        self.cells = cells;
+        self
+    }
+
+    /// The versioned machine-readable document for `results/<id>.json`.
+    pub fn to_json(&self, id: &str, title: &str) -> Json {
+        Json::obj([
+            ("schema_version", Json::uint(RESULTS_SCHEMA_VERSION)),
+            ("id", Json::str(id)),
+            ("title", Json::str(title)),
+            ("tables", self.tables.to_json()),
+            ("chart", self.chart.to_json()),
+            ("cells", self.cells.to_json()),
+        ])
     }
 
     /// Renders everything as one text block.
@@ -75,47 +128,40 @@ impl ExperimentResult {
     }
 }
 
-/// The registry: `(id, title, runner)` in run order.
-pub fn all() -> Vec<(&'static str, &'static str, fn(Scale) -> ExperimentResult)> {
+/// The registry, in run order.
+pub fn all() -> Vec<&'static dyn Experiment> {
     vec![
-        (e01_speedup::ID, e01_speedup::TITLE, e01_speedup::run),
-        (e02_coverage::ID, e02_coverage::TITLE, e02_coverage::run),
-        (e03_cpf::ID, e03_cpf::TITLE, e03_cpf::run),
-        (e04_techniques::ID, e04_techniques::TITLE, e04_techniques::run),
-        (e05_bus::ID, e05_bus::TITLE, e05_bus::run),
-        (e06_latency::ID, e06_latency::TITLE, e06_latency::run),
-        (e07_ftq::ID, e07_ftq::TITLE, e07_ftq::run),
-        (e08_l1size::ID, e08_l1size::TITLE, e08_l1size::run),
-        (e09_breakdown::ID, e09_breakdown::TITLE, e09_breakdown::run),
-        (e10_baseline::ID, e10_baseline::TITLE, e10_baseline::run),
-        (x1_offsets::ID, x1_offsets::TITLE, x1_offsets::run),
-        (x2_storage_bb::ID, x2_storage_bb::TITLE, x2_storage_bb::run),
-        (x3_storage_x::ID, x3_storage_x::TITLE, x3_storage_x::run),
-        (
-            x4_client_budget::ID,
-            x4_client_budget::TITLE,
-            x4_client_budget::run,
-        ),
-        (
-            x5_server_budget::ID,
-            x5_server_budget::TITLE,
-            x5_server_budget::run,
-        ),
-        (x6_tags::ID, x6_tags::TITLE, x6_tags::run),
-        (x7_boomerang::ID, x7_boomerang::TITLE, x7_boomerang::run),
-        (x8_shotgun::ID, x8_shotgun::TITLE, x8_shotgun::run),
-        (a1_stall_path::ID, a1_stall_path::TITLE, a1_stall_path::run),
-        (
-            a2_prefetch_destination::ID,
-            a2_prefetch_destination::TITLE,
-            a2_prefetch_destination::run,
-        ),
-        (a3_replacement::ID, a3_replacement::TITLE, a3_replacement::run),
-        (a4_predictor::ID, a4_predictor::TITLE, a4_predictor::run),
-        (a5_bandwidth::ID, a5_bandwidth::TITLE, a5_bandwidth::run),
-        (a6_victim::ID, a6_victim::TITLE, a6_victim::run),
-        (a7_btb_assoc::ID, a7_btb_assoc::TITLE, a7_btb_assoc::run),
+        &e01_speedup::Def,
+        &e02_coverage::Def,
+        &e03_cpf::Def,
+        &e04_techniques::Def,
+        &e05_bus::Def,
+        &e06_latency::Def,
+        &e07_ftq::Def,
+        &e08_l1size::Def,
+        &e09_breakdown::Def,
+        &e10_baseline::Def,
+        &x1_offsets::Def,
+        &x2_storage_bb::Def,
+        &x3_storage_x::Def,
+        &x4_client_budget::Def,
+        &x5_server_budget::Def,
+        &x6_tags::Def,
+        &x7_boomerang::Def,
+        &x8_shotgun::Def,
+        &a1_stall_path::Def,
+        &a2_prefetch_destination::Def,
+        &a3_replacement::Def,
+        &a4_predictor::Def,
+        &a5_bandwidth::Def,
+        &a6_victim::Def,
+        &a7_btb_assoc::Def,
     ]
+}
+
+/// Resolves one registry entry by id.
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    all().into_iter().find(|e| e.id() == id)
 }
 
 /// The no-prefetch baseline machine.
@@ -164,7 +210,7 @@ mod tests {
     fn registry_ids_are_unique_and_ordered() {
         let reg = all();
         assert_eq!(reg.len(), 25);
-        let mut ids: Vec<_> = reg.iter().map(|(id, _, _)| *id).collect();
+        let mut ids: Vec<_> = reg.iter().map(|e| e.id()).collect();
         let sorted_unique = {
             let mut v = ids.clone();
             v.sort();

@@ -1,9 +1,8 @@
 //! X1 — branch target offset distribution ("Revisited" Figure 3): the
 //! insight motivating the partitioned BTB.
 
-use fdip_trace::TraceStats;
-
 use crate::experiments::ExperimentResult;
+use crate::harness::Harness;
 use crate::report::{pct, Table};
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -13,8 +12,27 @@ pub const ID: &str = "x1";
 /// Experiment title.
 pub const TITLE: &str = "branch target offset distribution (Fig. 3)";
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::All, scale);
 
     let mut table = Table::new(
@@ -33,8 +51,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
         &["bits", "fraction"],
     );
     for (index, w) in workloads.iter().enumerate() {
-        let trace = w.generate(scale.trace_len);
-        let stats = TraceStats::measure(&trace);
+        let entry = harness.trace(w, scale.trace_len);
+        let stats = &entry.stats;
         let c8 = stats.offsets.cumulative_fraction(8);
         let c13 = stats.offsets.cumulative_fraction(13);
         let c23 = stats.offsets.cumulative_fraction(23);

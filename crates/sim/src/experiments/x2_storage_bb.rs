@@ -4,6 +4,7 @@
 use fdip_btb::storage::bb_btb_table;
 
 use crate::experiments::ExperimentResult;
+use crate::harness::Harness;
 use crate::report::Table;
 use crate::Scale;
 
@@ -12,8 +13,27 @@ pub const ID: &str = "x2";
 /// Experiment title.
 pub const TITLE: &str = "storage breakdown, basic-block BTB (Table I)";
 
-/// Runs the experiment.
-pub fn run(_scale: Scale) -> ExperimentResult {
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment (pure arithmetic; the harness is unused).
+pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(_harness: &Harness, _scale: Scale) -> ExperimentResult {
     let mut table = Table::new(
         format!("{ID}: {TITLE}"),
         &["entries", "organization", "entry size (bits)", "total"],
@@ -34,7 +54,7 @@ pub fn run(_scale: Scale) -> ExperimentResult {
 }
 
 fn format_entries(entries: usize) -> String {
-    if entries % 1024 == 0 {
+    if entries.is_multiple_of(1024) {
         format!("{}K", entries / 1024)
     } else {
         entries.to_string()

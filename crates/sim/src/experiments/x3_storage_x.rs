@@ -4,6 +4,7 @@
 use fdip_btb::storage::fdipx_table;
 
 use crate::experiments::ExperimentResult;
+use crate::harness::Harness;
 use crate::report::{f3, kb, Table};
 use crate::Scale;
 
@@ -12,8 +13,27 @@ pub const ID: &str = "x3";
 /// Experiment title.
 pub const TITLE: &str = "FDIP-X budget distribution (Table II)";
 
-/// Runs the experiment.
-pub fn run(_scale: Scale) -> ExperimentResult {
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment (pure arithmetic; the harness is unused).
+pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(_harness: &Harness, _scale: Scale) -> ExperimentResult {
     let mut table = Table::new(
         format!("{ID}: {TITLE}"),
         &[

@@ -12,8 +12,9 @@ use fdip::{BtbVariant, FrontendConfig, PifConfig, PrefetcherKind};
 use fdip_btb::storage::bb_btb_row;
 
 use crate::experiments::{budget_label, ExperimentResult, BUDGET_ENTRIES};
+use crate::harness::Harness;
 use crate::report::{ascii_chart, f3, Series, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -22,9 +23,28 @@ pub const ID: &str = "x4";
 /// Experiment title.
 pub const TITLE: &str = "FDIP / FDIP-X / PIF vs storage budget, client traces (Fig. 5)";
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
-    budget_sweep(ID, TITLE, SuiteKind::Client, scale)
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
+    budget_sweep(harness, ID, TITLE, SuiteKind::Client, scale)
 }
 
 /// Bits one PIF history block costs (see `PifEngine::storage_bits`).
@@ -53,6 +73,7 @@ fn btb_for_budget(entries: Option<usize>, partitioned: bool) -> BtbVariant {
 }
 
 pub(crate) fn budget_sweep(
+    harness: &Harness,
     id: &str,
     title: &str,
     kind: SuiteKind,
@@ -85,7 +106,7 @@ pub(crate) fn budget_sweep(
                 .with_prefetcher(PrefetcherKind::Pif(pif_for_budget(entries))),
         ));
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{id}: {title} (% gain over same-budget no-prefetch)"),
@@ -104,8 +125,8 @@ pub(crate) fn budget_sweep(
         for (i, name) in ["fdip", "fdip-x", "pif"].iter().enumerate() {
             let mut speedups = Vec::new();
             for w in &workloads {
-                let base = &cell(&results, &w.name, &format!("base {label}")).stats;
-                let s = &cell(&results, &w.name, &format!("{name} {label}")).stats;
+                let base = &results.cell(&w.name, &format!("base {label}")).stats;
+                let s = &results.cell(&w.name, &format!("{name} {label}")).stats;
                 speedups.push(s.speedup_over(base));
             }
             let gain = (geomean(speedups) - 1.0) * 100.0;
@@ -115,10 +136,9 @@ pub(crate) fn budget_sweep(
         table.row(row);
     }
     let chart = ascii_chart(&format!("{id}: {title}"), &series, "% gain");
-    ExperimentResult {
-        tables: vec![table],
-        chart: Some(chart),
-    }
+    ExperimentResult::tables(vec![table])
+        .with_chart(chart)
+        .with_cells(results.into_cells())
 }
 
 #[cfg(test)]

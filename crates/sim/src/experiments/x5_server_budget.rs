@@ -3,6 +3,7 @@
 
 use crate::experiments::x4_client_budget::budget_sweep;
 use crate::experiments::ExperimentResult;
+use crate::harness::Harness;
 use crate::workload::SuiteKind;
 use crate::Scale;
 
@@ -11,9 +12,28 @@ pub const ID: &str = "x5";
 /// Experiment title.
 pub const TITLE: &str = "FDIP / FDIP-X / PIF vs storage budget, server traces (Fig. 6)";
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
-    budget_sweep(ID, TITLE, SuiteKind::Server, scale)
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
+    budget_sweep(harness, ID, TITLE, SuiteKind::Server, scale)
 }
 
 #[cfg(test)]

@@ -6,8 +6,9 @@ use fdip::{BtbVariant, FrontendConfig, PrefetcherKind};
 use fdip_btb::{PartitionConfig, TagScheme};
 
 use crate::experiments::ExperimentResult;
+use crate::harness::Harness;
 use crate::report::{f3, kb, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -16,8 +17,27 @@ pub const ID: &str = "x6";
 /// Experiment title.
 pub const TITLE: &str = "16-bit compressed tags vs full tags (Fig. 7)";
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::All, scale);
     let smallest = 1024;
     let compressed = PartitionConfig::from_bb_entries(smallest);
@@ -37,7 +57,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 .with_prefetcher(PrefetcherKind::fdip()),
         ),
     ];
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} — smallest budget"),
@@ -46,9 +66,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
     let mut c16_all = Vec::new();
     let mut full_all = Vec::new();
     for w in &workloads {
-        let base = &cell(&results, &w.name, "base").stats;
-        let c16 = cell(&results, &w.name, "c16").stats.speedup_over(base);
-        let full = cell(&results, &w.name, "full").stats.speedup_over(base);
+        let base = &results.cell(&w.name, "base").stats;
+        let c16 = results.cell(&w.name, "c16").stats.speedup_over(base);
+        let full = results.cell(&w.name, "full").stats.speedup_over(base);
         c16_all.push(c16);
         full_all.push(full);
         table.row([
@@ -81,7 +101,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
         kb(PartitionedBtb::new(full).storage_bits() / 8),
     ]);
 
-    ExperimentResult::tables(vec![table, storage])
+    ExperimentResult::tables(vec![table, storage]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

@@ -5,8 +5,9 @@
 use fdip::{BtbVariant, FrontendConfig, PrefetcherKind};
 
 use crate::experiments::ExperimentResult;
+use crate::harness::Harness;
 use crate::report::{f3, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -17,8 +18,27 @@ pub const TITLE: &str = "predecode BTB fill (Boomerang extension)";
 
 const BUDGETS: [usize; 4] = [512, 1024, 2048, 8192];
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::Server, scale);
     let mut configs = Vec::new();
     for entries in BUDGETS {
@@ -40,7 +60,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
                 .with_predecode_btb_fill(true),
         ));
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE} (server suite geomean)"),
@@ -60,9 +80,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
         let mut boom_decode = Vec::new();
         let mut installs = 0u64;
         for w in &workloads {
-            let base = &cell(&results, &w.name, &format!("base {entries}")).stats;
-            let fdip = &cell(&results, &w.name, &format!("fdip {entries}")).stats;
-            let boom = &cell(&results, &w.name, &format!("boomerang {entries}")).stats;
+            let base = &results.cell(&w.name, &format!("base {entries}")).stats;
+            let fdip = &results.cell(&w.name, &format!("fdip {entries}")).stats;
+            let boom = &results.cell(&w.name, &format!("boomerang {entries}")).stats;
             fdip_speed.push(fdip.speedup_over(base));
             boom_speed.push(boom.speedup_over(base));
             fdip_decode
@@ -81,7 +101,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             installs.to_string(),
         ]);
     }
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

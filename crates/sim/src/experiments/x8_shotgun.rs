@@ -5,8 +5,9 @@
 use fdip::{FrontendConfig, PrefetcherKind, ShotgunConfig};
 
 use crate::experiments::{base_config, ExperimentResult};
+use crate::harness::Harness;
 use crate::report::{f3, pct, Table};
-use crate::runner::{cell, geomean, run_matrix};
+use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -17,8 +18,27 @@ pub const TITLE: &str = "Shotgun-lite spatial footprints over FDIP";
 
 const REGION_TABLES: [usize; 3] = [128, 512, 2048];
 
-/// Runs the experiment.
+/// Registry entry.
+pub struct Def;
+
+impl super::Experiment for Def {
+    fn id(&self) -> &'static str {
+        ID
+    }
+    fn title(&self) -> &'static str {
+        TITLE
+    }
+    fn run(&self, harness: &Harness, scale: Scale) -> ExperimentResult {
+        run_with(harness, scale)
+    }
+}
+
+/// Runs the experiment on the process-wide shared harness.
 pub fn run(scale: Scale) -> ExperimentResult {
+    run_with(Harness::global(), scale)
+}
+
+fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let workloads = suite(SuiteKind::All, scale);
     let mut configs = vec![
         ("base".to_string(), base_config()),
@@ -39,7 +59,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
             )),
         ));
     }
-    let results = run_matrix(&workloads, scale.trace_len, &configs);
+    let results = harness.run_matrix(&workloads, scale.trace_len, &configs);
 
     let mut table = Table::new(
         format!("{ID}: {TITLE}"),
@@ -56,18 +76,18 @@ pub fn run(scale: Scale) -> ExperimentResult {
     let mut fdip_all = Vec::new();
     let mut shotgun_all = vec![Vec::new(); REGION_TABLES.len()];
     for w in &workloads {
-        let base = &cell(&results, &w.name, "base").stats;
-        let fdip = &cell(&results, &w.name, "fdip").stats;
+        let base = &results.cell(&w.name, "base").stats;
+        let fdip = &results.cell(&w.name, "fdip").stats;
         let fdip_speed = fdip.speedup_over(base);
         fdip_all.push(fdip_speed);
         let mut row = vec![w.name.clone(), f3(fdip_speed)];
         for (i, regions) in REGION_TABLES.iter().enumerate() {
-            let s = &cell(&results, &w.name, &format!("shotgun {regions}")).stats;
+            let s = &results.cell(&w.name, &format!("shotgun {regions}")).stats;
             let speed = s.speedup_over(base);
             shotgun_all[i].push(speed);
             row.push(f3(speed));
         }
-        let mid = &cell(&results, &w.name, "shotgun 512").stats;
+        let mid = &results.cell(&w.name, "shotgun 512").stats;
         row.push(pct(fdip.miss_coverage_vs(base)));
         row.push(pct(mid.miss_coverage_vs(base)));
         table.row(row);
@@ -79,7 +99,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
     geo.push(String::new());
     geo.push(String::new());
     table.row(geo);
-    ExperimentResult::tables(vec![table])
+    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
 }
 
 #[cfg(test)]

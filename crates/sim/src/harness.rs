@@ -1,0 +1,425 @@
+//! The shared experiment harness: trace store, content-keyed cell cache,
+//! and a cell-granular deterministic scheduler.
+//!
+//! Every experiment in the catalogue ultimately evaluates *cells* — one
+//! `(workload, config)` simulation over a generated trace. Before this
+//! harness existed each experiment regenerated its suite traces and
+//! re-simulated overlapping cells from scratch; `exp_all` generated the
+//! full-suite traces ~25 times over and ran the no-prefetch baseline a
+//! dozen times per workload. The harness makes both kinds of redundant
+//! work structurally impossible within a process:
+//!
+//! * the **trace store** generates each `(workload, trace_len)` trace at
+//!   most once and shares it as an [`Arc<TraceEntry>`];
+//! * the **cell cache** keys finished simulations by *content* — workload
+//!   name, trace length, and the config's full debug rendering — so a
+//!   config reused under a different label (every experiment names the
+//!   baseline differently) still hits;
+//! * the **scheduler** hands out individual cells to worker threads
+//!   work-stealing style, then assembles results in workload-major input
+//!   order, so output is byte-identical regardless of thread count
+//!   (covered by `determinism.rs`).
+//!
+//! [`Harness::stats`] exposes hit/miss counters; the acceptance test in
+//! `tests/experiment_smoke.rs` uses them to prove `exp_all` simulates no
+//! duplicate cell.
+//!
+//! # Examples
+//!
+//! ```
+//! use fdip::FrontendConfig;
+//! use fdip_sim::harness::Harness;
+//! use fdip_sim::workload::{suite, SuiteKind};
+//! use fdip_sim::Scale;
+//!
+//! let harness = Harness::new();
+//! let workloads = suite(SuiteKind::Client, Scale::quick());
+//! let configs = vec![("base".to_string(), FrontendConfig::default())];
+//! let first = harness.run_matrix(&workloads, 10_000, &configs);
+//! let again = harness.run_matrix(&workloads, 10_000, &configs);
+//! assert_eq!(first.cell("client-1", "base").stats, again.cell("client-1", "base").stats);
+//! assert_eq!(harness.stats().cells_simulated, 1);
+//! assert_eq!(harness.stats().cell_hits, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use fdip::{FrontendConfig, SimStats, Simulator};
+use fdip_trace::{Trace, TraceStats};
+
+use crate::runner::RunResult;
+use crate::workload::WorkloadSpec;
+
+/// A generated trace plus its one-pass characterization, shared read-only
+/// across every experiment in the process.
+#[derive(Debug)]
+pub struct TraceEntry {
+    /// The workload this trace realizes.
+    pub spec: WorkloadSpec,
+    /// The generated trace.
+    pub trace: Trace,
+    /// Its measured statistics.
+    pub stats: TraceStats,
+}
+
+/// Snapshot of the harness's cache counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct HarnessStats {
+    /// Traces actually generated (trace-store misses).
+    pub traces_generated: u64,
+    /// Trace requests served from the store.
+    pub trace_hits: u64,
+    /// Cells actually simulated (cell-cache misses).
+    pub cells_simulated: u64,
+    /// Cell requests served from the cache.
+    pub cell_hits: u64,
+}
+
+/// Identifies a trace by content: workload name (which fixes profile and
+/// seed) and target length.
+type TraceKey = (String, usize);
+
+/// Identifies a cell by content: workload name, target length, and the
+/// configuration's full `Debug` rendering.
+///
+/// `FrontendConfig` holds `f64` fields, so it cannot derive `Hash`/`Eq`;
+/// its derived `Debug` output enumerates every field and Rust's float
+/// `Debug` is shortest-round-trip, so the rendering is a faithful
+/// fingerprint of the config's content.
+type CellKey = (String, usize, String);
+
+type Slot<T> = Arc<OnceLock<T>>;
+
+/// The process-wide experiment execution engine. See the module docs.
+#[derive(Default)]
+pub struct Harness {
+    traces: Mutex<HashMap<TraceKey, Slot<Arc<TraceEntry>>>>,
+    cells: Mutex<HashMap<CellKey, Slot<Arc<SimStats>>>>,
+    /// Worker-thread override; `None` means `available_parallelism()`.
+    threads: Option<usize>,
+    traces_generated: AtomicU64,
+    trace_hits: AtomicU64,
+    cells_simulated: AtomicU64,
+    cell_hits: AtomicU64,
+}
+
+impl Harness {
+    /// An empty harness sized to the machine's parallelism.
+    pub fn new() -> Harness {
+        Harness::default()
+    }
+
+    /// An empty harness pinned to exactly `threads` worker threads
+    /// (`1` runs everything inline on the calling thread).
+    pub fn with_threads(threads: usize) -> Harness {
+        Harness {
+            threads: Some(threads.max(1)),
+            ..Harness::default()
+        }
+    }
+
+    /// The process-wide shared harness: every experiment run through the
+    /// registry uses this instance, so traces and cells are shared across
+    /// experiments, not just within one.
+    pub fn global() -> &'static Harness {
+        static GLOBAL: OnceLock<Harness> = OnceLock::new();
+        GLOBAL.get_or_init(Harness::new)
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> HarnessStats {
+        HarnessStats {
+            traces_generated: self.traces_generated.load(Ordering::Relaxed),
+            trace_hits: self.trace_hits.load(Ordering::Relaxed),
+            cells_simulated: self.cells_simulated.load(Ordering::Relaxed),
+            cell_hits: self.cell_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The trace for `spec` at `trace_len`, generating it on first request
+    /// and sharing the same allocation afterwards.
+    ///
+    /// Concurrent first requests are deduplicated: exactly one caller
+    /// generates, the rest block on the same slot and then share it.
+    pub fn trace(&self, spec: &WorkloadSpec, trace_len: usize) -> Arc<TraceEntry> {
+        let slot = {
+            let mut map = self.traces.lock().expect("harness trace store");
+            map.entry((spec.name.clone(), trace_len))
+                .or_default()
+                .clone()
+        };
+        let mut computed = false;
+        let entry = slot.get_or_init(|| {
+            computed = true;
+            let trace = spec.generate(trace_len);
+            let stats = TraceStats::measure(&trace);
+            Arc::new(TraceEntry {
+                spec: spec.clone(),
+                trace,
+                stats,
+            })
+        });
+        let counter = if computed {
+            &self.traces_generated
+        } else {
+            &self.trace_hits
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(entry)
+    }
+
+    /// Simulates one cell, reusing the cached result when an identical
+    /// `(workload, trace_len, config)` cell already ran.
+    fn cell_stats(
+        &self,
+        entry: &TraceEntry,
+        trace_len: usize,
+        config: &FrontendConfig,
+    ) -> Arc<SimStats> {
+        let key = (
+            entry.spec.name.clone(),
+            trace_len,
+            config_fingerprint(config),
+        );
+        let slot = {
+            let mut map = self.cells.lock().expect("harness cell cache");
+            map.entry(key).or_default().clone()
+        };
+        let mut computed = false;
+        let stats = slot.get_or_init(|| {
+            computed = true;
+            Arc::new(Simulator::run_trace(config, &entry.trace))
+        });
+        let counter = if computed {
+            &self.cells_simulated
+        } else {
+            &self.cell_hits
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(stats)
+    }
+
+    /// Evaluates `configs` × `workloads` over traces of `trace_len`.
+    ///
+    /// Parallelism is cell-granular: each worker steals one
+    /// `(workload, config)` cell at a time, so a matrix of any shape —
+    /// one workload × many configs, many × one — saturates the machine.
+    /// Results come back workload-major in the input orders, independent
+    /// of thread count and scheduling.
+    pub fn run_matrix(
+        &self,
+        workloads: &[WorkloadSpec],
+        trace_len: usize,
+        configs: &[(String, FrontendConfig)],
+    ) -> MatrixResults {
+        let total = workloads.len() * configs.len();
+        let threads = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .min(total.max(1));
+
+        // Hand cells out config-major (cell k ↦ workload k % W) so the
+        // first W cells touch W *different* traces: concurrent first-time
+        // generation instead of every thread blocking on workload 0's slot.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, RunResult)>> = Mutex::new(Vec::with_capacity(total));
+        let work = |harness: &Harness| loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= total {
+                return;
+            }
+            let (w, c) = (k % workloads.len(), k / workloads.len());
+            let entry = harness.trace(&workloads[w], trace_len);
+            let (label, config) = &configs[c];
+            let stats = harness.cell_stats(&entry, trace_len, config);
+            let result = RunResult {
+                workload: workloads[w].name.clone(),
+                config: label.clone(),
+                stats: (*stats).clone(),
+                trace_stats: entry.stats.clone(),
+            };
+            collected
+                .lock()
+                .expect("harness results")
+                // Slot index is workload-major: the final output order.
+                .push((w * configs.len() + c, result));
+        };
+
+        if threads <= 1 {
+            work(self);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| work(self));
+                }
+            });
+        }
+
+        let mut cells = collected.into_inner().expect("harness results");
+        cells.sort_by_key(|(slot, _)| *slot);
+        debug_assert_eq!(cells.len(), total);
+        MatrixResults::new(cells.into_iter().map(|(_, r)| r).collect())
+    }
+}
+
+/// The content fingerprint of a configuration: its full field-by-field
+/// `Debug` rendering (see [`CellKey`]'s docs for why this is sound).
+pub fn config_fingerprint(config: &FrontendConfig) -> String {
+    format!("{config:?}")
+}
+
+/// The results of one matrix run, with an index for O(1) cell lookup.
+///
+/// Dereferences to the workload-major `[RunResult]` slice for iteration.
+#[derive(Clone, Debug)]
+pub struct MatrixResults {
+    results: Vec<RunResult>,
+    index: HashMap<(String, String), usize>,
+}
+
+impl MatrixResults {
+    /// Builds the index over `results` (later duplicates win, matching the
+    /// behavior of re-running the cell).
+    pub fn new(results: Vec<RunResult>) -> MatrixResults {
+        let index = results
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ((r.workload.clone(), r.config.clone()), i))
+            .collect();
+        MatrixResults { results, index }
+    }
+
+    /// The cell for `(workload, config)`, if it was part of the matrix.
+    pub fn get(&self, workload: &str, config: &str) -> Option<&RunResult> {
+        self.index
+            .get(&(workload.to_string(), config.to_string()))
+            .map(|&i| &self.results[i])
+    }
+
+    /// The cell for `(workload, config)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is missing — experiments always look up cells of
+    /// the matrix they just ran, so a miss is a programming error.
+    pub fn cell(&self, workload: &str, config: &str) -> &RunResult {
+        self.get(workload, config)
+            .unwrap_or_else(|| panic!("missing cell ({workload}, {config})"))
+    }
+
+    /// Consumes the results for persistence.
+    pub fn into_cells(self) -> Vec<RunResult> {
+        self.results
+    }
+}
+
+impl Deref for MatrixResults {
+    type Target = [RunResult];
+    fn deref(&self) -> &[RunResult] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{suite, SuiteKind};
+    use crate::Scale;
+    use fdip::PrefetcherKind;
+
+    const LEN: usize = 8_000;
+
+    fn configs() -> Vec<(String, FrontendConfig)> {
+        vec![
+            ("base".to_string(), FrontendConfig::default()),
+            (
+                "fdip".to_string(),
+                FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+            ),
+        ]
+    }
+
+    #[test]
+    fn trace_store_generates_once() {
+        let harness = Harness::new();
+        let spec = &suite(SuiteKind::Client, Scale::quick())[0];
+        let a = harness.trace(spec, LEN);
+        let b = harness.trace(spec, LEN);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(harness.stats().traces_generated, 1);
+        assert_eq!(harness.stats().trace_hits, 1);
+        // A different length is a different trace.
+        let c = harness.trace(spec, LEN / 2);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(harness.stats().traces_generated, 2);
+    }
+
+    #[test]
+    fn cell_cache_is_content_keyed_across_labels() {
+        let harness = Harness::new();
+        let workloads = suite(SuiteKind::Client, Scale::quick());
+        let first = harness.run_matrix(&workloads, LEN, &configs());
+        // Same config content under different labels: all hits.
+        let relabeled = vec![
+            ("no-prefetch".to_string(), FrontendConfig::default()),
+            (
+                "prefetch".to_string(),
+                FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+            ),
+        ];
+        let second = harness.run_matrix(&workloads, LEN, &relabeled);
+        let stats = harness.stats();
+        assert_eq!(stats.cells_simulated, 2, "{stats:?}");
+        assert_eq!(stats.cell_hits, 2, "{stats:?}");
+        assert_eq!(stats.traces_generated, 1, "{stats:?}");
+        assert_eq!(
+            first.cell("client-1", "fdip").stats,
+            second.cell("client-1", "prefetch").stats
+        );
+    }
+
+    #[test]
+    fn matrix_order_is_workload_major() {
+        let harness = Harness::new();
+        let workloads = suite(SuiteKind::All, Scale::quick());
+        let results = harness.run_matrix(&workloads, LEN, &configs());
+        assert_eq!(results.len(), workloads.len() * 2);
+        for (w, spec) in workloads.iter().enumerate() {
+            assert_eq!(results[2 * w].workload, spec.name);
+            assert_eq!(results[2 * w].config, "base");
+            assert_eq!(results[2 * w + 1].config, "fdip");
+        }
+    }
+
+    #[test]
+    fn lookup_is_option_on_the_library_path() {
+        let harness = Harness::new();
+        let workloads = suite(SuiteKind::Client, Scale::quick());
+        let results = harness.run_matrix(&workloads, LEN, &configs());
+        assert!(results.get("client-1", "base").is_some());
+        assert!(results.get("client-1", "nope").is_none());
+        assert!(results.get("ghost", "base").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing cell")]
+    fn missing_cell_panics() {
+        MatrixResults::new(Vec::new()).cell("nope", "nada");
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_configs() {
+        let base = config_fingerprint(&FrontendConfig::default());
+        let fdip =
+            config_fingerprint(&FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()));
+        assert_ne!(base, fdip);
+        assert_eq!(base, config_fingerprint(&FrontendConfig::default()));
+    }
+}

@@ -4,7 +4,11 @@
 //!
 //! * [`workload`] — the client/server workload suites (synthetic traces
 //!   standing in for the unavailable SPEC/IPC-1 traces);
-//! * [`runner`] — a deterministic, multi-threaded experiment runner;
+//! * [`harness`] — the shared execution engine: a process-wide trace
+//!   store, a content-keyed cell cache, and a cell-granular deterministic
+//!   scheduler;
+//! * [`runner`] — result types ([`runner::RunResult`]) and numeric
+//!   helpers over harness output;
 //! * [`report`] — plain-text tables, CSV emission, and ASCII series plots;
 //! * [`experiments`] — one module per table/figure: the reconstructed 1999
 //!   evaluation (`e01`–`e10`), the FDIP-X extension plus follow-ons
@@ -26,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod report;
 pub mod runner;
 pub mod workload;

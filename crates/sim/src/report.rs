@@ -85,7 +85,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -106,7 +110,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -116,6 +124,12 @@ impl Table {
             );
         }
         out
+    }
+}
+
+impl fdip_types::ToJson for Table {
+    fn to_json(&self) -> fdip_types::Json {
+        fdip_types::json_fields!(self, title, headers, rows)
     }
 }
 
@@ -170,7 +184,11 @@ pub fn ascii_chart(title: &str, series: &[Series], unit: &str) -> String {
             let _ = writeln!(
                 out,
                 "{:>xw$}  {:<lw$}  {}{} {:.2}",
-                if s.label == series[0].label { x.as_str() } else { "" },
+                if s.label == series[0].label {
+                    x.as_str()
+                } else {
+                    ""
+                },
                 s.label,
                 "█".repeat(filled.min(bar_width)),
                 " ".repeat(bar_width - filled.min(bar_width)),

@@ -1,16 +1,15 @@
-//! Deterministic, parallel experiment execution.
+//! Experiment result types and numeric helpers.
 //!
-//! A *matrix* run evaluates every named configuration against every
-//! workload. Workloads are distributed across threads (each thread
-//! generates its trace once and runs all configurations over it);
-//! determinism is preserved because each (workload, config) cell is
-//! independent and results are re-sorted at the end.
+//! Execution itself lives in [`crate::harness`]: the free [`run_matrix`]
+//! here is a thin convenience wrapper over the process-wide
+//! [`Harness::global`](crate::harness::Harness::global) instance for call
+//! sites that just want a vector of cells.
 
-use std::sync::Mutex;
-
-use fdip::{FrontendConfig, SimStats, Simulator};
+use fdip::{FrontendConfig, SimStats};
 use fdip_trace::TraceStats;
+use fdip_types::{json_fields, Json, ToJson};
 
+use crate::harness::Harness;
 use crate::workload::WorkloadSpec;
 
 /// One evaluated cell of the matrix.
@@ -26,80 +25,43 @@ pub struct RunResult {
     pub trace_stats: TraceStats,
 }
 
-/// Runs `configs` × `workloads`, in parallel over workloads.
+impl ToJson for RunResult {
+    fn to_json(&self) -> Json {
+        json_fields!(self, workload, config, stats, trace_stats)
+    }
+}
+
+/// Runs `configs` × `workloads` on the process-wide harness and returns
+/// the cells workload-major.
 ///
-/// Results are ordered workload-major, matching the input orders exactly,
-/// regardless of thread scheduling.
+/// Within a process, repeated calls share traces and finished cells — see
+/// [`crate::harness`] for the caching and determinism guarantees.
 pub fn run_matrix(
     workloads: &[WorkloadSpec],
     trace_len: usize,
     configs: &[(String, FrontendConfig)],
 ) -> Vec<RunResult> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(workloads.len().max(1));
-    let next = Mutex::new(0usize);
-    let results: Mutex<Vec<(usize, Vec<RunResult>)>> = Mutex::new(Vec::new());
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let index = {
-                    let mut guard = next.lock().expect("runner mutex");
-                    let i = *guard;
-                    if i >= workloads.len() {
-                        return;
-                    }
-                    *guard += 1;
-                    i
-                };
-                let spec = &workloads[index];
-                let trace = spec.generate(trace_len);
-                let trace_stats = TraceStats::measure(&trace);
-                let cell_results: Vec<RunResult> = configs
-                    .iter()
-                    .map(|(label, config)| RunResult {
-                        workload: spec.name.clone(),
-                        config: label.clone(),
-                        stats: Simulator::run_trace(config, &trace),
-                        trace_stats: trace_stats.clone(),
-                    })
-                    .collect();
-                results
-                    .lock()
-                    .expect("runner mutex")
-                    .push((index, cell_results));
-            });
-        }
-    });
-
-    let mut collected = results.into_inner().expect("runner mutex");
-    collected.sort_by_key(|(index, _)| *index);
-    collected.into_iter().flat_map(|(_, r)| r).collect()
+    Harness::global()
+        .run_matrix(workloads, trace_len, configs)
+        .into_cells()
 }
 
-/// Finds the cell for (workload, config).
+/// Geometric mean of the positive values in the iterator (1.0 when none).
 ///
-/// # Panics
-///
-/// Panics if the cell is missing — experiments always populate full
-/// matrices.
-pub fn cell<'r>(results: &'r [RunResult], workload: &str, config: &str) -> &'r RunResult {
-    results
-        .iter()
-        .find(|r| r.workload == workload && r.config == config)
-        .unwrap_or_else(|| panic!("missing cell ({workload}, {config})"))
-}
-
-/// Geometric mean of an iterator of positive values (1.0 when empty).
+/// Non-positive values have no geometric mean; rather than poisoning the
+/// whole aggregate with a NaN in release builds (the old behavior was a
+/// `debug_assert` only), they are skipped. A simulation producing a
+/// non-positive speedup or IPC indicates a broken run, so debug builds
+/// still flag it loudly.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut log_sum = 0.0;
     let mut n = 0usize;
     for v in values {
-        debug_assert!(v > 0.0, "geomean requires positive values");
-        log_sum += v.ln();
-        n += 1;
+        debug_assert!(v > 0.0, "geomean requires positive values, got {v}");
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
     }
     if n == 0 {
         1.0
@@ -131,12 +93,8 @@ mod tests {
         assert_eq!(results[0].workload, workloads[0].name);
         assert_eq!(results[0].config, "base");
         assert_eq!(results[1].config, "fdip");
-        // Every cell resolvable.
-        for w in &workloads {
-            for (label, _) in &configs {
-                let r = cell(&results, &w.name, label);
-                assert!(r.stats.instructions > 0);
-            }
+        for r in &results {
+            assert!(r.stats.instructions > 0);
         }
     }
 
@@ -157,8 +115,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "missing cell")]
-    fn missing_cell_panics() {
-        let _ = cell(&[], "nope", "nada");
+    fn geomean_skips_nonpositive_in_release() {
+        // In release builds the debug_assert compiles out and bad values
+        // must be skipped, not folded into a NaN.
+        if cfg!(debug_assertions) {
+            return;
+        }
+        let g = geomean([2.0, 0.0, -3.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12, "{g}");
+        assert_eq!(geomean([0.0]), 1.0);
+    }
+
+    #[test]
+    fn run_result_serializes() {
+        let r = RunResult {
+            workload: "w".into(),
+            config: "c".into(),
+            stats: SimStats::default(),
+            trace_stats: TraceStats::default(),
+        };
+        let json = r.to_json().to_string();
+        assert!(json.starts_with(r#"{"workload":"w","config":"c","stats":{"#));
+        assert!(json.contains(r#""trace_stats":{"len":0"#));
     }
 }

@@ -47,7 +47,10 @@ pub(crate) enum StmtKind {
     Call { callee: usize },
     /// An indirect call; the dynamic callee is drawn from `callees`
     /// (first entry favored with probability `first_bias`).
-    IndirectCall { callees: Vec<usize>, first_bias: f64 },
+    IndirectCall {
+        callees: Vec<usize>,
+        first_bias: f64,
+    },
     /// A switch: an indirect jump into one of `arms`, each arm ending with a
     /// direct jump to the join point. Arm weights are uniform.
     Switch { arms: Vec<Vec<Stmt>> },
@@ -112,10 +115,7 @@ impl Stmt {
 
     pub fn switch(arms: Vec<Vec<Stmt>>) -> Stmt {
         debug_assert!(arms.len() >= 2, "switch requires at least two arms");
-        let size = 1 + arms
-            .iter()
-            .map(|arm| body_size(arm) + 1)
-            .sum::<u64>();
+        let size = 1 + arms.iter().map(|arm| body_size(arm) + 1).sum::<u64>();
         Stmt {
             kind: StmtKind::Switch { arms },
             size,

@@ -30,8 +30,7 @@ pub(crate) fn build_program(cfg: &GeneratorConfig) -> Ast {
     // Callee pools: per level (any module), and per (level, module) for
     // local calls.
     let mut pools: Vec<Vec<usize>> = vec![Vec::new(); num_levels];
-    let mut local_pools: Vec<Vec<Vec<usize>>> =
-        vec![vec![Vec::new(); cfg.modules]; num_levels];
+    let mut local_pools: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); cfg.modules]; num_levels];
     for (func, &level) in levels.iter().enumerate() {
         pools[level].push(func);
         local_pools[level][module_of[func]].push(func);
@@ -100,7 +99,11 @@ fn assign_levels(cfg: &GeneratorConfig) -> Vec<usize> {
     levels
 }
 
-fn gen_function(rng: &mut StdRng, cfg: &GeneratorConfig, callee_pool: &CalleePools<'_>) -> Function {
+fn gen_function(
+    rng: &mut StdRng,
+    cfg: &GeneratorConfig,
+    callee_pool: &CalleePools<'_>,
+) -> Function {
     let n_stmts = rng.gen_range(cfg.body_stmts.clone());
     let mut body = gen_body(rng, cfg, callee_pool, 0, false, n_stmts);
     // Guarantee one or two unconditional call sites per non-leaf function:
@@ -180,7 +183,7 @@ fn gen_stmt(
             let b = if rng.gen_bool(0.92) {
                 a
             } else {
-                a + rng.gen_range(1..=2)
+                a + rng.gen_range(1u32..=2)
             };
             Stmt::loop_(a, b, body)
         }

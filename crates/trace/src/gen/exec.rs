@@ -61,8 +61,10 @@ impl Exec<'_> {
         if self.done {
             return;
         }
-        self.out
-            .push(TraceInstr::branch(pc, BranchRecord::new(class, taken, target)));
+        self.out.push(TraceInstr::branch(
+            pc,
+            BranchRecord::new(class, taken, target),
+        ));
         self.check_done();
     }
 
@@ -231,8 +233,7 @@ mod tests {
         for profile in Profile::ALL {
             let t = small(profile, 11, 4_000);
             assert!(t.len() >= 4_000, "{profile}: {}", t.len());
-            t.validate()
-                .unwrap_or_else(|e| panic!("{profile}: {e}"));
+            t.validate().unwrap_or_else(|e| panic!("{profile}: {e}"));
         }
     }
 

@@ -37,7 +37,10 @@ mod varint;
 
 pub mod gen;
 
-pub use binary::{read_binary, write_binary, write_binary_compact, BINARY_MAGIC, BINARY_VERSION, BINARY_VERSION_COMPACT};
+pub use binary::{
+    read_binary, write_binary, write_binary_compact, BINARY_MAGIC, BINARY_VERSION,
+    BINARY_VERSION_COMPACT,
+};
 pub use builder::TraceBuilder;
 pub use error::TraceError;
 pub use stats::{BranchMix, OffsetHistogram, TraceStats};

@@ -67,9 +67,7 @@ pub struct OffsetHistogram {
 
 impl Default for OffsetHistogram {
     fn default() -> Self {
-        OffsetHistogram {
-            bins: vec![0; 65],
-        }
+        OffsetHistogram { bins: vec![0; 65] }
     }
 }
 
@@ -106,10 +104,7 @@ impl OffsetHistogram {
 
     /// The largest offset width observed, if any branch was recorded.
     pub fn max_bits(&self) -> Option<u32> {
-        self.bins
-            .iter()
-            .rposition(|&c| c > 0)
-            .map(|idx| idx as u32)
+        self.bins.iter().rposition(|&c| c > 0).map(|idx| idx as u32)
     }
 
     fn record(&mut self, bits: u32) {
@@ -207,6 +202,43 @@ impl TraceStats {
         } else {
             self.mix.total() as f64 * 1000.0 / self.len as f64
         }
+    }
+}
+
+impl fdip_types::ToJson for BranchMix {
+    fn to_json(&self) -> fdip_types::Json {
+        fdip_types::Json::obj(BranchClass::ALL.into_iter().map(|class| {
+            (
+                format!("{class}"),
+                fdip_types::Json::obj([
+                    ("count", fdip_types::Json::uint(self.count(class))),
+                    ("taken", fdip_types::Json::uint(self.taken(class))),
+                ]),
+            )
+        }))
+    }
+}
+
+impl fdip_types::ToJson for OffsetHistogram {
+    fn to_json(&self) -> fdip_types::Json {
+        // Trailing empty bins carry no information; emit up to max_bits.
+        let upto = self.max_bits().map_or(0, |b| b as usize + 1);
+        fdip_types::Json::arr(self.bins[..upto].iter().map(|&c| fdip_types::Json::uint(c)))
+    }
+}
+
+impl fdip_types::ToJson for TraceStats {
+    fn to_json(&self) -> fdip_types::Json {
+        fdip_types::json_fields!(
+            self,
+            len,
+            footprint_bytes,
+            footprint_blocks_64b,
+            static_branches,
+            static_taken_branches,
+            mix,
+            offsets,
+        )
     }
 }
 

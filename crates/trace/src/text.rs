@@ -105,7 +105,10 @@ fn parse_line(line: &str, line_no: u64) -> Result<TraceInstr, TraceError> {
             what: "trailing fields",
         });
     }
-    Ok(TraceInstr::branch(pc, BranchRecord::new(class, taken, target)))
+    Ok(TraceInstr::branch(
+        pc,
+        BranchRecord::new(class, taken, target),
+    ))
 }
 
 fn parse_hex(field: Option<&str>, line_no: u64, what: &'static str) -> Result<Addr, TraceError> {

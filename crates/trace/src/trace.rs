@@ -99,7 +99,11 @@ impl Trace {
         let picks = count.min(span + 1);
         (0..picks)
             .map(|i| {
-                let start = if picks == 1 { 0 } else { span * i / (picks - 1) };
+                let start = if picks == 1 {
+                    0
+                } else {
+                    span * i / (picks - 1)
+                };
                 self.window(start, len)
             })
             .collect()

@@ -3,7 +3,9 @@
 //! configurations, and statistics consistency.
 
 use fdip_trace::gen::{GeneratorConfig, Profile};
-use fdip_trace::{read_binary, read_text, write_binary, write_text, Trace, TraceBuilder, TraceStats};
+use fdip_trace::{
+    read_binary, read_text, write_binary, write_text, Trace, TraceBuilder, TraceStats,
+};
 use fdip_types::Addr;
 use proptest::prelude::*;
 

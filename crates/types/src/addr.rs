@@ -89,7 +89,7 @@ impl Addr {
 
     /// Returns `true` if this address is word (instruction) aligned.
     pub const fn is_inst_aligned(self) -> bool {
-        self.0 % INST_BYTES as u64 == 0
+        self.0.is_multiple_of(INST_BYTES as u64)
     }
 
     /// Signed distance to `other` in instructions (`other - self`).

@@ -49,7 +49,7 @@ impl TraceInstr {
 
     /// Returns `true` if this instruction is a taken branch.
     pub fn is_taken_branch(&self) -> bool {
-        self.branch.map_or(false, |b| b.taken)
+        self.branch.is_some_and(|b| b.taken)
     }
 
     /// The architecturally-correct next PC after this instruction.

@@ -1,0 +1,335 @@
+//! A minimal hand-rolled JSON value tree and writer.
+//!
+//! The workspace's no-external-dependency policy rules out `serde`, so the
+//! machine-readable experiment results (`results/*.json`) are emitted
+//! through this module instead: build a [`Json`] tree, then render it with
+//! [`Json::to_string`] / [`Json::to_string_pretty`]. Types that know how to
+//! describe themselves implement [`ToJson`].
+//!
+//! Only *emission* is implemented — the repo never needs to parse JSON, so
+//! there is deliberately no reader here.
+//!
+//! # Examples
+//!
+//! ```
+//! use fdip_types::json::Json;
+//!
+//! let doc = Json::obj([
+//!     ("id", Json::str("e01")),
+//!     ("speedup", Json::num(1.25)),
+//!     ("cells", Json::arr([Json::uint(4)])),
+//! ]);
+//! assert_eq!(
+//!     doc.to_string(),
+//!     r#"{"id":"e01","speedup":1.25,"cells":[4]}"#
+//! );
+//! ```
+
+use std::fmt;
+
+/// One JSON value.
+///
+/// Unsigned 64-bit counters get their own variant ([`Json::UInt`]) so
+/// statistics counters round-trip exactly instead of losing precision
+/// through an `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An exact unsigned integer.
+    UInt(u64),
+    /// A finite float. Non-finite values render as `null` (JSON has no
+    /// NaN/Infinity literals).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An exact unsigned-integer value.
+    pub fn uint(v: u64) -> Json {
+        Json::UInt(v)
+    }
+
+    /// A float value.
+    pub fn num(v: f64) -> Json {
+        Json::Num(v)
+    }
+
+    /// An array from any iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// An object from `(key, value)` pairs, keeping their order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Renders human-readable JSON indented by two spaces per level.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
+            }
+            Json::Num(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1);
+            }),
+            Json::Obj(pairs) => write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+                write_escaped(out, &pairs[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                pairs[i].1.write(out, indent, depth + 1);
+            }),
+        }
+    }
+}
+
+/// Renders compact single-line JSON (and provides `.to_string()`).
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // `{}` on f64 is the shortest representation that round-trips — exactly
+    // what a machine-readable schema wants. Integral floats gain a `.0` so
+    // the value stays typed as a float downstream.
+    if v == v.trunc() && v.abs() < 1e15 {
+        let _ = fmt::Write::write_fmt(out, format_args!("{v:.1}"));
+    } else {
+        let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Json`] object from named struct fields: each field renders
+/// under its own name via [`ToJson`].
+///
+/// ```
+/// use fdip_types::{json_fields, Json, ToJson};
+///
+/// struct Counters { hits: u64, misses: u64 }
+/// impl ToJson for Counters {
+///     fn to_json(&self) -> Json {
+///         json_fields!(self, hits, misses)
+///     }
+/// }
+/// assert_eq!(
+///     Counters { hits: 3, misses: 1 }.to_json().to_string(),
+///     r#"{"hits":3,"misses":1}"#
+/// );
+/// ```
+#[macro_export]
+macro_rules! json_fields {
+    ($self:expr, $($field:ident),+ $(,)?) => {
+        $crate::Json::obj([
+            $((stringify!($field), $crate::ToJson::to_json(&$self.$field))),+
+        ])
+    };
+}
+
+/// Conversion into a [`Json`] value tree.
+///
+/// Implemented by every statistics struct that appears in the persisted
+/// `results/*.json` documents; each layer of the workspace implements it
+/// for its own types.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::uint(u64::MAX).to_string(), "18446744073709551615");
+        assert_eq!(Json::num(1.5).to_string(), "1.5");
+        assert_eq!(Json::num(2.0).to_string(), "2.0");
+        assert_eq!(Json::num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\te\u{1}").to_string(),
+            r#""a\"b\\c\nd\te\u0001""#
+        );
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let doc = Json::obj([
+            ("z", Json::uint(1)),
+            ("a", Json::arr([Json::Null, Json::Bool(false)])),
+            ("empty", Json::arr([])),
+        ]);
+        assert_eq!(doc.to_string(), r#"{"z":1,"a":[null,false],"empty":[]}"#);
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let doc = Json::obj([("k", Json::arr([Json::uint(1), Json::uint(2)]))]);
+        assert_eq!(
+            doc.to_string_pretty(),
+            "{\n  \"k\": [\n    1,\n    2\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn blanket_impls() {
+        assert_eq!(7u64.to_json(), Json::UInt(7));
+        assert_eq!("s".to_json(), Json::str("s"));
+        assert_eq!(vec![1u64, 2].to_json().to_string(), "[1,2]");
+        assert_eq!(None::<u64>.to_json(), Json::Null);
+        assert_eq!(Some(3u64).to_json(), Json::UInt(3));
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        let v = 0.1 + 0.2;
+        let rendered = Json::num(v).to_string();
+        assert_eq!(rendered.parse::<f64>().unwrap(), v);
+    }
+}

@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 mod addr;
 mod branch;
 mod cycle;
@@ -36,4 +38,5 @@ pub use branch::{BranchClass, BranchRecord};
 pub use cycle::Cycle;
 pub use fetch_block::{BlockEnd, FetchBlock};
 pub use instr::TraceInstr;
+pub use json::{Json, ToJson};
 pub use offset::{offset_bits, offset_from_addrs, offset_insts, OffsetClass};

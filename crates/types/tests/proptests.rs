@@ -1,9 +1,7 @@
 //! Property tests for the vocabulary types: address arithmetic laws,
 //! offset encoding inverses, and fetch-block geometry.
 
-use fdip_types::{
-    offset_bits, offset_insts, Addr, BlockEnd, FetchBlock, OffsetClass, INST_BYTES,
-};
+use fdip_types::{offset_bits, offset_insts, Addr, BlockEnd, FetchBlock, OffsetClass, INST_BYTES};
 use proptest::prelude::*;
 
 proptest! {

@@ -10,7 +10,10 @@ use fdip_btb::tag::compress16;
 
 fn main() {
     println!("Table I — basic-block-oriented BTB storage:");
-    println!("{:>8} {:>18} {:>12} {:>10}", "entries", "organization", "entry bits", "total");
+    println!(
+        "{:>8} {:>18} {:>12} {:>10}",
+        "entries", "organization", "entry bits", "total"
+    );
     for row in bb_btb_table() {
         println!(
             "{:>8} {:>18} {:>12} {:>9.2}K",

@@ -34,7 +34,10 @@ fn main() {
             base.ipc(),
             base.l1i_mpki()
         );
-        println!("{:<18} {:>8} {:>10} {:>10} {:>9}", "prefetcher", "speedup", "coverage", "accuracy", "bus");
+        println!(
+            "{:<18} {:>8} {:>10} {:>10} {:>9}",
+            "prefetcher", "speedup", "coverage", "accuracy", "bus"
+        );
         for (name, kind) in &prefetchers {
             let stats = Simulator::run_trace(
                 &FrontendConfig::default().with_prefetcher(kind.clone()),
@@ -50,5 +53,7 @@ fn main() {
             );
         }
     }
-    println!("\n(the paper's conclusion: FDIP with probe filtering wins where footprints are large)");
+    println!(
+        "\n(the paper's conclusion: FDIP with probe filtering wins where footprints are large)"
+    );
 }

@@ -54,9 +54,9 @@ fn main() {
     }
     println!();
     match best_small {
-        Some((config, speedup)) => println!(
-            "smallest configuration clearing 1.9x: {config} ({speedup:.3}x)"
-        ),
+        Some((config, speedup)) => {
+            println!("smallest configuration clearing 1.9x: {config} ({speedup:.3}x)")
+        }
         None => println!("no configuration cleared 1.9x at these budgets"),
     }
 }

@@ -1,0 +1,486 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace's
+//! property-test suites run against this hand-rolled mini harness instead
+//! of the real `proptest`. It implements the API subset those suites use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`Strategy`] with [`Strategy::prop_map`], ranges, tuples, [`Just`],
+//!   [`any`], [`prop_oneof!`], and [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * cases are drawn from a *deterministic* per-test RNG (seeded from the
+//!   test's name), so failures reproduce exactly on every run;
+//! * there is **no shrinking** — a failure reports the offending inputs
+//!   verbatim;
+//! * `prop_assume!` skips the case rather than resampling it.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #[test]
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases per property when no config is given (matches the real
+/// proptest default).
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Per-property configuration (the subset in use: case count).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// The value-generation interface.
+///
+/// Object-safe so [`prop_oneof!`] can mix differently-typed strategies
+/// producing the same value type.
+pub trait Strategy {
+    /// Type of the generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Boxes a strategy (used by [`prop_oneof!`] to unify arm types).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (what [`prop_oneof!`] builds).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// A union over `arms`; each is picked with equal probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let pick = rng.gen_range(0..self.arms.len());
+        self.arms[pick].sample(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn sample(&self, rng: &mut StdRng) -> i64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! { (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) }
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one value uniformly over the whole domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut StdRng) -> u32 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> u64 {
+        rng.gen()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` strategy: `len` elements of `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-test RNG, seeded from the test path so each property
+/// gets an independent — but reproducible — stream.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Runs `body` for `config.cases` deterministic cases, formatting the
+/// sampled inputs into the panic message on failure. Used by [`proptest!`];
+/// not part of the public proptest API.
+pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut StdRng, u32) -> Result<(), String>,
+{
+    let mut rng = test_rng(test_name);
+    for case in 0..config.cases {
+        if let Err(message) = body(&mut rng, case) {
+            panic!(
+                "property {test_name} failed at case {case}/{}: {message}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// The common import surface: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, boxed, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy, Union,
+    };
+
+    /// The `prop::` module alias used by call sites
+    /// (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, reporting the sampled inputs on
+/// failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, "assertion failed: {:?} != {:?}", left, right);
+    }};
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($arm)),+])
+    };
+}
+
+/// Declares property tests: each function runs its body over many sampled
+/// inputs. Mirrors the real `proptest!` item form.
+#[macro_export]
+macro_rules! proptest {
+    // Internal expansion arm — must come first so the catch-all below
+    // doesn't re-match (and infinitely recurse on) `@config` invocations.
+    (@config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $(let $arg = $strategy;)*
+                #[allow(unused_variables, unused_mut)]
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |rng, _case| {
+                        $(let $arg = $crate::Strategy::sample(&$arg, rng);)*
+                        $(let input = format!("{}={:?}", stringify!($arg), $arg);)*
+                        let mut trail = String::new();
+                        $(
+                            trail.push_str(&format!("\n  {} = {:?}", stringify!($arg), $arg));
+                        )*
+                        let _ = input;
+                        let run = || -> Result<(), String> {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        };
+                        run().map_err(|e| format!("{e}{trail}"))
+                    },
+                );
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u32),
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(a in 0u32..10, pair in (0u64..5, 0usize..=3)) {
+            prop_assert!(a < 10);
+            prop_assert!(pair.0 < 5 && pair.1 <= 3);
+        }
+
+        #[test]
+        fn oneof_maps_and_collections(
+            shape in prop_oneof![Just(Shape::Dot), (1u32..9).prop_map(Shape::Line)],
+            flags in prop::collection::vec(any::<bool>(), 0..8),
+        ) {
+            prop_assert!(flags.len() < 8);
+            match shape {
+                Shape::Dot => {}
+                Shape::Line(n) => prop_assert!((1..9).contains(&n)),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_and_assume(v in 0u32..100) {
+            prop_assume!(v != 50);
+            prop_assert_ne!(v, 50);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        let s = 0u32..1000;
+        for _ in 0..50 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            fn impossible(v in 10u32..20) {
+                prop_assert!(v < 10, "v was {}", v);
+            }
+        }
+        impossible();
+    }
+}

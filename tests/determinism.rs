@@ -2,10 +2,12 @@
 //! bit-identical traces and statistics, across threads and invocations.
 
 use fdip::{FrontendConfig, PrefetcherKind, Simulator};
+use fdip_sim::harness::Harness;
 use fdip_sim::runner::run_matrix;
 use fdip_sim::workload::{suite, SuiteKind};
 use fdip_sim::Scale;
 use fdip_trace::gen::{GeneratorConfig, Profile};
+use fdip_types::ToJson;
 
 #[test]
 fn trace_generation_is_bit_identical() {
@@ -55,6 +57,44 @@ fn parallel_runner_matches_itself_and_is_ordered() {
         assert_eq!(x.config, y.config);
         assert_eq!(x.stats, y.stats);
     }
+}
+
+#[test]
+fn runner_is_deterministic_across_thread_counts() {
+    // One inline-executing harness, one saturating the machine: the result
+    // sequences must be byte-identical, cell for cell and in order.
+    let serial = Harness::with_threads(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(2);
+    let parallel = Harness::with_threads(threads);
+
+    let workloads = suite(SuiteKind::All, Scale::quick());
+    let configs = vec![
+        ("base".to_string(), FrontendConfig::default()),
+        (
+            "fdip".to_string(),
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+        ),
+        (
+            "nlp".to_string(),
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::NextLine),
+        ),
+    ];
+    let a = serial.run_matrix(&workloads, 25_000, &configs);
+    let b = parallel.run_matrix(&workloads, 25_000, &configs);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.workload, y.workload);
+        assert_eq!(x.config, y.config);
+        assert_eq!(x.stats, y.stats);
+        assert_eq!(x.trace_stats, y.trace_stats);
+        // Byte-identical through the persistence path too.
+        assert_eq!(x.to_json().to_string(), y.to_json().to_string());
+    }
+    // Both harnesses did the same amount of real work.
+    assert_eq!(serial.stats(), parallel.stats());
 }
 
 #[test]

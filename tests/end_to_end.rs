@@ -1,9 +1,7 @@
 //! End-to-end integration: trace generation → codec round-trip → full
 //! simulation across every front-end configuration class.
 
-use fdip::{
-    BtbVariant, CpfMode, FrontendConfig, PredictorKind, PrefetcherKind, Simulator,
-};
+use fdip::{BtbVariant, CpfMode, FrontendConfig, PredictorKind, PrefetcherKind, Simulator};
 use fdip_trace::gen::{GeneratorConfig, Profile};
 use fdip_trace::{read_binary, write_binary};
 
@@ -38,10 +36,8 @@ fn every_btb_variant_completes_and_counts_all_instructions() {
         BtbVariant::Ideal,
     ];
     for variant in variants {
-        let stats = Simulator::run_trace(
-            &FrontendConfig::default().with_btb(variant.clone()),
-            &trace,
-        );
+        let stats =
+            Simulator::run_trace(&FrontendConfig::default().with_btb(variant.clone()), &trace);
         assert_eq!(
             stats.instructions,
             trace.len() as u64,
@@ -68,8 +64,7 @@ fn every_predictor_kind_completes() {
     ];
     let mut exec_redirects = Vec::new();
     for kind in predictors {
-        let stats =
-            Simulator::run_trace(&FrontendConfig::default().with_predictor(kind), &trace);
+        let stats = Simulator::run_trace(&FrontendConfig::default().with_predictor(kind), &trace);
         assert_eq!(stats.instructions, trace.len() as u64);
         exec_redirects.push(stats.branches.exec_redirects);
     }
@@ -95,8 +90,7 @@ fn every_prefetcher_kind_completes_and_issues_when_it_should() {
     for kind in kinds {
         let is_none = kind == PrefetcherKind::None;
         let name = kind.name();
-        let stats =
-            Simulator::run_trace(&FrontendConfig::default().with_prefetcher(kind), &trace);
+        let stats = Simulator::run_trace(&FrontendConfig::default().with_prefetcher(kind), &trace);
         assert_eq!(stats.instructions, trace.len() as u64, "{name}");
         if is_none {
             assert_eq!(stats.mem.prefetches_issued, 0, "{name}");

@@ -1,13 +1,19 @@
 //! Smoke-runs every experiment in the registry at quick scale: each must
-//! complete, produce well-formed tables, and (where promised) a chart.
+//! complete, produce well-formed tables, and (where promised) a chart —
+//! and the whole catalogue must share traces and never simulate the same
+//! cell twice (the harness acceptance criterion).
 
 use fdip_sim::experiments;
+use fdip_sim::harness::Harness;
+use fdip_sim::workload::{suite, SuiteKind};
 use fdip_sim::Scale;
 
 #[test]
 fn every_experiment_runs_and_produces_well_formed_output() {
-    for (id, title, runner) in experiments::all() {
-        let result = runner(Scale::quick());
+    let harness = Harness::new();
+    for exp in experiments::all() {
+        let id = exp.id();
+        let result = exp.run(&harness, Scale::quick());
         assert!(!result.tables.is_empty(), "{id}: no tables");
         for table in &result.tables {
             assert!(!table.headers.is_empty(), "{id}");
@@ -26,20 +32,60 @@ fn every_experiment_runs_and_produces_well_formed_output() {
             let csv = table.to_csv();
             assert_eq!(csv.lines().count(), table.rows.len() + 1, "{id}");
         }
-        let _ = title;
+        // The machine-readable document is well-formed enough to carry its
+        // identity and schema version.
+        let json = result.to_json(id, exp.title()).to_string();
+        assert!(json.contains(&format!("\"id\":\"{id}\"")), "{id}");
+        assert!(json.contains("\"schema_version\":1"), "{id}");
         let _ = result.to_text();
     }
 }
 
 #[test]
+fn exp_all_shares_traces_and_simulates_each_cell_exactly_once() {
+    // A fresh harness driven exactly like `exp_all`: the whole registry,
+    // in order, at quick scale.
+    let harness = Harness::new();
+    let scale = Scale::quick();
+    for exp in experiments::all() {
+        let _ = exp.run(&harness, scale);
+    }
+    let first = harness.stats();
+
+    // Every suite trace was generated exactly once per (workload, length):
+    // quick scale has client-1 and server-1, all experiments run at the
+    // same trace length, so exactly two generations ever happen.
+    let distinct_workloads = suite(SuiteKind::All, scale).len() as u64;
+    assert_eq!(first.traces_generated, distinct_workloads, "{first:?}");
+    assert!(first.trace_hits > 0, "{first:?}");
+
+    // Experiments overlap heavily (every one re-evaluates a baseline), so
+    // the content-keyed cache must have served duplicate cells.
+    assert!(first.cell_hits > 0, "{first:?}");
+    assert!(first.cells_simulated > 0, "{first:?}");
+
+    // Re-running the entire catalogue simulates *nothing* new: every cell
+    // and every trace request is a cache hit.
+    for exp in experiments::all() {
+        let _ = exp.run(&harness, scale);
+    }
+    let second = harness.stats();
+    assert_eq!(
+        second.traces_generated, first.traces_generated,
+        "{second:?}"
+    );
+    assert_eq!(second.cells_simulated, first.cells_simulated, "{second:?}");
+    assert!(second.cell_hits > first.cell_hits, "{second:?}");
+}
+
+#[test]
 fn figure_experiments_render_charts() {
+    let harness = Harness::new();
     for id in ["e04", "e06", "e07", "x4", "x5"] {
-        let (_, _, runner) = experiments::all()
-            .into_iter()
-            .find(|(i, _, _)| *i == id)
-            .unwrap();
-        let result = runner(Scale::quick());
+        let exp = experiments::find(id).unwrap();
+        let result = exp.run(&harness, Scale::quick());
         let chart = result.chart.as_deref().unwrap_or("");
         assert!(chart.contains('█'), "{id}: chart missing bars");
+        assert!(!result.cells.is_empty(), "{id}: no raw cells attached");
     }
 }

@@ -2,9 +2,7 @@
 //! between the accounting module and the live structures.
 
 use fdip_btb::storage::{bb_btb_row, bb_btb_table, fdipx_budget, fdipx_table};
-use fdip_btb::{
-    BasicBlockBtb, Btb, BtbConfig, PartitionConfig, PartitionedBtb, TagScheme,
-};
+use fdip_btb::{BasicBlockBtb, Btb, BtbConfig, PartitionConfig, PartitionedBtb, TagScheme};
 
 #[test]
 fn table_one_digits() {
@@ -20,7 +18,11 @@ fn table_one_digits() {
         assert_eq!(row.entries, entries);
         assert_eq!(row.sets, sets);
         assert_eq!(row.entry_bits, bits);
-        assert!((row.total_kb() - kb).abs() < 0.01, "{entries}: {}", row.total_kb());
+        assert!(
+            (row.total_kb() - kb).abs() < 0.01,
+            "{entries}: {}",
+            row.total_kb()
+        );
     }
 }
 
