@@ -1,0 +1,345 @@
+//! `fdip-loadgen`: drives an in-process `fdip-serve` server over real TCP
+//! and reports throughput and latency percentiles for three phases:
+//!
+//! 1. **cold** — N distinct `/v1/run` requests (fresh seeds), every one a
+//!    harness cache miss that generates and simulates a trace;
+//! 2. **warm** — the same N requests again, served from the shared cell
+//!    cache (the warm/cold throughput ratio is the cache's value);
+//! 3. **saturation** — a burst of connections against a 1-worker,
+//!    depth-2 queue: the overflow is shed with `503`, demonstrating
+//!    bounded memory under overload.
+//!
+//! The report is printed and persisted as `results/BENCH_serve.json`.
+//! Flags: `--quick` shrinks the workload; `--check` exits nonzero unless
+//! warm throughput is ≥2x cold, the saturation phase shed connections,
+//! and the server's `/metrics` counters reconcile with what this client
+//! observed.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use fdip_serve::{ServeConfig, Server, ShutdownHandle};
+use fdip_types::Json;
+
+struct RunningServer {
+    addr: SocketAddr,
+    handle: ShutdownHandle,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start_server(config: ServeConfig) -> RunningServer {
+    let server = Server::bind(config).expect("bind loadgen server");
+    let addr = server.local_addr().expect("local_addr");
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+    RunningServer {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+fn stop_server(server: RunningServer) {
+    server.handle.shutdown();
+    server
+        .thread
+        .join()
+        .expect("server thread panicked")
+        .expect("server run() errored");
+}
+
+/// One request on a fresh connection; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    try_request(addr, method, path, body).expect("request failed")
+}
+
+/// Like [`request`], but surfaces connection errors instead of panicking —
+/// under deliberate overload a shed connection may be reset before the
+/// client manages to read the 503.
+fn try_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nhost: loadgen\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes())?;
+    read_response(&mut BufReader::new(stream))
+}
+
+fn read_response<R: Read>(reader: &mut BufReader<R>) -> std::io::Result<(u16, String)> {
+    use std::io::{Error, ErrorKind};
+    let bad = |what: &str| Error::new(ErrorKind::InvalidData, what.to_string());
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h)?;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn run_body(seed: u64, trace_len: usize) -> String {
+    format!(
+        r#"{{"workload": {{"profile": "microloop", "seed": {seed}}}, "trace_len": {trace_len}}}"#
+    )
+}
+
+struct PhaseReport {
+    requests: usize,
+    seconds: f64,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl PhaseReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", Json::uint(self.requests as u64)),
+            ("seconds", Json::num(self.seconds)),
+            ("rps", Json::num(self.rps)),
+            ("p50_ms", Json::num(self.p50_ms)),
+            ("p99_ms", Json::num(self.p99_ms)),
+        ])
+    }
+}
+
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+/// Issues `/v1/run` for seeds `0..n` sequentially, asserting 200s.
+fn run_phase(addr: SocketAddr, n: usize, trace_len: usize) -> PhaseReport {
+    let started = Instant::now();
+    let mut latencies = Vec::with_capacity(n);
+    for seed in 0..n as u64 {
+        let body = run_body(seed, trace_len);
+        let req_start = Instant::now();
+        let (status, resp) = request(addr, "POST", "/v1/run", &body);
+        assert_eq!(status, 200, "run seed {seed}: {resp}");
+        latencies.push(req_start.elapsed());
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    latencies.sort();
+    PhaseReport {
+        requests: n,
+        seconds,
+        rps: n as f64 / seconds.max(1e-9),
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+    }
+}
+
+/// Parses one counter value out of a Prometheus text document.
+fn metric_value(text: &str, line_prefix: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(line_prefix))
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or_else(|| panic!("metric {line_prefix:?} missing from scrape"))
+}
+
+/// Saturation: hold the single worker with a parked keep-alive
+/// connection, then offer `burst` connections to a depth-2 queue. The
+/// queue absorbs 2, the rest are shed 503 by the accept loop; releasing
+/// the worker drains the queued ones. Returns (completed_200, shed).
+///
+/// A shed connection counts whether the client read the 503 or only saw
+/// the reset that follows it (the accept loop closes as soon as the
+/// response is written, so a racing client write can clobber it).
+fn saturation_phase(addr: SocketAddr, burst: usize, trace_len: usize) -> (usize, usize) {
+    // Park the worker on an idle keep-alive connection.
+    let held = TcpStream::connect(addr).expect("connect held");
+    held.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut w = held.try_clone().unwrap();
+    w.write_all(b"GET /healthz HTTP/1.1\r\nhost: loadgen\r\ncontent-length: 0\r\n\r\n")
+        .unwrap();
+    let mut held_reader = BufReader::new(held);
+    let (status, _) = read_response(&mut held_reader).expect("held response");
+    assert_eq!(status, 200);
+
+    let clients: Vec<_> = (0..burst)
+        .map(|_| {
+            let body = run_body(0, trace_len); // warm: seed 0 is cached
+            std::thread::spawn(move || try_request(addr, "POST", "/v1/run", &body))
+        })
+        .collect();
+
+    // Let every connection reach the accept loop, then free the worker.
+    std::thread::sleep(Duration::from_millis(500));
+    drop(held_reader);
+    drop(w);
+
+    let mut completed = 0usize;
+    let mut shed = 0usize;
+    for client in clients {
+        match client.join().expect("client thread panicked") {
+            Ok((200, _)) => completed += 1,
+            Ok((503, _)) | Err(_) => shed += 1,
+            Ok((other, body)) => panic!("unexpected status {other} during saturation: {body}"),
+        }
+    }
+    (completed, shed)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let check = argv.iter().any(|a| a == "--check");
+    if let Some(bad) = argv.iter().find(|a| *a != "--quick" && *a != "--check") {
+        eprintln!("usage: fdip-loadgen [--quick] [--check] (got {bad:?})");
+        std::process::exit(2);
+    }
+
+    let (n, trace_len, burst) = if quick {
+        (8, 20_000, 12)
+    } else {
+        (12, 60_000, 16)
+    };
+
+    // ---- cold / warm phases on a plain server ---------------------------
+    let server = start_server(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        timeout_ms: 120_000,
+        ..ServeConfig::default()
+    });
+    eprintln!(
+        "[loadgen] server on {} ({} requests x {} instrs)",
+        server.addr, n, trace_len
+    );
+
+    let cold = run_phase(server.addr, n, trace_len);
+    eprintln!(
+        "[loadgen] cold: {:.2} rps, p50 {:.1}ms, p99 {:.1}ms",
+        cold.rps, cold.p50_ms, cold.p99_ms
+    );
+    let warm = run_phase(server.addr, n, trace_len);
+    eprintln!(
+        "[loadgen] warm: {:.2} rps, p50 {:.1}ms, p99 {:.1}ms",
+        warm.rps, warm.p50_ms, warm.p99_ms
+    );
+    let warm_over_cold = warm.rps / cold.rps.max(1e-9);
+    eprintln!("[loadgen] warm/cold throughput: {warm_over_cold:.1}x");
+
+    // ---- reconcile /metrics against client-observed responses ----------
+    let (status, scrape) = request(server.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let server_200 = metric_value(&scrape, "fdip_serve_requests_total{status=\"200\"} ");
+    let client_200 = (2 * n) as u64; // every run request, before the scrape itself
+    let reconciled = server_200 == client_200;
+    eprintln!(
+        "[loadgen] /metrics 200s: server {server_200}, client {client_200} ({})",
+        if reconciled { "reconciled" } else { "MISMATCH" }
+    );
+    stop_server(server);
+
+    // ---- saturation on a 1-worker, depth-2 server -----------------------
+    let tight = start_server(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        queue_depth: 2,
+        timeout_ms: 60_000,
+        ..ServeConfig::default()
+    });
+    // Pre-warm the cell this phase requests so queued work drains fast.
+    let (status, _) = request(tight.addr, "POST", "/v1/run", &run_body(0, trace_len));
+    assert_eq!(status, 200);
+    let (completed, shed) = saturation_phase(tight.addr, burst, trace_len);
+    eprintln!(
+        "[loadgen] saturation: offered {burst}, completed {completed}, shed {shed} (queue depth 2)"
+    );
+    let (status, scrape) = request(tight.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let server_shed = metric_value(&scrape, "fdip_serve_shed_total ");
+    let shed_reconciled = server_shed == shed as u64;
+    stop_server(tight);
+
+    // ---- persist --------------------------------------------------------
+    let doc = Json::obj([
+        ("schema_version", Json::uint(1)),
+        ("id", Json::str("BENCH_serve")),
+        ("quick", Json::Bool(quick)),
+        ("trace_len", Json::uint(trace_len as u64)),
+        ("cold", cold.to_json()),
+        ("warm", warm.to_json()),
+        ("warm_over_cold", Json::num(warm_over_cold)),
+        (
+            "saturation",
+            Json::obj([
+                ("offered", Json::uint(burst as u64)),
+                ("completed", Json::uint(completed as u64)),
+                ("shed", Json::uint(shed as u64)),
+                ("queue_depth", Json::uint(2)),
+            ]),
+        ),
+        (
+            "metrics_reconciliation",
+            Json::obj([
+                ("server_200", Json::uint(server_200)),
+                ("client_200", Json::uint(client_200)),
+                ("server_shed", Json::uint(server_shed)),
+                ("client_shed", Json::uint(shed as u64)),
+                ("reconciled", Json::Bool(reconciled && shed_reconciled)),
+            ]),
+        ),
+    ]);
+    let dir = fdip_bench::results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_serve.json");
+    std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_serve.json");
+    eprintln!("[loadgen] wrote {}", path.display());
+
+    if check {
+        let mut failures = Vec::new();
+        if warm_over_cold < 2.0 {
+            failures.push(format!(
+                "warm throughput only {warm_over_cold:.2}x cold (need >= 2x)"
+            ));
+        }
+        if shed == 0 {
+            failures.push("saturation shed no connections".to_string());
+        }
+        if !(reconciled && shed_reconciled) {
+            failures.push("metrics do not reconcile with client observations".to_string());
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("[loadgen] CHECK FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("[loadgen] all checks passed");
+    }
+}

@@ -5,13 +5,31 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 
-use fdip::{BtbVariant, CpfMode, FrontendConfig, PredictorKind, PrefetcherKind, Simulator};
+use fdip::{spec, CpfMode, FrontendConfig, PrefetcherKind, Simulator};
 use fdip_trace::gen::{GeneratorConfig, Profile};
 use fdip_trace::{read_binary, read_text, write_binary_compact, write_text, Trace, TraceStats};
 
 use crate::args::Args;
 
-/// Usage text shown on errors.
+/// Every subcommand, paired with its one-line summary. The dispatch
+/// table, the usage text, and the unknown-command error all derive from
+/// this list so they cannot drift apart.
+pub const COMMANDS: [(&str, &str); 9] = [
+    ("gen", "generate a workload trace"),
+    ("stats", "characterize a trace"),
+    ("run", "simulate a trace"),
+    ("compare", "run every prefetcher on a trace"),
+    ("slice", "cut a window out of a trace"),
+    ("convert", "convert between binary (.fdt) and text (.txt)"),
+    (
+        "tables",
+        "print the BTB storage tables or any registry experiment",
+    ),
+    ("serve", "run the HTTP simulation service"),
+    ("help", "print this usage text"),
+];
+
+/// Usage text shown on errors and by `fdip help`.
 pub const USAGE: &str = "\
 usage: fdip <command> [options]
 
@@ -29,6 +47,12 @@ commands:
   tables   [EXPERIMENT]                          print the BTB storage tables (Tables I & II),
                                                  or any experiment from the registry by id
                                                  (e.g. e01, x4) at quick scale
+  serve    [--addr HOST:PORT] [--threads N] [--queue-depth N] [--timeout-ms N]
+           [--results-dir DIR] [--max-trace-len N] [--max-configs N]
+                                                 run the HTTP simulation service
+                                                 (healthz, metrics, v1/run, v1/compare,
+                                                 v1/experiments/{id})
+  help                                           print this usage text
 
 trace format is inferred from the file extension: `.txt` is text,
 anything else is the binary format.";
@@ -43,7 +67,7 @@ type CliResult = Result<(), Box<dyn Error>>;
 /// files, or malformed traces.
 pub fn dispatch(argv: &[String]) -> CliResult {
     let Some((command, rest)) = argv.split_first() else {
-        return Err("no command given".into());
+        return Err(unknown_command_error("no command given"));
     };
     let args = Args::parse(rest)?;
     match command.as_str() {
@@ -54,8 +78,21 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         "slice" => cmd_slice(&args),
         "convert" => cmd_convert(&args),
         "tables" => cmd_tables(&args),
-        other => Err(format!("unknown command {other:?}").into()),
+        "serve" => cmd_serve(&args),
+        "help" | "--help" | "-h" => cmd_help(&args),
+        other => Err(unknown_command_error(&format!("unknown command {other:?}"))),
     }
+}
+
+/// Builds the error for a missing or unrecognized command, listing every
+/// subcommand so the user never has to guess.
+fn unknown_command_error(lead: &str) -> Box<dyn Error> {
+    let list = COMMANDS
+        .iter()
+        .map(|(name, summary)| format!("  {name:<8} {summary}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!("{lead}; commands are:\n{list}").into()
 }
 
 fn parse_profile(raw: &str) -> Result<Profile, Box<dyn Error>> {
@@ -152,88 +189,23 @@ fn cmd_stats(args: &Args) -> CliResult {
     Ok(())
 }
 
-fn parse_btb(raw: &str) -> Result<BtbVariant, Box<dyn Error>> {
-    if raw == "ideal" {
-        return Ok(BtbVariant::Ideal);
-    }
-    let (kind, entries) = raw
-        .split_once(':')
-        .ok_or_else(|| format!("btb spec {raw:?} should be kind:entries or `ideal`"))?;
-    let entries: usize = entries
-        .parse()
-        .map_err(|_| format!("bad entry count in {raw:?}"))?;
-    match kind {
-        "conventional" => Ok(BtbVariant::conventional(entries)),
-        "bb" => Ok(BtbVariant::basic_block(entries)),
-        "fdipx" => Ok(BtbVariant::partitioned(entries)),
-        _ => Err(format!("unknown btb kind {kind:?} (conventional|bb|fdipx|ideal)").into()),
-    }
-}
-
-fn parse_cpf(raw: &str) -> Result<CpfMode, Box<dyn Error>> {
-    match raw {
-        "none" => Ok(CpfMode::None),
-        "enqueue" => Ok(CpfMode::Enqueue),
-        "remove" => Ok(CpfMode::Remove),
-        "both" => Ok(CpfMode::Both),
-        _ => Err(format!("unknown cpf mode {raw:?}").into()),
-    }
-}
-
-fn parse_predictor(raw: &str) -> Result<PredictorKind, Box<dyn Error>> {
-    match raw {
-        "bimodal" => Ok(PredictorKind::Bimodal { log2_entries: 15 }),
-        "gshare" => Ok(PredictorKind::Gshare {
-            log2_entries: 15,
-            history_bits: 12,
-        }),
-        "hybrid" => Ok(PredictorKind::Hybrid {
-            log2_entries: 15,
-            history_bits: 12,
-        }),
-        "local" => Ok(PredictorKind::TwoLevelLocal {
-            log2_branches: 13,
-            history_bits: 12,
-        }),
-        "tage" => Ok(PredictorKind::Tage {
-            log2_base: 14,
-            log2_tagged: 12,
-            tables: 5,
-        }),
-        "perfect" => Ok(PredictorKind::Perfect),
-        _ => Err(format!("unknown predictor {raw:?}").into()),
-    }
-}
-
-fn parse_prefetcher(raw: &str, cpf: CpfMode) -> Result<PrefetcherKind, Box<dyn Error>> {
-    match raw {
-        "none" => Ok(PrefetcherKind::None),
-        "nlp" => Ok(PrefetcherKind::NextLine),
-        "stream" => Ok(PrefetcherKind::StreamBuffers(Default::default())),
-        "fdip" => Ok(PrefetcherKind::fdip_with_cpf(cpf)),
-        "shotgun" => Ok(PrefetcherKind::shotgun()),
-        "pif" => Ok(PrefetcherKind::Pif(Default::default())),
-        _ => Err(format!("unknown prefetcher {raw:?}").into()),
-    }
-}
-
 fn config_from_args(args: &Args) -> Result<FrontendConfig, Box<dyn Error>> {
-    let cpf = parse_cpf(args.get("cpf").unwrap_or("none"))?;
+    let cpf = spec::parse_cpf(args.get("cpf").unwrap_or("none"))?;
     let mut config = FrontendConfig {
-        prefetcher: parse_prefetcher(args.get("prefetcher").unwrap_or("none"), cpf)?,
+        prefetcher: spec::parse_prefetcher(args.get("prefetcher").unwrap_or("none"), cpf)?,
         ..FrontendConfig::default()
     };
     if let Some(raw) = args.get("btb") {
-        config.btb = parse_btb(raw)?;
+        config.btb = spec::parse_btb(raw)?;
     }
     if let Some(raw) = args.get("predictor") {
-        config.predictor = parse_predictor(raw)?;
+        config.predictor = spec::parse_predictor(raw)?;
     }
     config.ftq_entries = args.get_or("ftq", config.ftq_entries, "a queue depth")?;
-    let l1_kb: u64 = args.get_or("l1-kb", 16, "a size in KB")?;
-    config.mem.l1 = fdip_mem::CacheGeometry::from_capacity(l1_kb * 1024, 2, 64);
+    spec::set_l1_kb(&mut config, args.get_or("l1-kb", 16, "a size in KB")?)?;
     config.mem.l2_latency = args.get_or("l2-latency", config.mem.l2_latency, "cycles")?;
     config.mem.mem_latency = args.get_or("mem-latency", config.mem.mem_latency, "cycles")?;
+    config.check()?;
     Ok(config)
 }
 
@@ -365,6 +337,54 @@ fn cmd_tables(args: &Args) -> CliResult {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> CliResult {
+    use fdip_serve::{ServeConfig, Server};
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: args.get("addr").unwrap_or(&defaults.addr).to_string(),
+        threads: args.get_or("threads", defaults.threads, "a worker count (0 = auto)")?,
+        queue_depth: args.get_or("queue-depth", defaults.queue_depth, "a queue capacity")?,
+        timeout_ms: args.get_or("timeout-ms", defaults.timeout_ms, "milliseconds")?,
+        results_dir: args
+            .get("results-dir")
+            .map(std::path::PathBuf::from)
+            .unwrap_or(defaults.results_dir),
+        max_trace_len: args.get_or(
+            "max-trace-len",
+            defaults.max_trace_len,
+            "an instruction count",
+        )?,
+        max_configs: args.get_or("max-configs", defaults.max_configs, "a config count")?,
+    };
+    args.expect_positional(0, "serve takes no positional arguments")?;
+    args.reject_unknown()?;
+
+    let server = Server::bind(config.clone()).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    let addr = server.local_addr()?;
+    println!("fdip-serve listening on http://{addr}");
+    println!(
+        "  {} workers, queue depth {}, timeout {}ms",
+        if config.threads == 0 {
+            "auto".to_string()
+        } else {
+            config.threads.to_string()
+        },
+        config.queue_depth,
+        config.timeout_ms,
+    );
+    println!("  endpoints: /healthz /metrics /v1/run /v1/compare /v1/experiments/{{id}}");
+    println!("  stop with ctrl-c or SIGTERM (drains in-flight work)");
+    server.run()?;
+    println!("fdip-serve drained and stopped");
+    Ok(())
+}
+
+fn cmd_help(args: &Args) -> CliResult {
+    args.reject_unknown()?;
+    println!("{USAGE}");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,53 +394,73 @@ mod tests {
     }
 
     #[test]
-    fn unknown_command_is_an_error() {
-        assert!(dispatch(&argv("frobnicate")).is_err());
-        assert!(dispatch(&[]).is_err());
+    fn unknown_command_error_lists_every_subcommand() {
+        let err = dispatch(&argv("frobnicate")).unwrap_err().to_string();
+        assert!(err.contains("unknown command \"frobnicate\""), "{err}");
+        for (name, _) in COMMANDS {
+            assert!(err.contains(name), "{name} missing from:\n{err}");
+        }
+        let none = dispatch(&[]).unwrap_err().to_string();
+        assert!(none.contains("no command given"), "{none}");
+        assert!(none.contains("serve"), "{none}");
     }
 
     #[test]
-    fn btb_specs_parse() {
-        assert!(matches!(parse_btb("ideal"), Ok(BtbVariant::Ideal)));
-        assert!(matches!(
-            parse_btb("conventional:2048"),
-            Ok(BtbVariant::Conventional(_))
-        ));
-        assert!(matches!(
-            parse_btb("bb:1024"),
-            Ok(BtbVariant::BasicBlock(_))
-        ));
-        assert!(matches!(
-            parse_btb("fdipx:1024"),
-            Ok(BtbVariant::Partitioned(_))
-        ));
-        assert!(parse_btb("bogus:1").is_err());
-        assert!(parse_btb("conventional").is_err());
-        assert!(parse_btb("conventional:x").is_err());
+    fn every_listed_command_is_routed() {
+        // One probe per command that fails (or succeeds) inside the
+        // command itself — if a COMMANDS entry were missing from the
+        // dispatch match, its probe would surface "unknown command".
+        for (name, _) in COMMANDS {
+            let probe = match name {
+                "help" => {
+                    dispatch(&argv("help")).unwrap();
+                    continue;
+                }
+                "gen" => argv("gen"),               // --profile is required
+                "tables" => argv("tables zz"),      // unknown experiment
+                "serve" => argv("serve stray-arg"), // takes no positionals
+                other => argv(&format!("{other} --bogus-flag x")),
+            };
+            let err = dispatch(&probe).unwrap_err().to_string();
+            assert!(!err.contains("unknown command"), "{name}: {err}");
+        }
     }
 
     #[test]
-    fn prefetcher_and_cpf_parse() {
-        for raw in ["none", "nlp", "stream", "fdip", "shotgun", "pif"] {
-            assert!(parse_prefetcher(raw, CpfMode::None).is_ok(), "{raw}");
-        }
-        assert!(parse_prefetcher("bogus", CpfMode::None).is_err());
-        for raw in ["none", "enqueue", "remove", "both"] {
-            assert!(parse_cpf(raw).is_ok(), "{raw}");
-        }
-        assert!(parse_cpf("bogus").is_err());
+    fn serve_rejects_bad_flags_before_binding() {
+        let err = dispatch(&argv("serve --queue-depth many")).unwrap_err();
+        assert!(err.to_string().contains("queue-depth"), "{err}");
+        let err = dispatch(&argv("serve --bogus 1")).unwrap_err();
+        assert!(err.to_string().contains("--bogus"), "{err}");
     }
 
     #[test]
-    fn predictor_specs_parse() {
-        for raw in ["bimodal", "gshare", "hybrid", "local", "tage", "perfect"] {
-            assert!(parse_predictor(raw).is_ok(), "{raw}");
+    fn usage_mentions_every_command() {
+        for (name, _) in COMMANDS {
+            assert!(USAGE.contains(name), "{name} missing from USAGE");
         }
-        assert!(parse_predictor("oracle9000").is_err());
+    }
+
+    #[test]
+    fn bad_specs_are_errors_not_panics() {
+        // The spec parsers themselves are tested in `fdip::spec`; here we
+        // check the CLI surfaces their failures as errors.
+        for bad in [
+            "--btb conventional:1001",
+            "--btb bogus:8",
+            "--prefetcher warp",
+            "--predictor oracle9000",
+            "--cpf sometimes",
+            "--l1-kb 3",
+        ] {
+            let args = Args::parse(&argv(bad)).unwrap();
+            assert!(config_from_args(&args).is_err(), "{bad}");
+        }
     }
 
     #[test]
     fn config_from_args_applies_overrides() {
+        use fdip::BtbVariant;
         let args = Args::parse(&argv(
             "--prefetcher fdip --cpf remove --btb fdipx:1024 --ftq 8 --l1-kb 32 --mem-latency 200",
         ))

@@ -7,6 +7,8 @@
 //! fdip compare server.fdt
 //! fdip convert server.fdt server.txt
 //! fdip tables
+//! fdip serve   --addr 127.0.0.1:8080 --threads 2 --queue-depth 64
+//! fdip help
 //! ```
 
 use std::process::ExitCode;

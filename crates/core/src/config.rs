@@ -335,6 +335,38 @@ impl FrontendConfig {
         self
     }
 
+    /// Checks internal consistency, reporting the first violated
+    /// invariant. This is the non-panicking form request-handling paths
+    /// (the `fdip-serve` service) use at their trust boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    pub fn check(&self) -> Result<(), String> {
+        if self.fetch_width == 0 {
+            return Err("fetch width must be non-zero".into());
+        }
+        if self.retire_width == 0 {
+            return Err("retire width must be non-zero".into());
+        }
+        if self.fetch_block_insts == 0 {
+            return Err("fetch blocks hold >= 1 inst".into());
+        }
+        if self.ftq_entries == 0 {
+            return Err("ftq must have at least one entry".into());
+        }
+        if self.instr_buffer < self.fetch_width as usize {
+            return Err(format!(
+                "instr buffer ({}) must hold at least one fetch group ({})",
+                self.instr_buffer, self.fetch_width
+            ));
+        }
+        if self.ras_entries == 0 {
+            return Err("ras must have at least one entry".into());
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -342,12 +374,9 @@ impl FrontendConfig {
     /// Panics on nonsensical combinations (zero widths, empty FTQ, fetch
     /// blocks smaller than one instruction).
     pub fn validate(&self) {
-        assert!(self.fetch_width > 0, "fetch width must be non-zero");
-        assert!(self.retire_width > 0, "retire width must be non-zero");
-        assert!(self.fetch_block_insts > 0, "fetch blocks hold >= 1 inst");
-        assert!(self.ftq_entries > 0, "ftq must have at least one entry");
-        assert!(self.instr_buffer >= self.fetch_width as usize);
-        assert!(self.ras_entries > 0, "ras must have at least one entry");
+        if let Err(what) = self.check() {
+            panic!("{what}");
+        }
     }
 }
 
@@ -401,6 +430,21 @@ mod tests {
             BtbVariant::Partitioned(p) => assert_eq!(p.entries[0], 768),
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn check_reports_without_panicking() {
+        assert!(FrontendConfig::default().check().is_ok());
+        let bad = FrontendConfig {
+            instr_buffer: 1,
+            ..FrontendConfig::default()
+        };
+        assert!(bad.check().unwrap_err().contains("instr buffer"));
+        let bad = FrontendConfig {
+            ras_entries: 0,
+            ..FrontendConfig::default()
+        };
+        assert!(bad.check().unwrap_err().contains("ras"));
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod ftq;
 pub mod predecode;
 pub mod prefetch;
 mod simulator;
+pub mod spec;
 mod stats;
 
 pub use config::{

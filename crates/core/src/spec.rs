@@ -1,0 +1,225 @@
+//! Parsing of the human-facing configuration mini-language.
+//!
+//! The CLI flags (`--prefetcher fdip --btb conventional:2048 …`) and the
+//! `fdip-serve` JSON request bodies (`{"prefetcher": "fdip", "btb":
+//! "conventional:2048", …}`) describe a [`FrontendConfig`] with the same
+//! short string specs. This module is their single implementation; every
+//! parser returns a descriptive `Err` instead of panicking, because the
+//! server feeds it untrusted network input.
+//!
+//! # Examples
+//!
+//! ```
+//! use fdip::spec;
+//!
+//! let btb = spec::parse_btb("conventional:2048").unwrap();
+//! assert!(spec::parse_btb("conventional:1001").is_err()); // not a multiple of 8
+//! assert!(spec::parse_predictor("oracle9000").is_err());
+//! ```
+
+use crate::{BtbVariant, CpfMode, FrontendConfig, PredictorKind, PrefetcherKind};
+
+/// Parses a BTB spec: `conventional:N`, `bb:N`, `fdipx:N`, or `ideal`.
+///
+/// # Errors
+///
+/// Returns a description of the problem (unknown kind, malformed entry
+/// count, or a count the organization cannot realize).
+pub fn parse_btb(raw: &str) -> Result<BtbVariant, String> {
+    if raw == "ideal" {
+        return Ok(BtbVariant::Ideal);
+    }
+    let (kind, entries) = raw
+        .split_once(':')
+        .ok_or_else(|| format!("btb spec {raw:?} should be kind:entries or `ideal`"))?;
+    let entries: usize = entries
+        .parse()
+        .map_err(|_| format!("bad entry count in {raw:?}"))?;
+    match kind {
+        "conventional" | "bb" => {
+            // The 8-way organizations need a whole number of sets; the
+            // constructors assert this, so check it here where an Err is
+            // wanted instead of a panic.
+            if entries == 0 || !entries.is_multiple_of(8) {
+                return Err(format!(
+                    "btb entry count {entries} must be a non-zero multiple of 8"
+                ));
+            }
+            Ok(if kind == "conventional" {
+                BtbVariant::conventional(entries)
+            } else {
+                BtbVariant::basic_block(entries)
+            })
+        }
+        "fdipx" => {
+            if entries == 0 {
+                return Err("btb entry count must be non-zero".to_string());
+            }
+            Ok(BtbVariant::partitioned(entries))
+        }
+        _ => Err(format!(
+            "unknown btb kind {kind:?} (conventional|bb|fdipx|ideal)"
+        )),
+    }
+}
+
+/// Parses a cache-probe-filtering mode: `none`, `enqueue`, `remove`, `both`.
+///
+/// # Errors
+///
+/// Returns a description listing the valid modes.
+pub fn parse_cpf(raw: &str) -> Result<CpfMode, String> {
+    match raw {
+        "none" => Ok(CpfMode::None),
+        "enqueue" => Ok(CpfMode::Enqueue),
+        "remove" => Ok(CpfMode::Remove),
+        "both" => Ok(CpfMode::Both),
+        _ => Err(format!(
+            "unknown cpf mode {raw:?} (none|enqueue|remove|both)"
+        )),
+    }
+}
+
+/// Parses a direction-predictor spec: `bimodal`, `gshare`, `hybrid`,
+/// `local`, `tage`, or `perfect` (each at its reference sizing).
+///
+/// # Errors
+///
+/// Returns a description listing the valid predictors.
+pub fn parse_predictor(raw: &str) -> Result<PredictorKind, String> {
+    match raw {
+        "bimodal" => Ok(PredictorKind::Bimodal { log2_entries: 15 }),
+        "gshare" => Ok(PredictorKind::Gshare {
+            log2_entries: 15,
+            history_bits: 12,
+        }),
+        "hybrid" => Ok(PredictorKind::Hybrid {
+            log2_entries: 15,
+            history_bits: 12,
+        }),
+        "local" => Ok(PredictorKind::TwoLevelLocal {
+            log2_branches: 13,
+            history_bits: 12,
+        }),
+        "tage" => Ok(PredictorKind::Tage {
+            log2_base: 14,
+            log2_tagged: 12,
+            tables: 5,
+        }),
+        "perfect" => Ok(PredictorKind::Perfect),
+        _ => Err(format!(
+            "unknown predictor {raw:?} (bimodal|gshare|hybrid|local|tage|perfect)"
+        )),
+    }
+}
+
+/// Parses a prefetcher spec (`none`, `nlp`, `stream`, `fdip`, `shotgun`,
+/// `pif`); `cpf` configures the FDIP engine when one is selected.
+///
+/// # Errors
+///
+/// Returns a description listing the valid prefetchers.
+pub fn parse_prefetcher(raw: &str, cpf: CpfMode) -> Result<PrefetcherKind, String> {
+    match raw {
+        "none" => Ok(PrefetcherKind::None),
+        "nlp" => Ok(PrefetcherKind::NextLine),
+        "stream" => Ok(PrefetcherKind::StreamBuffers(Default::default())),
+        "fdip" => Ok(PrefetcherKind::fdip_with_cpf(cpf)),
+        "shotgun" => Ok(PrefetcherKind::shotgun()),
+        "pif" => Ok(PrefetcherKind::Pif(Default::default())),
+        _ => Err(format!(
+            "unknown prefetcher {raw:?} (none|nlp|stream|fdip|shotgun|pif)"
+        )),
+    }
+}
+
+/// Validates an L1-I capacity in KB and returns it. The two-way 64B-block
+/// geometry needs a power-of-two set count, so the capacity must be a
+/// power of two of at least 1 KB.
+///
+/// # Errors
+///
+/// Returns a description of the constraint.
+pub fn check_l1_kb(l1_kb: u64) -> Result<u64, String> {
+    if l1_kb == 0 || !l1_kb.is_power_of_two() {
+        return Err(format!("l1 capacity {l1_kb}KB must be a power of two"));
+    }
+    Ok(l1_kb)
+}
+
+/// Applies `check_l1_kb` and installs the geometry into `config`.
+///
+/// # Errors
+///
+/// Propagates [`check_l1_kb`] errors.
+pub fn set_l1_kb(config: &mut FrontendConfig, l1_kb: u64) -> Result<(), String> {
+    check_l1_kb(l1_kb)?;
+    config.mem.l1 = fdip_mem::CacheGeometry::from_capacity(l1_kb * 1024, 2, 64);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btb_specs_parse() {
+        assert!(matches!(parse_btb("ideal"), Ok(BtbVariant::Ideal)));
+        assert!(matches!(
+            parse_btb("conventional:2048"),
+            Ok(BtbVariant::Conventional(_))
+        ));
+        assert!(matches!(
+            parse_btb("bb:1024"),
+            Ok(BtbVariant::BasicBlock(_))
+        ));
+        assert!(matches!(
+            parse_btb("fdipx:1024"),
+            Ok(BtbVariant::Partitioned(_))
+        ));
+        assert!(parse_btb("bogus:1").is_err());
+        assert!(parse_btb("conventional").is_err());
+        assert!(parse_btb("conventional:x").is_err());
+    }
+
+    #[test]
+    fn off_size_btb_is_an_error_not_a_panic() {
+        // These all hit constructor assertions if passed through unchecked.
+        assert!(parse_btb("conventional:1001")
+            .unwrap_err()
+            .contains("multiple of 8"));
+        assert!(parse_btb("bb:7").is_err());
+        assert!(parse_btb("conventional:0").is_err());
+        assert!(parse_btb("fdipx:0").is_err());
+    }
+
+    #[test]
+    fn prefetcher_and_cpf_parse() {
+        for raw in ["none", "nlp", "stream", "fdip", "shotgun", "pif"] {
+            assert!(parse_prefetcher(raw, CpfMode::None).is_ok(), "{raw}");
+        }
+        assert!(parse_prefetcher("bogus", CpfMode::None).is_err());
+        for raw in ["none", "enqueue", "remove", "both"] {
+            assert!(parse_cpf(raw).is_ok(), "{raw}");
+        }
+        assert!(parse_cpf("bogus").is_err());
+    }
+
+    #[test]
+    fn predictor_specs_parse() {
+        for raw in ["bimodal", "gshare", "hybrid", "local", "tage", "perfect"] {
+            assert!(parse_predictor(raw).is_ok(), "{raw}");
+        }
+        assert!(parse_predictor("oracle9000").is_err());
+    }
+
+    #[test]
+    fn l1_capacity_is_validated_not_asserted() {
+        let mut c = FrontendConfig::default();
+        set_l1_kb(&mut c, 32).unwrap();
+        assert_eq!(c.mem.l1.capacity_bytes(), 32 * 1024);
+        // Non-power-of-two capacities would panic inside CacheGeometry.
+        assert!(set_l1_kb(&mut c, 3).is_err());
+        assert!(set_l1_kb(&mut c, 0).is_err());
+    }
+}

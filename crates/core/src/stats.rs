@@ -144,6 +144,21 @@ impl SimStats {
         }
     }
 
+    /// Speedup of this run over `baseline`, or `None` when the runs are
+    /// not comparable (different instruction counts, or this run retired
+    /// zero cycles).
+    ///
+    /// Library and server paths use this form; experiment code — where a
+    /// mismatch is always a programming error — uses the panicking
+    /// [`speedup_over`](Self::speedup_over) wrapper.
+    pub fn try_speedup_over(&self, baseline: &SimStats) -> Option<f64> {
+        if self.instructions != baseline.instructions || self.cycles == 0 {
+            None
+        } else {
+            Some(baseline.cycles as f64 / self.cycles as f64)
+        }
+    }
+
     /// Speedup of this run over `baseline` (same trace).
     ///
     /// # Panics
@@ -261,6 +276,34 @@ mod tests {
         fast.mem.l1_misses = 25;
         assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
         assert!((fast.miss_coverage_vs(&base) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_speedup_is_none_on_mismatch() {
+        let a = SimStats {
+            instructions: 10,
+            cycles: 5,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            instructions: 20,
+            cycles: 10,
+            ..SimStats::default()
+        };
+        assert_eq!(a.try_speedup_over(&b), None);
+        let c = SimStats {
+            instructions: 10,
+            cycles: 10,
+            ..SimStats::default()
+        };
+        assert_eq!(a.try_speedup_over(&c), Some(2.0));
+        // Zero-cycle run never divides by zero.
+        let z = SimStats {
+            instructions: 10,
+            cycles: 0,
+            ..SimStats::default()
+        };
+        assert_eq!(z.try_speedup_over(&c), None);
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! A deliberately small HTTP/1.1 codec: enough protocol to serve JSON
+//! endpoints from `std::net`, hardened for the trust boundary.
+//!
+//! The parser reads one request at a time from any [`BufRead`], so
+//! keep-alive and pipelined requests fall out naturally: the caller just
+//! parses again from the same stream. Every dimension an attacker controls
+//! is bounded — request-line and header-line length, header count, and
+//! body size — and violations map to the appropriate 4xx status instead of
+//! unbounded allocation.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or single header line, in bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token, e.g. `GET`.
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when there is no `content-length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The connection closed cleanly before a request line started
+    /// (normal end of a keep-alive connection) or timed out while idle.
+    Idle,
+    /// Malformed request syntax; respond 400.
+    Bad(&'static str),
+    /// A line or the header block exceeded its limit; respond 431.
+    HeadersTooLarge,
+    /// The declared body exceeds [`MAX_BODY_BYTES`]; respond 413.
+    BodyTooLarge,
+    /// The underlying transport failed mid-request.
+    Io(io::Error),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Idle => write!(f, "connection idle or closed"),
+            HttpError::Bad(what) => write!(f, "bad request: {what}"),
+            HttpError::HeadersTooLarge => write!(f, "request header section too large"),
+            HttpError::BodyTooLarge => write!(f, "request body too large"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one line (terminated by `\n`) of at most `MAX_LINE_BYTES`.
+///
+/// `started` reports whether any bytes of the line were consumed before an
+/// error — the caller uses it to tell an idle keep-alive connection from a
+/// truncated request.
+fn read_line<R: BufRead>(r: &mut R, started: &mut bool) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() && !*started {
+                    return Err(HttpError::Idle);
+                }
+                return Err(HttpError::Bad("unexpected end of request"));
+            }
+            Ok(_) => {
+                *started = true;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map_err(|_| HttpError::Bad("non-utf8 request header"));
+                }
+                if line.len() >= MAX_LINE_BYTES {
+                    return Err(HttpError::HeadersTooLarge);
+                }
+                line.push(byte[0]);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) && line.is_empty()
+                    && !*started =>
+            {
+                return Err(HttpError::Idle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Parses one request from `r`.
+///
+/// # Errors
+///
+/// [`HttpError::Idle`] when the connection closed or timed out before a
+/// new request began; other variants describe malformed or oversized
+/// requests (see each variant for the status to respond with).
+pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
+    let mut started = false;
+    let request_line = read_line(r, &mut started)?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::Bad("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Bad("unsupported http version"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, &mut started)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Bad("header line without a colon"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Bad("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers
+        .iter()
+        .filter(|(n, _)| n == "content-length")
+        .count()
+    {
+        0 => 0usize,
+        1 => {
+            let raw = headers
+                .iter()
+                .find(|(n, _)| n == "content-length")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("");
+            raw.parse::<usize>()
+                .map_err(|_| HttpError::Bad("invalid content-length"))?
+        }
+        _ => return Err(HttpError::Bad("duplicate content-length")),
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+    if headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        // Chunked bodies are not needed by any endpoint; rejecting them
+        // outright avoids request-smuggling ambiguity with content-length.
+        return Err(HttpError::Bad("transfer-encoding not supported"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        r.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                HttpError::Bad("body shorter than content-length")
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
+    }
+
+    let path = target.split(['?', '#']).next().unwrap_or("").to_string();
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        headers,
+        body,
+    })
+}
+
+/// One response under construction.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code, e.g. 200.
+    pub status: u16,
+    headers: Vec<(&'static str, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with a JSON body.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("content-type", "application/json".to_string())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A response with a plain-text body.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("content-type", "text/plain; version=0.0.4".to_string())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error document: `{"error": <message>}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let doc = fdip_types::Json::obj([("error", fdip_types::Json::str(message))]);
+        Response::json(status, doc.to_string())
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// Serializes the response, including `Connection: close` when
+    /// `close` is set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write_to<W: Write>(&self, w: &mut W, close: bool) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            status_reason(self.status)
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n", self.body.len())?;
+        if close {
+            write!(w, "connection: close\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// The status code a parse failure maps to, or `None` when the connection
+/// should just be dropped (idle close, transport error).
+pub fn error_status(err: &HttpError) -> Option<u16> {
+    match err {
+        HttpError::Idle | HttpError::Io(_) => None,
+        HttpError::Bad(_) => Some(400),
+        HttpError::HeadersTooLarge => Some(431),
+        HttpError::BodyTooLarge => Some(413),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_str(s: &str) -> Result<Request, HttpError> {
+        parse_request(&mut s.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let req = parse_str("GET /healthz?probe=1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse_str("POST /v1/run HTTP/1.1\r\ncontent-length: 4\r\n\r\n{\"\"}extra").unwrap();
+        assert_eq!(req.body, b"{\"\"}");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let stream = "POST /a HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi\
+                      GET /b HTTP/1.1\r\n\r\n\
+                      GET /c HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let mut r = stream.as_bytes();
+        let a = parse_request(&mut r).unwrap();
+        assert_eq!((a.path.as_str(), a.body.as_slice()), ("/a", &b"hi"[..]));
+        let b = parse_request(&mut r).unwrap();
+        assert_eq!(b.path, "/b");
+        let c = parse_request(&mut r).unwrap();
+        assert_eq!(c.path, "/c");
+        assert!(c.wants_close());
+        // Stream exhausted: the next parse reports an idle close.
+        assert!(matches!(parse_request(&mut r), Err(HttpError::Idle)));
+    }
+
+    #[test]
+    fn oversized_header_line_is_431() {
+        let huge = format!(
+            "GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n",
+            "a".repeat(MAX_LINE_BYTES)
+        );
+        let err = parse_str(&huge).unwrap_err();
+        assert!(matches!(err, HttpError::HeadersTooLarge));
+        assert_eq!(error_status(&err), Some(431));
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut s = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            s.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        s.push_str("\r\n");
+        assert!(matches!(parse_str(&s), Err(HttpError::HeadersTooLarge)));
+    }
+
+    #[test]
+    fn bad_content_length_is_400() {
+        for bad in [
+            "POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+            "POST / HTTP/1.1\r\ncontent-length: -1\r\n\r\n",
+            "POST / HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 5\r\n\r\nxxxxx",
+        ] {
+            let err = parse_str(bad).unwrap_err();
+            assert!(matches!(err, HttpError::Bad(_)), "{bad:?}");
+            assert_eq!(error_status(&err), Some(400));
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_413_without_allocation() {
+        let s = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", u64::MAX);
+        // u64::MAX overflows usize on 32-bit but parses on 64-bit; either
+        // way the declared size exceeds the cap and is rejected before the
+        // body buffer is allocated.
+        let err = parse_str(&s).unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::BodyTooLarge | HttpError::Bad("invalid content-length")
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        let err = parse_str("POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort").unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::Bad("body shorter than content-length")
+        ));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for bad in [
+            "\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / HTTP/2\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "GET / HTTP/1.1\r\nbad header line\r\n\r\n",
+            "GET / HTTP/1.1\r\nname space: v\r\n\r\n",
+        ] {
+            assert!(matches!(parse_str(bad), Err(HttpError::Bad(_))), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_transfer_is_rejected() {
+        let err = parse_str("POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n").unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::Bad("transfer-encoding not supported")
+        ));
+    }
+
+    #[test]
+    fn empty_stream_is_idle() {
+        assert!(matches!(parse_str(""), Err(HttpError::Idle)));
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_close() {
+        let mut buf = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .with_header("retry-after", "1")
+            .write_to(&mut buf, true)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_responses_are_json_documents() {
+        let mut buf = Vec::new();
+        Response::error(404, "no such experiment")
+            .write_to(&mut buf, false)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains(r#"{"error":"no such experiment"}"#));
+        assert!(!text.contains("connection: close"));
+    }
+}

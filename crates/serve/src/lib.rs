@@ -1,0 +1,96 @@
+//! `fdip-serve`: the reproduction's simulation service, on `std::net`
+//! alone.
+//!
+//! The workspace's no-external-dependency policy extends to the server:
+//! HTTP parsing ([`http`]), the bounded request queue ([`queue`]),
+//! Prometheus metrics ([`metrics`]), and signal handling ([`signal`]) are
+//! all hand-rolled on `std`. What makes the service worth running is the
+//! shared [`Harness`](fdip_sim::harness::Harness): every request is
+//! answered through the process-global trace store and content-keyed cell
+//! cache, so a warm server answers repeated and overlapping experiment
+//! queries orders of magnitude faster than cold simulation, and concurrent
+//! identical requests coalesce instead of duplicating work.
+//!
+//! # Endpoints
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness probe |
+//! | `GET /metrics` | Prometheus text: request counters, queue/in-flight gauges, latency histogram, harness cache counters |
+//! | `POST /v1/run` | simulate one `(workload, config)` cell |
+//! | `POST /v1/compare` | a config list vs the no-prefetch baseline: speedups + miss coverage |
+//! | `GET /v1/experiments/{id}` | a persisted, schema-versioned `results/` document |
+//!
+//! # Overload and deadlines
+//!
+//! Accepted connections enter a bounded queue ([`queue::BoundedQueue`]);
+//! when it is full the accept loop sheds the connection with
+//! `503` + `Retry-After`, so offered load beyond capacity costs O(1)
+//! memory. Every request carries a deadline — `min(server timeout,
+//! client's x-fdip-deadline-ms header)` measured from accept — and
+//! requests that expire while queued are answered `408` (client-set
+//! deadline) or `429` (server default) without starting the simulation.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use fdip_serve::{ServeConfig, Server};
+//!
+//! let server = Server::bind(ServeConfig {
+//!     addr: "127.0.0.1:8080".to_string(),
+//!     ..ServeConfig::default()
+//! })?;
+//! server.run()?; // blocks until SIGTERM / ctrl-c, then drains
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod service;
+pub mod signal;
+
+mod server;
+
+pub use server::{Server, ShutdownHandle};
+
+use std::path::PathBuf;
+
+/// Server configuration, mirrored by the `fdip serve` CLI flags.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:8080` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads; 0 means `available_parallelism`.
+    pub threads: usize,
+    /// Bounded request-queue capacity; connections beyond it are shed
+    /// with 503.
+    pub queue_depth: usize,
+    /// Server-side deadline per request, in milliseconds. Also bounds how
+    /// long an idle keep-alive connection may pin a worker.
+    pub timeout_ms: u64,
+    /// Directory holding persisted experiment documents for
+    /// `GET /v1/experiments/{id}`.
+    pub results_dir: PathBuf,
+    /// Largest `trace_len` a request may ask for (memory bound).
+    pub max_trace_len: usize,
+    /// Most configs accepted by one `/v1/compare` request.
+    pub max_configs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            threads: 0,
+            queue_depth: 64,
+            timeout_ms: 30_000,
+            results_dir: PathBuf::from("results"),
+            max_trace_len: 2_000_000,
+            max_configs: 16,
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Server instrumentation and its Prometheus text rendering.
+//!
+//! Counters are plain relaxed atomics bumped on the request path; a
+//! `/metrics` scrape takes a point-in-time snapshot and renders the
+//! [text exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! `# HELP`/`# TYPE` preambles, one sample per line. The harness cache
+//! counters (trace/cell hits, misses, in-flight shares) are folded in from
+//! [`HarnessStats`] so a scrape shows how much simulation work requests
+//! are actually causing versus serving from cache.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use fdip_sim::harness::HarnessStats;
+
+/// The status codes this server can emit (the label set of
+/// `requests_total`). Keeping the set closed lets the counters live in a
+/// fixed array with no locking or allocation on the request path.
+pub const STATUS_CODES: [u16; 10] = [200, 400, 404, 405, 408, 413, 429, 431, 500, 503];
+
+/// Upper bounds (seconds) of the request-latency histogram buckets; a
+/// `+Inf` bucket is implicit.
+pub const LATENCY_BUCKETS: [f64; 8] = [0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 30.0];
+
+/// All server counters. One instance lives in the server and is shared by
+/// the accept loop and every worker.
+#[derive(Default)]
+pub struct Metrics {
+    /// Completed responses, indexed like [`STATUS_CODES`].
+    responses: [AtomicU64; STATUS_CODES.len()],
+    /// Connections accepted (including ones later shed).
+    pub connections_total: AtomicU64,
+    /// Connections shed with 503 because the queue was full.
+    pub shed_total: AtomicU64,
+    /// Requests rejected because their deadline expired before handling.
+    pub deadline_expired_total: AtomicU64,
+    /// Requests currently being handled by a worker.
+    pub in_flight: AtomicU64,
+    /// Latency histogram bucket counts, indexed like [`LATENCY_BUCKETS`]
+    /// with the final slot counting `+Inf`.
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
+    /// Total observed latency in microseconds.
+    latency_sum_us: AtomicU64,
+    /// Total observations.
+    latency_count: AtomicU64,
+}
+
+impl Metrics {
+    /// Records a completed response.
+    pub fn record_response(&self, status: u16) {
+        if let Some(i) = STATUS_CODES.iter().position(|&s| s == status) {
+            self.responses[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one request's handling latency.
+    pub fn record_latency(&self, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        let i = LATENCY_BUCKETS
+            .iter()
+            .position(|&b| secs <= b)
+            .unwrap_or(LATENCY_BUCKETS.len());
+        self.latency_buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Responses recorded for `status` so far.
+    pub fn responses_for(&self, status: u16) -> u64 {
+        STATUS_CODES
+            .iter()
+            .position(|&s| s == status)
+            .map(|i| self.responses[i].load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Total responses across all status codes.
+    pub fn responses_total(&self) -> u64 {
+        self.responses
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Renders the Prometheus text document. `queue_depth` and
+    /// `queue_capacity` come from the live queue; `harness` is the shared
+    /// harness's counter snapshot.
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        harness: &HarnessStats,
+    ) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(4096);
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            let _ = write!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            );
+        };
+
+        let _ = write!(
+            out,
+            "# HELP fdip_serve_requests_total Responses sent, by HTTP status.\n\
+             # TYPE fdip_serve_requests_total counter\n"
+        );
+        for (i, status) in STATUS_CODES.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "fdip_serve_requests_total{{status=\"{status}\"}} {}",
+                self.responses[i].load(Ordering::Relaxed)
+            );
+        }
+
+        counter(
+            &mut out,
+            "fdip_serve_connections_total",
+            "Connections accepted.",
+            self.connections_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "fdip_serve_shed_total",
+            "Connections shed with 503 because the request queue was full.",
+            self.shed_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "fdip_serve_deadline_expired_total",
+            "Requests whose deadline expired before a worker reached them.",
+            self.deadline_expired_total.load(Ordering::Relaxed),
+        );
+
+        let _ = write!(
+            out,
+            "# HELP fdip_serve_in_flight Requests currently being handled.\n\
+             # TYPE fdip_serve_in_flight gauge\n\
+             fdip_serve_in_flight {}\n\
+             # HELP fdip_serve_queue_depth Connections waiting in the bounded queue.\n\
+             # TYPE fdip_serve_queue_depth gauge\n\
+             fdip_serve_queue_depth {queue_depth}\n\
+             # HELP fdip_serve_queue_capacity Configured request-queue capacity.\n\
+             # TYPE fdip_serve_queue_capacity gauge\n\
+             fdip_serve_queue_capacity {queue_capacity}\n",
+            self.in_flight.load(Ordering::Relaxed)
+        );
+
+        let _ = write!(
+            out,
+            "# HELP fdip_serve_request_seconds Request handling latency.\n\
+             # TYPE fdip_serve_request_seconds histogram\n"
+        );
+        let mut cumulative = 0u64;
+        for (i, bound) in LATENCY_BUCKETS.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "fdip_serve_request_seconds_bucket{{le=\"{bound}\"}} {cumulative}"
+            );
+        }
+        cumulative += self.latency_buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed);
+        let _ = write!(
+            out,
+            "fdip_serve_request_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n\
+             fdip_serve_request_seconds_sum {}\n\
+             fdip_serve_request_seconds_count {}\n",
+            self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e6,
+            self.latency_count.load(Ordering::Relaxed)
+        );
+
+        for (name, help, value) in [
+            (
+                "fdip_serve_harness_traces_generated_total",
+                "Traces generated by the shared harness (store misses).",
+                harness.traces_generated,
+            ),
+            (
+                "fdip_serve_harness_trace_hits_total",
+                "Trace requests served from the harness store.",
+                harness.trace_hits,
+            ),
+            (
+                "fdip_serve_harness_traces_shared_total",
+                "Trace requests coalesced onto an in-flight generation.",
+                harness.traces_shared,
+            ),
+            (
+                "fdip_serve_harness_cells_simulated_total",
+                "Simulation cells actually run (cell-cache misses).",
+                harness.cells_simulated,
+            ),
+            (
+                "fdip_serve_harness_cell_hits_total",
+                "Cell requests served from the harness cache.",
+                harness.cell_hits,
+            ),
+            (
+                "fdip_serve_harness_cells_shared_total",
+                "Cell requests coalesced onto an in-flight simulation.",
+                harness.cells_shared,
+            ),
+        ] {
+            counter(&mut out, name, help, value);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_every_family_and_reconciles() {
+        let m = Metrics::default();
+        m.record_response(200);
+        m.record_response(200);
+        m.record_response(503);
+        m.record_response(777); // unknown codes are ignored, not panicked on
+        m.record_latency(Duration::from_millis(3));
+        m.record_latency(Duration::from_secs(60));
+        m.connections_total.fetch_add(3, Ordering::Relaxed);
+
+        assert_eq!(m.responses_for(200), 2);
+        assert_eq!(m.responses_for(503), 1);
+        assert_eq!(m.responses_total(), 3);
+
+        let harness = HarnessStats {
+            cells_simulated: 5,
+            cell_hits: 7,
+            ..HarnessStats::default()
+        };
+        let text = m.render(2, 64, &harness);
+        assert!(
+            text.contains("fdip_serve_requests_total{status=\"200\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("fdip_serve_requests_total{status=\"503\"} 1"));
+        assert!(text.contains("fdip_serve_connections_total 3"));
+        assert!(text.contains("fdip_serve_queue_depth 2"));
+        assert!(text.contains("fdip_serve_queue_capacity 64"));
+        assert!(text.contains("fdip_serve_request_seconds_count 2"));
+        assert!(text.contains("fdip_serve_request_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("fdip_serve_harness_cells_simulated_total 5"));
+        assert!(text.contains("fdip_serve_harness_cell_hits_total 7"));
+        // Histogram buckets are cumulative: the 3ms observation lands in
+        // le=0.005 and every later bucket includes it.
+        assert!(text.contains("fdip_serve_request_seconds_bucket{le=\"0.005\"} 1"));
+        assert!(text.contains("fdip_serve_request_seconds_bucket{le=\"30\"} 1"));
+    }
+}

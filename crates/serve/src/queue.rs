@@ -1,0 +1,170 @@
+//! A bounded MPMC queue on `Mutex` + `Condvar`: the server's backpressure
+//! point.
+//!
+//! The accept loop [`try_push`](BoundedQueue::try_push)es connections and
+//! sheds load (HTTP 503) when the queue is full; worker threads block in
+//! [`pop`](BoundedQueue::pop). [`close`](BoundedQueue::close) starts a
+//! graceful drain: pushes stop being accepted, pops keep returning queued
+//! items until the queue is empty, then return `None` so workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back for shedding.
+    Full(T),
+    /// The queue is closed (server shutting down).
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. See the module docs.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    takers: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            takers: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` if there is room, never blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back inside [`PushError`] when the queue is full
+    /// or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue mutex");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        self.takers.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained, in which case `None` tells the worker to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue mutex");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.takers.wait(inner).expect("queue mutex");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, queued items still drain.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue mutex").closed = true;
+        self.takers.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called (the server is
+    /// draining).
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue mutex").closed
+    }
+
+    /// Items currently queued (a point-in-time snapshot for metrics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue mutex").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_beyond_capacity_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        assert_eq!(q.try_push(12), Err(PushError::Closed(12)));
+        // Queued work still drains in order…
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        // …then pops return None.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_a_push_arrives() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let taker = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        assert_eq!(taker.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for w in workers {
+            assert_eq!(w.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+        assert!(!q.is_empty());
+    }
+}

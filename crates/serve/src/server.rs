@@ -1,0 +1,279 @@
+//! The accept loop, worker pool, and connection lifecycle.
+//!
+//! ```text
+//!             ┌─────────────┐   try_push    ┌──────────────┐   pop
+//!  accept ───▶│ accept loop │──────────────▶│ BoundedQueue │────────▶ workers
+//!             └─────────────┘   full: 503   └──────────────┘          │
+//!                   ▲  polls shutdown flag                            ▼
+//!                   └──────────── SIGTERM / ctrl-c / handle      Service::route
+//! ```
+//!
+//! Backpressure is connection-granular: a full queue sheds new
+//! connections with `503 Service Unavailable` + `Retry-After` written
+//! inline by the accept loop, so memory stays bounded no matter the offered
+//! load. Each request additionally carries a deadline — the smaller of the
+//! server's `timeout_ms` and the client's `x-fdip-deadline-ms` header —
+//! measured from the moment the connection was accepted; requests that
+//! expire before a worker reaches them are answered `408`/`429` without
+//! doing the work. Shutdown (signal or [`ShutdownHandle`]) stops the
+//! accept loop, closes the queue, and lets workers drain what was already
+//! accepted before [`Server::run`] returns.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::http::{self, Request, Response};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+use crate::service::Service;
+use crate::{signal, ServeConfig};
+
+/// One accepted connection waiting for (or being served by) a worker.
+struct Conn {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+/// Cooperative stop switch for an in-process server (tests, the loadgen
+/// harness). The process-level SIGINT/SIGTERM path trips the same logic.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Asks the server to stop accepting, drain, and return from `run`.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A bound listener plus everything needed to serve it.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+    queue: Arc<BoundedQueue<Conn>>,
+    shutdown: Arc<AtomicBool>,
+    threads: usize,
+}
+
+impl Server {
+    /// Binds `config.addr` and prepares the worker pool (workers start in
+    /// [`run`](Server::run)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+        } else {
+            config.threads
+        };
+        let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+        let service = Arc::new(Service::new(config, Arc::new(Metrics::default())));
+        Ok(Server {
+            listener,
+            service,
+            queue,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            threads,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops this server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// The shared metrics sink (for observation in tests and the loadgen).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(self.service.metrics())
+    }
+
+    /// Serves until a signal arrives or the [`ShutdownHandle`] fires, then
+    /// drains in-flight work and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors; per-connection errors are handled
+    /// inline.
+    pub fn run(&self) -> io::Result<()> {
+        signal::install();
+        let metrics = self.service.metrics();
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(self.threads);
+            for _ in 0..self.threads {
+                let queue = Arc::clone(&self.queue);
+                let service = Arc::clone(&self.service);
+                workers.push(scope.spawn(move || worker_loop(&queue, &service)));
+            }
+
+            loop {
+                if self.shutdown.load(Ordering::Relaxed) || signal::shutdown_requested() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+                        let conn = Conn {
+                            stream,
+                            accepted_at: Instant::now(),
+                        };
+                        match self.queue.try_push(conn) {
+                            Ok(()) => {}
+                            Err(PushError::Full(conn)) | Err(PushError::Closed(conn)) => {
+                                shed(conn, metrics);
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        // The poll interval is the floor on accept latency
+                        // (cache-hit requests complete in well under 1ms),
+                        // so keep it tight.
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        self.queue.close();
+                        return Err(e);
+                    }
+                }
+            }
+
+            // Graceful drain: no new work is admitted, queued connections
+            // are still served, workers exit once the queue is dry.
+            self.queue.close();
+            Ok(())
+        })
+    }
+}
+
+/// Writes the 503 + `Retry-After` shed response directly from the accept
+/// loop; the queue never grows past its bound.
+fn shed(conn: Conn, metrics: &Metrics) {
+    metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+    let mut stream = conn.stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let resp = Response::error(503, "server at capacity, try again shortly")
+        .with_header("retry-after", "1");
+    let _ = resp.write_to(&mut stream, true);
+    metrics.record_response(503);
+}
+
+/// One worker: pop connections and serve each until it closes.
+fn worker_loop(queue: &BoundedQueue<Conn>, service: &Service) {
+    while let Some(conn) = queue.pop() {
+        serve_connection(conn, queue, service);
+    }
+}
+
+/// The per-request deadline: the server timeout, tightened by the
+/// client's `x-fdip-deadline-ms` header when present and well-formed.
+/// Returns the budget plus whether the client supplied it (which picks
+/// the expiry status: 408 for a client deadline, 429 for the server's).
+fn deadline_budget(req: &Request, config: &ServeConfig) -> (Duration, bool) {
+    let server = Duration::from_millis(config.timeout_ms);
+    match req
+        .header("x-fdip-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(client_ms) => {
+            let client = Duration::from_millis(client_ms);
+            (client.min(server), client <= server)
+        }
+        None => (server, false),
+    }
+}
+
+fn serve_connection(conn: Conn, queue: &BoundedQueue<Conn>, service: &Service) {
+    let Conn {
+        stream,
+        accepted_at,
+    } = conn;
+    let metrics = Arc::clone(service.metrics());
+    // Bound how long a parked keep-alive connection can pin this worker:
+    // reads time out at the server timeout and surface as an idle close.
+    let io_timeout = Duration::from_millis(service.config().timeout_ms.clamp(100, 60_000));
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut first_request = true;
+
+    loop {
+        let req = match http::parse_request(&mut reader) {
+            Ok(req) => req,
+            Err(err) => {
+                if let Some(status) = http::error_status(&err) {
+                    let resp = Response::error(status, &err.to_string());
+                    let _ = resp.write_to(&mut writer, true);
+                    metrics.record_response(status);
+                }
+                return;
+            }
+        };
+        let started = Instant::now();
+        // During a drain the response is still served, but the connection
+        // is closed afterwards so workers can finish and exit.
+        let close = req.wants_close() || queue.is_closed();
+
+        // Deadline check on the *first* request of the connection: its
+        // clock started at accept, so time spent queued behind a full
+        // worker pool counts against the budget and expired work is never
+        // started. Later keep-alive requests reach an already-dedicated
+        // worker and have no queue wait to bound.
+        let (budget, client_set) = deadline_budget(&req, service.config());
+        let resp = if first_request && accepted_at.elapsed() > budget {
+            metrics
+                .deadline_expired_total
+                .fetch_add(1, Ordering::Relaxed);
+            let status = if client_set { 408 } else { 429 };
+            Response::error(
+                status,
+                "deadline expired before the request could be handled",
+            )
+            .with_header("retry-after", "1")
+        } else {
+            metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+            let depth = queue.len();
+            // Backstop: a handler panic must kill neither the worker nor
+            // the connection contract (the client still gets a response).
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| service.route(&req, depth)));
+            metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+            result.unwrap_or_else(|_| Response::error(500, "internal error handling the request"))
+        };
+
+        let status = resp.status;
+        let write_ok = resp.write_to(&mut writer, close).is_ok();
+        metrics.record_response(status);
+        metrics.record_latency(started.elapsed());
+        if close || !write_ok {
+            let _ = writer.flush();
+            return;
+        }
+        first_request = false;
+    }
+}

@@ -1,0 +1,313 @@
+//! End-to-end tests over real TCP: backpressure shedding, queued-request
+//! deadlines, graceful drain, and metrics reconciliation.
+//!
+//! Each test binds its own server on port 0 and runs it on a background
+//! thread; the process-global harness is shared across tests, which is
+//! exactly the production arrangement.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fdip_serve::metrics::Metrics;
+use fdip_serve::{ServeConfig, Server, ShutdownHandle};
+
+struct TestServer {
+    addr: SocketAddr,
+    handle: ShutdownHandle,
+    metrics: Arc<Metrics>,
+    thread: JoinHandle<std::io::Result<()>>,
+}
+
+impl TestServer {
+    fn start(mut config: ServeConfig) -> TestServer {
+        config.addr = "127.0.0.1:0".to_string();
+        let server = Server::bind(config).expect("bind");
+        let addr = server.local_addr().expect("local_addr");
+        let handle = server.shutdown_handle();
+        let metrics = server.metrics();
+        let thread = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            handle,
+            metrics,
+            thread,
+        }
+    }
+
+    fn stop(self) -> Arc<Metrics> {
+        self.handle.shutdown();
+        let result = self.thread.join().expect("server thread panicked");
+        assert!(result.is_ok(), "server run() errored: {result:?}");
+        self.metrics
+    }
+}
+
+/// Reads one HTTP/1.1 response (status line, headers, content-length body)
+/// off `reader`.
+fn read_response<R: Read>(reader: &mut BufReader<R>) -> (u16, Vec<(String, String)>, String) {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {line:?}"));
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h).expect("header line");
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        let (name, value) = h.split_once(':').expect("header colon");
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().expect("content-length value");
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (
+        status,
+        headers,
+        String::from_utf8(body).expect("utf-8 body"),
+    )
+}
+
+/// One-shot request on a fresh connection (Connection: close).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    request_with_headers(addr, method, path, &[], body)
+}
+
+fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut req = format!("{method} {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\n");
+    for (name, value) in extra {
+        req.push_str(&format!("{name}: {value}\r\n"));
+    }
+    req.push_str(&format!("content-length: {}\r\n\r\n{body}", body.len()));
+    stream.write_all(req.as_bytes()).expect("write request");
+    let mut reader = BufReader::new(stream);
+    let (status, _headers, body) = read_response(&mut reader);
+    (status, body)
+}
+
+/// Opens a keep-alive connection, sends one request, and returns the
+/// stream once the response has been read — the serving worker is now
+/// parked on this connection waiting for the next request.
+fn hold_worker(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut w = stream.try_clone().unwrap();
+    w.write_all(b"GET /healthz HTTP/1.1\r\nhost: test\r\ncontent-length: 0\r\n\r\n")
+        .expect("write");
+    let mut reader = BufReader::new(stream);
+    let (status, _h, _b) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    reader.into_inner()
+}
+
+#[test]
+fn healthz_run_and_metrics_over_tcp() {
+    let t = TestServer::start(ServeConfig {
+        threads: 1,
+        timeout_ms: 30_000,
+        ..ServeConfig::default()
+    });
+
+    let (status, body) = request(t.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""), "{body}");
+
+    let run_body = r#"{"workload": {"profile": "microloop", "seed": 31}, "trace_len": 1500}"#;
+    let (status, body) = request(t.addr, "POST", "/v1/run", run_body);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ipc\""), "{body}");
+    assert!(body.contains("\"schema_version\""), "{body}");
+
+    let (status, body) = request(t.addr, "GET", "/v1/experiments/not-an-id", "");
+    assert_eq!(status, 404);
+    assert!(body.contains("unknown experiment"), "{body}");
+
+    // The scrape itself is recorded only after it renders, so the text
+    // reflects the 3 responses observed so far.
+    let (status, text) = request(t.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        text.contains("fdip_serve_requests_total{status=\"200\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("fdip_serve_requests_total{status=\"404\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("fdip_serve_harness_cells_simulated_total"),
+        "{text}"
+    );
+    assert!(
+        text.contains("fdip_serve_request_seconds_bucket{le=\"+Inf\"} 3"),
+        "{text}"
+    );
+
+    let metrics = t.stop();
+
+    // Client-observed responses reconcile with the server's counters:
+    // 4 requests made, all completed, none shed.
+    assert_eq!(metrics.responses_total(), 4);
+    assert_eq!(metrics.responses_for(200), 3);
+    assert_eq!(metrics.responses_for(404), 1);
+    assert_eq!(
+        metrics
+            .shed_total
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+}
+
+#[test]
+fn full_queue_sheds_with_503_and_retry_after() {
+    let t = TestServer::start(ServeConfig {
+        threads: 1,
+        queue_depth: 1,
+        timeout_ms: 30_000,
+        ..ServeConfig::default()
+    });
+
+    // Occupy the only worker with a parked keep-alive connection, then
+    // fill the queue's single slot.
+    let held = hold_worker(t.addr);
+    let queued = TcpStream::connect(t.addr).expect("connect queued");
+    std::thread::sleep(Duration::from_millis(300)); // let the accept loop enqueue it
+
+    // The next connection finds the queue full and is shed inline by the
+    // accept loop — before any request bytes are even sent.
+    let shed = TcpStream::connect(t.addr).expect("connect shed");
+    shed.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(shed);
+    let (status, headers, body) = read_response(&mut reader);
+    assert_eq!(status, 503, "{body}");
+    assert!(
+        headers.iter().any(|(n, v)| n == "retry-after" && v == "1"),
+        "{headers:?}"
+    );
+    assert!(body.contains("capacity"), "{body}");
+
+    drop(held);
+    drop(queued);
+    let metrics = t.stop();
+
+    let shed_count = metrics
+        .shed_total
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(shed_count, 1);
+    assert_eq!(metrics.responses_for(503), 1);
+}
+
+#[test]
+fn queued_request_past_its_deadline_gets_408() {
+    let t = TestServer::start(ServeConfig {
+        threads: 1,
+        queue_depth: 4,
+        timeout_ms: 30_000,
+        ..ServeConfig::default()
+    });
+
+    let held = hold_worker(t.addr);
+
+    // This request waits in the queue behind the held connection; its
+    // 1ms client deadline expires long before a worker reaches it.
+    let queued = TcpStream::connect(t.addr).expect("connect");
+    queued
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut w = queued.try_clone().unwrap();
+    w.write_all(
+        b"GET /healthz HTTP/1.1\r\nhost: test\r\nx-fdip-deadline-ms: 1\r\ncontent-length: 0\r\n\r\n",
+    )
+    .expect("write");
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Release the worker; it pops the queued connection and rejects the
+    // expired request without doing the work.
+    drop(held);
+    let mut reader = BufReader::new(queued);
+    let (status, headers, body) = read_response(&mut reader);
+    assert_eq!(status, 408, "{body}");
+    assert!(
+        headers.iter().any(|(n, _)| n == "retry-after"),
+        "{headers:?}"
+    );
+
+    // Close the keep-alive connection (both cloned halves) so the worker
+    // can exit promptly instead of waiting out its read timeout.
+    drop(reader);
+    drop(w);
+    let metrics = t.stop();
+    assert!(
+        metrics
+            .deadline_expired_total
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+}
+
+#[test]
+fn shutdown_drains_queued_work_before_returning() {
+    let t = TestServer::start(ServeConfig {
+        threads: 1,
+        queue_depth: 4,
+        timeout_ms: 30_000,
+        ..ServeConfig::default()
+    });
+
+    let held = hold_worker(t.addr);
+
+    // Queue a connection with a request already written.
+    let queued = TcpStream::connect(t.addr).expect("connect");
+    queued
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut w = queued.try_clone().unwrap();
+    w.write_all(b"GET /healthz HTTP/1.1\r\nhost: test\r\ncontent-length: 0\r\n\r\n")
+        .expect("write");
+    std::thread::sleep(Duration::from_millis(300)); // let the accept loop enqueue it
+
+    // Shutdown stops the accept loop but queued work still gets served.
+    t.handle.shutdown();
+    std::thread::sleep(Duration::from_millis(100));
+    drop(held);
+
+    let mut reader = BufReader::new(queued);
+    let (status, headers, body) = read_response(&mut reader);
+    assert_eq!(status, 200, "{body}");
+    // Drain closes connections so workers can exit.
+    assert!(
+        headers
+            .iter()
+            .any(|(n, v)| n == "connection" && v == "close"),
+        "{headers:?}"
+    );
+
+    let result = t.thread.join().expect("server thread panicked");
+    assert!(result.is_ok(), "{result:?}");
+}

@@ -66,16 +66,48 @@ pub struct TraceEntry {
 }
 
 /// Snapshot of the harness's cache counters.
+///
+/// Each counter is an atomic the workers bump as they go, so a snapshot
+/// is cheap enough for a `/metrics` scrape on every request. *Hits* are
+/// requests served from an already-finished entry; *shared* counts
+/// requests that arrived while another thread was still computing the
+/// same entry and blocked on its slot instead of duplicating the work
+/// (in-flight coalescing).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct HarnessStats {
     /// Traces actually generated (trace-store misses).
     pub traces_generated: u64,
-    /// Trace requests served from the store.
+    /// Trace requests served from the store after generation finished.
     pub trace_hits: u64,
+    /// Trace requests coalesced onto another thread's in-flight generation.
+    pub traces_shared: u64,
     /// Cells actually simulated (cell-cache misses).
     pub cells_simulated: u64,
-    /// Cell requests served from the cache.
+    /// Cell requests served from the cache after simulation finished.
     pub cell_hits: u64,
+    /// Cell requests coalesced onto another thread's in-flight simulation.
+    pub cells_shared: u64,
+}
+
+impl HarnessStats {
+    /// Total cell requests, however they were served.
+    pub fn cell_requests(&self) -> u64 {
+        self.cells_simulated + self.cell_hits + self.cells_shared
+    }
+}
+
+impl fdip_types::ToJson for HarnessStats {
+    fn to_json(&self) -> fdip_types::Json {
+        fdip_types::json_fields!(
+            self,
+            traces_generated,
+            trace_hits,
+            traces_shared,
+            cells_simulated,
+            cell_hits,
+            cells_shared,
+        )
+    }
 }
 
 /// Identifies a trace by content: workload name (which fixes profile and
@@ -102,8 +134,10 @@ pub struct Harness {
     threads: Option<usize>,
     traces_generated: AtomicU64,
     trace_hits: AtomicU64,
+    traces_shared: AtomicU64,
     cells_simulated: AtomicU64,
     cell_hits: AtomicU64,
+    cells_shared: AtomicU64,
 }
 
 impl Harness {
@@ -134,8 +168,10 @@ impl Harness {
         HarnessStats {
             traces_generated: self.traces_generated.load(Ordering::Relaxed),
             trace_hits: self.trace_hits.load(Ordering::Relaxed),
+            traces_shared: self.traces_shared.load(Ordering::Relaxed),
             cells_simulated: self.cells_simulated.load(Ordering::Relaxed),
             cell_hits: self.cell_hits.load(Ordering::Relaxed),
+            cells_shared: self.cells_shared.load(Ordering::Relaxed),
         }
     }
 
@@ -151,6 +187,10 @@ impl Harness {
                 .or_default()
                 .clone()
         };
+        // A slot that is already populated is a plain hit; an empty slot we
+        // end up not initializing means we blocked on a concurrent
+        // generation and shared its result.
+        let finished_before = slot.get().is_some();
         let mut computed = false;
         let entry = slot.get_or_init(|| {
             computed = true;
@@ -164,8 +204,10 @@ impl Harness {
         });
         let counter = if computed {
             &self.traces_generated
-        } else {
+        } else if finished_before {
             &self.trace_hits
+        } else {
+            &self.traces_shared
         };
         counter.fetch_add(1, Ordering::Relaxed);
         Arc::clone(entry)
@@ -188,6 +230,7 @@ impl Harness {
             let mut map = self.cells.lock().expect("harness cell cache");
             map.entry(key).or_default().clone()
         };
+        let finished_before = slot.get().is_some();
         let mut computed = false;
         let stats = slot.get_or_init(|| {
             computed = true;
@@ -195,8 +238,10 @@ impl Harness {
         });
         let counter = if computed {
             &self.cells_simulated
-        } else {
+        } else if finished_before {
             &self.cell_hits
+        } else {
+            &self.cells_shared
         };
         counter.fetch_add(1, Ordering::Relaxed);
         Arc::clone(stats)
@@ -412,6 +457,39 @@ mod tests {
     #[should_panic(expected = "missing cell")]
     fn missing_cell_panics() {
         MatrixResults::new(Vec::new()).cell("nope", "nada");
+    }
+
+    #[test]
+    fn shared_counters_account_for_concurrent_requests() {
+        let harness = Harness::new();
+        let spec = &suite(SuiteKind::Client, Scale::quick())[0];
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _ = harness.trace(spec, LEN);
+                });
+            }
+        });
+        // Exactly one generation; the others were hits or coalesced onto
+        // the in-flight one, but never duplicated work.
+        let st = harness.stats();
+        assert_eq!(st.traces_generated, 1, "{st:?}");
+        assert_eq!(st.trace_hits + st.traces_shared, 3, "{st:?}");
+    }
+
+    #[test]
+    fn stats_serialize_and_total() {
+        let st = HarnessStats {
+            traces_generated: 1,
+            cells_simulated: 2,
+            cell_hits: 3,
+            cells_shared: 4,
+            ..HarnessStats::default()
+        };
+        assert_eq!(st.cell_requests(), 9);
+        let json = fdip_types::ToJson::to_json(&st).to_string();
+        assert!(json.contains(r#""cells_shared":4"#), "{json}");
+        assert!(json.contains(r#""traces_shared":0"#), "{json}");
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub const BINARY_VERSION: u8 = 1;
 /// traces to a fraction of a byte per instruction.
 pub const BINARY_VERSION_COMPACT: u8 = 2;
 
+/// Longest trace name the reader accepts. The name length is attacker
+/// controlled in untrusted input (the `fdip-serve` trust boundary), so it
+/// must be bounded *before* the name buffer is allocated.
+pub const MAX_NAME_LEN: usize = 4096;
+
 const FLAG_BRANCH: u8 = 1 << 0;
 const FLAG_TAKEN: u8 = 1 << 4;
 const FLAG_DISCONTINUOUS: u8 = 1 << 5;
@@ -195,8 +200,14 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceError> {
         BINARY_VERSION_COMPACT => true,
         other => return Err(TraceError::UnsupportedVersion { found: other }),
     };
-    let name_len = varint::read_u64(&mut r)? as usize;
-    let mut name_bytes = vec![0u8; name_len];
+    let name_len = varint::read_u64(&mut r)?;
+    if name_len > MAX_NAME_LEN as u64 {
+        return Err(TraceError::Corrupt {
+            what: "trace name too long",
+            at_record: 0,
+        });
+    }
+    let mut name_bytes = vec![0u8; name_len as usize];
     r.read_exact(&mut name_bytes)?;
     let name = String::from_utf8(name_bytes).map_err(|_| TraceError::Corrupt {
         what: "trace name is not utf-8",
@@ -204,7 +215,9 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceError> {
     })?;
     let count = varint::read_u64(&mut r)?;
 
-    let mut instrs = Vec::with_capacity(count.min(1 << 24) as usize);
+    // `count` is attacker controlled: cap the eager pre-allocation and let
+    // the vector grow normally for genuinely long traces.
+    let mut instrs = Vec::with_capacity(count.min(1 << 20) as usize);
     let mut expected: Option<Addr> = None;
     while (instrs.len() as u64) < count {
         let i = instrs.len() as u64;

@@ -39,7 +39,7 @@ pub mod gen;
 
 pub use binary::{
     read_binary, write_binary, write_binary_compact, BINARY_MAGIC, BINARY_VERSION,
-    BINARY_VERSION_COMPACT,
+    BINARY_VERSION_COMPACT, MAX_NAME_LEN,
 };
 pub use builder::TraceBuilder;
 pub use error::TraceError;

@@ -1,0 +1,166 @@
+//! Trust-boundary tests for the trace codecs.
+//!
+//! `fdip-serve` (and the CLI) deserialize byte streams an attacker can
+//! shape arbitrarily, so every decoder must fail *cleanly* — a typed
+//! `TraceError`, never a panic, hang, or unbounded allocation — on
+//! truncated, corrupted, and adversarially-sized input.
+
+use fdip_trace::{
+    read_binary, read_text, write_binary, write_binary_compact, TraceBuilder, TraceError,
+    MAX_NAME_LEN,
+};
+use fdip_types::Addr;
+
+fn sample_bytes(compact: bool) -> Vec<u8> {
+    let mut b = TraceBuilder::new("boundary", Addr::new(0x1000));
+    b.plain(5);
+    b.cond(true, Addr::new(0x2000));
+    b.plain(7);
+    b.call(Addr::new(0x4000));
+    b.plain(2);
+    b.ret();
+    b.plain(3);
+    let t = b.finish();
+    let mut buf = Vec::new();
+    if compact {
+        write_binary_compact(&mut buf, &t).unwrap();
+    } else {
+        write_binary(&mut buf, &t).unwrap();
+    }
+    buf
+}
+
+#[test]
+fn every_truncation_point_errors_cleanly() {
+    for compact in [false, true] {
+        let buf = sample_bytes(compact);
+        // Every proper prefix must produce an error, not a panic. (Cutting
+        // inside the header or mid-record are both covered by sweeping all
+        // lengths.)
+        for cut in 0..buf.len() {
+            match read_binary(&buf[..cut]) {
+                Err(_) => {}
+                Ok(t) => panic!("prefix of {cut} bytes decoded to {} instrs", t.len()),
+            }
+        }
+        assert!(read_binary(&buf[..]).is_ok());
+    }
+}
+
+#[test]
+fn corrupted_magic_is_rejected() {
+    let mut buf = sample_bytes(false);
+    for i in 0..4 {
+        let mut bad = buf.clone();
+        bad[i] ^= 0x20;
+        assert!(
+            matches!(read_binary(&bad[..]), Err(TraceError::BadMagic { .. })),
+            "byte {i}"
+        );
+    }
+    // Unknown version right after valid magic.
+    buf[4] = 0x7f;
+    assert!(matches!(
+        read_binary(&buf[..]),
+        Err(TraceError::UnsupportedVersion { found: 0x7f })
+    ));
+}
+
+#[test]
+fn huge_claimed_name_length_does_not_allocate() {
+    // Header claiming a ~2^60-byte name: must be rejected by the length
+    // cap before any buffer is sized from it.
+    let mut buf = b"FDTR\x01".to_vec();
+    buf.extend_from_slice(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x10]); // varint 2^60
+    match read_binary(&buf[..]) {
+        Err(TraceError::Corrupt { what, .. }) => assert_eq!(what, "trace name too long"),
+        other => panic!("expected corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn name_length_cap_is_exact() {
+    // A name of exactly MAX_NAME_LEN bytes is fine; one byte more is not.
+    let name = "n".repeat(MAX_NAME_LEN);
+    let t = TraceBuilder::new(name.as_str(), Addr::new(0x100)).finish();
+    let mut buf = Vec::new();
+    write_binary(&mut buf, &t).unwrap();
+    assert_eq!(read_binary(&buf[..]).unwrap().name().len(), MAX_NAME_LEN);
+}
+
+#[test]
+fn overlength_varint_fields_are_corrupt() {
+    // 11 continuation bytes can encode no u64: reject wherever a varint is
+    // read (name length shown; the instruction count path goes through the
+    // same reader).
+    let mut buf = b"FDTR\x01".to_vec();
+    buf.extend_from_slice(&[0x80u8; 11]);
+    assert!(matches!(
+        read_binary(&buf[..]),
+        Err(TraceError::Corrupt {
+            what: "varint too long",
+            ..
+        })
+    ));
+
+    // Same overlength varint in the *count* position.
+    let mut buf = b"FDTR\x01\x00".to_vec(); // empty name
+    buf.extend_from_slice(&[0x80u8; 11]);
+    assert!(matches!(
+        read_binary(&buf[..]),
+        Err(TraceError::Corrupt {
+            what: "varint too long",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn huge_claimed_instruction_count_is_bounded_by_input() {
+    // Claim u64::MAX instructions but supply none: the reader must hit
+    // Truncated without trying to materialize the claimed count.
+    let mut buf = b"FDTR\x01\x00".to_vec();
+    buf.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]);
+    assert!(matches!(read_binary(&buf[..]), Err(TraceError::Truncated)));
+}
+
+#[test]
+fn flag_fuzzing_never_panics() {
+    // Flip every flag byte of a valid stream through all 256 values; the
+    // reader must always return (Ok or Err), never panic.
+    for compact in [false, true] {
+        let buf = sample_bytes(compact);
+        for i in 5..buf.len() {
+            for v in [0x07u8, 0x0f, 0x40, 0x60, 0x7f, 0xff] {
+                let mut bad = buf.clone();
+                bad[i] = v;
+                let _ = read_binary(&bad[..]);
+            }
+        }
+    }
+}
+
+#[test]
+fn text_reader_rejects_garbage_lines() {
+    for bad in [
+        "zzzz qqqq",
+        "1000 cond maybe 2000",
+        "1000 upward T 2000",
+        "1000 cond T nothex",
+        "1000 cond",
+        "🦀",
+    ] {
+        let input = format!("# fdip trace v1\n{bad}\n");
+        assert!(
+            matches!(read_text(input.as_bytes()), Err(TraceError::BadLine { .. })),
+            "{bad:?}"
+        );
+    }
+}
+
+#[test]
+fn text_reader_accepts_comments_and_blanks_only() {
+    let t = read_text("# fdip trace v1\n\n# name: x\n\n".as_bytes()).unwrap();
+    assert_eq!(t.len(), 0);
+    assert_eq!(t.name(), "x");
+}
