@@ -1,18 +1,77 @@
 //! Runs the whole experiment catalogue in order, printing every table and
 //! figure and persisting CSV + JSON under `results/`. Accepts `--quick` /
-//! `--medium` / `--full`.
+//! `--medium` / `--full`, a `--faults SPEC` fault-injection plan (also read
+//! from `$FDIP_FAULTS`), and `--journal PATH` to override the default cell
+//! journal at `results/journal.jsonl`.
 //!
 //! All experiments share the process-wide harness, so each suite trace is
 //! generated once and each distinct (workload, config, trace length) cell
 //! is simulated once across the entire catalogue; the cache counters are
 //! reported at the end.
+//!
+//! Every finished cell is appended to the journal, so a run that is killed
+//! part-way (OOM, SIGKILL, power loss) resumes from where it stopped: on
+//! restart the journaled cells are preloaded into the cell cache and only
+//! the remainder is simulated. The journal is deleted after a run in which
+//! every cell succeeded; it is kept when any cell failed so the failures
+//! can be retried cheaply.
+
+use std::path::PathBuf;
 
 use fdip_sim::experiments;
+use fdip_sim::fault::FaultPlan;
 use fdip_sim::harness::Harness;
 
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
-    let scale = fdip_sim::Scale::from_args(std::env::args().skip(1));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = fdip_sim::Scale::from_args(args.iter().cloned());
     let harness = Harness::global();
+
+    let plan = match flag_value(&args, "--faults") {
+        Some(spec) => Some(FaultPlan::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("bad --faults spec: {e}");
+            std::process::exit(2);
+        })),
+        None => FaultPlan::from_env().unwrap_or_else(|e| {
+            eprintln!("bad FDIP_FAULTS spec: {e}");
+            std::process::exit(2);
+        }),
+    };
+    if let Some(plan) = &plan {
+        eprintln!(
+            "fault plan: {} site(s), seed {}",
+            plan.site_count(),
+            plan.seed()
+        );
+    }
+    harness.set_fault_plan(plan);
+
+    let journal_path = flag_value(&args, "--journal")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| fdip_bench::results_dir().join("journal.jsonl"));
+    if let Some(parent) = journal_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match harness.attach_journal(&journal_path) {
+        Ok(summary) => eprintln!(
+            "journal {}: restored {} cell(s), skipped {} line(s)",
+            journal_path.display(),
+            summary.restored,
+            summary.skipped
+        ),
+        Err(e) => eprintln!(
+            "warning: journal {} unavailable ({e}); running without resume",
+            journal_path.display()
+        ),
+    }
+
     let start = std::time::Instant::now();
     for exp in experiments::all() {
         let id = exp.id();
@@ -28,8 +87,27 @@ fn main() {
     }
     let stats = harness.stats();
     eprintln!(
-        "harness: {} traces generated ({} shared), {} cells simulated ({} cache hits)",
-        stats.traces_generated, stats.trace_hits, stats.cells_simulated, stats.cell_hits
+        "harness: {} traces generated ({} shared), {} cells simulated \
+         ({} hits, {} restored from journal), {} retries, {} timeouts, {} failed",
+        stats.traces_generated,
+        stats.traces_shared,
+        stats.cells_simulated,
+        stats.cell_hits,
+        stats.journal_restored,
+        stats.cell_retries,
+        stats.cell_timeouts,
+        stats.cells_failed,
     );
     eprintln!("total {:.1}s", start.elapsed().as_secs_f64());
+
+    harness.detach_journal();
+    if stats.cells_failed == 0 {
+        let _ = std::fs::remove_file(&journal_path);
+    } else {
+        eprintln!(
+            "warning: {} cell(s) FAILED; journal kept at {} for resume",
+            stats.cells_failed,
+            journal_path.display()
+        );
+    }
 }

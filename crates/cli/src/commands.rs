@@ -14,7 +14,7 @@ use crate::args::Args;
 /// Every subcommand, paired with its one-line summary. The dispatch
 /// table, the usage text, and the unknown-command error all derive from
 /// this list so they cannot drift apart.
-pub const COMMANDS: [(&str, &str); 9] = [
+pub const COMMANDS: [(&str, &str); 10] = [
     ("gen", "generate a workload trace"),
     ("stats", "characterize a trace"),
     ("run", "simulate a trace"),
@@ -24,6 +24,10 @@ pub const COMMANDS: [(&str, &str); 9] = [
     (
         "tables",
         "print the BTB storage tables or any registry experiment",
+    ),
+    (
+        "exp",
+        "run registry experiments with fault injection and journaled resume",
     ),
     ("serve", "run the HTTP simulation service"),
     ("help", "print this usage text"),
@@ -47,6 +51,16 @@ commands:
   tables   [EXPERIMENT]                          print the BTB storage tables (Tables I & II),
                                                  or any experiment from the registry by id
                                                  (e.g. e01, x4) at quick scale
+  exp      [ID|all] [--quick|--medium|--full] [--faults SPEC] [--journal FILE]
+           [--max-attempts N] [--cell-budget-ms N]
+                                                 run one experiment (or the whole
+                                                 catalogue) under the fault-tolerant
+                                                 harness: --faults injects deterministic
+                                                 failures (kind@workload/config[:arg],
+                                                 kinds panic|transient|trace|slow; also
+                                                 read from $FDIP_FAULTS), --journal
+                                                 records finished cells so a killed run
+                                                 resumes without re-simulating them
   serve    [--addr HOST:PORT] [--threads N] [--queue-depth N] [--timeout-ms N]
            [--results-dir DIR] [--max-trace-len N] [--max-configs N]
                                                  run the HTTP simulation service
@@ -69,6 +83,11 @@ pub fn dispatch(argv: &[String]) -> CliResult {
     let Some((command, rest)) = argv.split_first() else {
         return Err(unknown_command_error("no command given"));
     };
+    // `exp` takes the bare `--quick`/`--medium`/`--full` scale flags, which
+    // the `--key value` parser would misread; it strips them itself.
+    if command == "exp" {
+        return cmd_exp(rest);
+    }
     let args = Args::parse(rest)?;
     match command.as_str() {
         "gen" => cmd_gen(&args),
@@ -337,6 +356,106 @@ fn cmd_tables(args: &Args) -> CliResult {
     Ok(())
 }
 
+fn cmd_exp(raw: &[String]) -> CliResult {
+    use fdip_sim::experiments;
+    use fdip_sim::fault::{FaultPlan, RetryPolicy};
+    use fdip_sim::harness::Harness;
+    use fdip_sim::Scale;
+    use std::time::Duration;
+
+    let scale = Scale::from_args(raw.iter().cloned());
+    let rest: Vec<String> = raw
+        .iter()
+        .filter(|a| !matches!(a.as_str(), "--quick" | "--medium" | "--full"))
+        .cloned()
+        .collect();
+    let args = Args::parse(&rest)?;
+
+    let plan = match args.get("faults") {
+        Some(spec) => Some(FaultPlan::parse(spec)?),
+        None => FaultPlan::from_env()?,
+    };
+    let journal = args.get("journal").map(std::path::PathBuf::from);
+    let defaults = RetryPolicy::default();
+    let max_attempts = args.get_or("max-attempts", defaults.max_attempts, "a retry count")?;
+    let budget_ms = args.get_or("cell-budget-ms", 0u64, "milliseconds (0 = no budget)")?;
+    let ids = args.positional().to_vec();
+    if ids.len() > 1 {
+        return Err("exp takes at most one experiment id (or \"all\")".into());
+    }
+    args.reject_unknown()?;
+
+    let selected: Vec<&'static dyn experiments::Experiment> = match ids.first().map(String::as_str)
+    {
+        None | Some("all") => experiments::all(),
+        Some(id) => {
+            let exp = experiments::find(id).ok_or_else(|| {
+                let ids: Vec<&str> = experiments::all().iter().map(|e| e.id()).collect();
+                format!(
+                    "unknown experiment {id:?} (one of: {}, all)",
+                    ids.join(", ")
+                )
+            })?;
+            vec![exp]
+        }
+    };
+
+    let harness = Harness::global();
+    harness.set_retry_policy(RetryPolicy {
+        max_attempts,
+        cell_budget: (budget_ms > 0).then(|| Duration::from_millis(budget_ms)),
+        ..defaults
+    });
+    if let Some(plan) = &plan {
+        eprintln!(
+            "fault plan: {} site(s), seed {}",
+            plan.site_count(),
+            plan.seed()
+        );
+    }
+    harness.set_fault_plan(plan);
+    if let Some(path) = &journal {
+        let summary = harness
+            .attach_journal(path)
+            .map_err(|e| format!("journal {}: {e}", path.display()))?;
+        eprintln!(
+            "journal: restored {} cell(s), skipped {} line(s)",
+            summary.restored, summary.skipped
+        );
+    }
+
+    let start = std::time::Instant::now();
+    for exp in selected {
+        let id = exp.id();
+        eprintln!("[{id}] {} ...", exp.title());
+        let t = std::time::Instant::now();
+        let result = exp.run(harness, scale);
+        print!("{}", result.to_text());
+        eprintln!("[{id}] {:.1}s", t.elapsed().as_secs_f64());
+    }
+    let stats = harness.stats();
+    eprintln!(
+        "harness: {} traces generated ({} shared), {} cells simulated \
+         ({} hits, {} restored from journal), {} retries, {} timeouts, {} failed",
+        stats.traces_generated,
+        stats.traces_shared,
+        stats.cells_simulated,
+        stats.cell_hits,
+        stats.journal_restored,
+        stats.cell_retries,
+        stats.cell_timeouts,
+        stats.cells_failed,
+    );
+    eprintln!("total {:.1}s", start.elapsed().as_secs_f64());
+    if stats.cells_failed > 0 {
+        eprintln!(
+            "warning: {} cell(s) FAILED; affected rows are marked in the tables above",
+            stats.cells_failed
+        );
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> CliResult {
     use fdip_serve::{ServeConfig, Server};
     let defaults = ServeConfig::default();
@@ -358,6 +477,18 @@ fn cmd_serve(args: &Args) -> CliResult {
     };
     args.expect_positional(0, "serve takes no positional arguments")?;
     args.reject_unknown()?;
+
+    // Honor $FDIP_FAULTS so fault drills work against the live service:
+    // matching cells fail into structured 502s instead of panicking a
+    // worker (see DESIGN.md §6.5).
+    if let Some(plan) = fdip_sim::fault::FaultPlan::from_env()? {
+        eprintln!(
+            "fault plan (from $FDIP_FAULTS): {} site(s), seed {}",
+            plan.site_count(),
+            plan.seed()
+        );
+        fdip_sim::harness::Harness::global().set_fault_plan(Some(plan));
+    }
 
     let server = Server::bind(config.clone()).map_err(|e| format!("bind {}: {e}", config.addr))?;
     let addr = server.local_addr()?;
@@ -547,6 +678,25 @@ mod tests {
         dispatch(&["tables".into()]).unwrap();
         // Registry-resolved form: x3 is pure arithmetic, so it is cheap.
         dispatch(&["tables".into(), "x3".into()]).unwrap();
+    }
+
+    #[test]
+    fn exp_runs_a_cheap_experiment_and_rejects_bad_input() {
+        // x3 is pure arithmetic, so the full path (scale-flag stripping,
+        // registry lookup, harness summary) is exercised cheaply.
+        dispatch(&argv("exp x3 --quick")).unwrap();
+        let err = dispatch(&argv("exp zz --quick")).unwrap_err().to_string();
+        assert!(err.contains("unknown experiment \"zz\""), "{err}");
+        let err = dispatch(&argv("exp --faults nonsense"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("missing '@'"), "{err}");
+        let err = dispatch(&argv("exp e01 e02 --quick"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("at most one"), "{err}");
+        let err = dispatch(&argv("exp --bogus 1")).unwrap_err().to_string();
+        assert!(err.contains("--bogus"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Cooperative cancellation for long simulations.
+//!
+//! A [`CancelToken`] is shared between the party that owns a deadline (the
+//! experiment harness's per-cell watchdog) and the simulation loop, which
+//! polls it every few thousand cycles via
+//! [`Simulator::run_cancellable`](crate::Simulator::run_cancellable).
+//! Cancellation is cooperative — nothing is torn down mid-cycle — so a
+//! cancelled run unwinds cleanly through an ordinary `Err` instead of a
+//! panic or a killed thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation signal with an optional wall-clock deadline.
+///
+/// Cloning shares the underlying flag: any clone's [`cancel`](Self::cancel)
+/// is observed by every holder.
+///
+/// # Examples
+///
+/// ```
+/// use fdip::CancelToken;
+/// use std::time::Duration;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+///
+/// let deadline = CancelToken::with_deadline(Duration::ZERO);
+/// assert!(deadline.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`cancel`](Self::cancel) is called.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that additionally cancels once `budget` wall-clock time has
+    /// elapsed from now.
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken {
+            flag: Arc::default(),
+            deadline: Some(Instant::now() + budget),
+        }
+    }
+
+    /// Requests cancellation; observed by every clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+            || self
+                .deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+}
+
+/// Marker error: the simulation observed its token cancelled and stopped
+/// early. Carries no partial statistics — a cancelled cell has no result.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("simulation cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_cancel_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        assert!(expired.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_displays() {
+        assert_eq!(Cancelled.to_string(), "simulation cancelled");
+    }
+}

@@ -54,6 +54,7 @@
 
 pub mod backend;
 pub mod bpu;
+pub mod cancel;
 mod config;
 pub mod fetch;
 pub mod ftq;
@@ -63,6 +64,7 @@ mod simulator;
 pub mod spec;
 mod stats;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use config::{
     BtbVariant, CpfMode, FdipConfig, FrontendConfig, PifConfig, PredictorKind, PrefetcherKind,
     ShotgunConfig,

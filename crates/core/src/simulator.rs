@@ -331,6 +331,48 @@ impl<'t> Simulator<'t> {
         self.finalize()
     }
 
+    /// How many cycles [`run_cancellable`](Self::run_cancellable) advances
+    /// between token polls. Polling costs an `Instant::now()` when the
+    /// token carries a deadline, so it is amortized over a stride instead
+    /// of paid every cycle; a cancelled run overshoots its budget by at
+    /// most this many cycles of simulation.
+    pub const CANCEL_POLL_STRIDE: u64 = 4_096;
+
+    /// Runs to completion like [`run`](Self::run), but polls `token` every
+    /// [`CANCEL_POLL_STRIDE`](Self::CANCEL_POLL_STRIDE) cycles and stops
+    /// early with [`Cancelled`](crate::Cancelled) when it fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`](crate::Cancelled) if the token was cancelled
+    /// (explicitly or by its deadline) before the trace retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics on livelock, as [`run`](Self::run).
+    pub fn run_cancellable(
+        mut self,
+        token: &crate::CancelToken,
+    ) -> Result<SimStats, crate::Cancelled> {
+        let limit = 500 + self.trace.len() as u64 * 1_000;
+        let mut until_poll = Self::CANCEL_POLL_STRIDE;
+        while !self.is_done() {
+            self.step();
+            assert!(
+                self.now.raw() <= limit,
+                "simulation exceeded {limit} cycles — livelock?"
+            );
+            until_poll -= 1;
+            if until_poll == 0 {
+                if token.is_cancelled() {
+                    return Err(crate::Cancelled);
+                }
+                until_poll = Self::CANCEL_POLL_STRIDE;
+            }
+        }
+        Ok(self.finalize())
+    }
+
     fn finalize(mut self) -> SimStats {
         self.stats.cycles = self.now - self.measure_from_cycle;
         self.stats.instructions = self.backend.retired() - self.measure_from_retired;
@@ -374,6 +416,34 @@ mod tests {
         let a = Simulator::run_trace(&config, &trace);
         let b = Simulator::run_trace(&config, &trace);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cancellable_run_matches_plain_run() {
+        let trace = micro_trace(8_000);
+        let config = FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip());
+        let plain = Simulator::run_trace(&config, &trace);
+        let cancellable = Simulator::new(&config, &trace)
+            .run_cancellable(&crate::CancelToken::new())
+            .unwrap();
+        assert_eq!(plain, cancellable);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_run() {
+        let trace = micro_trace(8_000);
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let result = Simulator::new(&FrontendConfig::default(), &trace).run_cancellable(&token);
+        assert_eq!(result, Err(crate::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_cancels_the_run() {
+        let trace = micro_trace(20_000);
+        let token = crate::CancelToken::with_deadline(std::time::Duration::ZERO);
+        let result = Simulator::new(&FrontendConfig::default(), &trace).run_cancellable(&token);
+        assert_eq!(result, Err(crate::Cancelled));
     }
 
     #[test]

@@ -242,6 +242,79 @@ impl fdip_types::ToJson for SimStats {
     }
 }
 
+impl fdip_types::FromJson for BranchStats {
+    fn from_json(value: &fdip_types::Json) -> Option<BranchStats> {
+        fdip_types::from_json_fields!(
+            value,
+            BranchStats {
+                branches,
+                conditionals,
+                exec_redirects,
+                decode_redirects,
+                btb_lookups,
+                btb_hits,
+                btb_miss_taken,
+                ras_mispredicts,
+            }
+        )
+    }
+}
+
+impl fdip_types::FromJson for FdipStats {
+    fn from_json(value: &fdip_types::Json) -> Option<FdipStats> {
+        fdip_types::from_json_fields!(
+            value,
+            FdipStats {
+                candidates,
+                filtered_recent,
+                filtered_cpf_enqueue,
+                filtered_cpf_remove,
+                dropped_piq_full,
+                enqueued,
+                issued,
+                probe_port_unavailable,
+            }
+        )
+    }
+}
+
+impl fdip_types::FromJson for ShotgunStats {
+    fn from_json(value: &fdip_types::Json) -> Option<ShotgunStats> {
+        fdip_types::from_json_fields!(
+            value,
+            ShotgunStats {
+                triggers,
+                footprint_lines_enqueued,
+                issued,
+            }
+        )
+    }
+}
+
+impl fdip_types::FromJson for SimStats {
+    fn from_json(value: &fdip_types::Json) -> Option<SimStats> {
+        fdip_types::from_json_fields!(
+            value,
+            SimStats {
+                cycles,
+                instructions,
+                fetch_stall_cycles,
+                icache_stall_cycles,
+                ftq_empty_cycles,
+                ftq_occupancy_sum,
+                branches,
+                mem,
+                bus_busy_cycles,
+                fdip,
+                stream_resets,
+                pif_resets,
+                predecode_installs,
+                shotgun,
+            }
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +393,28 @@ mod tests {
             ..SimStats::default()
         };
         let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn sim_stats_json_round_trip() {
+        use fdip_types::{FromJson, Json, ToJson};
+        let mut s = SimStats {
+            cycles: 1234,
+            instructions: 5678,
+            ftq_empty_cycles: 9,
+            ..SimStats::default()
+        };
+        s.branches.btb_hits = 42;
+        s.mem.l1_misses = 7;
+        s.fdip.issued = 11;
+        s.shotgun.triggers = 2;
+        let doc = Json::parse(&s.to_json().to_string()).unwrap();
+        assert_eq!(SimStats::from_json(&doc), Some(s));
+        // A document missing a nested struct fails whole.
+        assert_eq!(
+            SimStats::from_json(&Json::obj([("cycles", Json::uint(1))])),
+            None
+        );
     }
 
     #[test]

@@ -84,6 +84,30 @@ impl fdip_types::ToJson for MemStats {
     }
 }
 
+impl fdip_types::FromJson for MemStats {
+    fn from_json(value: &fdip_types::Json) -> Option<MemStats> {
+        fdip_types::from_json_fields!(
+            value,
+            MemStats {
+                l1_accesses,
+                l1_hits,
+                l1_misses,
+                pb_hits,
+                l2_hits,
+                l2_misses,
+                prefetches_issued,
+                useful_prefetches,
+                late_prefetches,
+                useless_evictions,
+                redundant_prefetch_fills,
+                demand_transfers,
+                prefetch_transfers,
+                victim_hits,
+            }
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +130,22 @@ mod tests {
         };
         assert!((s.miss_ratio() - 0.1).abs() < 1e-12);
         assert!((s.prefetch_accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        use fdip_types::{FromJson, Json, ToJson};
+        let s = MemStats {
+            l1_accesses: 100,
+            l1_misses: 10,
+            victim_hits: 3,
+            ..MemStats::default()
+        };
+        let doc = Json::parse(&s.to_json().to_string()).unwrap();
+        assert_eq!(MemStats::from_json(&doc), Some(s));
+        assert_eq!(
+            MemStats::from_json(&Json::obj([("l1_accesses", Json::uint(1))])),
+            None
+        );
     }
 }

@@ -16,7 +16,7 @@ use fdip_sim::harness::HarnessStats;
 /// The status codes this server can emit (the label set of
 /// `requests_total`). Keeping the set closed lets the counters live in a
 /// fixed array with no locking or allocation on the request path.
-pub const STATUS_CODES: [u16; 10] = [200, 400, 404, 405, 408, 413, 429, 431, 500, 503];
+pub const STATUS_CODES: [u16; 11] = [200, 400, 404, 405, 408, 413, 429, 431, 500, 502, 503];
 
 /// Upper bounds (seconds) of the request-latency histogram buckets; a
 /// `+Inf` bucket is implicit.
@@ -201,6 +201,26 @@ impl Metrics {
                 "Cell requests coalesced onto an in-flight simulation.",
                 harness.cells_shared,
             ),
+            (
+                "fdip_serve_harness_cells_failed_total",
+                "Cell requests that ended in a terminal error.",
+                harness.cells_failed,
+            ),
+            (
+                "fdip_serve_harness_cell_retries_total",
+                "Retry attempts after retryable cell failures.",
+                harness.cell_retries,
+            ),
+            (
+                "fdip_serve_harness_cell_timeouts_total",
+                "Cells cancelled for exceeding their wall-clock budget.",
+                harness.cell_timeouts,
+            ),
+            (
+                "fdip_serve_harness_journal_restored_total",
+                "Cells preloaded from an attached journal instead of simulated.",
+                harness.journal_restored,
+            ),
         ] {
             counter(&mut out, name, help, value);
         }
@@ -230,6 +250,10 @@ mod tests {
         let harness = HarnessStats {
             cells_simulated: 5,
             cell_hits: 7,
+            cells_failed: 2,
+            cell_retries: 4,
+            cell_timeouts: 1,
+            journal_restored: 3,
             ..HarnessStats::default()
         };
         let text = m.render(2, 64, &harness);
@@ -245,6 +269,11 @@ mod tests {
         assert!(text.contains("fdip_serve_request_seconds_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("fdip_serve_harness_cells_simulated_total 5"));
         assert!(text.contains("fdip_serve_harness_cell_hits_total 7"));
+        assert!(text.contains("fdip_serve_harness_cells_failed_total 2"));
+        assert!(text.contains("fdip_serve_harness_cell_retries_total 4"));
+        assert!(text.contains("fdip_serve_harness_cell_timeouts_total 1"));
+        assert!(text.contains("fdip_serve_harness_journal_restored_total 3"));
+        assert!(text.contains("fdip_serve_requests_total{status=\"502\"} 0"));
         // Histogram buckets are cumulative: the 3ms observation lands in
         // le=0.005 and every later bucket includes it.
         assert!(text.contains("fdip_serve_request_seconds_bucket{le=\"0.005\"} 1"));

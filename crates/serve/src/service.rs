@@ -133,6 +133,9 @@ impl Service {
         let cell = results
             .get(&spec.name, "run")
             .ok_or_else(|| ApiError::internal("simulation produced no result cell"))?;
+        if let Some(err) = &cell.error {
+            return Ok(cell_failure_response(&spec.name, "run", err));
+        }
         let body = Json::obj([
             ("schema_version", Json::uint(RESULTS_SCHEMA_VERSION)),
             ("workload", Json::str(&spec.name)),
@@ -188,11 +191,24 @@ impl Service {
         let baseline = results
             .get(&spec.name, "baseline")
             .ok_or_else(|| ApiError::internal("baseline cell missing from results"))?;
+        // Without a baseline nothing downstream is computable: the whole
+        // request degrades to a structured 502. A failed *candidate*, by
+        // contrast, only poisons its own row below.
+        if let Some(err) = &baseline.error {
+            return Ok(cell_failure_response(&spec.name, "baseline", err));
+        }
         let mut rows = Vec::new();
         for (label, _) in configs.iter().skip(1) {
             let cell = results
                 .get(&spec.name, label)
                 .ok_or_else(|| ApiError::internal("config cell missing from results"))?;
+            if let Some(err) = &cell.error {
+                rows.push(Json::obj([
+                    ("label", Json::str(label)),
+                    ("error", err.to_json()),
+                ]));
+                continue;
+            }
             rows.push(Json::obj([
                 ("label", Json::str(label)),
                 // `try_speedup_over` reports an incomparable or degenerate
@@ -262,6 +278,24 @@ impl Service {
             )),
         }
     }
+}
+
+/// A structured 502 for a simulation cell that failed inside the harness
+/// (injected fault, panic, or wall-clock timeout). The `cell_error` object
+/// carries the typed [`fdip_sim::fault::CellError`] so clients can branch
+/// on `kind` and decide whether a retry is worthwhile.
+fn cell_failure_response(
+    workload: &str,
+    config: &str,
+    err: &fdip_sim::fault::CellError,
+) -> Response {
+    let body = Json::obj([
+        ("error", Json::str(format!("simulation cell failed: {err}"))),
+        ("workload", Json::str(workload)),
+        ("config", Json::str(config)),
+        ("cell_error", err.to_json()),
+    ]);
+    Response::json(502, body.to_string())
 }
 
 /// Parses the request body as a JSON object.
@@ -616,6 +650,81 @@ mod tests {
         std::fs::write(dir.join("e03.json"), "not json at all").unwrap();
         let bad_json = s.route(&get("/v1/experiments/e03"), 0);
         assert_eq!(bad_json.status, 500);
+    }
+
+    #[test]
+    fn failed_cells_become_structured_502s() {
+        use fdip_sim::fault::FaultPlan;
+        let s = service();
+        let harness = Harness::global();
+        // Coordinates pin the plan to seeds no other test uses, so the
+        // plan cannot fire for tests sharing the global harness.
+        harness.set_fault_plan(Some(
+            FaultPlan::parse("panic@microloop~s404/run,panic@microloop~s405/baseline").unwrap(),
+        ));
+        let run = s.route(
+            &post(
+                "/v1/run",
+                r#"{"workload": {"profile": "microloop", "seed": 404}, "trace_len": 1000}"#,
+            ),
+            0,
+        );
+        let compare = s.route(
+            &post(
+                "/v1/compare",
+                r#"{"workload": {"profile": "microloop", "seed": 405},
+                   "trace_len": 1000,
+                   "configs": [{"label": "fdip", "prefetcher": "fdip"}]}"#,
+            ),
+            0,
+        );
+        harness.set_fault_plan(None);
+
+        assert_eq!(run.status, 502, "{}", body_str(&run));
+        let doc = Json::parse(&body_str(&run)).unwrap();
+        assert_eq!(
+            doc.get("cell_error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("panic")
+        );
+        assert_eq!(doc.get("config").and_then(Json::as_str), Some("run"));
+
+        assert_eq!(compare.status, 502, "{}", body_str(&compare));
+        let doc = Json::parse(&body_str(&compare)).unwrap();
+        assert_eq!(doc.get("config").and_then(Json::as_str), Some("baseline"));
+    }
+
+    #[test]
+    fn compare_marks_failed_candidates_without_failing_the_request() {
+        use fdip_sim::fault::FaultPlan;
+        let s = service();
+        let harness = Harness::global();
+        harness.set_fault_plan(Some(FaultPlan::parse("panic@microloop~s406/bad").unwrap()));
+        let resp = s.route(
+            &post(
+                "/v1/compare",
+                r#"{"workload": {"profile": "microloop", "seed": 406},
+                   "trace_len": 1000,
+                   "configs": [{"label": "bad", "prefetcher": "fdip"},
+                               {"label": "ok", "prefetcher": "nlp"}]}"#,
+            ),
+            0,
+        );
+        harness.set_fault_plan(None);
+        assert_eq!(resp.status, 200, "{}", body_str(&resp));
+        let doc = Json::parse(&body_str(&resp)).unwrap();
+        let rows = doc.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0]
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("panic")
+        );
+        assert!(rows[0].get("speedup").is_none());
+        assert!(rows[1].get("speedup").and_then(Json::as_f64).unwrap() > 0.0);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use fdip::{FdipConfig, FrontendConfig, PrefetcherKind};
 
 use crate::experiments::{base_config, ExperimentResult};
 use crate::harness::Harness;
-use crate::report::{f3, Table};
+use crate::report::{f3, failed_row, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -59,14 +59,23 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         let mut speedups = Vec::new();
         let mut issued = 0u64;
         for w in &workloads {
-            let base = &results.cell(&w.name, "base").stats;
-            let s = &results.cell(&w.name, &format!("lines{depth}")).stats;
+            let (Ok(base), Ok(s)) = (
+                results.try_cell(&w.name, "base"),
+                results.try_cell(&w.name, &format!("lines{depth}")),
+            ) else {
+                continue;
+            };
+            let (base, s) = (&base.stats, &s.stats);
             speedups.push(s.speedup_over(base));
             issued += s.fdip.issued;
         }
+        if speedups.is_empty() {
+            table.row(failed_row(depth.to_string(), 3));
+            continue;
+        }
         table.row([depth.to_string(), f3(geomean(speedups)), issued.to_string()]);
     }
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use fdip_mem::HierarchyConfig;
 
 use crate::experiments::{base_config, ExperimentResult};
 use crate::harness::Harness;
-use crate::report::{f3, Table};
+use crate::report::{f3, failed_row, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -68,10 +68,19 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         let mut speedups = Vec::new();
         let mut pollution = 0u64;
         for w in &workloads {
-            let base = &results.cell(&w.name, "base").stats;
-            let s = &results.cell(&w.name, label).stats;
+            let (Ok(base), Ok(s)) = (
+                results.try_cell(&w.name, "base"),
+                results.try_cell(&w.name, label),
+            ) else {
+                continue;
+            };
+            let (base, s) = (&base.stats, &s.stats);
             speedups.push(s.speedup_over(base));
             pollution += s.mem.useless_evictions;
+        }
+        if speedups.is_empty() {
+            table.row(failed_row(label.to_string(), 3));
+            continue;
         }
         table.row([
             label.to_string(),
@@ -79,7 +88,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
             pollution.to_string(),
         ]);
     }
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use fdip_mem::{HierarchyConfig, ReplacementPolicy};
 
 use crate::experiments::ExperimentResult;
 use crate::harness::Harness;
-use crate::report::{f3, Table};
+use crate::report::{f3, failed_row, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -70,10 +70,19 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         let mut speedups = Vec::new();
         let mut mpki = Vec::new();
         for w in &workloads {
-            let base = &results.cell(&w.name, &format!("base {label}")).stats;
-            let fdip = &results.cell(&w.name, &format!("fdip {label}")).stats;
+            let (Ok(base), Ok(fdip)) = (
+                results.try_cell(&w.name, &format!("base {label}")),
+                results.try_cell(&w.name, &format!("fdip {label}")),
+            ) else {
+                continue;
+            };
+            let (base, fdip) = (&base.stats, &fdip.stats);
             speedups.push(fdip.speedup_over(base));
             mpki.push(base.l1i_mpki());
+        }
+        if speedups.is_empty() {
+            table.row(failed_row(label.to_string(), 3));
+            continue;
         }
         table.row([
             label.to_string(),
@@ -81,7 +90,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
             f3(geomean(speedups)),
         ]);
     }
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use fdip::{FrontendConfig, PredictorKind, PrefetcherKind};
 
 use crate::experiments::ExperimentResult;
 use crate::harness::Harness;
-use crate::report::{f3, Table};
+use crate::report::{f3, failed_row, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -92,10 +92,19 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         let mut speedups = Vec::new();
         let mut mpki = Vec::new();
         for w in &workloads {
-            let base = &results.cell(&w.name, "base").stats;
-            let s = &results.cell(&w.name, name).stats;
+            let (Ok(base), Ok(s)) = (
+                results.try_cell(&w.name, "base"),
+                results.try_cell(&w.name, name),
+            ) else {
+                continue;
+            };
+            let (base, s) = (&base.stats, &s.stats);
             speedups.push(s.speedup_over(base));
             mpki.push(s.branches.mpki(s.instructions));
+        }
+        if speedups.is_empty() {
+            table.row(failed_row(name.to_string(), 3));
+            continue;
         }
         table.row([
             name.to_string(),
@@ -103,7 +112,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
             f3(mpki.iter().sum::<f64>() / mpki.len() as f64),
         ]);
     }
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

@@ -78,15 +78,23 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         for (name, _) in techniques() {
             let mut speedups = Vec::new();
             for w in &workloads {
-                let base = &results.cell(&w.name, &format!("base {cycles}")).stats;
-                let s = &results.cell(&w.name, &format!("{name} {cycles}")).stats;
-                speedups.push(s.speedup_over(base));
+                let (Ok(base), Ok(s)) = (
+                    results.try_cell(&w.name, &format!("base {cycles}")),
+                    results.try_cell(&w.name, &format!("{name} {cycles}")),
+                ) else {
+                    continue;
+                };
+                speedups.push(s.stats.speedup_over(&base.stats));
+            }
+            if speedups.is_empty() {
+                row.push("FAILED".to_string());
+                continue;
             }
             row.push(f3(geomean(speedups)));
         }
         table.row(row);
     }
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

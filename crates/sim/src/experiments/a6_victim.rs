@@ -6,7 +6,7 @@ use fdip_mem::HierarchyConfig;
 
 use crate::experiments::ExperimentResult;
 use crate::harness::Harness;
-use crate::report::{f3, Table};
+use crate::report::{f3, failed_row, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -76,13 +76,22 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         let mut speedups = Vec::new();
         let mut victim_hits = 0u64;
         for w in &workloads {
-            let reference = &results.cell(&w.name, "base v0").stats;
-            let base = &results.cell(&w.name, &format!("base v{blocks}")).stats;
-            let fdip = &results.cell(&w.name, &format!("fdip v{blocks}")).stats;
+            let (Ok(reference), Ok(base), Ok(fdip)) = (
+                results.try_cell(&w.name, "base v0"),
+                results.try_cell(&w.name, &format!("base v{blocks}")),
+                results.try_cell(&w.name, &format!("fdip v{blocks}")),
+            ) else {
+                continue;
+            };
+            let (reference, base, fdip) = (&reference.stats, &base.stats, &fdip.stats);
             base_ipc.push(base.ipc());
             fdip_ipc.push(fdip.ipc());
             speedups.push(fdip.speedup_over(reference));
             victim_hits += base.mem.victim_hits;
+        }
+        if speedups.is_empty() {
+            table.row(failed_row(blocks.to_string(), 5));
+            continue;
         }
         table.row([
             blocks.to_string(),
@@ -92,7 +101,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
             f3(geomean(speedups)),
         ]);
     }
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use fdip_btb::{BtbConfig, TagScheme};
 
 use crate::experiments::ExperimentResult;
 use crate::harness::Harness;
-use crate::report::{f3, Table};
+use crate::report::{f3, failed_row, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -62,11 +62,20 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         let mut hit = Vec::new();
         let mut decode = Vec::new();
         for w in &workloads {
-            let base = &results.cell(&w.name, "base").stats;
-            let s = &results.cell(&w.name, &format!("{ways}-way")).stats;
+            let (Ok(base), Ok(s)) = (
+                results.try_cell(&w.name, "base"),
+                results.try_cell(&w.name, &format!("{ways}-way")),
+            ) else {
+                continue;
+            };
+            let (base, s) = (&base.stats, &s.stats);
             speedups.push(s.speedup_over(base));
             hit.push(s.branches.btb_hit_ratio());
             decode.push(s.branches.decode_redirects as f64 * 1000.0 / s.instructions as f64);
+        }
+        if speedups.is_empty() {
+            table.row(failed_row(ways.to_string(), 4));
+            continue;
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         table.row([
@@ -76,7 +85,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
             f3(avg(&decode)),
         ]);
     }
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use crate::experiments::{base_config, fdip_config, ExperimentResult};
 use crate::harness::Harness;
-use crate::report::{f3, pct, Table};
+use crate::report::{f3, failed_row, pct, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -46,8 +46,14 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     );
     let mut speedups = Vec::new();
     for w in &workloads {
-        let base = &results.cell(&w.name, "base").stats;
-        let fdip = &results.cell(&w.name, "fdip").stats;
+        let (Ok(base), Ok(fdip)) = (
+            results.try_cell(&w.name, "base"),
+            results.try_cell(&w.name, "fdip"),
+        ) else {
+            table.row(failed_row(&w.name, 5));
+            continue;
+        };
+        let (base, fdip) = (&base.stats, &fdip.stats);
         let speedup = fdip.speedup_over(base);
         speedups.push(speedup);
         table.row([
@@ -65,7 +71,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         f3(geomean(speedups.iter().copied())),
         pct(geomean(speedups.iter().copied()) - 1.0),
     ]);
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use crate::experiments::{base_config, fdip_config, ExperimentResult};
 use crate::harness::Harness;
-use crate::report::{f3, pct, Table};
+use crate::report::{f3, failed_row, pct, Table};
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -51,8 +51,14 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         ],
     );
     for w in &workloads {
-        let base = &results.cell(&w.name, "base").stats;
-        let fdip = &results.cell(&w.name, "fdip").stats;
+        let (Ok(base), Ok(fdip)) = (
+            results.try_cell(&w.name, "base"),
+            results.try_cell(&w.name, "fdip"),
+        ) else {
+            table.row(failed_row(&w.name, 6));
+            continue;
+        };
+        let (base, fdip) = (&base.stats, &fdip.stats);
         table.row([
             w.name.clone(),
             base.mem.l1_misses.to_string(),
@@ -62,7 +68,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
             fdip.mem.late_prefetches.to_string(),
         ]);
     }
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@ use fdip::{CpfMode, FrontendConfig, PrefetcherKind};
 
 use crate::experiments::{base_config, ExperimentResult};
 use crate::harness::Harness;
-use crate::report::{f3, pct, Table};
+use crate::report::{f3, failed_row, pct, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -70,13 +70,22 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         let mut bus = Vec::new();
         let mut filtered = 0u64;
         for w in &workloads {
-            let base = &results.cell(&w.name, "base").stats;
-            let s = &results.cell(&w.name, name).stats;
+            let (Ok(base), Ok(s)) = (
+                results.try_cell(&w.name, "base"),
+                results.try_cell(&w.name, name),
+            ) else {
+                continue;
+            };
+            let (base, s) = (&base.stats, &s.stats);
             speedups.push(s.speedup_over(base));
             issued += s.mem.prefetches_issued;
             useful += s.mem.useful_prefetches;
             bus.push(s.bus_utilization());
             filtered += s.fdip.filtered_cpf_enqueue + s.fdip.filtered_cpf_remove;
+        }
+        if bus.is_empty() {
+            table.row(failed_row(name, 6));
+            continue;
         }
         let accuracy = if issued == 0 {
             0.0
@@ -92,7 +101,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
             filtered.to_string(),
         ]);
     }
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

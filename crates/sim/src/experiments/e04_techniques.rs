@@ -5,7 +5,7 @@ use fdip::{CpfMode, FrontendConfig, PrefetcherKind};
 
 use crate::experiments::{base_config, ExperimentResult};
 use crate::harness::Harness;
-use crate::report::{ascii_chart, f3, Series, Table};
+use crate::report::{ascii_chart, f3, failed_row, Series, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -84,10 +84,18 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         .collect();
     let mut per_technique: Vec<Vec<f64>> = vec![Vec::new(); technique_names.len()];
     for w in &workloads {
-        let base = &results.cell(&w.name, "base").stats;
+        let Ok(base) = results.try_cell(&w.name, "base") else {
+            table.row(failed_row(&w.name, headers.len()));
+            continue;
+        };
+        let base = &base.stats;
         let mut row = vec![w.name.clone()];
         for (i, name) in technique_names.iter().enumerate() {
-            let speedup = results.cell(&w.name, name).stats.speedup_over(base);
+            let Ok(cell) = results.try_cell(&w.name, name) else {
+                row.push("FAILED".to_string());
+                continue;
+            };
+            let speedup = cell.stats.speedup_over(base);
             per_technique[i].push(speedup);
             series[i].points.push((w.name.clone(), speedup));
             row.push(f3(speedup));
@@ -101,9 +109,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     table.row(geo);
 
     let chart = ascii_chart(&format!("{ID}: {TITLE}"), &series, "speedup over baseline");
-    ExperimentResult::tables(vec![table])
-        .with_chart(chart)
-        .with_cells(results.into_cells())
+    super::finish(vec![table], results).with_chart(chart)
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use crate::experiments::{base_config, e04_techniques, ExperimentResult};
 use crate::harness::Harness;
-use crate::report::{pct, Table};
+use crate::report::{failed_row, pct, Table};
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -53,11 +53,18 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         let mut prefetch = 0u64;
         let mut redundant = 0u64;
         for w in &workloads {
-            let s = &results.cell(&w.name, name).stats;
+            let Ok(s) = results.try_cell(&w.name, name) else {
+                continue;
+            };
+            let s = &s.stats;
             util.push(s.bus_utilization());
             demand += s.mem.demand_transfers;
             prefetch += s.mem.prefetch_transfers;
             redundant += s.mem.redundant_prefetch_fills;
+        }
+        if util.is_empty() {
+            table.row(failed_row(name.clone(), 5));
+            continue;
         }
         table.row([
             name.clone(),
@@ -67,7 +74,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
             redundant.to_string(),
         ]);
     }
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use fdip_mem::HierarchyConfig;
 use crate::experiments::ExperimentResult;
 use crate::harness::Harness;
 use crate::report::ascii_chart;
-use crate::report::{f3, Series, Table};
+use crate::report::{f3, failed_row, Series, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -78,11 +78,20 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         let mut base_ipc = Vec::new();
         let mut fdip_ipc = Vec::new();
         for w in &workloads {
-            let base = &results.cell(&w.name, &format!("base {label}")).stats;
-            let fdip = &results.cell(&w.name, &format!("fdip {label}")).stats;
+            let (Ok(base), Ok(fdip)) = (
+                results.try_cell(&w.name, &format!("base {label}")),
+                results.try_cell(&w.name, &format!("fdip {label}")),
+            ) else {
+                continue;
+            };
+            let (base, fdip) = (&base.stats, &fdip.stats);
             speedups.push(fdip.speedup_over(base));
             base_ipc.push(base.ipc());
             fdip_ipc.push(fdip.ipc());
+        }
+        if speedups.is_empty() {
+            table.row(failed_row(label, 4));
+            continue;
         }
         let speedup = geomean(speedups);
         series.points.push((label.to_string(), speedup));
@@ -94,9 +103,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         ]);
     }
     let chart = ascii_chart(&format!("{ID}: {TITLE}"), &[series], "speedup");
-    ExperimentResult::tables(vec![table])
-        .with_chart(chart)
-        .with_cells(results.into_cells())
+    super::finish(vec![table], results).with_chart(chart)
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@ use fdip::{FrontendConfig, PrefetcherKind};
 
 use crate::experiments::ExperimentResult;
 use crate::harness::Harness;
-use crate::report::{ascii_chart, f3, Series, Table};
+use crate::report::{ascii_chart, f3, failed_row, Series, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -67,11 +67,20 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         let mut occupancy = Vec::new();
         let mut issued = 0u64;
         for w in &workloads {
-            let base = &results.cell(&w.name, "base").stats;
-            let s = &results.cell(&w.name, &format!("ftq{depth}")).stats;
+            let (Ok(base), Ok(s)) = (
+                results.try_cell(&w.name, "base"),
+                results.try_cell(&w.name, &format!("ftq{depth}")),
+            ) else {
+                continue;
+            };
+            let (base, s) = (&base.stats, &s.stats);
             speedups.push(s.speedup_over(base));
             occupancy.push(s.mean_ftq_occupancy());
             issued += s.fdip.issued;
+        }
+        if speedups.is_empty() {
+            table.row(failed_row(depth.to_string(), 4));
+            continue;
         }
         let speedup = geomean(speedups);
         series.points.push((depth.to_string(), speedup));
@@ -83,9 +92,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         ]);
     }
     let chart = ascii_chart(&format!("{ID}: {TITLE}"), &[series], "speedup");
-    ExperimentResult::tables(vec![table])
-        .with_chart(chart)
-        .with_cells(results.into_cells())
+    super::finish(vec![table], results).with_chart(chart)
 }
 
 #[cfg(test)]

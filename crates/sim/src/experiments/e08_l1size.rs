@@ -6,7 +6,7 @@ use fdip_mem::{CacheGeometry, HierarchyConfig};
 
 use crate::experiments::ExperimentResult;
 use crate::harness::Harness;
-use crate::report::{f3, pct, Table};
+use crate::report::{f3, failed_row, pct, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -68,11 +68,20 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         let mut mpki = Vec::new();
         let mut coverage = Vec::new();
         for w in &workloads {
-            let base = &results.cell(&w.name, &format!("base {kb}KB")).stats;
-            let fdip = &results.cell(&w.name, &format!("fdip {kb}KB")).stats;
+            let (Ok(base), Ok(fdip)) = (
+                results.try_cell(&w.name, &format!("base {kb}KB")),
+                results.try_cell(&w.name, &format!("fdip {kb}KB")),
+            ) else {
+                continue;
+            };
+            let (base, fdip) = (&base.stats, &fdip.stats);
             speedups.push(fdip.speedup_over(base));
             mpki.push(base.l1i_mpki());
             coverage.push(fdip.miss_coverage_vs(base));
+        }
+        if speedups.is_empty() {
+            table.row(failed_row(format!("{kb}KB"), 4));
+            continue;
         }
         table.row([
             format!("{kb}KB"),
@@ -81,7 +90,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
             pct(coverage.iter().sum::<f64>() / coverage.len() as f64),
         ]);
     }
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use crate::experiments::{base_config, e04_techniques, ExperimentResult};
 use crate::harness::Harness;
-use crate::report::{pct, Table};
+use crate::report::{failed_row, pct, Table};
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -55,13 +55,22 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         let mut late = 0u64;
         let mut redundant = 0u64;
         let mut useless = 0u64;
+        let mut missing = false;
         for w in &workloads {
-            let s = &results.cell(&w.name, name).stats;
+            let Ok(s) = results.try_cell(&w.name, name) else {
+                missing = true;
+                continue;
+            };
+            let s = &s.stats;
             issued += s.mem.prefetches_issued;
             useful += s.mem.useful_prefetches;
             late += s.mem.late_prefetches;
             redundant += s.mem.redundant_prefetch_fills;
             useless += s.mem.useless_evictions;
+        }
+        if missing && issued == 0 {
+            table.row(failed_row(name.clone(), 7));
+            continue;
         }
         let accuracy = if issued == 0 {
             0.0
@@ -78,7 +87,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
             useless.to_string(),
         ]);
     }
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@ use fdip_types::BranchClass;
 
 use crate::experiments::{base_config, ExperimentResult};
 use crate::harness::Harness;
-use crate::report::{f3, Table};
+use crate::report::{f3, failed_row, Table};
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
 
@@ -61,7 +61,11 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         ],
     );
     for w in &workloads {
-        let r = results.cell(&w.name, "base");
+        let Ok(r) = results.try_cell(&w.name, "base") else {
+            characterization.row(failed_row(&w.name, 6));
+            baseline.row(failed_row(&w.name, 6));
+            continue;
+        };
         let t = &r.trace_stats;
         characterization.row([
             w.name.clone(),
@@ -87,7 +91,11 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         &["workload", "cond", "jump", "call", "icall", "ret", "ijump"],
     );
     for w in &workloads {
-        let t = &results.cell(&w.name, "base").trace_stats;
+        let Ok(r) = results.try_cell(&w.name, "base") else {
+            mix.row(failed_row(&w.name, 7));
+            continue;
+        };
+        let t = &r.trace_stats;
         let total = t.mix.total().max(1) as f64;
         let mut row = vec![w.name.clone()];
         for class in BranchClass::ALL {
@@ -96,7 +104,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         mix.row(row);
     }
 
-    ExperimentResult::tables(vec![characterization, baseline, mix]).with_cells(results.into_cells())
+    super::finish(vec![characterization, baseline, mix], results)
 }
 
 #[cfg(test)]

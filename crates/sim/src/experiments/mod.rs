@@ -43,7 +43,8 @@ pub mod x8_shotgun;
 use fdip::{FrontendConfig, PrefetcherKind};
 use fdip_types::{Json, ToJson};
 
-use crate::harness::Harness;
+use crate::fault::CellError;
+use crate::harness::{Harness, MatrixResults};
 use crate::report::Table;
 use crate::runner::RunResult;
 use crate::Scale;
@@ -126,6 +127,25 @@ impl ExperimentResult {
         }
         out
     }
+}
+
+/// Finishes a matrix-driven experiment: attaches the raw cells and, when
+/// the run degraded, appends a "failed cells" table so every `FAILED`
+/// marker in the partial tables has its error spelled out next to it.
+pub(crate) fn finish(mut tables: Vec<Table>, results: MatrixResults) -> ExperimentResult {
+    if results.failures().next().is_some() {
+        let mut failed = Table::new("failed cells", &["workload", "config", "error"]);
+        for r in results.failures() {
+            let error = r
+                .error
+                .as_ref()
+                .map(CellError::to_string)
+                .unwrap_or_default();
+            failed.row([r.workload.clone(), r.config.clone(), error]);
+        }
+        tables.push(failed);
+    }
+    ExperimentResult::tables(tables).with_cells(results.into_cells())
 }
 
 /// The registry, in run order.

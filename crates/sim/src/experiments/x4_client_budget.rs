@@ -125,9 +125,17 @@ pub(crate) fn budget_sweep(
         for (i, name) in ["fdip", "fdip-x", "pif"].iter().enumerate() {
             let mut speedups = Vec::new();
             for w in &workloads {
-                let base = &results.cell(&w.name, &format!("base {label}")).stats;
-                let s = &results.cell(&w.name, &format!("{name} {label}")).stats;
-                speedups.push(s.speedup_over(base));
+                let (Ok(base), Ok(s)) = (
+                    results.try_cell(&w.name, &format!("base {label}")),
+                    results.try_cell(&w.name, &format!("{name} {label}")),
+                ) else {
+                    continue;
+                };
+                speedups.push(s.stats.speedup_over(&base.stats));
+            }
+            if speedups.is_empty() {
+                row.push("FAILED".to_string());
+                continue;
             }
             let gain = (geomean(speedups) - 1.0) * 100.0;
             series[i].points.push((label.clone(), gain));
@@ -136,9 +144,7 @@ pub(crate) fn budget_sweep(
         table.row(row);
     }
     let chart = ascii_chart(&format!("{id}: {title}"), &series, "% gain");
-    ExperimentResult::tables(vec![table])
-        .with_chart(chart)
-        .with_cells(results.into_cells())
+    super::finish(vec![table], results).with_chart(chart)
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use fdip_btb::{PartitionConfig, TagScheme};
 
 use crate::experiments::ExperimentResult;
 use crate::harness::Harness;
-use crate::report::{f3, kb, Table};
+use crate::report::{f3, failed_row, kb, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -66,9 +66,17 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let mut c16_all = Vec::new();
     let mut full_all = Vec::new();
     for w in &workloads {
-        let base = &results.cell(&w.name, "base").stats;
-        let c16 = results.cell(&w.name, "c16").stats.speedup_over(base);
-        let full = results.cell(&w.name, "full").stats.speedup_over(base);
+        let (Ok(base), Ok(c16), Ok(full)) = (
+            results.try_cell(&w.name, "base"),
+            results.try_cell(&w.name, "c16"),
+            results.try_cell(&w.name, "full"),
+        ) else {
+            table.row(failed_row(&w.name, 4));
+            continue;
+        };
+        let base = &base.stats;
+        let c16 = c16.stats.speedup_over(base);
+        let full = full.stats.speedup_over(base);
         c16_all.push(c16);
         full_all.push(full);
         table.row([
@@ -101,7 +109,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         kb(PartitionedBtb::new(full).storage_bits() / 8),
     ]);
 
-    ExperimentResult::tables(vec![table, storage]).with_cells(results.into_cells())
+    super::finish(vec![table, storage], results)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use fdip::{BtbVariant, FrontendConfig, PrefetcherKind};
 
 use crate::experiments::ExperimentResult;
 use crate::harness::Harness;
-use crate::report::{f3, Table};
+use crate::report::{f3, failed_row, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -80,9 +80,14 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
         let mut boom_decode = Vec::new();
         let mut installs = 0u64;
         for w in &workloads {
-            let base = &results.cell(&w.name, &format!("base {entries}")).stats;
-            let fdip = &results.cell(&w.name, &format!("fdip {entries}")).stats;
-            let boom = &results.cell(&w.name, &format!("boomerang {entries}")).stats;
+            let (Ok(base), Ok(fdip), Ok(boom)) = (
+                results.try_cell(&w.name, &format!("base {entries}")),
+                results.try_cell(&w.name, &format!("fdip {entries}")),
+                results.try_cell(&w.name, &format!("boomerang {entries}")),
+            ) else {
+                continue;
+            };
+            let (base, fdip, boom) = (&base.stats, &fdip.stats, &boom.stats);
             fdip_speed.push(fdip.speedup_over(base));
             boom_speed.push(boom.speedup_over(base));
             fdip_decode
@@ -90,6 +95,10 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
             boom_decode
                 .push(boom.branches.decode_redirects as f64 * 1000.0 / boom.instructions as f64);
             installs += boom.predecode_installs;
+        }
+        if fdip_speed.is_empty() {
+            table.row(failed_row(entries.to_string(), 6));
+            continue;
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         table.row([
@@ -101,7 +110,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
             installs.to_string(),
         ]);
     }
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use fdip::{FrontendConfig, PrefetcherKind, ShotgunConfig};
 
 use crate::experiments::{base_config, ExperimentResult};
 use crate::harness::Harness;
-use crate::report::{f3, pct, Table};
+use crate::report::{f3, failed_row, pct, Table};
 use crate::runner::geomean;
 use crate::workload::{suite, SuiteKind};
 use crate::Scale;
@@ -76,18 +76,30 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     let mut fdip_all = Vec::new();
     let mut shotgun_all = vec![Vec::new(); REGION_TABLES.len()];
     for w in &workloads {
-        let base = &results.cell(&w.name, "base").stats;
-        let fdip = &results.cell(&w.name, "fdip").stats;
+        let cells = (
+            results.try_cell(&w.name, "base"),
+            results.try_cell(&w.name, "fdip"),
+            results.try_cell(&w.name, "shotgun 512"),
+        );
+        let ((Ok(base), Ok(fdip), Ok(mid)), Ok(all_regions)) = (
+            cells,
+            REGION_TABLES
+                .iter()
+                .map(|regions| results.try_cell(&w.name, &format!("shotgun {regions}")))
+                .collect::<Result<Vec<_>, _>>(),
+        ) else {
+            table.row(failed_row(&w.name, 7));
+            continue;
+        };
+        let (base, fdip, mid) = (&base.stats, &fdip.stats, &mid.stats);
         let fdip_speed = fdip.speedup_over(base);
         fdip_all.push(fdip_speed);
         let mut row = vec![w.name.clone(), f3(fdip_speed)];
-        for (i, regions) in REGION_TABLES.iter().enumerate() {
-            let s = &results.cell(&w.name, &format!("shotgun {regions}")).stats;
-            let speed = s.speedup_over(base);
+        for (i, s) in all_regions.iter().enumerate() {
+            let speed = s.stats.speedup_over(base);
             shotgun_all[i].push(speed);
             row.push(f3(speed));
         }
-        let mid = &results.cell(&w.name, "shotgun 512").stats;
         row.push(pct(fdip.miss_coverage_vs(base)));
         row.push(pct(mid.miss_coverage_vs(base)));
         table.row(row);
@@ -99,7 +111,7 @@ fn run_with(harness: &Harness, scale: Scale) -> ExperimentResult {
     geo.push(String::new());
     geo.push(String::new());
     table.row(geo);
-    ExperimentResult::tables(vec![table]).with_cells(results.into_cells())
+    super::finish(vec![table], results)
 }
 
 #[cfg(test)]

@@ -1,5 +1,5 @@
 //! The shared experiment harness: trace store, content-keyed cell cache,
-//! and a cell-granular deterministic scheduler.
+//! and a fault-tolerant cell-granular deterministic scheduler.
 //!
 //! Every experiment in the catalogue ultimately evaluates *cells* — one
 //! `(workload, config)` simulation over a generated trace. Before this
@@ -20,9 +20,28 @@
 //!   order, so output is byte-identical regardless of thread count
 //!   (covered by `determinism.rs`).
 //!
-//! [`Harness::stats`] exposes hit/miss counters; the acceptance test in
-//! `tests/experiment_smoke.rs` uses them to prove `exp_all` simulates no
-//! duplicate cell.
+//! On top of the caching sits the fault model (see [`crate::fault`]):
+//!
+//! * every cell computes under `catch_unwind`, so a panicking cell
+//!   becomes a typed [`CellError`] in its [`RunResult`] instead of
+//!   tearing down the whole matrix;
+//! * retryable failures are re-attempted under the harness's
+//!   [`RetryPolicy`] with deterministic jittered backoff; a per-cell
+//!   wall-clock budget cancels runaway simulations cooperatively
+//!   ([`CellError::Timeout`]);
+//! * failures are **never cached** — the failed slot resets to idle so a
+//!   later request (or a resumed run) can try again;
+//! * with a journal attached ([`Harness::attach_journal`]), every
+//!   completed cell is appended to a crash-tolerant JSONL file and a
+//!   restart preloads it, re-simulating only what never finished;
+//! * every lock acquisition recovers from poisoning
+//!   (`PoisonError::into_inner`): the caches hold plain finished data, so
+//!   a panic while holding a guard cannot leave them logically torn.
+//!
+//! [`Harness::stats`] exposes hit/miss plus failure/retry/journal
+//! counters; the acceptance tests in `tests/experiment_smoke.rs` and
+//! `tests/fault_tolerance.rs` use them to prove `exp_all` simulates no
+//! duplicate cell and resumes without re-simulating journaled ones.
 //!
 //! # Examples
 //!
@@ -37,21 +56,36 @@
 //! let configs = vec![("base".to_string(), FrontendConfig::default())];
 //! let first = harness.run_matrix(&workloads, 10_000, &configs);
 //! let again = harness.run_matrix(&workloads, 10_000, &configs);
-//! assert_eq!(first.cell("client-1", "base").stats, again.cell("client-1", "base").stats);
+//! let cell = first.try_cell("client-1", "base").unwrap();
+//! assert_eq!(cell.stats, again.try_cell("client-1", "base").unwrap().stats);
 //! assert_eq!(harness.stats().cells_simulated, 1);
 //! assert_eq!(harness.stats().cell_hits, 1);
 //! ```
 
 use std::collections::HashMap;
+use std::io;
 use std::ops::Deref;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
 
-use fdip::{FrontendConfig, SimStats, Simulator};
+use fdip::{CancelToken, Cancelled, FrontendConfig, SimStats, Simulator};
 use fdip_trace::{Trace, TraceStats};
 
+use crate::fault::{fnv1a, splitmix64, CellError, FaultAction, FaultPlan, RetryPolicy};
+use crate::journal::{self, Journal, JournalEntry, JournalSummary};
 use crate::runner::RunResult;
 use crate::workload::WorkloadSpec;
+
+/// Locks a mutex, recovering from poisoning. Every shared structure in
+/// the harness holds plain finished values (or a state flag that the
+/// owner restores outside the panicking region), so a guard abandoned by
+/// a panic cannot leave torn data behind — recovery is always sound here.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A generated trace plus its one-pass characterization, shared read-only
 /// across every experiment in the process.
@@ -65,7 +99,7 @@ pub struct TraceEntry {
     pub stats: TraceStats,
 }
 
-/// Snapshot of the harness's cache counters.
+/// Snapshot of the harness's cache and fault counters.
 ///
 /// Each counter is an atomic the workers bump as they go, so a snapshot
 /// is cheap enough for a `/metrics` scrape on every request. *Hits* are
@@ -87,12 +121,20 @@ pub struct HarnessStats {
     pub cell_hits: u64,
     /// Cell requests coalesced onto another thread's in-flight simulation.
     pub cells_shared: u64,
+    /// Cell requests that ended in a terminal [`CellError`].
+    pub cells_failed: u64,
+    /// Retry attempts made after a retryable cell failure.
+    pub cell_retries: u64,
+    /// Cells cancelled for exceeding their wall-clock budget.
+    pub cell_timeouts: u64,
+    /// Cells preloaded from an attached journal instead of simulated.
+    pub journal_restored: u64,
 }
 
 impl HarnessStats {
-    /// Total cell requests, however they were served.
+    /// Total cell requests, however they were served (or failed).
     pub fn cell_requests(&self) -> u64 {
-        self.cells_simulated + self.cell_hits + self.cells_shared
+        self.cells_simulated + self.cell_hits + self.cells_shared + self.cells_failed
     }
 }
 
@@ -106,6 +148,10 @@ impl fdip_types::ToJson for HarnessStats {
             cells_simulated,
             cell_hits,
             cells_shared,
+            cells_failed,
+            cell_retries,
+            cell_timeouts,
+            journal_restored,
         )
     }
 }
@@ -125,19 +171,47 @@ type CellKey = (String, usize, String);
 
 type Slot<T> = Arc<OnceLock<T>>;
 
+/// Lifecycle of one cell-cache slot. Unlike the trace store's `OnceLock`,
+/// a cell compute can *fail*, so the slot is an explicit state machine: a
+/// failed compute resets to `Idle` (failures are never cached) and wakes
+/// any waiters, who then claim the compute themselves.
+#[derive(Clone, Debug, Default)]
+enum CellState {
+    /// Nobody has (successfully) computed this cell yet.
+    #[default]
+    Idle,
+    /// A worker claimed the compute; waiters block on the condvar.
+    Computing,
+    /// Finished statistics, shared by every later request.
+    Done(Arc<SimStats>),
+}
+
+#[derive(Debug, Default)]
+struct CellSlot {
+    state: Mutex<CellState>,
+    done: Condvar,
+}
+
 /// The process-wide experiment execution engine. See the module docs.
 #[derive(Default)]
 pub struct Harness {
     traces: Mutex<HashMap<TraceKey, Slot<Arc<TraceEntry>>>>,
-    cells: Mutex<HashMap<CellKey, Slot<Arc<SimStats>>>>,
+    cells: Mutex<HashMap<CellKey, Arc<CellSlot>>>,
     /// Worker-thread override; `None` means `available_parallelism()`.
     threads: Option<usize>,
+    faults: Mutex<Option<Arc<FaultPlan>>>,
+    retry: Mutex<RetryPolicy>,
+    journal: Mutex<Option<Arc<Journal>>>,
     traces_generated: AtomicU64,
     trace_hits: AtomicU64,
     traces_shared: AtomicU64,
     cells_simulated: AtomicU64,
     cell_hits: AtomicU64,
     cells_shared: AtomicU64,
+    cells_failed: AtomicU64,
+    cell_retries: AtomicU64,
+    cell_timeouts: AtomicU64,
+    journal_restored: AtomicU64,
 }
 
 impl Harness {
@@ -157,13 +231,15 @@ impl Harness {
 
     /// The process-wide shared harness: every experiment run through the
     /// registry uses this instance, so traces and cells are shared across
-    /// experiments, not just within one.
+    /// experiments, not just within one. Its locks recover from
+    /// poisoning, so a panicking cell in one experiment never bricks the
+    /// instance for the rest of the process.
     pub fn global() -> &'static Harness {
         static GLOBAL: OnceLock<Harness> = OnceLock::new();
         GLOBAL.get_or_init(Harness::new)
     }
 
-    /// Current cache counters.
+    /// Current cache and fault counters.
     pub fn stats(&self) -> HarnessStats {
         HarnessStats {
             traces_generated: self.traces_generated.load(Ordering::Relaxed),
@@ -172,7 +248,67 @@ impl Harness {
             cells_simulated: self.cells_simulated.load(Ordering::Relaxed),
             cell_hits: self.cell_hits.load(Ordering::Relaxed),
             cells_shared: self.cells_shared.load(Ordering::Relaxed),
+            cells_failed: self.cells_failed.load(Ordering::Relaxed),
+            cell_retries: self.cell_retries.load(Ordering::Relaxed),
+            cell_timeouts: self.cell_timeouts.load(Ordering::Relaxed),
+            journal_restored: self.journal_restored.load(Ordering::Relaxed),
         }
+    }
+
+    /// Installs (or clears) a deterministic fault-injection plan. Fires
+    /// only on cells that actually *compute*; cached cells never fault.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *lock(&self.faults) = plan.map(Arc::new);
+    }
+
+    /// Replaces the retry policy applied to every subsequent cell compute.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *lock(&self.retry) = policy;
+    }
+
+    /// The retry policy currently in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *lock(&self.retry)
+    }
+
+    /// Attaches a cell journal at `path`: existing valid entries are
+    /// preloaded into the cell cache (so they will not be re-simulated),
+    /// and every cell completed from now on is appended and flushed.
+    ///
+    /// Returns how many cells were restored and how many corrupt lines
+    /// were skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from reading or opening the journal;
+    /// *corrupt contents* are skipped, not errors.
+    pub fn attach_journal(&self, path: &Path) -> io::Result<JournalSummary> {
+        let (entries, skipped) = journal::read_entries(path)?;
+        let mut restored = 0usize;
+        {
+            let mut cells = lock(&self.cells);
+            for entry in entries {
+                let slot = cells
+                    .entry((entry.workload, entry.trace_len, entry.config))
+                    .or_default()
+                    .clone();
+                let mut state = lock(&slot.state);
+                if matches!(*state, CellState::Idle) {
+                    *state = CellState::Done(Arc::new(entry.stats));
+                    restored += 1;
+                }
+            }
+        }
+        self.journal_restored
+            .fetch_add(restored as u64, Ordering::Relaxed);
+        *lock(&self.journal) = Some(Arc::new(Journal::open_append(path)?));
+        Ok(JournalSummary { restored, skipped })
+    }
+
+    /// Detaches the journal; subsequent completions are no longer
+    /// recorded. Already-preloaded cells stay cached.
+    pub fn detach_journal(&self) {
+        *lock(&self.journal) = None;
     }
 
     /// The trace for `spec` at `trace_len`, generating it on first request
@@ -182,7 +318,7 @@ impl Harness {
     /// generates, the rest block on the same slot and then share it.
     pub fn trace(&self, spec: &WorkloadSpec, trace_len: usize) -> Arc<TraceEntry> {
         let slot = {
-            let mut map = self.traces.lock().expect("harness trace store");
+            let mut map = lock(&self.traces);
             map.entry((spec.name.clone(), trace_len))
                 .or_default()
                 .clone()
@@ -213,38 +349,201 @@ impl Harness {
         Arc::clone(entry)
     }
 
-    /// Simulates one cell, reusing the cached result when an identical
-    /// `(workload, trace_len, config)` cell already ran.
+    /// Serves one cell: from the cache if an identical
+    /// `(workload, trace_len, config)` cell already finished (including
+    /// journal-restored ones), otherwise by computing it under the fault
+    /// model. Exactly one trace-store request is made per call, so cache
+    /// counters stay deterministic across thread counts.
     fn cell_stats(
         &self,
-        entry: &TraceEntry,
+        spec: &WorkloadSpec,
         trace_len: usize,
+        label: &str,
         config: &FrontendConfig,
-    ) -> Arc<SimStats> {
-        let key = (
-            entry.spec.name.clone(),
-            trace_len,
-            config_fingerprint(config),
-        );
+    ) -> Result<(Arc<TraceEntry>, Arc<SimStats>), CellError> {
+        let fingerprint = config_fingerprint(config);
         let slot = {
-            let mut map = self.cells.lock().expect("harness cell cache");
-            map.entry(key).or_default().clone()
+            let mut map = lock(&self.cells);
+            map.entry((spec.name.clone(), trace_len, fingerprint.clone()))
+                .or_default()
+                .clone()
         };
-        let finished_before = slot.get().is_some();
-        let mut computed = false;
-        let stats = slot.get_or_init(|| {
-            computed = true;
-            Arc::new(Simulator::run_trace(config, &entry.trace))
-        });
-        let counter = if computed {
-            &self.cells_simulated
-        } else if finished_before {
-            &self.cell_hits
-        } else {
-            &self.cells_shared
+        let mut waited = false;
+        {
+            let mut state = lock(&slot.state);
+            loop {
+                match &*state {
+                    CellState::Done(stats) => {
+                        let stats = Arc::clone(stats);
+                        drop(state);
+                        let counter = if waited {
+                            &self.cells_shared
+                        } else {
+                            &self.cell_hits
+                        };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        let entry = self.trace(spec, trace_len);
+                        return Ok((entry, stats));
+                    }
+                    CellState::Computing => {
+                        waited = true;
+                        state = slot
+                            .done
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    // Idle — either first request, or a previous compute
+                    // failed (failures are never cached): claim it.
+                    CellState::Idle => {
+                        *state = CellState::Computing;
+                        break;
+                    }
+                }
+            }
+        }
+        match self.compute_cell(spec, trace_len, label, config, &fingerprint) {
+            Ok((entry, stats)) => {
+                *lock(&slot.state) = CellState::Done(Arc::clone(&stats));
+                slot.done.notify_all();
+                self.cells_simulated.fetch_add(1, Ordering::Relaxed);
+                if let Some(journal) = lock(&self.journal).clone() {
+                    let record = JournalEntry {
+                        workload: spec.name.clone(),
+                        trace_len,
+                        config: fingerprint,
+                        stats: (*stats).clone(),
+                    };
+                    if let Err(err) = journal.append(&record) {
+                        eprintln!(
+                            "warning: journal append to {} failed: {err}",
+                            journal.path().display()
+                        );
+                    }
+                }
+                Ok((entry, stats))
+            }
+            Err(error) => {
+                *lock(&slot.state) = CellState::Idle;
+                slot.done.notify_all();
+                if matches!(error, CellError::Timeout { .. }) {
+                    self.cell_timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                self.cells_failed.fetch_add(1, Ordering::Relaxed);
+                Err(error)
+            }
+        }
+    }
+
+    /// Computes one claimed cell under the fault model: up to
+    /// `max_attempts` tries, each isolated by `catch_unwind`, with
+    /// deterministic jittered backoff between retryable failures and a
+    /// cooperative wall-clock budget per attempt.
+    fn compute_cell(
+        &self,
+        spec: &WorkloadSpec,
+        trace_len: usize,
+        label: &str,
+        config: &FrontendConfig,
+        fingerprint: &str,
+    ) -> Result<(Arc<TraceEntry>, Arc<SimStats>), CellError> {
+        let retry = self.retry_policy();
+        let plan = lock(&self.faults).clone();
+        let seed = plan.as_ref().map_or(0, |p| p.seed());
+        let jitter_key =
+            splitmix64(fnv1a(&spec.name) ^ fnv1a(fingerprint) ^ (trace_len as u64) ^ seed);
+        let max_attempts = retry.max_attempts.max(1);
+        let mut error = CellError::Transient {
+            message: "cell was never attempted".to_string(),
+            attempts: 0,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
-        Arc::clone(stats)
+        for attempt in 1..=max_attempts {
+            if attempt > 1 {
+                self.cell_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(retry.backoff_before(attempt, jitter_key));
+            }
+            let token = match retry.cell_budget {
+                Some(budget) => CancelToken::with_deadline(budget),
+                None => CancelToken::new(),
+            };
+            let outcome = quiet_catch_unwind(AssertUnwindSafe(|| {
+                self.attempt_cell(
+                    spec,
+                    trace_len,
+                    label,
+                    config,
+                    plan.as_deref(),
+                    &retry,
+                    &token,
+                    attempt,
+                )
+            }));
+            match outcome {
+                Ok(Ok(pair)) => return Ok(pair),
+                Ok(Err(err)) => error = err,
+                Err(payload) => {
+                    error = CellError::Panic {
+                        message: panic_message(payload.as_ref()),
+                        attempts: attempt,
+                    };
+                }
+            }
+            if !error.retryable() {
+                break;
+            }
+        }
+        Err(error)
+    }
+
+    /// One isolated attempt at a cell: fire any armed fault, fetch the
+    /// trace, honor the cancellation token, simulate.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_cell(
+        &self,
+        spec: &WorkloadSpec,
+        trace_len: usize,
+        label: &str,
+        config: &FrontendConfig,
+        plan: Option<&FaultPlan>,
+        retry: &RetryPolicy,
+        token: &CancelToken,
+        attempt: u32,
+    ) -> Result<(Arc<TraceEntry>, Arc<SimStats>), CellError> {
+        let budget_ms = retry
+            .cell_budget
+            .map_or(0, |b| u64::try_from(b.as_millis()).unwrap_or(u64::MAX));
+        let action = plan.and_then(|p| p.fire(&spec.name, label));
+        match action {
+            Some(FaultAction::Panic) => {
+                panic!("injected fault: panic at ({}, {label})", spec.name)
+            }
+            Some(FaultAction::TraceDecode) => {
+                return Err(CellError::Transient {
+                    message: format!("injected fault: trace decode failed for {}", spec.name),
+                    attempts: attempt,
+                });
+            }
+            Some(FaultAction::Transient) => {
+                return Err(CellError::Transient {
+                    message: format!(
+                        "injected fault: transient failure at ({}, {label})",
+                        spec.name
+                    ),
+                    attempts: attempt,
+                });
+            }
+            _ => {}
+        }
+        let entry = self.trace(spec, trace_len);
+        if let Some(FaultAction::Slow(delay)) = action {
+            sleep_cancellable(delay, token);
+        }
+        if token.is_cancelled() {
+            return Err(CellError::Timeout { budget_ms });
+        }
+        match Simulator::new(config, &entry.trace).run_cancellable(token) {
+            Ok(stats) => Ok((entry, Arc::new(stats))),
+            Err(Cancelled) => Err(CellError::Timeout { budget_ms }),
+        }
     }
 
     /// Evaluates `configs` × `workloads` over traces of `trace_len`.
@@ -254,6 +553,12 @@ impl Harness {
     /// one workload × many configs, many × one — saturates the machine.
     /// Results come back workload-major in the input orders, independent
     /// of thread count and scheduling.
+    ///
+    /// A cell that fails terminally (see [`crate::fault`]) still yields
+    /// its [`RunResult`] row, carrying the [`CellError`] and default
+    /// statistics; the rest of the matrix is unaffected. Use
+    /// [`MatrixResults::try_cell`] / [`MatrixResults::failures`] to
+    /// observe failures.
     pub fn run_matrix(
         &self,
         workloads: &[WorkloadSpec],
@@ -270,9 +575,33 @@ impl Harness {
             })
             .min(total.max(1));
 
-        // Hand cells out config-major (cell k ↦ workload k % W) so the
-        // first W cells touch W *different* traces: concurrent first-time
-        // generation instead of every thread blocking on workload 0's slot.
+        // Generate every trace up front, one task per workload, before any
+        // cell runs. Cell workers then only ever *hit* the finished store,
+        // which pins the hit/shared telemetry split — without the barrier a
+        // worker could catch a sibling workload's generation still in
+        // flight and count `traces_shared` instead of `trace_hits`, making
+        // `stats()` scheduling-dependent (tests/determinism.rs pins it).
+        let next_trace = std::sync::atomic::AtomicUsize::new(0);
+        let generate = |harness: &Harness| loop {
+            let w = next_trace.fetch_add(1, Ordering::Relaxed);
+            if w >= workloads.len() {
+                return;
+            }
+            harness.trace(&workloads[w], trace_len);
+        };
+        if threads <= 1 {
+            generate(self);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(workloads.len()) {
+                    scope.spawn(|| generate(self));
+                }
+            });
+        }
+
+        // Hand cells out config-major (cell k ↦ workload k % W) so
+        // neighboring steals touch different traces and the work mix per
+        // thread stays varied.
         let next = std::sync::atomic::AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, RunResult)>> = Mutex::new(Vec::with_capacity(total));
         let work = |harness: &Harness| loop {
@@ -281,20 +610,26 @@ impl Harness {
                 return;
             }
             let (w, c) = (k % workloads.len(), k / workloads.len());
-            let entry = harness.trace(&workloads[w], trace_len);
+            let spec = &workloads[w];
             let (label, config) = &configs[c];
-            let stats = harness.cell_stats(&entry, trace_len, config);
-            let result = RunResult {
-                workload: workloads[w].name.clone(),
-                config: label.clone(),
-                stats: (*stats).clone(),
-                trace_stats: entry.stats.clone(),
+            let result = match harness.cell_stats(spec, trace_len, label, config) {
+                Ok((entry, stats)) => RunResult {
+                    workload: spec.name.clone(),
+                    config: label.clone(),
+                    stats: (*stats).clone(),
+                    trace_stats: entry.stats.clone(),
+                    error: None,
+                },
+                Err(error) => RunResult {
+                    workload: spec.name.clone(),
+                    config: label.clone(),
+                    stats: SimStats::default(),
+                    trace_stats: TraceStats::default(),
+                    error: Some(error),
+                },
             };
-            collected
-                .lock()
-                .expect("harness results")
-                // Slot index is workload-major: the final output order.
-                .push((w * configs.len() + c, result));
+            // Slot index is workload-major: the final output order.
+            lock(&collected).push((w * configs.len() + c, result));
         };
 
         if threads <= 1 {
@@ -307,10 +642,66 @@ impl Harness {
             });
         }
 
-        let mut cells = collected.into_inner().expect("harness results");
+        let mut cells = collected
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         cells.sort_by_key(|(slot, _)| *slot);
         debug_assert_eq!(cells.len(), total);
         MatrixResults::new(cells.into_iter().map(|(_, r)| r).collect())
+    }
+}
+
+thread_local! {
+    /// True while this thread is inside a harness cell attempt, where any
+    /// panic is caught and converted to a [`CellError`].
+    static IN_CELL_ATTEMPT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// `catch_unwind` without the default hook's backtrace spew: a panic that
+/// is about to become a typed [`CellError`] is an *expected* outcome, so
+/// printing a full backtrace per attempt (retries included) only buries
+/// real diagnostics. The process-wide hook is replaced once with a
+/// delegating wrapper; panics outside cell attempts still report exactly
+/// as before.
+fn quiet_catch_unwind<R>(body: AssertUnwindSafe<impl FnOnce() -> R>) -> std::thread::Result<R> {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !IN_CELL_ATTEMPT.with(std::cell::Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+    IN_CELL_ATTEMPT.with(|flag| flag.set(true));
+    let outcome = panic::catch_unwind(body);
+    IN_CELL_ATTEMPT.with(|flag| flag.set(false));
+    outcome
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Sleeps up to `total`, in small slices so an expiring [`CancelToken`]
+/// cuts the wait short (used by the injected-slowness fault).
+fn sleep_cancellable(total: Duration, token: &CancelToken) {
+    const STEP: Duration = Duration::from_millis(5);
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if token.is_cancelled() {
+            return;
+        }
+        let chunk = remaining.min(STEP);
+        std::thread::sleep(chunk);
+        remaining -= chunk;
     }
 }
 
@@ -341,22 +732,51 @@ impl MatrixResults {
         MatrixResults { results, index }
     }
 
-    /// The cell for `(workload, config)`, if it was part of the matrix.
+    /// The cell for `(workload, config)`, if it was part of the matrix
+    /// (failed cells included — check
+    /// [`RunResult::error`](crate::runner::RunResult)).
     pub fn get(&self, workload: &str, config: &str) -> Option<&RunResult> {
         self.index
             .get(&(workload.to_string(), config.to_string()))
             .map(|&i| &self.results[i])
     }
 
+    /// The successfully simulated cell for `(workload, config)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::Missing`] when the pair was not part of the matrix;
+    /// the cell's own [`CellError`] when it failed. Experiments use this
+    /// to degrade gracefully — render the rows they can, mark the rest.
+    pub fn try_cell(&self, workload: &str, config: &str) -> Result<&RunResult, CellError> {
+        let result = self
+            .get(workload, config)
+            .ok_or_else(|| CellError::Missing {
+                workload: workload.to_string(),
+                config: config.to_string(),
+            })?;
+        match &result.error {
+            Some(error) => Err(error.clone()),
+            None => Ok(result),
+        }
+    }
+
     /// The cell for `(workload, config)`.
     ///
     /// # Panics
     ///
-    /// Panics if the cell is missing — experiments always look up cells of
-    /// the matrix they just ran, so a miss is a programming error.
+    /// Panics if the cell is missing. Failed cells are returned with
+    /// default statistics, which silently corrupts derived numbers —
+    /// prefer [`try_cell`](Self::try_cell).
+    #[deprecated(note = "use try_cell, which surfaces failed cells as errors")]
     pub fn cell(&self, workload: &str, config: &str) -> &RunResult {
         self.get(workload, config)
             .unwrap_or_else(|| panic!("missing cell ({workload}, {config})"))
+    }
+
+    /// The cells that failed, in matrix order.
+    pub fn failures(&self) -> impl Iterator<Item = &RunResult> {
+        self.results.iter().filter(|r| r.error.is_some())
     }
 
     /// Consumes the results for persistence.
@@ -378,6 +798,8 @@ mod tests {
     use crate::workload::{suite, SuiteKind};
     use crate::Scale;
     use fdip::PrefetcherKind;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicUsize;
 
     const LEN: usize = 8_000;
 
@@ -389,6 +811,24 @@ mod tests {
                 FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
             ),
         ]
+    }
+
+    /// A policy that retries immediately, so fault tests stay fast.
+    fn eager_retry(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            backoff: Duration::ZERO,
+            cell_budget: None,
+        }
+    }
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "fdip-harness-{}-{tag}-{n}.jsonl",
+            std::process::id()
+        ))
     }
 
     #[test]
@@ -425,8 +865,8 @@ mod tests {
         assert_eq!(stats.cell_hits, 2, "{stats:?}");
         assert_eq!(stats.traces_generated, 1, "{stats:?}");
         assert_eq!(
-            first.cell("client-1", "fdip").stats,
-            second.cell("client-1", "prefetch").stats
+            first.try_cell("client-1", "fdip").unwrap().stats,
+            second.try_cell("client-1", "prefetch").unwrap().stats
         );
     }
 
@@ -451,11 +891,17 @@ mod tests {
         assert!(results.get("client-1", "base").is_some());
         assert!(results.get("client-1", "nope").is_none());
         assert!(results.get("ghost", "base").is_none());
+        assert!(matches!(
+            results.try_cell("ghost", "base"),
+            Err(CellError::Missing { .. })
+        ));
+        assert_eq!(results.failures().count(), 0);
     }
 
     #[test]
     #[should_panic(expected = "missing cell")]
     fn missing_cell_panics() {
+        #[allow(deprecated)]
         MatrixResults::new(Vec::new()).cell("nope", "nada");
     }
 
@@ -484,12 +930,15 @@ mod tests {
             cells_simulated: 2,
             cell_hits: 3,
             cells_shared: 4,
+            cells_failed: 5,
             ..HarnessStats::default()
         };
-        assert_eq!(st.cell_requests(), 9);
+        assert_eq!(st.cell_requests(), 14);
         let json = fdip_types::ToJson::to_json(&st).to_string();
         assert!(json.contains(r#""cells_shared":4"#), "{json}");
         assert!(json.contains(r#""traces_shared":0"#), "{json}");
+        assert!(json.contains(r#""cells_failed":5"#), "{json}");
+        assert!(json.contains(r#""journal_restored":0"#), "{json}");
     }
 
     #[test]
@@ -499,5 +948,147 @@ mod tests {
             config_fingerprint(&FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()));
         assert_ne!(base, fdip);
         assert_eq!(base, config_fingerprint(&FrontendConfig::default()));
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_to_its_cell() {
+        let harness = Harness::new();
+        harness.set_retry_policy(eager_retry(2));
+        harness.set_fault_plan(Some(FaultPlan::parse("panic@client-1/fdip").unwrap()));
+        let workloads = suite(SuiteKind::Client, Scale::quick());
+        let results = harness.run_matrix(&workloads, LEN, &configs());
+
+        // The panicking cell is a typed failure; its neighbor is fine.
+        assert!(results.try_cell("client-1", "base").is_ok());
+        let err = results.try_cell("client-1", "fdip").unwrap_err();
+        assert!(
+            matches!(&err, CellError::Panic { attempts: 2, message } if message.contains("injected")),
+            "{err:?}"
+        );
+        assert_eq!(results.failures().count(), 1);
+        let st = harness.stats();
+        assert_eq!(st.cells_failed, 1, "{st:?}");
+        assert_eq!(st.cell_retries, 1, "{st:?}");
+        assert_eq!(st.cells_simulated, 1, "{st:?}");
+    }
+
+    #[test]
+    fn transient_fault_retries_to_the_fault_free_value() {
+        let harness = Harness::new();
+        harness.set_retry_policy(eager_retry(3));
+        harness.set_fault_plan(Some(FaultPlan::parse("transient@client-1/base:2").unwrap()));
+        let workloads = suite(SuiteKind::Client, Scale::quick());
+        let faulty = harness.run_matrix(&workloads, LEN, &configs());
+        let st = harness.stats();
+        assert_eq!(st.cells_failed, 0, "{st:?}");
+        assert_eq!(st.cell_retries, 2, "{st:?}");
+
+        let clean = Harness::new().run_matrix(&workloads, LEN, &configs());
+        assert_eq!(
+            faulty.try_cell("client-1", "base").unwrap().stats,
+            clean.try_cell("client-1", "base").unwrap().stats
+        );
+    }
+
+    #[test]
+    fn slow_cell_times_out_against_its_budget_without_retry() {
+        let harness = Harness::new();
+        harness.set_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+            cell_budget: Some(Duration::from_millis(30)),
+        });
+        harness.set_fault_plan(Some(FaultPlan::parse("slow@client-1/base:10000").unwrap()));
+        let workloads = suite(SuiteKind::Client, Scale::quick());
+        let results = harness.run_matrix(&workloads, LEN, &configs());
+        let err = results.try_cell("client-1", "base").unwrap_err();
+        assert_eq!(err, CellError::Timeout { budget_ms: 30 });
+        let st = harness.stats();
+        assert_eq!(st.cell_timeouts, 1, "{st:?}");
+        assert_eq!(st.cells_failed, 1, "{st:?}");
+        // Timeouts are terminal: no retry was burned on it.
+        assert_eq!(st.cell_retries, 0, "{st:?}");
+        // The untargeted fdip cell still simulated inside the budget.
+        assert!(results.try_cell("client-1", "fdip").is_ok());
+    }
+
+    #[test]
+    fn failed_cells_are_not_cached_and_recover_on_rerun() {
+        let harness = Harness::new();
+        harness.set_retry_policy(eager_retry(1));
+        harness.set_fault_plan(Some(FaultPlan::parse("panic@client-1/base:1").unwrap()));
+        let workloads = suite(SuiteKind::Client, Scale::quick());
+        let first = harness.run_matrix(&workloads, LEN, &configs());
+        assert!(first.try_cell("client-1", "base").is_err());
+        assert_eq!(harness.stats().cells_failed, 1);
+
+        // The plan's single shot is spent; the slot went back to idle, so
+        // the rerun computes the cell successfully instead of serving a
+        // cached failure.
+        let second = harness.run_matrix(&workloads, LEN, &configs());
+        assert!(second.try_cell("client-1", "base").is_ok());
+        assert_eq!(harness.stats().cells_failed, 1);
+    }
+
+    #[test]
+    fn poisoned_locks_recover_even_on_the_global_harness() {
+        // Poison a private lock the way a panicking thread would, then
+        // prove the harness still serves requests. Run against the
+        // process-wide instance on purpose: this is the regression test
+        // for a panic in one experiment bricking the rest of the run.
+        let harness = Harness::global();
+        let spec = &suite(SuiteKind::Client, Scale::quick())[0];
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = harness.traces.lock().unwrap();
+                panic!("poison the trace store");
+            })
+            .join()
+        });
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = harness.cells.lock().unwrap();
+                panic!("poison the cell cache");
+            })
+            .join()
+        });
+        // Both locks are now poisoned; every path must recover.
+        let entry = harness.trace(spec, LEN / 4);
+        assert!(!entry.trace.is_empty());
+        let workloads = suite(SuiteKind::Client, Scale::quick());
+        let results = harness.run_matrix(&workloads, LEN / 4, &configs());
+        assert!(results.try_cell("client-1", "base").is_ok());
+    }
+
+    #[test]
+    fn journal_resume_re_simulates_nothing_and_is_byte_identical() {
+        let path = temp_journal("resume");
+        let workloads = suite(SuiteKind::Client, Scale::quick());
+
+        let first = Harness::new();
+        let summary = first.attach_journal(&path).unwrap();
+        assert_eq!(summary, JournalSummary::default());
+        let a = first.run_matrix(&workloads, LEN, &configs());
+        assert_eq!(first.stats().cells_simulated, 2);
+
+        // A "restarted" harness attaches the same journal: every cell is
+        // preloaded, zero cells simulate, output is byte-identical.
+        let second = Harness::new();
+        let summary = second.attach_journal(&path).unwrap();
+        assert_eq!(summary.restored, 2);
+        assert_eq!(summary.skipped, 0);
+        let b = second.run_matrix(&workloads, LEN, &configs());
+        let st = second.stats();
+        assert_eq!(st.cells_simulated, 0, "{st:?}");
+        assert_eq!(st.journal_restored, 2, "{st:?}");
+        assert_eq!(st.cell_hits, 2, "{st:?}");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(
+                fdip_types::ToJson::to_json(x).to_string(),
+                fdip_types::ToJson::to_json(y).to_string()
+            );
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,332 @@
+//! The cell journal: a crash-tolerant record of completed simulations.
+//!
+//! A journaled run appends one JSONL line per *computed* cell — workload,
+//! trace length, config fingerprint, and the finished [`SimStats`] — and
+//! flushes after each line, so a `SIGKILL` loses at most one torn tail
+//! line. On restart, [`read_entries`] replays the journal and the harness
+//! preloads every valid entry into its cell cache; the resumed run then
+//! re-simulates only the cells that never finished.
+//!
+//! Reading is deliberately paranoid, because the journal is exactly the
+//! file most likely to be half-written: lines are length-bounded
+//! ([`MAX_LINE_BYTES`]) and read without buffering oversize garbage, each
+//! line is schema-checked ([`JOURNAL_SCHEMA_VERSION`]) and field-checked,
+//! and anything malformed — torn tail, corrupt JSON, foreign schema — is
+//! counted, warned about, and skipped. A corrupt journal can cost
+//! re-simulation; it can never poison results or abort a resume.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use fdip::SimStats;
+use fdip_types::{FromJson, Json, ToJson};
+
+/// Journal line format version; bump on any incompatible change so a
+/// resume never trusts lines written by a different format.
+pub const JOURNAL_SCHEMA_VERSION: u64 = 1;
+
+/// Upper bound on one journal line. A real entry is a few KiB; anything
+/// larger is corruption and is skipped without ever being buffered.
+pub const MAX_LINE_BYTES: usize = 256 * 1024;
+
+/// One completed cell, as recorded in (and replayed from) the journal.
+///
+/// The `config` field is the *content fingerprint*
+/// ([`config_fingerprint`](crate::harness::config_fingerprint)), not a
+/// display label, so a replayed entry hits the cell cache under any label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalEntry {
+    /// Workload name.
+    pub workload: String,
+    /// Trace length the cell was simulated at.
+    pub trace_len: usize,
+    /// Config content fingerprint.
+    pub config: String,
+    /// The finished statistics.
+    pub stats: SimStats,
+}
+
+impl ToJson for JournalEntry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::uint(JOURNAL_SCHEMA_VERSION)),
+            ("workload", Json::str(&self.workload)),
+            ("trace_len", Json::uint(self.trace_len as u64)),
+            ("config", Json::str(&self.config)),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
+impl JournalEntry {
+    fn parse(line: &str) -> Option<JournalEntry> {
+        let doc = Json::parse(line).ok()?;
+        if doc.get("schema_version")?.as_u64()? != JOURNAL_SCHEMA_VERSION {
+            return None;
+        }
+        Some(JournalEntry {
+            workload: String::from_json(doc.get("workload")?)?,
+            trace_len: usize::try_from(doc.get("trace_len")?.as_u64()?).ok()?,
+            config: String::from_json(doc.get("config")?)?,
+            stats: SimStats::from_json(doc.get("stats")?)?,
+        })
+    }
+}
+
+/// What a journal replay recovered, reported to the user at resume time.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct JournalSummary {
+    /// Valid entries preloaded into the cell cache.
+    pub restored: usize,
+    /// Malformed / torn / foreign-schema lines skipped (with a warning).
+    pub skipped: usize,
+}
+
+/// An open journal being appended to. One line per completed cell,
+/// flushed immediately; appends are serialized under a lock.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn open_append(path: &Path) -> io::Result<Journal> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Where this journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one entry as a single flushed JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn append(&self, entry: &JournalEntry) -> io::Result<()> {
+        let line = entry.to_json().to_string();
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()
+    }
+}
+
+/// Reads the next `\n`-terminated line into `line`, bounding it at
+/// [`MAX_LINE_BYTES`]. Returns `Ok(None)` at a clean EOF; `Ok(Some(fits))`
+/// otherwise, where `fits` is false for an oversize line (its bytes are
+/// discarded, never buffered) *or* an unterminated tail — a torn write
+/// from a killed run — which the caller must treat as corrupt.
+fn next_line(reader: &mut impl BufRead, line: &mut Vec<u8>) -> io::Result<Option<bool>> {
+    line.clear();
+    let mut fits = true;
+    let mut seen_any = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if seen_any { Some(false) } else { None });
+        }
+        seen_any = true;
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if fits && line.len() + pos <= MAX_LINE_BYTES {
+                    line.extend_from_slice(&chunk[..pos]);
+                } else {
+                    fits = false;
+                }
+                reader.consume(pos + 1);
+                return Ok(Some(fits));
+            }
+            None => {
+                let len = chunk.len();
+                if fits && line.len() + len <= MAX_LINE_BYTES {
+                    line.extend_from_slice(chunk);
+                } else {
+                    fits = false;
+                    line.clear();
+                }
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+/// Replays a journal, returning the valid entries in file order plus the
+/// count of skipped lines. A missing file is an empty journal, not an
+/// error. See the module docs for the hardening rules.
+///
+/// # Errors
+///
+/// Only on real I/O failure while reading; corruption is never an error.
+pub fn read_entries(path: &Path) -> io::Result<(Vec<JournalEntry>, usize)> {
+    let file = match File::open(path) {
+        Ok(file) => file,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(err) => return Err(err),
+    };
+    let mut reader = BufReader::new(file);
+    let mut line = Vec::new();
+    let mut entries = Vec::new();
+    let mut skipped = 0usize;
+    let mut lineno = 0usize;
+    while let Some(fits) = next_line(&mut reader, &mut line)? {
+        lineno += 1;
+        if !fits {
+            skipped += 1;
+            eprintln!(
+                "warning: {}:{lineno}: oversize or torn journal line skipped",
+                path.display()
+            );
+            continue;
+        }
+        let Ok(text) = std::str::from_utf8(&line) else {
+            skipped += 1;
+            eprintln!(
+                "warning: {}:{lineno}: non-UTF-8 journal line skipped",
+                path.display()
+            );
+            continue;
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        match JournalEntry::parse(text) {
+            Some(entry) => entries.push(entry),
+            None => {
+                skipped += 1;
+                eprintln!(
+                    "warning: {}:{lineno}: malformed journal line skipped",
+                    path.display()
+                );
+            }
+        }
+    }
+    Ok((entries, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "fdip-journal-{}-{tag}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn sample(workload: &str) -> JournalEntry {
+        JournalEntry {
+            workload: workload.to_string(),
+            trace_len: 8_000,
+            config: "FrontendConfig { .. }".to_string(),
+            stats: SimStats {
+                cycles: 1234,
+                instructions: 8_000,
+                ..SimStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let path = temp_path("roundtrip");
+        let journal = Journal::open_append(&path).unwrap();
+        journal.append(&sample("w1")).unwrap();
+        journal.append(&sample("w2")).unwrap();
+        let (entries, skipped) = read_entries(&path).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(entries, vec![sample("w1"), sample("w2")]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_journal() {
+        let (entries, skipped) = read_entries(&temp_path("missing")).unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_but_earlier_lines_survive() {
+        let path = temp_path("torn");
+        let good = sample("w1").to_json().to_string();
+        // A killed process tears the last line mid-write: no trailing
+        // newline, truncated JSON.
+        let torn = &good[..good.len() / 2];
+        std::fs::write(&path, format!("{good}\n{torn}")).unwrap();
+        let (entries, skipped) = read_entries(&path).unwrap();
+        assert_eq!(entries, vec![sample("w1")]);
+        assert_eq!(skipped, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_cleanly() {
+        // Mirrors the trace reader's malformed-input sweep: a journal cut
+        // at any byte never errors and never yields a bogus entry.
+        let path = temp_path("truncate");
+        let full = format!("{}\n{}\n", sample("w1").to_json(), sample("w2").to_json());
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full.as_bytes()[..cut]).unwrap();
+            let (entries, _) = read_entries(&path).unwrap();
+            assert!(entries.len() <= 2);
+            for e in &entries {
+                assert!(e == &sample("w1") || e == &sample("w2"), "cut at {cut}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_and_foreign_lines_are_counted_and_skipped() {
+        let path = temp_path("corrupt");
+        let good = sample("w1").to_json().to_string();
+        let foreign = good.replace(r#""schema_version":1"#, r#""schema_version":99"#);
+        let contents = format!("not json at all\n{{\"schema_version\":1}}\n{foreign}\n\n{good}\n");
+        std::fs::write(&path, contents).unwrap();
+        let (entries, skipped) = read_entries(&path).unwrap();
+        assert_eq!(entries, vec![sample("w1")]);
+        // Garbage, field-less, and foreign-schema lines; the blank line is
+        // tolerated silently.
+        assert_eq!(skipped, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversize_line_is_skipped_without_buffering() {
+        let path = temp_path("oversize");
+        let good = sample("w1").to_json().to_string();
+        let mut contents = Vec::new();
+        contents.extend_from_slice(good.as_bytes());
+        contents.push(b'\n');
+        contents.extend_from_slice(&vec![b'x'; MAX_LINE_BYTES + 10]);
+        contents.push(b'\n');
+        contents.extend_from_slice(good.as_bytes());
+        contents.push(b'\n');
+        std::fs::write(&path, contents).unwrap();
+        let (entries, skipped) = read_entries(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(skipped, 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

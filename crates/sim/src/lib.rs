@@ -6,7 +6,11 @@
 //!   standing in for the unavailable SPEC/IPC-1 traces);
 //! * [`harness`] — the shared execution engine: a process-wide trace
 //!   store, a content-keyed cell cache, and a cell-granular deterministic
-//!   scheduler;
+//!   scheduler with panic isolation and retry (see [`fault`]);
+//! * [`fault`] — the cell error taxonomy, retry policy, and deterministic
+//!   fault injection ([`fault::FaultPlan`]);
+//! * [`journal`] — the crash-tolerant completed-cell journal behind
+//!   `exp_all --journal` resume;
 //! * [`runner`] — result types ([`runner::RunResult`]) and numeric
 //!   helpers over harness output;
 //! * [`report`] — plain-text tables, CSV emission, and ASCII series plots;
@@ -30,7 +34,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fault;
 pub mod harness;
+pub mod journal;
 pub mod report;
 pub mod runner;
 pub mod workload;

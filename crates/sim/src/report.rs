@@ -148,6 +148,21 @@ pub fn kb(bytes: u64) -> String {
     format!("{:.2}KB", bytes as f64 / 1024.0)
 }
 
+/// A placeholder row for a workload whose cells failed: the label, a
+/// `FAILED` marker, and `—` padding out to `width` columns. Experiments
+/// use it to keep rendering partial tables when the harness degrades
+/// (the error details land in the appended "failed cells" table).
+///
+/// # Panics
+///
+/// Panics if `width < 2` — there is no room for the marker.
+pub fn failed_row(label: impl Into<String>, width: usize) -> Vec<String> {
+    assert!(width >= 2, "failed_row needs room for label + marker");
+    let mut row = vec![label.into(), "FAILED".to_string()];
+    row.resize(width, "—".to_string());
+    row
+}
+
 /// One line of an ASCII chart: a labeled series of (x, y) points.
 #[derive(Clone, Debug)]
 pub struct Series {

@@ -9,6 +9,7 @@ use fdip::{FrontendConfig, SimStats};
 use fdip_trace::TraceStats;
 use fdip_types::{json_fields, Json, ToJson};
 
+use crate::fault::CellError;
 use crate::harness::Harness;
 use crate::workload::WorkloadSpec;
 
@@ -19,15 +20,26 @@ pub struct RunResult {
     pub workload: String,
     /// Configuration label.
     pub config: String,
-    /// Simulation statistics.
+    /// Simulation statistics (default-valued when the cell failed).
     pub stats: SimStats,
     /// Characterization of the trace the cell ran over.
     pub trace_stats: TraceStats,
+    /// Why the cell failed, when it did. `None` for a successful cell.
+    pub error: Option<CellError>,
 }
 
 impl ToJson for RunResult {
     fn to_json(&self) -> Json {
-        json_fields!(self, workload, config, stats, trace_stats)
+        let mut doc = json_fields!(self, workload, config, stats, trace_stats);
+        // Emit the error only when present: successful cells keep the
+        // exact schema-v1 rendering, so clean runs (and journal resumes)
+        // stay byte-identical to pre-fault-model output.
+        if let Some(error) = &self.error {
+            if let Json::Obj(pairs) = &mut doc {
+                pairs.push(("error".to_string(), error.to_json()));
+            }
+        }
+        doc
     }
 }
 
@@ -133,9 +145,23 @@ mod tests {
             config: "c".into(),
             stats: SimStats::default(),
             trace_stats: TraceStats::default(),
+            error: None,
         };
         let json = r.to_json().to_string();
         assert!(json.starts_with(r#"{"workload":"w","config":"c","stats":{"#));
         assert!(json.contains(r#""trace_stats":{"len":0"#));
+        // A clean cell carries no "error" key at all — schema v1 output is
+        // byte-identical to the pre-fault-model rendering.
+        assert!(!json.contains(r#""error""#));
+
+        let failed = RunResult {
+            error: Some(CellError::Timeout { budget_ms: 100 }),
+            ..r
+        };
+        let json = failed.to_json().to_string();
+        assert!(
+            json.contains(r#""error":{"kind":"timeout","budget_ms":100}"#),
+            "{json}"
+        );
     }
 }

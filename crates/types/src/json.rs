@@ -562,6 +562,36 @@ macro_rules! json_fields {
     };
 }
 
+/// Reads a [`Json`] object back into named struct fields: the inverse of
+/// [`json_fields!`]. Evaluates to `Option<T>`; any missing or mistyped
+/// field yields `None`.
+///
+/// ```
+/// use fdip_types::{from_json_fields, FromJson, Json};
+///
+/// #[derive(PartialEq, Debug)]
+/// struct Counters { hits: u64, misses: u64 }
+/// impl FromJson for Counters {
+///     fn from_json(v: &Json) -> Option<Counters> {
+///         from_json_fields!(v, Counters { hits, misses })
+///     }
+/// }
+/// let doc = Json::parse(r#"{"hits":3,"misses":1}"#).unwrap();
+/// assert_eq!(Counters::from_json(&doc), Some(Counters { hits: 3, misses: 1 }));
+/// assert_eq!(Counters::from_json(&Json::parse(r#"{"hits":3}"#).unwrap()), None);
+/// ```
+#[macro_export]
+macro_rules! from_json_fields {
+    ($value:expr, $ty:ident { $($field:ident),+ $(,)? }) => {{
+        let value: &$crate::Json = $value;
+        (|| {
+            Some($ty {
+                $($field: $crate::FromJson::from_json(value.get(stringify!($field))?)?,)+
+            })
+        })()
+    }};
+}
+
 /// Conversion into a [`Json`] value tree.
 ///
 /// Implemented by every statistics struct that appears in the persisted
@@ -570,6 +600,47 @@ macro_rules! json_fields {
 pub trait ToJson {
     /// Builds the JSON representation.
     fn to_json(&self) -> Json;
+}
+
+/// Conversion back out of a [`Json`] value tree.
+///
+/// The inverse of [`ToJson`], used where persisted documents (the
+/// experiment journal, `results/*.json`) are read back in. Returns `None`
+/// on any shape mismatch so callers at trust boundaries can skip bad
+/// records instead of panicking.
+pub trait FromJson: Sized {
+    /// Reads the value, or `None` if the JSON has the wrong shape.
+    fn from_json(value: &Json) -> Option<Self>;
+}
+
+impl FromJson for u64 {
+    fn from_json(value: &Json) -> Option<u64> {
+        value.as_u64()
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Json) -> Option<f64> {
+        value.as_f64()
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Json) -> Option<bool> {
+        value.as_bool()
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Json) -> Option<String> {
+        value.as_str().map(str::to_string)
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Json) -> Option<Vec<T>> {
+        value.as_array()?.iter().map(T::from_json).collect()
+    }
 }
 
 impl ToJson for Json {
@@ -771,6 +842,60 @@ mod tests {
         assert_eq!(err.what, "nesting too deep");
         let ok = "[".repeat(30) + "1" + &"]".repeat(30);
         assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn from_json_round_trips_struct_fields() {
+        #[derive(PartialEq, Debug)]
+        struct Counters {
+            hits: u64,
+            rate: f64,
+            name: String,
+        }
+        impl ToJson for Counters {
+            fn to_json(&self) -> Json {
+                json_fields!(self, hits, rate, name)
+            }
+        }
+        impl FromJson for Counters {
+            fn from_json(v: &Json) -> Option<Counters> {
+                from_json_fields!(v, Counters { hits, rate, name })
+            }
+        }
+        let c = Counters {
+            hits: 7,
+            rate: 0.5,
+            name: "x".into(),
+        };
+        let doc = Json::parse(&c.to_json().to_string()).unwrap();
+        assert_eq!(Counters::from_json(&doc), Some(c));
+        // Missing or mistyped fields fail as a whole, not partially.
+        assert_eq!(
+            Counters::from_json(&Json::parse(r#"{"hits":7,"rate":0.5}"#).unwrap()),
+            None
+        );
+        assert_eq!(
+            Counters::from_json(&Json::parse(r#"{"hits":"7","rate":0.5,"name":"x"}"#).unwrap()),
+            None
+        );
+        assert_eq!(Counters::from_json(&Json::Null), None);
+    }
+
+    #[test]
+    fn from_json_scalars_and_vecs() {
+        assert_eq!(u64::from_json(&Json::uint(3)), Some(3));
+        assert_eq!(u64::from_json(&Json::str("3")), None);
+        assert_eq!(f64::from_json(&Json::uint(3)), Some(3.0));
+        assert_eq!(bool::from_json(&Json::Bool(true)), Some(true));
+        assert_eq!(String::from_json(&Json::str("s")), Some("s".to_string()));
+        assert_eq!(
+            Vec::<u64>::from_json(&Json::arr([Json::uint(1), Json::uint(2)])),
+            Some(vec![1, 2])
+        );
+        assert_eq!(
+            Vec::<u64>::from_json(&Json::arr([Json::uint(1), Json::Null])),
+            None
+        );
     }
 
     #[test]

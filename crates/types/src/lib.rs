@@ -38,5 +38,5 @@ pub use branch::{BranchClass, BranchRecord};
 pub use cycle::Cycle;
 pub use fetch_block::{BlockEnd, FetchBlock};
 pub use instr::TraceInstr;
-pub use json::{Json, JsonError, ToJson};
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use offset::{offset_bits, offset_from_addrs, offset_insts, OffsetClass};
