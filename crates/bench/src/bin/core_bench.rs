@@ -1,0 +1,287 @@
+//! `core_bench`: core-simulator throughput tracking — simulated
+//! instructions per wall-clock second for each prefetcher configuration
+//! class, persisted as `results/BENCH_core.json`. This is the core-sim
+//! analogue of `BENCH_serve.json`: the file is committed, so the perf
+//! trajectory of `Simulator::step()` is visible in history and CI can
+//! catch regressions.
+//!
+//! Methodology is the criterion shim's ([`criterion::measure`]): each
+//! configuration is auto-calibrated, then the median of `SAMPLES` samples
+//! of `Simulator::run_trace` over a Server-profile trace is reported.
+//!
+//! Flags: `--quick` / `--medium` / `--full` select the trace length
+//! (default full; unknown flags are an error). `--check` validates the
+//! committed `BENCH_core.json` against the fresh measurement *before*
+//! rewriting it: the run fails if the committed document does not match
+//! the schema or if any configuration at this scale regressed more than
+//! [`MAX_REGRESSION`] in instrs/sec.
+
+use std::path::Path;
+
+use criterion::{black_box, measure};
+use fdip::{BtbVariant, CpfMode, FrontendConfig, PrefetcherKind, Simulator};
+use fdip_sim::Scale;
+use fdip_trace::gen::{GeneratorConfig, Profile};
+use fdip_types::Json;
+
+/// Maximum tolerated fractional drop in instrs/sec vs the committed
+/// baseline before `--check` fails (0.30 = 30%).
+const MAX_REGRESSION: f64 = 0.30;
+
+/// Measured seed-state (pre-optimization) throughput of the `fdip`
+/// configuration at full scale on the reference machine, recorded before
+/// the allocation-free / event-skipping rewrite landed. Kept so the
+/// headline speedup stays auditable; reported (not gated) because wall
+/// clock is machine-dependent.
+const PRE_PR_FULL_FDIP_INSTRS_PER_SEC: f64 = 6_385_492.0;
+
+/// The configuration classes tracked over time. Mirrors the criterion
+/// `simulator` bench so the two views stay comparable.
+fn configs() -> Vec<(&'static str, FrontendConfig)> {
+    vec![
+        ("baseline", FrontendConfig::default()),
+        (
+            "fdip",
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+        ),
+        (
+            "fdip_cpf",
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip_with_cpf(CpfMode::Both)),
+        ),
+        (
+            "fdip_x",
+            FrontendConfig::default()
+                .with_btb(BtbVariant::partitioned(2048))
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ),
+        (
+            "ftb_fdip",
+            FrontendConfig::default()
+                .with_btb(BtbVariant::basic_block(2048))
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ),
+        (
+            "stream",
+            FrontendConfig::default()
+                .with_prefetcher(PrefetcherKind::StreamBuffers(Default::default())),
+        ),
+        (
+            "pif",
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::Pif(Default::default())),
+        ),
+    ]
+}
+
+struct ConfigResult {
+    name: &'static str,
+    median_ns_per_run: f64,
+    instrs_per_sec: f64,
+    /// Simulated cycles per wall-clock second — separates "the config
+    /// needs more cycles" from "each cycle costs more" when a rate moves.
+    cycles_per_sec: f64,
+}
+
+fn scale_label(argv: &[String]) -> &'static str {
+    argv.iter()
+        .find_map(|a| match a.as_str() {
+            "--quick" => Some("quick"),
+            "--medium" => Some("medium"),
+            "--full" => Some("full"),
+            _ => None,
+        })
+        .unwrap_or("full")
+}
+
+/// Extracts `scales.<label>.configs` as (name → instrs_per_sec), erroring
+/// on any schema violation.
+fn committed_rates(doc: &Json, label: &str) -> Result<Vec<(String, f64)>, String> {
+    let schema = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing schema_version")?;
+    if schema != 1 {
+        return Err(format!("unsupported schema_version {schema}"));
+    }
+    if doc.get("id").and_then(Json::as_str) != Some("BENCH_core") {
+        return Err("id is not \"BENCH_core\"".to_string());
+    }
+    let scales = doc.get("scales").ok_or("missing scales object")?;
+    let Some(entry) = scales.get(label) else {
+        return Ok(Vec::new()); // no baseline for this scale yet
+    };
+    let configs = entry
+        .get("configs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("scales.{label}.configs is not an array"))?;
+    let mut rates = Vec::new();
+    for c in configs {
+        let name = c
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("config entry missing name")?;
+        let rate = c
+            .get("instrs_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("config {name:?} missing instrs_per_sec"))?;
+        rates.push((name.to_string(), rate));
+    }
+    Ok(rates)
+}
+
+fn scale_entry(trace_len: usize, samples: usize, results: &[ConfigResult]) -> Json {
+    Json::obj([
+        ("trace_len", Json::uint(trace_len as u64)),
+        ("samples", Json::uint(samples as u64)),
+        (
+            "configs",
+            Json::arr(results.iter().map(|r| {
+                Json::obj([
+                    ("name", Json::str(r.name)),
+                    ("median_ns_per_run", Json::num(r.median_ns_per_run)),
+                    ("instrs_per_sec", Json::num(r.instrs_per_sec)),
+                    ("cycles_per_sec", Json::num(r.cycles_per_sec)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Merges this run's scale entry into the existing document (other scales'
+/// entries are preserved), in fixed label order so reruns are diff-stable.
+fn merged_doc(old: Option<&Json>, label: &str, entry: Json) -> Json {
+    let mut scales: Vec<(&'static str, Json)> = Vec::new();
+    for known in ["quick", "medium", "full"] {
+        if known == label {
+            scales.push((known, entry.clone()));
+        } else if let Some(kept) = old.and_then(|d| d.get("scales")).and_then(|s| s.get(known)) {
+            scales.push((known, kept.clone()));
+        }
+    }
+    Json::obj([
+        ("schema_version", Json::uint(1)),
+        ("id", Json::str("BENCH_core")),
+        (
+            "pre_pr_baseline",
+            Json::obj([
+                ("scale", Json::str("full")),
+                ("config", Json::str("fdip")),
+                ("instrs_per_sec", Json::num(PRE_PR_FULL_FDIP_INSTRS_PER_SEC)),
+            ]),
+        ),
+        ("scales", Json::obj(scales)),
+    ])
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let check = argv.iter().any(|a| a == "--check");
+    let scale_args: Vec<String> = argv.iter().filter(|a| *a != "--check").cloned().collect();
+    let scale = Scale::from_args(scale_args).unwrap_or_else(|e| {
+        eprintln!("usage: core_bench [--quick|--medium|--full] [--check] ({e})");
+        std::process::exit(2);
+    });
+    let label = scale_label(&argv);
+    let samples = if label == "full" { 3 } else { 5 };
+
+    let trace = GeneratorConfig::profile(Profile::Server)
+        .seed(5)
+        .target_len(scale.trace_len)
+        .generate();
+    eprintln!(
+        "[core_bench] scale {label}: {} instrs/run, {samples} samples per config",
+        trace.len()
+    );
+
+    let mut results = Vec::new();
+    for (name, config) in configs() {
+        let cycles = Simulator::run_trace(&config, &trace).cycles;
+        let m = measure(samples, |b| {
+            b.iter(|| black_box(Simulator::run_trace(&config, &trace)))
+        });
+        let rate = m.rate(trace.len() as u64);
+        let cycle_rate = m.rate(cycles);
+        eprintln!(
+            "[core_bench] {name:<10} {:>12.0} ns/run  {:>10.0} instrs/sec  {:>10.0} cycles/sec",
+            m.median_nanos, rate, cycle_rate
+        );
+        results.push(ConfigResult {
+            name,
+            median_ns_per_run: m.median_nanos,
+            instrs_per_sec: rate,
+            cycles_per_sec: cycle_rate,
+        });
+    }
+
+    if label == "full" && PRE_PR_FULL_FDIP_INSTRS_PER_SEC > 0.0 {
+        if let Some(fdip) = results.iter().find(|r| r.name == "fdip") {
+            eprintln!(
+                "[core_bench] fdip vs pre-PR baseline: {:.2}x ({:.0} vs {:.0} instrs/sec)",
+                fdip.instrs_per_sec / PRE_PR_FULL_FDIP_INSTRS_PER_SEC,
+                fdip.instrs_per_sec,
+                PRE_PR_FULL_FDIP_INSTRS_PER_SEC,
+            );
+        }
+    }
+
+    // Read the committed document before overwriting it: --check compares
+    // the fresh measurement against what is in the tree.
+    let dir = fdip_bench::results_dir();
+    let path = dir.join("BENCH_core.json");
+    let committed = read_doc(&path);
+    let verdict = check.then(|| {
+        let doc = match &committed {
+            Some(doc) => doc,
+            None => return Err(format!("{} missing or unparsable", path.display())),
+        };
+        let rates = committed_rates(doc, label)?;
+        if rates.is_empty() {
+            return Err(format!("no committed baseline for scale {label:?}"));
+        }
+        let mut failures = Vec::new();
+        for (name, committed_rate) in &rates {
+            let Some(fresh) = results.iter().find(|r| r.name == name.as_str()) else {
+                failures.push(format!("committed config {name:?} no longer measured"));
+                continue;
+            };
+            let floor = committed_rate * (1.0 - MAX_REGRESSION);
+            if fresh.instrs_per_sec < floor {
+                failures.push(format!(
+                    "{name}: {:.0} instrs/sec is below {:.0} \
+                     ({:.0}% regression limit vs committed {:.0})",
+                    fresh.instrs_per_sec,
+                    floor,
+                    MAX_REGRESSION * 100.0,
+                    committed_rate,
+                ));
+            }
+        }
+        if failures.is_empty() {
+            Ok(rates.len())
+        } else {
+            Err(failures.join("; "))
+        }
+    });
+
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let doc = merged_doc(
+        committed.as_ref(),
+        label,
+        scale_entry(trace.len(), samples, &results),
+    );
+    std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_core.json");
+    eprintln!("[core_bench] wrote {}", path.display());
+
+    match verdict {
+        None => {}
+        Some(Ok(n)) => eprintln!("[core_bench] check passed ({n} configs within budget)"),
+        Some(Err(why)) => {
+            eprintln!("[core_bench] CHECK FAILED: {why}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn read_doc(path: &Path) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Json::parse(&text).ok()
+}

@@ -29,9 +29,32 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// Argv with `flag` and its value argument removed (for flags that
+/// `Scale::from_args` does not know about).
+fn strip_valued_flag(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a == flag {
+            skip_value = true;
+            continue;
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = fdip_sim::Scale::from_args(args.iter().cloned());
+    let scale_args = strip_valued_flag(&strip_valued_flag(&args, "--faults"), "--journal");
+    let scale = fdip_sim::Scale::from_args(scale_args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let harness = Harness::global();
 
     let plan = match flag_value(&args, "--faults") {

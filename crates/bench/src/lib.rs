@@ -22,7 +22,10 @@ use fdip_sim::Scale;
 ///
 /// Panics if `id` is not in the registry.
 pub fn run_and_print(id: &str) {
-    let scale = Scale::from_args(std::env::args().skip(1));
+    let scale = Scale::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("[{id}] {e}");
+        std::process::exit(2);
+    });
     let exp = experiments::find(id).unwrap_or_else(|| panic!("unknown experiment {id}"));
     eprintln!(
         "[{id}] {} (trace_len={}, suites x{})",

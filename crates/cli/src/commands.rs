@@ -363,7 +363,15 @@ fn cmd_exp(raw: &[String]) -> CliResult {
     use fdip_sim::Scale;
     use std::time::Duration;
 
-    let scale = Scale::from_args(raw.iter().cloned());
+    // `exp` has its own flag vocabulary (--journal, --faults, …), so only
+    // the scale flags are delegated; typos are still caught below by
+    // `args.reject_unknown()`.
+    let scale = Scale::from_args(
+        raw.iter()
+            .filter(|a| matches!(a.as_str(), "--quick" | "--medium" | "--full"))
+            .cloned(),
+    )
+    .expect("scale flags were pre-filtered");
     let rest: Vec<String> = raw
         .iter()
         .filter(|a| !matches!(a.as_str(), "--quick" | "--medium" | "--full"))

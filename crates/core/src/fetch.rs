@@ -7,14 +7,14 @@ use fdip_types::{Addr, BlockEnd, Cycle};
 use crate::ftq::{Ftq, FtqEntry};
 use crate::prefetch::{AccessResult, DemandSide};
 
-/// Per-cycle result of the fetch engine.
-#[derive(Clone, Debug, Default)]
+/// Per-cycle result of the fetch engine. Entries that finished this cycle
+/// land in the caller-owned scratch buffer passed to
+/// [`FetchEngine::cycle`], so the per-cycle result itself is `Copy` and
+/// the hot loop allocates nothing.
+#[derive(Copy, Clone, Debug, Default)]
 pub struct FetchCycle {
     /// Instructions delivered to the back-end this cycle.
     pub delivered: u32,
-    /// FTQ entries fully delivered this cycle (redirect penalties start
-    /// when their block finishes).
-    pub finished: Vec<FtqEntry>,
     /// The engine is waiting on an L1-I fill.
     pub waiting_on_icache: bool,
 }
@@ -51,7 +51,18 @@ impl FetchEngine {
         }
     }
 
+    /// The cycle an outstanding L1-I fill arrives, or `None` when the
+    /// engine is not stalled on the cache. Used by the simulator's
+    /// idle-cycle fast-forward to prove the engine is quiescent.
+    pub fn waiting_until(&self) -> Option<Cycle> {
+        self.wait_until
+    }
+
     /// Runs one cycle. `room` bounds delivery (back-end buffer space).
+    /// FTQ entries fully delivered this cycle are pushed into `finished`
+    /// (cleared first) — redirect penalties start when a block finishes.
+    /// The caller owns the buffer and reuses it across cycles, keeping
+    /// this path allocation-free in steady state.
     pub fn cycle(
         &mut self,
         now: Cycle,
@@ -59,7 +70,9 @@ impl FetchEngine {
         mem: &mut MemoryHierarchy,
         demand: &mut DemandSide,
         room: usize,
+        finished: &mut Vec<FtqEntry>,
     ) -> FetchCycle {
+        finished.clear();
         let mut out = FetchCycle::default();
         if let Some(wait) = self.wait_until {
             if wait.is_after(now) {
@@ -106,7 +119,7 @@ impl FetchEngine {
                     entry.block.end,
                     BlockEnd::TakenBranch { .. } | BlockEnd::TraceEnd
                 );
-                out.finished.push(entry);
+                finished.push(entry);
                 if taken_boundary {
                     // One control transfer per fetch cycle.
                     break;
@@ -143,12 +156,13 @@ mod tests {
     ) -> (u32, u64, Vec<FtqEntry>) {
         let mut delivered = 0;
         let mut finished = Vec::new();
+        let mut scratch = Vec::new();
         for c in 0..max_cycles {
             let now = Cycle::new(c);
             mem.begin_cycle(now);
-            let out = fe.cycle(now, ftq, mem, demand, 64);
+            let out = fe.cycle(now, ftq, mem, demand, 64, &mut scratch);
             delivered += out.delivered;
-            finished.extend(out.finished);
+            finished.append(&mut scratch);
             if delivered >= want {
                 return (delivered, c + 1, finished);
             }
@@ -224,10 +238,11 @@ mod tests {
         );
         let now = Cycle::new(10_000);
         mem.begin_cycle(now);
-        let out = fe.cycle(now, &mut ftq, &mut mem, &mut demand, 64);
+        let mut finished = Vec::new();
+        let out = fe.cycle(now, &mut ftq, &mut mem, &mut demand, 64, &mut finished);
         // Width is 4 but the taken-branch boundary cuts the cycle at 2.
         assert_eq!(out.delivered, 2);
-        assert_eq!(out.finished.len(), 1);
+        assert_eq!(finished.len(), 1);
     }
 
     #[test]
@@ -261,7 +276,8 @@ mod tests {
         );
         let now = Cycle::new(20_000);
         mem.begin_cycle(now);
-        let out = fe.cycle(now, &mut ftq, &mut mem, &mut demand, 3);
+        let mut finished = Vec::new();
+        let out = fe.cycle(now, &mut ftq, &mut mem, &mut demand, 3, &mut finished);
         assert_eq!(out.delivered, 3, "room-limited");
     }
 }

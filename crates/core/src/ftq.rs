@@ -127,6 +127,20 @@ impl Ftq {
         self.entries.iter()
     }
 
+    /// The first entry *beyond the head* whose sequence number is at least
+    /// `seq` — the prefetch engine's scan cursor, resolved in O(1).
+    ///
+    /// Sequence numbers are assigned at push and the queue is a FIFO, so
+    /// queued entries hold contiguous ascending seqs; the target is found
+    /// by index arithmetic instead of a linear `find`. Equivalent to
+    /// `iter().skip(1).find(|e| e.seq >= seq)`, which the unit tests
+    /// assert against.
+    pub fn lookahead_at_or_after(&self, seq: u64) -> Option<&FtqEntry> {
+        let front_seq = self.entries.front()?.seq;
+        let idx = (seq.saturating_sub(front_seq) as usize).max(1);
+        self.entries.get(idx)
+    }
+
     /// Flushes every entry (pipeline flush on misprediction recovery
     /// models that restart elsewhere; the stall-on-redirect BPU keeps the
     /// FTQ correct-path, so this is used by tests and future wrong-path
@@ -143,6 +157,31 @@ mod tests {
 
     fn block(start: u64) -> FetchBlock {
         FetchBlock::new(Addr::new(start), 4, BlockEnd::SizeLimit)
+    }
+
+    #[test]
+    fn lookahead_matches_linear_scan() {
+        let mut ftq = Ftq::new(8);
+        // Pop a few entries first so the front seq is non-zero.
+        for i in 0..4 {
+            ftq.push(block(0x1000 + i * 0x40), i as usize, None)
+                .unwrap();
+        }
+        ftq.pop();
+        ftq.pop();
+        for i in 4..8 {
+            ftq.push(block(0x1000 + i * 0x40), i as usize, None)
+                .unwrap();
+        }
+        // Every cursor position (including before-front and past-back)
+        // agrees with the reference linear scan.
+        for seq in 0..12 {
+            let linear = ftq.iter().skip(1).find(|e| e.seq >= seq).map(|e| e.seq);
+            let indexed = ftq.lookahead_at_or_after(seq).map(|e| e.seq);
+            assert_eq!(indexed, linear, "cursor seq {seq}");
+        }
+        ftq.flush();
+        assert!(ftq.lookahead_at_or_after(0).is_none());
     }
 
     #[test]

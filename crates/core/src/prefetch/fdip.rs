@@ -87,6 +87,14 @@ impl FdipEngine {
         self.stall_path = None;
     }
 
+    /// Returns `true` when a [`per_cycle`](Self::per_cycle) call with an
+    /// empty FTQ would do no work at all: the PIQ is drained and no armed
+    /// stall path has lines left to walk. The simulator's idle-cycle
+    /// fast-forward relies on this to skip over redirect stalls.
+    pub fn is_quiescent(&self) -> bool {
+        self.piq.is_empty() && !matches!(self.stall_path, Some((_, left)) if left > 0)
+    }
+
     /// Runs one cycle: scan then issue.
     pub fn per_cycle(
         &mut self,
@@ -103,7 +111,7 @@ impl FdipEngine {
         let mut budget = self.config.scan_blocks_per_cycle;
         while budget > 0 {
             // The head is the fetch engine's demand work; scan beyond it.
-            let Some(entry) = ftq.iter().skip(1).find(|e| e.seq >= self.scan_seq) else {
+            let Some(entry) = ftq.lookahead_at_or_after(self.scan_seq) else {
                 // Nothing queued beyond the head: walk the sequential
                 // stall path if one is armed.
                 if let Some((line, left)) = self.stall_path {

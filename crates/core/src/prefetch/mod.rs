@@ -92,6 +92,14 @@ impl DemandSide {
         }
     }
 
+    /// Returns `true` for kinds whose [`per_cycle`](Self::per_cycle) is a
+    /// no-op (no background work between demand accesses). Stream buffers
+    /// and PIF replay run every cycle, so they are never passive; the
+    /// simulator's idle-cycle fast-forward must not skip over them.
+    pub fn is_passive(&self) -> bool {
+        matches!(self, DemandSide::None | DemandSide::NextLine(_))
+    }
+
     /// Stream-buffer resets (0 for other kinds).
     pub fn stream_resets(&self) -> u64 {
         match self {

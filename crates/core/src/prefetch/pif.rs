@@ -45,11 +45,16 @@ impl PifEngine {
     /// Panics if the history length is zero.
     pub fn new(config: PifConfig) -> Self {
         assert!(config.history_blocks > 0);
+        // Both structures are sized up front so steady-state recording
+        // never reallocates: the ring is exact, and the index — which keeps
+        // one entry per distinct block ever recorded — gets the same bound,
+        // ample for any code footprint the history can usefully cover.
+        let prealloc = config.history_blocks.min(1 << 20);
         PifEngine {
             config,
-            history: Vec::with_capacity(config.history_blocks.min(1 << 20)),
+            history: Vec::with_capacity(prealloc),
             next_pos: 0,
-            index: HashMap::new(),
+            index: HashMap::with_capacity(prealloc),
             replay_pos: 0,
             replay_remaining: 0,
             last_recorded: None,

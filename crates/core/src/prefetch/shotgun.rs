@@ -83,6 +83,14 @@ impl ShotgunEngine {
         self.fdip.end_stall_path();
     }
 
+    /// Returns `true` when a [`per_cycle`](Self::per_cycle) call with an
+    /// empty FTQ would do no work: no footprint prefetches are pending and
+    /// the inner FDIP engine is quiescent (see
+    /// [`FdipEngine::is_quiescent`]).
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.is_empty() && self.fdip.is_quiescent()
+    }
+
     fn region_position(&self, base_line: u64) -> Option<usize> {
         self.regions.iter().position(|r| r.base_line == base_line)
     }
@@ -139,11 +147,12 @@ impl ShotgunEngine {
     fn scan(&mut self, ftq: &Ftq, stats: &mut ShotgunStats) {
         let from_seq = self.scan_seq;
         // Snapshot the new entries first: training/triggering mutates self.
-        let new_entries: Vec<_> = ftq
-            .iter()
-            .filter(|e| e.seq >= from_seq)
-            .map(|e| (e.seq, e.block))
-            .collect();
+        // Queued seqs are contiguous and ascending, so the not-yet-seen
+        // suffix starts at a computed index (no per-entry filtering).
+        let start = ftq
+            .head()
+            .map_or(0, |e| from_seq.saturating_sub(e.seq) as usize);
+        let new_entries: Vec<_> = ftq.iter().skip(start).map(|e| (e.seq, e.block)).collect();
         for (seq, block) in new_entries {
             self.scan_seq = seq + 1;
             // Train the current region with the lines of this block.

@@ -60,6 +60,15 @@ impl FtqSide {
             FtqSide::None => {}
         }
     }
+
+    /// `true` when a per-cycle call with an empty FTQ would do no work.
+    fn is_quiescent(&self) -> bool {
+        match self {
+            FtqSide::Fdip(e) => e.is_quiescent(),
+            FtqSide::Shotgun(e) => e.is_quiescent(),
+            FtqSide::None => true,
+        }
+    }
 }
 
 /// The assembled decoupled front-end: BPU → FTQ → fetch engine → back-end,
@@ -90,10 +99,17 @@ pub struct Simulator<'t> {
     mem: MemoryHierarchy,
     demand: DemandSide,
     ftq_side: FtqSide,
-    /// Cycle at which a pending redirect lets the BPU resume.
+    /// Cycle at which a pending redirect lets the BPU resume. When several
+    /// redirects finish before the first resolves, the *earliest* resume
+    /// wins (see `redirect_overlaps` in [`SimStats`]).
     resume_at: Option<Cycle>,
     /// Boomerang extension: line → direct branches, for predecode BTB fill.
     code_map: Option<CodeMap>,
+    /// Scratch for FTQ entries finishing each cycle (reused, never grows
+    /// past the fetch width) — keeps [`step`](Self::step) allocation-free.
+    finished_scratch: Vec<crate::ftq::FtqEntry>,
+    /// Scratch for freshly filled blocks drained to the predecoder.
+    predecode_scratch: Vec<fdip_types::Addr>,
     stats: SimStats,
     /// Measurement window start (set by [`Simulator::reset_stats`]).
     measure_from_cycle: Cycle,
@@ -139,6 +155,10 @@ impl<'t> Simulator<'t> {
         let code_map = config
             .predecode_btb_fill
             .then(|| CodeMap::from_trace(trace.instrs(), block_bytes));
+        let mut mem = MemoryHierarchy::new(mem_config);
+        // Fill tracking feeds the predecoder; without one, recording fills
+        // would only accumulate memory for the whole run.
+        mem.set_fill_tracking(code_map.is_some());
         Simulator {
             config: config.clone(),
             trace: trace.instrs(),
@@ -147,11 +167,13 @@ impl<'t> Simulator<'t> {
             ftq: Ftq::new(config.ftq_entries),
             fetch: FetchEngine::new(config.fetch_width, block_bytes),
             backend: Backend::new(config.retire_width, config.instr_buffer),
-            mem: MemoryHierarchy::new(mem_config),
+            mem,
             demand,
             ftq_side,
             resume_at: None,
             code_map,
+            finished_scratch: Vec::with_capacity(config.fetch_width as usize),
+            predecode_scratch: Vec::with_capacity(mem_config.mshrs),
             stats: SimStats::default(),
             measure_from_cycle: Cycle::ZERO,
             measure_from_retired: 0,
@@ -195,7 +217,9 @@ impl<'t> Simulator<'t> {
 
         // Boomerang extension: predecode freshly filled lines into the BTB.
         if let Some(code_map) = &self.code_map {
-            for block in self.mem.take_recent_fills() {
+            self.mem
+                .drain_recent_fills_into(&mut self.predecode_scratch);
+            for &block in &self.predecode_scratch {
                 for &(pc, class, target) in code_map.branches_in(block) {
                     if self.bpu.predecode_install(pc, class, target) {
                         self.stats.predecode_installs += 1;
@@ -223,16 +247,31 @@ impl<'t> Simulator<'t> {
             &mut self.mem,
             &mut self.demand,
             self.backend.room(),
+            &mut self.finished_scratch,
         );
         self.backend.deliver(out.delivered);
-        for entry in &out.finished {
+        for entry in &self.finished_scratch {
             if let Some(redirect) = entry.redirect {
                 let penalty = match redirect {
                     Redirect::Decode => self.config.decode_redirect_penalty,
                     Redirect::Execute => self.config.exec_redirect_penalty,
                 };
-                debug_assert!(self.resume_at.is_none(), "one redirect in flight");
-                self.resume_at = Some(now + penalty);
+                let at = now + penalty;
+                // Should a second redirect finish while the first penalty
+                // is still pending, the earliest resume wins: resuming the
+                // BPU late (the old `max`-by-overwrite behavior) would
+                // stretch stalls nondeterministically with delivery order.
+                self.resume_at = Some(match self.resume_at {
+                    None => at,
+                    Some(pending) => {
+                        self.stats.redirect_overlaps += 1;
+                        if at.is_after(pending) {
+                            pending
+                        } else {
+                            at
+                        }
+                    }
+                });
             }
         }
         if out.delivered == 0 && !self.is_done() {
@@ -280,6 +319,49 @@ impl<'t> Simulator<'t> {
         }
         self.stats.ftq_occupancy_sum += self.ftq.len() as u64;
         self.now = now.next();
+        self.fast_forward_idle();
+    }
+
+    /// Idle-cycle fast-forward: while the BPU is stalled on a redirect and
+    /// every pipeline structure is provably quiescent, nothing happens
+    /// until either the redirect resolves or an outstanding fill arrives —
+    /// so jump `now` straight to the earlier of those two events instead
+    /// of stepping through the dead cycles one at a time.
+    ///
+    /// Each skipped cycle would have executed as: no fills applied, no
+    /// retirement (back-end empty), no delivery (FTQ empty, fetch idle),
+    /// no prefetcher work (engines quiescent), no BPU progress (stalled).
+    /// Its only observable effect is `fetch_stall_cycles += 1` and
+    /// `ftq_empty_cycles += 1` (FTQ occupancy contributes 0), which this
+    /// method accumulates arithmetically — statistics stay *identical* to
+    /// the cycle-by-cycle walk, as the determinism suite verifies.
+    fn fast_forward_idle(&mut self) {
+        let Some(resume) = self.resume_at else { return };
+        if !resume.is_after(self.now) || self.is_done() {
+            return;
+        }
+        if !(self.bpu.is_stalled()
+            && self.ftq.is_empty()
+            && self.backend.buffered() == 0
+            && self.fetch.waiting_until().is_none()
+            && self.demand.is_passive()
+            && self.ftq_side.is_quiescent())
+        {
+            return;
+        }
+        // The earliest upcoming event: redirect resolution, or a fill
+        // landing (which the predecode tap must observe on its cycle).
+        let target = match self.mem.next_event_cycle() {
+            Some(fill) if !fill.is_after(resume) => fill,
+            _ => resume,
+        };
+        if !target.is_after(self.now) {
+            return;
+        }
+        let skipped = target - self.now;
+        self.stats.fetch_stall_cycles += skipped;
+        self.stats.ftq_empty_cycles += skipped;
+        self.now = target;
     }
 
     /// Clears every statistic while keeping microarchitectural state
@@ -645,6 +727,48 @@ mod tests {
             boom.branches.decode_redirects,
             plain.branches.decode_redirects
         );
+    }
+
+    #[test]
+    fn overlapping_redirects_keep_the_earliest_resume() {
+        use fdip_types::{BlockEnd, FetchBlock};
+        // Two redirect-carrying blocks in one warm cache line: with fetch
+        // width 4 both finish in the same cycle, so the second redirect
+        // lands while the first penalty is still pending. The earlier
+        // resume must win (the decode redirect here), not simply the
+        // last-processed one (the execute redirect), and the overlap is
+        // counted.
+        let trace = micro_trace(2_000);
+        let config = FrontendConfig::default();
+        assert!(config.decode_redirect_penalty < config.exec_redirect_penalty);
+        let mut sim = Simulator::new(&config, &trace);
+        let line = Addr::new(0x100);
+        sim.mem.begin_cycle(Cycle::ZERO);
+        sim.mem.demand_access(Cycle::ZERO, line);
+        // Jump past the fill; the line is warm for the fetch cycle.
+        sim.now = Cycle::new(500);
+        sim.ftq
+            .push(
+                FetchBlock::new(line, 2, BlockEnd::NotTakenBranch),
+                0,
+                Some(Redirect::Decode),
+            )
+            .expect("ftq empty");
+        sim.ftq
+            .push(
+                FetchBlock::new(Addr::new(0x108), 2, BlockEnd::NotTakenBranch),
+                2,
+                Some(Redirect::Execute),
+            )
+            .expect("ftq has room");
+        let at = sim.now;
+        sim.step();
+        assert_eq!(
+            sim.resume_at,
+            Some(at + config.decode_redirect_penalty),
+            "earliest resume wins"
+        );
+        assert_eq!(sim.stats.redirect_overlaps, 1);
     }
 
     #[test]

@@ -105,6 +105,12 @@ pub struct SimStats {
     pub predecode_installs: u64,
     /// Shotgun-lite statistics.
     pub shotgun: ShotgunStats,
+    /// Redirects that finished while an earlier redirect's penalty was
+    /// still pending (the earliest resume cycle wins). Structurally zero
+    /// under the current one-redirect-in-flight BPU; deliberately *not*
+    /// serialized into results JSON so the committed result schema (and
+    /// the byte-identity of past experiment output) is unaffected.
+    pub redirect_overlaps: u64,
 }
 
 impl SimStats {
@@ -310,6 +316,10 @@ impl fdip_types::FromJson for SimStats {
                 pif_resets,
                 predecode_installs,
                 shotgun,
+                // `redirect_overlaps` is intentionally absent from the
+                // persisted schema (see its field doc); it defaults to 0
+                // when parsing.
+                ..
             }
         )
     }

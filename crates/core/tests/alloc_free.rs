@@ -1,0 +1,128 @@
+//! Steady-state allocation audit for the simulator hot loop.
+//!
+//! The crate promises that `Simulator::step()` allocates nothing once the
+//! run is warmed up: every buffer the per-cycle path touches (FTQ, scratch
+//! vectors, MSHR file, cache slabs, prefetch queues) is preallocated at
+//! construction or reaches its high-water capacity early. This test makes
+//! that claim falsifiable: it installs a counting global allocator, warms
+//! each tracked configuration past its capacity-growth phase, then counts
+//! heap allocations over the remainder of the run and requires zero.
+//!
+//! The allocator swap is process-wide, which is why the test lives behind
+//! the off-by-default `count-allocs` feature (see `Cargo.toml`) and runs
+//! as its own target:
+//!
+//! ```text
+//! cargo test -p fdip --features count-allocs --test alloc_free
+//! ```
+//!
+//! The trace and warmup point are deterministic, so a failure here is a
+//! real regression (some per-cycle path started allocating), never flake.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use fdip::{BtbVariant, CpfMode, FrontendConfig, PrefetcherKind, Simulator};
+use fdip_trace::gen::{GeneratorConfig, Profile};
+
+/// Wraps the system allocator; counts `alloc`/`realloc` calls while armed.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `config` unarmed for `warmup_cycles`, then arms the counter for
+/// the rest of the run and returns the allocation count.
+fn steady_state_allocs(config: &FrontendConfig, warmup_cycles: u64) -> u64 {
+    let trace = GeneratorConfig::profile(Profile::Server)
+        .seed(5)
+        .target_len(50_000)
+        .generate();
+    let mut sim = Simulator::new(config, &trace);
+    for _ in 0..warmup_cycles {
+        if sim.is_done() {
+            break;
+        }
+        sim.step();
+    }
+    assert!(!sim.is_done(), "warmup consumed the whole trace");
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    while !sim.is_done() {
+        sim.step();
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// Every configuration class tracked by `core_bench` holds the zero-alloc
+/// steady-state contract.
+#[test]
+fn step_is_allocation_free_in_steady_state() {
+    let configs: Vec<(&str, FrontendConfig)> = vec![
+        ("baseline", FrontendConfig::default()),
+        (
+            "fdip",
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+        ),
+        (
+            "fdip_cpf",
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip_with_cpf(CpfMode::Both)),
+        ),
+        (
+            "fdip_x",
+            FrontendConfig::default()
+                .with_btb(BtbVariant::partitioned(2048))
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ),
+        (
+            "ftb_fdip",
+            FrontendConfig::default()
+                .with_btb(BtbVariant::basic_block(2048))
+                .with_prefetcher(PrefetcherKind::fdip()),
+        ),
+        (
+            "stream",
+            FrontendConfig::default()
+                .with_prefetcher(PrefetcherKind::StreamBuffers(Default::default())),
+        ),
+        (
+            "pif",
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::Pif(Default::default())),
+        ),
+    ];
+    for (name, config) in configs {
+        // ~40k warmup cycles retires roughly half of the 50k-instruction
+        // trace on the slowest config: comfortably past the point where
+        // every lazily grown structure (BTB set vecs, prefetch queues,
+        // stream buffers) hits its high-water capacity.
+        let allocs = steady_state_allocs(&config, 40_000);
+        assert_eq!(
+            allocs, 0,
+            "{name}: {allocs} heap allocations in steady state (post-warmup)"
+        );
+    }
+}

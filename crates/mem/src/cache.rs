@@ -52,11 +52,36 @@ struct Line {
     nlp_tagged: bool,
 }
 
+const EMPTY_LINE: Line = Line {
+    tag: 0,
+    prefetched: false,
+    referenced: false,
+    nlp_tagged: false,
+};
+
 /// A set-associative, tags-only cache model.
 ///
 /// Tracks per-line prefetch provenance (for usefulness/pollution
 /// accounting) and the tag bit used by tagged next-line prefetching. Data
 /// values are not modeled.
+///
+/// Storage is flat and preallocated: one `sets × ways` slab of lines
+/// (slot `set * ways + way`) plus one slab of packed per-set recency
+/// order. `order[set]` is a permutation of the set's way indices — the
+/// first `occupied[set]` entries name valid ways MRU-first (LRU) or
+/// newest-inserted-first (FIFO), the rest name free ways. LRU promotion
+/// and victim selection therefore shift a few `u16`s instead of
+/// `remove`/`insert`-shifting whole `Line`s through a per-set `Vec`, and
+/// no operation allocates after construction.
+///
+/// Under [`ReplacementPolicy::Random`] the victim is an unbiased
+/// bounded draw of a *way index* from the deterministic xorshift stream,
+/// and the filled line replaces the victim in place: Random-policy state
+/// lives entirely in the RNG and never perturbs the recency order that
+/// LRU/FIFO bookkeeping uses. (The previous implementation drew
+/// `rng_state % ways` — modulo-biased for non-power-of-two
+/// associativities — interpreted it as a recency *position*, and
+/// re-inserted the new line at the MRU slot.)
 ///
 /// # Examples
 ///
@@ -73,20 +98,39 @@ struct Line {
 #[derive(Clone, Debug)]
 pub struct Cache {
     geometry: CacheGeometry,
-    /// Per set: lines ordered MRU-first (LRU) or insertion-first (FIFO).
-    sets: Vec<Vec<Line>>,
+    /// Flat `sets × ways` line storage; validity is determined by `order`.
+    lines: Box<[Line]>,
+    /// Per-set way permutation: valid ways (recency-ordered) first, then
+    /// free ways.
+    order: Box<[u16]>,
+    /// Valid-line count per set.
+    occupied: Box<[u16]>,
     policy: ReplacementPolicy,
     rng_state: u64,
 }
 
 impl Cache {
     /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's associativity exceeds `u16` range.
     pub fn new(geometry: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        assert!(
+            geometry.ways <= u16::MAX as usize,
+            "associativity {} exceeds packed-order range",
+            geometry.ways
+        );
+        let total = geometry.sets * geometry.ways;
+        let mut order = Vec::with_capacity(total);
+        for _ in 0..geometry.sets {
+            order.extend(0..geometry.ways as u16);
+        }
         Cache {
             geometry,
-            sets: (0..geometry.sets)
-                .map(|_| Vec::with_capacity(geometry.ways))
-                .collect(),
+            lines: vec![EMPTY_LINE; total].into_boxed_slice(),
+            order: order.into_boxed_slice(),
+            occupied: vec![0u16; geometry.sets].into_boxed_slice(),
             policy,
             rng_state: 0x243f_6a88_85a3_08d3,
         }
@@ -99,12 +143,34 @@ impl Cache {
 
     /// Number of valid lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.occupied.iter().map(|&n| n as usize).sum()
     }
 
     /// Returns `true` if the cache holds no lines.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.occupied.iter().all(|&n| n == 0)
+    }
+
+    /// Finds `tag` among the valid ways of `set_idx`, returning its
+    /// recency position and way index.
+    fn find(&self, set_idx: usize, tag: u64) -> Option<(usize, usize)> {
+        let base = set_idx * self.geometry.ways;
+        let occ = self.occupied[set_idx] as usize;
+        for pos in 0..occ {
+            let way = self.order[base + pos] as usize;
+            if self.lines[base + way].tag == tag {
+                return Some((pos, way));
+            }
+        }
+        None
+    }
+
+    /// Moves the way at recency position `pos` to the MRU slot.
+    fn promote(&mut self, set_idx: usize, pos: usize) {
+        let base = set_idx * self.geometry.ways;
+        let way = self.order[base + pos];
+        self.order.copy_within(base..base + pos, base + 1);
+        self.order[base] = way;
     }
 
     /// Demand access: on hit, promotes (LRU), marks the line referenced,
@@ -112,18 +178,17 @@ impl Cache {
     pub fn access(&mut self, addr: Addr) -> Option<HitInfo> {
         let set_idx = self.geometry.set_index(addr);
         let tag = self.geometry.tag(addr);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|l| l.tag == tag)?;
+        let (pos, way) = self.find(set_idx, tag)?;
+        let line = &mut self.lines[set_idx * self.geometry.ways + way];
         let info = HitInfo {
-            was_prefetched: set[pos].prefetched,
-            first_reference: !set[pos].referenced,
-            nlp_tagged: set[pos].nlp_tagged,
+            was_prefetched: line.prefetched,
+            first_reference: !line.referenced,
+            nlp_tagged: line.nlp_tagged,
         };
-        set[pos].referenced = true;
-        set[pos].nlp_tagged = false;
+        line.referenced = true;
+        line.nlp_tagged = false;
         if self.policy == ReplacementPolicy::Lru {
-            let line = set.remove(pos);
-            set.insert(0, line);
+            self.promote(set_idx, pos);
         }
         Some(info)
     }
@@ -131,9 +196,26 @@ impl Cache {
     /// Probe: is the block present? No state is modified (this is what a
     /// CPF tag-port probe observes).
     pub fn probe(&self, addr: Addr) -> bool {
-        let set = &self.sets[self.geometry.set_index(addr)];
-        let tag = self.geometry.tag(addr);
-        set.iter().any(|l| l.tag == tag)
+        self.find(self.geometry.set_index(addr), self.geometry.tag(addr))
+            .is_some()
+    }
+
+    /// An unbiased draw from `[0, ways)` off the xorshift stream, by
+    /// masking to the next power of two and rejecting out-of-range values
+    /// (for power-of-two associativities this accepts the first draw and
+    /// equals the old `% ways` reduction, so the random sequence itself is
+    /// unchanged there).
+    fn draw_way(&mut self, ways: usize) -> usize {
+        let mask = (ways as u64).next_power_of_two() - 1;
+        loop {
+            self.rng_state ^= self.rng_state << 13;
+            self.rng_state ^= self.rng_state >> 7;
+            self.rng_state ^= self.rng_state << 17;
+            let r = self.rng_state & mask;
+            if (r as usize) < ways {
+                return r as usize;
+            }
+        }
     }
 
     /// Fills the block, evicting a victim if the set is full. Filling an
@@ -142,39 +224,47 @@ impl Cache {
         let set_idx = self.geometry.set_index(addr);
         let tag = self.geometry.tag(addr);
         let ways = self.geometry.ways;
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
-            set[pos].nlp_tagged |= flags.nlp_tagged;
+        let base = set_idx * ways;
+        if let Some((_, way)) = self.find(set_idx, tag) {
+            self.lines[base + way].nlp_tagged |= flags.nlp_tagged;
             return None;
         }
-        let evicted = if set.len() == ways {
-            let victim = match self.policy {
-                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => set.len() - 1,
-                ReplacementPolicy::Random => {
-                    self.rng_state ^= self.rng_state << 13;
-                    self.rng_state ^= self.rng_state >> 7;
-                    self.rng_state ^= self.rng_state << 17;
-                    (self.rng_state % ways as u64) as usize
-                }
-            };
-            let line = set.remove(victim);
-            Some(EvictedLine {
-                addr: self.geometry.block_addr(set_idx, line.tag),
-                prefetched_unreferenced: line.prefetched && !line.referenced,
-            })
-        } else {
-            None
+        let new_line = Line {
+            tag,
+            prefetched: flags.prefetched,
+            referenced: false,
+            nlp_tagged: flags.nlp_tagged,
         };
-        self.sets[set_idx].insert(
-            0,
-            Line {
-                tag,
-                prefetched: flags.prefetched,
-                referenced: false,
-                nlp_tagged: flags.nlp_tagged,
-            },
-        );
-        evicted
+        let occ = self.occupied[set_idx] as usize;
+        if occ < ways {
+            // A free way sits just past the valid region; claim it and
+            // rotate it to the MRU slot.
+            let way = self.order[base + occ];
+            self.lines[base + way as usize] = new_line;
+            self.order.copy_within(base..base + occ, base + 1);
+            self.order[base] = way;
+            self.occupied[set_idx] = (occ + 1) as u16;
+            return None;
+        }
+        let (victim_pos, victim_way) = match self.policy {
+            // LRU and FIFO evict the line at the tail of the recency
+            // order; the reused way rotates to the MRU slot.
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                (Some(ways - 1), self.order[base + ways - 1] as usize)
+            }
+            // Random replaces a drawn way in place, leaving the recency
+            // permutation untouched.
+            ReplacementPolicy::Random => (None, self.draw_way(ways)),
+        };
+        let victim = self.lines[base + victim_way];
+        self.lines[base + victim_way] = new_line;
+        if let Some(pos) = victim_pos {
+            self.promote(set_idx, pos);
+        }
+        Some(EvictedLine {
+            addr: self.geometry.block_addr(set_idx, victim.tag),
+            prefetched_unreferenced: victim.prefetched && !victim.referenced,
+        })
     }
 
     /// Invalidates the block if present; reports whether it was a
@@ -182,9 +272,16 @@ impl Cache {
     pub fn invalidate(&mut self, addr: Addr) -> Option<EvictedLine> {
         let set_idx = self.geometry.set_index(addr);
         let tag = self.geometry.tag(addr);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|l| l.tag == tag)?;
-        let line = set.remove(pos);
+        let (pos, way) = self.find(set_idx, tag)?;
+        let base = set_idx * self.geometry.ways;
+        let occ = self.occupied[set_idx] as usize;
+        let line = self.lines[base + way];
+        // Close the gap in the valid region and park the freed way at the
+        // head of the free region.
+        self.order
+            .copy_within(base + pos + 1..base + occ, base + pos);
+        self.order[base + occ - 1] = way as u16;
+        self.occupied[set_idx] = (occ - 1) as u16;
         Some(EvictedLine {
             addr,
             prefetched_unreferenced: line.prefetched && !line.referenced,
@@ -193,9 +290,7 @@ impl Cache {
 
     /// Clears all lines.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.occupied.fill(0);
     }
 }
 
@@ -261,6 +356,63 @@ mod tests {
             evictions
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn random_victim_is_a_way_index_not_a_recency_position() {
+        // Regression for the old positional interpretation: fill A then B
+        // into a 2-way set (A→way 0, B→way 1), evict with C, and check
+        // the victim against the first value of the seeded xorshift
+        // stream *as a way index*. The old code removed recency position
+        // r from an MRU-first vec — [B, A] — which names the opposite
+        // line for every r, so this asserts the fixed semantics.
+        let mut rng: u64 = 0x243f_6a88_85a3_08d3;
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        let r = (rng & 1) as usize;
+
+        let mut c = Cache::new(CacheGeometry::new(1, 2, 64), ReplacementPolicy::Random);
+        let (a, b) = (Addr::new(0), Addr::new(64));
+        c.fill(a, FillFlags::default());
+        c.fill(b, FillFlags::default());
+        let evicted = c.fill(Addr::new(128), FillFlags::default()).unwrap();
+        assert_eq!(evicted.addr, [a, b][r], "victim way {r} holds this line");
+    }
+
+    #[test]
+    fn random_draw_is_in_range_and_covers_non_power_of_two_ways() {
+        // 3 ways exercises the rejection path (mask 4). Every draw must
+        // stay in range (the cache would panic on an out-of-range way)
+        // and, over many evictions, no way may be starved or grossly
+        // over-preferred — the loose bounds catch a reintroduced bias or
+        // a victim selection pinned to one slot.
+        let mut c = Cache::new(CacheGeometry::new(1, 3, 64), ReplacementPolicy::Random);
+        let mut way_evictions = [0u32; 3];
+        let mut resident: Vec<Addr> = Vec::new();
+        for i in 0..3u64 {
+            let a = Addr::new(i * 64);
+            c.fill(a, FillFlags::default());
+            resident.push(a);
+        }
+        for i in 3..3003u64 {
+            let a = Addr::new(i * 64);
+            let evicted = c.fill(a, FillFlags::default()).unwrap().addr;
+            let way = resident
+                .iter()
+                .position(|&r| r == evicted)
+                .expect("victim must be resident");
+            way_evictions[way] += 1;
+            resident[way] = a;
+        }
+        let total: u32 = way_evictions.iter().sum();
+        assert_eq!(total, 3000);
+        for (way, &n) in way_evictions.iter().enumerate() {
+            assert!(
+                (800..=1200).contains(&n),
+                "way {way} evicted {n}/3000 times — not roughly uniform: {way_evictions:?}"
+            );
+        }
     }
 
     #[test]
@@ -352,5 +504,25 @@ mod tests {
             c.fill(Addr::new(i * 64), FillFlags::default());
         }
         assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn refill_after_invalidate_reuses_freed_ways() {
+        let mut c = cache(1, 4);
+        let addrs: Vec<Addr> = (0..4u64).map(|i| Addr::new(i * 64)).collect();
+        for &a in &addrs {
+            c.fill(a, FillFlags::default());
+        }
+        // Free a middle-of-recency line, then fill two new blocks: the
+        // first reuses the freed way without evicting, the second evicts.
+        c.invalidate(addrs[1]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c.fill(Addr::new(0x400), FillFlags::default()).is_none());
+        assert_eq!(c.len(), 4);
+        let evicted = c.fill(Addr::new(0x440), FillFlags::default()).unwrap();
+        assert_eq!(evicted.addr, addrs[0], "LRU after the reshuffle");
+        for &a in &addrs[2..] {
+            assert!(c.probe(a), "{a:?} must survive");
+        }
     }
 }

@@ -1,8 +1,8 @@
 use fdip_types::{Addr, Cycle};
 
 use crate::{
-    Bus, Cache, CacheGeometry, FillFlags, HitInfo, MemStats, MissKind, MshrFile, PrefetchBuffer,
-    ReplacementPolicy, TagPorts, VictimCache,
+    Bus, Cache, CacheGeometry, FillFlags, HitInfo, MemStats, MissKind, Mshr, MshrFile,
+    PrefetchBuffer, ReplacementPolicy, TagPorts, VictimCache,
 };
 
 /// Configuration of the two-level instruction memory hierarchy.
@@ -114,8 +114,14 @@ pub struct MemoryHierarchy {
     ports: TagPorts,
     stats: MemStats,
     /// Blocks whose fills landed since the last drain — the predecode tap
-    /// used by BTB-fill extensions (Boomerang-style).
+    /// used by BTB-fill extensions (Boomerang-style). Only recorded when
+    /// [`set_fill_tracking`](Self::set_fill_tracking) armed it, so runs
+    /// without a predecoder never accumulate (and never allocate) here.
     recent_fills: Vec<Addr>,
+    track_fills: bool,
+    /// Scratch buffer for the per-cycle MSHR drain; reused every cycle so
+    /// `begin_cycle` allocates nothing in steady state.
+    fill_scratch: Vec<Mshr>,
     victim: VictimCache,
 }
 
@@ -135,6 +141,8 @@ impl MemoryHierarchy {
             ports: TagPorts::new(config.tag_ports),
             stats: MemStats::default(),
             recent_fills: Vec::new(),
+            track_fills: false,
+            fill_scratch: Vec::with_capacity(config.mshrs),
             victim: VictimCache::new(config.victim_blocks, config.l1.block_bytes),
         }
     }
@@ -170,8 +178,18 @@ impl MemoryHierarchy {
     /// tag ports. Must be called once per cycle, before any access.
     pub fn begin_cycle(&mut self, now: Cycle) {
         self.ports.begin_cycle(now);
-        for fill in self.mshrs.take_ready(now) {
-            self.recent_fills.push(fill.block);
+        // Fast path: most cycles no fill arrives; the MSHR file tracks its
+        // earliest `ready_at`, so skip the drain (and its whole loop)
+        // without touching the entries at all.
+        if !matches!(self.mshrs.next_ready(), Some(c) if !c.is_after(now)) {
+            return;
+        }
+        let mut ready = std::mem::take(&mut self.fill_scratch);
+        self.mshrs.take_ready_into(now, &mut ready);
+        for fill in &ready {
+            if self.track_fills {
+                self.recent_fills.push(fill.block);
+            }
             match fill.kind {
                 MissKind::Demand => {
                     self.fill_l1(
@@ -199,6 +217,7 @@ impl MemoryHierarchy {
                 }
             }
         }
+        self.fill_scratch = ready;
     }
 
     fn fill_l1(&mut self, block: Addr, flags: FillFlags) {
@@ -376,10 +395,43 @@ impl MemoryHierarchy {
         self.stats.useless_evictions + self.prefetch_buffer.evicted_unreferenced()
     }
 
+    /// Arms (or disarms) fill tracking for the predecode tap. Off by
+    /// default: without a consumer draining them, recorded fills would
+    /// accumulate for the whole run, so only simulators that actually run
+    /// a predecoder turn this on.
+    pub fn set_fill_tracking(&mut self, on: bool) {
+        self.track_fills = on;
+        if on && self.recent_fills.capacity() < self.config.mshrs {
+            self.recent_fills
+                .reserve(self.config.mshrs - self.recent_fills.capacity());
+        }
+        if !on {
+            self.recent_fills.clear();
+        }
+    }
+
     /// Drains the blocks filled since the last call — the raw material a
-    /// predecoder (Boomerang-style BTB fill) works on.
+    /// predecoder (Boomerang-style BTB fill) works on — into `out`, which
+    /// is cleared first. Records only appear while
+    /// [`set_fill_tracking`](Self::set_fill_tracking) is armed.
+    pub fn drain_recent_fills_into(&mut self, out: &mut Vec<Addr>) {
+        out.clear();
+        out.extend_from_slice(&self.recent_fills);
+        self.recent_fills.clear();
+    }
+
+    /// Drains the blocks filled since the last call, allocating wrapper
+    /// around [`drain_recent_fills_into`](Self::drain_recent_fills_into).
     pub fn take_recent_fills(&mut self) -> Vec<Addr> {
         std::mem::take(&mut self.recent_fills)
+    }
+
+    /// The next cycle at which hierarchy state changes on its own (the
+    /// earliest outstanding fill), or `None` when nothing is in flight.
+    /// This is what lets the simulator fast-forward over idle stretches
+    /// without missing an event.
+    pub fn next_event_cycle(&self) -> Option<Cycle> {
+        self.mshrs.next_ready()
     }
 }
 
@@ -553,6 +605,50 @@ mod tests {
             m.issue_prefetch(Cycle::ZERO, Addr::new(0x80), false),
             PrefetchOutcome::NoMshr
         ));
+    }
+
+    #[test]
+    fn fill_tracking_is_off_by_default_and_gated() {
+        let mut m = hierarchy();
+        let a = Addr::new(0x4000);
+        m.begin_cycle(Cycle::ZERO);
+        let ready = match m.demand_access(Cycle::ZERO, a) {
+            DemandOutcome::Miss { ready_at } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        m.begin_cycle(ready);
+        let mut drained = Vec::new();
+        m.drain_recent_fills_into(&mut drained);
+        assert!(drained.is_empty(), "untracked fills are not recorded");
+
+        m.set_fill_tracking(true);
+        let b = Addr::new(0x8000);
+        let t = Cycle::new(500);
+        m.begin_cycle(t);
+        let ready = match m.demand_access(t, b) {
+            DemandOutcome::Miss { ready_at } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        m.begin_cycle(ready);
+        m.drain_recent_fills_into(&mut drained);
+        assert_eq!(drained, vec![b]);
+        // Drain clears: a second drain is empty.
+        m.drain_recent_fills_into(&mut drained);
+        assert!(drained.is_empty());
+    }
+
+    #[test]
+    fn next_event_cycle_reports_earliest_fill() {
+        let mut m = hierarchy();
+        assert_eq!(m.next_event_cycle(), None);
+        m.begin_cycle(Cycle::ZERO);
+        let ready = match m.demand_access(Cycle::ZERO, Addr::new(0x4000)) {
+            DemandOutcome::Miss { ready_at } => ready_at,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(m.next_event_cycle(), Some(ready));
+        m.begin_cycle(ready);
+        assert_eq!(m.next_event_cycle(), None, "fill applied and drained");
     }
 
     #[test]

@@ -1,5 +1,3 @@
-use std::collections::HashMap;
-
 use fdip_types::{Addr, Cycle};
 
 /// Why an MSHR allocation was rejected.
@@ -48,6 +46,14 @@ pub struct Mshr {
 /// Miss status holding registers: tracks in-flight fills, merges duplicate
 /// requests, and bounds the number of outstanding misses.
 ///
+/// Storage is a flat, preallocated `Vec` scanned linearly — an MSHR file
+/// is small (8 entries by default), so a scan beats hashing, allocates
+/// nothing after construction, and keeps the hot simulator loop free of
+/// per-cycle `HashMap` traversal. The file also tracks the earliest
+/// outstanding `ready_at` ([`next_ready`](Self::next_ready)) so callers
+/// can skip the drain entirely on cycles with no arriving fill, and so
+/// the simulator's idle-cycle fast-forward knows the next memory event.
+///
 /// # Examples
 ///
 /// ```
@@ -61,9 +67,11 @@ pub struct Mshr {
 /// ```
 #[derive(Clone, Debug)]
 pub struct MshrFile {
-    entries: HashMap<u64, Mshr>,
+    entries: Vec<Mshr>,
     capacity: usize,
     block_bytes: u64,
+    /// Earliest `ready_at` among `entries` (`None` when empty).
+    next_ready: Option<Cycle>,
 }
 
 impl MshrFile {
@@ -85,14 +93,11 @@ impl MshrFile {
         assert!(capacity > 0, "mshr capacity must be non-zero");
         assert!(block_bytes.is_power_of_two());
         MshrFile {
-            entries: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
             capacity,
             block_bytes,
+            next_ready: None,
         }
-    }
-
-    fn key(&self, addr: Addr) -> u64 {
-        addr.block_index(self.block_bytes)
     }
 
     /// Number of outstanding misses.
@@ -110,9 +115,16 @@ impl MshrFile {
         self.entries.len() >= self.capacity
     }
 
+    /// The earliest cycle at which an outstanding fill arrives, or `None`
+    /// when nothing is in flight.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.next_ready
+    }
+
     /// The in-flight entry covering `addr`, if any.
     pub fn lookup(&self, addr: Addr) -> Option<&Mshr> {
-        self.entries.get(&self.key(addr))
+        let block = addr.block_base(self.block_bytes);
+        self.entries.iter().find(|e| e.block == block)
     }
 
     /// Allocates an entry for the block containing `addr`.
@@ -132,19 +144,21 @@ impl MshrFile {
         if self.is_full() {
             return Err(MshrRejected::Full);
         }
-        let key = self.key(addr);
-        if self.entries.contains_key(&key) {
+        let block = addr.block_base(self.block_bytes);
+        if self.entries.iter().any(|e| e.block == block) {
             return Err(MshrRejected::AlreadyInFlight);
         }
-        self.entries.insert(
-            key,
-            Mshr {
-                block: addr.block_base(self.block_bytes),
-                ready_at,
-                kind,
-                nlp_tagged: false,
-            },
-        );
+        self.entries.push(Mshr {
+            block,
+            ready_at,
+            kind,
+            nlp_tagged: false,
+        });
+        self.next_ready = Some(match self.next_ready {
+            Some(c) if !ready_at.is_after(c) => ready_at,
+            Some(c) => c,
+            None => ready_at,
+        });
         Ok(())
     }
 
@@ -161,9 +175,8 @@ impl MshrFile {
         kind: MissKind,
     ) -> Result<(), MshrRejected> {
         self.allocate(addr, ready_at, kind)?;
-        let key = self.key(addr);
         self.entries
-            .get_mut(&key)
+            .last_mut()
             .expect("entry just allocated")
             .nlp_tagged = true;
         Ok(())
@@ -172,33 +185,47 @@ impl MshrFile {
     /// Merges a demand miss into an in-flight entry, upgrading a prefetch
     /// to a demand. Returns `(ready_at, was_prefetch)` on success.
     pub fn merge_demand(&mut self, addr: Addr) -> Option<(Cycle, bool)> {
-        let key = self.key(addr);
-        let entry = self.entries.get_mut(&key)?;
+        let block = addr.block_base(self.block_bytes);
+        let entry = self.entries.iter_mut().find(|e| e.block == block)?;
         let was_prefetch = entry.kind == MissKind::Prefetch;
         entry.kind = MissKind::Demand;
         Some((entry.ready_at, was_prefetch))
     }
 
+    /// Drains every entry whose fill has arrived by `now` into `out`
+    /// (which is cleared first), sorted by (ready cycle, block) for
+    /// determinism. Allocation-free when `out` has capacity; callers on
+    /// the hot path reuse one scratch buffer for the whole run.
+    pub fn take_ready_into(&mut self, now: Cycle, out: &mut Vec<Mshr>) {
+        out.clear();
+        if !matches!(self.next_ready, Some(c) if !c.is_after(now)) {
+            return;
+        }
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].ready_at.is_after(now) {
+                i += 1;
+            } else {
+                out.push(self.entries.swap_remove(i));
+            }
+        }
+        out.sort_by_key(|e| (e.ready_at, e.block));
+        self.next_ready = self.entries.iter().map(|e| e.ready_at).min();
+    }
+
     /// Removes and returns all entries whose fill has arrived by `now`,
-    /// sorted by (ready cycle, block) for determinism.
+    /// sorted by (ready cycle, block) for determinism. Allocating wrapper
+    /// around [`take_ready_into`](Self::take_ready_into).
     pub fn take_ready(&mut self, now: Cycle) -> Vec<Mshr> {
-        let ready_keys: Vec<u64> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| !e.ready_at.is_after(now))
-            .map(|(k, _)| *k)
-            .collect();
-        let mut ready: Vec<Mshr> = ready_keys
-            .into_iter()
-            .map(|k| self.entries.remove(&k).expect("key just observed"))
-            .collect();
-        ready.sort_by_key(|e| (e.ready_at, e.block));
-        ready
+        let mut out = Vec::new();
+        self.take_ready_into(now, &mut out);
+        out
     }
 
     /// Clears all outstanding entries (used on simulator reset).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.next_ready = None;
     }
 }
 
@@ -270,5 +297,40 @@ mod tests {
         let ready = m.take_ready(Cycle::new(10));
         let blocks: Vec<_> = ready.iter().map(|e| e.block.raw()).collect();
         assert_eq!(blocks, vec![0x300, 0x100, 0x200]);
+    }
+
+    #[test]
+    fn next_ready_tracks_earliest_outstanding_fill() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.next_ready(), None);
+        m.allocate(Addr::new(0x100), Cycle::new(30), MissKind::Demand)
+            .unwrap();
+        m.allocate(Addr::new(0x200), Cycle::new(10), MissKind::Prefetch)
+            .unwrap();
+        m.allocate(Addr::new(0x300), Cycle::new(20), MissKind::Demand)
+            .unwrap();
+        assert_eq!(m.next_ready(), Some(Cycle::new(10)));
+        // Draining the 10-cycle fill advances next_ready to the survivor
+        // minimum, not merely forward.
+        let mut out = Vec::new();
+        m.take_ready_into(Cycle::new(15), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(m.next_ready(), Some(Cycle::new(20)));
+        m.clear();
+        assert_eq!(m.next_ready(), None);
+    }
+
+    #[test]
+    fn take_ready_into_reuses_scratch_without_growing() {
+        let mut m = MshrFile::new(4);
+        let mut out = Vec::with_capacity(4);
+        for round in 0..8u64 {
+            let at = Cycle::new(round * 10);
+            m.allocate(Addr::new(0x1000 + round * 0x40), at, MissKind::Demand)
+                .unwrap();
+            m.take_ready_into(at, &mut out);
+            assert_eq!(out.len(), 1, "round {round}");
+        }
+        assert_eq!(out.capacity(), 4);
     }
 }

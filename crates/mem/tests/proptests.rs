@@ -5,11 +5,150 @@
 use std::collections::VecDeque;
 
 use fdip_mem::{
-    Cache, CacheGeometry, DemandOutcome, FillFlags, HierarchyConfig, MemoryHierarchy, MissKind,
-    MshrFile, PrefetchOutcome, ReplacementPolicy,
+    Cache, CacheGeometry, DemandOutcome, EvictedLine, FillFlags, HierarchyConfig, HitInfo,
+    MemoryHierarchy, MissKind, MshrFile, PrefetchOutcome, ReplacementPolicy,
 };
 use fdip_types::{Addr, Cycle};
 use proptest::prelude::*;
+
+/// Differential oracle for [`Cache`]: the pre-flat-storage representation
+/// — one `Vec` of lines per set, recency-ordered MRU-first — written for
+/// obviousness, not speed. Lines carry their way index explicitly and a
+/// per-set free-way list stands in for the flat version's packed
+/// order/occupied bookkeeping, so the two implementations claim and evict
+/// the *same ways in the same order* under every policy (the xorshift
+/// stream is shared verbatim). Any divergence in hit results, eviction
+/// reports, or occupancy is a bug in one of them.
+struct NestedVecCache {
+    geometry: CacheGeometry,
+    policy: ReplacementPolicy,
+    /// MRU-first (LRU) / newest-first (FIFO) lines per set.
+    sets: Vec<Vec<NestedLine>>,
+    /// Free way indices per set; claimed from the front, and invalidated
+    /// ways return to the front (mirrors the flat free-region order).
+    free: Vec<Vec<usize>>,
+    rng_state: u64,
+}
+
+#[derive(Copy, Clone)]
+struct NestedLine {
+    tag: u64,
+    way: usize,
+    prefetched: bool,
+    referenced: bool,
+    nlp_tagged: bool,
+}
+
+impl NestedVecCache {
+    fn new(geometry: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        NestedVecCache {
+            geometry,
+            policy,
+            sets: vec![Vec::new(); geometry.sets],
+            free: (0..geometry.sets)
+                .map(|_| (0..geometry.ways).collect())
+                .collect(),
+            rng_state: 0x243f_6a88_85a3_08d3,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    fn access(&mut self, addr: Addr) -> Option<HitInfo> {
+        let set = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        let pos = self.sets[set].iter().position(|l| l.tag == tag)?;
+        let line = &mut self.sets[set][pos];
+        let info = HitInfo {
+            was_prefetched: line.prefetched,
+            first_reference: !line.referenced,
+            nlp_tagged: line.nlp_tagged,
+        };
+        line.referenced = true;
+        line.nlp_tagged = false;
+        if self.policy == ReplacementPolicy::Lru {
+            let line = self.sets[set].remove(pos);
+            self.sets[set].insert(0, line);
+        }
+        Some(info)
+    }
+
+    fn probe(&self, addr: Addr) -> bool {
+        let set = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        self.sets[set].iter().any(|l| l.tag == tag)
+    }
+
+    fn draw_way(&mut self, ways: usize) -> usize {
+        let mask = (ways as u64).next_power_of_two() - 1;
+        loop {
+            self.rng_state ^= self.rng_state << 13;
+            self.rng_state ^= self.rng_state >> 7;
+            self.rng_state ^= self.rng_state << 17;
+            let r = self.rng_state & mask;
+            if (r as usize) < ways {
+                return r as usize;
+            }
+        }
+    }
+
+    fn fill(&mut self, addr: Addr, flags: FillFlags) -> Option<EvictedLine> {
+        let set = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        if let Some(pos) = self.sets[set].iter().position(|l| l.tag == tag) {
+            self.sets[set][pos].nlp_tagged |= flags.nlp_tagged;
+            return None;
+        }
+        let mut new_line = NestedLine {
+            tag,
+            way: 0,
+            prefetched: flags.prefetched,
+            referenced: false,
+            nlp_tagged: flags.nlp_tagged,
+        };
+        if !self.free[set].is_empty() {
+            new_line.way = self.free[set].remove(0);
+            self.sets[set].insert(0, new_line);
+            return None;
+        }
+        let victim = match self.policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                // Tail of the recency order; its way hosts the new line,
+                // which becomes MRU.
+                let victim = self.sets[set].pop().unwrap();
+                new_line.way = victim.way;
+                self.sets[set].insert(0, new_line);
+                victim
+            }
+            ReplacementPolicy::Random => {
+                // A drawn way is replaced in place: the new line inherits
+                // the victim's recency position.
+                let way = self.draw_way(self.geometry.ways);
+                let pos = self.sets[set].iter().position(|l| l.way == way).unwrap();
+                new_line.way = way;
+                std::mem::replace(&mut self.sets[set][pos], new_line)
+            }
+        };
+        Some(EvictedLine {
+            addr: self.geometry.block_addr(set, victim.tag),
+            prefetched_unreferenced: victim.prefetched && !victim.referenced,
+        })
+    }
+
+    fn invalidate(&mut self, addr: Addr) -> Option<EvictedLine> {
+        let set = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        let pos = self.sets[set].iter().position(|l| l.tag == tag)?;
+        let line = self.sets[set].remove(pos);
+        self.free[set].insert(0, line.way);
+        Some(EvictedLine {
+            addr,
+            prefetched_unreferenced: line.prefetched && !line.referenced,
+        })
+    }
+}
 
 /// Reference LRU cache model: per-set deque of tags, MRU at the front.
 struct CacheModel {
@@ -63,6 +202,34 @@ fn cache_op() -> impl Strategy<Value = CacheOp> {
     ]
 }
 
+/// Ops for the differential suite: adds probes, prefetch-flagged fills,
+/// and invalidations over a small address space so sets stay contended.
+#[derive(Clone, Debug)]
+enum DiffOp {
+    Access(u64),
+    Probe(u64),
+    Fill(u64, bool, bool),
+    Invalidate(u64),
+}
+
+fn diff_op() -> impl Strategy<Value = DiffOp> {
+    let block = 0u64..64;
+    prop_oneof![
+        block.clone().prop_map(DiffOp::Access),
+        block.clone().prop_map(DiffOp::Probe),
+        (block.clone(), any::<bool>(), any::<bool>()).prop_map(|(b, p, t)| DiffOp::Fill(b, p, t)),
+        block.prop_map(DiffOp::Invalidate),
+    ]
+}
+
+fn policy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop_oneof![
+        Just(ReplacementPolicy::Lru),
+        Just(ReplacementPolicy::Fifo),
+        Just(ReplacementPolicy::Random),
+    ]
+}
+
 proptest! {
     #[test]
     fn lru_cache_matches_reference_model(ops in prop::collection::vec(cache_op(), 0..300)) {
@@ -82,6 +249,41 @@ proptest! {
                 }
             }
             prop_assert!(cache.len() <= geometry.blocks());
+        }
+    }
+
+    #[test]
+    fn flat_cache_matches_nested_vec_oracle(
+        pol in policy(),
+        ways in 1usize..=4,
+        ops in prop::collection::vec(diff_op(), 0..400),
+    ) {
+        // 4 sets × up-to-4 ways over a 64-block space keeps every set hot;
+        // ways = 3 exercises the Random rejection draw.
+        let geometry = CacheGeometry::new(4, ways, 64);
+        let mut flat = Cache::new(geometry, pol);
+        let mut oracle = NestedVecCache::new(geometry, pol);
+        for op in ops {
+            match op {
+                DiffOp::Access(b) => {
+                    let addr = Addr::new(b * 64);
+                    prop_assert_eq!(flat.access(addr), oracle.access(addr));
+                }
+                DiffOp::Probe(b) => {
+                    let addr = Addr::new(b * 64);
+                    prop_assert_eq!(flat.probe(addr), oracle.probe(addr));
+                }
+                DiffOp::Fill(b, prefetched, nlp_tagged) => {
+                    let addr = Addr::new(b * 64);
+                    let flags = FillFlags { prefetched, nlp_tagged };
+                    prop_assert_eq!(flat.fill(addr, flags), oracle.fill(addr, flags));
+                }
+                DiffOp::Invalidate(b) => {
+                    let addr = Addr::new(b * 64);
+                    prop_assert_eq!(flat.invalidate(addr), oracle.invalidate(addr));
+                }
+            }
+            prop_assert_eq!(flat.len(), oracle.len());
         }
     }
 

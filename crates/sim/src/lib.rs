@@ -43,4 +43,4 @@ pub mod workload;
 
 mod scale;
 
-pub use scale::Scale;
+pub use scale::{Scale, ScaleArgError};

@@ -36,19 +36,52 @@ impl Scale {
     }
 
     /// Parses `--quick` / `--medium` / `--full` style argv, defaulting to
-    /// full (benchmark binaries use this).
-    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
+    /// full (benchmark binaries use this). The first scale flag wins, as
+    /// before, but every argument is still inspected: an unrecognized
+    /// `--*` flag is an error rather than a silent fall-through to the
+    /// 2M-instruction full-scale default. Non-flag (positional) arguments
+    /// are ignored; callers with their own flag vocabulary must strip it
+    /// before delegating here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScaleArgError`] naming the offending flag and listing the
+    /// accepted ones.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Scale, ScaleArgError> {
+        let mut chosen: Option<Scale> = None;
         for arg in args {
             match arg.as_str() {
-                "--quick" => return Scale::quick(),
-                "--medium" => return Scale::medium(),
-                "--full" => return Scale::full(),
+                "--quick" => chosen = chosen.or(Some(Scale::quick())),
+                "--medium" => chosen = chosen.or(Some(Scale::medium())),
+                "--full" => chosen = chosen.or(Some(Scale::full())),
+                flag if flag.starts_with("--") => {
+                    return Err(ScaleArgError { flag: arg });
+                }
                 _ => {}
             }
         }
-        Scale::full()
+        Ok(chosen.unwrap_or_else(Scale::full))
     }
 }
+
+/// An unrecognized `--*` flag passed to [`Scale::from_args`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScaleArgError {
+    /// The flag as given on the command line.
+    pub flag: String,
+}
+
+impl std::fmt::Display for ScaleArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecognized flag {:?} (accepted scale flags: --quick, --medium, --full)",
+            self.flag
+        )
+    }
+}
+
+impl std::error::Error for ScaleArgError {}
 
 #[cfg(test)]
 mod tests {
@@ -63,10 +96,28 @@ mod tests {
     #[test]
     fn from_args_parses() {
         let q = Scale::from_args(["--quick".to_string()]);
-        assert_eq!(q, Scale::quick());
+        assert_eq!(q, Ok(Scale::quick()));
         let f = Scale::from_args(["whatever".to_string()]);
-        assert_eq!(f, Scale::full());
+        assert_eq!(f, Ok(Scale::full()));
         let m = Scale::from_args(["x".to_string(), "--medium".to_string()]);
-        assert_eq!(m, Scale::medium());
+        assert_eq!(m, Ok(Scale::medium()));
+        // First scale flag wins, as in the pre-Result parser.
+        let first = Scale::from_args(["--quick".to_string(), "--full".to_string()]);
+        assert_eq!(first, Ok(Scale::quick()));
+    }
+
+    #[test]
+    fn from_args_rejects_unknown_flags() {
+        // The motivating typo: `--qiuck` must not silently run full-scale.
+        let err = Scale::from_args(["--qiuck".to_string()]).unwrap_err();
+        assert_eq!(err.flag, "--qiuck");
+        let msg = err.to_string();
+        assert!(msg.contains("--qiuck"), "{msg}");
+        for accepted in ["--quick", "--medium", "--full"] {
+            assert!(msg.contains(accepted), "{msg} should list {accepted}");
+        }
+        // A valid flag does not excuse a bogus one elsewhere in argv.
+        let err = Scale::from_args(["--quick".to_string(), "--bogus".to_string()]).unwrap_err();
+        assert_eq!(err.flag, "--bogus");
     }
 }

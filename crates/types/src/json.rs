@@ -566,6 +566,10 @@ macro_rules! json_fields {
 /// [`json_fields!`]. Evaluates to `Option<T>`; any missing or mistyped
 /// field yields `None`.
 ///
+/// A trailing `..` fills every *unlisted* field from `Default` — for
+/// struct fields that are deliberately kept out of the persisted schema
+/// (in-memory diagnostics) while old documents stay parseable.
+///
 /// ```
 /// use fdip_types::{from_json_fields, FromJson, Json};
 ///
@@ -579,9 +583,28 @@ macro_rules! json_fields {
 /// let doc = Json::parse(r#"{"hits":3,"misses":1}"#).unwrap();
 /// assert_eq!(Counters::from_json(&doc), Some(Counters { hits: 3, misses: 1 }));
 /// assert_eq!(Counters::from_json(&Json::parse(r#"{"hits":3}"#).unwrap()), None);
+///
+/// #[derive(Default, PartialEq, Debug)]
+/// struct WithScratch { hits: u64, scratch: u64 }
+/// impl FromJson for WithScratch {
+///     fn from_json(v: &Json) -> Option<WithScratch> {
+///         from_json_fields!(v, WithScratch { hits, .. })
+///     }
+/// }
+/// let doc = Json::parse(r#"{"hits":3}"#).unwrap();
+/// assert_eq!(WithScratch::from_json(&doc), Some(WithScratch { hits: 3, scratch: 0 }));
 /// ```
 #[macro_export]
 macro_rules! from_json_fields {
+    ($value:expr, $ty:ident { $($field:ident),+ , .. }) => {{
+        let value: &$crate::Json = $value;
+        (|| {
+            Some($ty {
+                $($field: $crate::FromJson::from_json(value.get(stringify!($field))?)?,)+
+                ..<$ty as ::core::default::Default>::default()
+            })
+        })()
+    }};
     ($value:expr, $ty:ident { $($field:ident),+ $(,)? }) => {{
         let value: &$crate::Json = $value;
         (|| {

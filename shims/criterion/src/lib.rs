@@ -79,36 +79,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Calibrates, measures, and reports one benchmark.
-    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher {
-            iters: 1,
-            elapsed: Duration::ZERO,
-        };
-
-        // Calibrate: grow the iteration count until one sample takes
-        // roughly TARGET_SAMPLE_NANOS.
-        loop {
-            bencher.elapsed = Duration::ZERO;
-            f(&mut bencher);
-            let nanos = bencher.elapsed.as_nanos().max(1);
-            if nanos >= TARGET_SAMPLE_NANOS / 2 || bencher.iters >= (1 << 30) {
-                break;
-            }
-            let scale = (TARGET_SAMPLE_NANOS / nanos).clamp(2, 1024);
-            bencher.iters = bencher.iters.saturating_mul(scale as u64);
-        }
-
-        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
-        for _ in 0..self.sample_size {
-            bencher.elapsed = Duration::ZERO;
-            f(&mut bencher);
-            samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
-        }
-        samples.sort_by(|a, b| a.total_cmp(b));
-        let median = samples[samples.len() / 2];
+        let measurement = measure(self.sample_size, f);
+        let median = measurement.median_nanos;
 
         print!("  {id:<28} {:>12}/iter", format_nanos(median));
         match self.throughput {
@@ -128,6 +104,71 @@ impl BenchmarkGroup<'_> {
 
     /// Ends the group (separator only; nothing buffered).
     pub fn finish(&mut self) {}
+}
+
+/// Result of one calibrated measurement, for callers that want numbers
+/// back instead of (or in addition to) the printed report.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Median per-iteration wall time in nanoseconds.
+    pub median_nanos: f64,
+    /// Iterations per sample chosen by calibration.
+    pub iters_per_sample: u64,
+    /// Number of measured samples.
+    pub samples: usize,
+}
+
+impl Measurement {
+    /// Elements per second for a workload of `elements` per iteration.
+    pub fn rate(&self, elements: u64) -> f64 {
+        if self.median_nanos > 0.0 {
+            elements as f64 * 1e9 / self.median_nanos
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Calibrates `f` to roughly [`TARGET_SAMPLE_NANOS`] per sample, then
+/// times `sample_size` samples and returns the median per-iteration time.
+/// This is the engine behind [`BenchmarkGroup::bench_function`], exposed
+/// so benchmark *binaries* (which persist results rather than print them)
+/// can share the methodology.
+pub fn measure<F>(sample_size: usize, mut f: F) -> Measurement
+where
+    F: FnMut(&mut Bencher),
+{
+    let sample_size = sample_size.max(2);
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    // Calibrate: grow the iteration count until one sample takes
+    // roughly TARGET_SAMPLE_NANOS.
+    loop {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        let nanos = bencher.elapsed.as_nanos().max(1);
+        if nanos >= TARGET_SAMPLE_NANOS / 2 || bencher.iters >= (1 << 30) {
+            break;
+        }
+        let scale = (TARGET_SAMPLE_NANOS / nanos).clamp(2, 1024);
+        bencher.iters = bencher.iters.saturating_mul(scale as u64);
+    }
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    Measurement {
+        median_nanos: samples[samples.len() / 2],
+        iters_per_sample: bencher.iters,
+        samples: sample_size,
+    }
 }
 
 /// Timing handle handed to the closure under test.
@@ -214,6 +255,21 @@ mod tests {
     #[test]
     fn harness_runs_and_times() {
         selftest();
+    }
+
+    #[test]
+    fn measure_returns_positive_median_and_rate() {
+        let m = measure(3, |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        assert!(m.median_nanos > 0.0);
+        assert!(m.iters_per_sample >= 1);
+        assert_eq!(m.samples, 3);
+        assert!(m.rate(1000) > 0.0);
+        let zero = Measurement {
+            median_nanos: 0.0,
+            iters_per_sample: 1,
+            samples: 2,
+        };
+        assert_eq!(zero.rate(1000), 0.0);
     }
 
     #[test]
