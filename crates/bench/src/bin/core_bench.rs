@@ -268,7 +268,8 @@ fn main() {
         label,
         scale_entry(trace.len(), samples, &results),
     );
-    std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_core.json");
+    fdip_sim::persist::write_atomic_str(&path, &doc.to_string_pretty())
+        .expect("write BENCH_core.json");
     eprintln!("[core_bench] wrote {}", path.display());
 
     match verdict {

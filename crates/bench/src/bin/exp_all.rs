@@ -1,8 +1,10 @@
 //! Runs the whole experiment catalogue in order, printing every table and
 //! figure and persisting CSV + JSON under `results/`. Accepts `--quick` /
 //! `--medium` / `--full`, a `--faults SPEC` fault-injection plan (also read
-//! from `$FDIP_FAULTS`), and `--journal PATH` to override the default cell
-//! journal at `results/journal.jsonl`.
+//! from `$FDIP_FAULTS`), `--journal PATH` to override the default cell
+//! journal at `results/journal.jsonl`, and `--isolate[=N]` to run every
+//! cell in supervised worker processes (a crash or hang costs one worker
+//! and one FAILED row, never the run).
 //!
 //! All experiments share the process-wide harness, so each suite trace is
 //! generated once and each distinct (workload, config, trace length) cell
@@ -49,13 +51,38 @@ fn strip_valued_flag(args: &[String], flag: &str) -> Vec<String> {
 }
 
 fn main() {
+    // Supervisor-spawned worker processes (FDIP_WORKER=1) exit here.
+    fdip_sim::worker::maybe_worker_entry();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale_args = strip_valued_flag(&strip_valued_flag(&args, "--faults"), "--journal");
+    let mut isolate: Option<usize> = None;
+    let mut scale_args = Vec::with_capacity(args.len());
+    for a in strip_valued_flag(&strip_valued_flag(&args, "--faults"), "--journal") {
+        if a == "--isolate" {
+            isolate = Some(fdip_sim::supervisor::default_worker_count());
+        } else if let Some(n) = a.strip_prefix("--isolate=") {
+            isolate = match n.parse::<usize>() {
+                Ok(w) if w > 0 => Some(w),
+                _ => {
+                    eprintln!("bad --isolate={n:?} (want a positive worker count)");
+                    std::process::exit(2);
+                }
+            };
+        } else {
+            scale_args.push(a);
+        }
+    }
     let scale = fdip_sim::Scale::from_args(scale_args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
     let harness = Harness::global();
+    if let Some(workers) = isolate {
+        let supervisor = harness.enable_isolation(fdip_sim::supervisor::SupervisorConfig {
+            workers,
+            ..fdip_sim::supervisor::SupervisorConfig::default()
+        });
+        eprintln!("isolation: {} worker process(es)", supervisor.workers());
+    }
 
     let plan = match flag_value(&args, "--faults") {
         Some(spec) => Some(FaultPlan::parse(&spec).unwrap_or_else(|e| {
@@ -68,6 +95,13 @@ fn main() {
         }),
     };
     if let Some(plan) = &plan {
+        if plan.requires_isolation() && isolate.is_none() {
+            eprintln!(
+                "fault plan injects abort/hang/bigalloc faults, which take the whole \
+                 process down; rerun with --isolate[=N] to contain them in worker processes"
+            );
+            std::process::exit(2);
+        }
         eprintln!(
             "fault plan: {} site(s), seed {}",
             plan.site_count(),
@@ -84,10 +118,11 @@ fn main() {
     }
     match harness.attach_journal(&journal_path) {
         Ok(summary) => eprintln!(
-            "journal {}: restored {} cell(s), skipped {} line(s)",
+            "journal {}: restored {} cell(s), skipped {} line(s), {} corrupt",
             journal_path.display(),
             summary.restored,
-            summary.skipped
+            summary.skipped,
+            summary.corrupt
         ),
         Err(e) => eprintln!(
             "warning: journal {} unavailable ({e}); running without resume",
@@ -121,6 +156,12 @@ fn main() {
         stats.cell_timeouts,
         stats.cells_failed,
     );
+    if harness.isolation_enabled() {
+        eprintln!(
+            "isolation: {} worker restart(s), {} kill(s), {} crash-loop pause(s)",
+            stats.worker_restarts, stats.worker_kills, stats.worker_crash_loops,
+        );
+    }
     eprintln!("total {:.1}s", start.elapsed().as_secs_f64());
 
     harness.detach_journal();

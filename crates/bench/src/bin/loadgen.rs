@@ -318,7 +318,8 @@ fn main() {
     let dir = fdip_bench::results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join("BENCH_serve.json");
-    std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_serve.json");
+    fdip_sim::persist::write_atomic_str(&path, &doc.to_string_pretty())
+        .expect("write BENCH_serve.json");
     eprintln!("[loadgen] wrote {}", path.display());
 
     if check {

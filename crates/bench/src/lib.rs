@@ -13,6 +13,7 @@ use std::path::PathBuf;
 
 use fdip_sim::experiments::{self, Experiment, ExperimentResult};
 use fdip_sim::harness::Harness;
+use fdip_sim::persist::write_atomic_str;
 use fdip_sim::Scale;
 
 /// Runs experiment `id` at the argv-selected scale, prints the result, and
@@ -46,6 +47,10 @@ pub fn run_and_print(id: &str) {
 /// `results/<id>.txt`, a markdown render as `results/<id>.md`, and the
 /// versioned machine-readable document as `results/<id>.json`.
 ///
+/// Every file goes through [`fdip_sim::persist::write_atomic`]'s
+/// temp + fsync + rename path, so a crash (or `kill -9`) mid-persist
+/// leaves each document whole-or-absent, never torn.
+///
 /// # Errors
 ///
 /// Propagates filesystem errors.
@@ -55,15 +60,15 @@ pub fn persist(exp: &dyn Experiment, result: &ExperimentResult) -> std::io::Resu
     fs::create_dir_all(&dir)?;
     let mut markdown = String::new();
     for (k, table) in result.tables.iter().enumerate() {
-        fs::write(dir.join(format!("{id}_{k}.csv")), table.to_csv())?;
+        write_atomic_str(&dir.join(format!("{id}_{k}.csv")), &table.to_csv())?;
         markdown.push_str(&table.to_markdown());
         markdown.push('\n');
     }
-    fs::write(dir.join(format!("{id}.txt")), result.to_text())?;
-    fs::write(dir.join(format!("{id}.md")), markdown)?;
-    fs::write(
-        dir.join(format!("{id}.json")),
-        result.to_json(id, exp.title()).to_string_pretty(),
+    write_atomic_str(&dir.join(format!("{id}.txt")), &result.to_text())?;
+    write_atomic_str(&dir.join(format!("{id}.md")), &markdown)?;
+    write_atomic_str(
+        &dir.join(format!("{id}.json")),
+        &result.to_json(id, exp.title()).to_string_pretty(),
     )?;
     Ok(())
 }

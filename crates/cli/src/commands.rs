@@ -51,21 +51,27 @@ commands:
   tables   [EXPERIMENT]                          print the BTB storage tables (Tables I & II),
                                                  or any experiment from the registry by id
                                                  (e.g. e01, x4) at quick scale
-  exp      [ID|all] [--quick|--medium|--full] [--faults SPEC] [--journal FILE]
-           [--max-attempts N] [--cell-budget-ms N]
+  exp      [ID|all] [--quick|--medium|--full] [--isolate[=N]] [--faults SPEC]
+           [--journal FILE] [--max-attempts N] [--cell-budget-ms N]
                                                  run one experiment (or the whole
                                                  catalogue) under the fault-tolerant
-                                                 harness: --faults injects deterministic
+                                                 harness: --isolate runs cells in N
+                                                 supervised worker processes (crashes
+                                                 and hangs cost one worker, not the
+                                                 run), --faults injects deterministic
                                                  failures (kind@workload/config[:arg],
-                                                 kinds panic|transient|trace|slow; also
-                                                 read from $FDIP_FAULTS), --journal
+                                                 kinds panic|transient|trace|slow, plus
+                                                 abort|hang|bigalloc under --isolate;
+                                                 also read from $FDIP_FAULTS), --journal
                                                  records finished cells so a killed run
                                                  resumes without re-simulating them
   serve    [--addr HOST:PORT] [--threads N] [--queue-depth N] [--timeout-ms N]
-           [--results-dir DIR] [--max-trace-len N] [--max-configs N]
+           [--results-dir DIR] [--max-trace-len N] [--max-configs N] [--isolate N]
                                                  run the HTTP simulation service
                                                  (healthz, metrics, v1/run, v1/compare,
-                                                 v1/experiments/{id})
+                                                 v1/experiments/{id}); --isolate keeps
+                                                 crashing cells in worker processes
+                                                 (structured 502, server stays up)
   help                                           print this usage text
 
 trace format is inferred from the file extension: `.txt` is text,
@@ -87,6 +93,14 @@ pub fn dispatch(argv: &[String]) -> CliResult {
     // the `--key value` parser would misread; it strips them itself.
     if command == "exp" {
         return cmd_exp(rest);
+    }
+    // Hidden: the supervisor self-execs `fdip worker` (with FDIP_WORKER=1
+    // set) to get a disposable single-cell worker. Normally the env check
+    // in main() catches it first; this arm covers a manual invocation. It
+    // is not listed in COMMANDS because it speaks the framed IPC protocol
+    // on stdin/stdout, not the CLI.
+    if command == "worker" {
+        std::process::exit(fdip_sim::worker::worker_main());
     }
     let args = Args::parse(rest)?;
     match command.as_str() {
@@ -360,19 +374,39 @@ fn cmd_exp(raw: &[String]) -> CliResult {
     use fdip_sim::experiments;
     use fdip_sim::fault::{FaultPlan, RetryPolicy};
     use fdip_sim::harness::Harness;
+    use fdip_sim::supervisor::{self, SupervisorConfig};
     use fdip_sim::Scale;
     use std::time::Duration;
 
     // `exp` has its own flag vocabulary (--journal, --faults, …), so only
     // the scale flags are delegated; typos are still caught below by
-    // `args.reject_unknown()`.
+    // `args.reject_unknown()`. `--isolate[=N]` is likewise valueless (or
+    // `=`-joined), which the `--key value` parser would misread, so it is
+    // stripped here too.
+    let mut isolate: Option<usize> = None;
+    let mut scale_and_rest: Vec<String> = Vec::with_capacity(raw.len());
+    for a in raw {
+        if a == "--isolate" {
+            isolate = Some(supervisor::default_worker_count());
+        } else if let Some(n) = a.strip_prefix("--isolate=") {
+            let workers = n
+                .parse::<usize>()
+                .ok()
+                .filter(|&w| w > 0)
+                .ok_or_else(|| format!("bad --isolate={n:?} (want a positive worker count)"))?;
+            isolate = Some(workers);
+        } else {
+            scale_and_rest.push(a.clone());
+        }
+    }
     let scale = Scale::from_args(
-        raw.iter()
+        scale_and_rest
+            .iter()
             .filter(|a| matches!(a.as_str(), "--quick" | "--medium" | "--full"))
             .cloned(),
     )
     .expect("scale flags were pre-filtered");
-    let rest: Vec<String> = raw
+    let rest: Vec<String> = scale_and_rest
         .iter()
         .filter(|a| !matches!(a.as_str(), "--quick" | "--medium" | "--full"))
         .cloned()
@@ -414,7 +448,29 @@ fn cmd_exp(raw: &[String]) -> CliResult {
         cell_budget: (budget_ms > 0).then(|| Duration::from_millis(budget_ms)),
         ..defaults
     });
+    if let Some(workers) = isolate {
+        let supervisor = harness.enable_isolation(SupervisorConfig {
+            workers,
+            ..SupervisorConfig::default()
+        });
+        eprintln!(
+            "isolation: {} worker process(es), cell budget {}",
+            supervisor.workers(),
+            if budget_ms > 0 {
+                format!("{budget_ms}ms (hard SIGKILL)")
+            } else {
+                "unbounded".to_string()
+            },
+        );
+    }
     if let Some(plan) = &plan {
+        if plan.requires_isolation() && isolate.is_none() {
+            return Err(
+                "fault plan injects abort/hang/bigalloc faults, which take the whole \
+                 process down; rerun with --isolate[=N] to contain them in worker processes"
+                    .into(),
+            );
+        }
         eprintln!(
             "fault plan: {} site(s), seed {}",
             plan.site_count(),
@@ -427,8 +483,8 @@ fn cmd_exp(raw: &[String]) -> CliResult {
             .attach_journal(path)
             .map_err(|e| format!("journal {}: {e}", path.display()))?;
         eprintln!(
-            "journal: restored {} cell(s), skipped {} line(s)",
-            summary.restored, summary.skipped
+            "journal: restored {} cell(s), skipped {} line(s), {} corrupt",
+            summary.restored, summary.skipped, summary.corrupt
         );
     }
 
@@ -454,6 +510,12 @@ fn cmd_exp(raw: &[String]) -> CliResult {
         stats.cell_timeouts,
         stats.cells_failed,
     );
+    if harness.isolation_enabled() {
+        eprintln!(
+            "isolation: {} worker restart(s), {} kill(s), {} crash-loop pause(s)",
+            stats.worker_restarts, stats.worker_kills, stats.worker_crash_loops,
+        );
+    }
     eprintln!("total {:.1}s", start.elapsed().as_secs_f64());
     if stats.cells_failed > 0 {
         eprintln!(
@@ -482,6 +544,11 @@ fn cmd_serve(args: &Args) -> CliResult {
             "an instruction count",
         )?,
         max_configs: args.get_or("max-configs", defaults.max_configs, "a config count")?,
+        isolate_workers: args.get_or(
+            "isolate",
+            defaults.isolate_workers,
+            "a worker-process count (0 = in-process)",
+        )?,
     };
     args.expect_positional(0, "serve takes no positional arguments")?;
     args.reject_unknown()?;
@@ -490,6 +557,13 @@ fn cmd_serve(args: &Args) -> CliResult {
     // matching cells fail into structured 502s instead of panicking a
     // worker (see DESIGN.md §6.5).
     if let Some(plan) = fdip_sim::fault::FaultPlan::from_env()? {
+        if plan.requires_isolation() && config.isolate_workers == 0 {
+            return Err(
+                "$FDIP_FAULTS injects abort/hang/bigalloc faults, which take the whole \
+                 server down; rerun with --isolate N to contain them in worker processes"
+                    .into(),
+            );
+        }
         eprintln!(
             "fault plan (from $FDIP_FAULTS): {} site(s), seed {}",
             plan.site_count(),
@@ -511,6 +585,12 @@ fn cmd_serve(args: &Args) -> CliResult {
         config.queue_depth,
         config.timeout_ms,
     );
+    if config.isolate_workers > 0 {
+        println!(
+            "  isolation: {} worker process(es); crashing cells return 502, the server stays up",
+            config.isolate_workers,
+        );
+    }
     println!("  endpoints: /healthz /metrics /v1/run /v1/compare /v1/experiments/{{id}}");
     println!("  stop with ctrl-c or SIGTERM (drains in-flight work)");
     server.run()?;

@@ -79,6 +79,11 @@ pub struct ServeConfig {
     pub max_trace_len: usize,
     /// Most configs accepted by one `/v1/compare` request.
     pub max_configs: usize,
+    /// Worker processes for isolated cell execution (`--isolate N`);
+    /// 0 runs cells in-process as before. With isolation on, a cell that
+    /// aborts or hangs costs one worker process and returns a structured
+    /// 502 — the server and its other connections stay up.
+    pub isolate_workers: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +96,7 @@ impl Default for ServeConfig {
             results_dir: PathBuf::from("results"),
             max_trace_len: 2_000_000,
             max_configs: 16,
+            isolate_workers: 0,
         }
     }
 }

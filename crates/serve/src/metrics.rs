@@ -221,6 +221,26 @@ impl Metrics {
                 "Cells preloaded from an attached journal instead of simulated.",
                 harness.journal_restored,
             ),
+            (
+                "fdip_serve_harness_journal_corrupt_lines_total",
+                "Journal lines that failed CRC32 verification on replay.",
+                harness.journal_corrupt_lines,
+            ),
+            (
+                "fdip_serve_worker_restarts_total",
+                "Isolated worker processes respawned into a used pool slot.",
+                harness.worker_restarts,
+            ),
+            (
+                "fdip_serve_worker_kills_total",
+                "Isolated worker processes SIGKILLed (budget or lost heartbeat).",
+                harness.worker_kills,
+            ),
+            (
+                "fdip_serve_worker_crash_loops_total",
+                "Crash-loop backoff pauses before respawning a worker.",
+                harness.worker_crash_loops,
+            ),
         ] {
             counter(&mut out, name, help, value);
         }
@@ -254,6 +274,10 @@ mod tests {
             cell_retries: 4,
             cell_timeouts: 1,
             journal_restored: 3,
+            journal_corrupt_lines: 6,
+            worker_restarts: 8,
+            worker_kills: 9,
+            worker_crash_loops: 10,
             ..HarnessStats::default()
         };
         let text = m.render(2, 64, &harness);
@@ -273,6 +297,10 @@ mod tests {
         assert!(text.contains("fdip_serve_harness_cell_retries_total 4"));
         assert!(text.contains("fdip_serve_harness_cell_timeouts_total 1"));
         assert!(text.contains("fdip_serve_harness_journal_restored_total 3"));
+        assert!(text.contains("fdip_serve_harness_journal_corrupt_lines_total 6"));
+        assert!(text.contains("fdip_serve_worker_restarts_total 8"));
+        assert!(text.contains("fdip_serve_worker_kills_total 9"));
+        assert!(text.contains("fdip_serve_worker_crash_loops_total 10"));
         assert!(text.contains("fdip_serve_requests_total{status=\"502\"} 0"));
         // Histogram buckets are cumulative: the 3ms observation lands in
         // le=0.005 and every later bucket includes it.

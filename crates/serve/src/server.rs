@@ -71,6 +71,22 @@ impl Server {
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        if config.isolate_workers > 0 {
+            // Route cell computes through supervised worker processes: a
+            // cell that aborts or hangs costs one disposable worker and a
+            // structured 502, never this process. The request timeout
+            // doubles as the hard per-cell budget, enforced with SIGKILL.
+            fdip_sim::harness::Harness::global().set_retry_policy(fdip_sim::fault::RetryPolicy {
+                cell_budget: Some(std::time::Duration::from_millis(config.timeout_ms)),
+                ..fdip_sim::fault::RetryPolicy::default()
+            });
+            fdip_sim::harness::Harness::global().enable_isolation(
+                fdip_sim::supervisor::SupervisorConfig {
+                    workers: config.isolate_workers,
+                    ..fdip_sim::supervisor::SupervisorConfig::default()
+                },
+            );
+        }
         let threads = if config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())

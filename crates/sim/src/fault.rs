@@ -55,6 +55,19 @@ pub enum CellError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// The worker *process* computing the cell died — abort, stack
+    /// overflow, OOM kill, or an unresponsive worker the supervisor had
+    /// to SIGKILL. Only produced under `--isolate`; in-process execution
+    /// cannot survive these to report them.
+    Crashed {
+        /// The signal that terminated the worker (`Some(6)` for SIGABRT,
+        /// `Some(9)` for SIGKILL, …), when it died to one.
+        signal: Option<i32>,
+        /// The worker's exit code, when it exited on its own.
+        code: Option<i32>,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl CellError {
@@ -65,14 +78,20 @@ impl CellError {
             CellError::Panic { .. } => "panic",
             CellError::Timeout { .. } => "timeout",
             CellError::Transient { .. } => "transient",
+            CellError::Crashed { .. } => "crashed",
         }
     }
 
-    /// Whether the harness retries this failure class. Panics and
-    /// transient errors may be one-off; timeouts and missing cells are
-    /// structural and retrying them only burns the budget again.
+    /// Whether the harness retries this failure class. Panics, transient
+    /// errors, and worker crashes may be one-off (a crash can be an OOM
+    /// kill under momentary pressure, or collateral from a recycled
+    /// worker); timeouts and missing cells are structural and retrying
+    /// them only burns the budget again.
     pub fn retryable(&self) -> bool {
-        matches!(self, CellError::Panic { .. } | CellError::Transient { .. })
+        matches!(
+            self,
+            CellError::Panic { .. } | CellError::Transient { .. } | CellError::Crashed { .. }
+        )
     }
 }
 
@@ -91,6 +110,28 @@ impl std::fmt::Display for CellError {
             CellError::Transient { message, attempts } => {
                 write!(f, "failed after {attempts} attempt(s): {message}")
             }
+            CellError::Crashed {
+                signal,
+                code,
+                attempts,
+            } => match (signal, code) {
+                (Some(sig), _) => {
+                    write!(
+                        f,
+                        "worker killed by signal {sig} after {attempts} attempt(s)"
+                    )
+                }
+                (None, Some(code)) => {
+                    write!(
+                        f,
+                        "worker exited with code {code} after {attempts} attempt(s)"
+                    )
+                }
+                (None, None) => write!(
+                    f,
+                    "worker stopped responding and was killed after {attempts} attempt(s)"
+                ),
+            },
         }
     }
 }
@@ -111,6 +152,19 @@ impl ToJson for CellError {
             }
             CellError::Timeout { budget_ms } => {
                 pairs.push(("budget_ms", Json::uint(*budget_ms)));
+            }
+            CellError::Crashed {
+                signal,
+                code,
+                attempts,
+            } => {
+                if let Some(sig) = signal {
+                    pairs.push(("signal", Json::uint(u64::from(sig.unsigned_abs()))));
+                }
+                if let Some(code) = code {
+                    pairs.push(("code", Json::uint(u64::from(code.unsigned_abs()))));
+                }
+                pairs.push(("attempts", Json::uint(u64::from(*attempts))));
             }
         }
         Json::obj(pairs)
@@ -187,6 +241,30 @@ pub enum FaultAction {
     TraceDecode,
     /// Sleep this long before simulating (exercises the watchdog).
     Slow(Duration),
+    /// `std::process::abort()` in the worker process — uncatchable by
+    /// `catch_unwind`, so only meaningful under `--isolate`.
+    Abort,
+    /// Busy-loop forever without ever polling the `CancelToken` — the
+    /// runaway cell cooperative cancellation cannot preempt. Only the
+    /// supervisor's hard wall-clock SIGKILL ends it.
+    Hang,
+    /// Attempt an allocation larger than the address space, driving the
+    /// allocator into `handle_alloc_error` → abort (a deterministic
+    /// stand-in for an OOM kill). Isolation-only.
+    BigAlloc,
+}
+
+impl FaultAction {
+    /// Whether this action can only be contained by process isolation.
+    /// The in-process harness refuses plans carrying these (they would
+    /// take the whole run down), and the CLI rejects them without
+    /// `--isolate`.
+    pub fn requires_isolation(&self) -> bool {
+        matches!(
+            self,
+            FaultAction::Abort | FaultAction::Hang | FaultAction::BigAlloc
+        )
+    }
 }
 
 /// What kind of fault a site injects, and how many times.
@@ -200,6 +278,21 @@ enum FaultKind {
     TraceDecode { times: u32 },
     /// Sleep `ms` before simulating, every attempt.
     Slow { ms: u64 },
+    /// Abort the worker process; `times: None` aborts every attempt.
+    Abort { times: Option<u32> },
+    /// Spin forever (never polls cancellation), every attempt.
+    Hang,
+    /// Abort via an impossible allocation; `times: None` = every attempt.
+    BigAlloc { times: Option<u32> },
+}
+
+impl FaultKind {
+    fn requires_isolation(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::Abort { .. } | FaultKind::Hang | FaultKind::BigAlloc { .. }
+        )
+    }
 }
 
 /// One coordinate-addressed injection site.
@@ -231,8 +324,16 @@ impl FaultSite {
 ///        | 'transient@' W '/' C [':' TIMES] default 1
 ///        | 'trace@' W '/' C [':' TIMES]     default 1
 ///        | 'slow@' W '/' C ':' MILLIS
+///        | 'abort@' W '/' C [':' TIMES]     isolation-only; default every
+///        | 'hang@' W '/' C                  isolation-only
+///        | 'bigalloc@' W '/' C [':' TIMES]  isolation-only; default every
 /// W, C  := workload name / config label, or '*'
 /// ```
+///
+/// The `abort`/`hang`/`bigalloc` kinds crash or wedge the *process*
+/// computing the cell, so they are accepted only when cells execute in
+/// supervised worker processes (`--isolate`); see
+/// [`requires_isolation`](Self::requires_isolation).
 ///
 /// `panic@server-1/fdip,transient@client-1/base:2,slow@*/nlp:500` panics
 /// the `(server-1, fdip)` cell permanently, fails `(client-1, base)`
@@ -299,9 +400,22 @@ impl FaultPlan {
                         .parse()
                         .map_err(|_| format!("bad slow millis in {item:?}"))?,
                 },
+                "abort" => FaultKind::Abort {
+                    times: parse_times("abort")?,
+                },
+                "hang" => {
+                    if arg.is_some() {
+                        return Err(format!("hang fault {item:?} takes no ':ARG'"));
+                    }
+                    FaultKind::Hang
+                }
+                "bigalloc" => FaultKind::BigAlloc {
+                    times: parse_times("bigalloc")?,
+                },
                 other => {
                     return Err(format!(
-                        "unknown fault kind {other:?} (panic|transient|trace|slow)"
+                        "unknown fault kind {other:?} \
+                         (panic|transient|trace|slow|abort|hang|bigalloc)"
                     ))
                 }
             };
@@ -342,6 +456,12 @@ impl FaultPlan {
         self.sites.len()
     }
 
+    /// Whether any site injects a process-lethal fault (`abort`, `hang`,
+    /// `bigalloc`) that only supervised worker isolation can contain.
+    pub fn requires_isolation(&self) -> bool {
+        self.sites.iter().any(|s| s.kind.requires_isolation())
+    }
+
     /// Arms the next fault for one compute attempt at
     /// `(workload, config)`, consuming a shot from the first matching site
     /// that still has any. At most one action fires per attempt.
@@ -359,6 +479,9 @@ impl FaultPlan {
                 FaultKind::Transient { times } => (Some(*times), FaultAction::Transient),
                 FaultKind::TraceDecode { times } => (Some(*times), FaultAction::TraceDecode),
                 FaultKind::Slow { ms } => (None, FaultAction::Slow(Duration::from_millis(*ms))),
+                FaultKind::Abort { times } => (*times, FaultAction::Abort),
+                FaultKind::Hang => (None, FaultAction::Hang),
+                FaultKind::BigAlloc { times } => (*times, FaultAction::BigAlloc),
             };
             if limit.is_some_and(|n| fired[i] >= n) {
                 continue;
@@ -466,6 +589,59 @@ mod tests {
         };
         assert!(!m.retryable());
         assert!(m.to_string().contains("missing cell (w, c)"));
+    }
+
+    #[test]
+    fn isolation_only_kinds_parse_and_are_flagged() {
+        let plan = FaultPlan::parse("abort@w/c,hang@*/c,bigalloc@w/*:2").unwrap();
+        assert_eq!(plan.site_count(), 3);
+        assert!(plan.requires_isolation());
+        assert_eq!(plan.fire("w", "c"), Some(FaultAction::Abort));
+        assert_eq!(plan.fire("x", "c"), Some(FaultAction::Hang));
+        assert_eq!(plan.fire("w", "z"), Some(FaultAction::BigAlloc));
+        assert_eq!(plan.fire("w", "z"), Some(FaultAction::BigAlloc));
+        assert_eq!(plan.fire("w", "z"), None);
+        for action in [FaultAction::Abort, FaultAction::Hang, FaultAction::BigAlloc] {
+            assert!(action.requires_isolation(), "{action:?}");
+        }
+        assert!(!FaultAction::Panic.requires_isolation());
+
+        let tame = FaultPlan::parse("panic@w/c,slow@w/c:5").unwrap();
+        assert!(!tame.requires_isolation());
+
+        assert!(FaultPlan::parse("hang@w/c:3").is_err());
+        assert!(FaultPlan::parse("abort@w/c:soon").is_err());
+    }
+
+    #[test]
+    fn crashed_error_display_kind_and_json() {
+        let sig = CellError::Crashed {
+            signal: Some(9),
+            code: None,
+            attempts: 1,
+        };
+        assert_eq!(sig.kind(), "crashed");
+        assert!(sig.retryable());
+        assert!(sig.to_string().contains("signal 9"), "{sig}");
+        let json = sig.to_json().to_string();
+        assert!(json.contains(r#""kind":"crashed""#), "{json}");
+        assert!(json.contains(r#""signal":9"#), "{json}");
+        assert!(!json.contains(r#""code""#), "{json}");
+
+        let exited = CellError::Crashed {
+            signal: None,
+            code: Some(2),
+            attempts: 3,
+        };
+        assert!(exited.to_string().contains("code 2"), "{exited}");
+        assert!(exited.to_json().to_string().contains(r#""code":2"#));
+
+        let lost = CellError::Crashed {
+            signal: None,
+            code: None,
+            attempts: 1,
+        };
+        assert!(lost.to_string().contains("stopped responding"), "{lost}");
     }
 
     #[test]

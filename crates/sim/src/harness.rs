@@ -75,15 +75,17 @@ use fdip::{CancelToken, Cancelled, FrontendConfig, SimStats, Simulator};
 use fdip_trace::{Trace, TraceStats};
 
 use crate::fault::{fnv1a, splitmix64, CellError, FaultAction, FaultPlan, RetryPolicy};
+use crate::ipc::WorkerFault;
 use crate::journal::{self, Journal, JournalEntry, JournalSummary};
 use crate::runner::RunResult;
+use crate::supervisor::{Supervisor, SupervisorConfig};
 use crate::workload::WorkloadSpec;
 
 /// Locks a mutex, recovering from poisoning. Every shared structure in
 /// the harness holds plain finished values (or a state flag that the
 /// owner restores outside the panicking region), so a guard abandoned by
 /// a panic cannot leave torn data behind — recovery is always sound here.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -129,6 +131,17 @@ pub struct HarnessStats {
     pub cell_timeouts: u64,
     /// Cells preloaded from an attached journal instead of simulated.
     pub journal_restored: u64,
+    /// Journal lines whose CRC32 frame failed verification (bit rot).
+    pub journal_corrupt_lines: u64,
+    /// Worker processes respawned into a previously used pool slot
+    /// (isolated mode only; see [`crate::supervisor`]).
+    pub worker_restarts: u64,
+    /// Worker processes SIGKILLed by the supervisor (budget preemption or
+    /// lost heartbeat; isolated mode only).
+    pub worker_kills: u64,
+    /// Crash-loop backoff pauses taken before respawning a worker
+    /// (isolated mode only).
+    pub worker_crash_loops: u64,
 }
 
 impl HarnessStats {
@@ -152,6 +165,10 @@ impl fdip_types::ToJson for HarnessStats {
             cell_retries,
             cell_timeouts,
             journal_restored,
+            journal_corrupt_lines,
+            worker_restarts,
+            worker_kills,
+            worker_crash_loops,
         )
     }
 }
@@ -202,6 +219,8 @@ pub struct Harness {
     faults: Mutex<Option<Arc<FaultPlan>>>,
     retry: Mutex<RetryPolicy>,
     journal: Mutex<Option<Arc<Journal>>>,
+    /// When set, cell attempts run in supervised worker processes.
+    isolation: Mutex<Option<Arc<Supervisor>>>,
     traces_generated: AtomicU64,
     trace_hits: AtomicU64,
     traces_shared: AtomicU64,
@@ -212,6 +231,7 @@ pub struct Harness {
     cell_retries: AtomicU64,
     cell_timeouts: AtomicU64,
     journal_restored: AtomicU64,
+    journal_corrupt_lines: AtomicU64,
 }
 
 impl Harness {
@@ -239,8 +259,13 @@ impl Harness {
         GLOBAL.get_or_init(Harness::new)
     }
 
-    /// Current cache and fault counters.
+    /// Current cache and fault counters (worker counters folded in from
+    /// the supervisor when isolation is enabled).
     pub fn stats(&self) -> HarnessStats {
+        let supervisor = lock(&self.isolation)
+            .as_deref()
+            .map(Supervisor::stats)
+            .unwrap_or_default();
         HarnessStats {
             traces_generated: self.traces_generated.load(Ordering::Relaxed),
             trace_hits: self.trace_hits.load(Ordering::Relaxed),
@@ -252,7 +277,28 @@ impl Harness {
             cell_retries: self.cell_retries.load(Ordering::Relaxed),
             cell_timeouts: self.cell_timeouts.load(Ordering::Relaxed),
             journal_restored: self.journal_restored.load(Ordering::Relaxed),
+            journal_corrupt_lines: self.journal_corrupt_lines.load(Ordering::Relaxed),
+            worker_restarts: supervisor.worker_restarts,
+            worker_kills: supervisor.worker_kills,
+            worker_crash_loops: supervisor.worker_crash_loops,
         }
+    }
+
+    /// Routes all subsequent cell computes through a supervised pool of
+    /// worker processes (see [`crate::supervisor`]): panics, aborts, and
+    /// runaway loops cost one worker, not this process, and the per-cell
+    /// budget becomes a hard SIGKILL deadline instead of a cooperative
+    /// cancellation. Caching, retries, journaling, and result ordering
+    /// are unchanged.
+    pub fn enable_isolation(&self, config: SupervisorConfig) -> Arc<Supervisor> {
+        let supervisor = Arc::new(Supervisor::new(config));
+        *lock(&self.isolation) = Some(Arc::clone(&supervisor));
+        supervisor
+    }
+
+    /// Whether cell computes are currently process-isolated.
+    pub fn isolation_enabled(&self) -> bool {
+        lock(&self.isolation).is_some()
     }
 
     /// Installs (or clears) a deterministic fault-injection plan. Fires
@@ -283,11 +329,11 @@ impl Harness {
     /// Propagates filesystem errors from reading or opening the journal;
     /// *corrupt contents* are skipped, not errors.
     pub fn attach_journal(&self, path: &Path) -> io::Result<JournalSummary> {
-        let (entries, skipped) = journal::read_entries(path)?;
+        let replay = journal::read_entries(path)?;
         let mut restored = 0usize;
         {
             let mut cells = lock(&self.cells);
-            for entry in entries {
+            for entry in replay.entries {
                 let slot = cells
                     .entry((entry.workload, entry.trace_len, entry.config))
                     .or_default()
@@ -301,8 +347,14 @@ impl Harness {
         }
         self.journal_restored
             .fetch_add(restored as u64, Ordering::Relaxed);
+        self.journal_corrupt_lines
+            .fetch_add(replay.corrupt as u64, Ordering::Relaxed);
         *lock(&self.journal) = Some(Arc::new(Journal::open_append(path)?));
-        Ok(JournalSummary { restored, skipped })
+        Ok(JournalSummary {
+            restored,
+            skipped: replay.skipped,
+            corrupt: replay.corrupt,
+        })
     }
 
     /// Detaches the journal; subsequent completions are no longer
@@ -448,6 +500,7 @@ impl Harness {
     ) -> Result<(Arc<TraceEntry>, Arc<SimStats>), CellError> {
         let retry = self.retry_policy();
         let plan = lock(&self.faults).clone();
+        let isolation = lock(&self.isolation).clone();
         let seed = plan.as_ref().map_or(0, |p| p.seed());
         let jitter_key =
             splitmix64(fnv1a(&spec.name) ^ fnv1a(fingerprint) ^ (trace_len as u64) ^ seed);
@@ -461,22 +514,38 @@ impl Harness {
                 self.cell_retries.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(retry.backoff_before(attempt, jitter_key));
             }
-            let token = match retry.cell_budget {
-                Some(budget) => CancelToken::with_deadline(budget),
-                None => CancelToken::new(),
-            };
-            let outcome = quiet_catch_unwind(AssertUnwindSafe(|| {
-                self.attempt_cell(
+            let outcome = if let Some(supervisor) = isolation.as_deref() {
+                // Isolated attempts cannot panic here: the panic (or
+                // worse) happens in the worker process and comes back as
+                // a typed error.
+                Ok(self.attempt_cell_isolated(
+                    supervisor,
                     spec,
                     trace_len,
                     label,
                     config,
                     plan.as_deref(),
                     &retry,
-                    &token,
                     attempt,
-                )
-            }));
+                ))
+            } else {
+                let token = match retry.cell_budget {
+                    Some(budget) => CancelToken::with_deadline(budget),
+                    None => CancelToken::new(),
+                };
+                quiet_catch_unwind(AssertUnwindSafe(|| {
+                    self.attempt_cell(
+                        spec,
+                        trace_len,
+                        label,
+                        config,
+                        plan.as_deref(),
+                        &retry,
+                        &token,
+                        attempt,
+                    )
+                }))
+            };
             match outcome {
                 Ok(Ok(pair)) => return Ok(pair),
                 Ok(Err(err)) => error = err,
@@ -531,6 +600,18 @@ impl Harness {
                     attempts: attempt,
                 });
             }
+            // Crash-class faults would take this whole process down; the
+            // CLI gates them behind --isolate, and this backstop keeps a
+            // plan smuggled in some other way visible instead of silent.
+            Some(action) if action.requires_isolation() => {
+                return Err(CellError::Transient {
+                    message: format!(
+                        "injected fault at ({}, {label}) requires process isolation (--isolate)",
+                        spec.name
+                    ),
+                    attempts: attempt,
+                });
+            }
             _ => {}
         }
         let entry = self.trace(spec, trace_len);
@@ -544,6 +625,61 @@ impl Harness {
             Ok(stats) => Ok((entry, Arc::new(stats))),
             Err(Cancelled) => Err(CellError::Timeout { budget_ms }),
         }
+    }
+
+    /// One attempt at a cell in a supervised worker process: injected
+    /// faults are either realized supervisor-side (the purely logical
+    /// `transient`/`trace` kinds) or shipped to the worker to happen
+    /// inside the disposable process (`panic`/`slow`/`abort`/`hang`/
+    /// `bigalloc`). The wall-clock budget is enforced by the supervisor
+    /// with SIGKILL, so even a cell that never polls anything stops.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_cell_isolated(
+        &self,
+        supervisor: &Supervisor,
+        spec: &WorkloadSpec,
+        trace_len: usize,
+        label: &str,
+        config: &FrontendConfig,
+        plan: Option<&FaultPlan>,
+        retry: &RetryPolicy,
+        attempt: u32,
+    ) -> Result<(Arc<TraceEntry>, Arc<SimStats>), CellError> {
+        let budget_ms = retry
+            .cell_budget
+            .map_or(0, |b| u64::try_from(b.as_millis()).unwrap_or(u64::MAX));
+        let action = plan.and_then(|p| p.fire(&spec.name, label));
+        let fault = match action {
+            Some(FaultAction::TraceDecode) => {
+                return Err(CellError::Transient {
+                    message: format!("injected fault: trace decode failed for {}", spec.name),
+                    attempts: attempt,
+                });
+            }
+            Some(FaultAction::Transient) => {
+                return Err(CellError::Transient {
+                    message: format!(
+                        "injected fault: transient failure at ({}, {label})",
+                        spec.name
+                    ),
+                    attempts: attempt,
+                });
+            }
+            Some(FaultAction::Panic) => Some(WorkerFault::Panic),
+            Some(FaultAction::Slow(delay)) => Some(WorkerFault::Slow(
+                u64::try_from(delay.as_millis()).unwrap_or(u64::MAX),
+            )),
+            Some(FaultAction::Abort) => Some(WorkerFault::Abort),
+            Some(FaultAction::Hang) => Some(WorkerFault::Hang),
+            Some(FaultAction::BigAlloc) => Some(WorkerFault::BigAlloc),
+            None => None,
+        };
+        let stats = supervisor.run_cell(spec, trace_len, budget_ms, fault, config, attempt)?;
+        // The worker generated its own copy; this one serves the
+        // RunResult's trace characterization and is usually a store hit
+        // thanks to run_matrix's pregeneration barrier.
+        let entry = self.trace(spec, trace_len);
+        Ok((entry, Arc::new(stats)))
     }
 
     /// Evaluates `configs` × `workloads` over traces of `trace_len`.
@@ -569,9 +705,14 @@ impl Harness {
         let threads = self
             .threads
             .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(4)
+                // Under isolation, one dispatching thread per pool slot
+                // saturates the workers; more would only queue on the pool.
+                match lock(&self.isolation).as_deref() {
+                    Some(supervisor) => supervisor.workers(),
+                    None => std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(4),
+                }
             })
             .min(total.max(1));
 
@@ -680,7 +821,7 @@ fn quiet_catch_unwind<R>(body: AssertUnwindSafe<impl FnOnce() -> R>) -> std::thr
 }
 
 /// Extracts a human-readable message from a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -14,6 +14,15 @@
 //! and anything malformed — torn tail, corrupt JSON, foreign schema — is
 //! counted, warned about, and skipped. A corrupt journal can cost
 //! re-simulation; it can never poison results or abort a resume.
+//!
+//! Truncation is not the only way storage lies. Every appended line is
+//! framed with a [CRC32](crc32) of its payload (`xxxxxxxx {json}`), so
+//! *bit rot* — a flipped byte that still parses as JSON — is detected
+//! too: a line whose checksum does not match is counted separately
+//! ([`JournalReplay::corrupt`], surfaced as the harness's
+//! `journal_corrupt_lines` stat) and skipped. Unframed lines written by
+//! pre-CRC versions of this module are still accepted, so old journals
+//! resume fine; they just lack rot detection.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Write};
@@ -30,6 +39,51 @@ pub const JOURNAL_SCHEMA_VERSION: u64 = 1;
 /// Upper bound on one journal line. A real entry is a few KiB; anything
 /// larger is corruption and is skipped without ever being buffered.
 pub const MAX_LINE_BYTES: usize = 256 * 1024;
+
+/// The CRC32 lookup table (IEEE 802.3 reflected polynomial `0xEDB88320`),
+/// built at compile time — the workspace is std-only, so the checksum is
+/// hand-rolled rather than pulled from a crate.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Standard CRC32 (the IEEE one `cksum`/zlib/PNG use) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Splits a CRC-framed journal line (`xxxxxxxx payload`) into its parts.
+/// Returns `None` for unframed (legacy) lines.
+fn split_crc_frame(line: &str) -> Option<(u32, &str)> {
+    let (prefix, payload) = (line.get(..8)?, line.get(9..)?);
+    if line.as_bytes().get(8) != Some(&b' ') {
+        return None;
+    }
+    let crc = u32::from_str_radix(prefix, 16).ok()?;
+    Some((crc, payload))
+}
 
 /// One completed cell, as recorded in (and replayed from) the journal.
 ///
@@ -82,6 +136,19 @@ pub struct JournalSummary {
     pub restored: usize,
     /// Malformed / torn / foreign-schema lines skipped (with a warning).
     pub skipped: usize,
+    /// Lines whose CRC32 frame did not verify (bit rot), also skipped.
+    pub corrupt: usize,
+}
+
+/// What [`read_entries`] found in a journal file.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// The valid entries, in file order.
+    pub entries: Vec<JournalEntry>,
+    /// Malformed / torn / oversize / foreign-schema lines skipped.
+    pub skipped: usize,
+    /// Lines that failed their CRC32 check (bit rot), skipped.
+    pub corrupt: usize,
 }
 
 /// An open journal being appended to. One line per completed cell,
@@ -111,19 +178,22 @@ impl Journal {
         &self.path
     }
 
-    /// Appends one entry as a single flushed JSONL line.
+    /// Appends one entry as a single flushed, CRC32-framed JSONL line
+    /// (`xxxxxxxx {json}\n`). Framing and newline go out in one write, so
+    /// a kill can tear at most the line being written — never interleave
+    /// two entries.
     ///
     /// # Errors
     ///
     /// Propagates the underlying filesystem error.
     pub fn append(&self, entry: &JournalEntry) -> io::Result<()> {
-        let line = entry.to_json().to_string();
+        let payload = entry.to_json().to_string();
+        let line = format!("{:08x} {payload}\n", crc32(payload.as_bytes()));
         let mut file = self
             .file
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         file.write_all(line.as_bytes())?;
-        file.write_all(b"\n")?;
         file.flush()
     }
 }
@@ -168,27 +238,26 @@ fn next_line(reader: &mut impl BufRead, line: &mut Vec<u8>) -> io::Result<Option
 }
 
 /// Replays a journal, returning the valid entries in file order plus the
-/// count of skipped lines. A missing file is an empty journal, not an
-/// error. See the module docs for the hardening rules.
+/// counts of skipped and CRC-corrupt lines. A missing file is an empty
+/// journal, not an error. See the module docs for the hardening rules.
 ///
 /// # Errors
 ///
 /// Only on real I/O failure while reading; corruption is never an error.
-pub fn read_entries(path: &Path) -> io::Result<(Vec<JournalEntry>, usize)> {
+pub fn read_entries(path: &Path) -> io::Result<JournalReplay> {
     let file = match File::open(path) {
         Ok(file) => file,
-        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(JournalReplay::default()),
         Err(err) => return Err(err),
     };
     let mut reader = BufReader::new(file);
     let mut line = Vec::new();
-    let mut entries = Vec::new();
-    let mut skipped = 0usize;
+    let mut replay = JournalReplay::default();
     let mut lineno = 0usize;
     while let Some(fits) = next_line(&mut reader, &mut line)? {
         lineno += 1;
         if !fits {
-            skipped += 1;
+            replay.skipped += 1;
             eprintln!(
                 "warning: {}:{lineno}: oversize or torn journal line skipped",
                 path.display()
@@ -196,7 +265,7 @@ pub fn read_entries(path: &Path) -> io::Result<(Vec<JournalEntry>, usize)> {
             continue;
         }
         let Ok(text) = std::str::from_utf8(&line) else {
-            skipped += 1;
+            replay.skipped += 1;
             eprintln!(
                 "warning: {}:{lineno}: non-UTF-8 journal line skipped",
                 path.display()
@@ -206,10 +275,27 @@ pub fn read_entries(path: &Path) -> io::Result<(Vec<JournalEntry>, usize)> {
         if text.trim().is_empty() {
             continue;
         }
-        match JournalEntry::parse(text) {
-            Some(entry) => entries.push(entry),
+        // CRC-framed line: verify before parsing. Unframed lines (legacy
+        // journals) go straight to the parser.
+        let payload = match split_crc_frame(text) {
+            Some((expected, payload)) => {
+                if crc32(payload.as_bytes()) != expected {
+                    replay.corrupt += 1;
+                    eprintln!(
+                        "warning: {}:{lineno}: journal line failed its CRC32 check \
+                         (bit rot); skipped",
+                        path.display()
+                    );
+                    continue;
+                }
+                payload
+            }
+            None => text,
+        };
+        match JournalEntry::parse(payload) {
+            Some(entry) => replay.entries.push(entry),
             None => {
-                skipped += 1;
+                replay.skipped += 1;
                 eprintln!(
                     "warning: {}:{lineno}: malformed journal line skipped",
                     path.display()
@@ -217,7 +303,7 @@ pub fn read_entries(path: &Path) -> io::Result<(Vec<JournalEntry>, usize)> {
             }
         }
     }
-    Ok((entries, skipped))
+    Ok(replay)
 }
 
 #[cfg(test)]
@@ -253,44 +339,103 @@ mod tests {
         let journal = Journal::open_append(&path).unwrap();
         journal.append(&sample("w1")).unwrap();
         journal.append(&sample("w2")).unwrap();
-        let (entries, skipped) = read_entries(&path).unwrap();
-        assert_eq!(skipped, 0);
-        assert_eq!(entries, vec![sample("w1"), sample("w2")]);
+        let replay = read_entries(&path).unwrap();
+        assert_eq!(replay.skipped, 0);
+        assert_eq!(replay.corrupt, 0);
+        assert_eq!(replay.entries, vec![sample("w1"), sample("w2")]);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn missing_file_is_an_empty_journal() {
-        let (entries, skipped) = read_entries(&temp_path("missing")).unwrap();
-        assert!(entries.is_empty());
-        assert_eq!(skipped, 0);
+        let replay = read_entries(&temp_path("missing")).unwrap();
+        assert!(replay.entries.is_empty());
+        assert_eq!(replay.skipped, 0);
+        assert_eq!(replay.corrupt, 0);
+    }
+
+    #[test]
+    fn crc32_known_answers() {
+        // The standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn bit_rot_is_detected_and_counted() {
+        let path = temp_path("bitrot");
+        let journal = Journal::open_append(&path).unwrap();
+        journal.append(&sample("w1")).unwrap();
+        journal.append(&sample("w2")).unwrap();
+        drop(journal);
+        // Flip one byte inside the second line's payload. The damaged
+        // line still parses as JSON (a digit changed), but the CRC frame
+        // catches it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        let digit = bytes
+            .iter()
+            .enumerate()
+            .skip(first_nl + 10)
+            .find(|(_, b)| b.is_ascii_digit())
+            .map(|(i, _)| i)
+            .unwrap();
+        bytes[digit] = if bytes[digit] == b'9' { b'8' } else { b'9' };
+        std::fs::write(&path, bytes).unwrap();
+        let replay = read_entries(&path).unwrap();
+        assert_eq!(replay.entries, vec![sample("w1")]);
+        assert_eq!(replay.corrupt, 1);
+        assert_eq!(replay.skipped, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_unframed_lines_still_resume() {
+        let path = temp_path("legacy");
+        // A journal written before CRC framing: bare JSON lines.
+        let contents = format!("{}\n{}\n", sample("w1").to_json(), sample("w2").to_json());
+        std::fs::write(&path, contents).unwrap();
+        let replay = read_entries(&path).unwrap();
+        assert_eq!(replay.entries, vec![sample("w1"), sample("w2")]);
+        assert_eq!(replay.skipped, 0);
+        assert_eq!(replay.corrupt, 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn torn_tail_is_skipped_but_earlier_lines_survive() {
         let path = temp_path("torn");
-        let good = sample("w1").to_json().to_string();
+        let journal = Journal::open_append(&path).unwrap();
+        journal.append(&sample("w1")).unwrap();
+        journal.append(&sample("w2")).unwrap();
+        drop(journal);
         // A killed process tears the last line mid-write: no trailing
-        // newline, truncated JSON.
-        let torn = &good[..good.len() / 2];
-        std::fs::write(&path, format!("{good}\n{torn}")).unwrap();
-        let (entries, skipped) = read_entries(&path).unwrap();
-        assert_eq!(entries, vec![sample("w1")]);
-        assert_eq!(skipped, 1);
+        // newline, truncated payload.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - bytes.len() / 3]).unwrap();
+        let replay = read_entries(&path).unwrap();
+        assert_eq!(replay.entries, vec![sample("w1")]);
+        assert_eq!(replay.skipped, 1);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn every_truncation_point_recovers_cleanly() {
         // Mirrors the trace reader's malformed-input sweep: a journal cut
-        // at any byte never errors and never yields a bogus entry.
+        // at any byte never errors and never yields a bogus entry. Runs
+        // over the CRC-framed format the writer actually produces.
         let path = temp_path("truncate");
-        let full = format!("{}\n{}\n", sample("w1").to_json(), sample("w2").to_json());
+        let journal = Journal::open_append(&path).unwrap();
+        journal.append(&sample("w1")).unwrap();
+        journal.append(&sample("w2")).unwrap();
+        drop(journal);
+        let full = std::fs::read(&path).unwrap();
         for cut in 0..full.len() {
-            std::fs::write(&path, &full.as_bytes()[..cut]).unwrap();
-            let (entries, _) = read_entries(&path).unwrap();
-            assert!(entries.len() <= 2);
-            for e in &entries {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let replay = read_entries(&path).unwrap();
+            assert!(replay.entries.len() <= 2);
+            for e in &replay.entries {
                 assert!(e == &sample("w1") || e == &sample("w2"), "cut at {cut}");
             }
         }
@@ -304,11 +449,12 @@ mod tests {
         let foreign = good.replace(r#""schema_version":1"#, r#""schema_version":99"#);
         let contents = format!("not json at all\n{{\"schema_version\":1}}\n{foreign}\n\n{good}\n");
         std::fs::write(&path, contents).unwrap();
-        let (entries, skipped) = read_entries(&path).unwrap();
-        assert_eq!(entries, vec![sample("w1")]);
+        let replay = read_entries(&path).unwrap();
+        assert_eq!(replay.entries, vec![sample("w1")]);
         // Garbage, field-less, and foreign-schema lines; the blank line is
         // tolerated silently.
-        assert_eq!(skipped, 3);
+        assert_eq!(replay.skipped, 3);
+        assert_eq!(replay.corrupt, 0);
         std::fs::remove_file(&path).ok();
     }
 
@@ -324,9 +470,9 @@ mod tests {
         contents.extend_from_slice(good.as_bytes());
         contents.push(b'\n');
         std::fs::write(&path, contents).unwrap();
-        let (entries, skipped) = read_entries(&path).unwrap();
-        assert_eq!(entries.len(), 2);
-        assert_eq!(skipped, 1);
+        let replay = read_entries(&path).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        assert_eq!(replay.skipped, 1);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -9,8 +9,14 @@
 //!   scheduler with panic isolation and retry (see [`fault`]);
 //! * [`fault`] — the cell error taxonomy, retry policy, and deterministic
 //!   fault injection ([`fault::FaultPlan`]);
-//! * [`journal`] — the crash-tolerant completed-cell journal behind
-//!   `exp_all --journal` resume;
+//! * [`journal`] — the crash-tolerant, CRC-framed completed-cell journal
+//!   behind `exp_all --journal` resume;
+//! * [`persist`] — atomic (write-to-temp + fsync + rename) result
+//!   persistence, so killed runs never leave torn files;
+//! * [`supervisor`] / [`worker`] / [`ipc`] — process-isolated cell
+//!   execution: a supervised pool of self-exec'd worker processes with
+//!   heartbeats, hard SIGKILL preemption, and typed crash classification
+//!   (`--isolate`);
 //! * [`runner`] — result types ([`runner::RunResult`]) and numeric
 //!   helpers over harness output;
 //! * [`report`] — plain-text tables, CSV emission, and ASCII series plots;
@@ -36,9 +42,13 @@
 pub mod experiments;
 pub mod fault;
 pub mod harness;
+pub mod ipc;
 pub mod journal;
+pub mod persist;
 pub mod report;
 pub mod runner;
+pub mod supervisor;
+pub mod worker;
 pub mod workload;
 
 mod scale;

@@ -1,0 +1,147 @@
+//! Crash-proof file persistence: write-to-temp, fsync, atomic rename.
+//!
+//! Every results document the harness side of the repo writes —
+//! `results/*.json`, CSV tables, text reports, bench baselines — must be
+//! *whole or absent*: a `SIGKILL` (or power loss) mid-write may cost the
+//! file, but it must never leave a torn half-document that a later reader
+//! (CI's `--check` comparisons, `/v1/experiments/{id}`) trusts.
+//! [`write_atomic`] provides that guarantee the standard POSIX way:
+//!
+//! 1. write the full contents to a fresh temp file *in the same
+//!    directory* (rename is only atomic within a filesystem);
+//! 2. `sync_all` the temp file, so the data is durable before it becomes
+//!    visible under the real name;
+//! 3. `rename` over the destination — atomic replacement on every
+//!    platform the workspace targets.
+//!
+//! The temp name embeds the pid and a process-wide counter, so concurrent
+//! writers (the bench binaries persist from multiple threads) never
+//! collide, and a leftover temp file from a killed run is inert garbage
+//! that the next successful write of the same document does not trip
+//! over.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Writes `contents` to `path` atomically: the destination either keeps
+/// its old contents (or stays absent) or holds the complete new contents,
+/// never a prefix. See the module docs for the mechanism.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error; on failure the temp file
+/// is removed and the destination is untouched.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    let base = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}.{}",
+        base.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(contents)?;
+        // Durable before visible: without the fsync, a crash right after
+        // the rename could expose a name pointing at unwritten blocks.
+        file.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// String-convenience wrapper over [`write_atomic`].
+///
+/// # Errors
+///
+/// As [`write_atomic`].
+pub fn write_atomic_str(path: &Path, contents: &str) -> io::Result<()> {
+    write_atomic(path, contents.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicUsize;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "fdip-persist-{}-{tag}-{n}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let path = temp_path("replace");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = std::env::temp_dir().join(format!("fdip-persist-dir-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        write_atomic(&dir.join("doc.json"), b"{}").unwrap();
+        let names: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["doc.json"], "{names:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear() {
+        let path = temp_path("concurrent");
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let path = path.clone();
+                s.spawn(move || {
+                    let doc = format!("{{\"writer\":{i}}}").repeat(200);
+                    write_atomic(&path, doc.as_bytes()).unwrap();
+                });
+            }
+        });
+        // Whatever writer won, the file is one complete document.
+        let contents = fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.len(), "{\"writer\":0}".len() * 200);
+        let first = &contents[..12];
+        assert!(contents
+            .as_bytes()
+            .chunks(12)
+            .all(|c| c == first.as_bytes()));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_destination_is_an_error_not_a_panic() {
+        assert!(write_atomic(Path::new("/"), b"x").is_err());
+        assert!(write_atomic(
+            &std::env::temp_dir()
+                .join("fdip-persist-no-such-dir")
+                .join("doc.json"),
+            b"x"
+        )
+        .is_err());
+    }
+}

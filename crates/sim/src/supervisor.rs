@@ -1,0 +1,581 @@
+//! The supervisor side of process-isolated cell execution: a pool of
+//! worker *processes*, hard preemption, and typed crash classification.
+//!
+//! PR 3's in-process fault tolerance has a hard floor: `catch_unwind`
+//! cannot contain `std::process::abort`, a stack overflow, or an OOM
+//! kill, and the cooperative [`CancelToken`](fdip::CancelToken) cannot
+//! preempt a cell that never polls it. The supervisor buys true
+//! containment the way every production training/inference stack does —
+//! by putting each cell in a disposable child process:
+//!
+//! * **pool** — N slots, each holding at most one live worker (the
+//!   current binary self-exec'd with [`crate::worker::WORKER_ENV`] set),
+//!   spawned lazily and recycled after `recycle_after` cells;
+//! * **heartbeats** — a busy worker proves liveness every ~100 ms; going
+//!   silent for `heartbeat_timeout` means *wedged, not slow* → SIGKILL;
+//! * **hard budgets** — a cell's wall-clock budget is enforced with
+//!   SIGKILL, so `hang`/runaway cells die at the deadline even though
+//!   they never poll anything;
+//! * **classification** — every way a worker can die maps onto a typed
+//!   [`CellError`]: the exit status's signal/code becomes
+//!   [`CellError::Crashed`], a budget kill becomes
+//!   [`CellError::Timeout`], an in-worker panic comes back as
+//!   [`CellError::Panic`] (the worker survives those);
+//! * **crash-loop detection** — consecutive crashes on a slot past
+//!   `crash_loop_threshold` insert a deterministic, exponentially growing
+//!   pause before the next respawn, so a poisoned machine degrades into
+//!   slow retries instead of a fork bomb.
+//!
+//! The harness routes cell attempts here when isolation is enabled
+//! ([`crate::harness::Harness::enable_isolation`]); scheduling, caching,
+//! retry policy, journaling, and result ordering all stay in the
+//! harness, so isolated runs keep the deterministic, thread-count-
+//! invariant output the seed tests pin.
+
+use std::io;
+use std::process::{Child, ChildStdin, Command, ExitStatus, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use fdip::{FrontendConfig, SimStats};
+
+use crate::fault::CellError;
+use crate::harness::lock;
+use crate::ipc::{read_frame, write_frame, RunRequest, WorkerFault, WorkerReply};
+use crate::workload::WorkloadSpec;
+
+/// Pool sizing and liveness policy for a [`Supervisor`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Worker processes in the pool.
+    pub workers: usize,
+    /// Cells a worker runs before it is retired and respawned fresh
+    /// (bounds the blast radius of slow leaks in long sweeps).
+    pub recycle_after: u64,
+    /// Silence longer than this from a busy worker means it is wedged,
+    /// not slow, and gets SIGKILLed.
+    pub heartbeat_timeout: Duration,
+    /// Consecutive crashes on one slot before respawns start backing off.
+    pub crash_loop_threshold: u32,
+    /// Base pause once a slot is crash-looping; doubles per further crash
+    /// (capped), deterministically — no randomness, so drills reproduce.
+    pub crash_backoff: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            workers: default_worker_count(),
+            recycle_after: 64,
+            heartbeat_timeout: Duration::from_secs(5),
+            crash_loop_threshold: 3,
+            crash_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Default pool size for `--isolate` with no explicit count: the
+/// machine's parallelism, capped at 4 — workers duplicate trace storage,
+/// so the cap keeps memory bounded on wide machines.
+pub fn default_worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(1, 4)
+}
+
+/// Counters the supervisor accumulates; folded into
+/// [`HarnessStats`](crate::harness::HarnessStats) and exported by
+/// `fdip-serve` `/metrics`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Workers respawned into a slot that had run a worker before
+    /// (crash replacement or post-recycle respawn).
+    pub worker_restarts: u64,
+    /// Workers SIGKILLed by the supervisor (budget preemption, lost
+    /// heartbeat, or a recycle that would not exit gracefully).
+    pub worker_kills: u64,
+    /// Times a crash-looping slot forced a backoff pause before respawn.
+    pub worker_crash_loops: u64,
+}
+
+/// What the stdout reader thread forwards to the dispatching thread.
+enum ReaderEvent {
+    /// A decoded protocol frame.
+    Reply(WorkerReply),
+    /// Clean EOF: the worker exited (or was killed).
+    Eof,
+    /// The stream broke mid-frame — treated like a crash. The error is
+    /// kept for debugging; classification uses the exit status instead.
+    Failed(#[allow(dead_code)] io::Error),
+}
+
+/// A live worker process attached to a pool slot.
+struct LiveWorker {
+    child: Child,
+    stdin: ChildStdin,
+    events: Receiver<ReaderEvent>,
+}
+
+/// One pool slot's bookkeeping; the mutex serializes the slot, not the
+/// pool — N cells run in N slots concurrently.
+#[derive(Default)]
+struct SlotState {
+    worker: Option<LiveWorker>,
+    cells_done: u64,
+    consecutive_crashes: u32,
+    ever_spawned: bool,
+}
+
+/// A pool of supervised worker processes executing cells one at a time
+/// each. See the module docs for the state machine.
+pub struct Supervisor {
+    config: SupervisorConfig,
+    slots: Vec<Mutex<SlotState>>,
+    free: Mutex<Vec<usize>>,
+    available: Condvar,
+    next_id: AtomicU64,
+    worker_restarts: AtomicU64,
+    worker_kills: AtomicU64,
+    worker_crash_loops: AtomicU64,
+}
+
+impl Supervisor {
+    /// A pool per `config`; workers spawn lazily on first dispatch.
+    pub fn new(config: SupervisorConfig) -> Supervisor {
+        let workers = config.workers.max(1);
+        Supervisor {
+            config: SupervisorConfig { workers, ..config },
+            slots: (0..workers).map(|_| Mutex::default()).collect(),
+            free: Mutex::new((0..workers).rev().collect()),
+            available: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            worker_restarts: AtomicU64::new(0),
+            worker_kills: AtomicU64::new(0),
+            worker_crash_loops: AtomicU64::new(0),
+        }
+    }
+
+    /// The pool size.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SupervisorStats {
+        SupervisorStats {
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            worker_kills: self.worker_kills.load(Ordering::Relaxed),
+            worker_crash_loops: self.worker_crash_loops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs one cell attempt on a pooled worker, blocking until a slot is
+    /// free. `budget_ms == 0` means unbounded; `attempt` is stamped into
+    /// any resulting [`CellError`] for the harness's retry accounting.
+    ///
+    /// # Errors
+    ///
+    /// Every worker death comes back typed: [`CellError::Timeout`] for a
+    /// budget kill, [`CellError::Crashed`] for signals/aborts/lost
+    /// heartbeats, [`CellError::Panic`] / [`CellError::Transient`] when
+    /// the worker survived and reported the failure itself.
+    pub fn run_cell(
+        &self,
+        workload: &WorkloadSpec,
+        trace_len: usize,
+        budget_ms: u64,
+        fault: Option<WorkerFault>,
+        config: &FrontendConfig,
+        attempt: u32,
+    ) -> Result<SimStats, CellError> {
+        let slot = self.acquire_slot();
+        let result = self.run_on_slot(slot, workload, trace_len, budget_ms, fault, config, attempt);
+        self.release_slot(slot);
+        result
+    }
+
+    fn acquire_slot(&self) -> usize {
+        let mut free = lock(&self.free);
+        loop {
+            if let Some(index) = free.pop() {
+                return index;
+            }
+            free = self
+                .available
+                .wait(free)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn release_slot(&self, index: usize) {
+        lock(&self.free).push(index);
+        self.available.notify_one();
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_on_slot(
+        &self,
+        index: usize,
+        workload: &WorkloadSpec,
+        trace_len: usize,
+        budget_ms: u64,
+        fault: Option<WorkerFault>,
+        config: &FrontendConfig,
+        attempt: u32,
+    ) -> Result<SimStats, CellError> {
+        let mut slot = lock(&self.slots[index]);
+        self.drain_stale_events(&mut slot);
+        if slot.worker.is_none() {
+            if slot.consecutive_crashes >= self.config.crash_loop_threshold {
+                // Deterministic exponential pause: crash-looping degrades
+                // into slow retries, never a fork bomb.
+                self.worker_crash_loops.fetch_add(1, Ordering::Relaxed);
+                let excess = slot.consecutive_crashes - self.config.crash_loop_threshold;
+                std::thread::sleep(self.config.crash_backoff * 2u32.pow(excess.min(4)));
+            }
+            let replacing = slot.ever_spawned;
+            match spawn_worker() {
+                Ok(worker) => {
+                    slot.worker = Some(worker);
+                    slot.ever_spawned = true;
+                    if replacing {
+                        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(err) => {
+                    slot.consecutive_crashes += 1;
+                    return Err(CellError::Transient {
+                        message: format!("spawning a worker process failed: {err}"),
+                        attempts: attempt,
+                    });
+                }
+            }
+        }
+
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let request = RunRequest {
+            id,
+            workload: workload.clone(),
+            trace_len,
+            budget_ms,
+            fault,
+            config: config.clone(),
+        };
+        {
+            let worker = slot.worker.as_mut().expect("worker just ensured");
+            if write_frame(&mut worker.stdin, &request.to_json()).is_err() {
+                // Died between cells; classify from the exit status.
+                let status = reap(slot.worker.take().expect("worker present"));
+                slot.consecutive_crashes += 1;
+                return Err(crashed_from_status(status, attempt));
+            }
+        }
+
+        let budget_deadline =
+            (budget_ms > 0).then(|| Instant::now() + Duration::from_millis(budget_ms));
+        let mut heartbeat_deadline = Instant::now() + self.config.heartbeat_timeout;
+        loop {
+            let mut wake = heartbeat_deadline;
+            if let Some(deadline) = budget_deadline {
+                wake = wake.min(deadline);
+            }
+            let timeout = wake.saturating_duration_since(Instant::now());
+            let event = slot
+                .worker
+                .as_ref()
+                .expect("worker live while waiting")
+                .events
+                .recv_timeout(timeout);
+            match event {
+                Ok(ReaderEvent::Reply(WorkerReply::Heartbeat)) => {
+                    heartbeat_deadline = Instant::now() + self.config.heartbeat_timeout;
+                }
+                Ok(ReaderEvent::Reply(WorkerReply::Ok {
+                    id: reply_id,
+                    stats,
+                })) if reply_id == id => {
+                    self.finish_cell(&mut slot);
+                    return Ok(*stats);
+                }
+                Ok(ReaderEvent::Reply(WorkerReply::Err {
+                    id: reply_id,
+                    kind,
+                    message,
+                })) if reply_id == id => {
+                    // The worker *survived* this failure; only its cell is
+                    // lost, and the process is reusable.
+                    self.finish_cell(&mut slot);
+                    return Err(if kind == "panic" {
+                        CellError::Panic {
+                            message,
+                            attempts: attempt,
+                        }
+                    } else {
+                        CellError::Transient {
+                            message,
+                            attempts: attempt,
+                        }
+                    });
+                }
+                // A reply for a superseded id — possible only after a kill
+                // raced a completion; drop it.
+                Ok(ReaderEvent::Reply(_)) => {}
+                Ok(ReaderEvent::Eof) | Ok(ReaderEvent::Failed(_)) => {
+                    let status = reap(slot.worker.take().expect("worker present"));
+                    slot.consecutive_crashes += 1;
+                    return Err(crashed_from_status(status, attempt));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    if budget_deadline.is_some_and(|deadline| now >= deadline) {
+                        // Intentional preemption: the worker was healthy,
+                        // the cell overran. Not a crash-loop signal.
+                        self.kill_worker(slot.worker.take().expect("worker present"));
+                        return Err(CellError::Timeout { budget_ms });
+                    }
+                    if now >= heartbeat_deadline {
+                        self.kill_worker(slot.worker.take().expect("worker present"));
+                        slot.consecutive_crashes += 1;
+                        return Err(CellError::Crashed {
+                            signal: None,
+                            code: None,
+                            attempts: attempt,
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    let status = reap(slot.worker.take().expect("worker present"));
+                    slot.consecutive_crashes += 1;
+                    return Err(crashed_from_status(status, attempt));
+                }
+            }
+        }
+    }
+
+    /// Books a completed cell on the slot and retires the worker if it
+    /// has served its quota.
+    fn finish_cell(&self, slot: &mut SlotState) {
+        slot.consecutive_crashes = 0;
+        slot.cells_done += 1;
+        if slot.cells_done >= self.config.recycle_after {
+            slot.cells_done = 0;
+            if let Some(worker) = slot.worker.take() {
+                self.retire_worker(worker);
+            }
+        }
+    }
+
+    /// Graceful retirement: close stdin (EOF ends the worker loop), give
+    /// it a moment, escalate to SIGKILL if it will not leave.
+    fn retire_worker(&self, worker: LiveWorker) {
+        let LiveWorker {
+            mut child, stdin, ..
+        } = worker;
+        drop(stdin);
+        for _ in 0..50 {
+            match child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                Err(_) => break,
+            }
+        }
+        self.worker_kills.fetch_add(1, Ordering::Relaxed);
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+
+    /// SIGKILL and reap, counting the kill.
+    fn kill_worker(&self, worker: LiveWorker) {
+        self.worker_kills.fetch_add(1, Ordering::Relaxed);
+        let mut child = worker.child;
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+
+    /// Discards events buffered while the slot sat idle (a final
+    /// heartbeat that raced the previous reply, or the EOF of a worker
+    /// that died between cells — the latter marks the slot dead so
+    /// dispatch respawns instead of writing into a broken pipe).
+    fn drain_stale_events(&self, slot: &mut SlotState) {
+        let dead = match &slot.worker {
+            Some(worker) => {
+                let mut dead = false;
+                while let Ok(event) = worker.events.try_recv() {
+                    if matches!(event, ReaderEvent::Eof | ReaderEvent::Failed(_)) {
+                        dead = true;
+                    }
+                }
+                dead
+            }
+            None => false,
+        };
+        if dead {
+            let status = reap(slot.worker.take().expect("worker present"));
+            // Dying between cells still counts toward the crash loop.
+            slot.consecutive_crashes += 1;
+            let _ = status;
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            if let Some(worker) = lock(slot).worker.take() {
+                // Shutdown is not a drill: kill without ceremony or stats.
+                let mut child = worker.child;
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Self-execs the current binary as a worker. The `worker` argument is
+/// cosmetic (it names the process in `ps`); activation is the
+/// environment variable, which works for every harness binary without
+/// touching its argv parsing.
+fn spawn_worker() -> io::Result<LiveWorker> {
+    let exe = std::env::current_exe()?;
+    let mut child = Command::new(exe)
+        .arg("worker")
+        .env(crate::worker::WORKER_ENV, "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()?;
+    let stdin = child.stdin.take().expect("stdin was piped");
+    let mut stdout = child.stdout.take().expect("stdout was piped");
+    let (sender, events) = mpsc::channel();
+    // Plain pipes have no read timeout, so a dedicated thread blocks on
+    // the pipe and the dispatcher waits on the channel, which does. The
+    // thread exits with the pipe and is never joined.
+    std::thread::spawn(move || loop {
+        let event = match read_frame(&mut stdout) {
+            Ok(Some(frame)) => match WorkerReply::from_json(&frame) {
+                Some(reply) => ReaderEvent::Reply(reply),
+                None => ReaderEvent::Failed(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unintelligible worker frame",
+                )),
+            },
+            Ok(None) => ReaderEvent::Eof,
+            Err(err) => ReaderEvent::Failed(err),
+        };
+        let terminal = !matches!(event, ReaderEvent::Reply(_));
+        if sender.send(event).is_err() || terminal {
+            return;
+        }
+    });
+    Ok(LiveWorker {
+        child,
+        stdin,
+        events,
+    })
+}
+
+/// Reaps a worker that is already gone (or nearly): SIGKILL is a no-op on
+/// a zombie and does not change its recorded exit status, so this is safe
+/// to call in every death path.
+fn reap(worker: LiveWorker) -> io::Result<ExitStatus> {
+    let mut child = worker.child;
+    let _ = child.kill();
+    child.wait()
+}
+
+/// Classifies an exit status into [`CellError::Crashed`].
+fn crashed_from_status(status: io::Result<ExitStatus>, attempts: u32) -> CellError {
+    match status {
+        Ok(status) => CellError::Crashed {
+            signal: exit_signal(&status),
+            code: status.code(),
+            attempts,
+        },
+        Err(_) => CellError::Crashed {
+            signal: None,
+            code: None,
+            attempts,
+        },
+    }
+}
+
+#[cfg(unix)]
+fn exit_signal(status: &ExitStatus) -> Option<i32> {
+    std::os::unix::process::ExitStatusExt::signal(status)
+}
+
+#[cfg(not(unix))]
+fn exit_signal(_status: &ExitStatus) -> Option<i32> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Spawning real workers needs a worker-capable executable;
+    // `current_exe()` inside `cargo test` is the libtest runner, which
+    // must never be self-exec'd. End-to-end supervision is covered by the
+    // `tests/isolation.rs` integration test against the real `fdip`
+    // binary; these tests pin the pure logic.
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let config = SupervisorConfig::default();
+        assert!(config.workers >= 1 && config.workers <= 4);
+        assert!(config.recycle_after > 0);
+        assert!(config.heartbeat_timeout >= Duration::from_secs(1));
+        assert!(config.crash_loop_threshold >= 1);
+        let sup = Supervisor::new(SupervisorConfig {
+            workers: 0,
+            ..config
+        });
+        assert_eq!(sup.workers(), 1, "zero workers clamps to one");
+        assert_eq!(sup.stats(), SupervisorStats::default());
+    }
+
+    #[test]
+    fn slot_acquisition_hands_out_every_slot() {
+        let sup = Supervisor::new(SupervisorConfig {
+            workers: 3,
+            ..SupervisorConfig::default()
+        });
+        let a = sup.acquire_slot();
+        let b = sup.acquire_slot();
+        let c = sup.acquire_slot();
+        let mut handed = [a, b, c];
+        handed.sort_unstable();
+        assert_eq!(handed, [0, 1, 2]);
+        sup.release_slot(b);
+        assert_eq!(sup.acquire_slot(), b);
+    }
+
+    #[test]
+    fn crash_classification_covers_signal_code_and_unknown() {
+        let err = crashed_from_status(Err(io::Error::other("status lost")), 2);
+        assert_eq!(
+            err,
+            CellError::Crashed {
+                signal: None,
+                code: None,
+                attempts: 2
+            }
+        );
+        // A real exit status from a real (instantly exiting) process.
+        let status = Command::new("false").status();
+        if let Ok(status) = status {
+            let err = crashed_from_status(Ok(status), 1);
+            assert_eq!(
+                err,
+                CellError::Crashed {
+                    signal: None,
+                    code: Some(1),
+                    attempts: 1
+                }
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The worker side of process-isolated cell execution.
+//!
+//! A worker is *this same binary*, re-executed by the supervisor
+//! (`crates/sim/src/supervisor.rs`) with [`WORKER_ENV`] set. It speaks
+//! the [`crate::ipc`] frame protocol on stdin/stdout: read a
+//! [`RunRequest`], simulate the cell, reply `ok`/`err`, repeat until
+//! stdin reaches EOF. While a cell is in flight a dedicated thread emits
+//! heartbeat frames, so the supervisor can tell a *long* cell (heartbeats
+//! flowing, wall-clock budget still enforces the limit) from a *wedged*
+//! one (silence → SIGKILL).
+//!
+//! Faults that arrive on the request (`abort`/`hang`/`bigalloc`, see
+//! [`crate::fault`]) are realized *here*, inside the disposable process,
+//! so isolation drills exercise exactly the containment path a real
+//! crash would take. Panics — injected or genuine — are caught and
+//! reported as `err` frames; the worker survives them and takes the next
+//! cell.
+//!
+//! Binaries opt in by calling [`maybe_worker_entry`] first thing in
+//! `main`: it is a no-op in a normal invocation and never returns in a
+//! worker one. Activation is by environment variable rather than argv so
+//! every harness-owning binary (`fdip`, `exp_all`) becomes worker-capable
+//! without touching its argument parsing.
+
+use std::collections::HashMap;
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use fdip::{CancelToken, Simulator};
+use fdip_trace::Trace;
+
+use crate::ipc::{read_frame, write_frame, RunRequest, WorkerFault, WorkerReply};
+
+/// Environment variable that turns an invocation of a harness binary into
+/// a single-purpose cell worker (any non-empty value).
+pub const WORKER_ENV: &str = "FDIP_WORKER";
+
+/// How often a busy worker proves liveness to its supervisor.
+pub const HEARTBEAT_PERIOD: Duration = Duration::from_millis(100);
+
+/// Becomes the worker process and never returns if [`WORKER_ENV`] is set;
+/// otherwise does nothing. Call first thing in `main`, before argument
+/// parsing, in every binary the supervisor may self-exec.
+pub fn maybe_worker_entry() {
+    if std::env::var_os(WORKER_ENV).is_some() {
+        std::process::exit(worker_main());
+    }
+}
+
+/// The worker protocol loop. Exit code 0 is an orderly shutdown (EOF on
+/// stdin, or the supervisor went away mid-write); 2 is a protocol error —
+/// the supervisor treats any unexpected exit as a crash, so precision
+/// beyond that is not load-bearing.
+pub fn worker_main() -> i32 {
+    // Failures travel up the pipe as typed `err` frames; the default
+    // hook's per-panic backtrace on stderr would only interleave garbage
+    // into the supervisor's own output.
+    panic::set_hook(Box::new(|_| {}));
+
+    let stdout = Arc::new(Mutex::new(io::stdout()));
+    let busy = Arc::new(AtomicBool::new(false));
+    {
+        // Heartbeats only while a cell is in flight: an idle worker is
+        // silent, so frames never pile up while it sits in the pool.
+        let stdout = Arc::clone(&stdout);
+        let busy = Arc::clone(&busy);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(HEARTBEAT_PERIOD);
+            if busy.load(Ordering::Relaxed) {
+                let mut out = stdout.lock().unwrap_or_else(PoisonError::into_inner);
+                if write_frame(&mut *out, &WorkerReply::Heartbeat.to_json()).is_err() {
+                    // Supervisor gone; nothing left to work for.
+                    std::process::exit(0);
+                }
+            }
+        });
+    }
+
+    // Workers outlive many cells (the supervisor recycles after K), so
+    // cache generated traces like the in-process trace store would.
+    let mut traces: HashMap<(String, usize), Trace> = HashMap::new();
+    let mut stdin = io::stdin().lock();
+    loop {
+        let frame = match read_frame(&mut stdin) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return 0,
+            Err(_) => return 2,
+        };
+        let Some(request) = RunRequest::from_json(&frame) else {
+            return 2;
+        };
+        busy.store(true, Ordering::Relaxed);
+        let reply = run_one(&request, &mut traces);
+        busy.store(false, Ordering::Relaxed);
+        let mut out = stdout.lock().unwrap_or_else(PoisonError::into_inner);
+        if write_frame(&mut *out, &reply.to_json()).is_err() {
+            return 0;
+        }
+    }
+}
+
+/// Simulates one requested cell, realizing any injected fault on the way.
+fn run_one(request: &RunRequest, traces: &mut HashMap<(String, usize), Trace>) -> WorkerReply {
+    match request.fault {
+        // The crash-class faults never return: they exist to prove the
+        // supervisor contains exactly this.
+        Some(WorkerFault::Abort) => std::process::abort(),
+        Some(WorkerFault::Hang) => loop {
+            // A runaway loop that never polls CancelToken — only the
+            // supervisor's hard wall-clock kill can end it.
+            std::hint::spin_loop();
+        },
+        Some(WorkerFault::BigAlloc) => {
+            // An impossible single allocation: the layout is valid (under
+            // isize::MAX) but no address space backs it, so the allocator
+            // reports failure and `handle_alloc_error` aborts — the
+            // non-unwinding OOM shape `catch_unwind` cannot contain.
+            let doomed: Vec<u8> = Vec::with_capacity(isize::MAX as usize / 2);
+            std::hint::black_box(doomed.capacity());
+            unreachable!("allocation of half the address space succeeded");
+        }
+        Some(WorkerFault::Slow(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(WorkerFault::Panic) | None => {}
+    }
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        if request.fault == Some(WorkerFault::Panic) {
+            panic!("injected fault: panic at ({})", request.workload.name);
+        }
+        let trace = traces
+            .entry((request.workload.name.clone(), request.trace_len))
+            .or_insert_with(|| request.workload.generate(request.trace_len));
+        // The budget is enforced by the supervisor's SIGKILL, not
+        // cooperatively: a fresh token keeps the simulation path identical
+        // to the in-process one without ever cancelling.
+        Simulator::new(&request.config, trace).run_cancellable(&CancelToken::new())
+    }));
+    match outcome {
+        Ok(Ok(stats)) => WorkerReply::Ok {
+            id: request.id,
+            stats: Box::new(stats),
+        },
+        Ok(Err(fdip::Cancelled)) => WorkerReply::Err {
+            id: request.id,
+            kind: "transient".to_string(),
+            message: "worker cancel token fired unexpectedly".to_string(),
+        },
+        Err(payload) => WorkerReply::Err {
+            id: request.id,
+            kind: "panic".to_string(),
+            message: crate::harness::panic_message(payload.as_ref()),
+        },
+    }
+}

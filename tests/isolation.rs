@@ -1,0 +1,202 @@
+//! Process-isolation acceptance drills, driven through the real `fdip`
+//! binary: a cell that aborts the worker process, a cell that hangs past
+//! the hard budget, and a worker SIGKILLed from outside each cost exactly
+//! one FAILED row while the rest of the matrix completes and the run
+//! exits 0; isolated output is byte-identical to in-process output; and a
+//! journaled isolated run resumes without re-simulating anything.
+//!
+//! These drills live here (not in `fdip-sim` unit tests) because the
+//! supervisor self-execs `std::env::current_exe()` — inside a `cargo
+//! test` harness that is the libtest runner, not a worker-capable binary.
+//! `CARGO_BIN_EXE_fdip` points at the real CLI, which routes re-execed
+//! workers through `fdip_sim::worker::maybe_worker_entry`.
+
+#![cfg(unix)]
+
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn fdip(args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fdip"));
+    cmd.args(args)
+        .env_remove("FDIP_FAULTS")
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    cmd
+}
+
+fn run(args: &[&str]) -> Output {
+    fdip(args).output().expect("spawn fdip")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn crash_and_hang_each_cost_one_failed_row_and_the_run_exits_zero() {
+    let drill = run(&[
+        "exp",
+        "e01",
+        "--quick",
+        "--isolate=2",
+        "--max-attempts",
+        "1",
+        "--cell-budget-ms",
+        "2000",
+        "--faults",
+        "abort@client-1/base,hang@server-1/fdip",
+    ]);
+    let (out, err) = (stdout(&drill), stderr(&drill));
+    assert!(
+        drill.status.success(),
+        "a crashing cell must not fail the run:\n{err}"
+    );
+    // The abort is classified by signal (SIGABRT = 6), the hang by the
+    // hard budget; each appears exactly once in the failed-cells table.
+    assert!(out.contains("killed by signal 6"), "{out}");
+    assert!(out.contains("exceeded the 2000ms cell budget"), "{out}");
+    assert!(err.contains("2 failed"), "{err}");
+    assert!(err.contains("1 timeouts"), "{err}");
+    // The other two cells of the 2x2 matrix completed: the table still
+    // renders, and the supervisor recycled workers rather than dying.
+    assert!(out.contains("# failed cells"), "{out}");
+    assert!(err.contains("worker restart(s)"), "{err}");
+}
+
+#[test]
+fn isolated_output_is_byte_identical_and_resume_simulates_nothing() {
+    let journal = std::env::temp_dir().join(format!(
+        "fdip-isolation-resume-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal);
+    let journal_s = journal.to_str().unwrap();
+
+    let in_process = run(&["exp", "e01", "--quick"]);
+    assert!(in_process.status.success(), "{}", stderr(&in_process));
+
+    let isolated = run(&[
+        "exp",
+        "e01",
+        "--quick",
+        "--isolate=2",
+        "--journal",
+        journal_s,
+    ]);
+    assert!(isolated.status.success(), "{}", stderr(&isolated));
+    assert_eq!(
+        stdout(&in_process),
+        stdout(&isolated),
+        "isolation must not change experiment results"
+    );
+
+    let resumed = run(&[
+        "exp",
+        "e01",
+        "--quick",
+        "--isolate=2",
+        "--journal",
+        journal_s,
+    ]);
+    let err = stderr(&resumed);
+    assert!(resumed.status.success(), "{err}");
+    assert_eq!(
+        stdout(&in_process),
+        stdout(&resumed),
+        "resume must reproduce the run byte-for-byte"
+    );
+    // All four cells of e01 came back from the journal; none was
+    // re-simulated (and none was corrupt).
+    assert!(
+        err.contains("restored 4 cell(s), skipped 0 line(s), 0 corrupt"),
+        "{err}"
+    );
+    assert!(err.contains("0 cells simulated"), "{err}");
+    let _ = std::fs::remove_file(&journal);
+}
+
+/// PIDs of `parent`'s direct children, scanned from `/proc` (std-only;
+/// `/proc/<pid>/stat` field 4 is the ppid).
+fn children_of(parent: u32) -> Vec<u32> {
+    let mut kids = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return kids;
+    };
+    for entry in entries.flatten() {
+        let Some(pid) = entry
+            .file_name()
+            .to_str()
+            .and_then(|s| s.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        // The comm field (2) may contain spaces; fields after its closing
+        // ')' are whitespace-separated, with ppid first after the state.
+        let Some(rest) = stat.rsplit_once(')').map(|(_, r)| r) else {
+            continue;
+        };
+        if rest.split_whitespace().nth(1) == Some(&parent.to_string()) {
+            kids.push(pid);
+        }
+    }
+    kids
+}
+
+#[test]
+fn sigkilled_worker_costs_one_failed_row_and_the_run_recovers() {
+    // The slow fault parks the first cell's worker in a 5s sleep, giving
+    // the test a deterministic window to SIGKILL it from outside.
+    let child = fdip(&[
+        "exp",
+        "e01",
+        "--quick",
+        "--isolate=1",
+        "--max-attempts",
+        "1",
+        "--faults",
+        "slow@client-1/base:5000",
+    ])
+    .spawn()
+    .expect("spawn fdip");
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let worker = loop {
+        if let Some(&pid) = children_of(child.id()).first() {
+            break pid;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no worker process appeared under the supervisor"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    // Let the worker get past spawn and into the faulted cell, then kill.
+    std::thread::sleep(Duration::from_millis(300));
+    let killed = Command::new("kill")
+        .args(["-9", &worker.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -9 {worker} failed");
+
+    let out = child.wait_with_output().expect("wait fdip");
+    let (table, err) = (stdout(&out), stderr(&out));
+    assert!(
+        out.status.success(),
+        "a SIGKILLed worker must not fail the run:\n{err}"
+    );
+    assert!(table.contains("killed by signal 9"), "{table}\n{err}");
+    assert!(err.contains("1 failed"), "{err}");
+    // The supervisor respawned a worker and finished the rest of the
+    // matrix.
+    assert!(err.contains("worker restart(s)"), "{err}");
+    assert!(table.contains("# failed cells"), "{table}");
+}
