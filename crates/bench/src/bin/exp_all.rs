@@ -2,9 +2,11 @@
 //! figure and persisting CSV + JSON under `results/`. Accepts `--quick` /
 //! `--medium` / `--full`, a `--faults SPEC` fault-injection plan (also read
 //! from `$FDIP_FAULTS`), `--journal PATH` to override the default cell
-//! journal at `results/journal.jsonl`, and `--isolate[=N]` to run every
+//! journal at `results/journal.jsonl`, `--isolate[=N]` to run every
 //! cell in supervised worker processes (a crash or hang costs one worker
-//! and one FAILED row, never the run).
+//! and one FAILED row, never the run), and `--batch[=on|off]` to control
+//! the lockstep multi-config batch pass (on by default; output is
+//! byte-identical either way).
 //!
 //! All experiments share the process-wide harness, so each suite trace is
 //! generated once and each distinct (workload, config, trace length) cell
@@ -55,6 +57,7 @@ fn main() {
     fdip_sim::worker::maybe_worker_entry();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut isolate: Option<usize> = None;
+    let mut batch: Option<bool> = None;
     let mut scale_args = Vec::with_capacity(args.len());
     for a in strip_valued_flag(&strip_valued_flag(&args, "--faults"), "--journal") {
         if a == "--isolate" {
@@ -67,6 +70,20 @@ fn main() {
                     std::process::exit(2);
                 }
             };
+        } else if a == "--batch" {
+            batch = Some(true);
+        } else if let Some(v) = a.strip_prefix("--batch=") {
+            batch = match v {
+                "on" => Some(true),
+                "off" => Some(false),
+                _ => {
+                    eprintln!(
+                        "unrecognized --batch value {v:?} \
+                         (accepted forms: --batch, --batch=on, --batch=off)"
+                    );
+                    std::process::exit(2);
+                }
+            };
         } else {
             scale_args.push(a);
         }
@@ -76,6 +93,9 @@ fn main() {
         std::process::exit(2);
     });
     let harness = Harness::global();
+    if let Some(on) = batch {
+        harness.set_batching(on);
+    }
     if let Some(workers) = isolate {
         let supervisor = harness.enable_isolation(fdip_sim::supervisor::SupervisorConfig {
             workers,
@@ -146,10 +166,11 @@ fn main() {
     let stats = harness.stats();
     eprintln!(
         "harness: {} traces generated ({} shared), {} cells simulated \
-         ({} hits, {} restored from journal), {} retries, {} timeouts, {} failed",
+         ({} batched, {} hits, {} restored from journal), {} retries, {} timeouts, {} failed",
         stats.traces_generated,
         stats.traces_shared,
         stats.cells_simulated,
+        stats.cells_batched,
         stats.cell_hits,
         stats.journal_restored,
         stats.cell_retries,

@@ -51,11 +51,14 @@ commands:
   tables   [EXPERIMENT]                          print the BTB storage tables (Tables I & II),
                                                  or any experiment from the registry by id
                                                  (e.g. e01, x4) at quick scale
-  exp      [ID|all] [--quick|--medium|--full] [--isolate[=N]] [--faults SPEC]
-           [--journal FILE] [--max-attempts N] [--cell-budget-ms N]
+  exp      [ID|all] [--quick|--medium|--full] [--batch[=on|off]] [--isolate[=N]]
+           [--faults SPEC] [--journal FILE] [--max-attempts N] [--cell-budget-ms N]
                                                  run one experiment (or the whole
                                                  catalogue) under the fault-tolerant
-                                                 harness: --isolate runs cells in N
+                                                 harness: --batch=off disables the
+                                                 lockstep multi-config batch pass
+                                                 (on by default; results identical
+                                                 either way), --isolate runs cells in N
                                                  supervised worker processes (crashes
                                                  and hangs cost one worker, not the
                                                  run), --faults injects deterministic
@@ -384,6 +387,7 @@ fn cmd_exp(raw: &[String]) -> CliResult {
     // `=`-joined), which the `--key value` parser would misread, so it is
     // stripped here too.
     let mut isolate: Option<usize> = None;
+    let mut batch: Option<bool> = None;
     let mut scale_and_rest: Vec<String> = Vec::with_capacity(raw.len());
     for a in raw {
         if a == "--isolate" {
@@ -395,6 +399,20 @@ fn cmd_exp(raw: &[String]) -> CliResult {
                 .filter(|&w| w > 0)
                 .ok_or_else(|| format!("bad --isolate={n:?} (want a positive worker count)"))?;
             isolate = Some(workers);
+        } else if a == "--batch" {
+            batch = Some(true);
+        } else if let Some(v) = a.strip_prefix("--batch=") {
+            batch = Some(match v {
+                "on" => true,
+                "off" => false,
+                _ => {
+                    return Err(format!(
+                        "unrecognized --batch value {v:?} \
+                         (accepted forms: --batch, --batch=on, --batch=off)"
+                    )
+                    .into())
+                }
+            });
         } else {
             scale_and_rest.push(a.clone());
         }
@@ -448,6 +466,9 @@ fn cmd_exp(raw: &[String]) -> CliResult {
         cell_budget: (budget_ms > 0).then(|| Duration::from_millis(budget_ms)),
         ..defaults
     });
+    if let Some(on) = batch {
+        harness.set_batching(on);
+    }
     if let Some(workers) = isolate {
         let supervisor = harness.enable_isolation(SupervisorConfig {
             workers,

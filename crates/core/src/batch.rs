@@ -1,0 +1,255 @@
+//! Lockstep multi-config batching: simulate N configurations of a sweep
+//! over a **single shared trace walk**.
+//!
+//! The dominant workload of this repo is sensitivity sweeps — N front-end
+//! configurations over the *same* trace. Run solo, each config re-walks
+//! and re-predicts the trace from scratch, even though most sweep points
+//! differ only in prefetcher/memory parameters and drive an *identical*
+//! BPU.
+//!
+//! # Why the walk is shareable
+//!
+//! [`Bpu`] state is a pure function of its construction parameters (BTB
+//! variant, direction predictor, RAS depth, fetch-block size — the
+//! [`walk_key`]) and the ordered sequence of `generate`/`resume` calls it
+//! has received; the simulator issues exactly one `resume` per
+//! redirect-carrying block before the next `generate`. *Timing* differences
+//! between configs shift only **when** those calls happen, never their
+//! order or count — so every config with the same walk key produces the
+//! same block sequence, and the sequence can be captured once
+//! ([`SharedWalk::capture`]) and replayed into each member's front-end
+//! state. Configs enabling `predecode_btb_fill` (Boomerang) feed fill
+//! timing back into the BTB, breaking the purity argument; they always run
+//! a live BPU.
+//!
+//! [`run_batch`] groups configs by walk key, captures one walk per group
+//! with at least two members (a singleton gains nothing from a capture
+//! pass), and steps all members in lockstep quanta over the shared walk.
+//! Per-config results are **identical** to N independent runs — enforced
+//! by the unit tests here, the harness equality tests, and the
+//! experiment-level double-run diff in CI.
+
+use fdip_trace::Trace;
+
+use crate::bpu::{Bpu, Generated};
+use crate::config::FrontendConfig;
+use crate::simulator::Simulator;
+use crate::stats::{BranchStats, SimStats};
+
+/// The BPU-construction key: configs with equal keys drive identical BPUs
+/// and may share a trace walk (see module docs for the purity argument).
+pub fn walk_key(config: &FrontendConfig) -> String {
+    format!(
+        "{:?}|{:?}|{}|{}",
+        config.btb, config.predictor, config.ras_entries, config.fetch_block_insts
+    )
+}
+
+/// A captured BPU walk of one trace: every generated fetch block in
+/// order, plus the branch statistics the walk accumulated.
+#[derive(Clone, Debug)]
+pub struct SharedWalk {
+    /// The generated blocks, in emission order.
+    pub blocks: Vec<Generated>,
+    /// Whole-trace branch statistics (taken verbatim at finalization by
+    /// replay members, which never predict themselves).
+    pub branches: BranchStats,
+    /// The [`walk_key`] this walk was captured under.
+    pub key: String,
+}
+
+impl SharedWalk {
+    /// Runs `config`'s BPU over the whole trace, draining it with the
+    /// same call sequence the simulator would issue: one `resume` per
+    /// redirect block, `generate` otherwise, until the trace is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or enables
+    /// `predecode_btb_fill` (not walk-shareable; see module docs).
+    pub fn capture(config: &FrontendConfig, trace: &Trace) -> SharedWalk {
+        config.validate();
+        assert!(
+            !config.predecode_btb_fill,
+            "predecode BTB fill configs cannot share a walk"
+        );
+        let instrs = trace.instrs();
+        let mut bpu = Bpu::new(config);
+        let mut branches = BranchStats::default();
+        // Blocks hold at least one instruction; typical blocks hold
+        // several, so quarter-length is a generous capacity hint.
+        let mut blocks = Vec::with_capacity(instrs.len() / 4 + 1);
+        loop {
+            if bpu.is_stalled() {
+                bpu.resume();
+            }
+            match bpu.generate(instrs, &mut branches) {
+                Some(g) => blocks.push(g),
+                None => break,
+            }
+        }
+        SharedWalk {
+            blocks,
+            branches,
+            key: walk_key(config),
+        }
+    }
+}
+
+/// Instructions each batch member retires before the scheduler moves to
+/// the next — large enough to amortize switching, small enough that all
+/// members work the same region of the shared walk (cache locality).
+const QUANTUM_INSTRS: u64 = 16_384;
+
+/// Simulates every config over `trace` in one lockstep batch and returns
+/// per-config statistics in input order — **identical** to running each
+/// config solo through [`Simulator::run_trace`].
+///
+/// Configs sharing a [`walk_key`] (and not using predecode BTB fill)
+/// replay one [`SharedWalk`]; the rest run live BPUs. Duplicate configs
+/// are not deduplicated here — the harness's cell cache already handles
+/// that level.
+///
+/// # Panics
+///
+/// Panics if any configuration is invalid, or on livelock (as
+/// [`Simulator::run`]).
+pub fn run_batch(configs: &[FrontendConfig], trace: &Trace) -> Vec<SimStats> {
+    // One walk per key with at least two shareable members.
+    let keys: Vec<Option<String>> = configs
+        .iter()
+        .map(|c| (!c.predecode_btb_fill).then(|| walk_key(c)))
+        .collect();
+    let mut walks: Vec<SharedWalk> = Vec::new();
+    let mut walk_of: Vec<Option<usize>> = vec![None; configs.len()];
+    for (i, key) in keys.iter().enumerate() {
+        let Some(key) = key else { continue };
+        if keys.iter().filter(|k| k.as_deref() == Some(key)).count() < 2 {
+            continue;
+        }
+        let idx = walks.iter().position(|w| &w.key == key).unwrap_or_else(|| {
+            walks.push(SharedWalk::capture(&configs[i], trace));
+            walks.len() - 1
+        });
+        walk_of[i] = Some(idx);
+    }
+
+    let mut sims: Vec<Simulator<'_>> = configs
+        .iter()
+        .zip(&walk_of)
+        .map(|(config, walk)| match walk {
+            Some(idx) => Simulator::with_walk(config, trace, &walks[*idx]),
+            None => Simulator::new(config, trace),
+        })
+        .collect();
+
+    let limit = 500 + trace.len() as u64 * 1_000;
+    loop {
+        let mut any_running = false;
+        for sim in &mut sims {
+            if sim.is_done() {
+                continue;
+            }
+            any_running = true;
+            let target = sim.retired() + QUANTUM_INSTRS;
+            while !sim.is_done() && sim.retired() < target {
+                sim.step();
+                assert!(
+                    sim.now().raw() <= limit,
+                    "batch member exceeded {limit} cycles — livelock?"
+                );
+            }
+        }
+        if !any_running {
+            break;
+        }
+    }
+    sims.iter_mut().map(|sim| sim.finalize_in_place()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BtbVariant, CpfMode, PrefetcherKind};
+    use fdip_trace::gen::{GeneratorConfig, Profile};
+
+    fn trace(profile: Profile, seed: u64, len: usize) -> Trace {
+        GeneratorConfig::profile(profile)
+            .seed(seed)
+            .target_len(len)
+            .generate()
+    }
+
+    fn sweep_configs() -> Vec<FrontendConfig> {
+        vec![
+            FrontendConfig::default(),
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip_with_cpf(CpfMode::Both)),
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::NextLine),
+        ]
+    }
+
+    #[test]
+    fn batch_equals_solo_runs_field_by_field() {
+        let trace = trace(Profile::Server, 11, 30_000);
+        let configs = sweep_configs();
+        let batched = run_batch(&configs, &trace);
+        for (config, batched) in configs.iter().zip(&batched) {
+            let solo = Simulator::run_trace(config, &trace);
+            assert_eq!(&solo, batched, "config {:?}", config.prefetcher.name());
+        }
+    }
+
+    #[test]
+    fn mixed_walk_keys_and_boomerang_fall_back_correctly() {
+        // ftb uses a different BPU key (no shared walk with the default
+        // key's pair); boomerang must run a live BPU.
+        let trace = trace(Profile::Client, 3, 20_000);
+        let configs = vec![
+            FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+            FrontendConfig::default()
+                .with_btb(BtbVariant::basic_block(2048))
+                .with_prefetcher(PrefetcherKind::fdip()),
+            FrontendConfig::default()
+                .with_prefetcher(PrefetcherKind::fdip())
+                .with_predecode_btb_fill(true),
+            FrontendConfig::default(),
+        ];
+        let batched = run_batch(&configs, &trace);
+        assert_eq!(batched.len(), configs.len());
+        for (config, batched) in configs.iter().zip(&batched) {
+            let solo = Simulator::run_trace(config, &trace);
+            assert_eq!(&solo, batched);
+        }
+    }
+
+    #[test]
+    fn single_config_batch_matches_solo() {
+        let trace = trace(Profile::MicroLoop, 7, 8_000);
+        let configs = vec![FrontendConfig::default()];
+        let batched = run_batch(&configs, &trace);
+        let solo = Simulator::run_trace(&configs[0], &trace);
+        assert_eq!(batched, vec![solo]);
+    }
+
+    #[test]
+    fn walk_key_distinguishes_bpu_inputs_only() {
+        let base = FrontendConfig::default();
+        let fdip = base.clone().with_prefetcher(PrefetcherKind::fdip());
+        assert_eq!(walk_key(&base), walk_key(&fdip));
+        let ftb = base.clone().with_btb(BtbVariant::basic_block(2048));
+        assert_ne!(walk_key(&base), walk_key(&ftb));
+    }
+
+    #[test]
+    fn captured_walk_matches_live_branch_stats() {
+        let trace = trace(Profile::Jumpy, 5, 10_000);
+        let config = FrontendConfig::default();
+        let walk = SharedWalk::capture(&config, &trace);
+        let solo = Simulator::run_trace(&config, &trace);
+        assert_eq!(walk.branches, solo.branches);
+        assert!(!walk.blocks.is_empty());
+        let replayed: u64 = walk.blocks.iter().map(|g| g.block.len as u64).sum();
+        assert_eq!(replayed, trace.len() as u64);
+    }
+}

@@ -1,0 +1,194 @@
+//! The discrete-event calendar behind the simulator's event-driven kernel.
+//!
+//! The decoupled front-end's interesting activity is sparse: once the BPU
+//! is blocked, the back-end drained, and every prefetch engine out of
+//! work, nothing observable happens until one of a small, fixed set of
+//! *events* fires — an outstanding fill completes, the L2 bus frees up, a
+//! redirect penalty elapses, or a queued prefetch becomes issuable. The
+//! [`EventCalendar`] tracks the next occurrence of each of those event
+//! kinds so the simulator can jump straight to the earliest one instead of
+//! ticking through dead cycles (see `Simulator::skip_idle_cycles`).
+//!
+//! # Same-cycle ordering
+//!
+//! Two events scheduled on the same cycle fire in a **deterministic,
+//! documented order**: fill completion before bus grant before BPU resume
+//! before prefetch issue — exactly the order the cycle body processes them
+//! (`MemoryHierarchy::begin_cycle` applies fills first, the resume check
+//! runs before fetch/prefetch, and prefetch issue happens last). The
+//! calendar encodes that priority in [`EventKind`]'s discriminant order,
+//! so [`EventCalendar::next`] is insertion-order independent — a property
+//! the unit tests pin by permuting insertion order.
+//!
+//! The calendar is a fixed four-slot array: no heap allocation ever, so
+//! the hot loop's zero-allocation steady-state contract (see
+//! `tests/alloc_free.rs`) is preserved by construction.
+
+use fdip_types::Cycle;
+
+/// The kinds of self-scheduled events the front-end can wait on, in
+/// fire-priority order (lower discriminant fires first on a tie).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum EventKind {
+    /// An outstanding MSHR fill lands (applied by `begin_cycle`).
+    FillCompletion = 0,
+    /// The L2 bus becomes free (unblocks `require_idle_bus` prefetchers).
+    BusGrant = 1,
+    /// A redirect penalty elapses and the BPU resumes generation.
+    BpuResume = 2,
+    /// A queued prefetch becomes issuable again.
+    PrefetchIssue = 3,
+}
+
+impl EventKind {
+    /// All kinds, in fire-priority order.
+    pub const ALL: [EventKind; 4] = [
+        EventKind::FillCompletion,
+        EventKind::BusGrant,
+        EventKind::BpuResume,
+        EventKind::PrefetchIssue,
+    ];
+}
+
+/// A fixed-slot calendar of the next occurrence of each [`EventKind`].
+///
+/// # Examples
+///
+/// ```
+/// use fdip::events::{EventCalendar, EventKind};
+/// use fdip_types::Cycle;
+///
+/// let mut cal = EventCalendar::default();
+/// cal.schedule(EventKind::BpuResume, Cycle::new(20));
+/// cal.schedule(EventKind::FillCompletion, Cycle::new(12));
+/// assert_eq!(cal.next(), Some((Cycle::new(12), EventKind::FillCompletion)));
+/// ```
+#[derive(Copy, Clone, Debug, Default)]
+pub struct EventCalendar {
+    /// Next scheduled cycle per kind, indexed by `EventKind as usize`.
+    slots: [Option<Cycle>; 4],
+}
+
+impl EventCalendar {
+    /// Empties the calendar (reused every skip evaluation; never allocates).
+    pub fn clear(&mut self) {
+        self.slots = [None; 4];
+    }
+
+    /// Schedules `kind` at `at`. Scheduling the same kind again keeps the
+    /// *earlier* of the two cycles: each slot tracks the next occurrence.
+    pub fn schedule(&mut self, kind: EventKind, at: Cycle) {
+        let slot = &mut self.slots[kind as usize];
+        *slot = Some(match *slot {
+            Some(prev) if !at.is_after(prev) => at,
+            Some(prev) => prev,
+            None => at,
+        });
+    }
+
+    /// The scheduled cycle for `kind`, if any.
+    pub fn scheduled(&self, kind: EventKind) -> Option<Cycle> {
+        self.slots[kind as usize]
+    }
+
+    /// The earliest scheduled event, with same-cycle ties broken by
+    /// [`EventKind`] priority (fill before grant before resume before
+    /// issue) — independent of insertion order.
+    pub fn next(&self) -> Option<(Cycle, EventKind)> {
+        let mut best: Option<(Cycle, EventKind)> = None;
+        for kind in EventKind::ALL {
+            if let Some(at) = self.slots[kind as usize] {
+                // Strict `is_after`: on a tie the earlier-priority kind
+                // (already in `best`, since ALL iterates in priority
+                // order) wins.
+                match best {
+                    Some((c, _)) if !c.is_after(at) && c != at => {}
+                    Some((c, _)) if c == at => {}
+                    _ => best = Some((at, kind)),
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_event_wins() {
+        let mut cal = EventCalendar::default();
+        cal.schedule(EventKind::PrefetchIssue, Cycle::new(30));
+        cal.schedule(EventKind::FillCompletion, Cycle::new(50));
+        cal.schedule(EventKind::BpuResume, Cycle::new(10));
+        assert_eq!(cal.next(), Some((Cycle::new(10), EventKind::BpuResume)));
+    }
+
+    #[test]
+    fn same_cycle_ties_fire_in_documented_priority_order() {
+        // fill before grant before resume before issue, regardless of the
+        // order the events were inserted: permute every insertion order.
+        let kinds = EventKind::ALL;
+        let mut orders: Vec<Vec<EventKind>> = Vec::new();
+        permute(&mut kinds.to_vec(), 0, &mut orders);
+        assert_eq!(orders.len(), 24);
+        for order in orders {
+            let mut cal = EventCalendar::default();
+            for kind in &order {
+                cal.schedule(*kind, Cycle::new(7));
+            }
+            assert_eq!(
+                cal.next(),
+                Some((Cycle::new(7), EventKind::FillCompletion)),
+                "insertion order {order:?}"
+            );
+            // Partial tie at a later cycle: grant beats resume.
+            let mut cal = EventCalendar::default();
+            cal.schedule(EventKind::BpuResume, Cycle::new(9));
+            cal.schedule(EventKind::BusGrant, Cycle::new(9));
+            assert_eq!(cal.next(), Some((Cycle::new(9), EventKind::BusGrant)));
+        }
+    }
+
+    fn permute(items: &mut Vec<EventKind>, k: usize, out: &mut Vec<Vec<EventKind>>) {
+        if k == items.len() {
+            out.push(items.clone());
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute(items, k + 1, out);
+            items.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn rescheduling_keeps_the_earlier_cycle() {
+        let mut cal = EventCalendar::default();
+        cal.schedule(EventKind::FillCompletion, Cycle::new(40));
+        cal.schedule(EventKind::FillCompletion, Cycle::new(25));
+        cal.schedule(EventKind::FillCompletion, Cycle::new(60));
+        assert_eq!(
+            cal.scheduled(EventKind::FillCompletion),
+            Some(Cycle::new(25))
+        );
+        assert_eq!(
+            cal.next(),
+            Some((Cycle::new(25), EventKind::FillCompletion))
+        );
+    }
+
+    #[test]
+    fn clear_empties_every_slot() {
+        let mut cal = EventCalendar::default();
+        for kind in EventKind::ALL {
+            cal.schedule(kind, Cycle::new(5));
+        }
+        cal.clear();
+        assert_eq!(cal.next(), None);
+        for kind in EventKind::ALL {
+            assert_eq!(cal.scheduled(kind), None);
+        }
+    }
+}

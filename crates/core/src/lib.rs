@@ -1,6 +1,6 @@
 //! # Fetch-Directed Instruction Prefetching
 //!
-//! A cycle-driven, trace-driven simulator of the decoupled front-end
+//! A cycle-accurate, trace-driven simulator of the decoupled front-end
 //! microarchitecture introduced by Reinman, Calder & Austin in
 //! *"Fetch Directed Instruction Prefetching"* (MICRO-32, 1999) — rebuilt
 //! from scratch in Rust, together with the baselines it was evaluated
@@ -53,9 +53,11 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod batch;
 pub mod bpu;
 pub mod cancel;
 mod config;
+pub mod events;
 pub mod fetch;
 pub mod ftq;
 pub mod predecode;
@@ -64,10 +66,12 @@ mod simulator;
 pub mod spec;
 mod stats;
 
+pub use batch::{run_batch, walk_key, SharedWalk};
 pub use cancel::{CancelToken, Cancelled};
 pub use config::{
     BtbVariant, CpfMode, FdipConfig, FrontendConfig, PifConfig, PredictorKind, PrefetcherKind,
     ShotgunConfig,
 };
+pub use events::{EventCalendar, EventKind};
 pub use simulator::{Simulator, StorageReport};
 pub use stats::{BranchStats, FdipStats, ShotgunStats, SimStats};

@@ -23,6 +23,24 @@ use crate::config::{CpfMode, FdipConfig};
 use crate::ftq::Ftq;
 use crate::stats::FdipStats;
 
+/// What an FTQ-side engine would do on upcoming cycles, as reported by
+/// pause analysis ([`FdipEngine::pause_until`]). The event kernel uses
+/// this to decide whether idle cycles may be skipped and which calendar
+/// event bounds the skip.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum EnginePause {
+    /// The engine would do observable work (stats or state change) this
+    /// cycle — the simulator must not skip.
+    Active,
+    /// The engine is blocked on something already in the calendar (a fill
+    /// completion frees an MSHR) or has no work at all; skipping is safe
+    /// with no extra event.
+    Idle,
+    /// The engine is blocked only on the bus; it becomes active at the
+    /// given cycle (scheduled as the bus-grant event).
+    Until(Cycle),
+}
+
 /// Outcome of running one candidate through the filter chain.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 enum Consider {
@@ -93,6 +111,94 @@ impl FdipEngine {
     /// fast-forward relies on this to skip over redirect stalls.
     pub fn is_quiescent(&self) -> bool {
         self.piq.is_empty() && !matches!(self.stall_path, Some((_, left)) if left > 0)
+    }
+
+    /// Pause analysis for the event kernel: would the next
+    /// [`per_cycle`](Self::per_cycle) call do observable work, and if not,
+    /// what bounds the wait? Mirrors [`scan`](Self::scan) and
+    /// [`issue`](Self::issue) *in their exact blocker order* so the
+    /// verdict matches what the oracle loop would have done:
+    ///
+    /// 1. scan would emit a candidate (or walk an armed stall path) →
+    ///    [`EnginePause::Active`] (every candidate counts a stat);
+    /// 2. PIQ empty (and issue disabled) → [`EnginePause::Idle`];
+    /// 3. remove-CPF probe would pop a now-cached head, or has no tag
+    ///    port to probe with (which counts a stat) → `Active`;
+    /// 4. `require_idle_bus` with a busy bus →
+    ///    [`EnginePause::Until`]`(bus free)`;
+    /// 5. the head would pop silently (in flight / in the prefetch
+    ///    buffer) → `Active`;
+    /// 6. no MSHR within the prefetch reserve → `Idle` (only a fill
+    ///    completion — already a calendar event — can unblock it);
+    /// 7. otherwise the head would issue → `Active`.
+    ///
+    /// Sound only under the kernel's skip preconditions (fetch inactive so
+    /// tag ports stay free and the FTQ does not pop; BPU blocked so the
+    /// FTQ does not push; skips stop at fill cycles so L1/MSHR/prefetch-
+    /// buffer/bus state is constant over the skipped range).
+    pub fn pause_until(&self, now: Cycle, ftq: &Ftq, mem: &MemoryHierarchy) -> EnginePause {
+        if self.scan_would_work(ftq) {
+            return EnginePause::Active;
+        }
+        let Some(&head) = self.piq.front() else {
+            return EnginePause::Idle;
+        };
+        if self.config.max_issue_per_cycle == 0 {
+            return EnginePause::Idle;
+        }
+        if matches!(self.config.cpf, CpfMode::Remove | CpfMode::Both) {
+            if mem.config().tag_ports == 0 {
+                // issue() counts probe_port_unavailable every cycle.
+                return EnginePause::Active;
+            }
+            if mem.probe_l1(head) {
+                // issue() would pop the head and count filtered_cpf_remove.
+                return EnginePause::Active;
+            }
+        }
+        if self.config.require_idle_bus && !mem.bus_idle(now) {
+            return EnginePause::Until(mem.bus().free_at());
+        }
+        if mem.in_flight(head) || mem.probe_prefetch_buffer(head) {
+            return EnginePause::Active;
+        }
+        if !mem.can_accept_prefetch() {
+            return EnginePause::Idle;
+        }
+        EnginePause::Active
+    }
+
+    /// Would [`scan`](Self::scan) find a candidate (or stall-path line)
+    /// from the current cursor? Replays the cursor-advance logic without
+    /// mutating it: advancing over exhausted entries emits no stats and
+    /// converges in a single real `scan` call, so skipping those cycles
+    /// is unobservable.
+    fn scan_would_work(&self, ftq: &Ftq) -> bool {
+        if self.config.scan_blocks_per_cycle == 0 {
+            return false;
+        }
+        let mut seq = self.scan_seq;
+        let mut block = self.scan_block;
+        loop {
+            let Some(entry) = ftq.lookahead_at_or_after(seq) else {
+                // Nothing beyond the head: an armed stall path with lines
+                // left emits one candidate per cycle.
+                return matches!(self.stall_path, Some((_, left)) if left > 0);
+            };
+            if entry.seq > seq {
+                block = 0;
+            }
+            if entry
+                .block
+                .cache_blocks(self.block_bytes)
+                .nth(block)
+                .is_some()
+            {
+                return true;
+            }
+            seq = entry.seq + 1;
+            block = 0;
+        }
     }
 
     /// Runs one cycle: scan then issue.
@@ -384,6 +490,61 @@ mod tests {
         }
         assert!(stats.dropped_piq_full > 0, "{stats:?}");
         assert_eq!(engine.piq_len(), 2);
+    }
+
+    #[test]
+    fn pause_analysis_tracks_the_blocker_chain() {
+        // Fresh engine over an FTQ with scannable work: active.
+        let ftq = ftq_with_blocks(&[0x1000, 0x2000]);
+        let fresh = engine(CpfMode::None);
+        let mem = mem();
+        assert_eq!(
+            fresh.pause_until(Cycle::ZERO, &ftq, &mem),
+            EnginePause::Active
+        );
+        // Empty FTQ, empty PIQ, no stall path: idle.
+        let empty = Ftq::new(16);
+        assert_eq!(
+            fresh.pause_until(Cycle::ZERO, &empty, &mem),
+            EnginePause::Idle
+        );
+        // Armed stall path keeps it active even with an empty FTQ.
+        let mut armed = engine(CpfMode::None);
+        armed.begin_stall_path(Addr::new(0x8000));
+        assert_eq!(
+            armed.pause_until(Cycle::ZERO, &empty, &mem),
+            EnginePause::Active
+        );
+    }
+
+    #[test]
+    fn pause_reports_bus_wait_cycle() {
+        let ftq = ftq_with_blocks(&[0x1000, 0x2000]);
+        let mut engine = FdipEngine::new(
+            FdipConfig {
+                require_idle_bus: true,
+                ..FdipConfig::default()
+            },
+            64,
+        );
+        let mut mem = mem();
+        let now = Cycle::ZERO;
+        mem.begin_cycle(now);
+        // Occupy the bus, then let scan fill the PIQ.
+        mem.demand_access(now, Addr::new(0x9000));
+        let mut stats = FdipStats::default();
+        engine.scan(&ftq, &mut mem, &mut stats);
+        assert!(engine.piq_len() > 0);
+        // Cursor is past the queue, so only issue remains — blocked on the
+        // bus until its free cycle.
+        let free_at = mem.bus().free_at();
+        assert!(free_at.is_after(now));
+        assert_eq!(
+            engine.pause_until(now, &ftq, &mem),
+            EnginePause::Until(free_at)
+        );
+        // Once the bus frees, the head would issue: active again.
+        assert_eq!(engine.pause_until(free_at, &ftq, &mem), EnginePause::Active);
     }
 
     #[test]

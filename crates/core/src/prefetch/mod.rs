@@ -15,7 +15,7 @@ mod pif;
 mod shotgun;
 mod stream;
 
-pub use fdip::FdipEngine;
+pub use fdip::{EnginePause, FdipEngine};
 pub use pif::PifEngine;
 pub use shotgun::ShotgunEngine;
 pub use stream::StreamAdapter;

@@ -3,12 +3,16 @@ use fdip_trace::Trace;
 use fdip_types::{Cycle, TraceInstr};
 
 use crate::backend::Backend;
-use crate::bpu::Bpu;
+use crate::batch::{walk_key, SharedWalk};
+use crate::bpu::{Bpu, Generated};
 use crate::config::{FrontendConfig, PrefetcherKind};
+use crate::events::{EventCalendar, EventKind};
 use crate::fetch::FetchEngine;
 use crate::ftq::{Ftq, Redirect};
 use crate::predecode::CodeMap;
-use crate::prefetch::{DemandSide, FdipEngine, PifEngine, ShotgunEngine, StreamAdapter};
+use crate::prefetch::{
+    DemandSide, EnginePause, FdipEngine, PifEngine, ShotgunEngine, StreamAdapter,
+};
 use crate::stats::SimStats;
 
 /// Storage breakdown of the front-end's prediction/prefetch structures —
@@ -61,13 +65,53 @@ impl FtqSide {
         }
     }
 
-    /// `true` when a per-cycle call with an empty FTQ would do no work.
-    fn is_quiescent(&self) -> bool {
+    /// Pause analysis for the event kernel: would the next per-cycle call
+    /// do observable work? FDIP has precise analysis
+    /// ([`FdipEngine::pause_until`]); Shotgun is handled conservatively
+    /// (skippable only when fully quiescent over an empty FTQ, matching
+    /// the old fast-forward's coverage).
+    fn pause_until(&self, now: Cycle, ftq: &Ftq, mem: &MemoryHierarchy) -> EnginePause {
         match self {
-            FtqSide::Fdip(e) => e.is_quiescent(),
-            FtqSide::Shotgun(e) => e.is_quiescent(),
-            FtqSide::None => true,
+            FtqSide::None => EnginePause::Idle,
+            FtqSide::Fdip(e) => e.pause_until(now, ftq, mem),
+            FtqSide::Shotgun(e) => {
+                if ftq.is_empty() && e.is_quiescent() {
+                    EnginePause::Idle
+                } else {
+                    EnginePause::Active
+                }
+            }
         }
+    }
+}
+
+/// Replay cursor over a [`SharedWalk`]: stands in for the live BPU in a
+/// lockstep batch, reproducing the exact `generate`/`resume` sequence the
+/// walk recorded without re-predicting anything.
+struct WalkCursor<'t> {
+    walk: &'t SharedWalk,
+    /// Next block to replay.
+    next: usize,
+    /// Mirrors `Bpu::is_stalled`: set when a redirect block is emitted,
+    /// cleared by resume.
+    stalled: bool,
+}
+
+impl WalkCursor<'_> {
+    /// Replays the next generated block (`None` while stalled or when the
+    /// walk is exhausted), mirroring [`Bpu::generate`]'s contract.
+    fn generate(&mut self) -> Option<Generated> {
+        if self.stalled || self.next >= self.walk.blocks.len() {
+            return None;
+        }
+        let g = self.walk.blocks[self.next];
+        self.next += 1;
+        self.stalled = g.redirect.is_some();
+        Some(g)
+    }
+
+    fn done(&self) -> bool {
+        self.next >= self.walk.blocks.len()
     }
 }
 
@@ -110,6 +154,17 @@ pub struct Simulator<'t> {
     finished_scratch: Vec<crate::ftq::FtqEntry>,
     /// Scratch for freshly filled blocks drained to the predecoder.
     predecode_scratch: Vec<fdip_types::Addr>,
+    /// The event calendar backing [`skip_idle_cycles`]
+    /// (see [`Self::skip_idle_cycles`]) — preallocated and reused, so the
+    /// kernel adds no per-cycle heap traffic.
+    calendar: EventCalendar,
+    /// Cycle-oracle mode: disables event-driven skipping entirely so the
+    /// loop ticks every cycle. The differential suite runs this as the
+    /// reference the event kernel must match byte-for-byte.
+    oracle: bool,
+    /// When simulating as part of a lockstep batch, the shared BPU walk to
+    /// replay instead of running the live BPU.
+    walk: Option<WalkCursor<'t>>,
     stats: SimStats,
     /// Measurement window start (set by [`Simulator::reset_stats`]).
     measure_from_cycle: Cycle,
@@ -174,15 +229,63 @@ impl<'t> Simulator<'t> {
             code_map,
             finished_scratch: Vec::with_capacity(config.fetch_width as usize),
             predecode_scratch: Vec::with_capacity(mem_config.mshrs),
+            calendar: EventCalendar::default(),
+            oracle: false,
+            walk: None,
             stats: SimStats::default(),
             measure_from_cycle: Cycle::ZERO,
             measure_from_retired: 0,
         }
     }
 
+    /// Builds a simulator that replays `walk` instead of running its own
+    /// BPU — the lockstep-batch path (see [`crate::batch`]): the trace is
+    /// decoded and predicted once, and every config sharing the walk's
+    /// BPU key replays the identical block sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, enables predecode BTB fill
+    /// (boomerang feeds prediction state dynamically, so its walk is not
+    /// shareable), or has a different BPU key than the walk was captured
+    /// with.
+    pub fn with_walk(config: &FrontendConfig, trace: &'t Trace, walk: &'t SharedWalk) -> Self {
+        assert!(
+            !config.predecode_btb_fill,
+            "predecode BTB fill configs cannot replay a shared walk"
+        );
+        assert_eq!(
+            walk_key(config),
+            walk.key,
+            "config BPU key must match the walk's"
+        );
+        let mut sim = Simulator::new(config, trace);
+        sim.walk = Some(WalkCursor {
+            walk,
+            next: 0,
+            stalled: false,
+        });
+        sim
+    }
+
     /// Convenience: build, run to completion, return the statistics.
     pub fn run_trace(config: &FrontendConfig, trace: &Trace) -> SimStats {
         Simulator::new(config, trace).run()
+    }
+
+    /// Reference path for differential testing: runs with the event kernel
+    /// disabled, ticking every cycle exactly as the pre-event-kernel loop
+    /// did. The event-driven [`run_trace`](Self::run_trace) must produce
+    /// byte-identical statistics.
+    pub fn run_trace_cycle_oracle(config: &FrontendConfig, trace: &Trace) -> SimStats {
+        let mut sim = Simulator::new(config, trace);
+        sim.set_cycle_oracle(true);
+        sim.run()
+    }
+
+    /// Enables/disables cycle-oracle mode (no event-driven skipping).
+    pub fn set_cycle_oracle(&mut self, oracle: bool) {
+        self.oracle = oracle;
     }
 
     /// The configuration in effect.
@@ -228,10 +331,14 @@ impl<'t> Simulator<'t> {
             }
         }
 
-        // Redirect resolution unblocks the BPU.
+        // Redirect resolution unblocks the BPU (or the walk cursor that
+        // stands in for it).
         if let Some(resume) = self.resume_at {
             if !resume.is_after(now) {
                 self.bpu.resume();
+                if let Some(cursor) = &mut self.walk {
+                    cursor.stalled = false;
+                }
                 self.resume_at = None;
                 self.ftq_side.end_stall_path();
             }
@@ -299,9 +406,20 @@ impl<'t> Simulator<'t> {
             FtqSide::None => {}
         }
 
-        // BPU runs ahead.
-        if !self.bpu.is_stalled() && !self.ftq.is_full() {
-            if let Some(g) = self.bpu.generate(self.trace, &mut self.stats.branches) {
+        // BPU runs ahead (a batch member replays the shared walk instead —
+        // same call sequence, no re-prediction).
+        if !self.ftq.is_full() {
+            let generated = match &mut self.walk {
+                Some(cursor) => cursor.generate(),
+                None => {
+                    if self.bpu.is_stalled() {
+                        None
+                    } else {
+                        self.bpu.generate(self.trace, &mut self.stats.branches)
+                    }
+                }
+            };
+            if let Some(g) = generated {
                 self.ftq
                     .push(g.block, g.trace_idx, g.redirect)
                     .expect("ftq checked not full");
@@ -319,48 +437,103 @@ impl<'t> Simulator<'t> {
         }
         self.stats.ftq_occupancy_sum += self.ftq.len() as u64;
         self.now = now.next();
-        self.fast_forward_idle();
+        if !self.oracle {
+            self.skip_idle_cycles();
+        }
     }
 
-    /// Idle-cycle fast-forward: while the BPU is stalled on a redirect and
-    /// every pipeline structure is provably quiescent, nothing happens
-    /// until either the redirect resolves or an outstanding fill arrives —
-    /// so jump `now` straight to the earlier of those two events instead
-    /// of stepping through the dead cycles one at a time.
+    /// Is the block feed (live BPU or walk cursor) unable to generate this
+    /// cycle — stalled on a redirect or out of trace?
+    fn feed_blocked(&self) -> bool {
+        match &self.walk {
+            Some(cursor) => cursor.stalled || cursor.done(),
+            None => self.bpu.is_stalled() || self.bpu.done(self.trace),
+        }
+    }
+
+    /// The event kernel: when every pipeline structure is provably inert,
+    /// jump `now` straight to the earliest calendar event instead of
+    /// ticking the dead cycles one at a time. Subsumes the old idle-cycle
+    /// fast-forward (BPU stalled over an empty machine, bounded by resume
+    /// or fill) as a degenerate case, and additionally skips fill waits
+    /// with queued work and bus-blocked prefetch stretches.
     ///
-    /// Each skipped cycle would have executed as: no fills applied, no
-    /// retirement (back-end empty), no delivery (FTQ empty, fetch idle),
-    /// no prefetcher work (engines quiescent), no BPU progress (stalled).
-    /// Its only observable effect is `fetch_stall_cycles += 1` and
-    /// `ftq_empty_cycles += 1` (FTQ occupancy contributes 0), which this
-    /// method accumulates arithmetically — statistics stay *identical* to
-    /// the cycle-by-cycle walk, as the determinism suite verifies.
-    fn fast_forward_idle(&mut self) {
-        let Some(resume) = self.resume_at else { return };
-        if !resume.is_after(self.now) || self.is_done() {
+    /// # Legality
+    ///
+    /// A cycle may be skipped only when *every* observable effect of
+    /// running it can be accounted for arithmetically:
+    ///
+    /// * back-end empty (`buffered() == 0`): retirement is a no-op;
+    /// * the block feed is blocked (stalled/exhausted BPU or a full FTQ):
+    ///   no entry is pushed;
+    /// * the demand-side prefetcher is passive (no background work);
+    /// * fetch is inert: waiting on an outstanding fill (it early-returns
+    ///   without touching ports or the FTQ), or facing an empty FTQ —
+    ///   either way `delivered == 0` and no entry pops;
+    /// * the FTQ-side engine reports [`EnginePause::Idle`] (no work, or
+    ///   blocked on an MSHR that only a scheduled fill can free) or
+    ///   [`EnginePause::Until`] (blocked on the bus, which becomes a
+    ///   calendar event).
+    ///
+    /// The skip target is the earliest of: the next MSHR fill (which
+    /// `begin_cycle` must apply — and the predecode tap observe — on its
+    /// exact cycle), the fetch engine's fill arrival, the pending BPU
+    /// resume, and the bus grant the prefetcher waits on. Machine state is
+    /// constant over the skipped range, so each skipped cycle contributes
+    /// exactly: `fetch_stall_cycles += 1`, `icache_stall_cycles += 1` iff
+    /// fetch waits on a fill, `ftq_empty_cycles += 1` iff the FTQ is
+    /// empty, and `ftq_occupancy_sum += len` — accumulated here in one
+    /// multiplication each. The differential suite pins byte-identity
+    /// against the cycle oracle.
+    fn skip_idle_cycles(&mut self) {
+        if self.is_done() || self.backend.buffered() != 0 {
             return;
         }
-        if !(self.bpu.is_stalled()
-            && self.ftq.is_empty()
-            && self.backend.buffered() == 0
-            && self.fetch.waiting_until().is_none()
-            && self.demand.is_passive()
-            && self.ftq_side.is_quiescent())
-        {
+        if !self.feed_blocked() && !self.ftq.is_full() {
             return;
         }
-        // The earliest upcoming event: redirect resolution, or a fill
-        // landing (which the predecode tap must observe on its cycle).
-        let target = match self.mem.next_event_cycle() {
-            Some(fill) if !fill.is_after(resume) => fill,
-            _ => resume,
+        if !self.demand.is_passive() {
+            return;
+        }
+        let fetch_wait = self.fetch.waiting_until();
+        if fetch_wait.is_none() && !self.ftq.is_empty() {
+            return;
+        }
+        let pause = self.ftq_side.pause_until(self.now, &self.ftq, &self.mem);
+        if pause == EnginePause::Active {
+            return;
+        }
+        self.calendar.clear();
+        if let Some(fill) = self.mem.next_event_cycle() {
+            self.calendar.schedule(EventKind::FillCompletion, fill);
+        }
+        if let Some(wait) = fetch_wait {
+            self.calendar.schedule(EventKind::FillCompletion, wait);
+        }
+        if let Some(resume) = self.resume_at {
+            self.calendar.schedule(EventKind::BpuResume, resume);
+        }
+        if let EnginePause::Until(grant) = pause {
+            // The grant and the issue retry it enables land on the same
+            // cycle; the calendar's priority order fires the grant first.
+            self.calendar.schedule(EventKind::BusGrant, grant);
+            self.calendar.schedule(EventKind::PrefetchIssue, grant);
+        }
+        let Some((target, _)) = self.calendar.next() else {
+            return;
         };
         if !target.is_after(self.now) {
             return;
         }
         let skipped = target - self.now;
         self.stats.fetch_stall_cycles += skipped;
-        self.stats.ftq_empty_cycles += skipped;
+        if fetch_wait.is_some() {
+            self.stats.icache_stall_cycles += skipped;
+        }
+        if self.ftq.is_empty() {
+            self.stats.ftq_empty_cycles += skipped;
+        }
+        self.stats.ftq_occupancy_sum += skipped * self.ftq.len() as u64;
         self.now = target;
     }
 
@@ -369,6 +542,13 @@ impl<'t> Simulator<'t> {
     /// warmup/measurement split. Subsequent statistics cover only the
     /// cycles and instructions after this call.
     pub fn reset_stats(&mut self) {
+        // Walk replay defers branch statistics to finalization (the walk
+        // holds the whole-trace totals), which a mid-run measurement
+        // window would silently misattribute.
+        assert!(
+            self.walk.is_none(),
+            "warmup/measurement splits are not supported under walk replay"
+        );
         self.stats = SimStats::default();
         self.mem.reset_stats();
         self.measure_from_cycle = self.now;
@@ -413,16 +593,16 @@ impl<'t> Simulator<'t> {
         self.finalize()
     }
 
-    /// How many cycles [`run_cancellable`](Self::run_cancellable) advances
-    /// between token polls. Polling costs an `Instant::now()` when the
-    /// token carries a deadline, so it is amortized over a stride instead
-    /// of paid every cycle; a cancelled run overshoots its budget by at
-    /// most this many cycles of simulation.
+    /// How many *simulated* cycles [`run_cancellable`](Self::run_cancellable)
+    /// advances between token polls (event-kernel skips count). Polling
+    /// costs an `Instant::now()` when the token carries a deadline, so it
+    /// is amortized over a stride instead of paid every step; a cancelled
+    /// run overshoots its budget by at most one stride of simulation.
     pub const CANCEL_POLL_STRIDE: u64 = 4_096;
 
     /// Runs to completion like [`run`](Self::run), but polls `token` every
-    /// [`CANCEL_POLL_STRIDE`](Self::CANCEL_POLL_STRIDE) cycles and stops
-    /// early with [`Cancelled`](crate::Cancelled) when it fires.
+    /// [`CANCEL_POLL_STRIDE`](Self::CANCEL_POLL_STRIDE) simulated cycles
+    /// and stops early with [`Cancelled`](crate::Cancelled) when it fires.
     ///
     /// # Errors
     ///
@@ -437,32 +617,58 @@ impl<'t> Simulator<'t> {
         token: &crate::CancelToken,
     ) -> Result<SimStats, crate::Cancelled> {
         let limit = 500 + self.trace.len() as u64 * 1_000;
-        let mut until_poll = Self::CANCEL_POLL_STRIDE;
+        // Poll on simulated-time boundaries, not step counts: the event
+        // kernel covers many cycles per step, and a pre-cancelled token
+        // must still stop short traces.
+        let mut next_poll = Self::CANCEL_POLL_STRIDE;
         while !self.is_done() {
             self.step();
             assert!(
                 self.now.raw() <= limit,
                 "simulation exceeded {limit} cycles — livelock?"
             );
-            until_poll -= 1;
-            if until_poll == 0 {
+            if self.now.raw() >= next_poll {
                 if token.is_cancelled() {
                     return Err(crate::Cancelled);
                 }
-                until_poll = Self::CANCEL_POLL_STRIDE;
+                next_poll = self.now.raw() + Self::CANCEL_POLL_STRIDE;
             }
         }
         Ok(self.finalize())
     }
 
     fn finalize(mut self) -> SimStats {
+        self.finalize_in_place()
+    }
+
+    /// Instructions retired so far — the lockstep batch runner's progress
+    /// measure for its quantum scheduling.
+    pub fn retired(&self) -> u64 {
+        self.backend.retired()
+    }
+
+    /// The current simulation cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Finalizes and takes the statistics without consuming the simulator
+    /// (the batch runner finalizes its members in place; the owning
+    /// [`run`](Self::run) paths delegate here).
+    pub(crate) fn finalize_in_place(&mut self) -> SimStats {
         self.stats.cycles = self.now - self.measure_from_cycle;
         self.stats.instructions = self.backend.retired() - self.measure_from_retired;
         self.stats.mem = self.mem.stats().clone();
         self.stats.bus_busy_cycles = self.mem.bus().busy_cycles();
         self.stats.stream_resets = self.demand.stream_resets();
         self.stats.pif_resets = self.demand.pif_resets();
-        self.stats
+        if let Some(cursor) = &self.walk {
+            // The walk accumulated the whole trace's branch statistics at
+            // capture time; a replay member never predicts, so it takes
+            // the totals here. Nothing reads `stats.branches` mid-run.
+            self.stats.branches = cursor.walk.branches.clone();
+        }
+        std::mem::take(&mut self.stats)
     }
 }
 
@@ -498,6 +704,53 @@ mod tests {
         let a = Simulator::run_trace(&config, &trace);
         let b = Simulator::run_trace(&config, &trace);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn event_kernel_matches_cycle_oracle_smoke() {
+        // Fixed-seed tier-1 version of the differential proptest: the
+        // event-driven kernel must match the cycle-by-cycle oracle
+        // field-for-field across profiles and prefetchers.
+        let configs = [
+            ("baseline", FrontendConfig::default()),
+            (
+                "fdip",
+                FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+            ),
+            (
+                "fdip_cpf",
+                FrontendConfig::default()
+                    .with_prefetcher(PrefetcherKind::fdip_with_cpf(CpfMode::Both)),
+            ),
+            (
+                "ftb_fdip",
+                FrontendConfig::default()
+                    .with_btb(BtbVariant::basic_block(2048))
+                    .with_prefetcher(PrefetcherKind::fdip()),
+            ),
+            (
+                "shotgun",
+                FrontendConfig::default().with_prefetcher(PrefetcherKind::shotgun()),
+            ),
+            (
+                "nlp",
+                FrontendConfig::default().with_prefetcher(PrefetcherKind::NextLine),
+            ),
+        ];
+        for profile in [Profile::Server, Profile::MicroLoop, Profile::Jumpy] {
+            let trace = GeneratorConfig::profile(profile)
+                .seed(13)
+                .target_len(15_000)
+                .generate();
+            for (name, config) in &configs {
+                let event = Simulator::run_trace(config, &trace);
+                let oracle = Simulator::run_trace_cycle_oracle(config, &trace);
+                assert_eq!(
+                    event, oracle,
+                    "{profile:?} / {name} diverged from the cycle oracle"
+                );
+            }
+        }
     }
 
     #[test]

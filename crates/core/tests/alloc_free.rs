@@ -54,18 +54,19 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
-/// Runs `config` unarmed for `warmup_cycles`, then arms the counter for
-/// the rest of the run and returns the allocation count.
-fn steady_state_allocs(config: &FrontendConfig, warmup_cycles: u64) -> u64 {
+/// Runs `config` unarmed until `warmup_instrs` instructions have retired,
+/// then arms the counter for the rest of the run and returns the
+/// allocation count. Warmup is measured in retired instructions, not
+/// `step()` calls: the event kernel skips idle spans, so the number of
+/// steps per instruction varies by config and would make a step-count
+/// warmup overrun the trace.
+fn steady_state_allocs(config: &FrontendConfig, warmup_instrs: u64) -> u64 {
     let trace = GeneratorConfig::profile(Profile::Server)
         .seed(5)
         .target_len(50_000)
         .generate();
     let mut sim = Simulator::new(config, &trace);
-    for _ in 0..warmup_cycles {
-        if sim.is_done() {
-            break;
-        }
+    while !sim.is_done() && sim.retired() < warmup_instrs {
         sim.step();
     }
     assert!(!sim.is_done(), "warmup consumed the whole trace");
@@ -115,11 +116,10 @@ fn step_is_allocation_free_in_steady_state() {
         ),
     ];
     for (name, config) in configs {
-        // ~40k warmup cycles retires roughly half of the 50k-instruction
-        // trace on the slowest config: comfortably past the point where
-        // every lazily grown structure (BTB set vecs, prefetch queues,
-        // stream buffers) hits its high-water capacity.
-        let allocs = steady_state_allocs(&config, 40_000);
+        // Retiring half of the 50k-instruction trace is comfortably past
+        // the point where every lazily grown structure (BTB set vecs,
+        // prefetch queues, stream buffers) hits its high-water capacity.
+        let allocs = steady_state_allocs(&config, 25_000);
         assert_eq!(
             allocs, 0,
             "{name}: {allocs} heap allocations in steady state (post-warmup)"

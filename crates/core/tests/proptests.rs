@@ -126,6 +126,79 @@ proptest! {
     }
 
     #[test]
+    fn event_kernel_matches_cycle_oracle(
+        profile in profile_strategy(),
+        seed in 0u64..50,
+        prefetcher in prop_oneof![
+            Just(PrefetcherKind::None),
+            Just(PrefetcherKind::fdip()),
+            (0usize..4, any::<bool>(), 0u32..16).prop_map(|(cpf, bus, stall)| {
+                let cpf = [
+                    CpfMode::None,
+                    CpfMode::Enqueue,
+                    CpfMode::Remove,
+                    CpfMode::Both,
+                ][cpf];
+                PrefetcherKind::Fdip(FdipConfig {
+                    cpf,
+                    require_idle_bus: bus,
+                    stall_path_lines: stall,
+                    ..FdipConfig::default()
+                })
+            }),
+        ],
+        btb in btb_strategy(),
+        ftq in 1usize..40,
+    ) {
+        // The event-driven kernel must be observationally equivalent to
+        // the cycle-by-cycle oracle: equal stats structs, field by field
+        // (SimStats derives PartialEq over every counter).
+        let trace = GeneratorConfig::profile(profile)
+            .seed(seed)
+            .target_len(8_000)
+            .generate();
+        let config = FrontendConfig {
+            ftq_entries: ftq,
+            btb,
+            prefetcher,
+            ..FrontendConfig::default()
+        };
+        let event = Simulator::run_trace(&config, &trace);
+        let oracle = Simulator::run_trace_cycle_oracle(&config, &trace);
+        prop_assert_eq!(event, oracle);
+    }
+
+    #[test]
+    fn batched_sweep_equals_independent_runs(
+        profile in profile_strategy(),
+        seed in 0u64..50,
+        prefetcher in prefetcher_strategy(),
+    ) {
+        // A lockstep batch mixing shared-walk members (same BPU key),
+        // a different-key member, and a live-BPU boomerang member must
+        // reproduce each config's solo statistics exactly.
+        let trace = GeneratorConfig::profile(profile)
+            .seed(seed)
+            .target_len(6_000)
+            .generate();
+        let configs = vec![
+            FrontendConfig::default(),
+            FrontendConfig::default().with_prefetcher(prefetcher),
+            FrontendConfig::default()
+                .with_btb(BtbVariant::basic_block(2048))
+                .with_prefetcher(PrefetcherKind::fdip()),
+            FrontendConfig::default()
+                .with_prefetcher(PrefetcherKind::fdip())
+                .with_predecode_btb_fill(true),
+        ];
+        let batched = fdip::run_batch(&configs, &trace);
+        for (config, batched) in configs.iter().zip(batched) {
+            let solo = Simulator::run_trace(config, &trace);
+            prop_assert_eq!(solo, batched);
+        }
+    }
+
+    #[test]
     fn prefetching_never_changes_the_retired_work(
         seed in 0u64..50,
         prefetcher in prefetcher_strategy(),

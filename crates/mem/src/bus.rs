@@ -53,6 +53,13 @@ impl Bus {
         !self.free_at.is_after(now)
     }
 
+    /// First cycle at which the bus is free (a request at or after this
+    /// cycle starts immediately). Event-driven callers use this to
+    /// schedule the next bus-grant event instead of polling `is_idle`.
+    pub fn free_at(&self) -> Cycle {
+        self.free_at
+    }
+
     /// Requests a transfer at `now`; returns the grant (start) cycle and
     /// occupies the bus until `grant + transfer_cycles`.
     pub fn request(&mut self, now: Cycle) -> Cycle {

@@ -433,6 +433,15 @@ impl MemoryHierarchy {
     pub fn next_event_cycle(&self) -> Option<Cycle> {
         self.mshrs.next_ready()
     }
+
+    /// Would [`issue_prefetch`](Self::issue_prefetch) find a free MSHR
+    /// right now? Mirrors its reserve check exactly, without mutating
+    /// anything — pause analysis uses this to tell a throughput-limited
+    /// prefetcher ("would issue": active) from an MSHR-starved one
+    /// ("blocked until a fill lands": idle, bounded by the fill event).
+    pub fn can_accept_prefetch(&self) -> bool {
+        self.mshrs.len() + self.config.prefetch_mshr_reserve < self.config.mshrs
+    }
 }
 
 #[cfg(test)]

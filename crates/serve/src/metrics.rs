@@ -192,6 +192,11 @@ impl Metrics {
                 harness.cells_simulated,
             ),
             (
+                "fdip_serve_harness_cells_batched_total",
+                "Cells simulated inside a lockstep multi-config batch.",
+                harness.cells_batched,
+            ),
+            (
                 "fdip_serve_harness_cell_hits_total",
                 "Cell requests served from the harness cache.",
                 harness.cell_hits,
@@ -269,6 +274,7 @@ mod tests {
 
         let harness = HarnessStats {
             cells_simulated: 5,
+            cells_batched: 11,
             cell_hits: 7,
             cells_failed: 2,
             cell_retries: 4,
@@ -292,6 +298,7 @@ mod tests {
         assert!(text.contains("fdip_serve_request_seconds_count 2"));
         assert!(text.contains("fdip_serve_request_seconds_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("fdip_serve_harness_cells_simulated_total 5"));
+        assert!(text.contains("fdip_serve_harness_cells_batched_total 11"));
         assert!(text.contains("fdip_serve_harness_cell_hits_total 7"));
         assert!(text.contains("fdip_serve_harness_cells_failed_total 2"));
         assert!(text.contains("fdip_serve_harness_cell_retries_total 4"));

@@ -18,7 +18,17 @@
 //! * the **scheduler** hands out individual cells to worker threads
 //!   work-stealing style, then assembles results in workload-major input
 //!   order, so output is byte-identical regardless of thread count
-//!   (covered by `determinism.rs`).
+//!   (covered by `determinism.rs`);
+//! * the **lockstep batch pass** runs a matrix's not-yet-cached configs
+//!   for each workload through [`fdip::run_batch`] — one shared BPU walk
+//!   per walk key instead of one per config — before the per-cell
+//!   scheduler mops up whatever the pass could not claim. Batched cells
+//!   produce byte-identical statistics to solo runs (enforced by
+//!   `fdip`'s differential proptests and the tests here), share the same
+//!   cache slots and fingerprints, and journal identically; the pass
+//!   stands down entirely when a fault plan, process isolation, or a
+//!   cell budget is active, or when [`Harness::set_batching`] turned it
+//!   off (`--batch=off` on the CLIs).
 //!
 //! On top of the caching sits the fault model (see [`crate::fault`]):
 //!
@@ -71,7 +81,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
-use fdip::{CancelToken, Cancelled, FrontendConfig, SimStats, Simulator};
+use fdip::{run_batch, CancelToken, Cancelled, FrontendConfig, SimStats, Simulator};
 use fdip_trace::{Trace, TraceStats};
 
 use crate::fault::{fnv1a, splitmix64, CellError, FaultAction, FaultPlan, RetryPolicy};
@@ -119,6 +129,9 @@ pub struct HarnessStats {
     pub traces_shared: u64,
     /// Cells actually simulated (cell-cache misses).
     pub cells_simulated: u64,
+    /// Cells computed by the lockstep batch pass (a subset of
+    /// `cells_simulated`; zero when batching is off or ineligible).
+    pub cells_batched: u64,
     /// Cell requests served from the cache after simulation finished.
     pub cell_hits: u64,
     /// Cell requests coalesced onto another thread's in-flight simulation.
@@ -159,6 +172,7 @@ impl fdip_types::ToJson for HarnessStats {
             trace_hits,
             traces_shared,
             cells_simulated,
+            cells_batched,
             cell_hits,
             cells_shared,
             cells_failed,
@@ -221,10 +235,14 @@ pub struct Harness {
     journal: Mutex<Option<Arc<Journal>>>,
     /// When set, cell attempts run in supervised worker processes.
     isolation: Mutex<Option<Arc<Supervisor>>>,
+    /// Inverted so `Default` yields batching *on* (see
+    /// [`set_batching`](Self::set_batching)).
+    batch_off: std::sync::atomic::AtomicBool,
     traces_generated: AtomicU64,
     trace_hits: AtomicU64,
     traces_shared: AtomicU64,
     cells_simulated: AtomicU64,
+    cells_batched: AtomicU64,
     cell_hits: AtomicU64,
     cells_shared: AtomicU64,
     cells_failed: AtomicU64,
@@ -271,6 +289,7 @@ impl Harness {
             trace_hits: self.trace_hits.load(Ordering::Relaxed),
             traces_shared: self.traces_shared.load(Ordering::Relaxed),
             cells_simulated: self.cells_simulated.load(Ordering::Relaxed),
+            cells_batched: self.cells_batched.load(Ordering::Relaxed),
             cell_hits: self.cell_hits.load(Ordering::Relaxed),
             cells_shared: self.cells_shared.load(Ordering::Relaxed),
             cells_failed: self.cells_failed.load(Ordering::Relaxed),
@@ -305,6 +324,22 @@ impl Harness {
     /// only on cells that actually *compute*; cached cells never fault.
     pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
         *lock(&self.faults) = plan.map(Arc::new);
+    }
+
+    /// Enables or disables the lockstep batch pass (on by default).
+    /// Results are byte-identical either way — turning it off trades the
+    /// shared-walk speedup for per-cell scheduling, and exists so a
+    /// suspected batching miscompare can be bisected against solo runs
+    /// (`--batch=off` on `fdip exp` / `exp_all`).
+    pub fn set_batching(&self, on: bool) {
+        self.batch_off.store(!on, Ordering::Relaxed);
+    }
+
+    /// Whether [`run_matrix`](Self::run_matrix) may use the lockstep
+    /// batch pass. Fault plans, isolation, and cell budgets additionally
+    /// suspend it per matrix without clearing this flag.
+    pub fn batching_enabled(&self) -> bool {
+        !self.batch_off.load(Ordering::Relaxed)
     }
 
     /// Replaces the retry policy applied to every subsequent cell compute.
@@ -682,6 +717,154 @@ impl Harness {
         Ok((entry, Arc::new(stats)))
     }
 
+    /// The lockstep batch pass over one matrix: for each workload, claim
+    /// every idle cell slot (first occurrence per config fingerprint) and
+    /// simulate the claimed configs together through [`fdip::run_batch`]
+    /// — one shared BPU walk per walk key. Returns finished results
+    /// indexed by workload-major slot; `None` slots flow through the
+    /// per-cell scheduler (already-cached cells, cells another thread is
+    /// computing, duplicate-fingerprint labels — which then hit the cache
+    /// exactly as they would solo — and everything when the pass is
+    /// ineligible).
+    ///
+    /// Eligibility mirrors the solo path's extra machinery: a fault plan
+    /// (faults are per-cell attempts), process isolation (cells run in
+    /// disposable workers), or a cell wall-clock budget (cancellation is
+    /// not plumbed through the lockstep loop) each suspend the pass, as
+    /// does [`set_batching`](Self::set_batching)`(false)` or a
+    /// single-config matrix (nothing to share).
+    fn batch_pass(
+        &self,
+        workloads: &[WorkloadSpec],
+        trace_len: usize,
+        configs: &[(String, FrontendConfig)],
+        threads: usize,
+    ) -> Vec<Option<RunResult>> {
+        let mut out: Vec<Option<RunResult>> = Vec::new();
+        out.resize_with(workloads.len() * configs.len(), || None);
+        if !self.batching_enabled()
+            || configs.len() < 2
+            || lock(&self.faults).is_some()
+            || lock(&self.isolation).is_some()
+            || self.retry_policy().cell_budget.is_some()
+        {
+            return out;
+        }
+        // One batch per workload; workloads parallelize across threads
+        // (each batch itself is single-threaded lockstep).
+        type WorkloadChunk<'a> = (usize, &'a mut [Option<RunResult>]);
+        let queue: Mutex<Vec<WorkloadChunk<'_>>> =
+            Mutex::new(out.chunks_mut(configs.len()).enumerate().collect());
+        let drain = |harness: &Harness| loop {
+            let Some((w, chunk)) = lock(&queue).pop() else {
+                return;
+            };
+            harness.batch_workload(&workloads[w], trace_len, configs, chunk);
+        };
+        if threads <= 1 {
+            drain(self);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(workloads.len()) {
+                    scope.spawn(|| drain(self));
+                }
+            });
+        }
+        drop(queue);
+        out
+    }
+
+    /// Claims and batch-simulates one workload's idle cells; fills the
+    /// workload's `out` slice (indexed by config position) for every cell
+    /// it completed. With fewer than two claimable cells the claims are
+    /// released untouched — a lone cell gains nothing from the batch
+    /// machinery. A panic inside the batch releases every claimed slot to
+    /// idle so the per-cell path recomputes (and types) the failure solo.
+    fn batch_workload(
+        &self,
+        spec: &WorkloadSpec,
+        trace_len: usize,
+        configs: &[(String, FrontendConfig)],
+        out: &mut [Option<RunResult>],
+    ) {
+        // (config index, slot, fingerprint) per claimed cell.
+        let mut claimed: Vec<(usize, Arc<CellSlot>, String)> = Vec::new();
+        for (c, (_, config)) in configs.iter().enumerate() {
+            let fingerprint = config_fingerprint(config);
+            if claimed.iter().any(|(_, _, f)| f == &fingerprint) {
+                continue; // duplicate label: later a plain cache hit
+            }
+            let slot = {
+                let mut map = lock(&self.cells);
+                map.entry((spec.name.clone(), trace_len, fingerprint.clone()))
+                    .or_default()
+                    .clone()
+            };
+            let mut state = lock(&slot.state);
+            if matches!(*state, CellState::Idle) {
+                *state = CellState::Computing;
+                drop(state);
+                claimed.push((c, slot, fingerprint));
+            }
+        }
+        if claimed.len() < 2 {
+            for (_, slot, _) in &claimed {
+                *lock(&slot.state) = CellState::Idle;
+                slot.done.notify_all();
+            }
+            return;
+        }
+        // One trace-store request per claimed cell, exactly as the
+        // per-cell path would make — keeps the hit/shared telemetry
+        // split identical whether or not cells batch.
+        let mut entry = self.trace(spec, trace_len);
+        for _ in 1..claimed.len() {
+            entry = self.trace(spec, trace_len);
+        }
+        let batch_configs: Vec<FrontendConfig> = claimed
+            .iter()
+            .map(|(c, _, _)| configs[*c].1.clone())
+            .collect();
+        let outcome =
+            quiet_catch_unwind(AssertUnwindSafe(|| run_batch(&batch_configs, &entry.trace)));
+        let Ok(batch_stats) = outcome else {
+            for (_, slot, _) in &claimed {
+                *lock(&slot.state) = CellState::Idle;
+                slot.done.notify_all();
+            }
+            return;
+        };
+        let journal = lock(&self.journal).clone();
+        for ((c, slot, fingerprint), stats) in claimed.into_iter().zip(batch_stats) {
+            let stats = Arc::new(stats);
+            *lock(&slot.state) = CellState::Done(Arc::clone(&stats));
+            slot.done.notify_all();
+            self.cells_simulated.fetch_add(1, Ordering::Relaxed);
+            self.cells_batched.fetch_add(1, Ordering::Relaxed);
+            if let Some(journal) = &journal {
+                let record = JournalEntry {
+                    workload: spec.name.clone(),
+                    trace_len,
+                    config: fingerprint,
+                    stats: (*stats).clone(),
+                };
+                if let Err(err) = journal.append(&record) {
+                    eprintln!(
+                        "warning: journal append to {} failed: {err}",
+                        journal.path().display()
+                    );
+                }
+            }
+            out[c] = Some(RunResult {
+                workload: spec.name.clone(),
+                config: configs[c].0.clone(),
+                stats: (*stats).clone(),
+                trace_stats: entry.stats.clone(),
+                error: None,
+            });
+        }
+    }
+
     /// Evaluates `configs` × `workloads` over traces of `trace_len`.
     ///
     /// Parallelism is cell-granular: each worker steals one
@@ -740,17 +923,31 @@ impl Harness {
             });
         }
 
+        // Lockstep batch pass: simulate each workload's idle cells
+        // together over one shared BPU walk where their keys allow. The
+        // per-cell loop below then only sees cache hits for those slots.
+        let prefilled = self.batch_pass(workloads, trace_len, configs, threads);
+        let filled: Vec<bool> = prefilled.iter().map(Option::is_some).collect();
+
         // Hand cells out config-major (cell k ↦ workload k % W) so
         // neighboring steals touch different traces and the work mix per
         // thread stays varied.
         let next = std::sync::atomic::AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, RunResult)>> = Mutex::new(Vec::with_capacity(total));
+        for (slot, result) in prefilled.into_iter().enumerate() {
+            if let Some(result) = result {
+                lock(&collected).push((slot, result));
+            }
+        }
         let work = |harness: &Harness| loop {
             let k = next.fetch_add(1, Ordering::Relaxed);
             if k >= total {
                 return;
             }
             let (w, c) = (k % workloads.len(), k / workloads.len());
+            if filled[w * configs.len() + c] {
+                continue;
+            }
             let spec = &workloads[w];
             let (label, config) = &configs[c];
             let result = match harness.cell_stats(spec, trace_len, label, config) {
@@ -1231,5 +1428,92 @@ mod tests {
             );
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_matrix_is_byte_identical_to_solo() {
+        let workloads = suite(SuiteKind::Client, Scale::quick());
+        // Mix shared-walk configs with a walk-key singleton so the batch
+        // exercises both the shared and private BPU paths.
+        let configs = vec![
+            ("base".to_string(), FrontendConfig::default()),
+            (
+                "fdip".to_string(),
+                FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+            ),
+            (
+                "ftb".to_string(),
+                FrontendConfig::default()
+                    .with_btb(fdip::BtbVariant::basic_block(2048))
+                    .with_prefetcher(PrefetcherKind::fdip()),
+            ),
+        ];
+
+        let batched = Harness::new();
+        let a = batched.run_matrix(&workloads, LEN, &configs);
+        let bst = batched.stats();
+        assert_eq!(bst.cells_batched, 3, "{bst:?}");
+        assert_eq!(bst.cells_simulated, 3, "{bst:?}");
+
+        let solo = Harness::new();
+        solo.set_batching(false);
+        let b = solo.run_matrix(&workloads, LEN, &configs);
+        let sst = solo.stats();
+        assert_eq!(sst.cells_batched, 0, "{sst:?}");
+        assert_eq!(sst.cells_simulated, 3, "{sst:?}");
+        // Trace-store telemetry must not reveal which path ran either.
+        assert_eq!(
+            bst.traces_generated, sst.traces_generated,
+            "{bst:?} {sst:?}"
+        );
+        assert_eq!(bst.trace_hits, sst.trace_hits, "{bst:?} {sst:?}");
+
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(
+                fdip_types::ToJson::to_json(x).to_string(),
+                fdip_types::ToJson::to_json(y).to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn fault_plan_suspends_the_batch_pass() {
+        let harness = Harness::new();
+        harness.set_retry_policy(eager_retry(3));
+        harness.set_fault_plan(Some(FaultPlan::parse("transient@client-1/base:1").unwrap()));
+        let workloads = suite(SuiteKind::Client, Scale::quick());
+        let results = harness.run_matrix(&workloads, LEN, &configs());
+        // Every cell went through the per-cell path, where the fault hook
+        // lives: the fault fired (and retried) instead of being skipped.
+        let st = harness.stats();
+        assert_eq!(st.cells_batched, 0, "{st:?}");
+        assert_eq!(st.cell_retries, 1, "{st:?}");
+        assert!(results.try_cell("client-1", "base").is_ok());
+    }
+
+    #[test]
+    fn duplicate_labels_batch_once_and_hit_for_the_rest() {
+        let harness = Harness::new();
+        let workloads = suite(SuiteKind::Client, Scale::quick());
+        let dup = vec![
+            ("a".to_string(), FrontendConfig::default()),
+            (
+                "b".to_string(),
+                FrontendConfig::default().with_prefetcher(PrefetcherKind::fdip()),
+            ),
+            ("a-again".to_string(), FrontendConfig::default()),
+        ];
+        let results = harness.run_matrix(&workloads, LEN, &dup);
+        let st = harness.stats();
+        // Two distinct fingerprints batch; the relabeled duplicate is an
+        // ordinary cache hit, exactly as it is on the solo path.
+        assert_eq!(st.cells_batched, 2, "{st:?}");
+        assert_eq!(st.cells_simulated, 2, "{st:?}");
+        assert_eq!(st.cell_hits, 1, "{st:?}");
+        assert_eq!(
+            results.try_cell("client-1", "a").unwrap().stats,
+            results.try_cell("client-1", "a-again").unwrap().stats
+        );
     }
 }
