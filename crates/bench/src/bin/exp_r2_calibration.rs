@@ -1,0 +1,6 @@
+//! Regenerates experiment `r2` (see DESIGN.md for the experiment
+//! index). Accepts `--quick` / `--medium` / `--full`.
+
+fn main() {
+    fdip_bench::run_and_print("r2");
+}

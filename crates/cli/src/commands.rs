@@ -14,8 +14,13 @@ use crate::args::Args;
 /// Every subcommand, paired with its one-line summary. The dispatch
 /// table, the usage text, and the unknown-command error all derive from
 /// this list so they cannot drift apart.
-pub const COMMANDS: [(&str, &str); 10] = [
+pub const COMMANDS: [(&str, &str); 12] = [
     ("gen", "generate a workload trace"),
+    ("asm", "assemble a FISA source file and report the program"),
+    (
+        "run-prog",
+        "execute a library program or FISA source file (trace out or simulate)",
+    ),
     ("stats", "characterize a trace"),
     ("run", "simulate a trace"),
     ("compare", "run every prefetcher on a trace"),
@@ -40,6 +45,16 @@ usage: fdip <command> [options]
 commands:
   gen      --profile client|server|microloop|jumpy [--seed N] [--len N]
            --out FILE [--format binary|text]     generate a workload trace
+  asm      FILE                                  assemble a FISA source file and
+                                                 report the program (instruction and
+                                                 data sizes, entry, symbol table)
+  run-prog NAME|FILE [--len N] [--out FILE] [--seed N] [run flags]
+                                                 execute a library program, scenario,
+                                                 or FISA source file; with --out the
+                                                 emitted trace is written, otherwise
+                                                 it is simulated like `run` (same
+                                                 config flags); list names with
+                                                 `run-prog list`
   stats    FILE                                  characterize a trace
   run      FILE [--prefetcher none|nlp|stream|fdip|shotgun|pif] [--cpf none|enqueue|remove|both]
            [--btb conventional:N|bb:N|fdipx:N|ideal] [--predictor bimodal|gshare|hybrid|local|tage|perfect]
@@ -108,6 +123,8 @@ pub fn dispatch(argv: &[String]) -> CliResult {
     let args = Args::parse(rest)?;
     match command.as_str() {
         "gen" => cmd_gen(&args),
+        "asm" => cmd_asm(&args),
+        "run-prog" => cmd_run_prog(&args),
         "stats" => cmd_stats(&args),
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
@@ -183,6 +200,99 @@ fn cmd_gen(args: &Args) -> CliResult {
         stats.footprint_bytes as f64 / 1024.0,
         stats.static_taken_branches,
     );
+    Ok(())
+}
+
+/// Assembles `path` (program name = file stem) or explains why it can't.
+fn assemble_file(path: &str) -> Result<fdip_isa::Program, Box<dyn Error>> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let name = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program")
+        .to_string();
+    fdip_isa::assemble(&name, &src).map_err(|e| format!("{path}:{e}").into())
+}
+
+fn cmd_asm(args: &Args) -> CliResult {
+    let files = args.expect_positional(1, "asm takes exactly one FISA source file")?;
+    args.reject_unknown()?;
+    let program = assemble_file(&files[0])?;
+    let control = program.insts.iter().filter(|i| i.is_control()).count();
+    println!("program:       {}", program.name);
+    println!(
+        "instructions:  {} ({} control-flow)",
+        program.insts.len(),
+        control
+    );
+    println!("data words:    {}", program.data.len());
+    println!("entry:         inst {}", program.entry);
+    println!("symbols:");
+    for s in &program.symbols {
+        println!("  {:<5} {:>8}  {}", s.kind.tag(), s.value, s.name);
+    }
+    Ok(())
+}
+
+fn cmd_run_prog(args: &Args) -> CliResult {
+    let files = args.expect_positional(
+        1,
+        "run-prog takes a program name, scenario name, or source file",
+    )?;
+    let target = files[0].as_str();
+    if target == "list" {
+        args.reject_unknown()?;
+        println!("library programs:");
+        for name in fdip_isa::library::names() {
+            let p = fdip_isa::library::load(name).expect("library name");
+            println!("  {:<8} {} instructions", name, p.insts.len());
+        }
+        println!("scenarios (take --seed):");
+        for def in fdip_isa::scenario::SCENARIOS {
+            println!("  {:<10} {}", def.name, def.describe);
+        }
+        return Ok(());
+    }
+    let len = args.get_or("len", 200_000usize, "an instruction count")?;
+    let seed = args.get_or("seed", 0u64, "an integer seed")?;
+    let out = args.get("out").map(str::to_string);
+
+    // Resolution order: library program, scenario, then a source file —
+    // catalogue names are reserved words, paths can always disambiguate
+    // with `./`.
+    let trace = if let Some(t) = fdip_isa::library::trace(target, target, len) {
+        t
+    } else if let Some(t) = fdip_isa::scenario::trace(target, seed, target, len) {
+        t
+    } else {
+        let program = assemble_file(target)?;
+        let name = program.name.clone();
+        fdip_isa::program_trace(&program, &name, len)
+            .map_err(|e| format!("{target}: execution failed: {e}"))?
+    };
+
+    if let Some(out) = out {
+        args.reject_unknown()?;
+        save_trace(&out, &trace, false)?;
+        let stats = TraceStats::measure(&trace);
+        println!(
+            "wrote {} ({} instructions, {:.1} KB footprint, {:.1} branches/KI)",
+            out,
+            trace.len(),
+            stats.footprint_bytes as f64 / 1024.0,
+            stats.branch_pki(),
+        );
+        return Ok(());
+    }
+    let config = config_from_args(args)?;
+    args.reject_unknown()?;
+    let stats = Simulator::run_trace(&config, &trace);
+    println!("workload:      {}", trace.name());
+    println!("prefetcher:    {}", config.prefetcher.name());
+    println!("instructions:  {}", stats.instructions);
+    println!("cycles:        {}", stats.cycles);
+    println!("IPC:           {:.3}", stats.ipc());
+    println!("L1-I MPKI:     {:.2}", stats.l1i_mpki());
     Ok(())
 }
 
@@ -779,6 +889,52 @@ mod tests {
         let window = load_trace(cut.to_str().unwrap()).unwrap();
         assert_eq!(window.len(), 500);
         window.validate().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn asm_and_run_prog_round_trip() {
+        let dir = std::env::temp_dir().join("fdip-cli-asm-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("count.fasm");
+        let out = dir.join("count.fdt");
+        std::fs::write(
+            &src,
+            "main: li r1, 50\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt\n",
+        )
+        .unwrap();
+        let src_s = src.to_str().unwrap().to_string();
+
+        dispatch(&["asm".into(), src_s.clone()]).unwrap();
+        dispatch(&[
+            "run-prog".into(),
+            src_s.clone(),
+            "--len".into(),
+            "2000".into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let trace = load_trace(out.to_str().unwrap()).unwrap();
+        assert!(trace.len() >= 2000);
+        assert_eq!(trace.name(), "count");
+
+        // Library programs and scenarios resolve by name and simulate.
+        dispatch(&argv("run-prog fib --len 2000 --prefetcher fdip")).unwrap();
+        dispatch(&argv("run-prog irq-vm --len 2000 --seed 3")).unwrap();
+        dispatch(&argv("run-prog list")).unwrap();
+
+        // Assembly errors surface as typed errors with the source path.
+        std::fs::write(&src, "main: frob r1\nhalt\n").unwrap();
+        let err = dispatch(&["asm".into(), src_s.clone()])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown mnemonic"), "{err}");
+        assert!(err.contains("count.fasm"), "{err}");
+        let err = dispatch(&argv("run-prog no-such-thing"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("no-such-thing"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

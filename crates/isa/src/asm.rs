@@ -1,0 +1,1136 @@
+//! The two-pass FISA assembler.
+//!
+//! Source syntax (one statement per line, `;` or `#` comments):
+//!
+//! ```text
+//! .equ  N, 96              ; constants (numbers and other .equ only)
+//!         li   r1, N
+//! loop:   addi r1, r1, -1
+//!         bne  r1, r0, loop
+//!         call fn
+//!         halt
+//! fn:     ret
+//! .data
+//! arr:    .word 1, 2, fn   ; words may reference any symbol
+//! buf:    .space 16
+//! msg:    .ascii "hi"      ; one word per character
+//! ```
+//!
+//! Pass 1 parses every line and lays out both sections (code labels get
+//! instruction indices, data labels word indices); `.equ` constants are
+//! resolved up front with cycle detection. Pass 2 evaluates operand
+//! expressions against the full symbol table and materializes the
+//! [`Program`]. All failures are typed [`AsmError`]s carrying spans —
+//! malformed input never panics.
+
+use std::collections::HashMap;
+
+use crate::error::{AsmError, Span};
+use crate::inst::{AluOp, BrCond, Inst, Reg};
+use crate::program::{Program, SymKind, Symbol};
+
+/// Longest accepted identifier, in bytes.
+pub const MAX_IDENT_LEN: usize = 64;
+/// Most instructions a program may assemble to.
+pub const MAX_CODE_INSTS: usize = 1 << 20;
+/// Largest initial data image, in words.
+pub const MAX_DATA_WORDS: usize = 1 << 20;
+
+/// Assembles `src` into a [`Program`] named `name`.
+pub fn assemble(name: impl Into<String>, src: &str) -> Result<Program, AsmError> {
+    Assembler::default().run(name.into(), src)
+}
+
+// ---------------------------------------------------------------------------
+// Tokens
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Str(String),
+    Comma,
+    Colon,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    span: Span,
+}
+
+fn parse_err(span: Span, what: impl Into<String>) -> AsmError {
+    AsmError::Parse {
+        span,
+        what: what.into(),
+    }
+}
+
+/// Tokenizes one line. Comments (`;`/`#`) end the line except inside
+/// string literals.
+fn tokenize_line(line_no: u32, text: &str) -> Result<Vec<Spanned>, AsmError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let col = (i + 1) as u32;
+        let span = Span::new(line_no, col);
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            ';' | '#' => break,
+            ',' => {
+                toks.push(Spanned {
+                    tok: Tok::Comma,
+                    span,
+                });
+                i += 1;
+            }
+            ':' => {
+                toks.push(Spanned {
+                    tok: Tok::Colon,
+                    span,
+                });
+                i += 1;
+            }
+            '(' => {
+                toks.push(Spanned {
+                    tok: Tok::LParen,
+                    span,
+                });
+                i += 1;
+            }
+            ')' => {
+                toks.push(Spanned {
+                    tok: Tok::RParen,
+                    span,
+                });
+                i += 1;
+            }
+            '+' => {
+                toks.push(Spanned {
+                    tok: Tok::Plus,
+                    span,
+                });
+                i += 1;
+            }
+            '-' => {
+                toks.push(Spanned {
+                    tok: Tok::Minus,
+                    span,
+                });
+                i += 1;
+            }
+            '"' => {
+                let (s, next) = scan_string(&chars, i + 1, span)?;
+                toks.push(Spanned {
+                    tok: Tok::Str(s),
+                    span,
+                });
+                i = next;
+            }
+            '\'' => {
+                let (ch, next) = scan_char(&chars, i + 1, span)?;
+                toks.push(Spanned {
+                    tok: Tok::Num(ch as i64),
+                    span,
+                });
+                i = next;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                toks.push(Spanned {
+                    tok: Tok::Num(parse_number(&text, span)?),
+                    span,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '.' => {
+                let start = i;
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    i += 1;
+                }
+                let ident: String = chars[start..i].iter().collect();
+                if ident.len() > MAX_IDENT_LEN {
+                    return Err(AsmError::IdentifierTooLong {
+                        span,
+                        len: ident.len(),
+                    });
+                }
+                toks.push(Spanned {
+                    tok: Tok::Ident(ident),
+                    span,
+                });
+            }
+            other => return Err(parse_err(span, format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+fn scan_string(chars: &[char], mut i: usize, open: Span) -> Result<(String, usize), AsmError> {
+    let mut s = String::new();
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return Ok((s, i + 1)),
+            '\\' => {
+                let (c, next) = scan_escape(chars, i + 1, open)?;
+                s.push(c);
+                i = next;
+            }
+            c => {
+                s.push(c);
+                i += 1;
+            }
+        }
+    }
+    Err(parse_err(open, "unterminated string literal"))
+}
+
+fn scan_char(chars: &[char], i: usize, open: Span) -> Result<(char, usize), AsmError> {
+    let (c, next) = match chars.get(i) {
+        None | Some('\'') => return Err(parse_err(open, "empty character literal")),
+        Some('\\') => scan_escape(chars, i + 1, open)?,
+        Some(&c) => (c, i + 1),
+    };
+    match chars.get(next) {
+        Some('\'') => Ok((c, next + 1)),
+        _ => Err(parse_err(open, "unterminated character literal")),
+    }
+}
+
+fn scan_escape(chars: &[char], i: usize, open: Span) -> Result<(char, usize), AsmError> {
+    match chars.get(i) {
+        Some('n') => Ok(('\n', i + 1)),
+        Some('t') => Ok(('\t', i + 1)),
+        Some('0') => Ok(('\0', i + 1)),
+        Some('\\') => Ok(('\\', i + 1)),
+        Some('\'') => Ok(('\'', i + 1)),
+        Some('"') => Ok(('"', i + 1)),
+        Some(c) => Err(parse_err(open, format!("unknown escape \\{c}"))),
+        None => Err(parse_err(open, "truncated escape sequence")),
+    }
+}
+
+fn parse_number(text: &str, span: Span) -> Result<i64, AsmError> {
+    let value = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map(|v| v as i64)
+    } else {
+        // Decimal literals must fit in i64; negation is an expression op.
+        text.parse::<i64>()
+    };
+    value.map_err(|_| parse_err(span, format!("bad number {text:?}")))
+}
+
+// ---------------------------------------------------------------------------
+// Statements (pass 1 output)
+
+/// An unresolved operand expression: a signed sum of terms.
+#[derive(Clone, Debug)]
+struct Expr {
+    terms: Vec<(i64, Term)>, // (sign, term)
+    span: Span,
+}
+
+#[derive(Clone, Debug)]
+enum Term {
+    Num(i64),
+    Sym(String, Span),
+}
+
+#[derive(Clone, Debug)]
+enum Operand {
+    Expr(Expr),
+    Mem { off: Expr, base: Reg },
+    Reg(Reg),
+}
+
+#[derive(Clone, Debug)]
+struct UInst {
+    mnemonic: String,
+    span: Span,
+    ops: Vec<Operand>,
+}
+
+#[derive(Clone)]
+enum Body {
+    Inst(UInst),
+    Word(Vec<Expr>),
+    Space(Expr),
+    Ascii(String),
+    Section(SymKind), // Code or Data
+    Equ(String, Expr, Span),
+}
+
+// ---------------------------------------------------------------------------
+// The assembler proper
+
+#[derive(Default)]
+struct Assembler {
+    symbols: HashMap<String, (SymKind, i64, Span)>,
+    order: Vec<String>,
+}
+
+impl Assembler {
+    fn run(mut self, name: String, src: &str) -> Result<Program, AsmError> {
+        // Parse every line up front so symbol *names* (labels and `.equ`s)
+        // are known before any value is needed.
+        let mut lines: Vec<ParsedLine> = Vec::new();
+        for (idx, line) in src.lines().enumerate() {
+            let toks = tokenize_line((idx + 1) as u32, line)?;
+            lines.push(parse_line(&toks)?);
+        }
+
+        // Register all definitions in source order (duplicate detection),
+        // with placeholder values for now.
+        let mut equs: Vec<(String, Expr, Span)> = Vec::new();
+        {
+            let mut section = SymKind::Code;
+            for (labels, body) in &lines {
+                for (label, span) in labels {
+                    self.define(label.clone(), section, 0, *span)?;
+                }
+                match body {
+                    Some(Body::Section(kind)) => section = *kind,
+                    Some(Body::Equ(name, expr, span)) => {
+                        self.define(name.clone(), SymKind::Const, 0, *span)?;
+                        equs.push((name.clone(), expr.clone(), *span));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Resolve `.equ` constants first (cycle-detected): they may only
+        // reference numbers and other `.equ`s, never labels, so they are
+        // computable before layout — and `.space` sizes may then use them.
+        self.resolve_equs(&equs)?;
+
+        // Layout: assign label values and collect the instruction stream
+        // and deferred data initializers (word index, expr).
+        let mut insts: Vec<UInst> = Vec::new();
+        let mut data_init: Vec<(usize, Expr)> = Vec::new();
+        let mut data_len = 0usize;
+        let mut section = SymKind::Code;
+        for (labels, body) in &lines {
+            for (label, _) in labels {
+                let value = match section {
+                    SymKind::Code => insts.len() as i64,
+                    _ => data_len as i64,
+                };
+                if let Some(entry) = self.symbols.get_mut(label) {
+                    entry.1 = value;
+                }
+            }
+            match body {
+                None => {}
+                Some(Body::Inst(u)) => {
+                    insts.push(u.clone());
+                    if insts.len() > MAX_CODE_INSTS {
+                        return Err(AsmError::ProgramTooLarge {
+                            what: "instructions",
+                            count: insts.len(),
+                            max: MAX_CODE_INSTS,
+                        });
+                    }
+                }
+                Some(Body::Word(exprs)) => {
+                    for e in exprs {
+                        data_init.push((data_len, e.clone()));
+                        data_len += 1;
+                    }
+                    check_data_len(data_len)?;
+                }
+                Some(Body::Space(e)) => {
+                    // `.space` sizes shape the layout itself, so they may
+                    // reference only numbers and `.equ` constants.
+                    let n = self.eval_space(e)?;
+                    if !(0..=MAX_DATA_WORDS as i64).contains(&n) {
+                        return Err(AsmError::ValueOutOfRange {
+                            span: e.span,
+                            what: ".space count",
+                        });
+                    }
+                    data_len += n as usize;
+                    check_data_len(data_len)?;
+                }
+                Some(Body::Ascii(s)) => {
+                    for c in s.chars() {
+                        data_init.push((
+                            data_len,
+                            Expr {
+                                terms: vec![(1, Term::Num(c as i64))],
+                                span: Span::new(0, 0),
+                            },
+                        ));
+                        data_len += 1;
+                    }
+                    check_data_len(data_len)?;
+                }
+                Some(Body::Section(kind)) => section = *kind,
+                Some(Body::Equ(..)) => {}
+            }
+        }
+        if insts.is_empty() {
+            return Err(AsmError::EmptyProgram);
+        }
+
+        // Pass 2: evaluate operand expressions and materialize.
+        let n_insts = insts.len();
+        let mut out = Vec::with_capacity(n_insts);
+        for u in &insts {
+            out.push(self.encode(u, n_insts)?);
+        }
+        let mut data = vec![0i64; data_len];
+        for (word, expr) in &data_init {
+            data[*word] = self.eval(expr)?;
+        }
+        let entry = match self.symbols.get("main") {
+            Some((SymKind::Code, value, _)) => *value as u32,
+            _ => 0,
+        };
+        let symbols = self
+            .order
+            .iter()
+            .map(|name| {
+                let (kind, value, _) = self.symbols[name];
+                Symbol {
+                    name: name.clone(),
+                    kind,
+                    value,
+                }
+            })
+            .collect();
+        Ok(Program {
+            name,
+            insts: out,
+            data,
+            entry,
+            symbols,
+        })
+    }
+
+    fn define(
+        &mut self,
+        name: String,
+        kind: SymKind,
+        value: i64,
+        span: Span,
+    ) -> Result<(), AsmError> {
+        if parse_reg_name(&name).is_some() {
+            return Err(parse_err(
+                span,
+                format!("register name {name:?} used as symbol"),
+            ));
+        }
+        if let Some((_, _, first)) = self.symbols.get(&name) {
+            return Err(AsmError::DuplicateSymbol {
+                span,
+                name,
+                first: *first,
+            });
+        }
+        self.order.push(name.clone());
+        self.symbols.insert(name, (kind, value, span));
+        Ok(())
+    }
+
+    /// Resolves `.equ` values by depth-first evaluation over the reference
+    /// graph, reporting any cycle as the chain that closed it.
+    fn resolve_equs(&mut self, equs: &[(String, Expr, Span)]) -> Result<(), AsmError> {
+        let by_name: HashMap<&str, &(String, Expr, Span)> =
+            equs.iter().map(|e| (e.0.as_str(), e)).collect();
+        let mut done: HashMap<String, i64> = HashMap::new();
+        let mut stack: Vec<String> = Vec::new();
+        for (name, _, _) in equs {
+            self.resolve_one(name, &by_name, &mut done, &mut stack)?;
+        }
+        for (name, value) in done {
+            if let Some(entry) = self.symbols.get_mut(&name) {
+                entry.1 = value;
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_one(
+        &self,
+        name: &str,
+        by_name: &HashMap<&str, &(String, Expr, Span)>,
+        done: &mut HashMap<String, i64>,
+        stack: &mut Vec<String>,
+    ) -> Result<i64, AsmError> {
+        if let Some(v) = done.get(name) {
+            return Ok(*v);
+        }
+        let (_, expr, span) = by_name[name];
+        if stack.iter().any(|n| n == name) {
+            let mut chain: Vec<String> =
+                stack[stack.iter().position(|n| n == name).unwrap()..].to_vec();
+            chain.push(name.to_string());
+            return Err(AsmError::SymbolCycle { span: *span, chain });
+        }
+        stack.push(name.to_string());
+        let mut acc = 0i64;
+        for (sign, term) in &expr.terms {
+            let v = match term {
+                Term::Num(n) => *n,
+                Term::Sym(sym, sym_span) => match by_name.get(sym.as_str()) {
+                    Some(_) => self.resolve_one(sym, by_name, done, stack)?,
+                    None => {
+                        return Err(match self.symbols.get(sym) {
+                            // Labels are layout products; allowing them here
+                            // would make `.space`-driven layout circular.
+                            Some(_) => parse_err(
+                                *sym_span,
+                                format!(".equ may only reference numbers and other .equ symbols, not label {sym:?}"),
+                            ),
+                            None => AsmError::UndefinedSymbol {
+                                span: *sym_span,
+                                name: sym.clone(),
+                            },
+                        });
+                    }
+                },
+            };
+            acc = acc.wrapping_add(sign.wrapping_mul(v));
+        }
+        stack.pop();
+        done.insert(name.to_string(), acc);
+        Ok(acc)
+    }
+
+    /// Evaluates a `.space` count: numbers and `.equ` constants only.
+    fn eval_space(&self, expr: &Expr) -> Result<i64, AsmError> {
+        let mut acc = 0i64;
+        for (sign, term) in &expr.terms {
+            let v = match term {
+                Term::Num(n) => *n,
+                Term::Sym(name, span) => match self.symbols.get(name) {
+                    Some((SymKind::Const, value, _)) => *value,
+                    Some(_) => {
+                        return Err(parse_err(
+                            *span,
+                            format!(".space count may not reference label {name:?}"),
+                        ))
+                    }
+                    None => {
+                        return Err(AsmError::UndefinedSymbol {
+                            span: *span,
+                            name: name.clone(),
+                        })
+                    }
+                },
+            };
+            acc = acc.wrapping_add(sign.wrapping_mul(v));
+        }
+        Ok(acc)
+    }
+
+    fn eval(&self, expr: &Expr) -> Result<i64, AsmError> {
+        let mut acc = 0i64;
+        for (sign, term) in &expr.terms {
+            let v = match term {
+                Term::Num(n) => *n,
+                Term::Sym(name, span) => match self.symbols.get(name) {
+                    Some((_, value, _)) => *value,
+                    None => {
+                        return Err(AsmError::UndefinedSymbol {
+                            span: *span,
+                            name: name.clone(),
+                        })
+                    }
+                },
+            };
+            acc = acc.wrapping_add(sign.wrapping_mul(v));
+        }
+        Ok(acc)
+    }
+
+    fn encode(&self, u: &UInst, n_insts: usize) -> Result<Inst, AsmError> {
+        let bad = |expected: &'static str| AsmError::BadOperands {
+            span: u.span,
+            mnemonic: u.mnemonic.clone(),
+            expected,
+        };
+        let m = u.mnemonic.as_str();
+        if let Some(op) = alu3_op(m) {
+            let [rd, ra, rb] = self.regs3(u).ok_or_else(|| bad("rd, ra, rb"))?;
+            return Ok(Inst::Alu { op, rd, ra, rb });
+        }
+        if let Some(op) = alui_op(m) {
+            let (rd, ra, imm) = self.reg_reg_imm(u)?.ok_or_else(|| bad("rd, ra, imm"))?;
+            return Ok(Inst::AluImm { op, rd, ra, imm });
+        }
+        match m {
+            "halt" if u.ops.is_empty() => Ok(Inst::Halt),
+            "nop" if u.ops.is_empty() => Ok(Inst::Nop),
+            "ret" if u.ops.is_empty() => Ok(Inst::Ret),
+            "halt" | "nop" | "ret" => Err(bad("no operands")),
+            "li" => match u.ops.as_slice() {
+                [Operand::Reg(rd), rhs] => Ok(Inst::AluImm {
+                    op: AluOp::Add,
+                    rd: *rd,
+                    ra: Reg::ZERO,
+                    imm: self.operand_value(rhs)?.ok_or_else(|| bad("rd, imm"))?,
+                }),
+                _ => Err(bad("rd, imm")),
+            },
+            "mv" => match u.ops.as_slice() {
+                [Operand::Reg(rd), Operand::Reg(ra)] => Ok(Inst::Alu {
+                    op: AluOp::Add,
+                    rd: *rd,
+                    ra: *ra,
+                    rb: Reg::ZERO,
+                }),
+                _ => Err(bad("rd, ra")),
+            },
+            "ld" | "st" => match u.ops.as_slice() {
+                [Operand::Reg(r), mem] => {
+                    let (off, base) = match mem {
+                        Operand::Mem { off, base } => (self.eval(off)?, *base),
+                        Operand::Expr(e) => (self.eval(e)?, Reg::ZERO),
+                        Operand::Reg(..) => return Err(bad("rd, off(ra)")),
+                    };
+                    Ok(if m == "ld" {
+                        Inst::Ld {
+                            rd: *r,
+                            ra: base,
+                            off,
+                        }
+                    } else {
+                        Inst::St {
+                            rs: *r,
+                            ra: base,
+                            off,
+                        }
+                    })
+                }
+                _ => Err(bad("rd, off(ra)")),
+            },
+            "beq" | "bne" | "blt" | "bge" => {
+                let cond = match m {
+                    "beq" => BrCond::Eq,
+                    "bne" => BrCond::Ne,
+                    "blt" => BrCond::Lt,
+                    _ => BrCond::Ge,
+                };
+                match u.ops.as_slice() {
+                    [Operand::Reg(ra), Operand::Reg(rb), Operand::Expr(t)] => Ok(Inst::Br {
+                        cond,
+                        ra: *ra,
+                        rb: *rb,
+                        target: self.target(t, n_insts)?,
+                    }),
+                    _ => Err(bad("ra, rb, target")),
+                }
+            }
+            "j" | "jmp" => match u.ops.as_slice() {
+                [Operand::Expr(t)] => Ok(Inst::Jmp {
+                    target: self.target(t, n_insts)?,
+                }),
+                _ => Err(bad("target")),
+            },
+            "call" => match u.ops.as_slice() {
+                [Operand::Expr(t)] => Ok(Inst::Call {
+                    target: self.target(t, n_insts)?,
+                }),
+                _ => Err(bad("target")),
+            },
+            "callr" => match u.ops.as_slice() {
+                [Operand::Reg(ra)] => Ok(Inst::CallR { ra: *ra }),
+                _ => Err(bad("ra")),
+            },
+            "jr" => match u.ops.as_slice() {
+                [Operand::Reg(ra)] => Ok(Inst::Jr { ra: *ra }),
+                _ => Err(bad("ra")),
+            },
+            _ => Err(AsmError::UnknownMnemonic {
+                span: u.span,
+                found: u.mnemonic.clone(),
+            }),
+        }
+    }
+
+    fn regs3(&self, u: &UInst) -> Option<[Reg; 3]> {
+        match u.ops.as_slice() {
+            [Operand::Reg(a), Operand::Reg(b), Operand::Reg(c)] => Some([*a, *b, *c]),
+            _ => None,
+        }
+    }
+
+    fn reg_reg_imm(&self, u: &UInst) -> Result<Option<(Reg, Reg, i64)>, AsmError> {
+        match u.ops.as_slice() {
+            [Operand::Reg(a), Operand::Reg(b), rhs] => {
+                Ok(self.operand_value(rhs)?.map(|imm| (*a, *b, imm)))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn operand_value(&self, op: &Operand) -> Result<Option<i64>, AsmError> {
+        match op {
+            Operand::Expr(e) => self.eval(e).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    fn target(&self, expr: &Expr, n_insts: usize) -> Result<u32, AsmError> {
+        let v = self.eval(expr)?;
+        if !(0..n_insts as i64).contains(&v) {
+            return Err(AsmError::ValueOutOfRange {
+                span: expr.span,
+                what: "branch target",
+            });
+        }
+        Ok(v as u32)
+    }
+}
+
+fn check_data_len(len: usize) -> Result<(), AsmError> {
+    if len > MAX_DATA_WORDS {
+        return Err(AsmError::ProgramTooLarge {
+            what: "data words",
+            count: len,
+            max: MAX_DATA_WORDS,
+        });
+    }
+    Ok(())
+}
+
+fn parse_reg_name(name: &str) -> Option<Reg> {
+    let digits = name.strip_prefix('r')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Reg::new(digits.parse::<u64>().ok()?)
+}
+
+fn alu3_op(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "slt" => AluOp::Slt,
+        _ => return None,
+    })
+}
+
+fn alui_op(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "addi" => AluOp::Add,
+        "muli" => AluOp::Mul,
+        "andi" => AluOp::And,
+        "ori" => AluOp::Or,
+        "xori" => AluOp::Xor,
+        "slli" => AluOp::Sll,
+        "srli" => AluOp::Srl,
+        "slti" => AluOp::Slt,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Line parsing
+
+type ParsedLine = (Vec<(String, Span)>, Option<Body>);
+
+fn parse_line(toks: &[Spanned]) -> Result<ParsedLine, AsmError> {
+    let mut labels = Vec::new();
+    let mut i = 0;
+    // Leading `ident:` pairs are labels.
+    while i + 1 < toks.len() {
+        match (&toks[i].tok, &toks[i + 1].tok) {
+            (Tok::Ident(name), Tok::Colon) if !name.starts_with('.') => {
+                labels.push((name.clone(), toks[i].span));
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    let rest = &toks[i..];
+    if rest.is_empty() {
+        return Ok((labels, None));
+    }
+    let (head, head_span) = match &rest[0].tok {
+        Tok::Ident(name) => (name.as_str(), rest[0].span),
+        Tok::Colon => return Err(parse_err(rest[0].span, "label without a name")),
+        _ => return Err(parse_err(rest[0].span, "expected mnemonic or directive")),
+    };
+    let args = &rest[1..];
+    let body = if let Some(directive) = head.strip_prefix('.') {
+        parse_directive(directive, head_span, args)?
+    } else {
+        Body::Inst(UInst {
+            mnemonic: head.to_string(),
+            span: head_span,
+            ops: parse_operands(args)?,
+        })
+    };
+    Ok((labels, Some(body)))
+}
+
+fn parse_directive(name: &str, span: Span, args: &[Spanned]) -> Result<Body, AsmError> {
+    let bad = |expected: &'static str| AsmError::BadOperands {
+        span,
+        mnemonic: format!(".{name}"),
+        expected,
+    };
+    match name {
+        "data" if args.is_empty() => Ok(Body::Section(SymKind::Data)),
+        "code" | "text" if args.is_empty() => Ok(Body::Section(SymKind::Code)),
+        "data" | "code" | "text" => Err(bad("no operands")),
+        "word" => {
+            let exprs = split_operands(args)?
+                .into_iter()
+                .map(parse_expr)
+                .collect::<Result<Vec<_>, _>>()?;
+            if exprs.is_empty() {
+                return Err(bad("at least one expression"));
+            }
+            Ok(Body::Word(exprs))
+        }
+        "space" => Ok(Body::Space(
+            parse_expr(args).map_err(|_| bad("a word count"))?,
+        )),
+        "ascii" => match args {
+            [Spanned {
+                tok: Tok::Str(s), ..
+            }] => Ok(Body::Ascii(s.clone())),
+            _ => Err(bad("a string literal")),
+        },
+        "equ" => {
+            let parts = split_operands(args)?;
+            match parts.as_slice() {
+                [[Spanned {
+                    tok: Tok::Ident(sym),
+                    span: sym_span,
+                }], expr_toks] => Ok(Body::Equ(sym.clone(), parse_expr(expr_toks)?, *sym_span)),
+                _ => Err(bad("name, expression")),
+            }
+        }
+        _ => Err(AsmError::UnknownMnemonic {
+            span,
+            found: format!(".{name}"),
+        }),
+    }
+}
+
+/// Splits a token run on commas. Rejects empty segments (`a,,b`).
+fn split_operands(toks: &[Spanned]) -> Result<Vec<&[Spanned]>, AsmError> {
+    if toks.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, t) in toks.iter().enumerate() {
+        if t.tok == Tok::Comma {
+            if i == start {
+                return Err(parse_err(t.span, "empty operand"));
+            }
+            out.push(&toks[start..i]);
+            start = i + 1;
+        }
+    }
+    if start == toks.len() {
+        let last = toks.last().unwrap();
+        return Err(parse_err(last.span, "trailing comma"));
+    }
+    out.push(&toks[start..]);
+    Ok(out)
+}
+
+fn parse_operands(toks: &[Spanned]) -> Result<Vec<Operand>, AsmError> {
+    split_operands(toks)?
+        .into_iter()
+        .map(parse_operand)
+        .collect()
+}
+
+fn parse_operand(toks: &[Spanned]) -> Result<Operand, AsmError> {
+    // A lone register name is a register operand.
+    if let [Spanned {
+        tok: Tok::Ident(name),
+        span: _,
+    }] = toks
+    {
+        if let Some(reg) = parse_reg_name(name) {
+            return Ok(Operand::Reg(reg));
+        }
+    }
+    // `expr ( reg )` is a memory operand.
+    if toks.len() >= 3 && toks.last().unwrap().tok == Tok::RParen {
+        if let Some(lp) = toks.iter().rposition(|t| t.tok == Tok::LParen) {
+            let inner = &toks[lp + 1..toks.len() - 1];
+            let base = match inner {
+                [Spanned {
+                    tok: Tok::Ident(name),
+                    span,
+                }] => parse_reg_name(name)
+                    .ok_or_else(|| parse_err(*span, format!("expected register, got {name:?}")))?,
+                _ => {
+                    return Err(parse_err(
+                        toks[lp].span,
+                        "memory operand base must be a register",
+                    ))
+                }
+            };
+            let off = if lp == 0 {
+                Expr {
+                    terms: vec![(1, Term::Num(0))],
+                    span: toks[0].span,
+                }
+            } else {
+                parse_expr(&toks[..lp])?
+            };
+            return Ok(Operand::Mem { off, base });
+        }
+    }
+    parse_expr(toks).map(Operand::Expr)
+}
+
+/// Parses `['-'|'+'] term (('+'|'-') term)*`.
+fn parse_expr(toks: &[Spanned]) -> Result<Expr, AsmError> {
+    let span = toks
+        .first()
+        .map(|t| t.span)
+        .ok_or_else(|| parse_err(Span::new(0, 0), "empty expression"))?;
+    let mut terms = Vec::new();
+    let mut i = 0;
+    let mut sign = 1i64;
+    let mut expect_term = true;
+    while i < toks.len() {
+        let t = &toks[i];
+        match (&t.tok, expect_term) {
+            (Tok::Plus, true) => {}
+            (Tok::Minus, true) => sign = -sign,
+            (Tok::Num(n), true) => {
+                terms.push((sign, Term::Num(*n)));
+                sign = 1;
+                expect_term = false;
+            }
+            (Tok::Ident(name), true) => {
+                if parse_reg_name(name).is_some() {
+                    return Err(parse_err(
+                        t.span,
+                        format!("register {name} is not valid in an expression"),
+                    ));
+                }
+                terms.push((sign, Term::Sym(name.clone(), t.span)));
+                sign = 1;
+                expect_term = false;
+            }
+            (Tok::Plus, false) => expect_term = true,
+            (Tok::Minus, false) => {
+                sign = -1;
+                expect_term = true;
+            }
+            _ => return Err(parse_err(t.span, "malformed expression")),
+        }
+        i += 1;
+    }
+    if expect_term {
+        let last = toks.last().unwrap();
+        return Err(parse_err(last.span, "expression ends with an operator"));
+    }
+    Ok(Expr { terms, span })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_a_minimal_loop() {
+        let p = assemble(
+            "t",
+            "\
+.equ N, 3
+        li   r1, N
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.entry, 0);
+        assert_eq!(
+            p.insts[2],
+            Inst::Br {
+                cond: BrCond::Ne,
+                ra: Reg::new(1).unwrap(),
+                rb: Reg::ZERO,
+                target: 1
+            }
+        );
+        assert_eq!(p.insts[3], Inst::Halt);
+    }
+
+    #[test]
+    fn main_label_sets_entry() {
+        let p = assemble("t", "fn: ret\nmain: call fn\nhalt\n").unwrap();
+        assert_eq!(p.entry, 1);
+    }
+
+    #[test]
+    fn data_section_words_and_labels() {
+        let p = assemble(
+            "t",
+            "\
+        ld r1, arr(r0)
+        ld r2, arr+2(r0)
+        halt
+.data
+arr:    .word 10, 20, 30
+buf:    .space 4
+msg:    .ascii \"ab\"
+",
+        )
+        .unwrap();
+        assert_eq!(p.data, vec![10, 20, 30, 0, 0, 0, 0, 'a' as i64, 'b' as i64]);
+        let sym = |n: &str| p.symbols.iter().find(|s| s.name == n).unwrap().value;
+        assert_eq!(sym("arr"), 0);
+        assert_eq!(sym("buf"), 3);
+        assert_eq!(sym("msg"), 7);
+        assert_eq!(
+            p.insts[0],
+            Inst::Ld {
+                rd: Reg::new(1).unwrap(),
+                ra: Reg::ZERO,
+                off: 0
+            }
+        );
+        assert_eq!(
+            p.insts[1],
+            Inst::Ld {
+                rd: Reg::new(2).unwrap(),
+                ra: Reg::ZERO,
+                off: 2
+            }
+        );
+    }
+
+    #[test]
+    fn word_may_reference_code_labels() {
+        let p = assemble(
+            "t",
+            "\
+main:   halt
+h1:     ret
+h2:     ret
+.data
+tab:    .word h1, h2
+",
+        )
+        .unwrap();
+        assert_eq!(p.data, vec![1, 2]);
+    }
+
+    #[test]
+    fn equ_chains_resolve() {
+        let p = assemble(
+            "t",
+            ".equ A, B + 1\n.equ B, C - 1\n.equ C, 10\nli r1, A\nhalt\n",
+        )
+        .unwrap();
+        assert_eq!(
+            p.insts[0],
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: Reg::new(1).unwrap(),
+                ra: Reg::ZERO,
+                imm: 10
+            }
+        );
+    }
+
+    #[test]
+    fn equ_cycle_is_detected() {
+        let err = assemble("t", ".equ A, B\n.equ B, A\nhalt\n").unwrap_err();
+        match err {
+            AsmError::SymbolCycle { chain, .. } => {
+                assert!(chain.len() >= 2, "{chain:?}");
+            }
+            other => panic!("expected cycle, got {other}"),
+        }
+    }
+
+    #[test]
+    fn char_and_hex_literals() {
+        let p = assemble("t", "li r1, 'a'\nli r2, 0x10\nli r3, '\\n'\nhalt\n").unwrap();
+        let imm = |i: usize| match p.insts[i] {
+            Inst::AluImm { imm, .. } => imm,
+            _ => panic!(),
+        };
+        assert_eq!(imm(0), 97);
+        assert_eq!(imm(1), 16);
+        assert_eq!(imm(2), 10);
+    }
+
+    #[test]
+    fn branch_target_out_of_range() {
+        let err = assemble("t", "j 99\nhalt\n").unwrap_err();
+        assert!(matches!(
+            err,
+            AsmError::ValueOutOfRange {
+                what: "branch target",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn duplicate_label_reports_both_spans() {
+        let err = assemble("t", "a: halt\na: halt\n").unwrap_err();
+        match err {
+            AsmError::DuplicateSymbol { span, first, .. } => {
+                assert_eq!(first.line, 1);
+                assert_eq!(span.line, 2);
+            }
+            other => panic!("expected duplicate, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_mnemonic_and_directive() {
+        assert!(matches!(
+            assemble("t", "frobnicate r1\n").unwrap_err(),
+            AsmError::UnknownMnemonic { .. }
+        ));
+        assert!(matches!(
+            assemble("t", ".frobnicate 1\n").unwrap_err(),
+            AsmError::UnknownMnemonic { .. }
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = assemble("t", "; nothing\n  # also nothing\nhalt ; stop\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        assert_eq!(
+            assemble("t", "; just a comment\n").unwrap_err(),
+            AsmError::EmptyProgram
+        );
+        assert_eq!(assemble("t", "").unwrap_err(), AsmError::EmptyProgram);
+    }
+}

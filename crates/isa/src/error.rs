@@ -1,0 +1,257 @@
+//! Typed assembler and executor errors.
+//!
+//! Assembly never panics on malformed input: every failure mode is a
+//! variant of [`AsmError`] carrying the [`Span`] of the offending source
+//! text, mirroring the codec-hardening discipline of `fdip-trace`
+//! (lowercase messages, no trailing period).
+
+use std::fmt;
+
+use fdip_types::Addr;
+
+/// A source location: 1-based line, 1-based column.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Builds a span.
+    pub const fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Why a source file failed to assemble.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// Generic token-level parse failure (bad number, stray character,
+    /// unterminated string, missing comma, truncated line...).
+    Parse {
+        /// Where the bad token starts.
+        span: Span,
+        /// What went wrong.
+        what: String,
+    },
+    /// A mnemonic that is not part of the ISA.
+    UnknownMnemonic {
+        /// Where the mnemonic starts.
+        span: Span,
+        /// The unrecognized word.
+        found: String,
+    },
+    /// An instruction or directive with the wrong operand shape.
+    BadOperands {
+        /// Where the instruction starts.
+        span: Span,
+        /// The mnemonic or directive.
+        mnemonic: String,
+        /// The operand shape it wanted.
+        expected: &'static str,
+    },
+    /// A symbol used but never defined.
+    UndefinedSymbol {
+        /// Where the reference occurs.
+        span: Span,
+        /// The symbol name.
+        name: String,
+    },
+    /// A label or `.equ` name defined twice.
+    DuplicateSymbol {
+        /// Where the second definition occurs.
+        span: Span,
+        /// The symbol name.
+        name: String,
+        /// Where the first definition occurred.
+        first: Span,
+    },
+    /// `.equ` definitions that reference each other in a cycle.
+    SymbolCycle {
+        /// Where the cycle was detected.
+        span: Span,
+        /// The names on the cycle, in reference order.
+        chain: Vec<String>,
+    },
+    /// An identifier longer than [`crate::asm::MAX_IDENT_LEN`].
+    IdentifierTooLong {
+        /// Where the identifier starts.
+        span: Span,
+        /// Its length in bytes.
+        len: usize,
+    },
+    /// A value outside its legal range (e.g. a register number, a
+    /// misaligned `.org`, a negative repeat count).
+    ValueOutOfRange {
+        /// Where the value occurs.
+        span: Span,
+        /// What was being parsed.
+        what: &'static str,
+    },
+    /// The assembled program exceeds a hard size limit.
+    ProgramTooLarge {
+        /// What overflowed: `"instructions"` or `"data words"`.
+        what: &'static str,
+        /// The observed count.
+        count: usize,
+        /// The limit it exceeded.
+        max: usize,
+    },
+    /// A program with no instructions (nothing to execute).
+    EmptyProgram,
+}
+
+impl AsmError {
+    /// The source location of the error, if it has one.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            AsmError::Parse { span, .. }
+            | AsmError::UnknownMnemonic { span, .. }
+            | AsmError::BadOperands { span, .. }
+            | AsmError::UndefinedSymbol { span, .. }
+            | AsmError::DuplicateSymbol { span, .. }
+            | AsmError::SymbolCycle { span, .. }
+            | AsmError::IdentifierTooLong { span, .. }
+            | AsmError::ValueOutOfRange { span, .. } => Some(*span),
+            AsmError::ProgramTooLarge { .. } | AsmError::EmptyProgram => None,
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Parse { span, what } => write!(f, "{span}: {what}"),
+            AsmError::UnknownMnemonic { span, found } => {
+                write!(f, "{span}: unknown mnemonic {found:?}")
+            }
+            AsmError::BadOperands {
+                span,
+                mnemonic,
+                expected,
+            } => write!(f, "{span}: {mnemonic} expects {expected}"),
+            AsmError::UndefinedSymbol { span, name } => {
+                write!(f, "{span}: undefined symbol {name:?}")
+            }
+            AsmError::DuplicateSymbol { span, name, first } => {
+                write!(
+                    f,
+                    "{span}: duplicate symbol {name:?} (first defined at {first})"
+                )
+            }
+            AsmError::SymbolCycle { span, chain } => {
+                write!(f, "{span}: symbol cycle {}", chain.join(" -> "))
+            }
+            AsmError::IdentifierTooLong { span, len } => {
+                write!(f, "{span}: identifier of {len} bytes exceeds limit")
+            }
+            AsmError::ValueOutOfRange { span, what } => {
+                write!(f, "{span}: {what} out of range")
+            }
+            AsmError::ProgramTooLarge { what, count, max } => {
+                write!(f, "program too large: {count} {what} (max {max})")
+            }
+            AsmError::EmptyProgram => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Why execution of an assembled program stopped abnormally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The PC left the program's code region.
+    PcOutOfRange {
+        /// The offending PC.
+        pc: Addr,
+    },
+    /// A load or store addressed outside data memory.
+    DataOutOfRange {
+        /// The offending word address.
+        addr: i64,
+        /// The PC of the load/store.
+        pc: Addr,
+    },
+    /// `ret` with an empty call stack.
+    ReturnUnderflow {
+        /// The PC of the `ret`.
+        pc: Addr,
+    },
+    /// Nested calls deeper than the executor's bound.
+    CallDepthExceeded {
+        /// The depth bound.
+        max: usize,
+        /// The PC of the overflowing call.
+        pc: Addr,
+    },
+    /// The program ran `limit` instructions without halting.
+    StepLimit {
+        /// The step bound.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PcOutOfRange { pc } => write!(f, "pc {pc} left the code region"),
+            ExecError::DataOutOfRange { addr, pc } => {
+                write!(f, "data access at word {addr} out of range (pc {pc})")
+            }
+            ExecError::ReturnUnderflow { pc } => {
+                write!(f, "ret with empty call stack (pc {pc})")
+            }
+            ExecError::CallDepthExceeded { max, pc } => {
+                write!(f, "call depth exceeded {max} (pc {pc})")
+            }
+            ExecError::StepLimit { limit } => {
+                write!(f, "no halt within {limit} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_span() {
+        let e = AsmError::UnknownMnemonic {
+            span: Span::new(3, 7),
+            found: "bogus".into(),
+        };
+        assert_eq!(e.to_string(), "3:7: unknown mnemonic \"bogus\"");
+        assert_eq!(e.span(), Some(Span::new(3, 7)));
+    }
+
+    #[test]
+    fn messages_are_lowercase_without_trailing_period() {
+        let samples: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(AsmError::EmptyProgram),
+            Box::new(AsmError::ProgramTooLarge {
+                what: "instructions",
+                count: 9,
+                max: 4,
+            }),
+            Box::new(ExecError::StepLimit { limit: 10 }),
+            Box::new(ExecError::PcOutOfRange { pc: Addr::new(4) }),
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.ends_with('.'), "{msg:?}");
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg:?}");
+        }
+    }
+}

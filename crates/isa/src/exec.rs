@@ -1,0 +1,441 @@
+//! The functional executor: runs an assembled [`Program`] and emits its
+//! dynamic instruction stream as trace records.
+//!
+//! The machine is deliberately simple — 16 registers, a word-addressed
+//! data memory, and an executor-managed call stack (so call/return pairing
+//! holds by construction, matching the trace model's RAS semantics). Every
+//! executed instruction produces exactly one [`TraceInstr`]; the emitted
+//! stream satisfies [`fdip_trace::Trace::validate`]'s continuity invariant
+//! because the machine *is* the control flow.
+//!
+//! Two emission modes exist:
+//!
+//! - [`Machine::run_to_halt`] executes one program run; `halt` emits a
+//!   plain record and the stream ends (the `fdip run-prog` view).
+//! - [`Machine::emit`] produces a workload trace of any target length by
+//!   treating `halt` as a jump back to the entry point — a driver loop
+//!   re-invoking the program with registers and data memory intact, so
+//!   later runs see warmed state (a sorted array re-sorts, a seed cell
+//!   advances).
+
+use fdip_trace::Trace;
+use fdip_types::{Addr, BranchClass, BranchRecord, TraceInstr};
+
+use crate::error::ExecError;
+use crate::inst::{Inst, Reg, NUM_REGS};
+use crate::program::Program;
+
+/// Default code base address for single-program execution.
+pub const DEFAULT_CODE_BASE: Addr = Addr::new(0x0040_0000);
+
+/// Minimum data memory size in words (programs may declare more).
+pub const DEFAULT_DATA_WORDS: usize = 1 << 16;
+
+/// Deepest allowed call nesting.
+pub const MAX_CALL_DEPTH: usize = 4096;
+
+/// Default step budget for [`Machine::run_to_halt`].
+pub const DEFAULT_STEP_LIMIT: u64 = 50_000_000;
+
+/// Execution counters, accumulated across runs (wraps included).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions executed.
+    pub steps: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Control-flow instructions executed.
+    pub branches: u64,
+    /// Taken control-flow instructions.
+    pub taken_branches: u64,
+    /// Deepest call nesting observed.
+    pub max_call_depth: usize,
+    /// Completed program runs (halts) in wrap mode.
+    pub wraps: u64,
+}
+
+/// An executing instance of a [`Program`].
+#[derive(Clone, Debug)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    base: Addr,
+    regs: [i64; NUM_REGS],
+    data: Vec<i64>,
+    call_stack: Vec<u32>,
+    pc: u32,
+    stats: ExecStats,
+}
+
+impl<'p> Machine<'p> {
+    /// Builds a machine at [`DEFAULT_CODE_BASE`].
+    pub fn new(program: &'p Program) -> Machine<'p> {
+        Machine::with_base(program, DEFAULT_CODE_BASE)
+    }
+
+    /// Builds a machine whose code is loaded at `base` (must be
+    /// instruction-aligned; scenario composition loads phases at disjoint
+    /// bases).
+    pub fn with_base(program: &'p Program, base: Addr) -> Machine<'p> {
+        debug_assert!(base.is_inst_aligned());
+        let mut data = program.data.clone();
+        if data.len() < DEFAULT_DATA_WORDS {
+            data.resize(DEFAULT_DATA_WORDS, 0);
+        }
+        Machine {
+            program,
+            base,
+            regs: [0; NUM_REGS],
+            data,
+            call_stack: Vec::new(),
+            pc: program.entry,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The address of instruction index `idx`.
+    fn addr(&self, idx: u32) -> Addr {
+        self.base.add_insts(idx as u64)
+    }
+
+    /// The PC of the instruction the machine will execute next.
+    pub fn next_pc_addr(&self) -> Addr {
+        self.addr(self.pc)
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Reads data-memory word `idx`, if in range (for result inspection).
+    pub fn data_word(&self, idx: usize) -> Option<i64> {
+        self.data.get(idx).copied()
+    }
+
+    fn read(&self, r: Reg) -> i64 {
+        self.regs[r.index()]
+    }
+
+    fn write(&mut self, r: Reg, v: i64) {
+        if r != Reg::ZERO {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    fn mem_index(&self, ra: Reg, off: i64, pc: Addr) -> Result<usize, ExecError> {
+        let addr = self.read(ra).wrapping_add(off);
+        if !(0..self.data.len() as i64).contains(&addr) {
+            return Err(ExecError::DataOutOfRange { addr, pc });
+        }
+        Ok(addr as usize)
+    }
+
+    fn indirect_target(&self, ra: Reg) -> Result<u32, ExecError> {
+        let v = self.read(ra);
+        if !(0..self.program.insts.len() as i64).contains(&v) {
+            return Err(ExecError::PcOutOfRange {
+                pc: Addr::new(self.base.raw().wrapping_add((v as u64).wrapping_mul(4))),
+            });
+        }
+        Ok(v as u32)
+    }
+
+    fn push_call(&mut self, ret_to: u32, pc: Addr) -> Result<(), ExecError> {
+        if self.call_stack.len() >= MAX_CALL_DEPTH {
+            return Err(ExecError::CallDepthExceeded {
+                max: MAX_CALL_DEPTH,
+                pc,
+            });
+        }
+        self.call_stack.push(ret_to);
+        self.stats.max_call_depth = self.stats.max_call_depth.max(self.call_stack.len());
+        Ok(())
+    }
+
+    /// Executes one instruction and returns its trace record plus whether
+    /// it was a `halt`. With `wrap`, `halt` becomes a taken jump back to
+    /// the entry point (the driver loop) instead of a plain record.
+    fn step(&mut self, wrap: bool) -> Result<(TraceInstr, bool), ExecError> {
+        let pc_addr = self.addr(self.pc);
+        let inst = match self.program.insts.get(self.pc as usize) {
+            Some(inst) => *inst,
+            None => return Err(ExecError::PcOutOfRange { pc: pc_addr }),
+        };
+        self.stats.steps += 1;
+        if inst.is_control() {
+            self.stats.branches += 1;
+        }
+        let branch = |class: BranchClass, taken: bool, target: Addr| {
+            TraceInstr::branch(pc_addr, BranchRecord::new(class, taken, target))
+        };
+        let record = match inst {
+            Inst::Halt => {
+                if wrap {
+                    self.stats.wraps += 1;
+                    self.pc = self.program.entry;
+                    self.call_stack.clear();
+                    let rec = TraceInstr::branch(
+                        pc_addr,
+                        BranchRecord::new(
+                            BranchClass::UncondDirect,
+                            true,
+                            self.addr(self.program.entry),
+                        ),
+                    );
+                    return Ok((rec, true));
+                }
+                return Ok((TraceInstr::plain(pc_addr), true));
+            }
+            Inst::Nop => TraceInstr::plain(pc_addr),
+            Inst::Alu { op, rd, ra, rb } => {
+                let v = op.apply(self.read(ra), self.read(rb));
+                self.write(rd, v);
+                TraceInstr::plain(pc_addr)
+            }
+            Inst::AluImm { op, rd, ra, imm } => {
+                let v = op.apply(self.read(ra), imm);
+                self.write(rd, v);
+                TraceInstr::plain(pc_addr)
+            }
+            Inst::Ld { rd, ra, off } => {
+                let idx = self.mem_index(ra, off, pc_addr)?;
+                self.stats.loads += 1;
+                self.write(rd, self.data[idx]);
+                TraceInstr::plain(pc_addr)
+            }
+            Inst::St { rs, ra, off } => {
+                let idx = self.mem_index(ra, off, pc_addr)?;
+                self.stats.stores += 1;
+                self.data[idx] = self.read(rs);
+                TraceInstr::plain(pc_addr)
+            }
+            Inst::Br {
+                cond,
+                ra,
+                rb,
+                target,
+            } => {
+                let taken = cond.holds(self.read(ra), self.read(rb));
+                let rec = branch(BranchClass::CondDirect, taken, self.addr(target));
+                self.pc = if taken { target } else { self.pc + 1 };
+                if taken {
+                    self.stats.taken_branches += 1;
+                }
+                return Ok((rec, false));
+            }
+            Inst::Jmp { target } => {
+                let rec = branch(BranchClass::UncondDirect, true, self.addr(target));
+                self.pc = target;
+                self.stats.taken_branches += 1;
+                return Ok((rec, false));
+            }
+            Inst::Call { target } => {
+                self.push_call(self.pc + 1, pc_addr)?;
+                let rec = branch(BranchClass::Call, true, self.addr(target));
+                self.pc = target;
+                self.stats.taken_branches += 1;
+                return Ok((rec, false));
+            }
+            Inst::CallR { ra } => {
+                let target = self.indirect_target(ra)?;
+                self.push_call(self.pc + 1, pc_addr)?;
+                let rec = branch(BranchClass::IndirectCall, true, self.addr(target));
+                self.pc = target;
+                self.stats.taken_branches += 1;
+                return Ok((rec, false));
+            }
+            Inst::Jr { ra } => {
+                let target = self.indirect_target(ra)?;
+                let rec = branch(BranchClass::IndirectJump, true, self.addr(target));
+                self.pc = target;
+                self.stats.taken_branches += 1;
+                return Ok((rec, false));
+            }
+            Inst::Ret => {
+                let target = match self.call_stack.pop() {
+                    Some(t) => t,
+                    None => return Err(ExecError::ReturnUnderflow { pc: pc_addr }),
+                };
+                let rec = branch(BranchClass::Return, true, self.addr(target));
+                self.pc = target;
+                self.stats.taken_branches += 1;
+                return Ok((rec, false));
+            }
+        };
+        self.pc += 1;
+        Ok((record, false))
+    }
+
+    /// Appends exactly `n` records to `out`, wrapping through `halt` as
+    /// many times as needed (the driver-loop workload view).
+    pub fn emit(&mut self, n: usize, out: &mut Vec<TraceInstr>) -> Result<(), ExecError> {
+        out.reserve(n);
+        for _ in 0..n {
+            let (rec, _) = self.step(true)?;
+            out.push(rec);
+        }
+        Ok(())
+    }
+
+    /// Executes one full program run (entry to `halt`), returning the
+    /// emitted records. Fails with [`ExecError::StepLimit`] if the program
+    /// does not halt within `limit` steps.
+    pub fn run_to_halt(&mut self, limit: u64) -> Result<Vec<TraceInstr>, ExecError> {
+        let mut out = Vec::new();
+        for _ in 0..limit {
+            let (rec, halted) = self.step(false)?;
+            out.push(rec);
+            if halted {
+                return Ok(out);
+            }
+        }
+        Err(ExecError::StepLimit { limit })
+    }
+}
+
+/// Executes `program` in driver-loop mode until at least `target_len`
+/// records exist, and packages them as a named [`Trace`].
+pub fn program_trace(
+    program: &Program,
+    trace_name: &str,
+    target_len: usize,
+) -> Result<Trace, ExecError> {
+    let mut m = Machine::new(program);
+    let mut out = Vec::with_capacity(target_len);
+    m.emit(target_len, &mut out)?;
+    Ok(Trace::from_instrs(trace_name, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn prog(src: &str) -> Program {
+        assemble("t", src).unwrap()
+    }
+
+    #[test]
+    fn straight_line_halts() {
+        let p = prog("li r1, 5\naddi r1, r1, 2\nhalt\n");
+        let mut m = Machine::new(&p);
+        let recs = m.run_to_halt(100).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert!(recs.iter().all(|r| r.branch.is_none()));
+        assert_eq!(m.read(Reg::new(1).unwrap()), 7);
+    }
+
+    #[test]
+    fn loop_emits_valid_trace() {
+        let p = prog("li r1, 4\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt\n");
+        let mut m = Machine::new(&p);
+        let recs = m.run_to_halt(100).unwrap();
+        Trace::from_instrs("t", recs).validate().unwrap();
+        assert_eq!(m.stats().taken_branches, 3); // 3 taken, 1 fall-through
+        assert_eq!(m.stats().branches, 4);
+    }
+
+    #[test]
+    fn call_ret_pair() {
+        let p = prog("main: call fn\nhalt\nfn: ret\n");
+        let mut m = Machine::new(&p);
+        let recs = m.run_to_halt(100).unwrap();
+        let t = Trace::from_instrs("t", recs);
+        t.validate().unwrap();
+        assert_eq!(m.stats().max_call_depth, 1);
+        let classes: Vec<_> = t
+            .instrs()
+            .iter()
+            .filter_map(|r| r.branch.map(|b| b.class))
+            .collect();
+        assert_eq!(classes, vec![BranchClass::Call, BranchClass::Return]);
+    }
+
+    #[test]
+    fn indirect_jump_through_table() {
+        let p = prog(
+            "\
+main:   ld r1, tab(r0)
+        jr r1
+spot:   halt
+.data
+tab:    .word spot
+",
+        );
+        let mut m = Machine::new(&p);
+        let recs = m.run_to_halt(100).unwrap();
+        assert_eq!(recs[1].branch.unwrap().class, BranchClass::IndirectJump);
+        Trace::from_instrs("t", recs).validate().unwrap();
+    }
+
+    #[test]
+    fn wrap_mode_jumps_back_to_entry() {
+        let p = prog("main: addi r1, r1, 1\nhalt\n");
+        let t = program_trace(&p, "w", 10).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.len(), 10);
+        // Every second record is the halt-as-driver-loop jump.
+        let b = t.instrs()[1].branch.unwrap();
+        assert_eq!(b.class, BranchClass::UncondDirect);
+        assert_eq!(b.target, DEFAULT_CODE_BASE);
+    }
+
+    #[test]
+    fn wrap_preserves_machine_state() {
+        // r1 accumulates across wraps: state persists through the driver
+        // loop.
+        let p = prog("main: addi r1, r1, 1\nhalt\n");
+        let mut m = Machine::new(&p);
+        let mut out = Vec::new();
+        m.emit(10, &mut out).unwrap();
+        assert_eq!(m.read(Reg::new(1).unwrap()), 5);
+        assert_eq!(m.stats().wraps, 5);
+    }
+
+    #[test]
+    fn data_bounds_are_typed_errors() {
+        let p = prog("li r1, -1\nld r2, 0(r1)\nhalt\n");
+        let err = Machine::new(&p).run_to_halt(100).unwrap_err();
+        assert!(matches!(err, ExecError::DataOutOfRange { addr: -1, .. }));
+    }
+
+    #[test]
+    fn bad_indirect_target_is_typed() {
+        let p = prog("li r1, 999\njr r1\nhalt\n");
+        let err = Machine::new(&p).run_to_halt(100).unwrap_err();
+        assert!(matches!(err, ExecError::PcOutOfRange { .. }));
+    }
+
+    #[test]
+    fn ret_underflow_is_typed() {
+        let p = prog("ret\nhalt\n");
+        let err = Machine::new(&p).run_to_halt(100).unwrap_err();
+        assert!(matches!(err, ExecError::ReturnUnderflow { .. }));
+    }
+
+    #[test]
+    fn step_limit_fires_on_infinite_loop() {
+        let p = prog("loop: j loop\nhalt\n");
+        let err = Machine::new(&p).run_to_halt(50).unwrap_err();
+        assert_eq!(err, ExecError::StepLimit { limit: 50 });
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let p = prog("li r0, 77\nadd r1, r0, r0\nhalt\n");
+        let mut m = Machine::new(&p);
+        m.run_to_halt(100).unwrap();
+        assert_eq!(m.read(Reg::ZERO), 0);
+        assert_eq!(m.read(Reg::new(1).unwrap()), 0);
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let p = prog("main: addi r1, r1, 3\nbne r1, r0, skip\nnop\nskip: halt\n");
+        let a = program_trace(&p, "a", 500).unwrap();
+        let b = program_trace(&p, "a", 500).unwrap();
+        assert_eq!(a.instrs(), b.instrs());
+    }
+}

@@ -1,0 +1,250 @@
+//! The FISA instruction set: a minimal fixed-width RISC.
+//!
+//! Every instruction occupies one 4-byte slot ([`fdip_types::INST_BYTES`]),
+//! matching the word-aligned ISA the trace model assumes. Control-flow
+//! targets are stored as *instruction indices* into the program, not byte
+//! addresses, so an assembled [`crate::Program`] can be executed at any
+//! code base (scenario composition relies on this). Likewise, indirect
+//! transfers (`jr`, `callr`) interpret the register value as an
+//! instruction index, and data labels resolve to *word indices* into data
+//! memory.
+
+use std::fmt;
+
+/// One of the 16 general-purpose registers, `r0`..`r15`.
+///
+/// `r0` is hardwired to zero: reads return 0 and writes are discarded.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Reg(u8);
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 16;
+
+impl Reg {
+    /// The hardwired-zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Builds a register from its number, if in range.
+    pub fn new(n: u64) -> Option<Reg> {
+        (n < NUM_REGS as u64).then_some(Reg(n as u8))
+    }
+
+    /// The register number.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Two-operand ALU operations (register or immediate second source).
+///
+/// All arithmetic wraps modulo 2^64; shifts mask the count to 0..=63.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical left shift.
+    Sll,
+    /// Logical right shift.
+    Srl,
+    /// Set-less-than, signed: `rd = (ra < rb) as i64`.
+    Slt,
+}
+
+impl AluOp {
+    /// Applies the operation.
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => ((a as u64) << (b as u64 & 63)) as i64,
+            AluOp::Srl => ((a as u64) >> (b as u64 & 63)) as i64,
+            AluOp::Slt => (a < b) as i64,
+        }
+    }
+}
+
+/// Comparison of a conditional branch.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BrCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if less than (signed).
+    Lt,
+    /// Branch if greater or equal (signed).
+    Ge,
+}
+
+impl BrCond {
+    /// Evaluates the comparison.
+    pub fn holds(self, a: i64, b: i64) -> bool {
+        match self {
+            BrCond::Eq => a == b,
+            BrCond::Ne => a != b,
+            BrCond::Lt => a < b,
+            BrCond::Ge => a >= b,
+        }
+    }
+}
+
+/// One decoded FISA instruction.
+///
+/// `target` fields are instruction indices into the owning program.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Inst {
+    /// Stop execution.
+    Halt,
+    /// Do nothing.
+    Nop,
+    /// `op rd, ra, rb`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source.
+        rb: Reg,
+    },
+    /// `opi rd, ra, imm` (also covers `li rd, imm` as `addi rd, r0, imm`).
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        ra: Reg,
+        /// Immediate second operand.
+        imm: i64,
+    },
+    /// `ld rd, off(ra)`: load the data word at `ra + off`.
+    Ld {
+        /// Destination.
+        rd: Reg,
+        /// Base register (word index).
+        ra: Reg,
+        /// Word offset.
+        off: i64,
+    },
+    /// `st rs, off(ra)`: store `rs` to the data word at `ra + off`.
+    St {
+        /// Value to store.
+        rs: Reg,
+        /// Base register (word index).
+        ra: Reg,
+        /// Word offset.
+        off: i64,
+    },
+    /// Conditional direct branch `bcc ra, rb, target`.
+    Br {
+        /// Comparison.
+        cond: BrCond,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Unconditional direct jump.
+    Jmp {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Direct call (pushes the return index on the executor's call stack).
+    Call {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Indirect call through a register holding an instruction index.
+    CallR {
+        /// Register holding the target index.
+        ra: Reg,
+    },
+    /// Indirect jump through a register holding an instruction index.
+    Jr {
+        /// Register holding the target index.
+        ra: Reg,
+    },
+    /// Return to the most recent unmatched call.
+    Ret,
+}
+
+impl Inst {
+    /// `true` for the control-flow instructions (everything that emits a
+    /// [`fdip_types::BranchRecord`] in the trace).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Br { .. }
+                | Inst::Jmp { .. }
+                | Inst::Call { .. }
+                | Inst::CallR { .. }
+                | Inst::Jr { .. }
+                | Inst::Ret
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_bounds() {
+        assert_eq!(Reg::new(0), Some(Reg::ZERO));
+        assert!(Reg::new(15).is_some());
+        assert!(Reg::new(16).is_none());
+        assert_eq!(Reg::new(7).unwrap().to_string(), "r7");
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(i64::MAX, 1), i64::MIN); // wraps
+        assert_eq!(AluOp::Sub.apply(3, 5), -2);
+        assert_eq!(AluOp::Mul.apply(-4, 3), -12);
+        assert_eq!(AluOp::Sll.apply(1, 65), 2); // count masked to 1
+        assert_eq!(AluOp::Srl.apply(-1, 63), 1);
+        assert_eq!(AluOp::Slt.apply(-1, 0), 1);
+        assert_eq!(AluOp::Slt.apply(0, 0), 0);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BrCond::Eq.holds(2, 2));
+        assert!(BrCond::Ne.holds(2, 3));
+        assert!(BrCond::Lt.holds(-5, 0));
+        assert!(BrCond::Ge.holds(0, 0));
+        assert!(!BrCond::Lt.holds(0, -5));
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Inst::Ret.is_control());
+        assert!(Inst::Jmp { target: 0 }.is_control());
+        assert!(!Inst::Halt.is_control());
+        assert!(!Inst::Nop.is_control());
+    }
+}

@@ -1,0 +1,42 @@
+//! `fdip-isa`: an executable ISA front-end for the FDIP reproduction.
+//!
+//! Every workload the simulator fetched before this crate came from one
+//! synthetic CFG generator. `fdip-isa` adds *real programs*: a two-pass
+//! assembler for FISA (a minimal fixed-width RISC, [`asm`]), a functional
+//! executor that emits the dynamic instruction stream as trace records
+//! ([`exec`]), a committed program library — sorts, a bytecode VM, a
+//! recursive-descent parser, string/hash routines ([`library`]) — and
+//! multi-phase scenario composition stitching context switches and
+//! interrupt-style transfers across programs ([`scenario`]).
+//!
+//! The emitted streams are ordinary [`fdip_trace::Trace`]s: they satisfy
+//! the continuity invariant, round-trip through the binary codec, and
+//! feed the simulator, harness cache, and experiment registry unchanged.
+//!
+//! ```
+//! let program = fdip_isa::assemble(
+//!     "demo",
+//!     "main: li r1, 3\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt\n",
+//! )
+//! .unwrap();
+//! let trace = fdip_isa::program_trace(&program, "demo", 100).unwrap();
+//! assert!(trace.len() >= 100);
+//! trace.validate().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod error;
+pub mod exec;
+pub mod inst;
+pub mod library;
+pub mod program;
+pub mod scenario;
+
+pub use asm::assemble;
+pub use error::{AsmError, ExecError, Span};
+pub use exec::{program_trace, ExecStats, Machine, DEFAULT_STEP_LIMIT};
+pub use inst::{AluOp, BrCond, Inst, Reg};
+pub use program::{Program, SymKind, Symbol};

@@ -1,0 +1,155 @@
+//! The committed program library: real programs, assembled on demand.
+//!
+//! Sources are embedded with `include_str!` so the library works offline,
+//! inside self-exec'd isolation workers, and without any filesystem
+//! coupling. Every program is covered by the `library_*` tests (assembles,
+//! halts, computes the right answer, emits a valid trace).
+
+use fdip_trace::Trace;
+
+use crate::asm::assemble;
+use crate::error::ExecError;
+use crate::exec::program_trace;
+use crate::program::Program;
+
+/// Name/source pairs, in report order.
+pub const PROGRAMS: &[(&str, &str)] = &[
+    ("bubble", include_str!("../programs/bubble.fasm")),
+    ("qsort", include_str!("../programs/qsort.fasm")),
+    ("vm", include_str!("../programs/vm.fasm")),
+    ("parse", include_str!("../programs/parse.fasm")),
+    ("strhash", include_str!("../programs/strhash.fasm")),
+    ("fib", include_str!("../programs/fib.fasm")),
+];
+
+/// The program names, in report order.
+pub fn names() -> Vec<&'static str> {
+    PROGRAMS.iter().map(|(n, _)| *n).collect()
+}
+
+/// The source text of a library program.
+pub fn source(name: &str) -> Option<&'static str> {
+    PROGRAMS.iter().find(|(n, _)| *n == name).map(|(_, s)| *s)
+}
+
+/// Assembles a library program.
+///
+/// # Panics
+///
+/// Panics if the committed source fails to assemble — that is a build
+/// defect, caught by this crate's tests, not a runtime condition.
+pub fn load(name: &str) -> Option<Program> {
+    let src = source(name)?;
+    Some(assemble(name, src).unwrap_or_else(|e| panic!("library program {name:?}: {e}")))
+}
+
+/// Executes a library program in driver-loop mode into a trace of at
+/// least `target_len` records named `trace_name`.
+///
+/// Returns `None` for an unknown program name; execution errors in a
+/// committed program are build defects and panic (same contract as
+/// [`load`]).
+pub fn trace(name: &str, trace_name: &str, target_len: usize) -> Option<Trace> {
+    let program = load(name)?;
+    match program_trace(&program, trace_name, target_len) {
+        Ok(t) => Some(t),
+        Err(e) => panic!("library program {name:?} failed to execute: {e}"),
+    }
+}
+
+/// [`trace`] with a typed error instead of a panic (for CLI paths running
+/// user-supplied programs through the same machinery).
+pub fn try_trace(
+    program: &Program,
+    trace_name: &str,
+    target_len: usize,
+) -> Result<Trace, ExecError> {
+    program_trace(program, trace_name, target_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Machine, DEFAULT_STEP_LIMIT};
+    use crate::program::SymKind;
+
+    fn data_at(m: &Machine<'_>, p: &Program, sym: &str) -> i64 {
+        let s = p
+            .symbols
+            .iter()
+            .find(|s| s.name == sym && s.kind == SymKind::Data)
+            .unwrap_or_else(|| panic!("no data symbol {sym}"));
+        m.data_word(s.value as usize).unwrap()
+    }
+
+    /// Runs `name` to halt, validates the emitted records, and hands the
+    /// final machine state to `check`.
+    fn run(name: &str, check: impl FnOnce(&Machine<'_>, &Program)) {
+        let p = load(name).unwrap();
+        let mut m = Machine::new(&p);
+        let recs = m.run_to_halt(DEFAULT_STEP_LIMIT).unwrap();
+        Trace::from_instrs(name, recs).validate().unwrap();
+        check(&m, &p);
+    }
+
+    #[test]
+    fn all_programs_assemble() {
+        for (name, _) in PROGRAMS {
+            let p = load(name).unwrap();
+            assert!(!p.is_empty(), "{name}");
+        }
+        assert!(PROGRAMS.len() >= 5);
+    }
+
+    #[test]
+    fn library_bubble_sorts() {
+        run("bubble", |m, p| assert_eq!(data_at(m, p, "inversions"), 0));
+    }
+
+    #[test]
+    fn library_qsort_sorts() {
+        run("qsort", |m, p| assert_eq!(data_at(m, p, "inversions"), 0));
+    }
+
+    #[test]
+    fn library_vm_computes_sum_of_squares() {
+        // sum of i*i for i = 1..=40.
+        run("vm", |m, p| assert_eq!(data_at(m, p, "globals"), 22140));
+    }
+
+    #[test]
+    fn library_parse_evaluates_expression() {
+        run("parse", |m, p| {
+            assert_eq!(data_at(m, p, "result"), 2617);
+            assert_eq!(data_at(m, p, "checksum"), 8 * 2617);
+        });
+    }
+
+    #[test]
+    fn library_strhash_finds_every_string() {
+        run("strhash", |m, p| assert_eq!(data_at(m, p, "hits"), 8));
+    }
+
+    #[test]
+    fn library_fib_computes() {
+        run("fib", |m, p| {
+            assert_eq!(data_at(m, p, "out"), 987);
+            assert!(m.stats().max_call_depth >= 15);
+        });
+    }
+
+    #[test]
+    fn traces_wrap_to_any_length() {
+        for (name, _) in PROGRAMS {
+            let t = trace(name, name, 30_000).unwrap();
+            assert!(t.len() >= 30_000, "{name}");
+            t.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_program_is_none() {
+        assert!(load("no-such-program").is_none());
+        assert!(trace("no-such-program", "x", 100).is_none());
+    }
+}

@@ -1,0 +1,69 @@
+//! An assembled, relocatable FISA program.
+
+use crate::inst::Inst;
+
+/// Which namespace a symbol's value indexes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SymKind {
+    /// A code label: value is an instruction index.
+    Code,
+    /// A data label: value is a data-memory word index.
+    Data,
+    /// A `.equ` constant: value is the evaluated expression.
+    Const,
+}
+
+impl SymKind {
+    /// Short tag for listings.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SymKind::Code => "code",
+            SymKind::Data => "data",
+            SymKind::Const => "equ",
+        }
+    }
+}
+
+/// One resolved symbol, in definition order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Namespace.
+    pub kind: SymKind,
+    /// Resolved value.
+    pub value: i64,
+}
+
+/// An assembled program: position-independent code plus an initial data
+/// image.
+///
+/// Control-flow targets inside [`Inst`] are instruction indices, so the
+/// same `Program` executes identically at any code base address — the
+/// scenario composer loads each phase at a disjoint base.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Program name (report label and default trace name).
+    pub name: String,
+    /// The instruction stream.
+    pub insts: Vec<Inst>,
+    /// Initial data-memory image, in words.
+    pub data: Vec<i64>,
+    /// Entry point: the `main` label if defined, else instruction 0.
+    pub entry: u32,
+    /// Resolved symbol table, in definition order.
+    pub symbols: Vec<Symbol>,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if the program has no instructions (never produced by the
+    /// assembler, which rejects empty programs).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}

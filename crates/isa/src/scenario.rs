@@ -1,0 +1,290 @@
+//! Multi-phase scenario composition: context-switch interleavings and
+//! interrupt-style control transfers stitched from library programs.
+//!
+//! Each phase is a library program loaded at its own disjoint code base
+//! with its own data memory. The composer round-robins between phases in
+//! seed-jittered quanta; at every switch it injects an interrupt-style
+//! transfer: the instruction the outgoing phase would have executed next
+//! is *pre-empted* into an indirect jump to a small fixed kernel
+//! trampoline (a burst of straight-line work standing in for
+//! save/restore), whose final indirect jump lands on the incoming phase's
+//! resume PC. Because the trampoline's exit is an indirect jump — not a
+//! call/return pair — the return-address stack is untouched, matching how
+//! real interrupt entry/exit bypasses the RAS.
+//!
+//! The pre-empted PC later re-executes as its real instruction when the
+//! phase is resumed, so one static PC aliases two roles across the trace
+//! — exactly the trap-replay interference real interrupted streams show,
+//! and intentionally kept (DESIGN.md discusses the trade-off). The
+//! continuity invariant holds throughout: every injected record's target
+//! is the next record's PC by construction.
+
+use fdip_trace::Trace;
+use fdip_types::{Addr, BranchClass, BranchRecord, TraceInstr};
+
+use crate::error::ExecError;
+use crate::exec::Machine;
+use crate::library;
+
+/// One phase of a scenario: a library program and its time slice.
+#[derive(Copy, Clone, Debug)]
+pub struct Phase {
+    /// Library program name.
+    pub program: &'static str,
+    /// Nominal records emitted per slice (jittered ±25% by seed).
+    pub quantum: u32,
+}
+
+/// A named multi-phase composition.
+#[derive(Copy, Clone, Debug)]
+pub struct ScenarioDef {
+    /// Workload name, e.g. `cs-sort-vm`.
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub describe: &'static str,
+    /// The phases, round-robined in order.
+    pub phases: &'static [Phase],
+    /// Straight-line instructions in the kernel trampoline.
+    pub kernel_work: u32,
+}
+
+/// Code base of the kernel trampoline region.
+pub const KERNEL_BASE: Addr = Addr::new(0x0008_0000);
+
+/// Byte stride between phase code bases (far larger than any program).
+pub const PHASE_BASE_STRIDE: u64 = 0x0100_0000;
+
+/// The committed scenario catalogue.
+pub const SCENARIOS: &[ScenarioDef] = &[
+    ScenarioDef {
+        name: "cs-sort-vm",
+        describe: "context switches between bubble sort and the bytecode vm",
+        phases: &[
+            Phase {
+                program: "bubble",
+                quantum: 1500,
+            },
+            Phase {
+                program: "vm",
+                quantum: 1100,
+            },
+        ],
+        kernel_work: 24,
+    },
+    ScenarioDef {
+        name: "cs-quad",
+        describe: "four-way context switch: qsort, parse, strhash, fib",
+        phases: &[
+            Phase {
+                program: "qsort",
+                quantum: 900,
+            },
+            Phase {
+                program: "parse",
+                quantum: 700,
+            },
+            Phase {
+                program: "strhash",
+                quantum: 800,
+            },
+            Phase {
+                program: "fib",
+                quantum: 600,
+            },
+        ],
+        kernel_work: 24,
+    },
+    ScenarioDef {
+        name: "irq-vm",
+        describe: "vm foreground with frequent short parser interrupts",
+        phases: &[
+            Phase {
+                program: "vm",
+                quantum: 4000,
+            },
+            Phase {
+                program: "parse",
+                quantum: 150,
+            },
+        ],
+        kernel_work: 12,
+    },
+];
+
+/// The scenario names, in catalogue order.
+pub fn names() -> Vec<&'static str> {
+    SCENARIOS.iter().map(|s| s.name).collect()
+}
+
+/// Resolves a scenario by name.
+pub fn find(name: &str) -> Option<&'static ScenarioDef> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// splitmix64: the workspace-standard cheap seed mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Jitters `quantum` by ±25% as a function of `(seed, slice)` so distinct
+/// seeds produce distinct interleavings and switch points drift instead
+/// of beating against program loop periods.
+fn jittered(quantum: u32, seed: u64, slice: u64) -> usize {
+    let r = splitmix64(seed ^ slice.wrapping_mul(0x9e37_79b9)) as u32;
+    let q = quantum.max(4);
+    let spread = q / 2; // jitter range [q - q/4, q + q/4]
+    (q - q / 4 + r % spread.max(1)).max(1) as usize
+}
+
+/// Composes `def` into a trace of at least `target_len` records.
+pub fn compose(
+    def: &ScenarioDef,
+    seed: u64,
+    trace_name: &str,
+    target_len: usize,
+) -> Result<Trace, ExecError> {
+    let programs: Vec<_> = def
+        .phases
+        .iter()
+        .map(|ph| {
+            library::load(ph.program).unwrap_or_else(|| {
+                panic!("scenario {:?}: unknown program {:?}", def.name, ph.program)
+            })
+        })
+        .collect();
+    let mut machines: Vec<Machine<'_>> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Machine::with_base(p, Addr::new(PHASE_BASE_STRIDE * (i as u64 + 1))))
+        .collect();
+    let mut out: Vec<TraceInstr> = Vec::with_capacity(target_len + 64);
+    let mut cur = 0usize;
+    let mut slice = 0u64;
+    while out.len() < target_len {
+        let quantum = jittered(def.phases[cur].quantum, seed, slice);
+        machines[cur].emit(quantum, &mut out)?;
+        slice += 1;
+        if out.len() >= target_len {
+            break;
+        }
+        // Interrupt-style transfer: pre-empt the outgoing phase's next
+        // instruction into the kernel trampoline...
+        let preempt_pc = machines[cur].next_pc_addr();
+        out.push(TraceInstr::branch(
+            preempt_pc,
+            BranchRecord::new(BranchClass::IndirectJump, true, KERNEL_BASE),
+        ));
+        for j in 0..def.kernel_work {
+            out.push(TraceInstr::plain(KERNEL_BASE.add_insts(j as u64)));
+        }
+        // ...whose exit lands on the incoming phase's resume PC.
+        cur = (cur + 1) % def.phases.len();
+        let resume = machines[cur].next_pc_addr();
+        out.push(TraceInstr::branch(
+            KERNEL_BASE.add_insts(def.kernel_work as u64),
+            BranchRecord::new(BranchClass::IndirectJump, true, resume),
+        ));
+    }
+    Ok(Trace::from_instrs(trace_name, out))
+}
+
+/// Composes the named scenario (convenience over [`find`] + [`compose`]).
+pub fn trace(name: &str, seed: u64, trace_name: &str, target_len: usize) -> Option<Trace> {
+    let def = find(name)?;
+    match compose(def, seed, trace_name, target_len) {
+        Ok(t) => Some(t),
+        Err(e) => panic!("scenario {name:?} failed to execute: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_names_are_unique_and_resolve() {
+        let mut ns = names();
+        assert!(ns.len() >= 3);
+        ns.sort();
+        ns.dedup();
+        assert_eq!(ns.len(), SCENARIOS.len());
+        for def in SCENARIOS {
+            assert!(find(def.name).is_some());
+            for ph in def.phases {
+                assert!(
+                    library::source(ph.program).is_some(),
+                    "{}: {}",
+                    def.name,
+                    ph.program
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn composed_traces_validate() {
+        for def in SCENARIOS {
+            let t = compose(def, 7, def.name, 20_000).unwrap();
+            assert!(t.len() >= 20_000);
+            t.validate().unwrap_or_else(|e| panic!("{}: {e}", def.name));
+        }
+    }
+
+    #[test]
+    fn phases_occupy_disjoint_footprints() {
+        let t = compose(find("cs-sort-vm").unwrap(), 1, "t", 10_000).unwrap();
+        let mut saw_phase = [false; 2];
+        let mut saw_kernel = false;
+        for r in t.instrs() {
+            let raw = r.pc.raw();
+            if raw >= PHASE_BASE_STRIDE * 2 {
+                saw_phase[1] = true;
+            } else if raw >= PHASE_BASE_STRIDE {
+                saw_phase[0] = true;
+            } else {
+                assert!(
+                    (KERNEL_BASE.raw()..KERNEL_BASE.raw() + 0x1000).contains(&raw),
+                    "stray pc {:#x}",
+                    raw
+                );
+                saw_kernel = true;
+            }
+        }
+        assert!(saw_phase.iter().all(|&b| b) && saw_kernel);
+    }
+
+    #[test]
+    fn seeds_change_the_interleaving() {
+        let def = find("cs-sort-vm").unwrap();
+        let a = compose(def, 1, "t", 10_000).unwrap();
+        let b = compose(def, 2, "t", 10_000).unwrap();
+        assert_ne!(a.instrs(), b.instrs());
+    }
+
+    #[test]
+    fn composition_is_deterministic() {
+        let def = find("cs-quad").unwrap();
+        let a = compose(def, 5, "t", 15_000).unwrap();
+        let b = compose(def, 5, "t", 15_000).unwrap();
+        assert_eq!(a.instrs(), b.instrs());
+    }
+
+    #[test]
+    fn kernel_exit_bypasses_the_ras() {
+        // Every injected record is an IndirectJump: RAS depth is untouched
+        // by switches, so call/return pairing inside phases still holds
+        // (validate() above) and no scenario record is a Call/Return at a
+        // kernel PC.
+        let t = compose(find("irq-vm").unwrap(), 3, "t", 10_000).unwrap();
+        for r in t.instrs() {
+            if r.pc.raw() < PHASE_BASE_STRIDE {
+                if let Some(b) = r.branch {
+                    assert_eq!(b.class, BranchClass::IndirectJump);
+                }
+            }
+        }
+    }
+}

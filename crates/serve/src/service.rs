@@ -12,7 +12,7 @@ use std::sync::Arc;
 use fdip::{spec, FrontendConfig};
 use fdip_sim::experiments::{self, RESULTS_SCHEMA_VERSION};
 use fdip_sim::harness::Harness;
-use fdip_sim::workload::WorkloadSpec;
+use fdip_sim::workload::{WorkloadSource, WorkloadSpec};
 use fdip_trace::gen::Profile;
 use fdip_types::{Json, ToJson};
 
@@ -326,37 +326,79 @@ fn reject_unknown_keys(doc: &Json, allowed: &[&str], what: &str) -> ApiResult<()
     Ok(())
 }
 
-/// Parses `{"profile": "...", "seed": N}` into a [`WorkloadSpec`].
+/// Parses a workload document into a [`WorkloadSpec`]. Exactly one of
+/// three source keys selects the trace pipeline:
 ///
-/// The spec's name encodes profile *and* seed: the harness trace store is
-/// keyed by `(name, trace_len)`, so every distinct generator input must
-/// map to a distinct name for cache sharing to stay sound.
+/// * `{"profile": "...", "seed": N}` — the synthetic CFG generator;
+/// * `{"program": "..."}` — an assembled `fdip-isa` library program;
+/// * `{"scenario": "...", "seed": N}` — a multi-phase scenario.
+///
+/// The spec's name encodes source *and* seed where the seed matters: the
+/// harness trace store is keyed by `(name, trace_len)`, so every distinct
+/// generator input must map to a distinct name for cache sharing to stay
+/// sound. (Program execution ignores the seed, so programs reject it
+/// rather than silently fork cache identities.)
 fn parse_workload(raw: Option<&Json>) -> ApiResult<WorkloadSpec> {
     let raw = raw.ok_or_else(|| ApiError::bad("\"workload\" is required"))?;
-    reject_unknown_keys(raw, &["profile", "seed"], "workload")?;
-    let profile_name = raw
-        .get("profile")
-        .and_then(Json::as_str)
-        .ok_or_else(|| ApiError::bad("workload \"profile\" must be a string"))?;
-    let profile = Profile::ALL
+    reject_unknown_keys(raw, &["profile", "program", "scenario", "seed"], "workload")?;
+    let sources: Vec<&str> = ["profile", "program", "scenario"]
         .into_iter()
-        .find(|p| p.name() == profile_name)
-        .ok_or_else(|| {
-            ApiError::bad(format!(
-                "unknown profile {profile_name:?} (client|server|microloop|jumpy)"
+        .filter(|k| raw.get(k).is_some())
+        .collect();
+    let key = match sources.as_slice() {
+        [one] => *one,
+        _ => {
+            return Err(ApiError::bad(
+                "workload needs exactly one of \"profile\", \"program\", \"scenario\"",
             ))
-        })?;
+        }
+    };
+    let name = raw
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad(format!("workload {key:?} must be a string")))?;
     let seed = match raw.get("seed") {
         None => 0,
         Some(s) => s
             .as_u64()
             .ok_or_else(|| ApiError::bad("workload \"seed\" must be an unsigned integer"))?,
     };
-    Ok(WorkloadSpec {
-        name: format!("{}~s{}", profile.name(), seed),
-        profile,
-        seed,
-    })
+    match key {
+        "profile" => {
+            let profile = Profile::ALL
+                .into_iter()
+                .find(|p| p.name() == name)
+                .ok_or_else(|| {
+                    ApiError::bad(format!(
+                        "unknown profile {name:?} (client|server|microloop|jumpy)"
+                    ))
+                })?;
+            Ok(WorkloadSpec {
+                name: format!("{}~s{}", profile.name(), seed),
+                source: WorkloadSource::Profile(profile),
+                seed,
+            })
+        }
+        "program" => {
+            if raw.get("seed").is_some() {
+                return Err(ApiError::bad(
+                    "workload \"seed\" does not apply to programs (execution is deterministic)",
+                ));
+            }
+            WorkloadSpec::program(name).ok_or_else(|| {
+                ApiError::bad(format!(
+                    "unknown program {name:?} ({})",
+                    fdip_isa::library::names().join("|")
+                ))
+            })
+        }
+        _ => WorkloadSpec::scenario(name, seed).ok_or_else(|| {
+            ApiError::bad(format!(
+                "unknown scenario {name:?} ({})",
+                fdip_isa::scenario::names().join("|")
+            ))
+        }),
+    }
 }
 
 /// Validates `trace_len` against the server's configured ceiling.
@@ -534,6 +576,36 @@ mod tests {
     }
 
     #[test]
+    fn run_simulates_program_and_scenario_workloads() {
+        let s = service();
+        let resp = s.route(
+            &post(
+                "/v1/run",
+                r#"{"workload": {"program": "fib"}, "trace_len": 1000}"#,
+            ),
+            0,
+        );
+        assert_eq!(resp.status, 200, "{}", body_str(&resp));
+        let doc = Json::parse(&body_str(&resp)).unwrap();
+        assert_eq!(doc.get("workload").and_then(Json::as_str), Some("fib"));
+        assert!(doc.get("ipc").and_then(Json::as_f64).unwrap() > 0.0);
+
+        let resp = s.route(
+            &post(
+                "/v1/run",
+                r#"{"workload": {"scenario": "irq-vm", "seed": 5}, "trace_len": 1000}"#,
+            ),
+            0,
+        );
+        assert_eq!(resp.status, 200, "{}", body_str(&resp));
+        let doc = Json::parse(&body_str(&resp)).unwrap();
+        assert_eq!(
+            doc.get("workload").and_then(Json::as_str),
+            Some("irq-vm~s5")
+        );
+    }
+
+    #[test]
     fn run_rejects_bad_bodies_with_400() {
         let s = service();
         for (body, needle) in [
@@ -561,6 +633,17 @@ mod tests {
             (
                 r#"{"workload": {"profile": "microloop"}, "config": {"ftq": 0}}"#,
                 "ftq",
+            ),
+            (r#"{"workload": {"program": "warp9"}}"#, "unknown program"),
+            (r#"{"workload": {"scenario": "warp9"}}"#, "unknown scenario"),
+            (
+                r#"{"workload": {"profile": "microloop", "program": "bubble"}}"#,
+                "exactly one of",
+            ),
+            (r#"{"workload": {"seed": 4}}"#, "exactly one of"),
+            (
+                r#"{"workload": {"program": "bubble", "seed": 4}}"#,
+                "does not apply to programs",
             ),
         ] {
             let resp = s.route(&post("/v1/run", body), 0);

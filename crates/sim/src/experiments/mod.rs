@@ -6,7 +6,9 @@
 //! extension's figures and tables (`x7`/`x8` add the Boomerang-style
 //! predecode-BTB-fill and Shotgun-style spatial-footprint follow-ons).
 //! `a1`–`a7` are ablations of design choices this reproduction had to
-//! make.
+//! make. `r1`–`r2` run on *real-program* traces — instruction streams
+//! executed from assembled `fdip-isa` programs and their multi-phase
+//! scenarios — and calibrate the synthetic suites against them.
 //!
 //! Every module exposes `ID`, `TITLE`, a `Def` unit struct implementing
 //! [`Experiment`], and a `run(Scale)` convenience wrapper over the
@@ -31,6 +33,8 @@ pub mod e07_ftq;
 pub mod e08_l1size;
 pub mod e09_breakdown;
 pub mod e10_baseline;
+pub mod r1_real_programs;
+pub mod r2_calibration;
 pub mod x1_offsets;
 pub mod x2_storage_bb;
 pub mod x3_storage_x;
@@ -161,6 +165,8 @@ pub fn all() -> Vec<&'static dyn Experiment> {
         &e08_l1size::Def,
         &e09_breakdown::Def,
         &e10_baseline::Def,
+        &r1_real_programs::Def,
+        &r2_calibration::Def,
         &x1_offsets::Def,
         &x2_storage_bb::Def,
         &x3_storage_x::Def,
@@ -229,7 +235,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let reg = all();
-        assert_eq!(reg.len(), 25);
+        assert_eq!(reg.len(), 27);
         let mut ids: Vec<_> = reg.iter().map(|e| e.id()).collect();
         let sorted_unique = {
             let mut v = ids.clone();

@@ -32,10 +32,9 @@ use fdip::{
 };
 use fdip_btb::{BtbConfig, PartitionConfig, TagScheme};
 use fdip_mem::{CacheGeometry, HierarchyConfig, ReplacementPolicy, StreamBufferConfig};
-use fdip_trace::gen::Profile;
 use fdip_types::{FromJson, Json, ToJson};
 
-use crate::workload::WorkloadSpec;
+use crate::workload::{WorkloadSource, WorkloadSpec};
 
 /// Upper bound on one IPC frame. A run request (config + workload) is a
 /// few KiB and a reply (SimStats) smaller still; anything larger means a
@@ -172,7 +171,7 @@ impl RunRequest {
                 "workload",
                 Json::obj([
                     ("name", Json::str(&self.workload.name)),
-                    ("profile", Json::str(self.workload.profile.name())),
+                    ("source", Json::str(self.workload.source.to_wire())),
                     ("seed", Json::uint(self.workload.seed)),
                 ]),
             ),
@@ -192,10 +191,7 @@ impl RunRequest {
             return None;
         }
         let w = doc.get("workload")?;
-        let profile_name = w.get("profile")?.as_str()?;
-        let profile = Profile::ALL
-            .into_iter()
-            .find(|p| p.name() == profile_name)?;
+        let source = WorkloadSource::from_wire(w.get("source")?.as_str()?)?;
         let fault = match doc.get("fault") {
             Some(raw) => Some(WorkerFault::from_wire(raw.as_str()?)?),
             None => None,
@@ -204,7 +200,7 @@ impl RunRequest {
             id: doc.get("id")?.as_u64()?,
             workload: WorkloadSpec {
                 name: String::from_json(w.get("name")?)?,
-                profile,
+                source,
                 seed: w.get("seed")?.as_u64()?,
             },
             trace_len: usize::try_from(doc.get("trace_len")?.as_u64()?).ok()?,
@@ -790,6 +786,7 @@ mod tests {
 
     #[test]
     fn request_and_reply_round_trip() {
+        use fdip_trace::gen::Profile;
         let req = RunRequest {
             id: 42,
             workload: WorkloadSpec::new(Profile::Server, 1),

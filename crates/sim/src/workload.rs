@@ -1,5 +1,11 @@
-//! Workload suites: named, seeded synthetic traces standing in for the
-//! paper's benchmark traces.
+//! Workload suites: named traces for experiments to run over.
+//!
+//! Three sources feed the same trace pipeline: the synthetic CFG
+//! generator (profile workloads, the original suites), assembled
+//! real programs executed by `fdip-isa`, and multi-phase scenarios
+//! composed from those programs. All three produce ordinary traces, so
+//! the harness cache, supervisor, and experiment registry treat them
+//! identically — only [`WorkloadSpec::generate`] dispatches.
 
 use fdip_trace::gen::{GeneratorConfig, Profile};
 use fdip_trace::Trace;
@@ -17,40 +23,115 @@ pub enum SuiteKind {
     All,
 }
 
-/// One named workload: a profile plus a seed.
+/// Where a workload's instruction stream comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadSource {
+    /// The synthetic CFG generator, under a named profile.
+    Profile(Profile),
+    /// An assembled program from the `fdip-isa` library, executed to
+    /// completion (wrapping at `halt`).
+    Program(String),
+    /// A multi-phase `fdip-isa` scenario (context switches / interrupts).
+    Scenario(String),
+}
+
+impl WorkloadSource {
+    /// Encodes the source as a `kind:name` wire token for IPC.
+    pub fn to_wire(&self) -> String {
+        match self {
+            WorkloadSource::Profile(p) => format!("profile:{}", p.name()),
+            WorkloadSource::Program(n) => format!("program:{n}"),
+            WorkloadSource::Scenario(n) => format!("scenario:{n}"),
+        }
+    }
+
+    /// Decodes a `kind:name` token, validating the name against the
+    /// profile table, program library, or scenario catalogue.
+    pub fn from_wire(raw: &str) -> Option<WorkloadSource> {
+        let (kind, name) = raw.split_once(':')?;
+        match kind {
+            "profile" => Profile::ALL
+                .into_iter()
+                .find(|p| p.name() == name)
+                .map(WorkloadSource::Profile),
+            "program" => {
+                fdip_isa::library::source(name).map(|_| WorkloadSource::Program(name.to_string()))
+            }
+            "scenario" => {
+                fdip_isa::scenario::find(name).map(|_| WorkloadSource::Scenario(name.to_string()))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One named workload: a trace source plus a seed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WorkloadSpec {
-    /// Report name, e.g. `server-2`.
+    /// Report name, e.g. `server-2`, `bubble`, or `cs-quad~s7`.
     pub name: String,
-    /// Generator profile.
-    pub profile: Profile,
-    /// Generator seed.
+    /// Trace source.
+    pub source: WorkloadSource,
+    /// Generator / interleaving seed (ignored by `Program` sources, whose
+    /// execution is fully determined by the program text).
     pub seed: u64,
 }
 
 impl WorkloadSpec {
-    /// Builds the spec for suite member `index`.
+    /// Builds the synthetic-suite spec for member `index` of `profile`.
     pub fn new(profile: Profile, index: usize) -> WorkloadSpec {
         WorkloadSpec {
             name: format!("{}-{}", profile.name(), index + 1),
-            profile,
+            source: WorkloadSource::Profile(profile),
             // Seeds are disjoint across profiles so suites never share RNG
             // streams.
             seed: 1000 * (profile as u64 + 1) + index as u64,
         }
     }
 
+    /// Builds a spec for a named library program, or `None` if the
+    /// program does not exist.
+    pub fn program(name: &str) -> Option<WorkloadSpec> {
+        fdip_isa::library::source(name)?;
+        Some(WorkloadSpec {
+            name: name.to_string(),
+            source: WorkloadSource::Program(name.to_string()),
+            seed: 0,
+        })
+    }
+
+    /// Builds a spec for a named scenario at `seed`, or `None` if the
+    /// scenario does not exist.
+    pub fn scenario(name: &str, seed: u64) -> Option<WorkloadSpec> {
+        fdip_isa::scenario::find(name)?;
+        Some(WorkloadSpec {
+            name: format!("{name}~s{seed}"),
+            source: WorkloadSource::Scenario(name.to_string()),
+            seed,
+        })
+    }
+
     /// Generates the trace at the given length.
     pub fn generate(&self, trace_len: usize) -> Trace {
-        GeneratorConfig::profile(self.profile)
-            .name(self.name.clone())
-            .seed(self.seed)
-            .target_len(trace_len)
-            .generate()
+        match &self.source {
+            WorkloadSource::Profile(profile) => GeneratorConfig::profile(*profile)
+                .name(self.name.clone())
+                .seed(self.seed)
+                .target_len(trace_len)
+                .generate(),
+            // Names were validated at construction (or wire decode), so a
+            // miss here is a caller bug, not an input error.
+            WorkloadSource::Program(prog) => fdip_isa::library::trace(prog, &self.name, trace_len)
+                .unwrap_or_else(|| panic!("unknown library program {prog:?}")),
+            WorkloadSource::Scenario(scn) => {
+                fdip_isa::scenario::trace(scn, self.seed, &self.name, trace_len)
+                    .unwrap_or_else(|| panic!("unknown scenario {scn:?}"))
+            }
+        }
     }
 }
 
-/// The workloads of a suite at a given scale.
+/// The synthetic workloads of a suite at a given scale.
 pub fn suite(kind: SuiteKind, scale: Scale) -> Vec<WorkloadSpec> {
     let per = scale.workloads_per_suite;
     let mut specs = Vec::new();
@@ -61,6 +142,22 @@ pub fn suite(kind: SuiteKind, scale: Scale) -> Vec<WorkloadSpec> {
         specs.extend((0..per).map(|i| WorkloadSpec::new(Profile::Server, i)));
     }
     specs
+}
+
+/// Every library program as a workload, in catalogue order.
+pub fn program_suite() -> Vec<WorkloadSpec> {
+    fdip_isa::library::names()
+        .into_iter()
+        .map(|n| WorkloadSpec::program(n).expect("library name"))
+        .collect()
+}
+
+/// Every scenario as a workload at `seed`, in catalogue order.
+pub fn scenario_suite(seed: u64) -> Vec<WorkloadSpec> {
+    fdip_isa::scenario::names()
+        .into_iter()
+        .map(|n| WorkloadSpec::scenario(n, seed).expect("scenario name"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -92,5 +189,49 @@ mod tests {
         let t = spec.generate(5_000);
         assert!(t.len() >= 5_000);
         assert_eq!(t.name(), "client-1");
+    }
+
+    #[test]
+    fn program_workloads_generate_valid_traces() {
+        let spec = WorkloadSpec::program("bubble").unwrap();
+        let t = spec.generate(8_000);
+        assert!(t.len() >= 8_000);
+        assert_eq!(t.name(), "bubble");
+        t.validate().unwrap();
+        assert!(WorkloadSpec::program("no-such-program").is_none());
+    }
+
+    #[test]
+    fn scenario_workloads_generate_valid_traces() {
+        let spec = WorkloadSpec::scenario("cs-sort-vm", 7).unwrap();
+        assert_eq!(spec.name, "cs-sort-vm~s7");
+        let t = spec.generate(8_000);
+        assert!(t.len() >= 8_000);
+        t.validate().unwrap();
+        assert!(WorkloadSpec::scenario("no-such-scenario", 0).is_none());
+    }
+
+    #[test]
+    fn full_suites_cover_the_catalogues() {
+        assert_eq!(program_suite().len(), fdip_isa::library::names().len());
+        assert!(program_suite().len() >= 6);
+        assert_eq!(scenario_suite(1).len(), fdip_isa::scenario::names().len());
+        assert!(scenario_suite(1).len() >= 3);
+    }
+
+    #[test]
+    fn wire_round_trip_covers_all_sources() {
+        for spec in [
+            WorkloadSpec::new(Profile::Server, 2),
+            WorkloadSpec::program("vm").unwrap(),
+            WorkloadSpec::scenario("irq-vm", 3).unwrap(),
+        ] {
+            let wire = spec.source.to_wire();
+            assert_eq!(WorkloadSource::from_wire(&wire), Some(spec.source));
+        }
+        assert_eq!(WorkloadSource::from_wire("profile:warp9"), None);
+        assert_eq!(WorkloadSource::from_wire("program:warp9"), None);
+        assert_eq!(WorkloadSource::from_wire("scenario:warp9"), None);
+        assert_eq!(WorkloadSource::from_wire("nonsense"), None);
     }
 }

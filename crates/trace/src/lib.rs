@@ -43,6 +43,6 @@ pub use binary::{
 };
 pub use builder::TraceBuilder;
 pub use error::TraceError;
-pub use stats::{BranchMix, OffsetHistogram, TraceStats};
+pub use stats::{BlockSizeHistogram, BranchMix, OffsetHistogram, TraceStats};
 pub use text::{read_text, write_text};
 pub use trace::Trace;

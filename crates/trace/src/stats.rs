@@ -123,6 +123,108 @@ impl fmt::Display for OffsetHistogram {
     }
 }
 
+/// Histogram of dynamic basic-block sizes: the lengths of maximal runs of
+/// records ending at a control-flow record (or at the end of the trace).
+///
+/// Sizes above 64 instructions are clamped into the top bin; the exact
+/// instruction total is kept separately so [`mean`](Self::mean) is exact.
+/// This is the distribution the fetch-directed front end actually sees —
+/// one block per FTQ-enqueued fetch region — and the axis along which
+/// synthetic and real-program traces are calibrated against each other.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockSizeHistogram {
+    /// `bins[s]` counts blocks of exactly `s` instructions (`s` in
+    /// 1..=[`Self::MAX_SIZE`]); larger blocks clamp into the top bin.
+    bins: Vec<u64>,
+    /// Exact total instructions across all recorded blocks.
+    instrs: u64,
+}
+
+impl Default for BlockSizeHistogram {
+    fn default() -> Self {
+        BlockSizeHistogram {
+            bins: vec![0; Self::MAX_SIZE as usize + 1],
+            instrs: 0,
+        }
+    }
+}
+
+impl BlockSizeHistogram {
+    /// Largest distinguishable block size; longer blocks clamp here.
+    pub const MAX_SIZE: u32 = 64;
+
+    /// Count of blocks of exactly `size` instructions (`MAX_SIZE` bin
+    /// also holds everything larger).
+    pub fn count(&self, size: u32) -> u64 {
+        self.bins.get(size as usize).copied().unwrap_or(0)
+    }
+
+    /// Total blocks recorded.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Exact mean block size in instructions, or 0 if no blocks.
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / total as f64
+        }
+    }
+
+    /// Fraction of blocks of exactly `size` instructions.
+    pub fn fraction(&self, size: u32) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(size) as f64 / total as f64
+        }
+    }
+
+    /// Smallest size `s` such that at least `p` (0..=1) of blocks have
+    /// size ≤ `s`, or `None` if no blocks were recorded.
+    pub fn percentile(&self, p: f64) -> Option<u32> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let need = (p.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (size, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= need.max(1) {
+                return Some(size as u32);
+            }
+        }
+        Some(Self::MAX_SIZE)
+    }
+
+    /// The largest (clamped) block size observed, if any.
+    pub fn max_size(&self) -> Option<u32> {
+        self.bins.iter().rposition(|&c| c > 0).map(|idx| idx as u32)
+    }
+
+    fn record(&mut self, size: u64) {
+        debug_assert!(size > 0, "basic blocks are non-empty");
+        self.instrs += size;
+        self.bins[(size.min(Self::MAX_SIZE as u64)) as usize] += 1;
+    }
+}
+
+impl fmt::Display for BlockSizeHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "size  fraction")?;
+        let max = self.max_size().unwrap_or(0);
+        for size in 1..=max {
+            writeln!(f, "{:>4}  {:.4}", size, self.fraction(size))?;
+        }
+        writeln!(f, "mean  {:.2}", self.mean())
+    }
+}
+
 /// Aggregate characterization of a trace.
 ///
 /// # Examples
@@ -156,6 +258,8 @@ pub struct TraceStats {
     pub mix: BranchMix,
     /// Offset-width histogram over dynamic taken branches.
     pub offsets: OffsetHistogram,
+    /// Dynamic basic-block-size histogram (runs ending at a branch record).
+    pub blocks: BlockSizeHistogram,
 }
 
 impl TraceStats {
@@ -174,9 +278,11 @@ impl TraceStats {
             len: instrs.len() as u64,
             ..TraceStats::default()
         };
+        let mut run_len = 0u64;
         for instr in instrs {
             unique_pcs.insert(instr.pc);
             unique_blocks.insert(instr.pc.block_index(64));
+            run_len += 1;
             if let Some(b) = instr.branch {
                 stats.mix.record(b.class, b.taken);
                 branch_pcs.insert(instr.pc);
@@ -186,7 +292,12 @@ impl TraceStats {
                         .offsets
                         .record(offset_bits(offset_insts(instr.pc, b.target)));
                 }
+                stats.blocks.record(run_len);
+                run_len = 0;
             }
+        }
+        if run_len > 0 {
+            stats.blocks.record(run_len);
         }
         stats.footprint_bytes = unique_pcs.len() as u64 * 4;
         stats.footprint_blocks_64b = unique_blocks.len() as u64;
@@ -227,6 +338,21 @@ impl fdip_types::ToJson for OffsetHistogram {
     }
 }
 
+impl fdip_types::ToJson for BlockSizeHistogram {
+    fn to_json(&self) -> fdip_types::Json {
+        // `bins[size]` for size 0..=max_size (bin 0 is structurally zero);
+        // trailing empty bins carry no information.
+        let upto = self.max_size().map_or(0, |s| s as usize + 1);
+        fdip_types::Json::obj([
+            ("mean", fdip_types::Json::num(self.mean())),
+            (
+                "bins",
+                fdip_types::Json::arr(self.bins[..upto].iter().map(|&c| fdip_types::Json::uint(c))),
+            ),
+        ])
+    }
+}
+
 impl fdip_types::ToJson for TraceStats {
     fn to_json(&self) -> fdip_types::Json {
         fdip_types::json_fields!(
@@ -238,6 +364,7 @@ impl fdip_types::ToJson for TraceStats {
             static_taken_branches,
             mix,
             offsets,
+            blocks,
         )
     }
 }
@@ -302,6 +429,44 @@ mod tests {
         assert_eq!(s.offsets.total(), 0);
         assert_eq!(s.offsets.max_bits(), None);
         assert_eq!(s.branch_pki(), 0.0);
+    }
+
+    #[test]
+    fn block_sizes_split_at_branch_records() {
+        let t = looped_trace();
+        let s = TraceStats::measure(&t);
+        // Blocks: 3× (4 plain + taken cond) = 5, 1× (4 plain + not-taken
+        // cond) = 5, trailing 1 plain = 1.
+        assert_eq!(s.blocks.total(), 5);
+        assert_eq!(s.blocks.count(5), 4);
+        assert_eq!(s.blocks.count(1), 1);
+        assert_eq!(s.blocks.max_size(), Some(5));
+        assert!((s.blocks.mean() - 21.0 / 5.0).abs() < 1e-12);
+        assert!((s.blocks.fraction(5) - 0.8).abs() < 1e-12);
+        assert_eq!(s.blocks.percentile(0.5), Some(5));
+        assert_eq!(s.blocks.percentile(0.1), Some(1));
+    }
+
+    #[test]
+    fn oversize_blocks_clamp_but_mean_stays_exact() {
+        let mut b = TraceBuilder::new("big", Addr::new(0x1000));
+        b.plain(199);
+        b.jump(Addr::new(0x1000));
+        b.plain(1);
+        let s = TraceStats::measure(&b.finish());
+        assert_eq!(s.blocks.count(BlockSizeHistogram::MAX_SIZE), 1);
+        assert_eq!(s.blocks.count(1), 1);
+        assert_eq!(s.blocks.total(), 2);
+        assert!((s.blocks.mean() - 201.0 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_block_histogram() {
+        let s = TraceStats::measure(&Trace::default());
+        assert_eq!(s.blocks.total(), 0);
+        assert_eq!(s.blocks.mean(), 0.0);
+        assert_eq!(s.blocks.percentile(0.5), None);
+        assert_eq!(s.blocks.max_size(), None);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use fdip_sim::experiments;
 use fdip_sim::harness::Harness;
-use fdip_sim::workload::{suite, SuiteKind};
+use fdip_sim::workload::{program_suite, scenario_suite, suite, SuiteKind};
 use fdip_sim::Scale;
 
 #[test]
@@ -52,10 +52,14 @@ fn exp_all_shares_traces_and_simulates_each_cell_exactly_once() {
     }
     let first = harness.stats();
 
-    // Every suite trace was generated exactly once per (workload, length):
-    // quick scale has client-1 and server-1, all experiments run at the
-    // same trace length, so exactly two generations ever happen.
-    let distinct_workloads = suite(SuiteKind::All, scale).len() as u64;
+    // Every trace was generated exactly once per (workload, length):
+    // quick scale has client-1 and server-1, r1/r2 add the executed
+    // program and scenario workloads, and all experiments run at the
+    // same trace length — so each distinct workload generates once.
+    let distinct_workloads = (suite(SuiteKind::All, scale).len()
+        + program_suite().len()
+        + scenario_suite(experiments::r1_real_programs::SCENARIO_SEED).len())
+        as u64;
     assert_eq!(first.traces_generated, distinct_workloads, "{first:?}");
     assert!(first.trace_hits > 0, "{first:?}");
 
