@@ -4,9 +4,12 @@
 //! from `$FDIP_FAULTS`), `--journal PATH` to override the default cell
 //! journal at `results/journal.jsonl`, `--isolate[=N]` to run every
 //! cell in supervised worker processes (a crash or hang costs one worker
-//! and one FAILED row, never the run), and `--batch[=on|off]` to control
-//! the lockstep multi-config batch pass (on by default; output is
-//! byte-identical either way).
+//! and one FAILED row, never the run), `--fleet ADDR,ADDR,...` to dispatch
+//! isolated cells to remote `fdip workerd` daemons (a killed or partitioned
+//! node costs a re-dispatch, never the run), `--cache DIR` to share a
+//! persistent on-disk result cache across runs and machines, and
+//! `--batch[=on|off]` to control the lockstep multi-config batch pass (on
+//! by default; output is byte-identical either way).
 //!
 //! All experiments share the process-wide harness, so each suite trace is
 //! generated once and each distinct (workload, config, trace length) cell
@@ -59,7 +62,14 @@ fn main() {
     let mut isolate: Option<usize> = None;
     let mut batch: Option<bool> = None;
     let mut scale_args = Vec::with_capacity(args.len());
-    for a in strip_valued_flag(&strip_valued_flag(&args, "--faults"), "--journal") {
+    let stripped = strip_valued_flag(
+        &strip_valued_flag(
+            &strip_valued_flag(&strip_valued_flag(&args, "--faults"), "--journal"),
+            "--fleet",
+        ),
+        "--cache",
+    );
+    for a in stripped {
         if a == "--isolate" {
             isolate = Some(fdip_sim::supervisor::default_worker_count());
         } else if let Some(n) = a.strip_prefix("--isolate=") {
@@ -96,12 +106,59 @@ fn main() {
     if let Some(on) = batch {
         harness.set_batching(on);
     }
-    if let Some(workers) = isolate {
+    let fleet_addrs = flag_value(&args, "--fleet");
+    if let Some(addrs) = &fleet_addrs {
+        if isolate.is_none() {
+            eprintln!("--fleet requires --isolate (cells run in remote worker daemons)");
+            std::process::exit(2);
+        }
+        let list: Vec<String> = addrs
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if list.is_empty() {
+            eprintln!("--fleet needs at least one HOST:PORT address");
+            std::process::exit(2);
+        }
+        let fleet = harness
+            .enable_fleet(fdip_sim::fleet::FleetConfig::new(list))
+            .unwrap_or_else(|e| {
+                eprintln!("fleet: {e}");
+                std::process::exit(2);
+            });
+        let nodes: Vec<String> = fleet
+            .nodes()
+            .iter()
+            .map(|(addr, seats)| format!("{addr} x{seats}"))
+            .collect();
+        eprintln!(
+            "fleet: {} node(s), {} worker seat(s): {}",
+            fleet.nodes().len(),
+            fleet.workers(),
+            nodes.join(", ")
+        );
+    } else if let Some(workers) = isolate {
         let supervisor = harness.enable_isolation(fdip_sim::supervisor::SupervisorConfig {
             workers,
             ..fdip_sim::supervisor::SupervisorConfig::default()
         });
         eprintln!("isolation: {} worker process(es)", supervisor.workers());
+    }
+    if let Some(dir) = flag_value(&args, "--cache").map(PathBuf::from) {
+        match harness.attach_cache(&dir) {
+            Ok(summary) => eprintln!(
+                "cell cache {}: {} entr{} restored, {} corrupt",
+                dir.display(),
+                summary.entries,
+                if summary.entries == 1 { "y" } else { "ies" },
+                summary.corrupt
+            ),
+            Err(e) => eprintln!(
+                "warning: cell cache {} unavailable ({e}); running without it",
+                dir.display()
+            ),
+        }
     }
 
     let plan = match flag_value(&args, "--faults") {
@@ -115,6 +172,14 @@ fn main() {
         }),
     };
     if let Some(plan) = &plan {
+        if plan.requires_fleet() && fleet_addrs.is_none() {
+            eprintln!(
+                "fault plan injects network faults (drop/partition/slowlink/truncframe), \
+                 which only make sense against remote workers; rerun with \
+                 --fleet ADDR,... (plus --isolate)"
+            );
+            std::process::exit(2);
+        }
         if plan.requires_isolation() && isolate.is_none() {
             eprintln!(
                 "fault plan injects abort/hang/bigalloc faults, which take the whole \
@@ -181,6 +246,16 @@ fn main() {
         eprintln!(
             "isolation: {} worker restart(s), {} kill(s), {} crash-loop pause(s)",
             stats.worker_restarts, stats.worker_kills, stats.worker_crash_loops,
+        );
+    }
+    if harness.fleet_enabled() {
+        eprintln!(
+            "fleet: {} worker seat(s), {} node loss(es), {} cell(s) re-dispatched, \
+             {} remote cache hit(s)",
+            stats.fleet_workers,
+            stats.node_losses,
+            stats.cells_redispatched,
+            stats.remote_cache_hits,
         );
     }
     eprintln!("total {:.1}s", start.elapsed().as_secs_f64());

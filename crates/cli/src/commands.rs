@@ -14,7 +14,7 @@ use crate::args::Args;
 /// Every subcommand, paired with its one-line summary. The dispatch
 /// table, the usage text, and the unknown-command error all derive from
 /// this list so they cannot drift apart.
-pub const COMMANDS: [(&str, &str); 12] = [
+pub const COMMANDS: [(&str, &str); 13] = [
     ("gen", "generate a workload trace"),
     ("asm", "assemble a FISA source file and report the program"),
     (
@@ -35,6 +35,10 @@ pub const COMMANDS: [(&str, &str); 12] = [
         "run registry experiments with fault injection and journaled resume",
     ),
     ("serve", "run the HTTP simulation service"),
+    (
+        "workerd",
+        "run a TCP worker daemon serving fleet cell dispatch",
+    ),
     ("help", "print this usage text"),
 ];
 
@@ -67,7 +71,8 @@ commands:
                                                  or any experiment from the registry by id
                                                  (e.g. e01, x4) at quick scale
   exp      [ID|all] [--quick|--medium|--full] [--batch[=on|off]] [--isolate[=N]]
-           [--faults SPEC] [--journal FILE] [--max-attempts N] [--cell-budget-ms N]
+           [--fleet ADDR,ADDR,...] [--cache DIR] [--faults SPEC] [--journal FILE]
+           [--max-attempts N] [--cell-budget-ms N]
                                                  run one experiment (or the whole
                                                  catalogue) under the fault-tolerant
                                                  harness: --batch=off disables the
@@ -76,12 +81,21 @@ commands:
                                                  either way), --isolate runs cells in N
                                                  supervised worker processes (crashes
                                                  and hangs cost one worker, not the
-                                                 run), --faults injects deterministic
+                                                 run), --fleet dispatches cells to
+                                                 remote `fdip workerd` daemons instead
+                                                 (killed nodes cost a re-dispatch,
+                                                 never the run; needs --isolate),
+                                                 --cache persists finished cells to a
+                                                 shared content-addressed directory
+                                                 consulted before any dispatch,
+                                                 --faults injects deterministic
                                                  failures (kind@workload/config[:arg],
                                                  kinds panic|transient|trace|slow, plus
-                                                 abort|hang|bigalloc under --isolate;
-                                                 also read from $FDIP_FAULTS), --journal
-                                                 records finished cells so a killed run
+                                                 abort|hang|bigalloc under --isolate
+                                                 and drop|partition|slowlink|truncframe
+                                                 under --fleet; also read from
+                                                 $FDIP_FAULTS), --journal records
+                                                 finished cells so a killed run
                                                  resumes without re-simulating them
   serve    [--addr HOST:PORT] [--threads N] [--queue-depth N] [--timeout-ms N]
            [--results-dir DIR] [--max-trace-len N] [--max-configs N] [--isolate N]
@@ -89,7 +103,19 @@ commands:
                                                  (healthz, metrics, v1/run, v1/compare,
                                                  v1/experiments/{id}); --isolate keeps
                                                  crashing cells in worker processes
-                                                 (structured 502, server stays up)
+                                                 (structured 502, server stays up);
+                                                 --fleet dispatches cells to remote
+                                                 `fdip workerd` daemons, --cache
+                                                 persists finished cells to DIR
+                                                 (default RESULTS/cellcache; `none`
+                                                 disables) so a restarted server is
+                                                 warm from request one
+  workerd  --listen HOST:PORT [--slots N]        run a TCP worker daemon: fleet
+                                                 clients dispatch cells here, each
+                                                 simulated in a supervised child
+                                                 process (a crash costs the child,
+                                                 not the daemon); ctrl-c or SIGTERM
+                                                 finishes in-flight cells, then exits
   help                                           print this usage text
 
 trace format is inferred from the file extension: `.txt` is text,
@@ -132,6 +158,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         "convert" => cmd_convert(&args),
         "tables" => cmd_tables(&args),
         "serve" => cmd_serve(&args),
+        "workerd" => cmd_workerd(&args),
         "help" | "--help" | "-h" => cmd_help(&args),
         other => Err(unknown_command_error(&format!("unknown command {other:?}"))),
     }
@@ -546,6 +573,8 @@ fn cmd_exp(raw: &[String]) -> CliResult {
         None => FaultPlan::from_env()?,
     };
     let journal = args.get("journal").map(std::path::PathBuf::from);
+    let fleet_addrs = args.get("fleet").map(str::to_string);
+    let cache_dir = args.get("cache").map(std::path::PathBuf::from);
     let defaults = RetryPolicy::default();
     let max_attempts = args.get_or("max-attempts", defaults.max_attempts, "a retry count")?;
     let budget_ms = args.get_or("cell-budget-ms", 0u64, "milliseconds (0 = no budget)")?;
@@ -579,7 +608,35 @@ fn cmd_exp(raw: &[String]) -> CliResult {
     if let Some(on) = batch {
         harness.set_batching(on);
     }
-    if let Some(workers) = isolate {
+    if let Some(addrs) = &fleet_addrs {
+        // Fleet dispatch is the distributed form of process isolation;
+        // requiring the flag keeps "cells leave this process" explicit.
+        if isolate.is_none() {
+            return Err("--fleet requires --isolate (cells run in remote worker daemons)".into());
+        }
+        let list: Vec<String> = addrs
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if list.is_empty() {
+            return Err("--fleet needs at least one HOST:PORT address".into());
+        }
+        let fleet = harness
+            .enable_fleet(fdip_sim::fleet::FleetConfig::new(list))
+            .map_err(|e| format!("fleet: {e}"))?;
+        let nodes = fleet.nodes();
+        eprintln!(
+            "fleet: {} node(s), {} worker seat(s): {}",
+            nodes.len(),
+            fleet.workers(),
+            nodes
+                .iter()
+                .map(|(addr, seats)| format!("{addr} x{seats}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    } else if let Some(workers) = isolate {
         let supervisor = harness.enable_isolation(SupervisorConfig {
             workers,
             ..SupervisorConfig::default()
@@ -594,11 +651,31 @@ fn cmd_exp(raw: &[String]) -> CliResult {
             },
         );
     }
+    if let Some(dir) = &cache_dir {
+        let summary = harness
+            .attach_cache(dir)
+            .map_err(|e| format!("cache {}: {e}", dir.display()))?;
+        eprintln!(
+            "cell cache {}: {} entr{} restored, {} corrupt",
+            dir.display(),
+            summary.entries,
+            if summary.entries == 1 { "y" } else { "ies" },
+            summary.corrupt,
+        );
+    }
     if let Some(plan) = &plan {
         if plan.requires_isolation() && isolate.is_none() {
             return Err(
                 "fault plan injects abort/hang/bigalloc faults, which take the whole \
                  process down; rerun with --isolate[=N] to contain them in worker processes"
+                    .into(),
+            );
+        }
+        if plan.requires_fleet() && fleet_addrs.is_none() {
+            return Err(
+                "fault plan injects drop/partition/slowlink/truncframe network faults, \
+                 which exist only at the fleet transport; rerun with --fleet ADDR,... \
+                 (plus --isolate)"
                     .into(),
             );
         }
@@ -647,6 +724,16 @@ fn cmd_exp(raw: &[String]) -> CliResult {
             stats.worker_restarts, stats.worker_kills, stats.worker_crash_loops,
         );
     }
+    if harness.fleet_enabled() {
+        eprintln!(
+            "fleet: {} worker seat(s), {} node loss(es), {} cell(s) re-dispatched, \
+             {} remote cache hit(s)",
+            stats.fleet_workers,
+            stats.node_losses,
+            stats.cells_redispatched,
+            stats.remote_cache_hits,
+        );
+    }
     eprintln!("total {:.1}s", start.elapsed().as_secs_f64());
     if stats.cells_failed > 0 {
         eprintln!(
@@ -680,6 +767,18 @@ fn cmd_serve(args: &Args) -> CliResult {
             defaults.isolate_workers,
             "a worker-process count (0 = in-process)",
         )?,
+        fleet: args.get("fleet").map(str::to_string),
+        cache_dir: None,
+    };
+    // The serve-side cell cache is on by default (warm restarts); opt out
+    // with `--cache none`.
+    let config = fdip_serve::ServeConfig {
+        cache_dir: match args.get("cache") {
+            Some("none") => None,
+            Some(dir) => Some(std::path::PathBuf::from(dir)),
+            None => Some(config.results_dir.join("cellcache")),
+        },
+        ..config
     };
     args.expect_positional(0, "serve takes no positional arguments")?;
     args.reject_unknown()?;
@@ -688,7 +787,14 @@ fn cmd_serve(args: &Args) -> CliResult {
     // matching cells fail into structured 502s instead of panicking a
     // worker (see DESIGN.md §6.5).
     if let Some(plan) = fdip_sim::fault::FaultPlan::from_env()? {
-        if plan.requires_isolation() && config.isolate_workers == 0 {
+        if plan.requires_fleet() && config.fleet.is_none() {
+            return Err(
+                "$FDIP_FAULTS injects network faults (drop/partition/slowlink/truncframe), \
+                 which only make sense against remote workers; rerun with --fleet ADDR,..."
+                    .into(),
+            );
+        }
+        if plan.requires_isolation() && config.isolate_workers == 0 && config.fleet.is_none() {
             return Err(
                 "$FDIP_FAULTS injects abort/hang/bigalloc faults, which take the whole \
                  server down; rerun with --isolate N to contain them in worker processes"
@@ -716,16 +822,45 @@ fn cmd_serve(args: &Args) -> CliResult {
         config.queue_depth,
         config.timeout_ms,
     );
-    if config.isolate_workers > 0 {
+    if let Some(addrs) = &config.fleet {
+        println!("  fleet: cells dispatch to worker daemons at {addrs}; a lost node re-dispatches");
+    } else if config.isolate_workers > 0 {
         println!(
             "  isolation: {} worker process(es); crashing cells return 502, the server stays up",
             config.isolate_workers,
+        );
+    }
+    if let Some(dir) = &config.cache_dir {
+        println!(
+            "  cell cache: {} (disable with --cache none)",
+            dir.display()
         );
     }
     println!("  endpoints: /healthz /metrics /v1/run /v1/compare /v1/experiments/{{id}}");
     println!("  stop with ctrl-c or SIGTERM (drains in-flight work)");
     server.run()?;
     println!("fdip-serve drained and stopped");
+    Ok(())
+}
+
+fn cmd_workerd(args: &Args) -> CliResult {
+    use fdip_sim::{fleet, supervisor};
+    let listen = args.require("listen")?.to_string();
+    let slots = args.get_or("slots", supervisor::default_worker_count(), "a seat count")?;
+    args.expect_positional(0, "workerd takes no positional arguments")?;
+    args.reject_unknown()?;
+    if slots == 0 {
+        return Err("--slots must be positive".into());
+    }
+
+    let listener =
+        std::net::TcpListener::bind(&listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let addr = listener.local_addr()?;
+    fdip_serve::signal::install();
+    println!("fdip-workerd listening on {addr} ({slots} seat(s))");
+    println!("  stop with ctrl-c or SIGTERM (finishes in-flight cells, then exits)");
+    fleet::serve_workerd(listener, slots, &fdip_serve::signal::shutdown_requested)?;
+    println!("fdip-workerd drained and stopped");
     Ok(())
 }
 

@@ -84,6 +84,16 @@ pub struct ServeConfig {
     /// aborts or hangs costs one worker process and returns a structured
     /// 502 — the server and its other connections stay up.
     pub isolate_workers: usize,
+    /// Comma-separated `fdip workerd` addresses for fleet cell dispatch
+    /// (`--fleet`); `None` keeps cells on this machine. With a fleet,
+    /// a killed or partitioned node costs a re-dispatch, never a failed
+    /// request, and takes precedence over `isolate_workers`.
+    pub fleet: Option<String>,
+    /// Directory for the shared on-disk result cache (`--cache`); `None`
+    /// disables persistence. With a cache attached, a restarted server is
+    /// warm from its first request: finished cells are read back (CRC32-
+    /// verified) instead of re-simulated.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +107,8 @@ impl Default for ServeConfig {
             max_trace_len: 2_000_000,
             max_configs: 16,
             isolate_workers: 0,
+            fleet: None,
+            cache_dir: None,
         }
     }
 }

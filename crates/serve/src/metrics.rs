@@ -246,9 +246,32 @@ impl Metrics {
                 "Crash-loop backoff pauses before respawning a worker.",
                 harness.worker_crash_loops,
             ),
+            (
+                "fdip_serve_node_losses_total",
+                "Fleet nodes declared lost (dead socket or missed heartbeats).",
+                harness.node_losses,
+            ),
+            (
+                "fdip_serve_cells_redispatched_total",
+                "Cells re-dispatched to another fleet node after a failure.",
+                harness.cells_redispatched,
+            ),
+            (
+                "fdip_serve_remote_cache_hits_total",
+                "Cells served from the shared on-disk result cache.",
+                harness.remote_cache_hits,
+            ),
         ] {
             counter(&mut out, name, help, value);
         }
+
+        let _ = write!(
+            out,
+            "# HELP fdip_serve_fleet_workers Worker seats across connected fleet nodes.\n\
+             # TYPE fdip_serve_fleet_workers gauge\n\
+             fdip_serve_fleet_workers {}\n",
+            harness.fleet_workers
+        );
         out
     }
 }
@@ -284,6 +307,10 @@ mod tests {
             worker_restarts: 8,
             worker_kills: 9,
             worker_crash_loops: 10,
+            fleet_workers: 12,
+            node_losses: 13,
+            cells_redispatched: 14,
+            remote_cache_hits: 15,
             ..HarnessStats::default()
         };
         let text = m.render(2, 64, &harness);
@@ -308,6 +335,10 @@ mod tests {
         assert!(text.contains("fdip_serve_worker_restarts_total 8"));
         assert!(text.contains("fdip_serve_worker_kills_total 9"));
         assert!(text.contains("fdip_serve_worker_crash_loops_total 10"));
+        assert!(text.contains("fdip_serve_fleet_workers 12"));
+        assert!(text.contains("fdip_serve_node_losses_total 13"));
+        assert!(text.contains("fdip_serve_cells_redispatched_total 14"));
+        assert!(text.contains("fdip_serve_remote_cache_hits_total 15"));
         assert!(text.contains("fdip_serve_requests_total{status=\"502\"} 0"));
         // Histogram buckets are cumulative: the 3ms observation lands in
         // le=0.005 and every later bucket includes it.

@@ -71,7 +71,27 @@ impl Server {
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
-        if config.isolate_workers > 0 {
+        if let Some(addrs) = &config.fleet {
+            // Fleet dispatch: cells run on remote `fdip workerd` daemons.
+            // Same budget discipline as local isolation; a lost node is a
+            // retryable re-dispatch, not a failed request.
+            fdip_sim::harness::Harness::global().set_retry_policy(fdip_sim::fault::RetryPolicy {
+                cell_budget: Some(std::time::Duration::from_millis(config.timeout_ms)),
+                ..fdip_sim::fault::RetryPolicy::default()
+            });
+            let list: Vec<String> = addrs
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let fleet = fdip_sim::harness::Harness::global()
+                .enable_fleet(fdip_sim::fleet::FleetConfig::new(list))?;
+            eprintln!(
+                "fleet: {} node(s), {} worker seat(s)",
+                fleet.nodes().len(),
+                fleet.workers()
+            );
+        } else if config.isolate_workers > 0 {
             // Route cell computes through supervised worker processes: a
             // cell that aborts or hangs costs one disposable worker and a
             // structured 502, never this process. The request timeout
@@ -85,6 +105,20 @@ impl Server {
                     workers: config.isolate_workers,
                     ..fdip_sim::supervisor::SupervisorConfig::default()
                 },
+            );
+        }
+        if let Some(dir) = &config.cache_dir {
+            // Warm restarts: finished cells persisted by a previous run (or
+            // a batch CLI sharing the directory) are read back instead of
+            // re-simulated; corrupt entries are skipped, counted, and
+            // repaired on the next store.
+            let summary = fdip_sim::harness::Harness::global().attach_cache(dir)?;
+            eprintln!(
+                "cell cache {}: {} entr{} restored, {} corrupt",
+                dir.display(),
+                summary.entries,
+                if summary.entries == 1 { "y" } else { "ies" },
+                summary.corrupt
             );
         }
         let threads = if config.threads == 0 {

@@ -252,6 +252,20 @@ pub enum FaultAction {
     /// allocator into `handle_alloc_error` → abort (a deterministic
     /// stand-in for an OOM kill). Isolation-only.
     BigAlloc,
+    /// Sever the fleet connection instead of dispatching — a node dying
+    /// the instant it was picked. Fleet-only.
+    NetDrop,
+    /// Dispatch over the fleet, then go deaf: heartbeats and the reply
+    /// never arrive, exercising the heartbeat-loss recovery path.
+    /// Fleet-only.
+    NetPartition,
+    /// Delay the fleet dispatch by this long — a congested link.
+    /// Fleet-only.
+    NetSlowlink(Duration),
+    /// Replace the fleet request with a truncated garbage frame, so the
+    /// remote end must reject it and the dialer must re-dispatch.
+    /// Fleet-only.
+    NetTruncFrame,
 }
 
 impl FaultAction {
@@ -263,6 +277,19 @@ impl FaultAction {
         matches!(
             self,
             FaultAction::Abort | FaultAction::Hang | FaultAction::BigAlloc
+        )
+    }
+
+    /// Whether this action injects at the fleet transport and therefore
+    /// needs `--fleet` to mean anything: without remote dispatch there is
+    /// no connection to drop, partition, slow, or corrupt.
+    pub fn requires_fleet(&self) -> bool {
+        matches!(
+            self,
+            FaultAction::NetDrop
+                | FaultAction::NetPartition
+                | FaultAction::NetSlowlink(_)
+                | FaultAction::NetTruncFrame
         )
     }
 }
@@ -284,6 +311,14 @@ enum FaultKind {
     Hang,
     /// Abort via an impossible allocation; `times: None` = every attempt.
     BigAlloc { times: Option<u32> },
+    /// Sever the fleet connection for the first `times` attempts.
+    Drop { times: u32 },
+    /// Partition (dispatch then silence) for the first `times` attempts.
+    Partition { times: u32 },
+    /// Delay every fleet dispatch by `ms`.
+    Slowlink { ms: u64 },
+    /// Corrupt the request frame for the first `times` attempts.
+    TruncFrame { times: u32 },
 }
 
 impl FaultKind {
@@ -291,6 +326,16 @@ impl FaultKind {
         matches!(
             self,
             FaultKind::Abort { .. } | FaultKind::Hang | FaultKind::BigAlloc { .. }
+        )
+    }
+
+    fn requires_fleet(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::Drop { .. }
+                | FaultKind::Partition { .. }
+                | FaultKind::Slowlink { .. }
+                | FaultKind::TruncFrame { .. }
         )
     }
 }
@@ -327,6 +372,10 @@ impl FaultSite {
 ///        | 'abort@' W '/' C [':' TIMES]     isolation-only; default every
 ///        | 'hang@' W '/' C                  isolation-only
 ///        | 'bigalloc@' W '/' C [':' TIMES]  isolation-only; default every
+///        | 'drop@' W '/' C [':' TIMES]      fleet-only; default 1
+///        | 'partition@' W '/' C [':' TIMES] fleet-only; default 1
+///        | 'slowlink@' W '/' C ':' MILLIS   fleet-only
+///        | 'truncframe@' W '/' C [':' TIMES] fleet-only; default 1
 /// W, C  := workload name / config label, or '*'
 /// ```
 ///
@@ -334,6 +383,13 @@ impl FaultSite {
 /// computing the cell, so they are accepted only when cells execute in
 /// supervised worker processes (`--isolate`); see
 /// [`requires_isolation`](Self::requires_isolation).
+///
+/// The `drop`/`partition`/`slowlink`/`truncframe` kinds inject at the
+/// fleet transport (severed connections, silent peers, slow links,
+/// corrupt frames) and are accepted only under `--fleet`; see
+/// [`requires_fleet`](Self::requires_fleet). They default to firing
+/// *once* so a drilled run converges: the re-dispatch must succeed and
+/// the output must match a fault-free run.
 ///
 /// `panic@server-1/fdip,transient@client-1/base:2,slow@*/nlp:500` panics
 /// the `(server-1, fdip)` cell permanently, fails `(client-1, base)`
@@ -412,10 +468,26 @@ impl FaultPlan {
                 "bigalloc" => FaultKind::BigAlloc {
                     times: parse_times("bigalloc")?,
                 },
+                "drop" => FaultKind::Drop {
+                    times: parse_times("drop")?.unwrap_or(1),
+                },
+                "partition" => FaultKind::Partition {
+                    times: parse_times("partition")?.unwrap_or(1),
+                },
+                "slowlink" => FaultKind::Slowlink {
+                    ms: arg
+                        .ok_or_else(|| format!("slowlink fault {item:?} needs ':MILLIS'"))?
+                        .parse()
+                        .map_err(|_| format!("bad slowlink millis in {item:?}"))?,
+                },
+                "truncframe" => FaultKind::TruncFrame {
+                    times: parse_times("truncframe")?.unwrap_or(1),
+                },
                 other => {
                     return Err(format!(
                         "unknown fault kind {other:?} \
-                         (panic|transient|trace|slow|abort|hang|bigalloc)"
+                         (panic|transient|trace|slow|abort|hang|bigalloc\
+                         |drop|partition|slowlink|truncframe)"
                     ))
                 }
             };
@@ -462,6 +534,12 @@ impl FaultPlan {
         self.sites.iter().any(|s| s.kind.requires_isolation())
     }
 
+    /// Whether any site injects a network fault (`drop`, `partition`,
+    /// `slowlink`, `truncframe`) that only fleet dispatch can realize.
+    pub fn requires_fleet(&self) -> bool {
+        self.sites.iter().any(|s| s.kind.requires_fleet())
+    }
+
     /// Arms the next fault for one compute attempt at
     /// `(workload, config)`, consuming a shot from the first matching site
     /// that still has any. At most one action fires per attempt.
@@ -482,6 +560,12 @@ impl FaultPlan {
                 FaultKind::Abort { times } => (*times, FaultAction::Abort),
                 FaultKind::Hang => (None, FaultAction::Hang),
                 FaultKind::BigAlloc { times } => (*times, FaultAction::BigAlloc),
+                FaultKind::Drop { times } => (Some(*times), FaultAction::NetDrop),
+                FaultKind::Partition { times } => (Some(*times), FaultAction::NetPartition),
+                FaultKind::Slowlink { ms } => {
+                    (None, FaultAction::NetSlowlink(Duration::from_millis(*ms)))
+                }
+                FaultKind::TruncFrame { times } => (Some(*times), FaultAction::NetTruncFrame),
             };
             if limit.is_some_and(|n| fired[i] >= n) {
                 continue;
@@ -611,6 +695,49 @@ mod tests {
 
         assert!(FaultPlan::parse("hang@w/c:3").is_err());
         assert!(FaultPlan::parse("abort@w/c:soon").is_err());
+    }
+
+    #[test]
+    fn fleet_only_kinds_parse_and_are_flagged() {
+        let plan =
+            FaultPlan::parse("drop@w/c,partition@*/c:2,slowlink@w/c:50,truncframe@w/*").unwrap();
+        assert_eq!(plan.site_count(), 4);
+        assert!(plan.requires_fleet());
+        assert!(!plan.requires_isolation());
+        // Network shots default to once (drills must converge on retry).
+        assert_eq!(plan.fire("w", "c"), Some(FaultAction::NetDrop));
+        assert_eq!(plan.fire("x", "c"), Some(FaultAction::NetPartition));
+        assert_eq!(plan.fire("x", "c"), Some(FaultAction::NetPartition));
+        assert_eq!(plan.fire("x", "c"), None);
+        assert_eq!(
+            plan.fire("w", "z"),
+            Some(FaultAction::NetTruncFrame),
+            "truncframe wildcard"
+        );
+        assert_eq!(plan.fire("w", "z"), None);
+        // Slowlink fires every attempt, like slow.
+        let slow = FaultPlan::parse("slowlink@w/c:50").unwrap();
+        for _ in 0..3 {
+            assert_eq!(
+                slow.fire("w", "c"),
+                Some(FaultAction::NetSlowlink(Duration::from_millis(50)))
+            );
+        }
+        for action in [
+            FaultAction::NetDrop,
+            FaultAction::NetPartition,
+            FaultAction::NetSlowlink(Duration::from_millis(1)),
+            FaultAction::NetTruncFrame,
+        ] {
+            assert!(action.requires_fleet(), "{action:?}");
+            assert!(!action.requires_isolation(), "{action:?}");
+        }
+        assert!(!FaultAction::Abort.requires_fleet());
+        assert!(!FaultPlan::parse("abort@w/c").unwrap().requires_fleet());
+
+        assert!(FaultPlan::parse("slowlink@w/c").is_err());
+        assert!(FaultPlan::parse("slowlink@w/c:fast").is_err());
+        assert!(FaultPlan::parse("drop@w/c:many").is_err());
     }
 
     #[test]

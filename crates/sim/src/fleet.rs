@@ -1,0 +1,1358 @@
+//! The distributed tier: the fleet dispatcher behind `--fleet`, the
+//! `fdip workerd` daemon loop, and the shared on-disk result cache.
+//!
+//! PR 5's supervisor contains cell failures inside one machine; this
+//! module stretches the same protocol across machines without weakening
+//! any of its guarantees:
+//!
+//! * **[`Fleet`]** — the client side. One slot per advertised worker
+//!   seat, each slot a TCP connection to a registered node. Dispatch
+//!   routes by the cell's content hash (same cell → same node → warm
+//!   trace cache), liveness rides the PR 5 heartbeat discipline plus
+//!   read deadlines, and every way a node can vanish — killed process,
+//!   severed link, silent partition, corrupt frame — resolves to the
+//!   *retryable* [`CellError::Crashed`], so a dead node costs
+//!   re-dispatch, never a failed run.
+//! * **[`serve_workerd`]** — the daemon side. Each accepted connection
+//!   is handshake-checked ([`Hello`]/[`Welcome`]) and then proxied to a
+//!   supervised self-exec'd child worker (the PR 5 worker, verbatim), so
+//!   a cell that aborts or hangs remotely kills a disposable child, not
+//!   the daemon. A child's death is reported back as a typed `crashed`
+//!   reply carrying the exit signal/code. On shutdown the daemon drains:
+//!   in-flight cells finish, new ones are refused with a `bye`, and the
+//!   process exits 0.
+//! * **[`ResultCache`]** — the cluster-wide memo. One CRC32-framed
+//!   [`JournalEntry`] per file, content-addressed by
+//!   `(workload, trace_len, config-fingerprint)`, written atomically
+//!   ([`crate::persist::write_atomic`]). Consulted before any dispatch,
+//!   local or remote, so an identical cell simulates exactly once
+//!   *cluster-wide*; corrupt entries are skipped and counted, never
+//!   trusted.
+//!
+//! Fault drills for every path above are injectable deterministically
+//! via the `drop`/`partition`/`slowlink`/`truncframe` kinds in
+//! [`crate::fault::FaultPlan`], realized here as [`NetFault`]s.
+
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, ExitStatus, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use fdip::{FrontendConfig, SimStats};
+use fdip_types::{Json, ToJson};
+
+use crate::fault::CellError;
+use crate::harness::lock;
+use crate::ipc::{read_frame, write_frame, RunRequest, WorkerFault, WorkerReply};
+use crate::journal::{crc32, split_crc_frame, JournalEntry};
+use crate::net::{self, bye_frame, is_bye, Hello, NetFault, Welcome, PROTOCOL_VERSION};
+use crate::workload::WorkloadSpec;
+
+/// Read-poll quantum for fleet streams: how often a blocked read wakes to
+/// check budget/heartbeat/drain deadlines.
+const POLL: Duration = Duration::from_millis(100);
+
+/// How often the daemon's accept loop polls for shutdown.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// How long a fresh connection gets to complete its handshake.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Cells a proxied child runs before being retired and respawned fresh
+/// (same leak bound as the local supervisor's `recycle_after`).
+const RECYCLE_AFTER: u64 = 64;
+
+/// Connection and liveness policy for a [`Fleet`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Worker daemon addresses (`host:port`).
+    pub addrs: Vec<String>,
+    /// Dial timeout, also installed as each stream's write deadline.
+    pub connect_timeout: Duration,
+    /// Silence longer than this from a busy node means it is partitioned
+    /// or dead, not slow; the cell is reclassified for re-dispatch.
+    pub heartbeat_timeout: Duration,
+}
+
+impl FleetConfig {
+    /// Policy for `addrs` with defaults, overridable for drills via the
+    /// `FDIP_FLEET_CONNECT_MS` / `FDIP_FLEET_HEARTBEAT_MS` environment
+    /// variables (tests shrink the heartbeat so partition drills converge
+    /// in milliseconds, not seconds).
+    pub fn new(addrs: Vec<String>) -> FleetConfig {
+        let ms = |var: &str, default: u64| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        FleetConfig {
+            addrs,
+            connect_timeout: Duration::from_millis(ms("FDIP_FLEET_CONNECT_MS", 3_000)),
+            heartbeat_timeout: Duration::from_millis(ms("FDIP_FLEET_HEARTBEAT_MS", 5_000)),
+        }
+    }
+}
+
+/// Counters the fleet accumulates; folded into
+/// [`HarnessStats`](crate::harness::HarnessStats) and exported by
+/// `fdip-serve` `/metrics`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Worker seats registered across all reachable nodes.
+    pub fleet_workers: u64,
+    /// Nodes that went silent mid-run (one per down-transition, not per
+    /// connection — a killed daemon with four seats is one loss).
+    pub node_losses: u64,
+    /// Cell attempts re-dispatched after a first attempt failed.
+    pub cells_redispatched: u64,
+}
+
+/// One registered node.
+#[derive(Debug)]
+struct NodeState {
+    addr: String,
+    /// Set on a silent loss, cleared by any successful dial or reply;
+    /// routing prefers nodes not currently marked lost.
+    lost: AtomicBool,
+}
+
+/// One dispatch seat: which node it belongs to and its (lazily dialed,
+/// re-dialed after loss) connection.
+#[derive(Debug)]
+struct SlotConn {
+    conn: Option<TcpStream>,
+}
+
+/// How one seat attempt ended, distinguishing "could not even reach the
+/// node" (re-route within the same attempt) from a real cell outcome.
+enum SlotOutcome {
+    /// Dialing the node failed; the attempt has not been spent.
+    Unreachable(CellError),
+    /// The cell ran (or died) on the node; this is the attempt's result.
+    Final(CellError),
+}
+
+/// The client side of distributed cell execution: a pool of TCP seats
+/// across registered worker daemons, presenting the same `run_cell`
+/// contract as the local [`Supervisor`](crate::supervisor::Supervisor).
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    nodes: Vec<NodeState>,
+    /// `slot_nodes[i]` is the node index slot `i` belongs to (immutable
+    /// after construction, so routing can consult it without slot locks).
+    slot_nodes: Vec<usize>,
+    slots: Vec<Mutex<SlotConn>>,
+    free: Mutex<Vec<usize>>,
+    available: Condvar,
+    next_id: AtomicU64,
+    node_losses: AtomicU64,
+    cells_redispatched: AtomicU64,
+}
+
+impl Fleet {
+    /// Registers with every address in `config`, learning each node's
+    /// seat count from its handshake. Unreachable nodes are warned about
+    /// and skipped — the fleet sails with whoever showed up.
+    ///
+    /// # Errors
+    ///
+    /// Only if *no* node is reachable: an empty fleet cannot run cells.
+    pub fn connect(config: FleetConfig) -> io::Result<Fleet> {
+        let mut nodes = Vec::new();
+        let mut slot_nodes = Vec::new();
+        let mut slots = Vec::new();
+        for addr in &config.addrs {
+            match dial(addr, config.connect_timeout) {
+                Ok((stream, seats)) => {
+                    let node = nodes.len();
+                    nodes.push(NodeState {
+                        addr: addr.clone(),
+                        lost: AtomicBool::new(false),
+                    });
+                    let mut first = Some(stream);
+                    for _ in 0..seats.max(1) {
+                        slot_nodes.push(node);
+                        slots.push(Mutex::new(SlotConn { conn: first.take() }));
+                    }
+                }
+                Err(err) => {
+                    eprintln!(
+                        "fleet: {addr}: unreachable at startup ({err}); continuing without it"
+                    );
+                }
+            }
+        }
+        if slots.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "no fleet node is reachable",
+            ));
+        }
+        let free = (0..slots.len()).rev().collect();
+        Ok(Fleet {
+            config,
+            nodes,
+            slot_nodes,
+            slots,
+            free: Mutex::new(free),
+            available: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            node_losses: AtomicU64::new(0),
+            cells_redispatched: AtomicU64::new(0),
+        })
+    }
+
+    /// Total registered seats (the harness sizes its thread pool to this).
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Registered nodes and their seat counts, for startup reporting.
+    pub fn nodes(&self) -> Vec<(String, usize)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let seats = self.slot_nodes.iter().filter(|&&s| s == i).count();
+                (n.addr.clone(), seats)
+            })
+            .collect()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            fleet_workers: self.slots.len() as u64,
+            node_losses: self.node_losses.load(Ordering::Relaxed),
+            cells_redispatched: self.cells_redispatched.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs one cell attempt somewhere on the fleet, blocking until a
+    /// seat is free. Same contract as the local supervisor's `run_cell`,
+    /// plus an optional [`NetFault`] realized at this transport.
+    ///
+    /// Routing prefers the node picked by the cell's content hash (warm
+    /// trace caches), rotated by attempt number so a re-dispatch lands
+    /// elsewhere, restricted to nodes not currently marked lost. Within
+    /// one attempt, an unreachable node is re-routed around rather than
+    /// charged against the retry budget — as long as one node answers,
+    /// dead ones cost nothing but a refused dial.
+    ///
+    /// # Errors
+    ///
+    /// Typed exactly like the local path: [`CellError::Timeout`] for a
+    /// budget preemption (the connection is severed, which kills the
+    /// remote child), [`CellError::Crashed`] for silent node loss or a
+    /// remotely crashed child, [`CellError::Panic`] /
+    /// [`CellError::Transient`] when the remote worker survived and said
+    /// so itself.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_cell(
+        &self,
+        workload: &WorkloadSpec,
+        trace_len: usize,
+        budget_ms: u64,
+        fault: Option<WorkerFault>,
+        net_fault: Option<NetFault>,
+        config: &FrontendConfig,
+        attempt: u32,
+    ) -> Result<SimStats, CellError> {
+        if attempt > 1 {
+            self.cells_redispatched.fetch_add(1, Ordering::Relaxed);
+        }
+        let key = crate::fault::fnv1a(&format!(
+            "{}\u{0}{}\u{0}{}",
+            workload.name,
+            trace_len,
+            crate::harness::config_fingerprint(config)
+        ));
+        let mut last = CellError::Transient {
+            message: "fleet had no node to dispatch to".to_string(),
+            attempts: attempt,
+        };
+        // One re-route per registered node, so a single attempt walks the
+        // whole fleet before conceding.
+        for round in 0..self.nodes.len() {
+            let preferred = self.route(key, attempt, round);
+            let index = self.acquire_slot(preferred);
+            let outcome = self.run_on_slot(
+                index, workload, trace_len, budget_ms, &fault, &net_fault, config, attempt,
+            );
+            self.release_slot(index);
+            match outcome {
+                Ok(stats) => return Ok(stats),
+                Err(SlotOutcome::Unreachable(err)) => last = err,
+                Err(SlotOutcome::Final(err)) => return Err(err),
+            }
+        }
+        Err(last)
+    }
+
+    /// Picks the preferred node for `(content key, attempt, re-route
+    /// round)`: hash-routed over nodes not marked lost, falling back to
+    /// the full set (a probe that re-discovers recovered nodes) when
+    /// every node is marked lost.
+    fn route(&self, key: u64, attempt: u32, round: usize) -> usize {
+        let live: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| !self.nodes[i].lost.load(Ordering::Relaxed))
+            .collect();
+        let pool: &[usize] = if live.is_empty() {
+            &self.slot_nodes // never empty; values are node indices
+        } else {
+            &live
+        };
+        let spin = key
+            .wrapping_add(u64::from(attempt.saturating_sub(1)))
+            .wrapping_add(round as u64);
+        pool[(spin % pool.len() as u64) as usize]
+    }
+
+    fn acquire_slot(&self, preferred: usize) -> usize {
+        let mut free = lock(&self.free);
+        loop {
+            if let Some(pos) = free.iter().rposition(|&i| self.slot_nodes[i] == preferred) {
+                return free.remove(pos);
+            }
+            // Any seat on a node not marked lost beats waiting.
+            if let Some(pos) = free
+                .iter()
+                .rposition(|&i| !self.nodes[self.slot_nodes[i]].lost.load(Ordering::Relaxed))
+            {
+                return free.remove(pos);
+            }
+            // Every free seat is on a lost node. Probe one only when the
+            // whole fleet is marked lost (the probe is how a recovered
+            // node is re-discovered); while any node is live, waiting for
+            // one of its busy seats beats burning the retry budget on
+            // refused dials.
+            let any_live =
+                (0..self.nodes.len()).any(|n| !self.nodes[n].lost.load(Ordering::Relaxed));
+            if !any_live {
+                if let Some(index) = free.pop() {
+                    return index;
+                }
+            }
+            free = self
+                .available
+                .wait(free)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn release_slot(&self, index: usize) {
+        lock(&self.free).push(index);
+        self.available.notify_one();
+    }
+
+    /// Books a silent loss of `node` (once per down-transition) and
+    /// returns the retryable error that sends the cell back through the
+    /// harness's retry loop.
+    fn node_lost(&self, node: usize, attempt: u32) -> CellError {
+        if !self.nodes[node].lost.swap(true, Ordering::Relaxed) {
+            self.node_losses.fetch_add(1, Ordering::Relaxed);
+        }
+        CellError::Crashed {
+            signal: None,
+            code: None,
+            attempts: attempt,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_on_slot(
+        &self,
+        index: usize,
+        workload: &WorkloadSpec,
+        trace_len: usize,
+        budget_ms: u64,
+        fault: &Option<WorkerFault>,
+        net_fault: &Option<NetFault>,
+        config: &FrontendConfig,
+        attempt: u32,
+    ) -> Result<SimStats, SlotOutcome> {
+        let node_index = self.slot_nodes[index];
+        let mut slot = lock(&self.slots[index]);
+        if slot.conn.is_none() {
+            match dial(&self.nodes[node_index].addr, self.config.connect_timeout) {
+                Ok((stream, _seats)) => {
+                    slot.conn = Some(stream);
+                    self.nodes[node_index].lost.store(false, Ordering::Relaxed);
+                }
+                Err(err) => {
+                    // Could not even reach the node: mark it lost so
+                    // routing steers away, and let run_cell re-route this
+                    // same attempt.
+                    if !self.nodes[node_index].lost.swap(true, Ordering::Relaxed) {
+                        self.node_losses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(SlotOutcome::Unreachable(CellError::Transient {
+                        message: format!(
+                            "fleet dial {} failed: {err}",
+                            self.nodes[node_index].addr
+                        ),
+                        attempts: attempt,
+                    }));
+                }
+            }
+        }
+
+        // Realize pre-dispatch network faults.
+        match net_fault {
+            Some(NetFault::Slowlink(delay)) => std::thread::sleep(*delay),
+            Some(NetFault::Drop) => {
+                slot.conn = None;
+                return Err(SlotOutcome::Final(self.node_lost(node_index, attempt)));
+            }
+            _ => {}
+        }
+
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let stream = slot.conn.as_mut().expect("connection just ensured");
+        let sent = if matches!(net_fault, Some(NetFault::TruncFrame)) {
+            // Corruption in flight: a complete frame whose body is
+            // garbage bytes. The daemon must reject it and close; we
+            // recover below through the ordinary loss path.
+            let garbage = b"\xff\xfe deliberately corrupt fleet frame";
+            let mut raw = Vec::with_capacity(4 + garbage.len());
+            raw.extend_from_slice(&(garbage.len() as u32).to_be_bytes());
+            raw.extend_from_slice(garbage);
+            stream.write_all(&raw).and_then(|()| stream.flush())
+        } else {
+            let request = RunRequest {
+                id,
+                workload: workload.clone(),
+                trace_len,
+                budget_ms,
+                fault: fault.clone(),
+                config: config.clone(),
+            };
+            net::write_frame(stream, &request.to_json())
+        };
+        if sent.is_err() {
+            slot.conn = None;
+            return Err(SlotOutcome::Final(self.node_lost(node_index, attempt)));
+        }
+
+        let budget_deadline =
+            (budget_ms > 0).then(|| Instant::now() + Duration::from_millis(budget_ms));
+        let mut heartbeat_deadline = Instant::now() + self.config.heartbeat_timeout;
+
+        // A partition delivers nothing — not the heartbeats that are in
+        // fact arriving, not even the peer's FIN. Going fully deaf makes
+        // the heartbeat deadline fire exactly as a real partition would.
+        if matches!(net_fault, Some(NetFault::Partition)) {
+            loop {
+                std::thread::sleep(POLL);
+                let now = Instant::now();
+                if budget_deadline.is_some_and(|deadline| now >= deadline) {
+                    slot.conn = None;
+                    return Err(SlotOutcome::Final(CellError::Timeout { budget_ms }));
+                }
+                if now >= heartbeat_deadline {
+                    slot.conn = None;
+                    return Err(SlotOutcome::Final(self.node_lost(node_index, attempt)));
+                }
+            }
+        }
+
+        loop {
+            let stream = slot.conn.as_mut().expect("connection live while waiting");
+            match net::read_frame(stream) {
+                Ok(Some(frame)) => {
+                    if is_bye(&frame) {
+                        // Orderly drain, not a crash: retire the seat's
+                        // connection without charging a node loss.
+                        slot.conn = None;
+                        return Err(SlotOutcome::Final(CellError::Transient {
+                            message: format!(
+                                "worker daemon {} is draining; cell re-dispatched",
+                                self.nodes[node_index].addr
+                            ),
+                            attempts: attempt,
+                        }));
+                    }
+                    match WorkerReply::from_json(&frame) {
+                        Some(WorkerReply::Heartbeat) => {
+                            heartbeat_deadline = Instant::now() + self.config.heartbeat_timeout;
+                        }
+                        Some(WorkerReply::Ok { id: rid, stats }) if rid == id => {
+                            self.nodes[node_index].lost.store(false, Ordering::Relaxed);
+                            return Ok(*stats);
+                        }
+                        Some(WorkerReply::Err {
+                            id: rid,
+                            kind,
+                            message,
+                            signal,
+                            code,
+                        }) if rid == id => {
+                            return Err(SlotOutcome::Final(if kind == "crashed" {
+                                // The remote child died; the daemon told
+                                // us so and will close this connection.
+                                // Typed like a local crash — retryable.
+                                slot.conn = None;
+                                CellError::Crashed {
+                                    signal,
+                                    code,
+                                    attempts: attempt,
+                                }
+                            } else if kind == "panic" {
+                                CellError::Panic {
+                                    message,
+                                    attempts: attempt,
+                                }
+                            } else {
+                                CellError::Transient {
+                                    message,
+                                    attempts: attempt,
+                                }
+                            }));
+                        }
+                        // A reply for a superseded id (kill raced a
+                        // completion): drop it.
+                        Some(_) => {}
+                        None => {
+                            // The peer speaks frames but not our protocol:
+                            // a corrupt or hostile stream. Sever it.
+                            slot.conn = None;
+                            return Err(SlotOutcome::Final(self.node_lost(node_index, attempt)));
+                        }
+                    }
+                }
+                Ok(None) => {
+                    slot.conn = None;
+                    return Err(SlotOutcome::Final(self.node_lost(node_index, attempt)));
+                }
+                Err(err) if err.is_timeout() => {
+                    let now = Instant::now();
+                    if budget_deadline.is_some_and(|deadline| now >= deadline) {
+                        // Severing the connection is the remote SIGKILL:
+                        // the daemon kills the child when its client
+                        // vanishes. Intentional preemption, not a loss.
+                        slot.conn = None;
+                        return Err(SlotOutcome::Final(CellError::Timeout { budget_ms }));
+                    }
+                    if now >= heartbeat_deadline {
+                        slot.conn = None;
+                        return Err(SlotOutcome::Final(self.node_lost(node_index, attempt)));
+                    }
+                }
+                Err(_) => {
+                    slot.conn = None;
+                    return Err(SlotOutcome::Final(self.node_lost(node_index, attempt)));
+                }
+            }
+        }
+    }
+}
+
+/// Dials one node and completes the registration handshake, returning the
+/// stream (read deadline set to the poll quantum) and the node's
+/// advertised seat count.
+fn dial(addr: &str, timeout: Duration) -> io::Result<(TcpStream, usize)> {
+    let mut stream = net::connect(addr, timeout)?;
+    net::write_frame(&mut stream, &Hello::current().to_json())?;
+    let doc = net::read_frame(&mut stream)
+        .map_err(io::Error::from)?
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "node closed during handshake",
+            )
+        })?;
+    match Welcome::from_json(&doc) {
+        Some(Welcome::Accepted { slots }) => {
+            stream.set_read_timeout(Some(POLL))?;
+            Ok((stream, slots))
+        }
+        Some(Welcome::Refused { reason }) => Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!("node refused registration: {reason}"),
+        )),
+        None => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "node answered the handshake with an unintelligible frame",
+        )),
+    }
+}
+
+#[cfg(unix)]
+fn exit_signal(status: &ExitStatus) -> Option<i32> {
+    std::os::unix::process::ExitStatusExt::signal(status)
+}
+
+#[cfg(not(unix))]
+fn exit_signal(_status: &ExitStatus) -> Option<i32> {
+    None
+}
+
+/// What the child's stdout reader thread forwards to the proxy loop.
+enum ChildEvent {
+    /// A raw frame from the child, forwarded to the client verbatim.
+    Frame(Json),
+    /// The child exited (or was killed).
+    Eof,
+    /// The pipe broke mid-frame — treated like a crash.
+    Failed(#[allow(dead_code)] io::Error),
+}
+
+/// A supervised child worker proxied to one fleet connection.
+struct ProxyChild {
+    child: Child,
+    stdin: ChildStdin,
+    events: Receiver<ChildEvent>,
+    cells_done: u64,
+}
+
+/// Self-execs the current binary as a PR 5 worker, exactly as the local
+/// supervisor does.
+fn spawn_proxy_child() -> io::Result<ProxyChild> {
+    let exe = std::env::current_exe()?;
+    let mut child = Command::new(exe)
+        .arg("worker")
+        .env(crate::worker::WORKER_ENV, "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()?;
+    let stdin = child.stdin.take().expect("stdin was piped");
+    let mut stdout = child.stdout.take().expect("stdout was piped");
+    let (sender, events) = mpsc::channel();
+    std::thread::spawn(move || loop {
+        let event = match read_frame(&mut stdout) {
+            Ok(Some(frame)) => ChildEvent::Frame(frame),
+            Ok(None) => ChildEvent::Eof,
+            Err(err) => ChildEvent::Failed(err),
+        };
+        let terminal = !matches!(event, ChildEvent::Frame(_));
+        if sender.send(event).is_err() || terminal {
+            return;
+        }
+    });
+    Ok(ProxyChild {
+        child,
+        stdin,
+        events,
+        cells_done: 0,
+    })
+}
+
+/// Reaps a child that is already gone (or nearly); SIGKILL on a zombie is
+/// a no-op and preserves the recorded exit status.
+fn reap_child(proxy: ProxyChild) -> io::Result<ExitStatus> {
+    let mut child = proxy.child;
+    let _ = child.kill();
+    child.wait()
+}
+
+/// SIGKILL without ceremony (client vanished; nobody to report to).
+fn kill_child(proxy: ProxyChild) {
+    let mut child = proxy.child;
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// Graceful retirement: close stdin (EOF ends the worker loop), give it a
+/// moment, escalate to SIGKILL if it will not leave.
+fn retire_child(proxy: ProxyChild) {
+    let ProxyChild {
+        mut child, stdin, ..
+    } = proxy;
+    drop(stdin);
+    for _ in 0..50 {
+        match child.try_wait() {
+            Ok(Some(_)) => return,
+            Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+            Err(_) => break,
+        }
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// Builds the `crashed` reply a daemon sends when its proxied child died
+/// under a cell, carrying the exit evidence for remote classification.
+fn crash_reply(id: u64, status: io::Result<ExitStatus>) -> Json {
+    let (signal, code, message) = match status {
+        Ok(status) => {
+            let signal = exit_signal(&status);
+            let code = status.code();
+            let message = match (signal, code) {
+                (Some(sig), _) => format!("remote worker killed by signal {sig}"),
+                (None, Some(code)) => format!("remote worker exited with code {code}"),
+                (None, None) => "remote worker died without a status".to_string(),
+            };
+            (signal, code, message)
+        }
+        Err(_) => (
+            None,
+            None,
+            "remote worker died without a status".to_string(),
+        ),
+    };
+    WorkerReply::Err {
+        id,
+        kind: "crashed".to_string(),
+        message,
+        signal,
+        code,
+    }
+    .to_json()
+}
+
+/// The id that concludes a cell, if `frame` is a final (non-heartbeat)
+/// reply.
+fn concluding_id(frame: &Json) -> Option<u64> {
+    match WorkerReply::from_json(frame) {
+        Some(WorkerReply::Ok { id, .. }) | Some(WorkerReply::Err { id, .. }) => Some(id),
+        _ => None,
+    }
+}
+
+/// The `fdip workerd` serve loop: accepts fleet connections on
+/// `listener`, advertising `slots` seats per handshake, until `shutdown`
+/// returns true — then drains (in-flight cells finish, idle connections
+/// get a `bye`, children retire) and returns.
+///
+/// Each connection is served on its own thread and proxied to a
+/// supervised child worker spawned lazily on its first cell, so a cell
+/// that aborts, hangs, or OOMs remotely takes down a disposable child —
+/// never the daemon. A vanished client (severed connection) SIGKILLs the
+/// child, which is how remote budget preemption works.
+///
+/// # Errors
+///
+/// Only listener-level failures; per-connection errors retire that
+/// connection and are otherwise absorbed.
+pub fn serve_workerd(
+    listener: TcpListener,
+    slots: usize,
+    shutdown: &(dyn Fn() -> bool + Sync),
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let draining = Arc::new(AtomicBool::new(false));
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if shutdown() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let draining = Arc::clone(&draining);
+                conns.push(std::thread::spawn(move || {
+                    serve_connection(stream, slots, &draining);
+                }));
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err),
+        }
+        conns.retain(|handle| !handle.is_finished());
+    }
+    // Drain: no new connections (we stopped accepting), in-flight cells
+    // finish, idle connections say goodbye.
+    draining.store(true, Ordering::Relaxed);
+    for handle in conns {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+/// One fleet connection: handshake, then proxy cells to a child worker.
+fn serve_connection(mut stream: TcpStream, slots: usize, draining: &AtomicBool) {
+    stream.set_nodelay(true).ok();
+    if stream.set_read_timeout(Some(POLL)).is_err()
+        || stream.set_write_timeout(Some(HANDSHAKE_TIMEOUT)).is_err()
+    {
+        return;
+    }
+
+    // Handshake, bounded: a peer that won't identify itself gets nothing.
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let hello = loop {
+        match net::read_frame(&mut stream) {
+            Ok(Some(doc)) => break Hello::from_json(&doc),
+            Ok(None) => return,
+            Err(err) if err.is_timeout() => {
+                if Instant::now() >= deadline || draining.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(_) => return, // oversized/truncated/garbage: refuse to guess
+        }
+    };
+    let Some(hello) = hello else { return };
+    let fingerprint = net::build_fingerprint();
+    if hello.protocol != PROTOCOL_VERSION || hello.fingerprint != fingerprint {
+        let reason = format!(
+            "version mismatch: peer is {:?} proto {}, daemon is {:?} proto {PROTOCOL_VERSION}",
+            hello.fingerprint, hello.protocol, fingerprint
+        );
+        let _ = net::write_frame(&mut stream, &Welcome::Refused { reason }.to_json());
+        return;
+    }
+    if draining.load(Ordering::Relaxed) {
+        let reason = "daemon is draining".to_string();
+        let _ = net::write_frame(&mut stream, &Welcome::Refused { reason }.to_json());
+        return;
+    }
+    if net::write_frame(&mut stream, &Welcome::Accepted { slots }.to_json()).is_err() {
+        return;
+    }
+
+    let mut child: Option<ProxyChild> = None;
+    loop {
+        // Idle: wait for the next cell (or the drain signal).
+        let doc = match net::read_frame(&mut stream) {
+            Ok(Some(doc)) => doc,
+            Ok(None) => break, // client closed between cells
+            Err(err) if err.is_timeout() => {
+                if draining.load(Ordering::Relaxed) {
+                    let _ = net::write_frame(&mut stream, &bye_frame());
+                    break;
+                }
+                continue;
+            }
+            // Corrupt, oversized, or truncated input: never guess at a
+            // desynchronized stream — sever it. The client re-dispatches.
+            Err(_) => break,
+        };
+        let Some(request) = RunRequest::from_json(&doc) else {
+            break; // valid JSON, wrong protocol: same treatment
+        };
+        if draining.load(Ordering::Relaxed) {
+            let _ = net::write_frame(&mut stream, &bye_frame());
+            break;
+        }
+
+        if child.is_none() {
+            match spawn_proxy_child() {
+                Ok(spawned) => child = Some(spawned),
+                Err(err) => {
+                    let reply = WorkerReply::Err {
+                        id: request.id,
+                        kind: "transient".to_string(),
+                        message: format!("daemon could not spawn a worker: {err}"),
+                        signal: None,
+                        code: None,
+                    };
+                    if net::write_frame(&mut stream, &reply.to_json()).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+            }
+        }
+        let proxy = child.as_mut().expect("child just ensured");
+        if write_frame(&mut proxy.stdin, &doc).is_err() {
+            // Child died between cells: report and close; the client
+            // redials, getting a fresh connection and a fresh child.
+            let status = reap_child(child.take().expect("child present"));
+            let _ = net::write_frame(&mut stream, &crash_reply(request.id, status));
+            break;
+        }
+
+        // Busy: pump the child's frames (heartbeats included) to the
+        // client until this cell concludes. Deliberately no drain check
+        // here — in-flight cells finish.
+        let mut concluded = false;
+        loop {
+            let proxy = child.as_mut().expect("child live while busy");
+            match proxy.events.recv_timeout(POLL) {
+                Ok(ChildEvent::Frame(frame)) => {
+                    let done = concluding_id(&frame) == Some(request.id);
+                    if net::write_frame(&mut stream, &frame).is_err() {
+                        // The client vanished mid-cell: that is the remote
+                        // SIGKILL (budget preemption or client death).
+                        kill_child(child.take().expect("child present"));
+                        return;
+                    }
+                    if done {
+                        concluded = true;
+                        break;
+                    }
+                }
+                Ok(ChildEvent::Eof) | Ok(ChildEvent::Failed(_)) => {
+                    let status = reap_child(child.take().expect("child present"));
+                    let _ = net::write_frame(&mut stream, &crash_reply(request.id, status));
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    let status = reap_child(child.take().expect("child present"));
+                    let _ = net::write_frame(&mut stream, &crash_reply(request.id, status));
+                    break;
+                }
+            }
+        }
+        if !concluded {
+            break; // child crashed: close so the client starts clean
+        }
+        let proxy = child.as_mut().expect("child survived the cell");
+        proxy.cells_done += 1;
+        if proxy.cells_done >= RECYCLE_AFTER {
+            retire_child(child.take().expect("child present"));
+        }
+    }
+    if let Some(proxy) = child {
+        retire_child(proxy);
+    }
+}
+
+/// What a [`ResultCache`] scan found, reported at attach time (the
+/// `journal restored ...`-style startup line).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheSummary {
+    /// Valid entries present.
+    pub entries: usize,
+    /// Files whose CRC frame or schema did not verify (bit rot), skipped.
+    pub corrupt: usize,
+}
+
+/// One [`ResultCache`] lookup's outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CacheLookup {
+    /// The cell's finished statistics, verified end to end.
+    Hit(Box<SimStats>),
+    /// No entry for this cell.
+    Miss,
+    /// An entry exists but failed its CRC, schema, or key check — skipped
+    /// and counted, never trusted.
+    Corrupt,
+}
+
+/// The cluster-wide content-addressed result cache: one atomically
+/// written, CRC32-framed [`JournalEntry`] file per completed cell, keyed
+/// by `(workload, trace_len, config-fingerprint)`. Consulted before any
+/// dispatch; shared safely between concurrent processes because entries
+/// are immutable for a given key (the simulator is deterministic) and
+/// writes go through rename.
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn open(dir: &Path) -> io::Result<ResultCache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(ResultCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Where this cache lives.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, workload: &str, trace_len: usize, fingerprint: &str) -> PathBuf {
+        let key = crate::fault::fnv1a(&format!("{workload}\u{0}{trace_len}\u{0}{fingerprint}"));
+        self.dir.join(format!("{key:016x}.cell"))
+    }
+
+    fn decode(contents: &str) -> Option<JournalEntry> {
+        let line = contents.lines().next()?;
+        let (stored_crc, payload) = split_crc_frame(line)?;
+        if crc32(payload.as_bytes()) != stored_crc {
+            return None;
+        }
+        JournalEntry::parse(payload)
+    }
+
+    /// Looks up one cell. A hit is verified three ways — CRC32 frame,
+    /// schema parse, and a full key comparison (so even an FNV collision
+    /// cannot serve the wrong cell's statistics).
+    pub fn lookup(&self, workload: &str, trace_len: usize, fingerprint: &str) -> CacheLookup {
+        let path = self.entry_path(workload, trace_len, fingerprint);
+        let contents = match std::fs::read_to_string(&path) {
+            Ok(contents) => contents,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return CacheLookup::Miss,
+            Err(_) => return CacheLookup::Corrupt,
+        };
+        match Self::decode(&contents) {
+            Some(entry)
+                if entry.workload == workload
+                    && entry.trace_len == trace_len
+                    && entry.config == fingerprint =>
+            {
+                CacheLookup::Hit(Box::new(entry.stats))
+            }
+            _ => CacheLookup::Corrupt,
+        }
+    }
+
+    /// Persists one completed cell, atomically (temp + fsync + rename):
+    /// a concurrent reader sees the old entry or the new one, never a
+    /// torn file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn store(&self, entry: &JournalEntry) -> io::Result<()> {
+        let path = self.entry_path(&entry.workload, entry.trace_len, &entry.config);
+        let payload = entry.to_json().to_string();
+        let line = format!("{:08x} {payload}\n", crc32(payload.as_bytes()));
+        crate::persist::write_atomic(&path, line.as_bytes())
+    }
+
+    /// Scans the cache, counting valid and corrupt entries — the warm
+    /// start report.
+    pub fn scan(&self) -> CacheSummary {
+        let mut summary = CacheSummary::default();
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return summary;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("cell") {
+                continue;
+            }
+            // Valid means fully valid: frame, schema, *and* addressing —
+            // an intact entry sitting under some other cell's key would
+            // be refused by `lookup`, so the scan calls it corrupt too.
+            let valid = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|contents| Self::decode(&contents))
+                .is_some_and(|decoded| {
+                    self.entry_path(&decoded.workload, decoded.trace_len, &decoded.config) == path
+                });
+            if valid {
+                summary.entries += 1;
+            } else {
+                summary.corrupt += 1;
+            }
+        }
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn canned_stats() -> SimStats {
+        SimStats {
+            cycles: 123,
+            instructions: 456,
+            ..SimStats::default()
+        }
+    }
+
+    fn spec() -> WorkloadSpec {
+        use fdip_trace::gen::Profile;
+        WorkloadSpec::new(Profile::Server, 1)
+    }
+
+    /// A scripted peer standing in for a workerd: accepts `conns`
+    /// connections, handshakes each, then runs `script` on it.
+    fn fake_node(
+        conns: usize,
+        script: impl Fn(usize, &mut TcpStream) + Send + 'static,
+    ) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            for i in 0..conns {
+                let (mut stream, _) = listener.accept().unwrap();
+                let doc = net::read_frame(&mut stream).unwrap().unwrap();
+                assert!(Hello::from_json(&doc).is_some());
+                net::write_frame(&mut stream, &Welcome::Accepted { slots: 1 }.to_json()).unwrap();
+                script(i, &mut stream);
+            }
+        });
+        (addr, handle)
+    }
+
+    fn tiny_config(addrs: Vec<String>) -> FleetConfig {
+        FleetConfig {
+            addrs,
+            connect_timeout: Duration::from_secs(2),
+            heartbeat_timeout: Duration::from_millis(400),
+        }
+    }
+
+    #[test]
+    fn fleet_runs_a_cell_against_a_node() {
+        let (addr, node) = fake_node(1, |_, stream| {
+            let doc = net::read_frame(stream).unwrap().unwrap();
+            let request = RunRequest::from_json(&doc).expect("a run request");
+            net::write_frame(stream, &WorkerReply::Heartbeat.to_json()).unwrap();
+            let reply = WorkerReply::Ok {
+                id: request.id,
+                stats: Box::new(canned_stats()),
+            };
+            net::write_frame(stream, &reply.to_json()).unwrap();
+        });
+        let fleet = Fleet::connect(tiny_config(vec![addr.clone()])).unwrap();
+        assert_eq!(fleet.workers(), 1);
+        assert_eq!(fleet.nodes(), vec![(addr, 1)]);
+        let stats = fleet
+            .run_cell(&spec(), 1000, 0, None, None, &FrontendConfig::default(), 1)
+            .unwrap();
+        assert_eq!(stats, canned_stats());
+        assert_eq!(
+            fleet.stats(),
+            FleetStats {
+                fleet_workers: 1,
+                node_losses: 0,
+                cells_redispatched: 0
+            }
+        );
+        node.join().unwrap();
+    }
+
+    #[test]
+    fn a_node_closing_mid_cell_is_one_loss_and_a_redial_recovers() {
+        let (addr, node) = fake_node(2, |conn, stream| {
+            let doc = net::read_frame(stream).unwrap().unwrap();
+            let request = RunRequest::from_json(&doc).expect("a run request");
+            if conn == 0 {
+                return; // die mid-cell: the client must classify a loss
+            }
+            let reply = WorkerReply::Ok {
+                id: request.id,
+                stats: Box::new(canned_stats()),
+            };
+            net::write_frame(stream, &reply.to_json()).unwrap();
+        });
+        let fleet = Fleet::connect(tiny_config(vec![addr])).unwrap();
+        let config = FrontendConfig::default();
+        let err = fleet
+            .run_cell(&spec(), 1000, 0, None, None, &config, 1)
+            .unwrap_err();
+        assert!(
+            matches!(err, CellError::Crashed { .. }),
+            "node loss must be retryable Crashed, got {err:?}"
+        );
+        assert!(err.retryable());
+        // The retry (attempt 2) redials and succeeds.
+        let stats = fleet
+            .run_cell(&spec(), 1000, 0, None, None, &config, 2)
+            .unwrap();
+        assert_eq!(stats, canned_stats());
+        let stats = fleet.stats();
+        assert_eq!(stats.node_losses, 1);
+        assert_eq!(stats.cells_redispatched, 1);
+        node.join().unwrap();
+    }
+
+    #[test]
+    fn partition_fault_trips_the_heartbeat_deadline() {
+        let (addr, node) = fake_node(1, |_, stream| {
+            let doc = net::read_frame(stream).unwrap().unwrap();
+            let request = RunRequest::from_json(&doc).expect("a run request");
+            // The node answers normally — the *client* is partitioned.
+            let reply = WorkerReply::Ok {
+                id: request.id,
+                stats: Box::new(canned_stats()),
+            };
+            let _ = net::write_frame(stream, &reply.to_json());
+        });
+        let fleet = Fleet::connect(tiny_config(vec![addr])).unwrap();
+        let start = Instant::now();
+        let err = fleet
+            .run_cell(
+                &spec(),
+                1000,
+                0,
+                None,
+                Some(NetFault::Partition),
+                &FrontendConfig::default(),
+                1,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CellError::Crashed { .. }), "{err:?}");
+        assert!(
+            start.elapsed() >= Duration::from_millis(350),
+            "partition must be detected by the heartbeat deadline, not eagerly"
+        );
+        assert_eq!(fleet.stats().node_losses, 1);
+        node.join().unwrap();
+    }
+
+    #[test]
+    fn drop_fault_severs_before_dispatch() {
+        let (addr, node) = fake_node(1, |_, stream| {
+            // Nothing should arrive: severed before dispatch. Read until
+            // the client closes.
+            while let Ok(Some(_)) = net::read_frame(stream) {}
+        });
+        let fleet = Fleet::connect(tiny_config(vec![addr])).unwrap();
+        let err = fleet
+            .run_cell(
+                &spec(),
+                1000,
+                0,
+                None,
+                Some(NetFault::Drop),
+                &FrontendConfig::default(),
+                1,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CellError::Crashed { .. }), "{err:?}");
+        assert_eq!(fleet.stats().node_losses, 1);
+        drop(fleet); // closes the connection so the node thread ends
+        node.join().unwrap();
+    }
+
+    #[test]
+    fn an_unreachable_fleet_is_an_error_and_a_refusal_names_its_reason() {
+        let err = Fleet::connect(tiny_config(vec!["127.0.0.1:1".to_string()])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotConnected);
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let refuser = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = net::read_frame(&mut stream).unwrap();
+            let reason = "protocol too old".to_string();
+            net::write_frame(&mut stream, &Welcome::Refused { reason }.to_json()).unwrap();
+        });
+        let err = dial(&addr, Duration::from_secs(2)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert!(err.to_string().contains("protocol too old"), "{err}");
+        refuser.join().unwrap();
+    }
+
+    #[test]
+    fn workerd_refuses_a_mismatched_peer_and_drains_on_shutdown() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let daemon = std::thread::spawn(move || {
+            serve_workerd(listener, 2, &move || flag.load(Ordering::Relaxed))
+        });
+
+        // Wrong protocol version → typed refusal, no child ever spawned.
+        let mut stream = net::connect(&addr, Duration::from_secs(2)).unwrap();
+        let bogus = Hello {
+            protocol: PROTOCOL_VERSION + 1,
+            fingerprint: net::build_fingerprint(),
+        };
+        net::write_frame(&mut stream, &bogus.to_json()).unwrap();
+        let doc = read_with_patience(&mut stream);
+        match Welcome::from_json(&doc) {
+            Some(Welcome::Refused { reason }) => {
+                assert!(reason.contains("version mismatch"), "{reason}")
+            }
+            other => panic!("expected a refusal, got {other:?}"),
+        }
+
+        // A well-formed handshake is accepted (still no cell, no child).
+        let mut stream = net::connect(&addr, Duration::from_secs(2)).unwrap();
+        net::write_frame(&mut stream, &Hello::current().to_json()).unwrap();
+        let doc = read_with_patience(&mut stream);
+        assert_eq!(
+            Welcome::from_json(&doc),
+            Some(Welcome::Accepted { slots: 2 })
+        );
+
+        stop.store(true, Ordering::Relaxed);
+        daemon.join().unwrap().unwrap();
+    }
+
+    /// Reads one frame, riding out the poll-quantum read timeouts.
+    fn read_with_patience(stream: &mut TcpStream) -> Json {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match net::read_frame(stream) {
+                Ok(Some(doc)) => return doc,
+                Ok(None) => panic!("peer closed before answering"),
+                Err(err) if err.is_timeout() && Instant::now() < deadline => {}
+                Err(err) => panic!("handshake read failed: {err}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_round_trips_detects_corruption_and_rejects_key_mismatches() {
+        let dir = std::env::temp_dir().join(format!("fdip-cellcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.scan(), CacheSummary::default());
+        assert_eq!(cache.lookup("w", 1000, "cfg"), CacheLookup::Miss);
+
+        let entry = JournalEntry {
+            workload: "w".to_string(),
+            trace_len: 1000,
+            config: "cfg".to_string(),
+            stats: canned_stats(),
+        };
+        cache.store(&entry).unwrap();
+        assert_eq!(
+            cache.lookup("w", 1000, "cfg"),
+            CacheLookup::Hit(Box::new(canned_stats()))
+        );
+        assert_eq!(
+            cache.scan(),
+            CacheSummary {
+                entries: 1,
+                corrupt: 0
+            }
+        );
+
+        // A colliding file holding some *other* cell's entry must not be
+        // served: the stored key is compared in full.
+        let other_path = cache.entry_path("other", 9, "zzz");
+        std::fs::copy(cache.entry_path("w", 1000, "cfg"), &other_path).unwrap();
+        assert_eq!(cache.lookup("other", 9, "zzz"), CacheLookup::Corrupt);
+
+        // Bit rot: flip a byte inside the payload → CRC catches it.
+        let path = cache.entry_path("w", 1000, "cfg");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(cache.lookup("w", 1000, "cfg"), CacheLookup::Corrupt);
+        let summary = cache.scan();
+        assert_eq!(summary.corrupt, 2, "{summary:?}");
+
+        // A fresh store repairs the entry.
+        cache.store(&entry).unwrap();
+        assert_eq!(
+            cache.lookup("w", 1000, "cfg"),
+            CacheLookup::Hit(Box::new(canned_stats()))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_truncation_of_a_cache_entry_is_corrupt_never_a_panic() {
+        let dir = std::env::temp_dir().join(format!("fdip-cellcache-tr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let entry = JournalEntry {
+            workload: "w".to_string(),
+            trace_len: 500,
+            config: "cfg".to_string(),
+            stats: canned_stats(),
+        };
+        cache.store(&entry).unwrap();
+        let path = cache.entry_path("w", 500, "cfg");
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..full.len().saturating_sub(1) {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert_eq!(
+                cache.lookup("w", 500, "cfg"),
+                CacheLookup::Corrupt,
+                "cut at {cut}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

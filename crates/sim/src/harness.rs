@@ -85,8 +85,10 @@ use fdip::{run_batch, CancelToken, Cancelled, FrontendConfig, SimStats, Simulato
 use fdip_trace::{Trace, TraceStats};
 
 use crate::fault::{fnv1a, splitmix64, CellError, FaultAction, FaultPlan, RetryPolicy};
+use crate::fleet::{CacheLookup, CacheSummary, Fleet, FleetConfig, ResultCache};
 use crate::ipc::WorkerFault;
 use crate::journal::{self, Journal, JournalEntry, JournalSummary};
+use crate::net::NetFault;
 use crate::runner::RunResult;
 use crate::supervisor::{Supervisor, SupervisorConfig};
 use crate::workload::WorkloadSpec;
@@ -155,6 +157,16 @@ pub struct HarnessStats {
     /// Crash-loop backoff pauses taken before respawning a worker
     /// (isolated mode only).
     pub worker_crash_loops: u64,
+    /// Worker seats registered across the fleet (fleet mode only; see
+    /// [`crate::fleet`]).
+    pub fleet_workers: u64,
+    /// Fleet nodes that went silent mid-run (one per down-transition).
+    pub node_losses: u64,
+    /// Cell attempts re-dispatched to the fleet after a failed attempt.
+    pub cells_redispatched: u64,
+    /// Cells served from the shared on-disk result cache instead of
+    /// simulated (requires [`Harness::attach_cache`]).
+    pub remote_cache_hits: u64,
 }
 
 impl HarnessStats {
@@ -183,6 +195,10 @@ impl fdip_types::ToJson for HarnessStats {
             worker_restarts,
             worker_kills,
             worker_crash_loops,
+            fleet_workers,
+            node_losses,
+            cells_redispatched,
+            remote_cache_hits,
         )
     }
 }
@@ -235,6 +251,12 @@ pub struct Harness {
     journal: Mutex<Option<Arc<Journal>>>,
     /// When set, cell attempts run in supervised worker processes.
     isolation: Mutex<Option<Arc<Supervisor>>>,
+    /// When set, cell attempts are dispatched to remote worker daemons
+    /// (takes precedence over local isolation).
+    fleet: Mutex<Option<Arc<Fleet>>>,
+    /// When set, finished cells persist to (and are restored from) the
+    /// shared on-disk result cache.
+    disk_cache: Mutex<Option<Arc<ResultCache>>>,
     /// Inverted so `Default` yields batching *on* (see
     /// [`set_batching`](Self::set_batching)).
     batch_off: std::sync::atomic::AtomicBool,
@@ -250,6 +272,7 @@ pub struct Harness {
     cell_timeouts: AtomicU64,
     journal_restored: AtomicU64,
     journal_corrupt_lines: AtomicU64,
+    remote_cache_hits: AtomicU64,
 }
 
 impl Harness {
@@ -284,6 +307,10 @@ impl Harness {
             .as_deref()
             .map(Supervisor::stats)
             .unwrap_or_default();
+        let fleet = lock(&self.fleet)
+            .as_deref()
+            .map(Fleet::stats)
+            .unwrap_or_default();
         HarnessStats {
             traces_generated: self.traces_generated.load(Ordering::Relaxed),
             trace_hits: self.trace_hits.load(Ordering::Relaxed),
@@ -300,6 +327,10 @@ impl Harness {
             worker_restarts: supervisor.worker_restarts,
             worker_kills: supervisor.worker_kills,
             worker_crash_loops: supervisor.worker_crash_loops,
+            fleet_workers: fleet.fleet_workers,
+            node_losses: fleet.node_losses,
+            cells_redispatched: fleet.cells_redispatched,
+            remote_cache_hits: self.remote_cache_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -318,6 +349,45 @@ impl Harness {
     /// Whether cell computes are currently process-isolated.
     pub fn isolation_enabled(&self) -> bool {
         lock(&self.isolation).is_some()
+    }
+
+    /// Routes all subsequent cell computes to a TCP fleet of worker
+    /// daemons (see [`crate::fleet`]): every way a node can vanish —
+    /// killed process, severed link, silent partition, corrupt frame —
+    /// becomes a retryable [`CellError::Crashed`] and the cell is
+    /// re-dispatched elsewhere, so node loss never fails a run. Caching,
+    /// retries, journaling, and result ordering are unchanged. Takes
+    /// precedence over local isolation.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when *no* configured node is reachable.
+    pub fn enable_fleet(&self, config: FleetConfig) -> io::Result<Arc<Fleet>> {
+        let fleet = Arc::new(Fleet::connect(config)?);
+        *lock(&self.fleet) = Some(Arc::clone(&fleet));
+        Ok(fleet)
+    }
+
+    /// Whether cell computes are currently dispatched to a fleet.
+    pub fn fleet_enabled(&self) -> bool {
+        lock(&self.fleet).is_some()
+    }
+
+    /// Attaches the shared on-disk result cache at `dir`: every cell
+    /// compute first consults it (a verified hit skips simulation
+    /// entirely, local or remote) and every completed cell is persisted
+    /// to it atomically. Returns what a scan of the directory found, for
+    /// startup reporting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the failure to create or open the directory; *corrupt
+    /// entries* are skipped and counted, not errors.
+    pub fn attach_cache(&self, dir: &Path) -> io::Result<CacheSummary> {
+        let cache = ResultCache::open(dir)?;
+        let summary = cache.scan();
+        *lock(&self.disk_cache) = Some(Arc::new(cache));
+        Ok(summary)
     }
 
     /// Installs (or clears) a deterministic fault-injection plan. Fires
@@ -488,18 +558,33 @@ impl Harness {
                 }
             }
         }
+        // The claim is ours. A verified entry in the shared disk cache
+        // settles it without simulating — this is how a restarted server
+        // is warm from request one and a second fleet run simulates zero
+        // cells.
+        if let Some(cache) = lock(&self.disk_cache).clone() {
+            if let CacheLookup::Hit(stats) = cache.lookup(&spec.name, trace_len, &fingerprint) {
+                let stats: Arc<SimStats> = Arc::new(*stats);
+                *lock(&slot.state) = CellState::Done(Arc::clone(&stats));
+                slot.done.notify_all();
+                self.remote_cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.cell_hits.fetch_add(1, Ordering::Relaxed);
+                let entry = self.trace(spec, trace_len);
+                return Ok((entry, stats));
+            }
+        }
         match self.compute_cell(spec, trace_len, label, config, &fingerprint) {
             Ok((entry, stats)) => {
                 *lock(&slot.state) = CellState::Done(Arc::clone(&stats));
                 slot.done.notify_all();
                 self.cells_simulated.fetch_add(1, Ordering::Relaxed);
+                let record = JournalEntry {
+                    workload: spec.name.clone(),
+                    trace_len,
+                    config: fingerprint,
+                    stats: (*stats).clone(),
+                };
                 if let Some(journal) = lock(&self.journal).clone() {
-                    let record = JournalEntry {
-                        workload: spec.name.clone(),
-                        trace_len,
-                        config: fingerprint,
-                        stats: (*stats).clone(),
-                    };
                     if let Err(err) = journal.append(&record) {
                         eprintln!(
                             "warning: journal append to {} failed: {err}",
@@ -507,6 +592,7 @@ impl Harness {
                         );
                     }
                 }
+                self.cache_store(&record);
                 Ok((entry, stats))
             }
             Err(error) => {
@@ -517,6 +603,20 @@ impl Harness {
                 }
                 self.cells_failed.fetch_add(1, Ordering::Relaxed);
                 Err(error)
+            }
+        }
+    }
+
+    /// Persists one completed cell to the attached disk cache, if any;
+    /// a store failure degrades to a warning (the result is already in
+    /// memory — only warm restarts lose out).
+    fn cache_store(&self, record: &JournalEntry) {
+        if let Some(cache) = lock(&self.disk_cache).clone() {
+            if let Err(err) = cache.store(record) {
+                eprintln!(
+                    "warning: cell cache store to {} failed: {err}",
+                    cache.dir().display()
+                );
             }
         }
     }
@@ -536,6 +636,7 @@ impl Harness {
         let retry = self.retry_policy();
         let plan = lock(&self.faults).clone();
         let isolation = lock(&self.isolation).clone();
+        let fleet = lock(&self.fleet).clone();
         let seed = plan.as_ref().map_or(0, |p| p.seed());
         let jitter_key =
             splitmix64(fnv1a(&spec.name) ^ fnv1a(fingerprint) ^ (trace_len as u64) ^ seed);
@@ -549,7 +650,21 @@ impl Harness {
                 self.cell_retries.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(retry.backoff_before(attempt, jitter_key));
             }
-            let outcome = if let Some(supervisor) = isolation.as_deref() {
+            let outcome = if let Some(fleet) = fleet.as_deref() {
+                // Fleet attempts cannot panic here either: whatever
+                // happened on (or to) the remote node arrives as a typed
+                // error through the same taxonomy.
+                Ok(self.attempt_cell_fleet(
+                    fleet,
+                    spec,
+                    trace_len,
+                    label,
+                    config,
+                    plan.as_deref(),
+                    &retry,
+                    attempt,
+                ))
+            } else if let Some(supervisor) = isolation.as_deref() {
                 // Isolated attempts cannot panic here: the panic (or
                 // worse) happens in the worker process and comes back as
                 // a typed error.
@@ -647,6 +762,17 @@ impl Harness {
                     attempts: attempt,
                 });
             }
+            // Network faults exist only at the fleet transport; same
+            // visibility backstop.
+            Some(action) if action.requires_fleet() => {
+                return Err(CellError::Transient {
+                    message: format!(
+                        "injected fault at ({}, {label}) requires fleet dispatch (--fleet)",
+                        spec.name
+                    ),
+                    attempts: attempt,
+                });
+            }
             _ => {}
         }
         let entry = self.trace(spec, trace_len);
@@ -707,12 +833,92 @@ impl Harness {
             Some(FaultAction::Abort) => Some(WorkerFault::Abort),
             Some(FaultAction::Hang) => Some(WorkerFault::Hang),
             Some(FaultAction::BigAlloc) => Some(WorkerFault::BigAlloc),
+            // Network faults have no local transport to act on; keep a
+            // smuggled plan visible instead of silently ignoring it.
+            Some(
+                FaultAction::NetDrop
+                | FaultAction::NetPartition
+                | FaultAction::NetSlowlink(_)
+                | FaultAction::NetTruncFrame,
+            ) => {
+                return Err(CellError::Transient {
+                    message: format!(
+                        "injected fault at ({}, {label}) requires fleet dispatch (--fleet)",
+                        spec.name
+                    ),
+                    attempts: attempt,
+                });
+            }
             None => None,
         };
         let stats = supervisor.run_cell(spec, trace_len, budget_ms, fault, config, attempt)?;
         // The worker generated its own copy; this one serves the
         // RunResult's trace characterization and is usually a store hit
         // thanks to run_matrix's pregeneration barrier.
+        let entry = self.trace(spec, trace_len);
+        Ok((entry, Arc::new(stats)))
+    }
+
+    /// One attempt at a cell on the fleet: logical faults are realized
+    /// here, worker faults ship to the remote node's disposable child,
+    /// and network faults are realized at the transport itself
+    /// ([`NetFault`]) — severed links, silent partitions, slow links, and
+    /// corrupt frames, each recovering through the same retry taxonomy a
+    /// genuine node loss would.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_cell_fleet(
+        &self,
+        fleet: &Fleet,
+        spec: &WorkloadSpec,
+        trace_len: usize,
+        label: &str,
+        config: &FrontendConfig,
+        plan: Option<&FaultPlan>,
+        retry: &RetryPolicy,
+        attempt: u32,
+    ) -> Result<(Arc<TraceEntry>, Arc<SimStats>), CellError> {
+        let budget_ms = retry
+            .cell_budget
+            .map_or(0, |b| u64::try_from(b.as_millis()).unwrap_or(u64::MAX));
+        let action = plan.and_then(|p| p.fire(&spec.name, label));
+        let mut fault = None;
+        let mut net_fault = None;
+        match action {
+            Some(FaultAction::TraceDecode) => {
+                return Err(CellError::Transient {
+                    message: format!("injected fault: trace decode failed for {}", spec.name),
+                    attempts: attempt,
+                });
+            }
+            Some(FaultAction::Transient) => {
+                return Err(CellError::Transient {
+                    message: format!(
+                        "injected fault: transient failure at ({}, {label})",
+                        spec.name
+                    ),
+                    attempts: attempt,
+                });
+            }
+            Some(FaultAction::Panic) => fault = Some(WorkerFault::Panic),
+            Some(FaultAction::Slow(delay)) => {
+                fault = Some(WorkerFault::Slow(
+                    u64::try_from(delay.as_millis()).unwrap_or(u64::MAX),
+                ));
+            }
+            Some(FaultAction::Abort) => fault = Some(WorkerFault::Abort),
+            Some(FaultAction::Hang) => fault = Some(WorkerFault::Hang),
+            Some(FaultAction::BigAlloc) => fault = Some(WorkerFault::BigAlloc),
+            Some(FaultAction::NetDrop) => net_fault = Some(NetFault::Drop),
+            Some(FaultAction::NetPartition) => net_fault = Some(NetFault::Partition),
+            Some(FaultAction::NetSlowlink(delay)) => net_fault = Some(NetFault::Slowlink(delay)),
+            Some(FaultAction::NetTruncFrame) => net_fault = Some(NetFault::TruncFrame),
+            None => {}
+        }
+        let stats = fleet.run_cell(
+            spec, trace_len, budget_ms, fault, net_fault, config, attempt,
+        )?;
+        // The remote node generated its own trace; this request serves the
+        // RunResult's characterization from the local store.
         let entry = self.trace(spec, trace_len);
         Ok((entry, Arc::new(stats)))
     }
@@ -746,6 +952,7 @@ impl Harness {
             || configs.len() < 2
             || lock(&self.faults).is_some()
             || lock(&self.isolation).is_some()
+            || lock(&self.fleet).is_some()
             || self.retry_policy().cell_budget.is_some()
         {
             return out;
@@ -802,6 +1009,19 @@ impl Harness {
             };
             let mut state = lock(&slot.state);
             if matches!(*state, CellState::Idle) {
+                // The disk cache settles claims here too; the per-cell
+                // scheduler then serves the slot as an ordinary hit.
+                if let Some(cache) = lock(&self.disk_cache).clone() {
+                    if let CacheLookup::Hit(stats) =
+                        cache.lookup(&spec.name, trace_len, &fingerprint)
+                    {
+                        *state = CellState::Done(Arc::new(*stats));
+                        drop(state);
+                        slot.done.notify_all();
+                        self.remote_cache_hits.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
                 *state = CellState::Computing;
                 drop(state);
                 claimed.push((c, slot, fingerprint));
@@ -841,13 +1061,13 @@ impl Harness {
             slot.done.notify_all();
             self.cells_simulated.fetch_add(1, Ordering::Relaxed);
             self.cells_batched.fetch_add(1, Ordering::Relaxed);
+            let record = JournalEntry {
+                workload: spec.name.clone(),
+                trace_len,
+                config: fingerprint,
+                stats: (*stats).clone(),
+            };
             if let Some(journal) = &journal {
-                let record = JournalEntry {
-                    workload: spec.name.clone(),
-                    trace_len,
-                    config: fingerprint,
-                    stats: (*stats).clone(),
-                };
                 if let Err(err) = journal.append(&record) {
                     eprintln!(
                         "warning: journal append to {} failed: {err}",
@@ -855,6 +1075,7 @@ impl Harness {
                     );
                 }
             }
+            self.cache_store(&record);
             out[c] = Some(RunResult {
                 workload: spec.name.clone(),
                 config: configs[c].0.clone(),
@@ -888,13 +1109,18 @@ impl Harness {
         let threads = self
             .threads
             .unwrap_or_else(|| {
-                // Under isolation, one dispatching thread per pool slot
-                // saturates the workers; more would only queue on the pool.
-                match lock(&self.isolation).as_deref() {
-                    Some(supervisor) => supervisor.workers(),
-                    None => std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(4),
+                // Under isolation or fleet dispatch, one dispatching
+                // thread per worker seat saturates the pool; more would
+                // only queue on it.
+                if let Some(fleet) = lock(&self.fleet).as_deref() {
+                    fleet.workers()
+                } else {
+                    match lock(&self.isolation).as_deref() {
+                        Some(supervisor) => supervisor.workers(),
+                        None => std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(4),
+                    }
                 }
             })
             .min(total.max(1));

@@ -39,7 +39,8 @@ use crate::workload::{WorkloadSource, WorkloadSpec};
 /// Upper bound on one IPC frame. A run request (config + workload) is a
 /// few KiB and a reply (SimStats) smaller still; anything larger means a
 /// desynchronized or corrupted stream and is an error, not an allocation.
-pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+/// Shared with the TCP transport ([`crate::net::MAX_FRAME_BYTES`]).
+pub const MAX_FRAME_BYTES: usize = crate::net::MAX_FRAME_BYTES;
 
 /// Writes `doc` as one length-prefixed frame and flushes.
 ///
@@ -47,59 +48,23 @@ pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 ///
 /// Propagates I/O errors; rejects frames over [`MAX_FRAME_BYTES`].
 pub fn write_frame(writer: &mut impl Write, doc: &Json) -> io::Result<()> {
-    let body = doc.to_string();
-    if body.len() > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!(
-                "frame of {} bytes exceeds the {MAX_FRAME_BYTES} cap",
-                body.len()
-            ),
-        ));
-    }
-    let len = body.len() as u32;
-    writer.write_all(&len.to_be_bytes())?;
-    writer.write_all(body.as_bytes())?;
-    writer.flush()
+    crate::net::write_frame(writer, doc)
 }
 
 /// Reads one frame. `Ok(None)` is a clean EOF *at a frame boundary* (the
 /// peer closed the pipe between messages — the orderly shutdown signal);
 /// EOF mid-frame is an error.
 ///
+/// Delegates to the typed [`crate::net::read_frame`] and flattens its
+/// [`FrameError`](crate::net::FrameError) into `io::Error` for the pipe
+/// transport, where the caller (supervisor/worker) treats every decode
+/// failure the same way: retire the peer.
+///
 /// # Errors
 ///
 /// I/O errors, torn frames, oversize lengths, or non-JSON payloads.
 pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Json>> {
-    let mut len_buf = [0u8; 4];
-    let mut filled = 0usize;
-    while filled < len_buf.len() {
-        let n = reader.read(&mut len_buf[filled..])?;
-        if n == 0 {
-            if filled == 0 {
-                return Ok(None);
-            }
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "pipe closed inside a frame length prefix",
-            ));
-        }
-        filled += n;
-    }
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds the {MAX_FRAME_BYTES} cap"),
-        ));
-    }
-    let mut body = vec![0u8; len];
-    reader.read_exact(&mut body)?;
-    let text = std::str::from_utf8(&body)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 frame: {e}")))?;
-    Json::parse(text)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame JSON: {e}")))
+    crate::net::read_frame(reader).map_err(io::Error::from)
 }
 
 /// A fault the supervisor asks the worker to realize *inside* the worker
@@ -225,14 +190,22 @@ pub enum WorkerReply {
         stats: Box<SimStats>,
     },
     /// The cell failed inside the worker (panic or injected transient);
-    /// the worker survives and can take another cell.
+    /// the worker survives and can take another cell. A worker daemon
+    /// proxying a remote child also synthesizes this with
+    /// `kind: "crashed"` when the child dies, carrying the exit signal
+    /// or code so the dialer can classify the loss exactly as the local
+    /// supervisor would.
     Err {
         /// Correlation id from the request.
         id: u64,
-        /// Failure class: `"panic"` or `"transient"`.
+        /// Failure class: `"panic"`, `"transient"`, or `"crashed"`.
         kind: String,
         /// Human-readable description.
         message: String,
+        /// Fatal signal number, for `"crashed"` replies (unix).
+        signal: Option<i32>,
+        /// Exit code, for `"crashed"` replies that exited abnormally.
+        code: Option<i32>,
     },
 }
 
@@ -246,12 +219,29 @@ impl WorkerReply {
                 ("id", Json::uint(*id)),
                 ("stats", stats.to_json()),
             ]),
-            WorkerReply::Err { id, kind, message } => Json::obj([
-                ("op", Json::str("err")),
-                ("id", Json::uint(*id)),
-                ("kind", Json::str(kind)),
-                ("message", Json::str(message)),
-            ]),
+            WorkerReply::Err {
+                id,
+                kind,
+                message,
+                signal,
+                code,
+            } => {
+                let mut pairs = vec![
+                    ("op", Json::str("err")),
+                    ("id", Json::uint(*id)),
+                    ("kind", Json::str(kind)),
+                    ("message", Json::str(message)),
+                ];
+                // Signals (1..=64) and unix exit codes (0..=255) are
+                // non-negative; clamp defensively rather than panic.
+                if let Some(signal) = signal {
+                    pairs.push(("signal", Json::uint(u64::try_from(*signal).unwrap_or(0))));
+                }
+                if let Some(code) = code {
+                    pairs.push(("code", Json::uint(u64::try_from(*code).unwrap_or(0))));
+                }
+                Json::obj(pairs)
+            }
         }
     }
 
@@ -267,6 +257,14 @@ impl WorkerReply {
                 id: doc.get("id")?.as_u64()?,
                 kind: String::from_json(doc.get("kind")?)?,
                 message: String::from_json(doc.get("message")?)?,
+                signal: match doc.get("signal") {
+                    Some(raw) => Some(i32::try_from(raw.as_u64()?).ok()?),
+                    None => None,
+                },
+                code: match doc.get("code") {
+                    Some(raw) => Some(i32::try_from(raw.as_u64()?).ok()?),
+                    None => None,
+                },
             }),
             _ => None,
         }
@@ -827,8 +825,25 @@ mod tests {
             id: 7,
             kind: "panic".to_string(),
             message: "injected".to_string(),
+            signal: None,
+            code: None,
         };
         assert_eq!(WorkerReply::from_json(&err.to_json()), Some(err.clone()));
+        // A proxy-synthesized crash reply carries the exit evidence.
+        let crashed = WorkerReply::Err {
+            id: 8,
+            kind: "crashed".to_string(),
+            message: "worker killed by signal 9".to_string(),
+            signal: Some(9),
+            code: None,
+        };
+        assert_eq!(
+            WorkerReply::from_json(&crashed.to_json()),
+            Some(crashed.clone())
+        );
+        let doc = crashed.to_json();
+        assert_eq!(doc.get("signal").and_then(Json::as_u64), Some(9));
+        assert!(doc.get("code").is_none());
         assert_eq!(
             WorkerReply::from_json(&WorkerReply::Heartbeat.to_json()),
             Some(WorkerReply::Heartbeat)

@@ -76,7 +76,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 
 /// Splits a CRC-framed journal line (`xxxxxxxx payload`) into its parts.
 /// Returns `None` for unframed (legacy) lines.
-fn split_crc_frame(line: &str) -> Option<(u32, &str)> {
+pub(crate) fn split_crc_frame(line: &str) -> Option<(u32, &str)> {
     let (prefix, payload) = (line.get(..8)?, line.get(9..)?);
     if line.as_bytes().get(8) != Some(&b' ') {
         return None;
@@ -115,7 +115,7 @@ impl ToJson for JournalEntry {
 }
 
 impl JournalEntry {
-    fn parse(line: &str) -> Option<JournalEntry> {
+    pub(crate) fn parse(line: &str) -> Option<JournalEntry> {
         let doc = Json::parse(line).ok()?;
         if doc.get("schema_version")?.as_u64()? != JOURNAL_SCHEMA_VERSION {
             return None;

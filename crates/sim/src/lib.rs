@@ -17,6 +17,11 @@
 //!   execution: a supervised pool of self-exec'd worker processes with
 //!   heartbeats, hard SIGKILL preemption, and typed crash classification
 //!   (`--isolate`);
+//! * [`net`] / [`fleet`] — the distributed tier: hardened TCP framing
+//!   with a registration handshake, the `fdip workerd` daemon loop, the
+//!   fleet dispatcher (`--fleet`) that survives node loss by
+//!   re-dispatching through the same retry taxonomy, and the shared
+//!   on-disk content-addressed result cache (`--cache`);
 //! * [`runner`] — result types ([`runner::RunResult`]) and numeric
 //!   helpers over harness output;
 //! * [`report`] — plain-text tables, CSV emission, and ASCII series plots;
@@ -41,9 +46,11 @@
 
 pub mod experiments;
 pub mod fault;
+pub mod fleet;
 pub mod harness;
 pub mod ipc;
 pub mod journal;
+pub mod net;
 pub mod persist;
 pub mod report;
 pub mod runner;

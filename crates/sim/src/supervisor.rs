@@ -304,6 +304,7 @@ impl Supervisor {
                     id: reply_id,
                     kind,
                     message,
+                    ..
                 })) if reply_id == id => {
                     // The worker *survived* this failure; only its cell is
                     // lost, and the process is reusable.

@@ -146,11 +146,15 @@ fn run_one(request: &RunRequest, traces: &mut HashMap<(String, usize), Trace>) -
             id: request.id,
             kind: "transient".to_string(),
             message: "worker cancel token fired unexpectedly".to_string(),
+            signal: None,
+            code: None,
         },
         Err(payload) => WorkerReply::Err {
             id: request.id,
             kind: "panic".to_string(),
             message: crate::harness::panic_message(payload.as_ref()),
+            signal: None,
+            code: None,
         },
     }
 }
