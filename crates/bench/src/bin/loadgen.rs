@@ -1,19 +1,25 @@
 //! `fdip-loadgen`: drives an in-process `fdip-serve` server over real TCP
-//! and reports throughput and latency percentiles for three phases:
+//! and reports throughput and latency percentiles for four phases:
 //!
 //! 1. **cold** — N distinct `/v1/run` requests (fresh seeds), every one a
 //!    harness cache miss that generates and simulates a trace;
-//! 2. **warm** — the same N requests again, served from the shared cell
-//!    cache (the warm/cold throughput ratio is the cache's value);
-//! 3. **saturation** — a burst of connections against a 1-worker,
-//!    depth-2 queue: the overflow is shed with `503`, demonstrating
-//!    bounded memory under overload.
+//! 2. **warm** — concurrent keep-alive clients replaying those N seeds,
+//!    served from the shared cell cache (the event loop multiplexes all
+//!    clients on one thread; compute workers only do cache lookups);
+//! 3. **coalesce** — a burst of byte-identical cold requests: one
+//!    simulation runs, every other client rides along as a follower;
+//! 4. **saturation** — a burst of distinct pre-warmed requests against a
+//!    1-worker, depth-2 queue whose seat is held by a deliberately slow
+//!    cell: the queue absorbs 2, the rest are shed `429`-free with `503`,
+//!    and the shed responses must come back fast (the old blocking-shed
+//!    accept loop serialized them).
 //!
 //! The report is printed and persisted as `results/BENCH_serve.json`.
 //! Flags: `--quick` shrinks the workload; `--check` exits nonzero unless
-//! warm throughput is ≥2x cold, the saturation phase shed connections,
-//! and the server's `/metrics` counters reconcile with what this client
-//! observed.
+//! warm throughput clears the event-loop floor (10x the 925 rps
+//! thread-per-connection baseline), warm is ≥2x cold, the coalesce burst
+//! shared one simulation, saturation shed with a bounded p99, and the
+//! server's `/metrics` counters reconcile with what this client observed.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -21,6 +27,15 @@ use std::time::{Duration, Instant};
 
 use fdip_serve::{ServeConfig, Server, ShutdownHandle};
 use fdip_types::Json;
+
+/// The committed warm throughput of the blocking thread-per-connection
+/// server (PR 2, results/BENCH_serve.json at the time) and the floor the
+/// event loop must clear.
+const BASELINE_WARM_RPS: f64 = 925.0;
+const WARM_RPS_FLOOR: f64 = BASELINE_WARM_RPS * 10.0;
+/// Shed responses must come back under this even while the compute seat
+/// is held — the regression gate for the blocking-shed bug.
+const SHED_P99_FLOOR_MS: f64 = 1_000.0;
 
 struct RunningServer {
     addr: SocketAddr,
@@ -111,6 +126,17 @@ fn run_body(seed: u64, trace_len: usize) -> String {
     )
 }
 
+/// Like [`run_body`] but with `pad` spaces of intra-JSON whitespace: the
+/// same simulation identity (cache hit) with distinct body bytes, so
+/// concurrent clients exercise the cache instead of coalescing with each
+/// other.
+fn run_body_padded(seed: u64, trace_len: usize, pad: usize) -> String {
+    format!(
+        r#"{{"workload": {{"profile": "microloop", "seed": {seed}}}, "trace_len": {trace_len}{:pad$}}}"#,
+        ""
+    )
+}
+
 struct PhaseReport {
     requests: usize,
     seconds: f64,
@@ -120,6 +146,17 @@ struct PhaseReport {
 }
 
 impl PhaseReport {
+    fn from_latencies(mut latencies: Vec<Duration>, seconds: f64) -> PhaseReport {
+        latencies.sort();
+        PhaseReport {
+            requests: latencies.len(),
+            seconds,
+            rps: latencies.len() as f64 / seconds.max(1e-9),
+            p50_ms: percentile_ms(&latencies, 0.50),
+            p99_ms: percentile_ms(&latencies, 0.99),
+        }
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             ("requests", Json::uint(self.requests as u64)),
@@ -140,7 +177,7 @@ fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
 }
 
 /// Issues `/v1/run` for seeds `0..n` sequentially, asserting 200s.
-fn run_phase(addr: SocketAddr, n: usize, trace_len: usize) -> PhaseReport {
+fn cold_phase(addr: SocketAddr, n: usize, trace_len: usize) -> PhaseReport {
     let started = Instant::now();
     let mut latencies = Vec::with_capacity(n);
     for seed in 0..n as u64 {
@@ -150,15 +187,51 @@ fn run_phase(addr: SocketAddr, n: usize, trace_len: usize) -> PhaseReport {
         assert_eq!(status, 200, "run seed {seed}: {resp}");
         latencies.push(req_start.elapsed());
     }
-    let seconds = started.elapsed().as_secs_f64();
-    latencies.sort();
-    PhaseReport {
-        requests: n,
-        seconds,
-        rps: n as f64 / seconds.max(1e-9),
-        p50_ms: percentile_ms(&latencies, 0.50),
-        p99_ms: percentile_ms(&latencies, 0.99),
+    PhaseReport::from_latencies(latencies, started.elapsed().as_secs_f64())
+}
+
+/// `clients` keep-alive connections in parallel, each issuing
+/// `per_client` request/response round trips over the (cache-warm)
+/// seeds `0..n`.
+fn warm_phase(
+    addr: SocketAddr,
+    clients: usize,
+    per_client: usize,
+    n: usize,
+    trace_len: usize,
+) -> PhaseReport {
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("warm connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .unwrap();
+                let mut w = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut latencies = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let body = run_body_padded(((c + i) % n) as u64, trace_len, c);
+                    let req = format!(
+                        "POST /v1/run HTTP/1.1\r\nhost: loadgen\r\ncontent-length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let req_start = Instant::now();
+                    w.write_all(req.as_bytes()).expect("warm write");
+                    let (status, resp) = read_response(&mut reader).expect("warm read");
+                    assert_eq!(status, 200, "warm client {c} request {i}: {resp}");
+                    latencies.push(req_start.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for t in threads {
+        all.extend(t.join().expect("warm client panicked"));
     }
+    PhaseReport::from_latencies(all, started.elapsed().as_secs_f64())
 }
 
 /// Parses one counter value out of a Prometheus text document.
@@ -169,48 +242,99 @@ fn metric_value(text: &str, line_prefix: &str) -> u64 {
         .unwrap_or_else(|| panic!("metric {line_prefix:?} missing from scrape"))
 }
 
-/// Saturation: hold the single worker with a parked keep-alive
-/// connection, then offer `burst` connections to a depth-2 queue. The
-/// queue absorbs 2, the rest are shed 503 by the accept loop; releasing
-/// the worker drains the queued ones. Returns (completed_200, shed).
-///
-/// A shed connection counts whether the client read the 503 or only saw
-/// the reset that follows it (the accept loop closes as soon as the
-/// response is written, so a racing client write can clobber it).
-fn saturation_phase(addr: SocketAddr, burst: usize, trace_len: usize) -> (usize, usize) {
-    // Park the worker on an idle keep-alive connection.
-    let held = TcpStream::connect(addr).expect("connect held");
-    held.set_read_timeout(Some(Duration::from_secs(60)))
-        .unwrap();
-    let mut w = held.try_clone().unwrap();
-    w.write_all(b"GET /healthz HTTP/1.1\r\nhost: loadgen\r\ncontent-length: 0\r\n\r\n")
-        .unwrap();
-    let mut held_reader = BufReader::new(held);
-    let (status, _) = read_response(&mut held_reader).expect("held response");
-    assert_eq!(status, 200);
+/// Installs a deterministic slow-cell fault for `seed` so a phase can
+/// hold a compute seat for an exact duration regardless of host speed.
+fn hold_seat_with_fault(seed: u64, millis: u64) {
+    let plan = fdip_sim::fault::FaultPlan::parse(&format!("slow@microloop~s{seed}/run:{millis}"))
+        .expect("fault plan");
+    fdip_sim::harness::Harness::global().set_fault_plan(Some(plan));
+}
 
+fn clear_fault() {
+    fdip_sim::harness::Harness::global().set_fault_plan(None);
+}
+
+/// Coalescing: `burst` byte-identical cold requests in flight at once.
+/// The leader's cell is slowed so every follower arrives while it runs;
+/// all must answer 200 with identical bodies. Returns the number the
+/// server reports as coalesced.
+fn coalesce_phase(addr: SocketAddr, burst: usize, seed: u64, trace_len: usize) -> u64 {
+    let (status, scrape) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let before = metric_value(&scrape, "fdip_serve_coalesced_total ");
+    hold_seat_with_fault(seed, 800);
     let clients: Vec<_> = (0..burst)
         .map(|_| {
-            let body = run_body(0, trace_len); // warm: seed 0 is cached
-            std::thread::spawn(move || try_request(addr, "POST", "/v1/run", &body))
+            let body = run_body(seed, trace_len);
+            std::thread::spawn(move || request(addr, "POST", "/v1/run", &body))
+        })
+        .collect();
+    let mut bodies = Vec::new();
+    for client in clients {
+        let (status, body) = client.join().expect("coalesce client panicked");
+        assert_eq!(status, 200, "coalesce: {body}");
+        bodies.push(body);
+    }
+    clear_fault();
+    assert!(
+        bodies.windows(2).all(|w| w[0] == w[1]),
+        "coalesced responses diverged"
+    );
+    let (status, scrape) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    metric_value(&scrape, "fdip_serve_coalesced_total ") - before
+}
+
+/// Saturation: a deterministically slow cell holds the single compute
+/// seat, then `burst` *distinct* pre-warmed requests arrive at once. The
+/// depth-2 queue absorbs 2; the rest are shed 503 — and those sheds must
+/// come back immediately, not serialized behind the seat.
+///
+/// Returns (completed_200, shed, shed latencies).
+fn saturation_phase(
+    addr: SocketAddr,
+    burst: usize,
+    trace_len: usize,
+) -> (usize, usize, Vec<Duration>) {
+    hold_seat_with_fault(9_000, 2_000);
+    let holder = {
+        let body = run_body(9_000, trace_len);
+        std::thread::spawn(move || request(addr, "POST", "/v1/run", &body))
+    };
+    std::thread::sleep(Duration::from_millis(300)); // the seat is now held
+
+    let clients: Vec<_> = (0..burst as u64)
+        .map(|seed| {
+            let body = run_body(seed, trace_len); // warm: distinct, all cached
+            std::thread::spawn(move || {
+                let started = Instant::now();
+                (
+                    try_request(addr, "POST", "/v1/run", &body),
+                    started.elapsed(),
+                )
+            })
         })
         .collect();
 
-    // Let every connection reach the accept loop, then free the worker.
-    std::thread::sleep(Duration::from_millis(500));
-    drop(held_reader);
-    drop(w);
-
     let mut completed = 0usize;
     let mut shed = 0usize;
+    let mut shed_latencies = Vec::new();
     for client in clients {
-        match client.join().expect("client thread panicked") {
+        let (outcome, latency) = client.join().expect("client thread panicked");
+        match outcome {
             Ok((200, _)) => completed += 1,
-            Ok((503, _)) | Err(_) => shed += 1,
+            Ok((503, _)) | Err(_) => {
+                shed += 1;
+                shed_latencies.push(latency);
+            }
             Ok((other, body)) => panic!("unexpected status {other} during saturation: {body}"),
         }
     }
-    (completed, shed)
+    let (status, body) = holder.join().expect("holder thread panicked");
+    assert_eq!(status, 200, "seat holder: {body}");
+    clear_fault();
+    shed_latencies.sort();
+    (completed, shed, shed_latencies)
 }
 
 fn main() {
@@ -222,42 +346,55 @@ fn main() {
         std::process::exit(2);
     }
 
-    let (n, trace_len, burst) = if quick {
-        (8, 20_000, 12)
+    let (n, trace_len, burst, warm_clients, warm_per_client) = if quick {
+        (8, 20_000, 12, 8, 250)
     } else {
-        (12, 60_000, 16)
+        (12, 60_000, 16, 8, 1_500)
     };
 
-    // ---- cold / warm phases on a plain server ---------------------------
+    // ---- cold / warm / coalesce phases on one server --------------------
     let server = start_server(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
-        threads: 1,
+        threads: 4,
         timeout_ms: 120_000,
         ..ServeConfig::default()
     });
     eprintln!(
-        "[loadgen] server on {} ({} requests x {} instrs)",
+        "[loadgen] server on {} ({} cold requests x {} instrs)",
         server.addr, n, trace_len
     );
 
-    let cold = run_phase(server.addr, n, trace_len);
+    let cold = cold_phase(server.addr, n, trace_len);
     eprintln!(
         "[loadgen] cold: {:.2} rps, p50 {:.1}ms, p99 {:.1}ms",
         cold.rps, cold.p50_ms, cold.p99_ms
     );
-    let warm = run_phase(server.addr, n, trace_len);
+    let warm = warm_phase(server.addr, warm_clients, warm_per_client, n, trace_len);
     eprintln!(
-        "[loadgen] warm: {:.2} rps, p50 {:.1}ms, p99 {:.1}ms",
-        warm.rps, warm.p50_ms, warm.p99_ms
+        "[loadgen] warm: {:.2} rps over {} keep-alive clients, p50 {:.2}ms, p99 {:.2}ms",
+        warm.rps, warm_clients, warm.p50_ms, warm.p99_ms
     );
     let warm_over_cold = warm.rps / cold.rps.max(1e-9);
-    eprintln!("[loadgen] warm/cold throughput: {warm_over_cold:.1}x");
+    eprintln!(
+        "[loadgen] warm/cold {:.1}x; warm vs {:.0} rps blocking baseline: {:.1}x",
+        warm_over_cold,
+        BASELINE_WARM_RPS,
+        warm.rps / BASELINE_WARM_RPS
+    );
+
+    let coalesce_burst = burst;
+    let coalesced = coalesce_phase(server.addr, coalesce_burst, 9_100, trace_len);
+    eprintln!(
+        "[loadgen] coalesce: {coalesce_burst} identical requests, {coalesced} rode along on 1 simulation"
+    );
 
     // ---- reconcile /metrics against client-observed responses ----------
     let (status, scrape) = request(server.addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
     let server_200 = metric_value(&scrape, "fdip_serve_requests_total{status=\"200\"} ");
-    let client_200 = (2 * n) as u64; // every run request, before the scrape itself
+    // Every run request plus the coalesce phase's two scrapes, before
+    // this one.
+    let client_200 = (n + warm_clients * warm_per_client + coalesce_burst + 2) as u64;
     let reconciled = server_200 == client_200;
     eprintln!(
         "[loadgen] /metrics 200s: server {server_200}, client {client_200} ({})",
@@ -273,12 +410,18 @@ fn main() {
         timeout_ms: 60_000,
         ..ServeConfig::default()
     });
-    // Pre-warm the cell this phase requests so queued work drains fast.
-    let (status, _) = request(tight.addr, "POST", "/v1/run", &run_body(0, trace_len));
-    assert_eq!(status, 200);
-    let (completed, shed) = saturation_phase(tight.addr, burst, trace_len);
+    // Pre-warm every burst seed (the process-global cell cache is shared,
+    // so seeds 0..n are already hot from the cold phase).
+    for seed in 0..burst as u64 {
+        let (status, _) = request(tight.addr, "POST", "/v1/run", &run_body(seed, trace_len));
+        assert_eq!(status, 200);
+    }
+    let (completed, shed, shed_latencies) = saturation_phase(tight.addr, burst, trace_len);
+    let shed_p50 = percentile_ms(&shed_latencies, 0.50);
+    let shed_p99 = percentile_ms(&shed_latencies, 0.99);
     eprintln!(
-        "[loadgen] saturation: offered {burst}, completed {completed}, shed {shed} (queue depth 2)"
+        "[loadgen] saturation: offered {burst}, completed {completed}, shed {shed} \
+         (queue depth 2); shed p50 {shed_p50:.1}ms, p99 {shed_p99:.1}ms"
     );
     let (status, scrape) = request(tight.addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
@@ -288,19 +431,30 @@ fn main() {
 
     // ---- persist --------------------------------------------------------
     let doc = Json::obj([
-        ("schema_version", Json::uint(1)),
+        ("schema_version", Json::uint(2)),
         ("id", Json::str("BENCH_serve")),
         ("quick", Json::Bool(quick)),
         ("trace_len", Json::uint(trace_len as u64)),
         ("cold", cold.to_json()),
         ("warm", warm.to_json()),
+        ("warm_clients", Json::uint(warm_clients as u64)),
         ("warm_over_cold", Json::num(warm_over_cold)),
+        ("baseline_warm_rps", Json::num(BASELINE_WARM_RPS)),
+        (
+            "coalesce",
+            Json::obj([
+                ("offered", Json::uint(coalesce_burst as u64)),
+                ("coalesced", Json::uint(coalesced)),
+            ]),
+        ),
         (
             "saturation",
             Json::obj([
                 ("offered", Json::uint(burst as u64)),
                 ("completed", Json::uint(completed as u64)),
                 ("shed", Json::uint(shed as u64)),
+                ("shed_p50_ms", Json::num(shed_p50)),
+                ("shed_p99_ms", Json::num(shed_p99)),
                 ("queue_depth", Json::uint(2)),
             ]),
         ),
@@ -324,13 +478,29 @@ fn main() {
 
     if check {
         let mut failures = Vec::new();
+        if warm.rps < WARM_RPS_FLOOR {
+            failures.push(format!(
+                "warm throughput {:.0} rps under the event-loop floor of {WARM_RPS_FLOOR:.0} \
+                 (10x the {BASELINE_WARM_RPS:.0} rps blocking baseline)",
+                warm.rps
+            ));
+        }
         if warm_over_cold < 2.0 {
             failures.push(format!(
                 "warm throughput only {warm_over_cold:.2}x cold (need >= 2x)"
             ));
         }
+        if coalesced == 0 {
+            failures.push("no requests coalesced during the identical burst".to_string());
+        }
         if shed == 0 {
             failures.push("saturation shed no connections".to_string());
+        }
+        if shed_p99 > SHED_P99_FLOOR_MS {
+            failures.push(format!(
+                "shed p99 {shed_p99:.0}ms exceeds {SHED_P99_FLOOR_MS:.0}ms — \
+                 sheds are waiting on the compute seat"
+            ));
         }
         if !(reconciled && shed_reconciled) {
             failures.push("metrics do not reconcile with client observations".to_string());

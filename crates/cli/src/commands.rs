@@ -98,10 +98,17 @@ commands:
                                                  finished cells so a killed run
                                                  resumes without re-simulating them
   serve    [--addr HOST:PORT] [--threads N] [--queue-depth N] [--timeout-ms N]
+           [--max-conns N] [--tenant-rps N]
            [--results-dir DIR] [--max-trace-len N] [--max-configs N] [--isolate N]
                                                  run the HTTP simulation service
                                                  (healthz, metrics, v1/run, v1/compare,
-                                                 v1/experiments/{id}); --isolate keeps
+                                                 v1/experiments/{id}); --max-conns caps
+                                                 open connections (extra accepts are
+                                                 shed 503), --tenant-rps rate-limits
+                                                 each x-fdip-tenant to N requests/sec
+                                                 (429 beyond; 0 = unlimited);
+                                                 identical concurrent simulations
+                                                 coalesce into one run; --isolate keeps
                                                  crashing cells in worker processes
                                                  (structured 502, server stays up);
                                                  --fleet dispatches cells to remote
@@ -752,6 +759,12 @@ fn cmd_serve(args: &Args) -> CliResult {
         threads: args.get_or("threads", defaults.threads, "a worker count (0 = auto)")?,
         queue_depth: args.get_or("queue-depth", defaults.queue_depth, "a queue capacity")?,
         timeout_ms: args.get_or("timeout-ms", defaults.timeout_ms, "milliseconds")?,
+        max_conns: args.get_or("max-conns", defaults.max_conns, "a connection cap")?,
+        tenant_rps: args.get_or(
+            "tenant-rps",
+            defaults.tenant_rps,
+            "requests/second per tenant (0 = unlimited)",
+        )?,
         results_dir: args
             .get("results-dir")
             .map(std::path::PathBuf::from)
@@ -813,7 +826,7 @@ fn cmd_serve(args: &Args) -> CliResult {
     let addr = server.local_addr()?;
     println!("fdip-serve listening on http://{addr}");
     println!(
-        "  {} workers, queue depth {}, timeout {}ms",
+        "  {} workers, queue depth {}, timeout {}ms, max {} connections",
         if config.threads == 0 {
             "auto".to_string()
         } else {
@@ -821,7 +834,14 @@ fn cmd_serve(args: &Args) -> CliResult {
         },
         config.queue_depth,
         config.timeout_ms,
+        config.max_conns,
     );
+    if config.tenant_rps > 0 {
+        println!(
+            "  rate limit: {} request(s)/second per x-fdip-tenant (429 beyond)",
+            config.tenant_rps
+        );
+    }
     if let Some(addrs) = &config.fleet {
         println!("  fleet: cells dispatch to worker daemons at {addrs}; a lost node re-dispatches");
     } else if config.isolate_workers > 0 {
@@ -915,6 +935,10 @@ mod tests {
     fn serve_rejects_bad_flags_before_binding() {
         let err = dispatch(&argv("serve --queue-depth many")).unwrap_err();
         assert!(err.to_string().contains("queue-depth"), "{err}");
+        let err = dispatch(&argv("serve --tenant-rps lots")).unwrap_err();
+        assert!(err.to_string().contains("tenant-rps"), "{err}");
+        let err = dispatch(&argv("serve --max-conns -3")).unwrap_err();
+        assert!(err.to_string().contains("max-conns"), "{err}");
         let err = dispatch(&argv("serve --bogus 1")).unwrap_err();
         assert!(err.to_string().contains("--bogus"), "{err}");
     }

@@ -1,0 +1,373 @@
+//! Per-connection state machine for the event loop.
+//!
+//! Each accepted socket is nonblocking and owned by one [`Conn`], which
+//! cycles through three states:
+//!
+//! ```text
+//!            bytes readable            request dispatched
+//! Reading ────────────────▶ (parse) ─────────────────────▶ Waiting
+//!    ▲                                                        │
+//!    │ response flushed                     response queued   │
+//!    └──────────────────────── Writing ◀──────────────────────┘
+//! ```
+//!
+//! Inline-answerable requests (GETs, parse errors, sheds) skip `Waiting`
+//! and go straight to `Writing`. The loop registers read interest in
+//! `Reading`, write interest in `Writing`, and none in `Waiting` — a
+//! connection waiting on compute costs zero wakeups.
+//!
+//! All reads and writes are buffered and partial-progress safe, which is
+//! what fixes the PR 2 shed bug: a 503 to a stalled client sits in this
+//! connection's write buffer instead of blocking the accept path.
+//!
+//! The request clock (`req_started`) is the latency bugfix: it starts at
+//! *accept* for a connection's first request and at previous-response
+//! flush for keep-alive successors, so recorded latency includes queue
+//! wait and read time rather than starting at parse completion.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use crate::http::{self, HttpError, Request, Response};
+
+/// Bytes read per `read(2)` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Most bytes consumed from one connection per readiness event, so a
+/// fast writer cannot monopolize the loop; level-triggered polling
+/// redelivers the event for the remainder.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Where a connection is in its request/response cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Accumulating request bytes.
+    Reading,
+    /// A request is dispatched to compute; no I/O interest.
+    Waiting,
+    /// Draining the response write buffer.
+    Writing,
+}
+
+/// What progress a readiness-driven read made.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// No complete request yet; keep read interest.
+    NeedMore,
+    /// One complete request parsed and drained from the buffer.
+    Request(Request),
+    /// Peer closed (or the transport failed); drop the connection.
+    Closed,
+    /// The buffered bytes are not a valid request.
+    Error(HttpError),
+}
+
+/// What progress a readiness-driven write made.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The response is fully flushed.
+    Flushed,
+    /// The kernel buffer filled; keep write interest.
+    Pending,
+    /// The peer is gone; drop the connection.
+    Closed,
+}
+
+/// One nonblocking connection and its buffers. See the module docs for
+/// the state cycle.
+pub struct Conn {
+    stream: TcpStream,
+    /// Current position in the state cycle.
+    pub state: ConnState,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// When the socket was accepted.
+    pub accepted_at: Instant,
+    /// The active request's clock origin: accept time for the first
+    /// request, previous flush time after that. Latency is measured
+    /// from here so it includes queue wait.
+    pub req_started: Instant,
+    /// Close instead of resetting to `Reading` once the write drains.
+    pub close_after_write: bool,
+    /// Close once the currently dispatched request's response drains
+    /// (the request asked `Connection: close`, or it was admitted during
+    /// a drain). Consulted when the completion is delivered.
+    pub close_when_answered: bool,
+    /// The peer half-closed its send side; serve what is buffered, then
+    /// close.
+    peer_eof: bool,
+    /// Last instant this connection made I/O progress (idle sweeping).
+    pub last_activity: Instant,
+    latency_from: Option<Instant>,
+}
+
+impl Conn {
+    /// Wraps a freshly accepted socket; the caller has already put it in
+    /// nonblocking mode.
+    pub fn new(stream: TcpStream, now: Instant) -> Conn {
+        Conn {
+            stream,
+            state: ConnState::Reading,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            accepted_at: now,
+            req_started: now,
+            close_after_write: false,
+            close_when_answered: false,
+            peer_eof: false,
+            last_activity: now,
+            latency_from: None,
+        }
+    }
+
+    /// The underlying socket (for fd registration).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Reads whatever the socket has (up to a fairness budget) and tries
+    /// to parse one request. Only meaningful in [`ConnState::Reading`].
+    pub fn on_readable(&mut self, now: Instant) -> ReadOutcome {
+        debug_assert_eq!(self.state, ConnState::Reading);
+        let mut consumed = 0usize;
+        let mut chunk = [0u8; READ_CHUNK];
+        while consumed < READ_BUDGET {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Clean EOF — but the peer may have half-closed after
+                    // sending complete requests (it still reads), so any
+                    // buffered full request is still served before the
+                    // connection drops.
+                    self.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    self.last_activity = now;
+                    consumed += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+        self.parse_buffered()
+    }
+
+    /// Tries to parse one request from already-buffered bytes. Called
+    /// after reads, and again after each response flush to pick up
+    /// pipelined requests that arrived in an earlier read (the socket
+    /// will not signal readable for bytes we already hold).
+    pub fn parse_buffered(&mut self) -> ReadOutcome {
+        match http::try_parse_request(&self.read_buf) {
+            Ok(Some((req, consumed))) => {
+                self.read_buf.drain(..consumed);
+                ReadOutcome::Request(req)
+            }
+            Ok(None) if self.peer_eof => ReadOutcome::Closed,
+            Ok(None) => ReadOutcome::NeedMore,
+            Err(e) => ReadOutcome::Error(e),
+        }
+    }
+
+    /// True when partial request bytes are buffered (a mid-request stall
+    /// is swept on the I/O timeout; an idle keep-alive gap is tolerated).
+    pub fn mid_request(&self) -> bool {
+        !self.read_buf.is_empty()
+    }
+
+    /// Serializes `resp` into the write buffer and enters `Writing`.
+    /// `count_latency` marks responses that answer a request (as opposed
+    /// to connection-level notices) so the flush records a latency sample
+    /// measured from [`req_started`](Conn::req_started).
+    pub fn queue_response(&mut self, resp: &Response, close: bool, count_latency: bool) {
+        self.write_buf = resp.to_bytes(close);
+        self.write_pos = 0;
+        self.close_after_write = close;
+        self.latency_from = count_latency.then_some(self.req_started);
+        self.state = ConnState::Writing;
+    }
+
+    /// Drains the write buffer as far as the socket allows. Only
+    /// meaningful in [`ConnState::Writing`].
+    pub fn on_writable(&mut self, now: Instant) -> WriteOutcome {
+        debug_assert_eq!(self.state, ConnState::Writing);
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return WriteOutcome::Closed,
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.last_activity = now;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return WriteOutcome::Pending,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return WriteOutcome::Closed,
+            }
+        }
+        WriteOutcome::Flushed
+    }
+
+    /// Completes a flushed response: takes the latency clock for the
+    /// caller to record, releases the (possibly large) write buffer, and
+    /// resets to `Reading` with a fresh request clock.
+    pub fn finish_write(&mut self, now: Instant) -> Option<Instant> {
+        let latency = self.latency_from.take();
+        self.write_buf = Vec::new();
+        self.write_pos = 0;
+        self.state = ConnState::Reading;
+        self.req_started = now;
+        self.last_activity = now;
+        latency
+    }
+
+    /// The latency clock of an unflushed counted response, surrendered
+    /// when the connection is dropped mid-write (the sample is still
+    /// recorded so histograms reconcile with status counts).
+    pub fn take_latency(&mut self) -> Option<Instant> {
+        self.latency_from.take()
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    /// A connected nonblocking (server-side) socket plus its blocking
+    /// peer.
+    fn pair() -> (Conn, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (Conn::new(server, Instant::now()), peer)
+    }
+
+    #[test]
+    fn incremental_read_parses_once_complete() {
+        let (mut conn, mut peer) = pair();
+        peer.write_all(b"POST /v1/run HTTP/1.1\r\ncontent-le")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(matches!(
+            conn.on_readable(Instant::now()),
+            ReadOutcome::NeedMore
+        ));
+        assert!(conn.mid_request());
+        peer.write_all(b"ngth: 2\r\n\r\nhi").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        match conn.on_readable(Instant::now()) {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.path, "/v1/run");
+                assert_eq!(req.body, b"hi");
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+        assert!(!conn.mid_request());
+    }
+
+    #[test]
+    fn pipelined_second_request_comes_from_the_buffer() {
+        let (mut conn, mut peer) = pair();
+        peer.write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        match conn.on_readable(Instant::now()) {
+            ReadOutcome::Request(req) => assert_eq!(req.path, "/a"),
+            other => panic!("expected /a, got {other:?}"),
+        }
+        // Serve /a, flush, and the buffered /b must surface without any
+        // new socket readability.
+        conn.queue_response(&Response::text(200, "ok"), false, true);
+        assert_eq!(conn.on_writable(Instant::now()), WriteOutcome::Flushed);
+        assert!(conn.finish_write(Instant::now()).is_some());
+        match conn.parse_buffered() {
+            ReadOutcome::Request(req) => assert_eq!(req.path, "/b"),
+            other => panic!("expected /b, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peer_eof_and_malformed_bytes_close_or_error() {
+        let (mut conn, peer) = pair();
+        drop(peer);
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(matches!(
+            conn.on_readable(Instant::now()),
+            ReadOutcome::Closed
+        ));
+
+        let (mut conn, mut peer) = pair();
+        peer.write_all(b"NOT HTTP AT ALL\r\n\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(matches!(
+            conn.on_readable(Instant::now()),
+            ReadOutcome::Error(HttpError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn large_response_to_stalled_peer_stays_buffered_then_drains() {
+        let (mut conn, mut peer) = pair();
+        // A response far larger than any socket buffer: the first write
+        // pass must hit WouldBlock and report Pending, not block.
+        let big = Response::text(200, "x".repeat(8 * 1024 * 1024));
+        conn.queue_response(&big, true, false);
+        assert_eq!(conn.on_writable(Instant::now()), WriteOutcome::Pending);
+        // Drain from the peer side while repeatedly offering writability.
+        let mut total = 0usize;
+        let mut sink = [0u8; 64 * 1024];
+        peer.set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        loop {
+            match conn.on_writable(Instant::now()) {
+                WriteOutcome::Flushed => break,
+                WriteOutcome::Pending => {}
+                WriteOutcome::Closed => panic!("peer alive"),
+            }
+            match peer.read(&mut sink) {
+                Ok(n) => total += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("peer read: {e}"),
+            }
+        }
+        // Uncounted response: no latency sample.
+        assert!(conn.finish_write(Instant::now()).is_none());
+        while total < 8 * 1024 * 1024 {
+            match peer.read(&mut sink) {
+                Ok(0) => break,
+                Ok(n) => total += n,
+                Err(_) => break,
+            }
+        }
+        assert!(total >= 8 * 1024 * 1024, "peer received {total} bytes");
+    }
+
+    #[test]
+    fn request_clock_starts_at_accept_then_at_flush() {
+        let (mut conn, mut peer) = pair();
+        let accepted = conn.accepted_at;
+        assert_eq!(conn.req_started, accepted);
+        peer.write_all(b"GET /a HTTP/1.1\r\n\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(matches!(
+            conn.on_readable(Instant::now()),
+            ReadOutcome::Request(_)
+        ));
+        // Parsing must NOT reset the clock — that was the PR 2 bug.
+        assert_eq!(conn.req_started, accepted);
+        conn.queue_response(&Response::text(200, "ok"), false, true);
+        assert_eq!(conn.on_writable(Instant::now()), WriteOutcome::Flushed);
+        let flushed_at = Instant::now();
+        let latency_from = conn.finish_write(flushed_at).unwrap();
+        assert_eq!(latency_from, accepted);
+        // The next keep-alive request measures from the flush instead.
+        assert_eq!(conn.req_started, flushed_at);
+    }
+}

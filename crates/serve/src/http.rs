@@ -1,12 +1,21 @@
 //! A deliberately small HTTP/1.1 codec: enough protocol to serve JSON
 //! endpoints from `std::net`, hardened for the trust boundary.
 //!
-//! The parser reads one request at a time from any [`BufRead`], so
-//! keep-alive and pipelined requests fall out naturally: the caller just
-//! parses again from the same stream. Every dimension an attacker controls
-//! is bounded — request-line and header-line length, header count, and
-//! body size — and violations map to the appropriate 4xx status instead of
-//! unbounded allocation.
+//! Two entry points share one head parser:
+//!
+//! * [`parse_request`] reads one request from any [`BufRead`] (blocking
+//!   callers, unit tests);
+//! * [`try_parse_request`] parses from an in-memory byte buffer and
+//!   reports "need more bytes" instead of blocking — the event loop's
+//!   interface, where a connection's accumulated reads are re-parsed on
+//!   each readiness notification.
+//!
+//! Keep-alive and pipelined requests fall out naturally: the caller just
+//! parses again from the same stream (or from the leftover bytes after
+//! the consumed length). Every dimension an attacker controls is
+//! bounded — request-line and header-line length, header count, total
+//! head size, and body size — and violations map to the appropriate 4xx
+//! status instead of unbounded allocation.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -19,6 +28,12 @@ pub const MAX_HEADERS: usize = 64;
 
 /// Largest accepted request body, in bytes.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Largest accepted request head (request line + all headers), in bytes.
+/// This bounds how much a connection may buffer before the head
+/// terminator arrives; the per-line and per-count limits are enforced
+/// again once the head parses.
+pub const MAX_HEAD_BYTES: usize = MAX_LINE_BYTES * (MAX_HEADERS + 2);
 
 /// One parsed request.
 #[derive(Debug)]
@@ -125,6 +140,14 @@ fn read_line<R: BufRead>(r: &mut R, started: &mut bool) -> Result<String, HttpEr
     }
 }
 
+/// A parsed request head: everything before the body.
+struct Head {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    content_length: usize,
+}
+
 /// Parses one request from `r`.
 ///
 /// # Errors
@@ -133,6 +156,29 @@ fn read_line<R: BufRead>(r: &mut R, started: &mut bool) -> Result<String, HttpEr
 /// new request began; other variants describe malformed or oversized
 /// requests (see each variant for the status to respond with).
 pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
+    let head = parse_head(r)?;
+    let mut body = vec![0u8; head.content_length];
+    if head.content_length > 0 {
+        r.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                HttpError::Bad("body shorter than content-length")
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
+    }
+    Ok(Request {
+        method: head.method,
+        path: head.path,
+        headers: head.headers,
+        body,
+    })
+}
+
+/// Parses the request line and header block (through the blank line) and
+/// validates `content-length` / `transfer-encoding`, without touching the
+/// body.
+fn parse_head<R: BufRead>(r: &mut R) -> Result<Head, HttpError> {
     let mut started = false;
     let request_line = read_line(r, &mut started)?;
     let mut parts = request_line.split(' ');
@@ -191,28 +237,72 @@ pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
         return Err(HttpError::Bad("transfer-encoding not supported"));
     }
 
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
-        r.read_exact(&mut body).map_err(|e| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                HttpError::Bad("body shorter than content-length")
-            } else {
-                HttpError::Io(e)
-            }
-        })?;
-    }
-
     let path = target.split(['?', '#']).next().unwrap_or("").to_string();
-    Ok(Request {
+    Ok(Head {
         method: method.to_string(),
         path,
         headers,
-        body,
+        content_length,
     })
 }
 
-/// One response under construction.
-#[derive(Debug)]
+/// Index one past the `\r\n\r\n` (or bare `\n\n`) head terminator, if the
+/// buffer holds a complete head.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match (buf.get(i + 1), buf.get(i + 2)) {
+                (Some(b'\n'), _) => return Some(i + 2),
+                (Some(b'\r'), Some(b'\n')) => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Attempts to parse one complete request from the front of `buf` without
+/// blocking.
+///
+/// Returns `Ok(Some((request, consumed)))` when a full request (head and
+/// body) is present — the caller should drain `consumed` bytes and may
+/// find a pipelined successor behind them. Returns `Ok(None)` when the
+/// bytes so far are a valid *prefix* of a request and more input is
+/// needed.
+///
+/// # Errors
+///
+/// The same variants as [`parse_request`], raised as soon as the prefix
+/// is provably invalid or over a limit — a flooding client is rejected
+/// without waiting for its terminator.
+pub fn try_parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    let Some(head_len) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        return Ok(None);
+    };
+    let head = parse_head(&mut &buf[..head_len])?;
+    let total = head_len.saturating_add(head.content_length);
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        Request {
+            method: head.method,
+            path: head.path,
+            headers: head.headers,
+            body: buf[head_len..total].to_vec(),
+        },
+        total,
+    )))
+}
+
+/// One response under construction. `Clone` supports coalesced fan-out:
+/// one computed response is delivered to every attached requester.
+#[derive(Debug, Clone)]
 pub struct Response {
     /// Status code, e.g. 200.
     pub status: u16,
@@ -249,6 +339,15 @@ impl Response {
     pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
         self.headers.push((name, value.into()));
         self
+    }
+
+    /// Serializes the response into a byte vector (the event loop's
+    /// write-buffer form of [`write_to`](Response::write_to)).
+    pub fn to_bytes(&self, close: bool) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(128 + self.body.len());
+        self.write_to(&mut buf, close)
+            .expect("writing to a Vec cannot fail");
+        buf
     }
 
     /// Serializes the response, including `Connection: close` when
@@ -446,6 +545,69 @@ mod tests {
         assert!(text.contains("content-length: 11\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn try_parse_reports_need_more_until_the_request_completes() {
+        let full = b"POST /v1/run HTTP/1.1\r\ncontent-length: 4\r\n\r\nbody";
+        // Every strict prefix is "need more bytes", never an error.
+        for cut in 0..full.len() {
+            assert!(
+                matches!(try_parse_request(&full[..cut]), Ok(None)),
+                "prefix of {cut} bytes"
+            );
+        }
+        let (req, consumed) = try_parse_request(full).unwrap().unwrap();
+        assert_eq!(consumed, full.len());
+        assert_eq!(req.path, "/v1/run");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn try_parse_consumes_only_one_pipelined_request() {
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (a, consumed) = try_parse_request(two).unwrap().unwrap();
+        assert_eq!(a.path, "/a");
+        let (b, rest) = try_parse_request(&two[consumed..]).unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        assert_eq!(consumed + rest, two.len());
+    }
+
+    #[test]
+    fn try_parse_rejects_malformed_and_oversized_prefixes_early() {
+        // A complete but malformed head fails with the same status the
+        // blocking parser gives.
+        assert!(matches!(
+            try_parse_request(b"NOPE\r\n\r\n"),
+            Err(HttpError::Bad(_))
+        ));
+        // An unbounded header flood is rejected before the terminator.
+        let flood = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(
+            try_parse_request(&flood),
+            Err(HttpError::HeadersTooLarge)
+        ));
+        // An oversized declared body is rejected as soon as the head ends.
+        let huge = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", u64::MAX);
+        assert!(matches!(
+            try_parse_request(huge.as_bytes()),
+            Err(HttpError::BodyTooLarge | HttpError::Bad("invalid content-length"))
+        ));
+    }
+
+    #[test]
+    fn try_parse_handles_bare_lf_terminators() {
+        let (req, consumed) = try_parse_request(b"GET /x HTTP/1.1\n\n").unwrap().unwrap();
+        assert_eq!(req.path, "/x");
+        assert_eq!(consumed, 17);
+    }
+
+    #[test]
+    fn response_to_bytes_matches_write_to() {
+        let resp = Response::json(200, "{}").with_header("retry-after", "1");
+        let mut via_writer = Vec::new();
+        resp.write_to(&mut via_writer, true).unwrap();
+        assert_eq!(resp.to_bytes(true), via_writer);
     }
 
     #[test]

@@ -2,14 +2,32 @@
 //! alone.
 //!
 //! The workspace's no-external-dependency policy extends to the server:
-//! HTTP parsing ([`http`]), the bounded request queue ([`queue`]),
-//! Prometheus metrics ([`metrics`]), and signal handling ([`signal`]) are
-//! all hand-rolled on `std`. What makes the service worth running is the
-//! shared [`Harness`](fdip_sim::harness::Harness): every request is
-//! answered through the process-global trace store and content-keyed cell
-//! cache, so a warm server answers repeated and overlapping experiment
-//! queries orders of magnitude faster than cold simulation, and concurrent
-//! identical requests coalesce instead of duplicating work.
+//! HTTP parsing ([`http`]), the readiness poller ([`poller`]), the
+//! connection state machine ([`conn`]), the admission scheduler
+//! ([`sched`]), the bounded dispatch queue ([`queue`]), Prometheus
+//! metrics ([`metrics`]), and signal handling ([`signal`]) are all
+//! hand-rolled on `std` (raw syscalls where the platform demands them).
+//! What makes the service worth running is the shared
+//! [`Harness`](fdip_sim::harness::Harness): every request is answered
+//! through the process-global trace store and content-keyed cell cache,
+//! so a warm server answers repeated and overlapping experiment queries
+//! orders of magnitude faster than cold simulation, and concurrent
+//! identical requests coalesce — at the harness *and*, since the event
+//! loop, at the HTTP layer, where byte-identical in-flight `/v1/run`
+//! requests share a single simulation and response.
+//!
+//! # Architecture
+//!
+//! One event-loop thread owns the listener and every connection
+//! (nonblocking sockets, readiness from [`poller::Poller`]); a small
+//! worker pool runs simulations. The paper's framing applies to the
+//! serving layer itself: like FDIP decoupling branch prediction from
+//! fetch, the loop decouples protocol I/O from simulation so a slow
+//! client never stalls compute and a slow simulation never stalls I/O.
+//! Requests flow `accept → read/parse → admit (rate limit, coalesce,
+//! shed) → per-tenant fair queue → worker → write`, with GET routes
+//! answered inline by the loop so `/healthz` and `/metrics` stay
+//! responsive under full compute saturation.
 //!
 //! # Endpoints
 //!
@@ -21,15 +39,21 @@
 //! | `POST /v1/compare` | a config list vs the no-prefetch baseline: speedups + miss coverage |
 //! | `GET /v1/experiments/{id}` | a persisted, schema-versioned `results/` document |
 //!
-//! # Overload and deadlines
+//! # Overload, fairness, and deadlines
 //!
-//! Accepted connections enter a bounded queue ([`queue::BoundedQueue`]);
-//! when it is full the accept loop sheds the connection with
-//! `503` + `Retry-After`, so offered load beyond capacity costs O(1)
-//! memory. Every request carries a deadline — `min(server timeout,
-//! client's x-fdip-deadline-ms header)` measured from accept — and
-//! requests that expire while queued are answered `408` (client-set
-//! deadline) or `429` (server default) without starting the simulation.
+//! Parsed simulation requests enter per-tenant FIFO queues
+//! ([`sched::Scheduler`], tenant = `x-fdip-tenant` header) dispatched
+//! round-robin, each tenant optionally rate-limited (`--tenant-rps`,
+//! 429 beyond budget). When the global queue bound fills the request is
+//! shed with `503` + `Retry-After` — written through the connection's
+//! buffered nonblocking writer, so a stalled client can never block the
+//! accept path. Offered load beyond capacity costs O(1) memory (the
+//! connection count itself is bounded by `max_conns`). Every request
+//! carries a deadline — `min(server timeout, client's x-fdip-deadline-ms
+//! header)` measured from accept — and requests that expire while queued
+//! are answered `408` (client-set deadline) or `429` (server default)
+//! without starting the simulation. A malformed deadline header is a
+//! `400`, never silently ignored.
 //!
 //! # Example
 //!
@@ -47,9 +71,12 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conn;
 pub mod http;
 pub mod metrics;
+pub mod poller;
 pub mod queue;
+pub mod sched;
 pub mod service;
 pub mod signal;
 
@@ -66,9 +93,15 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads; 0 means `available_parallelism`.
     pub threads: usize,
-    /// Bounded request-queue capacity; connections beyond it are shed
+    /// Bounded request-queue capacity; requests beyond it are shed
     /// with 503.
     pub queue_depth: usize,
+    /// Most concurrently open connections; accepts beyond it are closed
+    /// after an inline 503 (memory bound independent of `queue_depth`).
+    pub max_conns: usize,
+    /// Per-tenant rate limit in requests/second with a one-second burst;
+    /// 0 disables limiting. Requests over budget are answered 429.
+    pub tenant_rps: u64,
     /// Server-side deadline per request, in milliseconds. Also bounds how
     /// long an idle keep-alive connection may pin a worker.
     pub timeout_ms: u64,
@@ -102,6 +135,8 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:8080".to_string(),
             threads: 0,
             queue_depth: 64,
+            max_conns: 1024,
+            tenant_rps: 0,
             timeout_ms: 30_000,
             results_dir: PathBuf::from("results"),
             max_trace_len: 2_000_000,

@@ -9,6 +9,7 @@
 //! are actually causing versus serving from cache.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use fdip_sim::harness::HarnessStats;
@@ -34,8 +35,20 @@ pub struct Metrics {
     pub shed_total: AtomicU64,
     /// Requests rejected because their deadline expired before handling.
     pub deadline_expired_total: AtomicU64,
+    /// Requests that attached to an identical in-flight request instead
+    /// of running their own simulation.
+    pub coalesced_total: AtomicU64,
+    /// Requests rejected with 429 by a tenant's token bucket.
+    pub rate_limited_total: AtomicU64,
+    /// Connections currently registered with the event loop.
+    pub open_connections: AtomicU64,
     /// Requests currently being handled by a worker.
     pub in_flight: AtomicU64,
+    /// Per-tenant queue depths, refreshed by the event loop whenever its
+    /// scheduler state changes. A snapshot rather than an atomic because
+    /// the tenant set is dynamic; updates happen off the per-request hot
+    /// path.
+    tenant_depths: Mutex<Vec<(String, u64)>>,
     /// Latency histogram bucket counts, indexed like [`LATENCY_BUCKETS`]
     /// with the final slot counting `+Inf`.
     latency_buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
@@ -81,6 +94,21 @@ impl Metrics {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// Latency observations recorded so far.
+    pub fn latency_count(&self) -> u64 {
+        self.latency_count.load(Ordering::Relaxed)
+    }
+
+    /// Total observed latency.
+    pub fn latency_sum(&self) -> Duration {
+        Duration::from_micros(self.latency_sum_us.load(Ordering::Relaxed))
+    }
+
+    /// Replaces the per-tenant queue-depth snapshot (sorted by tenant).
+    pub fn set_tenant_depths(&self, depths: Vec<(String, u64)>) {
+        *self.tenant_depths.lock().expect("tenant depths poisoned") = depths;
     }
 
     /// Renders the Prometheus text document. `queue_depth` and
@@ -132,20 +160,53 @@ impl Metrics {
             "Requests whose deadline expired before a worker reached them.",
             self.deadline_expired_total.load(Ordering::Relaxed),
         );
+        counter(
+            &mut out,
+            "fdip_serve_coalesced_total",
+            "Requests that shared an identical in-flight request's result.",
+            self.coalesced_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "fdip_serve_rate_limited_total",
+            "Requests rejected with 429 by a tenant's rate limit.",
+            self.rate_limited_total.load(Ordering::Relaxed),
+        );
 
         let _ = write!(
             out,
             "# HELP fdip_serve_in_flight Requests currently being handled.\n\
              # TYPE fdip_serve_in_flight gauge\n\
              fdip_serve_in_flight {}\n\
-             # HELP fdip_serve_queue_depth Connections waiting in the bounded queue.\n\
+             # HELP fdip_serve_open_connections Connections registered with the event loop.\n\
+             # TYPE fdip_serve_open_connections gauge\n\
+             fdip_serve_open_connections {}\n\
+             # HELP fdip_serve_queue_depth Requests waiting in the bounded queue.\n\
              # TYPE fdip_serve_queue_depth gauge\n\
              fdip_serve_queue_depth {queue_depth}\n\
              # HELP fdip_serve_queue_capacity Configured request-queue capacity.\n\
              # TYPE fdip_serve_queue_capacity gauge\n\
              fdip_serve_queue_capacity {queue_capacity}\n",
-            self.in_flight.load(Ordering::Relaxed)
+            self.in_flight.load(Ordering::Relaxed),
+            self.open_connections.load(Ordering::Relaxed)
         );
+
+        let _ = write!(
+            out,
+            "# HELP fdip_serve_tenant_queue_depth Queued requests per tenant.\n\
+             # TYPE fdip_serve_tenant_queue_depth gauge\n"
+        );
+        for (tenant, depth) in self
+            .tenant_depths
+            .lock()
+            .expect("tenant depths poisoned")
+            .iter()
+        {
+            let _ = writeln!(
+                out,
+                "fdip_serve_tenant_queue_depth{{tenant=\"{tenant}\"}} {depth}"
+            );
+        }
 
         let _ = write!(
             out,
@@ -290,6 +351,10 @@ mod tests {
         m.record_latency(Duration::from_millis(3));
         m.record_latency(Duration::from_secs(60));
         m.connections_total.fetch_add(3, Ordering::Relaxed);
+        m.coalesced_total.fetch_add(4, Ordering::Relaxed);
+        m.rate_limited_total.fetch_add(5, Ordering::Relaxed);
+        m.open_connections.fetch_add(6, Ordering::Relaxed);
+        m.set_tenant_depths(vec![("alpha".to_string(), 2), ("default".to_string(), 1)]);
 
         assert_eq!(m.responses_for(200), 2);
         assert_eq!(m.responses_for(503), 1);
@@ -320,6 +385,11 @@ mod tests {
         );
         assert!(text.contains("fdip_serve_requests_total{status=\"503\"} 1"));
         assert!(text.contains("fdip_serve_connections_total 3"));
+        assert!(text.contains("fdip_serve_coalesced_total 4"));
+        assert!(text.contains("fdip_serve_rate_limited_total 5"));
+        assert!(text.contains("fdip_serve_open_connections 6"));
+        assert!(text.contains("fdip_serve_tenant_queue_depth{tenant=\"alpha\"} 2"));
+        assert!(text.contains("fdip_serve_tenant_queue_depth{tenant=\"default\"} 1"));
         assert!(text.contains("fdip_serve_queue_depth 2"));
         assert!(text.contains("fdip_serve_queue_capacity 64"));
         assert!(text.contains("fdip_serve_request_seconds_count 2"));

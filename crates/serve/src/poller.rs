@@ -1,0 +1,648 @@
+//! Readiness polling on raw syscalls: the event loop's view of the OS.
+//!
+//! `std` exposes no readiness API and the workspace takes no external
+//! dependencies, so this module declares the handful of C symbols the
+//! loop needs — the same discipline as [`crate::signal`]. On Linux the
+//! backend is **epoll** (`epoll_create1`/`epoll_ctl`/`epoll_wait`) with
+//! an **eventfd** waker; on other unix platforms it degrades to POSIX
+//! `poll(2)` over a registration table with a self-pipe waker. Both are
+//! level-triggered: the loop re-arms interest per connection state
+//! (read interest while parsing, write interest while a response is
+//! buffered), so a socket that stays ready keeps reporting until the
+//! state machine consumes it.
+//!
+//! Tokens are caller-chosen `u64`s carried back verbatim in events; the
+//! server uses them as connection ids.
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the file descriptor was registered with.
+    pub token: u64,
+    /// Readable (or peer-closed — a read will observe EOF).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+/// Which readiness a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake on readable.
+    pub read: bool,
+    /// Wake on writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Write readiness only.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// No readiness; errors and hangups still surface.
+    pub const NONE: Interest = Interest {
+        read: false,
+        write: false,
+    };
+}
+
+pub use imp::{Poller, Waker};
+
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    // The kernel ABI packs epoll_event on x86-64 (a 32-bit `events`
+    // immediately followed by the 64-bit payload); other architectures
+    // use natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = 0;
+        if interest.read {
+            m |= EPOLLIN;
+        }
+        if interest.write {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    /// The Linux epoll backend.
+    pub struct Poller {
+        epfd: i32,
+    }
+
+    impl Poller {
+        /// A fresh epoll instance.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_create1` failures.
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscall; the returned fd is owned by Poller
+            // and closed on drop.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller { epfd })
+        }
+
+        /// Starts watching `fd` with `interest`, tagging events `token`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_ctl` failures.
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interest),
+                data: token,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Changes the interest set of an already-registered `fd`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_ctl` failures.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interest),
+                data: token,
+            };
+            // SAFETY: as in `register`.
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Stops watching `fd`. Errors are ignored: the fd may already be
+        /// closed, which deregisters implicitly.
+        pub fn deregister(&self, fd: RawFd) {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            // SAFETY: as in `register`; EPOLL_CTL_DEL ignores the event.
+            let _ = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+        }
+
+        /// Blocks until readiness or `timeout`, appending into `out`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_wait` failures other than `EINTR` (which
+        /// returns an empty batch so the caller can re-check shutdown).
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 64];
+            let timeout_ms = timeout
+                .map(|d| d.as_millis().min(i32::MAX as u128) as i32)
+                .unwrap_or(-1);
+            // SAFETY: `buf` is valid for 64 entries; the kernel writes at
+            // most `maxevents` of them.
+            let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), 64, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for ev in &buf[..n as usize] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    // ERR/HUP surface as readable: the next read observes
+                    // the error or EOF and the state machine closes.
+                    readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: epfd is owned and valid until this point.
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    /// An eventfd-based waker: any thread (or a signal handler — `write`
+    /// is async-signal-safe) can interrupt a blocked [`Poller::wait`].
+    pub struct Waker {
+        fd: i32,
+        owned: bool,
+    }
+
+    impl Waker {
+        /// A fresh waker, registered with `poller` under `token`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `eventfd` / registration failures.
+        pub fn new(poller: &Poller, token: u64) -> io::Result<Waker> {
+            // SAFETY: plain syscall; the fd is owned by the Waker.
+            let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            poller.register(fd, token, Interest::READ)?;
+            Ok(Waker { fd, owned: true })
+        }
+
+        /// A cheap handle sharing the same fd (for worker threads). The
+        /// original must outlive all handles.
+        pub fn handle(&self) -> Waker {
+            Waker {
+                fd: self.fd,
+                owned: false,
+            }
+        }
+
+        /// The raw fd, for [`crate::signal::set_wakeup_fd`].
+        pub fn raw_fd(&self) -> RawFd {
+            self.fd
+        }
+
+        /// Interrupts the poller. Never blocks: an eventfd at
+        /// `u64::MAX - 1` simply stays triggered.
+        pub fn wake(&self) {
+            let one = 1u64.to_ne_bytes();
+            // SAFETY: fd is a valid nonblocking eventfd; a short or
+            // failed write only means a wake is already pending.
+            let _ = unsafe { write(self.fd, one.as_ptr(), one.len()) };
+        }
+
+        /// Clears pending wakes so level-triggered polling settles.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            // SAFETY: fd is a valid nonblocking eventfd; reading resets
+            // its counter, EAGAIN means it was already clear.
+            let _ = unsafe { read(self.fd, buf.as_mut_ptr(), buf.len()) };
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            if self.owned {
+                // SAFETY: the owned fd is valid until this point.
+                unsafe { close(self.fd) };
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = 0x0004; // BSD-family value (macOS included)
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: usize, timeout: i32) -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// POSIX `poll(2)` fallback: a registration table rebuilt into a
+    /// `pollfd` array per wait. O(n) per wakeup, which is fine at this
+    /// server's connection counts; Linux builds use epoll instead.
+    pub struct Poller {
+        table: Mutex<HashMap<RawFd, (u64, Interest)>>,
+    }
+
+    impl Poller {
+        /// A fresh poller.
+        ///
+        /// # Errors
+        ///
+        /// Infallible on this backend.
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                table: Mutex::new(HashMap::new()),
+            })
+        }
+
+        /// Starts watching `fd`. See the epoll backend for semantics.
+        ///
+        /// # Errors
+        ///
+        /// Infallible on this backend.
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.table
+                .lock()
+                .expect("poller table")
+                .insert(fd, (token, interest));
+            Ok(())
+        }
+
+        /// Changes the interest set of `fd`.
+        ///
+        /// # Errors
+        ///
+        /// Infallible on this backend.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.register(fd, token, interest)
+        }
+
+        /// Stops watching `fd`.
+        pub fn deregister(&self, fd: RawFd) {
+            self.table.lock().expect("poller table").remove(&fd);
+        }
+
+        /// Blocks until readiness or `timeout`, appending into `out`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `poll` failures other than `EINTR`.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let mut fds: Vec<PollFd> = {
+                let table = self.table.lock().expect("poller table");
+                table
+                    .iter()
+                    .map(|(&fd, &(_, interest))| PollFd {
+                        fd,
+                        events: if interest.read { POLLIN } else { 0 }
+                            | if interest.write { POLLOUT } else { 0 },
+                        revents: 0,
+                    })
+                    .collect()
+            };
+            let timeout_ms = timeout
+                .map(|d| d.as_millis().min(i32::MAX as u128) as i32)
+                .unwrap_or(-1);
+            // SAFETY: `fds` is a valid pollfd array of the stated length.
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len(), timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            let table = self.table.lock().expect("poller table");
+            for pfd in fds.iter().filter(|p| p.revents != 0) {
+                if let Some(&(token, _)) = table.get(&pfd.fd) {
+                    out.push(Event {
+                        token,
+                        readable: pfd.revents & (POLLIN | POLLERR | POLLHUP) != 0,
+                        writable: pfd.revents & (POLLOUT | POLLERR | POLLHUP) != 0,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+
+    /// A self-pipe waker (see the epoll backend for the contract).
+    pub struct Waker {
+        read_fd: i32,
+        write_fd: i32,
+        owned: bool,
+    }
+
+    impl Waker {
+        /// A fresh waker registered under `token`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `pipe` failures.
+        pub fn new(poller: &Poller, token: u64) -> io::Result<Waker> {
+            let mut fds = [0i32; 2];
+            // SAFETY: `fds` is valid for two descriptors.
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: both fds were just created by pipe().
+            unsafe {
+                fcntl(fds[0], F_SETFL, O_NONBLOCK);
+                fcntl(fds[1], F_SETFL, O_NONBLOCK);
+            }
+            poller.register(fds[0], token, Interest::READ)?;
+            Ok(Waker {
+                read_fd: fds[0],
+                write_fd: fds[1],
+                owned: true,
+            })
+        }
+
+        /// A cheap handle sharing the same pipe.
+        pub fn handle(&self) -> Waker {
+            Waker {
+                read_fd: self.read_fd,
+                write_fd: self.write_fd,
+                owned: false,
+            }
+        }
+
+        /// The fd a signal handler should write to.
+        pub fn raw_fd(&self) -> RawFd {
+            self.write_fd
+        }
+
+        /// Interrupts the poller; never blocks (nonblocking pipe).
+        pub fn wake(&self) {
+            let one = [1u8];
+            // SAFETY: write_fd is a valid nonblocking pipe end.
+            let _ = unsafe { write(self.write_fd, one.as_ptr(), 1) };
+        }
+
+        /// Clears pending wakes.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            // SAFETY: read_fd is a valid nonblocking pipe end.
+            while unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) } > 0 {}
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            if self.owned {
+                // SAFETY: both owned fds are valid until this point.
+                unsafe {
+                    close(self.read_fd);
+                    close(self.write_fd);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::{Event, Interest};
+    use std::io;
+    use std::time::Duration;
+
+    /// Stub: the event loop requires a unix readiness API.
+    pub struct Poller;
+
+    impl Poller {
+        /// Always fails on non-unix platforms.
+        ///
+        /// # Errors
+        ///
+        /// Always `Unsupported`.
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "the fdip-serve event loop requires a unix platform (epoll or poll)",
+            ))
+        }
+
+        /// Unreachable (construction fails).
+        ///
+        /// # Errors
+        ///
+        /// Unreachable.
+        pub fn register(&self, _fd: i32, _token: u64, _interest: Interest) -> io::Result<()> {
+            unreachable!("poller cannot be constructed on this platform")
+        }
+
+        /// Unreachable (construction fails).
+        ///
+        /// # Errors
+        ///
+        /// Unreachable.
+        pub fn modify(&self, _fd: i32, _token: u64, _interest: Interest) -> io::Result<()> {
+            unreachable!("poller cannot be constructed on this platform")
+        }
+
+        /// Unreachable (construction fails).
+        pub fn deregister(&self, _fd: i32) {}
+
+        /// Unreachable (construction fails).
+        ///
+        /// # Errors
+        ///
+        /// Unreachable.
+        pub fn wait(&self, _out: &mut Vec<Event>, _timeout: Option<Duration>) -> io::Result<()> {
+            unreachable!("poller cannot be constructed on this platform")
+        }
+    }
+
+    /// Stub waker for the stub poller.
+    pub struct Waker;
+
+    impl Waker {
+        /// Unreachable (the poller cannot be constructed).
+        ///
+        /// # Errors
+        ///
+        /// Unreachable.
+        pub fn new(_poller: &Poller, _token: u64) -> io::Result<Waker> {
+            unreachable!("poller cannot be constructed on this platform")
+        }
+
+        /// Unreachable.
+        pub fn handle(&self) -> Waker {
+            Waker
+        }
+
+        /// Unreachable.
+        pub fn raw_fd(&self) -> i32 {
+            -1
+        }
+
+        /// Unreachable.
+        pub fn wake(&self) {}
+
+        /// Unreachable.
+        pub fn drain(&self) {}
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn reports_read_readiness_on_a_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poller
+            .register(server_side.as_raw_fd(), 7, Interest::READ)
+            .unwrap();
+
+        // Nothing to read yet: a short wait times out empty.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != 7 || !e.readable));
+
+        client.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token == 7).expect("event");
+        assert!(ev.readable);
+
+        let mut buf = [0u8; 4];
+        (&server_side).read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn write_interest_and_modify_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        // An idle socket with write interest is immediately writable.
+        poller
+            .register(server_side.as_raw_fd(), 3, Interest::WRITE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.writable));
+
+        // Dropping interest silences it.
+        poller
+            .modify(server_side.as_raw_fd(), 3, Interest::NONE)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != 3));
+        poller.deregister(server_side.as_raw_fd());
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait_across_threads() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = Waker::new(&poller, 99).unwrap();
+        let handle = waker.handle();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            handle.wake();
+        });
+        let mut events = Vec::new();
+        let start = std::time::Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(events.iter().any(|e| e.token == 99 && e.readable));
+        waker.drain();
+        t.join().unwrap();
+    }
+}

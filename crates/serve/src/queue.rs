@@ -1,8 +1,10 @@
-//! A bounded MPMC queue on `Mutex` + `Condvar`: the server's backpressure
-//! point.
+//! A bounded MPMC queue on `Mutex` + `Condvar`: the hand-off between the
+//! event loop and the compute workers.
 //!
-//! The accept loop [`try_push`](BoundedQueue::try_push)es connections and
-//! sheds load (HTTP 503) when the queue is full; worker threads block in
+//! The loop [`try_push`](BoundedQueue::try_push)es dispatched jobs —
+//! never more than one per free worker seat, so the push cannot hit the
+//! bound in normal operation (admission-level shedding happens earlier,
+//! in the scheduler) — and worker threads block in
 //! [`pop`](BoundedQueue::pop). [`close`](BoundedQueue::close) starts a
 //! graceful drain: pushes stop being accepted, pops keep returning queued
 //! items until the queue is empty, then return `None` so workers exit.

@@ -1,0 +1,502 @@
+//! Admission control for simulation requests: per-tenant fair queuing,
+//! token-bucket rate limiting, and identical-request coalescing.
+//!
+//! The event loop owns one [`Scheduler`] and feeds it every parsed
+//! `POST /v1/run` / `POST /v1/compare` request. Admission applies three
+//! policies in order:
+//!
+//! 1. **Rate limiting** — each tenant (the `x-fdip-tenant` header, or
+//!    `default`) owns a token bucket refilled at `tenant_rps` tokens per
+//!    second with a one-second burst. An empty bucket means `429`;
+//!    identical-request coalescing cannot bypass a tenant's budget
+//!    because the bucket is charged first.
+//! 2. **Coalescing** — a request byte-identical to one already queued or
+//!    in flight attaches to it as a *follower*: no queue slot, no
+//!    simulation, one shared response fanned out on completion. Sound
+//!    because the response is a pure function of the request bytes (the
+//!    same content-keyed identity the harness cell cache uses).
+//! 3. **Capacity** — at most `capacity` leader requests may wait across
+//!    all tenants; beyond that the request is shed (`503`). Followers
+//!    are bounded by the server's connection cap, not the queue.
+//!
+//! Dispatch is round-robin across tenants with pending work, so one
+//! tenant flooding the queue cannot starve another: each dispatch takes
+//! the front request of the next tenant in rotation.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use crate::http::Request;
+
+/// The identity two requests must share to coalesce: exact target and
+/// body bytes. Exactness (rather than a hash) makes collisions — and
+/// thus wrong shared answers — structurally impossible.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CoalesceKey {
+    /// Request path.
+    pub path: String,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+/// One party waiting for a response: a connection plus the instant its
+/// request clock started (accept time for a connection's first request),
+/// which is where client-observed latency is measured from.
+#[derive(Debug, Clone, Copy)]
+pub struct Requester {
+    /// Connection token.
+    pub conn: u64,
+    /// Request clock origin (includes queue wait by construction).
+    pub started: Instant,
+    /// Whether this requester supplied its own `x-fdip-deadline-ms`
+    /// (picks 408 over 429 when the deadline expires).
+    pub client_deadline: bool,
+}
+
+/// One admitted simulation request waiting for (or holding) a compute
+/// seat.
+#[derive(Debug)]
+pub struct Job {
+    /// Unique id, used to resolve completions.
+    pub id: u64,
+    /// The tenant that owns the queue slot.
+    pub tenant: String,
+    /// The parsed request to route.
+    pub req: Request,
+    /// The leader requester.
+    pub leader: Requester,
+    /// Absolute deadline; expiring in the queue answers 408/429.
+    pub deadline: Instant,
+    /// Coalescing identity (`None` for uncoalescable requests).
+    pub key: Option<CoalesceKey>,
+}
+
+/// The admission verdict for one request.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued as a new leader job.
+    Enqueued,
+    /// Attached as a follower to the job with this id.
+    Coalesced(u64),
+    /// The tenant's token bucket is empty: respond 429.
+    RateLimited,
+    /// The queue is at capacity: respond 503.
+    Shed,
+}
+
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// See the module docs.
+pub struct Scheduler {
+    capacity: usize,
+    tenant_rps: u64,
+    queues: HashMap<String, VecDeque<Job>>,
+    rotation: VecDeque<String>,
+    pending: usize,
+    in_flight: usize,
+    pending_keys: HashMap<CoalesceKey, u64>,
+    inflight_keys: HashMap<CoalesceKey, u64>,
+    followers: HashMap<u64, Vec<Requester>>,
+    buckets: HashMap<String, Bucket>,
+    next_id: u64,
+}
+
+impl Scheduler {
+    /// A scheduler bounding pending leaders at `capacity` (min 1) and
+    /// each tenant at `tenant_rps` requests/second (0 = unlimited).
+    pub fn new(capacity: usize, tenant_rps: u64) -> Scheduler {
+        Scheduler {
+            capacity: capacity.max(1),
+            tenant_rps,
+            queues: HashMap::new(),
+            rotation: VecDeque::new(),
+            pending: 0,
+            in_flight: 0,
+            pending_keys: HashMap::new(),
+            inflight_keys: HashMap::new(),
+            followers: HashMap::new(),
+            buckets: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Admits one request for `tenant`: charges the rate bucket, then
+    /// tries to coalesce, then takes a queue slot.
+    pub fn admit(
+        &mut self,
+        tenant: &str,
+        req: Request,
+        leader: Requester,
+        deadline: Instant,
+        key: Option<CoalesceKey>,
+        now: Instant,
+    ) -> Admission {
+        if !self.charge_bucket(tenant, now) {
+            return Admission::RateLimited;
+        }
+        if let Some(k) = &key {
+            let target = self
+                .pending_keys
+                .get(k)
+                .or_else(|| self.inflight_keys.get(k))
+                .copied();
+            if let Some(job_id) = target {
+                self.followers.entry(job_id).or_default().push(leader);
+                return Admission::Coalesced(job_id);
+            }
+        }
+        if self.pending >= self.capacity {
+            return Admission::Shed;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        if let Some(k) = &key {
+            self.pending_keys.insert(k.clone(), id);
+        }
+        let job = Job {
+            id,
+            tenant: tenant.to_string(),
+            req,
+            leader,
+            deadline,
+            key,
+        };
+        let queue = self.queues.entry(tenant.to_string()).or_default();
+        if queue.is_empty() {
+            self.rotation.push_back(tenant.to_string());
+        }
+        queue.push_back(job);
+        self.pending += 1;
+        Admission::Enqueued
+    }
+
+    /// True if `tenant` has a token (and spends it). Buckets refill at
+    /// `tenant_rps`/second up to a one-second burst.
+    fn charge_bucket(&mut self, tenant: &str, now: Instant) -> bool {
+        if self.tenant_rps == 0 {
+            return true;
+        }
+        let rate = self.tenant_rps as f64;
+        let bucket = self.buckets.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: rate,
+            refilled: now,
+        });
+        let dt = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + dt * rate).min(rate);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The next job in tenant rotation, or `None` when nothing is
+    /// pending. The job's coalescing key moves to the in-flight index so
+    /// late identical requests still attach.
+    pub fn next_job(&mut self) -> Option<Job> {
+        let tenant = self.rotation.pop_front()?;
+        let queue = self.queues.get_mut(&tenant).expect("rotation tenant");
+        let job = queue.pop_front().expect("rotation implies pending work");
+        if queue.is_empty() {
+            self.queues.remove(&tenant);
+        } else {
+            self.rotation.push_back(tenant);
+        }
+        self.pending -= 1;
+        self.in_flight += 1;
+        if let Some(k) = &job.key {
+            self.pending_keys.remove(k);
+            self.inflight_keys.insert(k.clone(), job.id);
+        }
+        Some(job)
+    }
+
+    /// Resolves a dispatched job: clears its in-flight coalescing entry
+    /// and returns the followers to fan the response out to.
+    pub fn complete(&mut self, job: &Job) -> Vec<Requester> {
+        self.in_flight -= 1;
+        if let Some(k) = &job.key {
+            self.inflight_keys.remove(k);
+        }
+        self.followers.remove(&job.id).unwrap_or_default()
+    }
+
+    /// Removes and returns every queued job whose deadline has passed,
+    /// paired with its followers (they expire with their leader).
+    pub fn take_expired(&mut self, now: Instant) -> Vec<(Job, Vec<Requester>)> {
+        let mut expired = Vec::new();
+        for queue in self.queues.values_mut() {
+            let mut keep = VecDeque::with_capacity(queue.len());
+            while let Some(job) = queue.pop_front() {
+                if job.deadline <= now {
+                    expired.push(job);
+                } else {
+                    keep.push_back(job);
+                }
+            }
+            *queue = keep;
+        }
+        if !expired.is_empty() {
+            self.pending -= expired.len();
+            self.queues.retain(|_, q| !q.is_empty());
+            self.rotation.retain(|t| self.queues.contains_key(t));
+        }
+        expired
+            .into_iter()
+            .map(|job| {
+                if let Some(k) = &job.key {
+                    self.pending_keys.remove(k);
+                }
+                let followers = self.followers.remove(&job.id).unwrap_or_default();
+                (job, followers)
+            })
+            .collect()
+    }
+
+    /// Leaders currently queued (excludes in-flight).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Jobs dispatched to compute and not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// True when no work is queued or in flight (drain is complete).
+    pub fn is_idle(&self) -> bool {
+        self.pending == 0 && self.in_flight == 0
+    }
+
+    /// Queue depth per tenant, sorted by tenant name (the
+    /// `fdip_serve_tenant_queue_depth` gauge family).
+    pub fn tenant_depths(&self) -> Vec<(String, u64)> {
+        let mut depths: Vec<(String, u64)> = self
+            .queues
+            .iter()
+            .map(|(t, q)| (t.clone(), q.len() as u64))
+            .collect();
+        depths.sort();
+        depths
+    }
+
+    /// Drops rate buckets idle past `idle` so tenant cardinality cannot
+    /// grow without bound.
+    pub fn prune_buckets(&mut self, now: Instant, idle: Duration) {
+        self.buckets
+            .retain(|_, b| now.saturating_duration_since(b.refilled) < idle);
+    }
+}
+
+/// Validates an `x-fdip-tenant` header value: 1..=64 chars drawn from
+/// `[A-Za-z0-9._-]`. Keeps the Prometheus label set injection-free and
+/// its cardinality sane.
+pub fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(path: &str, body: &[u8]) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    fn requester(conn: u64, now: Instant) -> Requester {
+        Requester {
+            conn,
+            started: now,
+            client_deadline: false,
+        }
+    }
+
+    fn key(path: &str, body: &[u8]) -> Option<CoalesceKey> {
+        Some(CoalesceKey {
+            path: path.to_string(),
+            body: body.to_vec(),
+        })
+    }
+
+    fn admit_simple(s: &mut Scheduler, tenant: &str, conn: u64, body: &[u8]) -> Admission {
+        let now = Instant::now();
+        let deadline = now + Duration::from_secs(60);
+        s.admit(
+            tenant,
+            req("/v1/run", body),
+            requester(conn, now),
+            deadline,
+            key("/v1/run", body),
+            now,
+        )
+    }
+
+    #[test]
+    fn round_robin_across_tenants_prevents_starvation() {
+        let mut s = Scheduler::new(16, 0);
+        for i in 0..4u64 {
+            admit_simple(&mut s, "hog", i, format!("hog-{i}").as_bytes());
+        }
+        for i in 0..2u64 {
+            admit_simple(&mut s, "mouse", 100 + i, format!("mouse-{i}").as_bytes());
+        }
+        let order: Vec<String> = std::iter::from_fn(|| s.next_job().map(|j| j.tenant)).collect();
+        assert_eq!(order, ["hog", "mouse", "hog", "mouse", "hog", "hog"]);
+        assert!(s.pending() == 0 && s.in_flight() == 6);
+    }
+
+    #[test]
+    fn capacity_sheds_leaders_but_not_followers() {
+        let mut s = Scheduler::new(2, 0);
+        assert_eq!(admit_simple(&mut s, "t", 1, b"a"), Admission::Enqueued);
+        assert_eq!(admit_simple(&mut s, "t", 2, b"b"), Admission::Enqueued);
+        assert_eq!(admit_simple(&mut s, "t", 3, b"c"), Admission::Shed);
+        // An identical request coalesces even at capacity.
+        assert!(matches!(
+            admit_simple(&mut s, "t", 4, b"a"),
+            Admission::Coalesced(_)
+        ));
+        assert_eq!(s.pending(), 2);
+    }
+
+    #[test]
+    fn coalescing_attaches_to_queued_and_inflight_jobs() {
+        let mut s = Scheduler::new(8, 0);
+        assert_eq!(admit_simple(&mut s, "t", 1, b"x"), Admission::Enqueued);
+        // Attach while queued.
+        assert!(matches!(
+            admit_simple(&mut s, "u", 2, b"x"),
+            Admission::Coalesced(_)
+        ));
+        let job = s.next_job().unwrap();
+        // Attach while in flight.
+        assert!(matches!(
+            admit_simple(&mut s, "v", 3, b"x"),
+            Admission::Coalesced(_)
+        ));
+        let followers = s.complete(&job);
+        let conns: Vec<u64> = followers.iter().map(|f| f.conn).collect();
+        assert_eq!(conns, [2, 3]);
+        // After completion the key is free again: no stale attachment.
+        assert_eq!(admit_simple(&mut s, "t", 4, b"x"), Admission::Enqueued);
+        assert!(s.is_idle() || s.pending() == 1);
+    }
+
+    #[test]
+    fn rate_limit_charges_before_coalescing() {
+        let mut s = Scheduler::new(8, 2);
+        assert_eq!(admit_simple(&mut s, "t", 1, b"x"), Admission::Enqueued);
+        // Second token: coalesces fine.
+        assert!(matches!(
+            admit_simple(&mut s, "t", 2, b"x"),
+            Admission::Coalesced(_)
+        ));
+        // Bucket empty: even an identical request is limited.
+        assert_eq!(admit_simple(&mut s, "t", 3, b"x"), Admission::RateLimited);
+        // A different tenant has its own bucket.
+        assert!(matches!(
+            admit_simple(&mut s, "u", 4, b"x"),
+            Admission::Coalesced(_)
+        ));
+    }
+
+    #[test]
+    fn rate_bucket_refills_over_time() {
+        let mut s = Scheduler::new(32, 10);
+        let t0 = Instant::now();
+        let mk = |i: u64| {
+            (
+                req("/v1/run", format!("{i}").as_bytes()),
+                requester(i, t0),
+                t0 + Duration::from_secs(60),
+            )
+        };
+        for i in 0..10 {
+            let (r, who, dl) = mk(i);
+            assert_eq!(s.admit("t", r, who, dl, None, t0), Admission::Enqueued);
+        }
+        let (r, who, dl) = mk(10);
+        assert_eq!(s.admit("t", r, who, dl, None, t0), Admission::RateLimited);
+        // 200ms later two tokens have refilled.
+        let later = t0 + Duration::from_millis(200);
+        let (r, who, dl) = mk(11);
+        assert_eq!(s.admit("t", r, who, dl, None, later), Admission::Enqueued);
+        let (r, who, dl) = mk(12);
+        assert_eq!(s.admit("t", r, who, dl, None, later), Admission::Enqueued);
+        let (r, who, dl) = mk(13);
+        assert_eq!(
+            s.admit("t", r, who, dl, None, later),
+            Admission::RateLimited
+        );
+    }
+
+    #[test]
+    fn expiry_takes_followers_with_the_leader() {
+        let mut s = Scheduler::new(8, 0);
+        let now = Instant::now();
+        let soon = now + Duration::from_millis(10);
+        s.admit(
+            "t",
+            req("/v1/run", b"x"),
+            requester(1, now),
+            soon,
+            key("/v1/run", b"x"),
+            now,
+        );
+        assert!(matches!(
+            admit_simple(&mut s, "t", 2, b"x"),
+            Admission::Coalesced(_)
+        ));
+        let expired = s.take_expired(now + Duration::from_millis(20));
+        assert_eq!(expired.len(), 1);
+        let (job, followers) = &expired[0];
+        assert_eq!(job.leader.conn, 1);
+        assert_eq!(followers.len(), 1);
+        assert_eq!(followers[0].conn, 2);
+        assert_eq!(s.pending(), 0);
+        // The key is released: a fresh identical request enqueues.
+        assert_eq!(admit_simple(&mut s, "t", 3, b"x"), Admission::Enqueued);
+    }
+
+    #[test]
+    fn tenant_depths_snapshot_and_bucket_pruning() {
+        let mut s = Scheduler::new(16, 5);
+        admit_simple(&mut s, "b", 1, b"1");
+        admit_simple(&mut s, "a", 2, b"2");
+        admit_simple(&mut s, "a", 3, b"3");
+        assert_eq!(
+            s.tenant_depths(),
+            vec![("a".to_string(), 2), ("b".to_string(), 1)]
+        );
+        assert_eq!(s.buckets.len(), 2);
+        s.prune_buckets(
+            Instant::now() + Duration::from_secs(120),
+            Duration::from_secs(60),
+        );
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn tenant_name_validation() {
+        assert!(valid_tenant("default"));
+        assert!(valid_tenant("team-a.prod_7"));
+        assert!(!valid_tenant(""));
+        assert!(!valid_tenant("has space"));
+        assert!(!valid_tenant("quote\"brk"));
+        assert!(!valid_tenant(&"x".repeat(65)));
+    }
+}

@@ -8,6 +8,7 @@
 //! traces and finished cells instead of recomputing them.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use fdip::{spec, FrontendConfig};
 use fdip_sim::experiments::{self, RESULTS_SCHEMA_VERSION};
@@ -18,7 +19,68 @@ use fdip_types::{Json, ToJson};
 
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
+use crate::sched::{valid_tenant, CoalesceKey};
 use crate::ServeConfig;
+
+/// The tenant bucket for requests without an `x-fdip-tenant` header.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// True for the routes whose handlers run simulations — the ones that go
+/// through the scheduler instead of being answered on the event loop.
+pub fn is_sim_route(req: &Request) -> bool {
+    req.method == "POST" && (req.path == "/v1/run" || req.path == "/v1/compare")
+}
+
+/// The coalescing identity of a simulation request: exact path and body
+/// bytes. Headers are deliberately excluded — deadline and tenant shape
+/// *admission*, not the computed document, so byte-identical bodies may
+/// share one simulation.
+pub fn sim_coalesce_key(req: &Request) -> Option<CoalesceKey> {
+    is_sim_route(req).then(|| CoalesceKey {
+        path: req.path.clone(),
+        body: req.body.clone(),
+    })
+}
+
+/// The request's tenant: a validated `x-fdip-tenant` header, or
+/// [`DEFAULT_TENANT`].
+///
+/// # Errors
+///
+/// 400 when the header is present but not a valid tenant name (empty,
+/// over 64 bytes, or outside `[A-Za-z0-9._-]`).
+pub fn tenant_of(req: &Request) -> Result<String, ApiError> {
+    match req.header("x-fdip-tenant") {
+        None => Ok(DEFAULT_TENANT.to_string()),
+        Some(raw) if valid_tenant(raw) => Ok(raw.to_string()),
+        Some(raw) => Err(ApiError::bad(format!(
+            "invalid x-fdip-tenant {raw:?}: 1..=64 chars of [A-Za-z0-9._-]"
+        ))),
+    }
+}
+
+/// The client's requested deadline budget from `x-fdip-deadline-ms`.
+///
+/// Strict by design (this is the malformed-deadline bugfix): the header
+/// must be a positive decimal integer of milliseconds. `"500ms"`,
+/// negatives, zero, and overflow are all 400s — previously they were
+/// silently ignored and the request ran with the server default, so a
+/// client asking for a tight deadline could wait 30s instead.
+///
+/// # Errors
+///
+/// 400 with a structured message naming the header and the accepted form.
+pub fn parse_deadline_ms(req: &Request) -> Result<Option<Duration>, ApiError> {
+    match req.header("x-fdip-deadline-ms") {
+        None => Ok(None),
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Ok(Some(Duration::from_millis(ms))),
+            _ => Err(ApiError::bad(format!(
+                "invalid x-fdip-deadline-ms {raw:?}: must be a positive integer of milliseconds"
+            ))),
+        },
+    }
+}
 
 /// An endpoint failure: status code plus a human-readable message that
 /// becomes the `{"error": …}` body.
@@ -808,6 +870,58 @@ mod tests {
         );
         assert!(rows[0].get("speedup").is_none());
         assert!(rows[1].get("speedup").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn deadline_header_parses_strictly() {
+        let with = |value: &str| Request {
+            method: "POST".to_string(),
+            path: "/v1/run".to_string(),
+            headers: vec![("x-fdip-deadline-ms".to_string(), value.to_string())],
+            body: Vec::new(),
+        };
+        assert_eq!(parse_deadline_ms(&post("/v1/run", "")).unwrap(), None);
+        assert_eq!(
+            parse_deadline_ms(&with("250")).unwrap(),
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(
+            parse_deadline_ms(&with(" 250 ")).unwrap(),
+            Some(Duration::from_millis(250))
+        );
+        // The bugfix: every malformed shape is a 400, never silence.
+        for bad in ["500ms", "-1", "0", "1e3", "", "18446744073709551616"] {
+            let err = parse_deadline_ms(&with(bad)).unwrap_err();
+            assert_eq!(err.status, 400, "{bad:?}");
+            assert!(err.message.contains("x-fdip-deadline-ms"), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn tenant_header_validates_or_defaults() {
+        let with = |value: &str| Request {
+            method: "POST".to_string(),
+            path: "/v1/run".to_string(),
+            headers: vec![("x-fdip-tenant".to_string(), value.to_string())],
+            body: Vec::new(),
+        };
+        assert_eq!(tenant_of(&post("/v1/run", "")).unwrap(), DEFAULT_TENANT);
+        assert_eq!(tenant_of(&with("team-a")).unwrap(), "team-a");
+        for bad in ["", "has space", "quote\""] {
+            assert_eq!(tenant_of(&with(bad)).unwrap_err().status, 400, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn coalesce_keys_cover_sim_routes_only() {
+        let a = post("/v1/run", r#"{"workload": {"profile": "microloop"}}"#);
+        let b = post("/v1/run", r#"{"workload": {"profile": "microloop"}}"#);
+        let c = post("/v1/run", r#"{"workload": {"profile": "jumpy"}}"#);
+        assert!(is_sim_route(&a));
+        assert_eq!(sim_coalesce_key(&a), sim_coalesce_key(&b));
+        assert_ne!(sim_coalesce_key(&a), sim_coalesce_key(&c));
+        assert!(sim_coalesce_key(&get("/metrics")).is_none());
+        assert!(!is_sim_route(&get("/healthz")));
     }
 
     #[test]

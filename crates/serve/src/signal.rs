@@ -6,9 +6,10 @@
 //! stores to a static `AtomicBool` — one of the few operations that is
 //! async-signal-safe — and the server's accept loop polls the flag.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 
 static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+static WAKEUP_FD: AtomicI32 = AtomicI32::new(-1);
 
 /// Whether a SIGINT/SIGTERM has arrived since [`install`].
 pub fn shutdown_requested() -> bool {
@@ -19,6 +20,20 @@ pub fn shutdown_requested() -> bool {
 /// in-process shutdown handle).
 pub fn request_shutdown() {
     SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+    wake();
+}
+
+/// Registers a file descriptor (an eventfd or pipe write end) that the
+/// signal handler pokes after tripping the flag, so a blocked event loop
+/// notices shutdown immediately instead of on its next poll timeout.
+/// Pass -1 to clear. `write(2)` is async-signal-safe, so this is sound
+/// from the handler.
+pub fn set_wakeup_fd(fd: i32) {
+    WAKEUP_FD.store(fd, Ordering::Relaxed);
+}
+
+fn wake() {
+    imp::wake_fd(WAKEUP_FD.load(Ordering::Relaxed));
 }
 
 #[cfg(unix)]
@@ -29,10 +44,23 @@ mod imp {
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
     }
 
     extern "C" fn on_signal(_signum: i32) {
         super::request_shutdown();
+    }
+
+    /// Writes an 8-byte wake token to `fd` (eventfd semantics; a pipe
+    /// just sees 8 bytes). No-op for -1. Async-signal-safe.
+    pub fn wake_fd(fd: i32) {
+        if fd >= 0 {
+            let one = 1u64.to_ne_bytes();
+            // SAFETY: write(2) on an open fd; failure (full pipe, closed
+            // fd) only means the wake is lost and the poll timeout
+            // catches the flag instead.
+            let _ = unsafe { write(fd, one.as_ptr(), one.len()) };
+        }
     }
 
     /// Registers the handler for SIGINT and SIGTERM.
@@ -52,6 +80,9 @@ mod imp {
     /// No signal delivery on this platform; shutdown comes only from
     /// [`super::request_shutdown`].
     pub fn install() {}
+
+    /// No wakeup fds without unix I/O; the poll timeout notices the flag.
+    pub fn wake_fd(_fd: i32) {}
 }
 
 /// Registers SIGINT/SIGTERM handlers that trip the shutdown flag.

@@ -5,125 +5,16 @@
 //! thread; the process-global harness is shared across tests, which is
 //! exactly the production arrangement.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+mod common;
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
 use std::time::Duration;
 
-use fdip_serve::metrics::Metrics;
-use fdip_serve::{ServeConfig, Server, ShutdownHandle};
-
-struct TestServer {
-    addr: SocketAddr,
-    handle: ShutdownHandle,
-    metrics: Arc<Metrics>,
-    thread: JoinHandle<std::io::Result<()>>,
-}
-
-impl TestServer {
-    fn start(mut config: ServeConfig) -> TestServer {
-        config.addr = "127.0.0.1:0".to_string();
-        let server = Server::bind(config).expect("bind");
-        let addr = server.local_addr().expect("local_addr");
-        let handle = server.shutdown_handle();
-        let metrics = server.metrics();
-        let thread = std::thread::spawn(move || server.run());
-        TestServer {
-            addr,
-            handle,
-            metrics,
-            thread,
-        }
-    }
-
-    fn stop(self) -> Arc<Metrics> {
-        self.handle.shutdown();
-        let result = self.thread.join().expect("server thread panicked");
-        assert!(result.is_ok(), "server run() errored: {result:?}");
-        self.metrics
-    }
-}
-
-/// Reads one HTTP/1.1 response (status line, headers, content-length body)
-/// off `reader`.
-fn read_response<R: Read>(reader: &mut BufReader<R>) -> (u16, Vec<(String, String)>, String) {
-    let mut line = String::new();
-    reader.read_line(&mut line).expect("status line");
-    let status: u16 = line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("bad status line: {line:?}"));
-    let mut headers = Vec::new();
-    let mut content_length = 0usize;
-    loop {
-        let mut h = String::new();
-        reader.read_line(&mut h).expect("header line");
-        let h = h.trim_end();
-        if h.is_empty() {
-            break;
-        }
-        let (name, value) = h.split_once(':').expect("header colon");
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim().to_string();
-        if name == "content-length" {
-            content_length = value.parse().expect("content-length value");
-        }
-        headers.push((name, value));
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).expect("body");
-    (
-        status,
-        headers,
-        String::from_utf8(body).expect("utf-8 body"),
-    )
-}
-
-/// One-shot request on a fresh connection (Connection: close).
-fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
-    request_with_headers(addr, method, path, &[], body)
-}
-
-fn request_with_headers(
-    addr: SocketAddr,
-    method: &str,
-    path: &str,
-    extra: &[(&str, &str)],
-    body: &str,
-) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .unwrap();
-    let mut req = format!("{method} {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\n");
-    for (name, value) in extra {
-        req.push_str(&format!("{name}: {value}\r\n"));
-    }
-    req.push_str(&format!("content-length: {}\r\n\r\n{body}", body.len()));
-    stream.write_all(req.as_bytes()).expect("write request");
-    let mut reader = BufReader::new(stream);
-    let (status, _headers, body) = read_response(&mut reader);
-    (status, body)
-}
-
-/// Opens a keep-alive connection, sends one request, and returns the
-/// stream once the response has been read — the serving worker is now
-/// parked on this connection waiting for the next request.
-fn hold_worker(addr: SocketAddr) -> TcpStream {
-    let stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .unwrap();
-    let mut w = stream.try_clone().unwrap();
-    w.write_all(b"GET /healthz HTTP/1.1\r\nhost: test\r\ncontent-length: 0\r\n\r\n")
-        .expect("write");
-    let mut reader = BufReader::new(stream);
-    let (status, _h, _b) = read_response(&mut reader);
-    assert_eq!(status, 200);
-    reader.into_inner()
-}
+use common::{
+    read_response, request, request_with_headers, run_body, spawn_run, FaultGuard, TestServer,
+};
+use fdip_serve::ServeConfig;
 
 #[test]
 fn healthz_run_and_metrics_over_tcp() {
@@ -185,6 +76,9 @@ fn healthz_run_and_metrics_over_tcp() {
 
 #[test]
 fn full_queue_sheds_with_503_and_retry_after() {
+    // Seed 900 holds the single compute seat for 1.5s; seed 901 sits in
+    // the queue's one slot behind it.
+    let _fault = FaultGuard::install("slow@microloop~s900/run:1500");
     let t = TestServer::start(ServeConfig {
         threads: 1,
         queue_depth: 1,
@@ -192,19 +86,15 @@ fn full_queue_sheds_with_503_and_retry_after() {
         ..ServeConfig::default()
     });
 
-    // Occupy the only worker with a parked keep-alive connection, then
-    // fill the queue's single slot.
-    let held = hold_worker(t.addr);
-    let queued = TcpStream::connect(t.addr).expect("connect queued");
-    std::thread::sleep(Duration::from_millis(300)); // let the accept loop enqueue it
+    let inflight = spawn_run(t.addr, 900);
+    std::thread::sleep(Duration::from_millis(300)); // dispatched to the worker
+    let queued = spawn_run(t.addr, 901);
+    std::thread::sleep(Duration::from_millis(300)); // admitted, queue now full
 
-    // The next connection finds the queue full and is shed inline by the
-    // accept loop — before any request bytes are even sent.
-    let shed = TcpStream::connect(t.addr).expect("connect shed");
-    shed.set_read_timeout(Some(Duration::from_secs(10)))
-        .unwrap();
-    let mut reader = BufReader::new(shed);
-    let (status, headers, body) = read_response(&mut reader);
+    // A third distinct simulation finds the queue full and is shed at
+    // admission — the event loop answers 503 without touching a worker.
+    let (status, headers, body) =
+        request_with_headers(t.addr, "POST", "/v1/run", &[], &run_body(902));
     assert_eq!(status, 503, "{body}");
     assert!(
         headers.iter().any(|(n, v)| n == "retry-after" && v == "1"),
@@ -212,19 +102,26 @@ fn full_queue_sheds_with_503_and_retry_after() {
     );
     assert!(body.contains("capacity"), "{body}");
 
-    drop(held);
-    drop(queued);
-    let metrics = t.stop();
+    // Shedding one request never cancels admitted work.
+    let (status, body) = inflight.join().expect("inflight thread");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = queued.join().expect("queued thread");
+    assert_eq!(status, 200, "{body}");
 
-    let shed_count = metrics
-        .shed_total
-        .load(std::sync::atomic::Ordering::Relaxed);
-    assert_eq!(shed_count, 1);
+    let metrics = t.stop();
+    assert_eq!(
+        metrics
+            .shed_total
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
     assert_eq!(metrics.responses_for(503), 1);
+    assert_eq!(metrics.responses_for(200), 2);
 }
 
 #[test]
 fn queued_request_past_its_deadline_gets_408() {
+    let _fault = FaultGuard::install("slow@microloop~s910/run:1200");
     let t = TestServer::start(ServeConfig {
         threads: 1,
         queue_depth: 4,
@@ -232,36 +129,36 @@ fn queued_request_past_its_deadline_gets_408() {
         ..ServeConfig::default()
     });
 
-    let held = hold_worker(t.addr);
+    let inflight = spawn_run(t.addr, 910);
+    std::thread::sleep(Duration::from_millis(300)); // occupies the only seat
 
-    // This request waits in the queue behind the held connection; its
-    // 1ms client deadline expires long before a worker reaches it.
-    let queued = TcpStream::connect(t.addr).expect("connect");
-    queued
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .unwrap();
-    let mut w = queued.try_clone().unwrap();
-    w.write_all(
-        b"GET /healthz HTTP/1.1\r\nhost: test\r\nx-fdip-deadline-ms: 1\r\ncontent-length: 0\r\n\r\n",
-    )
-    .expect("write");
-    std::thread::sleep(Duration::from_millis(200));
-
-    // Release the worker; it pops the queued connection and rejects the
-    // expired request without doing the work.
-    drop(held);
-    let mut reader = BufReader::new(queued);
-    let (status, headers, body) = read_response(&mut reader);
+    // This simulation waits in the queue behind the slow one; its 100ms
+    // client deadline expires long before the seat frees up, and the
+    // sweep rejects it from the queue without doing the work.
+    let started = std::time::Instant::now();
+    let (status, headers, body) = request_with_headers(
+        t.addr,
+        "POST",
+        "/v1/run",
+        &[("x-fdip-deadline-ms", "100")],
+        &run_body(911),
+    );
     assert_eq!(status, 408, "{body}");
     assert!(
         headers.iter().any(|(n, _)| n == "retry-after"),
         "{headers:?}"
     );
+    // The rejection must not have waited for the worker seat (the slow
+    // job still has ~600ms to run when the deadline hits).
+    assert!(
+        started.elapsed() < Duration::from_millis(800),
+        "expiry waited for the worker: {:?}",
+        started.elapsed()
+    );
 
-    // Close the keep-alive connection (both cloned halves) so the worker
-    // can exit promptly instead of waiting out its read timeout.
-    drop(reader);
-    drop(w);
+    let (status, body) = inflight.join().expect("inflight thread");
+    assert_eq!(status, 200, "{body}");
+
     let metrics = t.stop();
     assert!(
         metrics
@@ -269,10 +166,12 @@ fn queued_request_past_its_deadline_gets_408() {
             .load(std::sync::atomic::Ordering::Relaxed)
             >= 1
     );
+    assert_eq!(metrics.responses_for(408), 1);
 }
 
 #[test]
 fn shutdown_drains_queued_work_before_returning() {
+    let _fault = FaultGuard::install("slow@microloop~s920/run:800");
     let t = TestServer::start(ServeConfig {
         threads: 1,
         queue_depth: 4,
@@ -280,27 +179,40 @@ fn shutdown_drains_queued_work_before_returning() {
         ..ServeConfig::default()
     });
 
-    let held = hold_worker(t.addr);
+    let inflight = spawn_run(t.addr, 920);
+    std::thread::sleep(Duration::from_millis(250)); // occupies the only seat
 
-    // Queue a connection with a request already written.
+    // Queue a second simulation on a keep-alive connection (no
+    // `connection: close` from the client side).
     let queued = TcpStream::connect(t.addr).expect("connect");
     queued
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
+    let body = run_body(921);
     let mut w = queued.try_clone().unwrap();
-    w.write_all(b"GET /healthz HTTP/1.1\r\nhost: test\r\ncontent-length: 0\r\n\r\n")
-        .expect("write");
-    std::thread::sleep(Duration::from_millis(300)); // let the accept loop enqueue it
+    w.write_all(
+        format!(
+            "POST /v1/run HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .expect("write");
+    std::thread::sleep(Duration::from_millis(150)); // parsed and admitted
 
-    // Shutdown stops the accept loop but queued work still gets served.
+    // Shutdown stops accepting, but both the in-flight and the queued
+    // simulation still complete before run() returns.
     t.handle.shutdown();
-    std::thread::sleep(Duration::from_millis(100));
-    drop(held);
+
+    let (status, body) = inflight.join().expect("inflight thread");
+    assert_eq!(status, 200, "{body}");
 
     let mut reader = BufReader::new(queued);
     let (status, headers, body) = read_response(&mut reader);
     assert_eq!(status, 200, "{body}");
-    // Drain closes connections so workers can exit.
+    assert!(body.contains("\"ipc\""), "{body}");
+    // Drain forces connection close even on keep-alive clients so the
+    // loop can exit.
     assert!(
         headers
             .iter()
@@ -310,4 +222,5 @@ fn shutdown_drains_queued_work_before_returning() {
 
     let result = t.thread.join().expect("server thread panicked");
     assert!(result.is_ok(), "{result:?}");
+    assert_eq!(t.metrics.responses_for(200), 2);
 }
