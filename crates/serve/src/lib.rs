@@ -25,9 +25,10 @@
 //! fetch, the loop decouples protocol I/O from simulation so a slow
 //! client never stalls compute and a slow simulation never stalls I/O.
 //! Requests flow `accept → read/parse → admit (rate limit, coalesce,
-//! shed) → per-tenant fair queue → worker → write`, with GET routes
-//! answered inline by the loop so `/healthz` and `/metrics` stay
-//! responsive under full compute saturation.
+//! shed) → per-tenant fair queue → worker → write`, with `/healthz` and
+//! `/metrics` answered inline by the loop so they stay responsive under
+//! full compute saturation (`GET /v1/experiments` reads from disk and
+//! therefore rides the worker pool like the simulation routes).
 //!
 //! # Endpoints
 //!
@@ -52,8 +53,9 @@
 //! carries a deadline — `min(server timeout, client's x-fdip-deadline-ms
 //! header)` measured from accept — and requests that expire while queued
 //! are answered `408` (client-set deadline) or `429` (server default)
-//! without starting the simulation. A malformed deadline header is a
-//! `400`, never silently ignored.
+//! without starting the simulation; a coalesced follower expires on its
+//! *own* deadline, independent of the leader it shares a simulation
+//! with. A malformed deadline header is a `400`, never silently ignored.
 //!
 //! # Example
 //!

@@ -14,7 +14,12 @@
 //!    in flight attaches to it as a *follower*: no queue slot, no
 //!    simulation, one shared response fanned out on completion. Sound
 //!    because the response is a pure function of the request bytes (the
-//!    same content-keyed identity the harness cell cache uses).
+//!    same content-keyed identity the harness cell cache uses). What is
+//!    shared is the *computation*, never the deadline: each follower
+//!    keeps its own and is expired individually by
+//!    [`Scheduler::take_expired_followers`], so a tight
+//!    `x-fdip-deadline-ms` cannot be stretched by coalescing onto a
+//!    leader with a lazier budget.
 //! 3. **Capacity** — at most `capacity` leader requests may wait across
 //!    all tenants; beyond that the request is shed (`503`). Followers
 //!    are bounded by the server's connection cap, not the queue.
@@ -48,6 +53,10 @@ pub struct Requester {
     pub conn: u64,
     /// Request clock origin (includes queue wait by construction).
     pub started: Instant,
+    /// This requester's own absolute deadline. Coalescing shares the
+    /// computation, never the deadline: a follower expires on its own
+    /// clock even while the leader's job keeps running.
+    pub deadline: Instant,
     /// Whether this requester supplied its own `x-fdip-deadline-ms`
     /// (picks 408 over 429 when the deadline expires).
     pub client_deadline: bool,
@@ -258,6 +267,28 @@ impl Scheduler {
             .collect()
     }
 
+    /// Removes and returns every follower whose own deadline has
+    /// passed, including followers of in-flight jobs (which
+    /// [`take_expired`](Scheduler::take_expired) never sees). The
+    /// leader and its job are untouched: a follower that asked for a
+    /// tighter deadline than the leader it coalesced onto expires
+    /// alone, preserving the every-request-carries-a-deadline contract.
+    pub fn take_expired_followers(&mut self, now: Instant) -> Vec<Requester> {
+        let mut expired = Vec::new();
+        for list in self.followers.values_mut() {
+            list.retain(|r| {
+                if r.deadline <= now {
+                    expired.push(*r);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.followers.retain(|_, l| !l.is_empty());
+        expired
+    }
+
     /// Leaders currently queued (excludes in-flight).
     pub fn pending(&self) -> usize {
         self.pending
@@ -321,6 +352,7 @@ mod tests {
         Requester {
             conn,
             started: now,
+            deadline: now + Duration::from_secs(60),
             client_deadline: false,
         }
     }
@@ -470,6 +502,63 @@ mod tests {
         assert_eq!(s.pending(), 0);
         // The key is released: a fresh identical request enqueues.
         assert_eq!(admit_simple(&mut s, "t", 3, b"x"), Admission::Enqueued);
+    }
+
+    #[test]
+    fn followers_expire_on_their_own_deadline() {
+        let mut s = Scheduler::new(8, 0);
+        let now = Instant::now();
+        let long = now + Duration::from_secs(60);
+        let tight = now + Duration::from_millis(10);
+        let with_deadline = |conn: u64, deadline: Instant| Requester {
+            conn,
+            started: now,
+            deadline,
+            client_deadline: true,
+        };
+        s.admit(
+            "t",
+            req("/v1/run", b"x"),
+            requester(1, now),
+            long,
+            key("/v1/run", b"x"),
+            now,
+        );
+        // A tight-deadline follower attaches to the queued leader…
+        assert!(matches!(
+            s.admit(
+                "t",
+                req("/v1/run", b"x"),
+                with_deadline(2, tight),
+                tight,
+                key("/v1/run", b"x"),
+                now,
+            ),
+            Admission::Coalesced(_)
+        ));
+        // …and another to the same job once it is in flight.
+        let job = s.next_job().unwrap();
+        assert!(matches!(
+            s.admit(
+                "t",
+                req("/v1/run", b"x"),
+                with_deadline(3, tight),
+                tight,
+                key("/v1/run", b"x"),
+                now,
+            ),
+            Admission::Coalesced(_)
+        ));
+        let later = now + Duration::from_millis(20);
+        let expired = s.take_expired_followers(later);
+        let conns: Vec<u64> = expired.iter().map(|r| r.conn).collect();
+        assert_eq!(conns, [2, 3]);
+        assert!(expired.iter().all(|r| r.client_deadline));
+        // The leader (deadline far out) is untouched by either sweep and
+        // completes with no followers left to fan out to.
+        assert!(s.take_expired(later).is_empty());
+        assert!(s.take_expired_followers(later).is_empty());
+        assert!(s.complete(&job).is_empty());
     }
 
     #[test]

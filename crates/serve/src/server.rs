@@ -17,15 +17,20 @@
 //! (rate limit → coalesce → capacity shed), dispatched round-robin
 //! across tenants into a [`BoundedQueue`] feeding the worker pool, and
 //! their responses flow back through a completion list plus an eventfd
-//! waker. GET routes are answered on the loop thread itself, so
-//! `/healthz` and `/metrics` stay live under full compute saturation.
+//! waker. `/healthz` and `/metrics` are answered on the loop thread
+//! itself, so they stay live under full compute saturation;
+//! `GET /v1/experiments` reads persisted documents from disk, so it
+//! rides the worker pool like the sim routes.
 //!
 //! Backpressure is O(1) per excess request: beyond `queue_depth` queued
 //! leaders a request is shed with `503` + `Retry-After` *into the
 //! connection's write buffer* — a stalled client slows only its own
 //! socket, never the accept path (the PR 2 shed bug). Beyond `max_conns`
 //! open sockets, accepts are answered with a best-effort inline 503 and
-//! closed. Every request carries a deadline — the smaller of the
+//! closed; `max_conns` itself is clamped under the fd soft limit at
+//! bind, and actual descriptor exhaustion parks the listener until a
+//! connection closes instead of killing the server. Every request
+//! carries a deadline — the smaller of the
 //! server's `timeout_ms` and a well-formed `x-fdip-deadline-ms` header
 //! (malformed is a 400) — measured from accept for a connection's first
 //! request; requests that expire queued are answered `408`/`429`
@@ -94,7 +99,22 @@ impl Server {
     /// # Errors
     ///
     /// Propagates bind failures.
-    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+    pub fn bind(mut config: ServeConfig) -> io::Result<Server> {
+        if let Some(limit) = fd_soft_limit() {
+            // Keep the connection cap comfortably under the fd soft
+            // limit (headroom for the listener, poller, waker, worker
+            // pipes, cache files, and stdio), so overload is shed by the
+            // max_conns guard instead of surfacing as EMFILE.
+            let ceiling = limit.saturating_sub(64).max(16);
+            if config.max_conns as u64 > ceiling {
+                eprintln!(
+                    "serve: clamping max_conns {} to {ceiling} (fd soft limit {limit})",
+                    config.max_conns
+                );
+                // The cast is lossless: ceiling < the old usize value.
+                config.max_conns = ceiling as usize;
+            }
+        }
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         if let Some(addrs) = &config.fleet {
@@ -225,6 +245,7 @@ impl Server {
                 config,
                 threads: self.threads,
                 draining: false,
+                accept_paused: false,
                 sched_dirty: false,
                 next_token: TOKEN_CONN_BASE,
                 events: Vec::new(),
@@ -251,6 +272,49 @@ fn fd_of<T: std::os::unix::io::AsRawFd>(t: &T) -> i32 {
 #[cfg(not(unix))]
 fn fd_of<T>(_t: &T) -> i32 {
     -1
+}
+
+/// True when `accept` failed because the process (`EMFILE`) or system
+/// (`ENFILE`) descriptor table is full — transient by definition, since
+/// closing any connection frees a slot. Fatal treatment here is the bug
+/// the review caught: ~1000 idle remote sockets could crash the server.
+fn fd_exhausted(e: &io::Error) -> bool {
+    // ENFILE = 23 and EMFILE = 24 on Linux and the BSDs alike.
+    matches!(e.raw_os_error(), Some(23) | Some(24))
+}
+
+/// The process's soft limit on open file descriptors, used to clamp
+/// `max_conns` at bind time so the connection cap sheds *before* the fd
+/// table runs dry.
+#[cfg(unix)]
+#[allow(unsafe_code)]
+fn fd_soft_limit() -> Option<u64> {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    }
+    // RLIMIT_NOFILE is 7 on Linux and 8 on the BSDs (macOS included).
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: i32 = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: i32 = 8;
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    // SAFETY: plain syscall writing into a properly sized, owned struct.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } == 0 {
+        Some(lim.cur)
+    } else {
+        None
+    }
+}
+
+/// Non-unix placeholder: no limit knowable, no clamp applied.
+#[cfg(not(unix))]
+fn fd_soft_limit() -> Option<u64> {
+    None
 }
 
 /// One compute worker: pop jobs, run the handler (panic-safe), hand the
@@ -291,6 +355,7 @@ struct EventLoop<'a> {
     config: ServeConfig,
     threads: usize,
     draining: bool,
+    accept_paused: bool,
     sched_dirty: bool,
     next_token: u64,
     events: Vec<Event>,
@@ -318,7 +383,7 @@ impl EventLoop<'_> {
                 match ev.token {
                     TOKEN_LISTENER => self.accept_ready()?,
                     TOKEN_WAKER => self.waker.drain(),
-                    token => self.drive(token),
+                    token => self.on_conn_event(token),
                 }
             }
             self.events = events;
@@ -390,8 +455,51 @@ impl EventLoop<'_> {
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // A connection that died between SYN and accept is the
+                // peer's failure, not the listener's.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionAborted | io::ErrorKind::ConnectionReset
+                    ) => {}
+                Err(e) if fd_exhausted(&e) => {
+                    // EMFILE/ENFILE: the process (or system) descriptor
+                    // table is full, so every further accept would fail
+                    // the same way. Park the listener — level-triggered
+                    // polling would otherwise spin on it, and returning
+                    // the error would let a client holding idle sockets
+                    // kill the whole server. Accepts resume when a
+                    // connection closes (or on the next sweep).
+                    self.pause_accepts();
+                    return Ok(());
+                }
                 Err(e) => return Err(e),
             }
+        }
+    }
+
+    /// Parks the listener (deregisters it from the poller) so descriptor
+    /// exhaustion cannot spin or crash the loop. Serving of already-open
+    /// connections continues untouched.
+    fn pause_accepts(&mut self) {
+        if !self.accept_paused {
+            self.accept_paused = true;
+            self.poller.deregister(fd_of(self.listener));
+            eprintln!(
+                "serve: out of file descriptors ({} conns open), pausing accepts",
+                self.conns.len()
+            );
+        }
+    }
+
+    /// Re-arms a parked listener once there is descriptor headroom. A
+    /// drain never resumes: the listener stays down for good.
+    fn resume_accepts(&mut self) {
+        if self.accept_paused && !self.draining {
+            self.accept_paused = false;
+            let _ = self
+                .poller
+                .register(fd_of(self.listener), TOKEN_LISTENER, Interest::READ);
         }
     }
 
@@ -407,6 +515,45 @@ impl EventLoop<'_> {
             .to_bytes(true);
         let mut s = stream;
         let _ = s.write(&bytes);
+    }
+
+    /// Routes one readiness event to a connection. A `Waiting`
+    /// connection is registered with `Interest::NONE`, so the only
+    /// events that can reach it are the always-reported level-triggered
+    /// `ERR`/`HUP` — a peer that reset or fully closed while its request
+    /// is queued or in flight. That condition must be *consumed* (by
+    /// reaping the connection), not skipped: `drive` breaking on
+    /// `Waiting` would leave it pending and make every `poller.wait`
+    /// return instantly, spinning the loop at 100% CPU until the job
+    /// finishes — a cheap DoS for clients that abort in-flight requests.
+    fn on_conn_event(&mut self, token: u64) {
+        match self.conns.get(&token).map(|c| c.state) {
+            Some(ConnState::Waiting) => self.reap_if_hung_up(token),
+            Some(_) => self.drive(token),
+            None => {}
+        }
+    }
+
+    /// Probes a `Waiting` connection that reported an event and closes
+    /// it if the peer is gone. Safe to drop mid-request: the scheduler
+    /// tolerates delivery to a missing connection, and the shared
+    /// computation proceeds for any live coalesced followers.
+    fn reap_if_hung_up(&mut self, token: u64) {
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        let mut probe = [0u8; 1];
+        match conn.stream().peek(&mut probe) {
+            // Still alive: a spurious or already-cleared condition.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            // EOF, a pending socket error (RST), or bytes sent before
+            // the close that raised this event — with `Interest::NONE`
+            // an event here implies ERR/HUP, so the peer can no longer
+            // receive the response either way.
+            _ => self.close_conn(token),
+        }
     }
 
     /// Advances one connection's state machine as far as readiness
@@ -517,7 +664,11 @@ impl EventLoop<'_> {
             return self.answer(token, &expiry_response(client_set), close_hint, true);
         }
 
-        if !service::is_sim_route(&req) {
+        if !service::is_pooled_route(&req) {
+            // Only routes whose handlers never block (liveness probes,
+            // in-memory metrics, protocol errors) run on the loop
+            // thread; anything touching disk or simulation takes a
+            // worker seat via the scheduler below.
             let depth = self.sched.pending();
             let result =
                 std::panic::catch_unwind(AssertUnwindSafe(|| self.service.route(&req, depth)));
@@ -530,6 +681,7 @@ impl EventLoop<'_> {
         let leader = Requester {
             conn: token,
             started: req_started,
+            deadline,
             client_deadline: client_set,
         };
         match self.sched.admit(&tenant, req, leader, deadline, key, now) {
@@ -642,11 +794,16 @@ impl EventLoop<'_> {
     /// queued: 408 for a client-set deadline, 429 for the server default.
     fn expire(&mut self, leader: Requester, followers: &[Requester]) {
         for r in std::iter::once(&leader).chain(followers) {
-            self.metrics
-                .deadline_expired_total
-                .fetch_add(1, Ordering::Relaxed);
-            self.deliver(*r, &expiry_response(r.client_deadline));
+            self.expire_one(*r);
         }
+    }
+
+    /// Answers one requester whose own deadline expired.
+    fn expire_one(&mut self, r: Requester) {
+        self.metrics
+            .deadline_expired_total
+            .fetch_add(1, Ordering::Relaxed);
+        self.deliver(r, &expiry_response(r.client_deadline));
     }
 
     /// Periodic maintenance: stalled/idle connection closes, queued-job
@@ -678,7 +835,20 @@ impl EventLoop<'_> {
         for (job, followers) in expired {
             self.expire(job.leader, &followers);
         }
+        // Followers carry their own deadlines (often tighter than the
+        // leader they coalesced onto): expire them individually, even
+        // while the shared job is still queued or in flight.
+        for follower in self.sched.take_expired_followers(now) {
+            self.expire_one(follower);
+        }
         self.sched.prune_buckets(now, Duration::from_secs(120));
+
+        // Backstop for a pause caused by non-connection descriptors
+        // (cache files, worker pipes) being freed: retry accepting even
+        // if no connection closed in the meantime.
+        if self.conns.len() < self.config.max_conns {
+            self.resume_accepts();
+        }
     }
 
     /// Deregisters and drops one connection, flushing its pending latency
@@ -693,7 +863,44 @@ impl EventLoop<'_> {
             self.metrics
                 .open_connections
                 .fetch_sub(1, Ordering::Relaxed);
+            // The close frees a descriptor: if accepts were parked on
+            // EMFILE/ENFILE, there is room again now.
+            if self.conns.len() < self.config.max_conns {
+                self.resume_accepts();
+            }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_exhaustion_is_transient_not_fatal() {
+        assert!(fd_exhausted(&io::Error::from_raw_os_error(23))); // ENFILE
+        assert!(fd_exhausted(&io::Error::from_raw_os_error(24))); // EMFILE
+        assert!(!fd_exhausted(&io::Error::from_raw_os_error(9))); // EBADF
+        assert!(!fd_exhausted(&io::Error::new(io::ErrorKind::Other, "x")));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn bind_clamps_max_conns_under_the_fd_soft_limit() {
+        let Some(limit) = fd_soft_limit() else {
+            return;
+        };
+        if limit == u64::MAX {
+            return; // unlimited: nothing to clamp against
+        }
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_conns: usize::MAX,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let clamped = server.service.config().max_conns as u64;
+        assert!(clamped < limit, "{clamped} vs limit {limit}");
     }
 }
 

@@ -31,6 +31,16 @@ pub fn is_sim_route(req: &Request) -> bool {
     req.method == "POST" && (req.path == "/v1/run" || req.path == "/v1/compare")
 }
 
+/// True for the routes the event loop hands to the worker pool rather
+/// than answering inline: the simulation POSTs plus
+/// `GET /v1/experiments/{id}`, whose handler does blocking filesystem
+/// reads of arbitrarily large persisted documents — disk latency
+/// belongs on a worker seat, never on the loop thread that keeps
+/// `/healthz` and `/metrics` live.
+pub fn is_pooled_route(req: &Request) -> bool {
+    is_sim_route(req) || (req.method == "GET" && req.path.starts_with("/v1/experiments/"))
+}
+
 /// The coalescing identity of a simulation request: exact path and body
 /// bytes. Headers are deliberately excluded — deadline and tenant shape
 /// *admission*, not the computed document, so byte-identical bodies may
@@ -910,6 +920,20 @@ mod tests {
         for bad in ["", "has space", "quote\""] {
             assert_eq!(tenant_of(&with(bad)).unwrap_err().status, 400, "{bad:?}");
         }
+    }
+
+    #[test]
+    fn pooled_routes_cover_sims_and_experiment_reads() {
+        // Experiment reads touch the filesystem, so they must leave the
+        // loop thread — but they are not sim routes and never coalesce.
+        assert!(is_pooled_route(&post("/v1/run", "{}")));
+        assert!(is_pooled_route(&post("/v1/compare", "{}")));
+        assert!(is_pooled_route(&get("/v1/experiments/e01")));
+        assert!(!is_sim_route(&get("/v1/experiments/e01")));
+        assert!(sim_coalesce_key(&get("/v1/experiments/e01")).is_none());
+        assert!(!is_pooled_route(&get("/healthz")));
+        assert!(!is_pooled_route(&get("/metrics")));
+        assert!(!is_pooled_route(&post("/v1/experiments/e01", "")));
     }
 
     #[test]

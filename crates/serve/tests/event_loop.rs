@@ -313,3 +313,149 @@ fn keep_alive_pipelined_requests_share_a_connection() {
     let metrics = t.stop();
     assert_eq!(metrics.responses_for(200), 3);
 }
+
+/// A coalesced follower keeps its *own* deadline. The leader runs a slow
+/// simulation under the 30s server default; a follower with a 300ms
+/// `x-fdip-deadline-ms` coalesces onto it and must get its 408 while the
+/// leader is still computing — not wait out the leader's lazier budget.
+#[test]
+fn coalesced_follower_expires_on_its_own_deadline() {
+    let _fault = FaultGuard::install("slow@microloop~s9400/run:1500");
+    let t = TestServer::start(ServeConfig {
+        threads: 1,
+        queue_depth: 4,
+        timeout_ms: 30_000,
+        ..ServeConfig::default()
+    });
+
+    let leader = spawn_run(t.addr, 9400);
+    std::thread::sleep(Duration::from_millis(300)); // leader in flight
+
+    let started = Instant::now();
+    let (status, _headers, body) = request_with_headers(
+        t.addr,
+        "POST",
+        "/v1/run",
+        &[("x-fdip-deadline-ms", "300")],
+        &run_body(9400),
+    );
+    let waited = started.elapsed();
+    assert_eq!(status, 408, "{body}");
+    assert!(body.contains("deadline expired"), "{body}");
+    // Answered on its own clock (300ms + sweep granularity), well before
+    // the shared simulation finishes at ~1.2s from now.
+    assert!(waited < Duration::from_millis(1100), "follower waited {waited:?}");
+
+    let (status, leader_body) = leader.join().expect("leader thread");
+    assert_eq!(status, 200, "{leader_body}");
+
+    let metrics = t.stop();
+    assert_eq!(metrics.coalesced_total.load(Ordering::Relaxed), 1);
+    assert_eq!(metrics.deadline_expired_total.load(Ordering::Relaxed), 1);
+    assert_eq!(metrics.responses_for(408), 1);
+    assert_eq!(metrics.responses_for(200), 1);
+}
+
+/// Forces an RST on close by enabling SO_LINGER with a zero timeout.
+#[cfg(target_os = "linux")]
+fn set_linger_zero(stream: &TcpStream) {
+    use std::os::unix::io::AsRawFd;
+    #[repr(C)]
+    struct Linger {
+        onoff: i32,
+        linger: i32,
+    }
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const Linger, len: u32) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_LINGER: i32 = 13;
+    let lin = Linger { onoff: 1, linger: 0 };
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_LINGER,
+            &lin,
+            std::mem::size_of::<Linger>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_LINGER)");
+}
+
+/// A client that RSTs its socket while its request is in flight must be
+/// reaped promptly — a `Waiting` connection has no I/O interest, so the
+/// level-triggered HUP would otherwise wake the loop continuously at
+/// 100% CPU until the simulation finishes (the review's busy-spin bug).
+#[cfg(target_os = "linux")]
+#[test]
+fn rst_while_waiting_is_reaped_not_spun() {
+    let _fault = FaultGuard::install("slow@microloop~s9500/run:1200");
+    let t = TestServer::start(ServeConfig {
+        threads: 1,
+        timeout_ms: 30_000,
+        ..ServeConfig::default()
+    });
+
+    let mut s = TcpStream::connect(t.addr).expect("connect");
+    let body = run_body(9500);
+    s.write_all(
+        format!(
+            "POST /v1/run HTTP/1.1\r\nhost: test\r\nconnection: close\r\n\
+             content-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .expect("write request");
+    std::thread::sleep(Duration::from_millis(300)); // dispatched, Waiting
+    assert_eq!(t.metrics.open_connections.load(Ordering::Relaxed), 1);
+    set_linger_zero(&s);
+    drop(s); // RST while the simulation still has ~900ms to run
+
+    // The loop notices the reset and reaps the connection long before
+    // the job completes, instead of spinning on the pending HUP.
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(t.metrics.open_connections.load(Ordering::Relaxed), 0);
+
+    // The server is still healthy; the orphaned job finishes harmlessly.
+    let (status, body) = request(t.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    t.stop();
+}
+
+/// `GET /v1/experiments` does blocking disk reads, so it rides the
+/// worker pool and is subject to admission like the sim routes — here
+/// the per-tenant rate limit — while `/healthz` stays on the loop
+/// thread, uncounted and unlimited.
+#[test]
+fn experiment_reads_ride_the_worker_pool() {
+    let dir = std::env::temp_dir().join("fdip-serve-test-pooled-experiments");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::create_dir_all(&dir);
+    let t = TestServer::start(ServeConfig {
+        threads: 2,
+        tenant_rps: 1,
+        timeout_ms: 30_000,
+        results_dir: dir,
+        ..ServeConfig::default()
+    });
+
+    // First read takes the tenant's only token and is answered by the
+    // pooled handler (404: known id, no persisted document).
+    let (status, body) = request(t.addr, "GET", "/v1/experiments/e01", "");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("no persisted results"), "{body}");
+
+    // Second read inside the window hits admission: 429, proving the
+    // route goes through the scheduler rather than the loop thread.
+    let (status, body) = request(t.addr, "GET", "/v1/experiments/e01", "");
+    assert_eq!(status, 429, "{body}");
+
+    // Loop-thread routes are not admitted and cannot be rate limited.
+    let (status, _body) = request(t.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    let metrics = t.stop();
+    assert_eq!(metrics.rate_limited_total.load(Ordering::Relaxed), 1);
+}
