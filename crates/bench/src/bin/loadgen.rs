@@ -400,6 +400,24 @@ fn main() {
         "[loadgen] /metrics 200s: server {server_200}, client {client_200} ({})",
         if reconciled { "reconciled" } else { "MISMATCH" }
     );
+    // The fleet-recovery families must always render, and without a fleet
+    // configured every one of them must be zero (hedging provably inert).
+    let fleet_counters_inert = [
+        "fdip_serve_node_readmissions_total ",
+        "fdip_serve_cells_hedged_total ",
+        "fdip_serve_hedge_wins_total ",
+    ]
+    .iter()
+    .all(|family| scrape.contains(family) && metric_value(&scrape, family) == 0)
+        && scrape.contains("fdip_serve_fleet_node_health");
+    eprintln!(
+        "[loadgen] fleet recovery counters: {}",
+        if fleet_counters_inert {
+            "present and zero (no fleet configured)"
+        } else {
+            "MISSING OR NONZERO"
+        }
+    );
     stop_server(server);
 
     // ---- saturation on a 1-worker, depth-2 server -----------------------
@@ -504,6 +522,11 @@ fn main() {
         }
         if !(reconciled && shed_reconciled) {
             failures.push("metrics do not reconcile with client observations".to_string());
+        }
+        if !fleet_counters_inert {
+            failures.push(
+                "fleet recovery counters missing or nonzero on a fleetless server".to_string(),
+            );
         }
         if !failures.is_empty() {
             for f in &failures {

@@ -14,7 +14,7 @@ use crate::args::Args;
 /// Every subcommand, paired with its one-line summary. The dispatch
 /// table, the usage text, and the unknown-command error all derive from
 /// this list so they cannot drift apart.
-pub const COMMANDS: [(&str, &str); 13] = [
+pub const COMMANDS: [(&str, &str); 14] = [
     ("gen", "generate a workload trace"),
     ("asm", "assemble a FISA source file and report the program"),
     (
@@ -38,6 +38,10 @@ pub const COMMANDS: [(&str, &str); 13] = [
     (
         "workerd",
         "run a TCP worker daemon serving fleet cell dispatch",
+    ),
+    (
+        "chaos",
+        "run the seeded chaos soak against a self-healing local fleet",
     ),
     ("help", "print this usage text"),
 ];
@@ -71,11 +75,22 @@ commands:
                                                  or any experiment from the registry by id
                                                  (e.g. e01, x4) at quick scale
   exp      [ID|all] [--quick|--medium|--full] [--batch[=on|off]] [--isolate[=N]]
-           [--fleet ADDR,ADDR,...] [--cache DIR] [--faults SPEC] [--journal FILE]
+           [--fleet ADDR,ADDR,...] [--fleet-heartbeat-ms N] [--hedge-after-ms MS|auto|0]
+           [--cache DIR] [--faults SPEC] [--journal FILE]
            [--max-attempts N] [--cell-budget-ms N]
                                                  run one experiment (or the whole
                                                  catalogue) under the fault-tolerant
-                                                 harness: --batch=off disables the
+                                                 harness: --fleet-heartbeat-ms sets
+                                                 how long a silent node stays routable
+                                                 (also $FDIP_FLEET_HEARTBEAT_MS),
+                                                 --hedge-after-ms speculatively
+                                                 re-dispatches cells still in flight
+                                                 after that delay to a second healthy
+                                                 node, first identical result winning
+                                                 (\"auto\" derives the delay from
+                                                 observed latency; 0, the default,
+                                                 disables hedging entirely),
+                                                 --batch=off disables the
                                                  lockstep multi-config batch pass
                                                  (on by default; results identical
                                                  either way), --isolate runs cells in N
@@ -100,6 +115,7 @@ commands:
   serve    [--addr HOST:PORT] [--threads N] [--queue-depth N] [--timeout-ms N]
            [--max-conns N] [--tenant-rps N]
            [--results-dir DIR] [--max-trace-len N] [--max-configs N] [--isolate N]
+           [--fleet ADDR,...] [--fleet-heartbeat-ms N] [--hedge-after-ms MS|auto|0]
                                                  run the HTTP simulation service
                                                  (healthz, metrics, v1/run, v1/compare,
                                                  v1/experiments/{id}); --max-conns caps
@@ -123,6 +139,18 @@ commands:
                                                  process (a crash costs the child,
                                                  not the daemon); ctrl-c or SIGTERM
                                                  finishes in-flight cells, then exits
+  chaos    [--rounds N] [--seed N] [--exp ID,ID,...]
+                                                 run the seeded chaos soak: N rounds
+                                                 of real experiments against a live
+                                                 two-daemon fleet with a shared cell
+                                                 cache, while the schedule SIGKILLs
+                                                 and restarts daemons, injects
+                                                 network faults, and rots cache
+                                                 entries; every round must stay
+                                                 byte-identical to the fault-free
+                                                 baseline and re-simulation must be
+                                                 bounded by the corrupted entries;
+                                                 exits nonzero when any gate fails
   help                                           print this usage text
 
 trace format is inferred from the file extension: `.txt` is text,
@@ -166,6 +194,7 @@ pub fn dispatch(argv: &[String]) -> CliResult {
         "tables" => cmd_tables(&args),
         "serve" => cmd_serve(&args),
         "workerd" => cmd_workerd(&args),
+        "chaos" => cmd_chaos(&args),
         "help" | "--help" | "-h" => cmd_help(&args),
         other => Err(unknown_command_error(&format!("unknown command {other:?}"))),
     }
@@ -517,6 +546,75 @@ fn cmd_tables(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// Parses the fleet tuning flags shared by `exp` and `serve`:
+/// `--fleet-heartbeat-ms` (positive milliseconds; overrides the
+/// `$FDIP_FLEET_HEARTBEAT_MS` fallback) and `--hedge-after-ms`
+/// (milliseconds, `auto`, or `0` to disable). Both are validated here,
+/// before any connection is dialed.
+fn fleet_tuning(
+    args: &Args,
+) -> Result<(Option<u64>, Option<fdip_sim::fleet::HedgePolicy>), Box<dyn Error>> {
+    let heartbeat = match args.get("fleet-heartbeat-ms") {
+        None => None,
+        Some(raw) => Some(raw.parse::<u64>().ok().filter(|&ms| ms > 0).ok_or_else(|| {
+            format!("bad --fleet-heartbeat-ms {raw:?} (want a positive millisecond count)")
+        })?),
+    };
+    let hedge = match args.get("hedge-after-ms") {
+        None => None,
+        Some(raw) => Some(
+            fdip_sim::fleet::HedgePolicy::parse(raw)
+                .map_err(|e| format!("bad --hedge-after-ms: {e}"))?,
+        ),
+    };
+    Ok((heartbeat, hedge))
+}
+
+fn cmd_chaos(args: &Args) -> CliResult {
+    use fdip_sim::chaos::{run_chaos, ChaosConfig};
+    let defaults = ChaosConfig::default();
+    let rounds = args.get_or("rounds", defaults.rounds, "a round count")?;
+    let seed = args.get_or("seed", defaults.seed, "an integer seed")?;
+    let experiments = match args.get("exp") {
+        None => defaults.experiments,
+        Some(list) => {
+            let ids: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if ids.is_empty() {
+                return Err("--exp needs at least one experiment id".into());
+            }
+            ids
+        }
+    };
+    args.expect_positional(0, "chaos takes no positional arguments")?;
+    args.reject_unknown()?;
+    if rounds == 0 {
+        return Err("--rounds must be positive".into());
+    }
+
+    let config = ChaosConfig {
+        rounds,
+        seed,
+        experiments,
+    };
+    eprintln!(
+        "chaos: {} round(s), seed {}, experiments {}",
+        config.rounds,
+        config.seed,
+        config.experiments.join(","),
+    );
+    let report = run_chaos(&config)?;
+    print!("{}", report.to_text());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!("chaos soak failed {} gate(s)", report.failures.len()).into())
+    }
+}
+
 fn cmd_exp(raw: &[String]) -> CliResult {
     use fdip_sim::experiments;
     use fdip_sim::fault::{FaultPlan, RetryPolicy};
@@ -581,6 +679,9 @@ fn cmd_exp(raw: &[String]) -> CliResult {
     };
     let journal = args.get("journal").map(std::path::PathBuf::from);
     let fleet_addrs = args.get("fleet").map(str::to_string);
+    // Validated up front, before anything dials: a zero or garbage value
+    // is a flag error, never a half-configured fleet.
+    let (fleet_heartbeat_ms, hedge) = fleet_tuning(&args)?;
     let cache_dir = args.get("cache").map(std::path::PathBuf::from);
     let defaults = RetryPolicy::default();
     let max_attempts = args.get_or("max-attempts", defaults.max_attempts, "a retry count")?;
@@ -629,8 +730,15 @@ fn cmd_exp(raw: &[String]) -> CliResult {
         if list.is_empty() {
             return Err("--fleet needs at least one HOST:PORT address".into());
         }
+        let mut fleet_config = fdip_sim::fleet::FleetConfig::new(list);
+        if let Some(ms) = fleet_heartbeat_ms {
+            fleet_config.heartbeat_timeout = Duration::from_millis(ms);
+        }
+        if let Some(policy) = hedge {
+            fleet_config.hedge = policy;
+        }
         let fleet = harness
-            .enable_fleet(fdip_sim::fleet::FleetConfig::new(list))
+            .enable_fleet(fleet_config)
             .map_err(|e| format!("fleet: {e}"))?;
         let nodes = fleet.nodes();
         eprintln!(
@@ -734,11 +842,14 @@ fn cmd_exp(raw: &[String]) -> CliResult {
     if harness.fleet_enabled() {
         eprintln!(
             "fleet: {} worker seat(s), {} node loss(es), {} cell(s) re-dispatched, \
-             {} remote cache hit(s)",
+             {} remote cache hit(s), {} readmission(s), {} hedged ({} won)",
             stats.fleet_workers,
             stats.node_losses,
             stats.cells_redispatched,
             stats.remote_cache_hits,
+            stats.node_readmissions,
+            stats.cells_hedged,
+            stats.hedge_wins,
         );
     }
     eprintln!("total {:.1}s", start.elapsed().as_secs_f64());
@@ -754,6 +865,7 @@ fn cmd_exp(raw: &[String]) -> CliResult {
 fn cmd_serve(args: &Args) -> CliResult {
     use fdip_serve::{ServeConfig, Server};
     let defaults = ServeConfig::default();
+    let (fleet_heartbeat_ms, fleet_hedge) = fleet_tuning(args)?;
     let config = ServeConfig {
         addr: args.get("addr").unwrap_or(&defaults.addr).to_string(),
         threads: args.get_or("threads", defaults.threads, "a worker count (0 = auto)")?,
@@ -781,6 +893,8 @@ fn cmd_serve(args: &Args) -> CliResult {
             "a worker-process count (0 = in-process)",
         )?,
         fleet: args.get("fleet").map(str::to_string),
+        fleet_heartbeat_ms,
+        fleet_hedge,
         cache_dir: None,
     };
     // The serve-side cell cache is on by default (warm restarts); opt out

@@ -113,12 +113,14 @@ impl Metrics {
 
     /// Renders the Prometheus text document. `queue_depth` and
     /// `queue_capacity` come from the live queue; `harness` is the shared
-    /// harness's counter snapshot.
+    /// harness's counter snapshot; `node_health` is the fleet's per-node
+    /// health snapshot (empty without a fleet).
     pub fn render(
         &self,
         queue_depth: usize,
         queue_capacity: usize,
         harness: &HarnessStats,
+        node_health: &[(String, &'static str)],
     ) -> String {
         use std::fmt::Write;
         let mut out = String::with_capacity(4096);
@@ -322,6 +324,21 @@ impl Metrics {
                 "Cells served from the shared on-disk result cache.",
                 harness.remote_cache_hits,
             ),
+            (
+                "fdip_serve_node_readmissions_total",
+                "Lost fleet nodes readmitted (on probation) after a reprobe.",
+                harness.node_readmissions,
+            ),
+            (
+                "fdip_serve_cells_hedged_total",
+                "Cells whose slow primary triggered a speculative second copy.",
+                harness.cells_hedged,
+            ),
+            (
+                "fdip_serve_hedge_wins_total",
+                "Hedged cells where the speculative copy finished first.",
+                harness.hedge_wins,
+            ),
         ] {
             counter(&mut out, name, help, value);
         }
@@ -333,6 +350,24 @@ impl Metrics {
              fdip_serve_fleet_workers {}\n",
             harness.fleet_workers
         );
+
+        // One-hot per-node health: every node emits a sample for each
+        // state, exactly one of them 1, so dashboards can sum by state
+        // without knowing the node set in advance.
+        let _ = write!(
+            out,
+            "# HELP fdip_serve_fleet_node_health Fleet node health (1 for the node's current state).\n\
+             # TYPE fdip_serve_fleet_node_health gauge\n"
+        );
+        for (node, state) in node_health {
+            for candidate in ["healthy", "suspect", "lost", "probation"] {
+                let _ = writeln!(
+                    out,
+                    "fdip_serve_fleet_node_health{{node=\"{node}\",state=\"{candidate}\"}} {}",
+                    u64::from(*state == candidate)
+                );
+            }
+        }
         out
     }
 }
@@ -376,9 +411,16 @@ mod tests {
             node_losses: 13,
             cells_redispatched: 14,
             remote_cache_hits: 15,
+            node_readmissions: 16,
+            cells_hedged: 17,
+            hedge_wins: 18,
             ..HarnessStats::default()
         };
-        let text = m.render(2, 64, &harness);
+        let nodes = vec![
+            ("127.0.0.1:9001".to_string(), "healthy"),
+            ("127.0.0.1:9002".to_string(), "lost"),
+        ];
+        let text = m.render(2, 64, &harness, &nodes);
         assert!(
             text.contains("fdip_serve_requests_total{status=\"200\"} 2"),
             "{text}"
@@ -409,6 +451,22 @@ mod tests {
         assert!(text.contains("fdip_serve_node_losses_total 13"));
         assert!(text.contains("fdip_serve_cells_redispatched_total 14"));
         assert!(text.contains("fdip_serve_remote_cache_hits_total 15"));
+        assert!(text.contains("fdip_serve_node_readmissions_total 16"));
+        assert!(text.contains("fdip_serve_cells_hedged_total 17"));
+        assert!(text.contains("fdip_serve_hedge_wins_total 18"));
+        // One-hot health: each node's current state is 1, the rest 0.
+        assert!(text.contains(
+            "fdip_serve_fleet_node_health{node=\"127.0.0.1:9001\",state=\"healthy\"} 1"
+        ));
+        assert!(text.contains(
+            "fdip_serve_fleet_node_health{node=\"127.0.0.1:9001\",state=\"lost\"} 0"
+        ));
+        assert!(text.contains(
+            "fdip_serve_fleet_node_health{node=\"127.0.0.1:9002\",state=\"lost\"} 1"
+        ));
+        assert!(text.contains(
+            "fdip_serve_fleet_node_health{node=\"127.0.0.1:9002\",state=\"healthy\"} 0"
+        ));
         assert!(text.contains("fdip_serve_requests_total{status=\"502\"} 0"));
         // Histogram buckets are cumulative: the 3ms observation lands in
         // le=0.005 and every later bucket includes it.

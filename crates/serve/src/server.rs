@@ -130,8 +130,14 @@ impl Server {
                 .map(|s| s.trim().to_string())
                 .filter(|s| !s.is_empty())
                 .collect();
-            let fleet = fdip_sim::harness::Harness::global()
-                .enable_fleet(fdip_sim::fleet::FleetConfig::new(list))?;
+            let mut fleet_config = fdip_sim::fleet::FleetConfig::new(list);
+            if let Some(ms) = config.fleet_heartbeat_ms {
+                fleet_config.heartbeat_timeout = std::time::Duration::from_millis(ms);
+            }
+            if let Some(policy) = config.fleet_hedge {
+                fleet_config.hedge = policy;
+            }
+            let fleet = fdip_sim::harness::Harness::global().enable_fleet(fleet_config)?;
             eprintln!(
                 "fleet: {} node(s), {} worker seat(s)",
                 fleet.nodes().len(),

@@ -169,8 +169,12 @@ impl Service {
             ("GET", "/healthz") => Response::json(200, r#"{"status":"ok"}"#),
             ("GET", "/metrics") => Response::text(
                 200,
-                self.metrics
-                    .render(queue_depth, self.config.queue_depth, &self.harness.stats()),
+                self.metrics.render(
+                    queue_depth,
+                    self.config.queue_depth,
+                    &self.harness.stats(),
+                    &self.harness.fleet_node_health(),
+                ),
             ),
             ("POST", "/v1/run") => self.run(req).unwrap_or_else(Response::from),
             ("POST", "/v1/compare") => self.compare(req).unwrap_or_else(Response::from),

@@ -66,6 +66,51 @@ const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
 /// (same leak bound as the local supervisor's `recycle_after`).
 const RECYCLE_AFTER: u64 = 64;
 
+/// When (if ever) the fleet speculatively re-dispatches a slow in-flight
+/// cell to a second node. Safe at any setting: results are
+/// content-addressed and the simulator is deterministic, so both copies
+/// produce byte-identical statistics and the first one back wins; the
+/// loser is cancelled by severing its connection (the remote-kill path).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HedgePolicy {
+    /// Never hedge. Dispatch takes the exact synchronous path it always
+    /// has — provably inert.
+    Off,
+    /// Hedge a cell whose primary copy has been in flight this long.
+    After(Duration),
+    /// Hedge after 3× the observed mean completion time (floor 200ms),
+    /// armed once three completions have been observed.
+    Auto,
+}
+
+impl HedgePolicy {
+    /// Parses a `--hedge-after-ms` value: `0` disables, a positive
+    /// millisecond count sets a fixed threshold, `auto` adapts.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for anything else.
+    pub fn parse(raw: &str) -> Result<HedgePolicy, String> {
+        let raw = raw.trim();
+        if raw.eq_ignore_ascii_case("auto") {
+            return Ok(HedgePolicy::Auto);
+        }
+        match raw.parse::<u64>() {
+            Ok(0) => Ok(HedgePolicy::Off),
+            Ok(ms) => Ok(HedgePolicy::After(Duration::from_millis(ms))),
+            Err(_) => Err(format!(
+                "invalid hedge delay {raw:?}: expected 0, a millisecond count, or \"auto\""
+            )),
+        }
+    }
+}
+
+impl Default for HedgePolicy {
+    fn default() -> HedgePolicy {
+        HedgePolicy::Off
+    }
+}
+
 /// Connection and liveness policy for a [`Fleet`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FleetConfig {
@@ -76,11 +121,18 @@ pub struct FleetConfig {
     /// Silence longer than this from a busy node means it is partitioned
     /// or dead, not slow; the cell is reclassified for re-dispatch.
     pub heartbeat_timeout: Duration,
+    /// Base interval of the background reprobe's exponential backoff: a
+    /// lost node is re-dialed after `base`, then `base·2`, `base·4`, …
+    /// capped at `base·32`, until a full handshake readmits it.
+    pub reprobe_base: Duration,
+    /// Speculative re-dispatch policy for slow in-flight cells.
+    pub hedge: HedgePolicy,
 }
 
 impl FleetConfig {
     /// Policy for `addrs` with defaults, overridable for drills via the
-    /// `FDIP_FLEET_CONNECT_MS` / `FDIP_FLEET_HEARTBEAT_MS` environment
+    /// `FDIP_FLEET_CONNECT_MS` / `FDIP_FLEET_HEARTBEAT_MS` /
+    /// `FDIP_FLEET_REPROBE_MS` / `FDIP_FLEET_HEDGE_AFTER_MS` environment
     /// variables (tests shrink the heartbeat so partition drills converge
     /// in milliseconds, not seconds).
     pub fn new(addrs: Vec<String>) -> FleetConfig {
@@ -90,10 +142,16 @@ impl FleetConfig {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(default)
         };
+        let hedge = std::env::var("FDIP_FLEET_HEDGE_AFTER_MS")
+            .ok()
+            .and_then(|v| HedgePolicy::parse(&v).ok())
+            .unwrap_or_default();
         FleetConfig {
             addrs,
             connect_timeout: Duration::from_millis(ms("FDIP_FLEET_CONNECT_MS", 3_000)),
             heartbeat_timeout: Duration::from_millis(ms("FDIP_FLEET_HEARTBEAT_MS", 5_000)),
+            reprobe_base: Duration::from_millis(ms("FDIP_FLEET_REPROBE_MS", 250)),
+            hedge,
         }
     }
 }
@@ -110,15 +168,89 @@ pub struct FleetStats {
     pub node_losses: u64,
     /// Cell attempts re-dispatched after a first attempt failed.
     pub cells_redispatched: u64,
+    /// Lost nodes readmitted (on probation) after a reprobe re-handshake.
+    pub node_readmissions: u64,
+    /// Cells whose slow primary copy triggered a speculative second copy.
+    pub cells_hedged: u64,
+    /// Hedged cells where the speculative copy finished first.
+    pub hedge_wins: u64,
+    /// Total milliseconds nodes spent down before readmission (divide by
+    /// `node_readmissions` for mean time to recovery).
+    pub readmission_downtime_ms: u64,
+}
+
+/// Where a node stands in the health state machine:
+///
+/// ```text
+/// Healthy ──failure──▶ Suspect ──failure──▶ Lost
+///    ▲                    │                  │ backoff reprobe
+///    │◀──reply────────────┘                  │ (full re-handshake)
+///    │                                       ▼
+///    └────────reply───────────────────── Probation
+/// ```
+///
+/// The `Healthy → Suspect` and `Probation → Lost` transitions each book
+/// one `node_losses`; `Suspect → Lost` does not (same outage). Routing
+/// treats everything but `Lost` as dispatchable.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Answering normally.
+    Healthy,
+    /// One recent failure; still routed to (a single hiccup is not an
+    /// outage), but one more failure confirms the loss.
+    Suspect,
+    /// Two consecutive failures (or a failure while on probation): not
+    /// routed to; only the background reprobe talks to it.
+    Lost,
+    /// Readmitted after a reprobe completed the full hello/welcome
+    /// fingerprint handshake; routed to again, demoted straight back to
+    /// `Lost` on any failure, promoted to `Healthy` on a reply.
+    Probation,
+}
+
+impl NodeHealth {
+    /// Stable lowercase label, used by `/metrics` gauge families.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeHealth::Healthy => "healthy",
+            NodeHealth::Suspect => "suspect",
+            NodeHealth::Lost => "lost",
+            NodeHealth::Probation => "probation",
+        }
+    }
+}
+
+/// Mutable health bookkeeping for one node, behind its own lock so the
+/// reprobe thread and dispatchers never contend on the slot locks.
+#[derive(Debug)]
+struct HealthCell {
+    state: NodeHealth,
+    /// Consecutive failed reprobes since the node went `Lost`.
+    reprobe_failures: u32,
+    /// When the next reprobe is due (meaningful only while `Lost`).
+    next_reprobe: Instant,
+    /// When the booked down-transition happened (for MTTR accounting).
+    lost_at: Option<Instant>,
+    /// Last reprobe failure message, kept to dedup log lines.
+    last_probe_error: Option<String>,
 }
 
 /// One registered node.
 #[derive(Debug)]
 struct NodeState {
     addr: String,
-    /// Set on a silent loss, cleared by any successful dial or reply;
-    /// routing prefers nodes not currently marked lost.
-    lost: AtomicBool,
+    health: Mutex<HealthCell>,
+}
+
+impl NodeState {
+    fn health(&self) -> NodeHealth {
+        lock(&self.health).state
+    }
+
+    /// Whether dispatch may route to this node (everything but `Lost`).
+    fn routable(&self) -> bool {
+        self.health() != NodeHealth::Lost
+    }
 }
 
 /// One dispatch seat: which node it belongs to and its (lazily dialed,
@@ -135,6 +267,10 @@ enum SlotOutcome {
     Unreachable(CellError),
     /// The cell ran (or died) on the node; this is the attempt's result.
     Final(CellError),
+    /// This copy lost a hedge race and was aborted mid-flight (its
+    /// connection severed, which kills the remote child). Not a node
+    /// failure and not a result — the winning copy already has one.
+    Cancelled,
 }
 
 /// The client side of distributed cell execution: a pool of TCP seats
@@ -142,6 +278,24 @@ enum SlotOutcome {
 /// contract as the local [`Supervisor`](crate::supervisor::Supervisor).
 #[derive(Debug)]
 pub struct Fleet {
+    inner: Arc<FleetInner>,
+    /// The background reprobe thread, joined on drop.
+    reprobe: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.reprobe.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The shared state behind a [`Fleet`]: dispatchers, hedge copies, and
+/// the reprobe thread all hold it through an `Arc`.
+#[derive(Debug)]
+struct FleetInner {
     config: FleetConfig,
     nodes: Vec<NodeState>,
     /// `slot_nodes[i]` is the node index slot `i` belongs to (immutable
@@ -153,6 +307,15 @@ pub struct Fleet {
     next_id: AtomicU64,
     node_losses: AtomicU64,
     cells_redispatched: AtomicU64,
+    node_readmissions: AtomicU64,
+    cells_hedged: AtomicU64,
+    hedge_wins: AtomicU64,
+    readmission_downtime_ms: AtomicU64,
+    /// `(count, total_ms)` of observed cell completions, feeding the
+    /// `auto` hedge threshold.
+    completions: Mutex<(u64, u64)>,
+    /// Tells the reprobe thread to exit (set when the `Fleet` drops).
+    shutdown: AtomicBool,
 }
 
 impl Fleet {
@@ -173,7 +336,13 @@ impl Fleet {
                     let node = nodes.len();
                     nodes.push(NodeState {
                         addr: addr.clone(),
-                        lost: AtomicBool::new(false),
+                        health: Mutex::new(HealthCell {
+                            state: NodeHealth::Healthy,
+                            reprobe_failures: 0,
+                            next_reprobe: Instant::now(),
+                            lost_at: None,
+                            last_probe_error: None,
+                        }),
                     });
                     let mut first = Some(stream);
                     for _ in 0..seats.max(1) {
@@ -195,7 +364,7 @@ impl Fleet {
             ));
         }
         let free = (0..slots.len()).rev().collect();
-        Ok(Fleet {
+        let inner = Arc::new(FleetInner {
             config,
             nodes,
             slot_nodes,
@@ -205,32 +374,60 @@ impl Fleet {
             next_id: AtomicU64::new(1),
             node_losses: AtomicU64::new(0),
             cells_redispatched: AtomicU64::new(0),
-        })
+            node_readmissions: AtomicU64::new(0),
+            cells_hedged: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            readmission_downtime_ms: AtomicU64::new(0),
+            completions: Mutex::new((0, 0)),
+            shutdown: AtomicBool::new(false),
+        });
+        let probe = Arc::clone(&inner);
+        let reprobe = std::thread::Builder::new()
+            .name("fleet-reprobe".to_string())
+            .spawn(move || FleetInner::reprobe_loop(&probe))
+            .ok();
+        Ok(Fleet { inner, reprobe })
     }
 
     /// Total registered seats (the harness sizes its thread pool to this).
     pub fn workers(&self) -> usize {
-        self.slots.len()
+        self.inner.slots.len()
     }
 
     /// Registered nodes and their seat counts, for startup reporting.
     pub fn nodes(&self) -> Vec<(String, usize)> {
-        self.nodes
+        self.inner
+            .nodes
             .iter()
             .enumerate()
             .map(|(i, n)| {
-                let seats = self.slot_nodes.iter().filter(|&&s| s == i).count();
+                let seats = self.inner.slot_nodes.iter().filter(|&&s| s == i).count();
                 (n.addr.clone(), seats)
             })
             .collect()
     }
 
+    /// Each node's current health state, for `/metrics` gauges and the
+    /// chaos harness.
+    pub fn node_health(&self) -> Vec<(String, NodeHealth)> {
+        self.inner
+            .nodes
+            .iter()
+            .map(|n| (n.addr.clone(), n.health()))
+            .collect()
+    }
+
     /// Current counters.
     pub fn stats(&self) -> FleetStats {
+        let inner = &self.inner;
         FleetStats {
-            fleet_workers: self.slots.len() as u64,
-            node_losses: self.node_losses.load(Ordering::Relaxed),
-            cells_redispatched: self.cells_redispatched.load(Ordering::Relaxed),
+            fleet_workers: inner.slots.len() as u64,
+            node_losses: inner.node_losses.load(Ordering::Relaxed),
+            cells_redispatched: inner.cells_redispatched.load(Ordering::Relaxed),
+            node_readmissions: inner.node_readmissions.load(Ordering::Relaxed),
+            cells_hedged: inner.cells_hedged.load(Ordering::Relaxed),
+            hedge_wins: inner.hedge_wins.load(Ordering::Relaxed),
+            readmission_downtime_ms: inner.readmission_downtime_ms.load(Ordering::Relaxed),
         }
     }
 
@@ -264,8 +461,36 @@ impl Fleet {
         config: &FrontendConfig,
         attempt: u32,
     ) -> Result<SimStats, CellError> {
+        FleetInner::dispatch_cell(
+            &self.inner,
+            workload,
+            trace_len,
+            budget_ms,
+            fault,
+            net_fault,
+            config,
+            attempt,
+        )
+    }
+}
+
+impl FleetInner {
+    /// The dispatch loop behind [`Fleet::run_cell`]. An associated fn
+    /// (not a method) because hedging needs to clone the `Arc` into
+    /// copy threads.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_cell(
+        inner: &Arc<FleetInner>,
+        workload: &WorkloadSpec,
+        trace_len: usize,
+        budget_ms: u64,
+        fault: Option<WorkerFault>,
+        net_fault: Option<NetFault>,
+        config: &FrontendConfig,
+        attempt: u32,
+    ) -> Result<SimStats, CellError> {
         if attempt > 1 {
-            self.cells_redispatched.fetch_add(1, Ordering::Relaxed);
+            inner.cells_redispatched.fetch_add(1, Ordering::Relaxed);
         }
         let key = crate::fault::fnv1a(&format!(
             "{}\u{0}{}\u{0}{}",
@@ -279,17 +504,38 @@ impl Fleet {
         };
         // One re-route per registered node, so a single attempt walks the
         // whole fleet before conceding.
-        for round in 0..self.nodes.len() {
-            let preferred = self.route(key, attempt, round);
-            let index = self.acquire_slot(preferred);
-            let outcome = self.run_on_slot(
-                index, workload, trace_len, budget_ms, &fault, &net_fault, config, attempt,
-            );
-            self.release_slot(index);
+        for round in 0..inner.nodes.len() {
+            let preferred = inner.route(key, attempt, round);
+            let index = inner.acquire_slot(preferred);
+            let outcome = match inner.hedge_threshold() {
+                // Hedging disabled (or not yet armed): the exact
+                // synchronous path, no thread, no channel.
+                None => {
+                    let abort = AtomicBool::new(false);
+                    let out = inner.run_on_slot(
+                        index, workload, trace_len, budget_ms, &fault, &net_fault, config,
+                        attempt, &abort,
+                    );
+                    inner.release_slot(index);
+                    out
+                }
+                Some(after) => Self::run_hedged(
+                    inner, index, after, workload, trace_len, budget_ms, &fault, &net_fault,
+                    config, attempt,
+                ),
+            };
             match outcome {
                 Ok(stats) => return Ok(stats),
                 Err(SlotOutcome::Unreachable(err)) => last = err,
                 Err(SlotOutcome::Final(err)) => return Err(err),
+                // Defensive: a fully cancelled dispatch concedes the
+                // round and re-routes.
+                Err(SlotOutcome::Cancelled) => {
+                    last = CellError::Transient {
+                        message: "cell dispatch was cancelled mid-flight".to_string(),
+                        attempts: attempt,
+                    };
+                }
             }
         }
         Err(last)
@@ -301,7 +547,7 @@ impl Fleet {
     /// every node is marked lost.
     fn route(&self, key: u64, attempt: u32, round: usize) -> usize {
         let live: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| !self.nodes[i].lost.load(Ordering::Relaxed))
+            .filter(|&i| self.nodes[i].routable())
             .collect();
         let pool: &[usize] = if live.is_empty() {
             &self.slot_nodes // never empty; values are node indices
@@ -320,20 +566,19 @@ impl Fleet {
             if let Some(pos) = free.iter().rposition(|&i| self.slot_nodes[i] == preferred) {
                 return free.remove(pos);
             }
-            // Any seat on a node not marked lost beats waiting.
+            // Any seat on a routable node beats waiting.
             if let Some(pos) = free
                 .iter()
-                .rposition(|&i| !self.nodes[self.slot_nodes[i]].lost.load(Ordering::Relaxed))
+                .rposition(|&i| self.nodes[self.slot_nodes[i]].routable())
             {
                 return free.remove(pos);
             }
             // Every free seat is on a lost node. Probe one only when the
-            // whole fleet is marked lost (the probe is how a recovered
-            // node is re-discovered); while any node is live, waiting for
-            // one of its busy seats beats burning the retry budget on
-            // refused dials.
-            let any_live =
-                (0..self.nodes.len()).any(|n| !self.nodes[n].lost.load(Ordering::Relaxed));
+            // whole fleet is marked lost (a last-resort backstop under
+            // the background reprobe); while any node is routable,
+            // waiting for one of its busy seats beats burning the retry
+            // budget on refused dials.
+            let any_live = (0..self.nodes.len()).any(|n| self.nodes[n].routable());
             if !any_live {
                 if let Some(index) = free.pop() {
                     return index;
@@ -351,18 +596,336 @@ impl Fleet {
         self.available.notify_one();
     }
 
-    /// Books a silent loss of `node` (once per down-transition) and
-    /// returns the retryable error that sends the cell back through the
-    /// harness's retry loop.
-    fn node_lost(&self, node: usize, attempt: u32) -> CellError {
-        if !self.nodes[node].lost.swap(true, Ordering::Relaxed) {
-            self.node_losses.fetch_add(1, Ordering::Relaxed);
+    /// Advances `node` through the health machine on a failure:
+    /// `Healthy → Suspect` (books one loss), `Suspect → Lost` (same
+    /// outage, no extra loss; arms the reprobe), `Probation → Lost`
+    /// (relapse: books a fresh loss), `Lost` stays put.
+    fn mark_failure(&self, node: usize) {
+        let mut cell = lock(&self.nodes[node].health);
+        match cell.state {
+            NodeHealth::Healthy => {
+                cell.state = NodeHealth::Suspect;
+                cell.lost_at = Some(Instant::now());
+                self.node_losses.fetch_add(1, Ordering::Relaxed);
+            }
+            NodeHealth::Suspect => {
+                cell.state = NodeHealth::Lost;
+                cell.reprobe_failures = 0;
+                cell.next_reprobe = Instant::now() + self.config.reprobe_base;
+                if cell.lost_at.is_none() {
+                    cell.lost_at = Some(Instant::now());
+                }
+            }
+            NodeHealth::Probation => {
+                cell.state = NodeHealth::Lost;
+                cell.reprobe_failures = 0;
+                cell.next_reprobe = Instant::now() + self.config.reprobe_base;
+                cell.lost_at = Some(Instant::now());
+                self.node_losses.fetch_add(1, Ordering::Relaxed);
+            }
+            NodeHealth::Lost => {}
         }
+    }
+
+    /// A successful dial readmits a `Lost` node (this is the whole-fleet
+    /// backstop path; the reprobe thread readmits through the same gate).
+    fn mark_dialed(&self, node: usize) {
+        let mut cell = lock(&self.nodes[node].health);
+        if cell.state == NodeHealth::Lost {
+            self.readmit_locked(node, &mut cell);
+        }
+    }
+
+    /// A completed reply is the strongest health signal: full promotion.
+    fn mark_replied(&self, node: usize) {
+        let mut cell = lock(&self.nodes[node].health);
+        if cell.state == NodeHealth::Lost {
+            self.readmit_locked(node, &mut cell);
+        }
+        cell.state = NodeHealth::Healthy;
+        cell.lost_at = None;
+        cell.last_probe_error = None;
+    }
+
+    /// Readmission bookkeeping, with `node`'s health lock already held:
+    /// `Lost → Probation`, one readmission booked, downtime accounted.
+    fn readmit_locked(&self, node: usize, cell: &mut HealthCell) {
+        cell.state = NodeHealth::Probation;
+        cell.reprobe_failures = 0;
+        cell.last_probe_error = None;
+        let down_ms = cell
+            .lost_at
+            .take()
+            .map_or(1, |at| (at.elapsed().as_millis() as u64).max(1));
+        self.readmission_downtime_ms
+            .fetch_add(down_ms, Ordering::Relaxed);
+        self.node_readmissions.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "fleet: {}: readmitted on probation after {down_ms}ms down",
+            self.nodes[node].addr
+        );
+        // Wake dispatchers parked because every routable seat was busy.
+        self.available.notify_all();
+    }
+
+    /// Books a failure of `node` and returns the retryable error that
+    /// sends the cell back through the harness's retry loop.
+    fn node_lost(&self, node: usize, attempt: u32) -> CellError {
+        self.mark_failure(node);
         CellError::Crashed {
             signal: None,
             code: None,
             attempts: attempt,
         }
+    }
+
+    /// The background reprobe: every lost node is re-dialed on a
+    /// deterministic exponential backoff (`reprobe_base · 2^min(n, 5)`);
+    /// a probe runs the full hello/welcome handshake, so a restarted
+    /// daemon with a drifted build fingerprint is refused by name and
+    /// stays lost instead of being silently readmitted.
+    fn reprobe_loop(inner: &Arc<FleetInner>) {
+        const TICK: Duration = Duration::from_millis(25);
+        while !inner.shutdown.load(Ordering::Relaxed) {
+            std::thread::sleep(TICK);
+            for (i, node) in inner.nodes.iter().enumerate() {
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                let due = {
+                    let cell = lock(&node.health);
+                    cell.state == NodeHealth::Lost && Instant::now() >= cell.next_reprobe
+                };
+                if !due {
+                    continue;
+                }
+                match dial(&node.addr, inner.config.connect_timeout) {
+                    Ok((_probe_stream, _seats)) => {
+                        // Handshake verified; the probe stream itself is
+                        // dropped — seats redial lazily on next dispatch.
+                        let mut cell = lock(&node.health);
+                        if cell.state == NodeHealth::Lost {
+                            inner.readmit_locked(i, &mut cell);
+                        }
+                    }
+                    Err(err) => {
+                        let mut cell = lock(&node.health);
+                        if cell.state != NodeHealth::Lost {
+                            continue;
+                        }
+                        cell.reprobe_failures = cell.reprobe_failures.saturating_add(1);
+                        let exp = cell.reprobe_failures.min(5);
+                        cell.next_reprobe =
+                            Instant::now() + inner.config.reprobe_base * (1u32 << exp);
+                        let message = err.to_string();
+                        if cell.last_probe_error.as_deref() != Some(message.as_str()) {
+                            eprintln!(
+                                "fleet: {}: reprobe failed ({message}); backing off",
+                                node.addr
+                            );
+                            cell.last_probe_error = Some(message);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The in-flight duration past which a cell is hedged, or `None`
+    /// when hedging is off (or `auto` has not yet observed enough
+    /// completions to arm).
+    fn hedge_threshold(&self) -> Option<Duration> {
+        match self.config.hedge {
+            HedgePolicy::Off => None,
+            HedgePolicy::After(after) => Some(after),
+            HedgePolicy::Auto => {
+                let (count, total_ms) = *lock(&self.completions);
+                if count < 3 {
+                    return None;
+                }
+                Some(Duration::from_millis((3 * (total_ms / count)).max(200)))
+            }
+        }
+    }
+
+    /// Feeds the `auto` hedge threshold.
+    fn observe_completion(&self, took: Duration) {
+        let mut c = lock(&self.completions);
+        c.0 += 1;
+        c.1 += took.as_millis() as u64;
+    }
+
+    /// Non-blocking: a free seat on a routable node *other than* `avoid`
+    /// (the primary's node), for the speculative copy. `None` when the
+    /// fleet has nowhere better to send it — hedging is then skipped,
+    /// never queued, because a queued hedge would steal a seat a fresh
+    /// cell could use.
+    fn try_acquire_hedge_seat(&self, avoid: usize) -> Option<usize> {
+        let mut free = lock(&self.free);
+        let pos = free.iter().rposition(|&i| {
+            let node = self.slot_nodes[i];
+            node != avoid
+                && matches!(
+                    self.nodes[node].health(),
+                    NodeHealth::Healthy | NodeHealth::Probation
+                )
+        })?;
+        Some(free.remove(pos))
+    }
+
+    /// Spawns one copy of a cell on seat `index`; the thread releases the
+    /// seat itself and reports `(is_hedge, outcome)` on `tx`.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_copy(
+        inner: &Arc<FleetInner>,
+        index: usize,
+        is_hedge: bool,
+        workload: &WorkloadSpec,
+        trace_len: usize,
+        budget_ms: u64,
+        fault: Option<WorkerFault>,
+        net_fault: Option<NetFault>,
+        config: &FrontendConfig,
+        attempt: u32,
+        abort: Arc<AtomicBool>,
+        tx: mpsc::Sender<(bool, Result<SimStats, SlotOutcome>)>,
+    ) {
+        let inner = Arc::clone(inner);
+        let workload = workload.clone();
+        let config = config.clone();
+        std::thread::spawn(move || {
+            let outcome = inner.run_on_slot(
+                index, &workload, trace_len, budget_ms, &fault, &net_fault, &config, attempt,
+                &abort,
+            );
+            inner.release_slot(index);
+            // The receiver is gone once a winner returned; losers'
+            // reports are deliberately discarded.
+            let _ = tx.send((is_hedge, outcome));
+        });
+    }
+
+    /// Runs a cell with hedging armed: the primary copy goes out on the
+    /// already-acquired seat `index`; if no result lands within `after`,
+    /// a speculative copy is launched on a different healthy node and
+    /// the first completed result wins (byte-identical by construction —
+    /// the simulator is deterministic and cells are content-addressed).
+    /// The loser is aborted, which severs its connection — the existing
+    /// remote-kill path — and is never counted as a node failure.
+    #[allow(clippy::too_many_arguments)]
+    fn run_hedged(
+        inner: &Arc<FleetInner>,
+        index: usize,
+        after: Duration,
+        workload: &WorkloadSpec,
+        trace_len: usize,
+        budget_ms: u64,
+        fault: &Option<WorkerFault>,
+        net_fault: &Option<NetFault>,
+        config: &FrontendConfig,
+        attempt: u32,
+    ) -> Result<SimStats, SlotOutcome> {
+        let (tx, rx) = mpsc::channel();
+        let primary_node = inner.slot_nodes[index];
+        let primary_abort = Arc::new(AtomicBool::new(false));
+        Self::spawn_copy(
+            inner,
+            index,
+            false,
+            workload,
+            trace_len,
+            budget_ms,
+            fault.clone(),
+            net_fault.clone(),
+            config,
+            attempt,
+            Arc::clone(&primary_abort),
+            tx.clone(),
+        );
+        let deadline = Instant::now() + after;
+        let mut hedge_abort: Option<Arc<AtomicBool>> = None;
+        let mut hedge_decided = false;
+        let mut outstanding = 1u32;
+        let mut primary_result: Option<SlotOutcome> = None;
+        let mut hedge_result: Option<SlotOutcome> = None;
+        while outstanding > 0 {
+            let received = if hedge_decided {
+                rx.recv().map_err(|_| ())
+            } else {
+                match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                    Ok(message) => Ok(message),
+                    Err(RecvTimeoutError::Timeout) => {
+                        // The primary is slow. Hedge once, if a seat on
+                        // another healthy node is free right now.
+                        hedge_decided = true;
+                        if let Some(seat) = inner.try_acquire_hedge_seat(primary_node) {
+                            inner.cells_hedged.fetch_add(1, Ordering::Relaxed);
+                            let abort = Arc::new(AtomicBool::new(false));
+                            // The hedge copy runs with a clean link:
+                            // injected net faults model the *primary's*
+                            // path, and hedging exists to escape it.
+                            Self::spawn_copy(
+                                inner,
+                                seat,
+                                true,
+                                workload,
+                                trace_len,
+                                budget_ms,
+                                fault.clone(),
+                                None,
+                                config,
+                                attempt,
+                                Arc::clone(&abort),
+                                tx.clone(),
+                            );
+                            hedge_abort = Some(abort);
+                            outstanding += 1;
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => Err(()),
+                }
+            };
+            let Ok((is_hedge, outcome)) = received else {
+                break;
+            };
+            outstanding -= 1;
+            match outcome {
+                Ok(stats) => {
+                    // First completed result wins; abort the other copy.
+                    // The loser's own result (even a second `Ok`) goes to
+                    // a dropped receiver, so nothing is double-counted.
+                    primary_abort.store(true, Ordering::Relaxed);
+                    if let Some(abort) = &hedge_abort {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    if is_hedge {
+                        inner.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(stats);
+                }
+                Err(outcome) => {
+                    if is_hedge {
+                        hedge_result = Some(outcome);
+                    } else {
+                        primary_result = Some(outcome);
+                    }
+                }
+            }
+        }
+        // Both copies failed (or only the primary ran and failed): the
+        // primary's verdict speaks for the cell, except that a concrete
+        // `Final` outcome from either copy beats an `Unreachable`.
+        Err(match (primary_result, hedge_result) {
+            (Some(primary @ SlotOutcome::Final(_)), _) => primary,
+            (_, Some(hedge @ SlotOutcome::Final(_))) => hedge,
+            (Some(primary), _) => primary,
+            (_, Some(hedge)) => hedge,
+            (None, None) => SlotOutcome::Unreachable(CellError::Transient {
+                message: "hedged dispatch lost both copies".to_string(),
+                attempts: attempt,
+            }),
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -376,22 +939,24 @@ impl Fleet {
         net_fault: &Option<NetFault>,
         config: &FrontendConfig,
         attempt: u32,
+        abort: &AtomicBool,
     ) -> Result<SimStats, SlotOutcome> {
         let node_index = self.slot_nodes[index];
         let mut slot = lock(&self.slots[index]);
+        if abort.load(Ordering::Relaxed) {
+            return Err(SlotOutcome::Cancelled);
+        }
         if slot.conn.is_none() {
             match dial(&self.nodes[node_index].addr, self.config.connect_timeout) {
                 Ok((stream, _seats)) => {
                     slot.conn = Some(stream);
-                    self.nodes[node_index].lost.store(false, Ordering::Relaxed);
+                    self.mark_dialed(node_index);
                 }
                 Err(err) => {
-                    // Could not even reach the node: mark it lost so
-                    // routing steers away, and let run_cell re-route this
+                    // Could not even reach the node: count a failure so
+                    // routing steers away, and let dispatch re-route this
                     // same attempt.
-                    if !self.nodes[node_index].lost.swap(true, Ordering::Relaxed) {
-                        self.node_losses.fetch_add(1, Ordering::Relaxed);
-                    }
+                    self.mark_failure(node_index);
                     return Err(SlotOutcome::Unreachable(CellError::Transient {
                         message: format!(
                             "fleet dial {} failed: {err}",
@@ -414,6 +979,7 @@ impl Fleet {
         }
 
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         let stream = slot.conn.as_mut().expect("connection just ensured");
         let sent = if matches!(net_fault, Some(NetFault::TruncFrame)) {
             // Corruption in flight: a complete frame whose body is
@@ -450,6 +1016,10 @@ impl Fleet {
         if matches!(net_fault, Some(NetFault::Partition)) {
             loop {
                 std::thread::sleep(POLL);
+                if abort.load(Ordering::Relaxed) {
+                    slot.conn = None; // severing is the remote SIGKILL
+                    return Err(SlotOutcome::Cancelled);
+                }
                 let now = Instant::now();
                 if budget_deadline.is_some_and(|deadline| now >= deadline) {
                     slot.conn = None;
@@ -463,6 +1033,13 @@ impl Fleet {
         }
 
         loop {
+            // Checked every iteration, not just on read timeouts: a
+            // heartbeating-but-stalled peer keeps frames flowing, and a
+            // cancelled hedge loser must still step aside promptly.
+            if abort.load(Ordering::Relaxed) {
+                slot.conn = None; // severing is the remote SIGKILL
+                return Err(SlotOutcome::Cancelled);
+            }
             let stream = slot.conn.as_mut().expect("connection live while waiting");
             match net::read_frame(stream) {
                 Ok(Some(frame)) => {
@@ -483,7 +1060,8 @@ impl Fleet {
                             heartbeat_deadline = Instant::now() + self.config.heartbeat_timeout;
                         }
                         Some(WorkerReply::Ok { id: rid, stats }) if rid == id => {
-                            self.nodes[node_index].lost.store(false, Ordering::Relaxed);
+                            self.mark_replied(node_index);
+                            self.observe_completion(started.elapsed());
                             return Ok(*stats);
                         }
                         Some(WorkerReply::Err {
@@ -531,6 +1109,13 @@ impl Fleet {
                     return Err(SlotOutcome::Final(self.node_lost(node_index, attempt)));
                 }
                 Err(err) if err.is_timeout() => {
+                    if abort.load(Ordering::Relaxed) {
+                        // This copy lost a hedge race: sever the
+                        // connection (the remote SIGKILL) and step aside
+                        // without charging the node a failure.
+                        slot.conn = None;
+                        return Err(SlotOutcome::Cancelled);
+                    }
                     let now = Instant::now();
                     if budget_deadline.is_some_and(|deadline| now >= deadline) {
                         // Severing the connection is the remote SIGKILL:
@@ -618,6 +1203,9 @@ fn spawn_proxy_child() -> io::Result<ProxyChild> {
     let mut child = Command::new(exe)
         .arg("worker")
         .env(crate::worker::WORKER_ENV, "1")
+        // A daemon launched via the env entry must not leak its listen
+        // address into children, or they would become daemons too.
+        .env_remove(crate::worker::WORKERD_LISTEN_ENV)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -810,6 +1398,7 @@ fn serve_connection(mut stream: TcpStream, slots: usize, draining: &AtomicBool) 
     }
 
     let mut child: Option<ProxyChild> = None;
+    let mut announced = false;
     loop {
         // Idle: wait for the next cell (or the drain signal).
         let doc = match net::read_frame(&mut stream) {
@@ -829,6 +1418,13 @@ fn serve_connection(mut stream: TcpStream, slots: usize, draining: &AtomicBool) 
         let Some(request) = RunRequest::from_json(&doc) else {
             break; // valid JSON, wrong protocol: same treatment
         };
+        if !announced {
+            // Distinguishes a peer that actually dispatches cells from a
+            // reprobe, which handshakes and leaves — readmission drills
+            // grep for this line.
+            announced = true;
+            println!("fdip-workerd: serving cells for a registered peer");
+        }
         if draining.load(Ordering::Relaxed) {
             let _ = net::write_frame(&mut stream, &bye_frame());
             break;
@@ -972,15 +1568,33 @@ impl ResultCache {
         JournalEntry::parse(payload)
     }
 
+    /// Moves a corrupt entry aside to `{name}.cell.corrupt` (atomic
+    /// rename, best effort) so the next warm start does not re-parse the
+    /// same garbage; the `.corrupt` suffix hides it from [`scan`] while
+    /// preserving the bytes for a postmortem. A fresh [`store`] of the
+    /// same cell simply recreates the `.cell` file.
+    ///
+    /// [`scan`]: ResultCache::scan
+    /// [`store`]: ResultCache::store
+    fn quarantine(path: &Path) {
+        let mut target = path.as_os_str().to_os_string();
+        target.push(".corrupt");
+        let _ = std::fs::rename(path, &target);
+    }
+
     /// Looks up one cell. A hit is verified three ways — CRC32 frame,
     /// schema parse, and a full key comparison (so even an FNV collision
-    /// cannot serve the wrong cell's statistics).
+    /// cannot serve the wrong cell's statistics). A corrupt entry is
+    /// quarantined on sight.
     pub fn lookup(&self, workload: &str, trace_len: usize, fingerprint: &str) -> CacheLookup {
         let path = self.entry_path(workload, trace_len, fingerprint);
         let contents = match std::fs::read_to_string(&path) {
             Ok(contents) => contents,
             Err(err) if err.kind() == io::ErrorKind::NotFound => return CacheLookup::Miss,
-            Err(_) => return CacheLookup::Corrupt,
+            Err(_) => {
+                Self::quarantine(&path);
+                return CacheLookup::Corrupt;
+            }
         };
         match Self::decode(&contents) {
             Some(entry)
@@ -990,7 +1604,10 @@ impl ResultCache {
             {
                 CacheLookup::Hit(Box::new(entry.stats))
             }
-            _ => CacheLookup::Corrupt,
+            _ => {
+                Self::quarantine(&path);
+                CacheLookup::Corrupt
+            }
         }
     }
 
@@ -1009,7 +1626,8 @@ impl ResultCache {
     }
 
     /// Scans the cache, counting valid and corrupt entries — the warm
-    /// start report.
+    /// start report. Corrupt entries are quarantined as they are found,
+    /// so a second scan of an untouched cache reports zero corrupt.
     pub fn scan(&self) -> CacheSummary {
         let mut summary = CacheSummary::default();
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
@@ -1032,6 +1650,7 @@ impl ResultCache {
             if valid {
                 summary.entries += 1;
             } else {
+                Self::quarantine(&path);
                 summary.corrupt += 1;
             }
         }
@@ -1082,6 +1701,8 @@ mod tests {
             addrs,
             connect_timeout: Duration::from_secs(2),
             heartbeat_timeout: Duration::from_millis(400),
+            reprobe_base: Duration::from_millis(50),
+            hedge: HedgePolicy::Off,
         }
     }
 
@@ -1104,14 +1725,21 @@ mod tests {
             .run_cell(&spec(), 1000, 0, None, None, &FrontendConfig::default(), 1)
             .unwrap();
         assert_eq!(stats, canned_stats());
+        // With `HedgePolicy::Off` the dispatch is provably inert: every
+        // hedge-related counter stays exactly zero.
         assert_eq!(
             fleet.stats(),
             FleetStats {
                 fleet_workers: 1,
                 node_losses: 0,
-                cells_redispatched: 0
+                cells_redispatched: 0,
+                node_readmissions: 0,
+                cells_hedged: 0,
+                hedge_wins: 0,
+                readmission_downtime_ms: 0,
             }
         );
+        assert_eq!(fleet.node_health()[0].1, NodeHealth::Healthy);
         node.join().unwrap();
     }
 
@@ -1207,6 +1835,156 @@ mod tests {
         assert_eq!(fleet.stats().node_losses, 1);
         drop(fleet); // closes the connection so the node thread ends
         node.join().unwrap();
+    }
+
+    #[test]
+    fn a_lost_node_is_reprobed_and_readmitted_after_restart() {
+        // Phase 1: a node that dies mid-cell twice, walking the health
+        // machine Healthy → Suspect → Lost. The listener then drops, so
+        // reprobes are refused until the "restart".
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let phase1 = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let doc = net::read_frame(&mut stream).unwrap().unwrap();
+                assert!(Hello::from_json(&doc).is_some());
+                net::write_frame(&mut stream, &Welcome::Accepted { slots: 1 }.to_json())
+                    .unwrap();
+                // Die as soon as a cell arrives.
+                let _ = net::read_frame(&mut stream);
+            }
+        });
+        let fleet = Fleet::connect(tiny_config(vec![addr.clone()])).unwrap();
+        let config = FrontendConfig::default();
+        for attempt in 1..=2 {
+            let err = fleet
+                .run_cell(&spec(), 1000, 0, None, None, &config, attempt)
+                .unwrap_err();
+            assert!(err.retryable(), "{err:?}");
+        }
+        phase1.join().unwrap();
+        assert_eq!(fleet.node_health(), vec![(addr.clone(), NodeHealth::Lost)]);
+
+        // Phase 2: "restart the daemon" on the same address. Probe
+        // connections handshake and leave; a real dispatch gets served.
+        std::thread::sleep(Duration::from_millis(80));
+        let listener = TcpListener::bind(&addr).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let phase2 = std::thread::spawn(move || {
+            listener.set_nonblocking(true).unwrap();
+            while !flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        stream.set_nonblocking(false).ok();
+                        let Ok(Some(doc)) = net::read_frame(&mut stream) else {
+                            continue;
+                        };
+                        if Hello::from_json(&doc).is_none() {
+                            continue;
+                        }
+                        if net::write_frame(
+                            &mut stream,
+                            &Welcome::Accepted { slots: 1 }.to_json(),
+                        )
+                        .is_err()
+                        {
+                            continue;
+                        }
+                        if let Ok(Some(doc)) = net::read_frame(&mut stream) {
+                            if let Some(request) = RunRequest::from_json(&doc) {
+                                let reply = WorkerReply::Ok {
+                                    id: request.id,
+                                    stats: Box::new(canned_stats()),
+                                };
+                                let _ = net::write_frame(&mut stream, &reply.to_json());
+                            }
+                        }
+                    }
+                    Err(ref err) if err.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        // The background reprobe must readmit within its backoff window.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while fleet.stats().node_readmissions == 0 {
+            assert!(Instant::now() < deadline, "node was never readmitted");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(fleet.node_health(), vec![(addr.clone(), NodeHealth::Probation)]);
+        let stats = fleet
+            .run_cell(&spec(), 1000, 0, None, None, &config, 3)
+            .unwrap();
+        assert_eq!(stats, canned_stats());
+        assert_eq!(fleet.node_health(), vec![(addr, NodeHealth::Healthy)]);
+        let stats = fleet.stats();
+        assert_eq!(stats.node_losses, 1, "one outage, one booked loss");
+        assert_eq!(stats.node_readmissions, 1);
+        assert!(stats.readmission_downtime_ms > 0);
+        stop.store(true, Ordering::Relaxed);
+        phase2.join().unwrap();
+    }
+
+    #[test]
+    fn hedged_dispatch_races_a_stalled_node_and_the_first_result_wins() {
+        // Two one-seat nodes; whichever receives the cell first stalls
+        // (heartbeating, so liveness never trips), the other answers.
+        let claimed = Arc::new(AtomicBool::new(false));
+        let make = |claimed: Arc<AtomicBool>| {
+            fake_node(1, move |_, stream| {
+                let doc = net::read_frame(stream).unwrap().unwrap();
+                let request = RunRequest::from_json(&doc).expect("a run request");
+                if !claimed.swap(true, Ordering::SeqCst) {
+                    // Stall until the hedge wins and our link is severed.
+                    loop {
+                        if net::write_frame(stream, &WorkerReply::Heartbeat.to_json()).is_err() {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                }
+                let reply = WorkerReply::Ok {
+                    id: request.id,
+                    stats: Box::new(canned_stats()),
+                };
+                let _ = net::write_frame(stream, &reply.to_json());
+            })
+        };
+        let (addr_a, node_a) = make(Arc::clone(&claimed));
+        let (addr_b, node_b) = make(claimed);
+        let config = FleetConfig {
+            addrs: vec![addr_a, addr_b],
+            connect_timeout: Duration::from_secs(2),
+            heartbeat_timeout: Duration::from_secs(5),
+            reprobe_base: Duration::from_millis(50),
+            hedge: HedgePolicy::After(Duration::from_millis(150)),
+        };
+        let fleet = Fleet::connect(config).unwrap();
+        let start = Instant::now();
+        let stats = fleet
+            .run_cell(&spec(), 1000, 0, None, None, &FrontendConfig::default(), 1)
+            .unwrap();
+        assert_eq!(stats, canned_stats());
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "the hedge must beat the 5s heartbeat deadline, took {:?}",
+            start.elapsed()
+        );
+        let stats = fleet.stats();
+        assert_eq!(stats.cells_hedged, 1);
+        assert_eq!(stats.hedge_wins, 1);
+        assert_eq!(
+            stats.node_losses, 0,
+            "a cancelled hedge loser is not a node failure"
+        );
+        drop(fleet); // severs the stalled node's link so its loop exits
+        node_a.join().unwrap();
+        node_b.join().unwrap();
     }
 
     #[test]
@@ -1307,27 +2085,83 @@ mod tests {
         );
 
         // A colliding file holding some *other* cell's entry must not be
-        // served: the stored key is compared in full.
+        // served: the stored key is compared in full. The corrupt entry
+        // is quarantined on sight, so the next lookup is a clean miss.
         let other_path = cache.entry_path("other", 9, "zzz");
         std::fs::copy(cache.entry_path("w", 1000, "cfg"), &other_path).unwrap();
         assert_eq!(cache.lookup("other", 9, "zzz"), CacheLookup::Corrupt);
+        assert!(!other_path.exists(), "corrupt entry must be moved aside");
+        let mut quarantined = other_path.into_os_string();
+        quarantined.push(".corrupt");
+        assert!(
+            PathBuf::from(quarantined).exists(),
+            "the bytes must survive for a postmortem"
+        );
+        assert_eq!(cache.lookup("other", 9, "zzz"), CacheLookup::Miss);
 
-        // Bit rot: flip a byte inside the payload → CRC catches it.
+        // Bit rot: flip a byte inside the payload → CRC catches it, the
+        // file is quarantined, and a fresh store repairs the entry.
         let path = cache.entry_path("w", 1000, "cfg");
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
         assert_eq!(cache.lookup("w", 1000, "cfg"), CacheLookup::Corrupt);
-        let summary = cache.scan();
-        assert_eq!(summary.corrupt, 2, "{summary:?}");
-
-        // A fresh store repairs the entry.
+        assert_eq!(cache.lookup("w", 1000, "cfg"), CacheLookup::Miss);
         cache.store(&entry).unwrap();
         assert_eq!(
             cache.lookup("w", 1000, "cfg"),
             CacheLookup::Hit(Box::new(canned_stats()))
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_scan_quarantines_corruption_so_the_second_scan_is_clean() {
+        let dir = std::env::temp_dir().join(format!("fdip-cellcache-q-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        for (name, len) in [("alpha", 100), ("beta", 200)] {
+            cache
+                .store(&JournalEntry {
+                    workload: name.to_string(),
+                    trace_len: len,
+                    config: "cfg".to_string(),
+                    stats: canned_stats(),
+                })
+                .unwrap();
+        }
+        // Rot one of the two entries on disk.
+        let path = cache.entry_path("alpha", 100, "cfg");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let first = cache.scan();
+        assert_eq!(
+            first,
+            CacheSummary {
+                entries: 1,
+                corrupt: 1
+            }
+        );
+        // The corrupt file was moved aside: scanning again re-parses
+        // nothing and reports a clean cache.
+        let second = cache.scan();
+        assert_eq!(
+            second,
+            CacheSummary {
+                entries: 1,
+                corrupt: 0
+            }
+        );
+        // The survivor still serves; the rotted cell is a plain miss.
+        assert_eq!(
+            cache.lookup("beta", 200, "cfg"),
+            CacheLookup::Hit(Box::new(canned_stats()))
+        );
+        assert_eq!(cache.lookup("alpha", 100, "cfg"), CacheLookup::Miss);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

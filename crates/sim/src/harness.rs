@@ -167,6 +167,14 @@ pub struct HarnessStats {
     /// Cells served from the shared on-disk result cache instead of
     /// simulated (requires [`Harness::attach_cache`]).
     pub remote_cache_hits: u64,
+    /// Lost fleet nodes readmitted (on probation) after a reprobe
+    /// completed a full re-handshake.
+    pub node_readmissions: u64,
+    /// Cells whose slow primary dispatch triggered a speculative second
+    /// copy on another node (fleet hedging).
+    pub cells_hedged: u64,
+    /// Hedged cells where the speculative copy finished first.
+    pub hedge_wins: u64,
 }
 
 impl HarnessStats {
@@ -199,6 +207,9 @@ impl fdip_types::ToJson for HarnessStats {
             node_losses,
             cells_redispatched,
             remote_cache_hits,
+            node_readmissions,
+            cells_hedged,
+            hedge_wins,
         )
     }
 }
@@ -331,7 +342,34 @@ impl Harness {
             node_losses: fleet.node_losses,
             cells_redispatched: fleet.cells_redispatched,
             remote_cache_hits: self.remote_cache_hits.load(Ordering::Relaxed),
+            node_readmissions: fleet.node_readmissions,
+            cells_hedged: fleet.cells_hedged,
+            hedge_wins: fleet.hedge_wins,
         }
+    }
+
+    /// Per-node fleet health states (addr, state name), empty when no
+    /// fleet is attached — the `/metrics` health gauge family.
+    pub fn fleet_node_health(&self) -> Vec<(String, &'static str)> {
+        lock(&self.fleet)
+            .as_deref()
+            .map(|fleet| {
+                fleet
+                    .node_health()
+                    .into_iter()
+                    .map(|(addr, health)| (addr, health.name()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Raw fleet counters (including MTTR accounting not folded into
+    /// [`HarnessStats`]), default when no fleet is attached.
+    pub fn fleet_stats(&self) -> crate::fleet::FleetStats {
+        lock(&self.fleet)
+            .as_deref()
+            .map(Fleet::stats)
+            .unwrap_or_default()
     }
 
     /// Routes all subsequent cell computes through a supervised pool of

@@ -22,6 +22,10 @@
 //!   fleet dispatcher (`--fleet`) that survives node loss by
 //!   re-dispatching through the same retry taxonomy, and the shared
 //!   on-disk content-addressed result cache (`--cache`);
+//! * [`chaos`] — the seeded chaos soak behind `fdip chaos`: rounds of
+//!   real experiments against a live self-exec'd fleet under scheduled
+//!   kills, restarts, network faults, and cache corruption, gated on
+//!   byte-identical output and bounded re-simulation;
 //! * [`runner`] — result types ([`runner::RunResult`]) and numeric
 //!   helpers over harness output;
 //! * [`report`] — plain-text tables, CSV emission, and ASCII series plots;
@@ -44,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod fault;
 pub mod fleet;

@@ -47,12 +47,24 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// different simulator: crate version changes cover that (the workspace
 /// versions move together), and the journal schema version guards the
 /// stats encoding itself.
+///
+/// A non-empty `FDIP_FLEET_TAG` environment variable is appended to the
+/// fingerprint, segregating clusters that must not pair (and giving
+/// drift-refusal drills a deterministic lever: restart a daemon with a
+/// different tag and every re-handshake is refused by name).
 pub fn build_fingerprint() -> String {
-    format!(
+    let mut fingerprint = format!(
         "fdip-sim {} proto {PROTOCOL_VERSION} journal {}",
         env!("CARGO_PKG_VERSION"),
         crate::journal::JOURNAL_SCHEMA_VERSION
-    )
+    );
+    if let Ok(tag) = std::env::var("FDIP_FLEET_TAG") {
+        if !tag.is_empty() {
+            fingerprint.push_str(" tag ");
+            fingerprint.push_str(&tag);
+        }
+    }
+    fingerprint
 }
 
 /// Why a frame could not be decoded from the stream.

@@ -38,15 +38,61 @@ use crate::ipc::{read_frame, write_frame, RunRequest, WorkerFault, WorkerReply};
 /// a single-purpose cell worker (any non-empty value).
 pub const WORKER_ENV: &str = "FDIP_WORKER";
 
+/// Environment variable that turns an invocation of a harness binary into
+/// a worker *daemon*: its value is the `host:port` to listen on. This is
+/// how in-process harnesses (the chaos soak) spawn disposable workerds
+/// without shelling out to the `fdip` CLI.
+pub const WORKERD_LISTEN_ENV: &str = "FDIP_WORKERD_LISTEN";
+
+/// Seat count advertised by an env-activated worker daemon (default 2).
+pub const WORKERD_SLOTS_ENV: &str = "FDIP_WORKERD_SLOTS";
+
 /// How often a busy worker proves liveness to its supervisor.
 pub const HEARTBEAT_PERIOD: Duration = Duration::from_millis(100);
 
-/// Becomes the worker process and never returns if [`WORKER_ENV`] is set;
-/// otherwise does nothing. Call first thing in `main`, before argument
-/// parsing, in every binary the supervisor may self-exec.
+/// Becomes the worker process and never returns if [`WORKER_ENV`] is set,
+/// or the workerd daemon if [`WORKERD_LISTEN_ENV`] is set; otherwise does
+/// nothing. Call first thing in `main`, before argument parsing, in every
+/// binary the supervisor may self-exec. [`WORKER_ENV`] is checked first:
+/// a daemon's own children must become plain workers (the daemon clears
+/// the listen variable for them, but first wins regardless).
 pub fn maybe_worker_entry() {
     if std::env::var_os(WORKER_ENV).is_some() {
         std::process::exit(worker_main());
+    }
+    if let Some(listen) = std::env::var_os(WORKERD_LISTEN_ENV) {
+        let listen = listen.to_string_lossy().into_owned();
+        std::process::exit(workerd_main(&listen));
+    }
+}
+
+/// The env-activated daemon entry: bind, announce (the spawner parses the
+/// banner for the bound address), serve until killed.
+fn workerd_main(listen: &str) -> i32 {
+    let slots = std::env::var(WORKERD_SLOTS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(2);
+    let listener = match std::net::TcpListener::bind(listen) {
+        Ok(listener) => listener,
+        Err(err) => {
+            eprintln!("fdip-workerd: cannot listen on {listen}: {err}");
+            return 1;
+        }
+    };
+    let addr = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| listen.to_string());
+    // Same banner as `fdip workerd` so one parser serves both paths.
+    println!("fdip-workerd listening on {addr} ({slots} seat(s))");
+    match crate::fleet::serve_workerd(listener, slots, &|| false) {
+        Ok(()) => 0,
+        Err(err) => {
+            eprintln!("fdip-workerd: serve loop failed: {err}");
+            1
+        }
     }
 }
 

@@ -15,8 +15,8 @@
 
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Output, Stdio};
-use std::sync::OnceLock;
-use std::time::Duration;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 fn fdip(args: &[&str]) -> Command {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_fdip"));
@@ -53,26 +53,52 @@ fn baseline() -> &'static str {
     })
 }
 
-/// A live `fdip workerd` child plus the address it actually bound.
+/// A live `fdip workerd` child plus the address it actually bound and a
+/// running capture of everything it has printed since the banner.
 struct Workerd {
     child: Child,
     addr: String,
+    captured: Arc<Mutex<String>>,
 }
 
 impl Workerd {
     /// Spawns `fdip workerd --listen 127.0.0.1:0` and parses the bound
     /// address from its startup banner.
     fn spawn(slots: usize) -> Workerd {
-        let mut child = fdip(&["workerd", "--listen", "127.0.0.1:0", "--slots"])
-            .arg(slots.to_string())
-            .spawn()
-            .expect("spawn workerd");
+        Workerd::try_spawn("127.0.0.1:0", slots, &[]).expect("spawn workerd")
+    }
+
+    /// Spawns a daemon on a *specific* address (restart drills reuse a
+    /// dead daemon's port), retrying while the OS releases the port.
+    fn spawn_at(listen: &str, slots: usize, envs: &[(&str, &str)]) -> Workerd {
+        for _ in 0..40 {
+            if let Some(w) = Workerd::try_spawn(listen, slots, envs) {
+                return w;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        panic!("workerd at {listen} never came up");
+    }
+
+    fn try_spawn(listen: &str, slots: usize, envs: &[(&str, &str)]) -> Option<Workerd> {
+        let mut cmd = fdip(&["workerd", "--listen", listen, "--slots"]);
+        cmd.arg(slots.to_string());
+        for (key, value) in envs {
+            cmd.env(key, value);
+        }
+        let mut child = cmd.spawn().expect("spawn workerd");
         let out = child.stdout.take().expect("workerd stdout");
         let mut reader = BufReader::new(out);
         let addr = loop {
             let mut line = String::new();
             let n = reader.read_line(&mut line).expect("read workerd banner");
-            assert!(n > 0, "workerd exited before announcing its address");
+            if n == 0 {
+                // Bind failed (port still in TIME_WAIT teardown): reap and
+                // let the caller retry.
+                let _ = child.kill();
+                let _ = child.wait();
+                return None;
+            }
             if let Some(rest) = line.strip_prefix("fdip-workerd listening on ") {
                 break rest
                     .split_whitespace()
@@ -81,14 +107,27 @@ impl Workerd {
                     .to_string();
             }
         };
-        // Keep draining stdout so the daemon never blocks on a full pipe.
+        // Keep draining stdout (so the daemon never blocks on a full
+        // pipe), accumulating it for assertions.
+        let captured = Arc::new(Mutex::new(String::new()));
+        let sink = Arc::clone(&captured);
         std::thread::spawn(move || {
-            let mut sink = String::new();
-            while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
-                sink.clear();
+            let mut line = String::new();
+            while matches!(reader.read_line(&mut line), Ok(n) if n > 0) {
+                sink.lock().expect("capture poisoned").push_str(&line);
+                line.clear();
             }
         });
-        Workerd { child, addr }
+        Some(Workerd {
+            child,
+            addr,
+            captured,
+        })
+    }
+
+    /// Whether the daemon has printed `needle` yet.
+    fn printed(&self, needle: &str) -> bool {
+        self.captured.lock().expect("capture poisoned").contains(needle)
     }
 
     fn sigkill(&mut self) {
@@ -246,6 +285,166 @@ fn fleet_flags_enforce_their_preconditions() {
         "{}",
         stderr(&unreachable)
     );
+}
+
+#[test]
+fn a_sigkilled_node_is_readmitted_and_serves_traffic_again() {
+    let w1 = Workerd::spawn(2);
+    let mut w2 = Workerd::spawn(2);
+    let fleet = format!("{},{}", w1.addr, w2.addr);
+
+    // Every cell sleeps 6s: the survivor's seats stay busy long past the
+    // victim's readmission (~3s with a 100ms reprobe base), so the
+    // re-dispatched cells can only run on the restarted daemon — proving
+    // it serves traffic again, not merely that it answered a probe.
+    let child = fdip(&[
+        "exp",
+        "e01",
+        "--quick",
+        "--isolate=2",
+        "--fleet",
+        &fleet,
+        "--max-attempts",
+        "4",
+        "--cell-budget-ms",
+        "30000",
+        "--faults",
+        "slow@*/*:6000",
+    ])
+    .env("FDIP_FLEET_REPROBE_MS", "100")
+    .spawn()
+    .expect("spawn fdip exp");
+
+    std::thread::sleep(Duration::from_millis(1500));
+    w2.sigkill();
+    std::thread::sleep(Duration::from_millis(1000));
+    let w2b = Workerd::spawn_at(&w2.addr, 2, &[]);
+
+    let out = child.wait_with_output().expect("wait fdip exp");
+    let (table, err) = (stdout(&out), stderr(&out));
+    assert!(out.status.success(), "{err}");
+    assert!(!table.contains("FAILED"), "{table}");
+    assert_eq!(
+        baseline(),
+        table,
+        "readmission must not change results by a byte"
+    );
+    assert!(err.contains("readmitted on probation"), "{err}");
+    assert!(!err.contains("0 readmission(s)"), "{err}");
+    // The survivor never went down: exactly one loss, the SIGKILL.
+    assert!(err.contains("1 node loss(es)"), "{err}");
+    // The restarted daemon actually ran cells after readmission.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !w2b.printed("serving cells for a registered peer") {
+        assert!(
+            Instant::now() < deadline,
+            "restarted daemon never served a cell:\n{}",
+            w2b.captured.lock().expect("capture poisoned")
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    drop(w1);
+}
+
+#[test]
+fn a_restarted_daemon_with_a_drifted_fingerprint_is_refused_readmission() {
+    let w1 = Workerd::spawn(2);
+    let mut w2 = Workerd::spawn(2);
+    let fleet = format!("{},{}", w1.addr, w2.addr);
+
+    let child = fdip(&[
+        "exp",
+        "e01",
+        "--quick",
+        "--isolate=2",
+        "--fleet",
+        &fleet,
+        "--max-attempts",
+        "4",
+        "--cell-budget-ms",
+        "30000",
+        "--faults",
+        "slow@*/*:4000",
+    ])
+    .env("FDIP_FLEET_REPROBE_MS", "100")
+    .spawn()
+    .expect("spawn fdip exp");
+
+    std::thread::sleep(Duration::from_millis(1500));
+    w2.sigkill();
+    // The daemon comes back with a drifted build fingerprint (a config
+    // tag the client does not share): reprobes must reach it, be refused
+    // by name, and never readmit it. The run still converges on the
+    // survivor.
+    let w2b = Workerd::spawn_at(&w2.addr, 2, &[("FDIP_FLEET_TAG", "drifted")]);
+
+    let out = child.wait_with_output().expect("wait fdip exp");
+    let (table, err) = (stdout(&out), stderr(&out));
+    assert!(out.status.success(), "{err}");
+    assert!(!table.contains("FAILED"), "{table}");
+    assert_eq!(baseline(), table, "drift refusal must not change results");
+    assert!(
+        err.contains("reprobe failed (node refused registration"),
+        "{err}"
+    );
+    assert!(err.contains("0 readmission(s)"), "{err}");
+    drop(w2b);
+    drop(w1);
+}
+
+#[test]
+fn fleet_tuning_flags_validate_before_dialing_and_disabled_hedging_is_inert() {
+    // Nothing listens on 127.0.0.1:1, so reaching the dial phase would
+    // print "unreachable at startup"; a flag error must come first.
+    let bad_heartbeat = run(&[
+        "exp",
+        "e01",
+        "--quick",
+        "--isolate=2",
+        "--fleet",
+        "127.0.0.1:1",
+        "--fleet-heartbeat-ms",
+        "0",
+    ]);
+    assert!(!bad_heartbeat.status.success());
+    let err = stderr(&bad_heartbeat);
+    assert!(err.contains("--fleet-heartbeat-ms"), "{err}");
+    assert!(!err.contains("unreachable at startup"), "{err}");
+
+    let bad_hedge = run(&[
+        "exp",
+        "e01",
+        "--quick",
+        "--isolate=2",
+        "--fleet",
+        "127.0.0.1:1",
+        "--hedge-after-ms",
+        "soon",
+    ]);
+    assert!(!bad_hedge.status.success());
+    let err = stderr(&bad_hedge);
+    assert!(err.contains("--hedge-after-ms"), "{err}");
+    assert!(!err.contains("unreachable at startup"), "{err}");
+
+    // With hedging explicitly off, a real fleet run books zero hedges and
+    // stays byte-identical: the feature is provably inert when disabled.
+    let w = Workerd::spawn(2);
+    let out = run(&[
+        "exp",
+        "e01",
+        "--quick",
+        "--isolate=2",
+        "--fleet",
+        &w.addr,
+        "--fleet-heartbeat-ms",
+        "700",
+        "--hedge-after-ms",
+        "0",
+    ]);
+    let err = stderr(&out);
+    assert!(out.status.success(), "{err}");
+    assert_eq!(baseline(), stdout(&out), "inert hedging must not change results");
+    assert!(err.contains("0 hedged (0 won)"), "{err}");
 }
 
 /// Randomized network-fault drills: any single injected fleet fault —
